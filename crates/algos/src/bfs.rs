@@ -1,0 +1,156 @@
+//! Breadth-First Search (Table 3, row "BFS").
+//!
+//! Vertex value is the BFS level from the source (`INF` = unreached);
+//! `compute` relaxes `min(level, src_level + 1)` over incoming edges.
+
+use crate::INF;
+use cusha_core::VertexProgram;
+use cusha_graph::VertexId;
+
+/// BFS from a single source.
+#[derive(Clone, Copy, Debug)]
+pub struct Bfs {
+    source: VertexId,
+}
+
+impl Bfs {
+    /// BFS rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        Bfs { source }
+    }
+
+    /// The root vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl VertexProgram for Bfs {
+    type V = u32;
+    type E = u32;
+    type SV = u32;
+    const HAS_EDGE_VALUES: bool = false;
+    const HAS_STATIC_VALUES: bool = false;
+
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn initial_value(&self, v: VertexId) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            INF
+        }
+    }
+
+    fn edge_value(&self, _raw: u32) -> u32 {
+        0
+    }
+
+    fn init_compute(&self, local: &mut u32, global: &u32) {
+        *local = *global;
+    }
+
+    fn compute(&self, src: &u32, _st: &u32, _e: &u32, local: &mut u32) {
+        if *src != INF {
+            *local = (*local).min(*src + 1);
+        }
+    }
+
+    fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
+        *local < *old
+    }
+}
+
+/// Independent oracle: queue-based BFS over the out-adjacency.
+pub fn bfs_levels(g: &cusha_graph::Graph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut offsets = vec![0u32; n + 1];
+    for e in g.edges() {
+        offsets[e.src as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut adj = vec![0u32; g.num_edges() as usize];
+    let mut cursor = offsets.clone();
+    for e in g.edges() {
+        adj[cursor[e.src as usize] as usize] = e.dst;
+        cursor[e.src as usize] += 1;
+    }
+    let mut levels = vec![INF; n];
+    if n == 0 {
+        return levels;
+    }
+    levels[source as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let next = levels[v as usize] + 1;
+        for i in offsets[v as usize]..offsets[v as usize + 1] {
+            let u = adj[i as usize];
+            if levels[u as usize] == INF {
+                levels[u as usize] = next;
+                queue.push_back(u);
+            }
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_sequential;
+    use cusha_core::{run, CuShaConfig};
+    use cusha_graph::generators::rmat::{rmat, RmatConfig};
+    use cusha_graph::{Edge, Graph};
+
+    fn diamond() -> Graph {
+        // 0 -> {1, 2} -> 3; plus an unreachable vertex 4.
+        Graph::new(
+            5,
+            vec![
+                Edge::new(0, 1, 1),
+                Edge::new(0, 2, 1),
+                Edge::new(1, 3, 1),
+                Edge::new(2, 3, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn oracle_on_diamond() {
+        assert_eq!(bfs_levels(&diamond(), 0), vec![0, 1, 1, 2, INF]);
+    }
+
+    #[test]
+    fn sequential_matches_oracle() {
+        let g = rmat(&RmatConfig::graph500(7, 600, 5));
+        let seq = run_sequential(&Bfs::new(0), &g, 1000);
+        assert!(seq.converged);
+        assert_eq!(seq.values, bfs_levels(&g, 0));
+    }
+
+    #[test]
+    fn cusha_gs_and_cw_match_oracle() {
+        let g = rmat(&RmatConfig::graph500(7, 800, 6));
+        let oracle = bfs_levels(&g, 0);
+        for cfg in [
+            CuShaConfig::gs().with_vertices_per_shard(32),
+            CuShaConfig::cw().with_vertices_per_shard(32),
+        ] {
+            let out = run(&Bfs::new(0), &g, &cfg);
+            assert!(out.stats.converged);
+            assert_eq!(out.values, oracle, "{}", out.stats.engine);
+        }
+    }
+
+    #[test]
+    fn different_source() {
+        let g = diamond();
+        let out = run(&Bfs::new(1), &g, &CuShaConfig::gs().with_vertices_per_shard(2));
+        assert_eq!(out.values, bfs_levels(&g, 1));
+        assert_eq!(out.values, vec![INF, 0, INF, 1, INF]);
+    }
+}

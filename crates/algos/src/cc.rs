@@ -1,0 +1,103 @@
+//! Connected Components (Table 3, row "CC").
+//!
+//! Label propagation: every vertex starts with its own id and repeatedly
+//! takes the minimum of its in-neighbours' labels. On a symmetric
+//! (undirected) graph the fixpoint labels every vertex with the smallest id
+//! of its weakly-connected component; on a directed graph the fixpoint is
+//! the minimum id able to reach each vertex.
+
+use cusha_core::VertexProgram;
+use cusha_graph::VertexId;
+
+/// Min-label connected components.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnectedComponents;
+
+impl ConnectedComponents {
+    /// Constructs the program.
+    pub fn new() -> Self {
+        ConnectedComponents
+    }
+}
+
+impl VertexProgram for ConnectedComponents {
+    type V = u32;
+    type E = u32;
+    type SV = u32;
+    const HAS_EDGE_VALUES: bool = false;
+    const HAS_STATIC_VALUES: bool = false;
+    const COMPUTE_COST: u64 = 1;
+
+    fn name(&self) -> &'static str {
+        "CC"
+    }
+
+    fn initial_value(&self, v: VertexId) -> u32 {
+        v
+    }
+
+    fn edge_value(&self, _raw: u32) -> u32 {
+        0
+    }
+
+    fn init_compute(&self, local: &mut u32, global: &u32) {
+        *local = *global;
+    }
+
+    fn compute(&self, src: &u32, _st: &u32, _e: &u32, local: &mut u32) {
+        *local = (*local).min(*src);
+    }
+
+    fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
+        *local < *old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_sequential;
+    use cusha_core::{run, CuShaConfig};
+    use cusha_graph::analysis::weak_components;
+    use cusha_graph::generators::erdos_renyi::erdos_renyi;
+    use cusha_graph::{Edge, Graph};
+
+    #[test]
+    fn sequential_matches_union_find_on_symmetric_graph() {
+        let g = erdos_renyi(128, 200, 12).symmetrized();
+        let seq = run_sequential(&ConnectedComponents::new(), &g, 10_000);
+        assert!(seq.converged);
+        assert_eq!(seq.values, weak_components(&g));
+    }
+
+    #[test]
+    fn cusha_matches_union_find_on_symmetric_graph() {
+        let g = erdos_renyi(128, 150, 13).symmetrized();
+        let oracle = weak_components(&g);
+        for cfg in [
+            CuShaConfig::gs().with_vertices_per_shard(16),
+            CuShaConfig::cw().with_vertices_per_shard(16),
+        ] {
+            let out = run(&ConnectedComponents::new(), &g, &cfg);
+            assert_eq!(out.values, oracle, "{}", out.stats.engine);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_ids() {
+        let g = Graph::new(4, vec![Edge::new(2, 3, 1), Edge::new(3, 2, 1)]);
+        let seq = run_sequential(&ConnectedComponents::new(), &g, 100);
+        assert_eq!(seq.values, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn directed_fixpoint_is_min_reaching_id() {
+        // 0 -> 1 -> 2 but nothing reaches 0.
+        let g = Graph::new(3, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)]);
+        let seq = run_sequential(&ConnectedComponents::new(), &g, 100);
+        assert_eq!(seq.values, vec![0, 0, 0]);
+        let g2 = Graph::new(3, vec![Edge::new(2, 1, 1)]);
+        let seq2 = run_sequential(&ConnectedComponents::new(), &g2, 100);
+        assert_eq!(seq2.values, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! The eight graph benchmarks of the paper's Table 3, expressed as
+//! [`cusha_core::VertexProgram`]s, plus sequential reference oracles.
+//!
+//! | Module | Benchmark | Vertex | Edge | Static |
+//! |---|---|---|---|---|
+//! | [`bfs`] | Breadth-First Search | `u32` level | — | — |
+//! | [`sssp`] | Single-Source Shortest Path | `u32` dist | `u32` weight | — |
+//! | [`pagerank`] | PageRank | `f32` rank | — | `u32` degree |
+//! | [`cc`] | Connected Components | `u32` label | — | — |
+//! | [`sswp`] | Single-Source Widest Path | `u32` width | `u32` width | — |
+//! | [`nn`] | Neural Network | `f32` activation | `f32` weight | — |
+//! | [`heat`] | Heat Simulation | `(f32, f32)` (Q, Q_new) | `f32` coeff | — |
+//! | [`circuit`] | Circuit Simulation | `(f32, f32)` (V, Gsum/anchor) | `f32` G | — |
+//!
+//! Every program is exercised by four executors that must agree: the CuSha
+//! engine (GS and CW), the VWC-CSR baseline, the MTCPU baseline, and the
+//! Gauss-Seidel [`mod@reference`] executor in this crate. The monotone integer
+//! algorithms (BFS, SSSP, CC, SSWP) additionally have *independent* oracles
+//! (queue BFS, Dijkstra, union-find, max-min Dijkstra) that do not share a
+//! line of code with the vertex programs.
+
+pub mod bfs;
+pub mod cc;
+pub mod circuit;
+pub mod heat;
+pub mod msbfs;
+pub mod nn;
+pub mod pagerank;
+pub mod reference;
+pub mod sswp;
+pub mod sssp;
+
+pub use bfs::Bfs;
+pub use cc::ConnectedComponents;
+pub use circuit::CircuitSimulation;
+pub use heat::HeatSimulation;
+pub use msbfs::MultiSourceBfs;
+pub use nn::NeuralNetwork;
+pub use pagerank::PageRank;
+pub use reference::run_sequential;
+pub use sswp::Sswp;
+pub use sssp::Sssp;
+
+/// "Infinity" marker for the integer-valued path algorithms.
+pub const INF: u32 = u32::MAX;
+
+/// All benchmark names, in the paper's Table 2/4 column order.
+pub const BENCHMARK_NAMES: [&str; 8] =
+    ["BFS", "SSSP", "PR", "CC", "SSWP", "NN", "HS", "CS"];
+
+/// Asserts two `f32` slices agree within `tol` (used by the float-valued
+/// algorithms, whose different-but-equivalent execution orders stop within
+/// tolerance of the same fixed point).
+pub fn assert_approx_eq(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}

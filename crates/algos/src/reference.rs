@@ -1,0 +1,103 @@
+//! Sequential reference executor.
+//!
+//! Runs a [`VertexProgram`] with Gauss-Seidel sweeps over the in-edge CSR:
+//! each pass applies `init_compute` → `compute`(all in-edges) →
+//! `update_condition` to every vertex in index order, with updates
+//! immediately visible (matching CuSha's asynchronous visibility). For the
+//! monotone integer algorithms the unique fixed point makes this an *exact*
+//! oracle; for the float algorithms it stops within the same tolerance band
+//! as the parallel engines.
+
+use cusha_core::VertexProgram;
+use cusha_graph::{Csr, Graph};
+
+/// Result of a sequential run.
+#[derive(Clone, Debug)]
+pub struct SequentialOutput<V> {
+    /// Final vertex values.
+    pub values: Vec<V>,
+    /// Sweeps executed.
+    pub iterations: u32,
+    /// Whether a fixpoint was reached before `max_iterations`.
+    pub converged: bool,
+}
+
+/// Runs `prog` to convergence (or `max_iterations`) sequentially.
+pub fn run_sequential<P: VertexProgram>(
+    prog: &P,
+    g: &Graph,
+    max_iterations: u32,
+) -> SequentialOutput<P::V> {
+    let csr = Csr::from_graph(g);
+    let statics = prog.static_values(g);
+    let edge_values: Vec<P::E> = {
+        let by_edge_id = prog.edge_values(g);
+        csr.edge_ids().iter().map(|&id| by_edge_id[id as usize]).collect()
+    };
+    let n = g.num_vertices();
+    let mut values: Vec<P::V> = (0..n).map(|v| prog.initial_value(v)).collect();
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iterations {
+        iterations += 1;
+        let mut changed = false;
+        for v in 0..n {
+            let mut local = P::V::default();
+            prog.init_compute(&mut local, &values[v as usize]);
+            let r = csr.in_range(v);
+            for slot in r {
+                let src = csr.src_indxs()[slot] as usize;
+                let src_val = values[src];
+                prog.compute(&src_val, &statics[src], &edge_values[slot], &mut local);
+            }
+            if prog.update_condition(&mut local, &values[v as usize]) {
+                values[v as usize] = local;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    SequentialOutput { values, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::Bfs;
+    use crate::INF;
+    use cusha_graph::{Edge, Graph};
+
+    #[test]
+    fn bfs_on_a_path() {
+        let g = Graph::new(4, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(2, 3, 1)]);
+        let out = run_sequential(&Bfs::new(0), &g, 100);
+        assert!(out.converged);
+        assert_eq!(out.values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_converges_in_one_sweep() {
+        let g = Graph::empty(3);
+        let out = run_sequential(&Bfs::new(0), &g, 100);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.values, vec![0, INF, INF]);
+    }
+
+    #[test]
+    fn iteration_cap_reported() {
+        // A chain pointing against the sweep order needs one sweep per hop;
+        // capping at 1 leaves it unconverged.
+        let g = Graph::new(5, (0..4).map(|v| Edge::new(v + 1, v, 1)).collect());
+        let out = run_sequential(&Bfs::new(4), &g, 1);
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 1);
+        // Uncapped it reaches levels 4,3,2,1,0.
+        let full = run_sequential(&Bfs::new(4), &g, 100);
+        assert!(full.converged);
+        assert_eq!(full.values, vec![4, 3, 2, 1, 0]);
+    }
+}

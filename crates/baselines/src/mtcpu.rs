@@ -1,0 +1,239 @@
+//! The multithreaded CPU CSR baseline (paper Section 5.1, "MTCPU-CSR").
+//!
+//! A pthreads-style engine: `t` OS threads each own a contiguous range of
+//! vertices (adjacent in the CSR, as the paper specifies) and sweep their
+//! range every iteration, reading neighbour values from a shared
+//! lock-free array and writing only their own vertices. A barrier separates
+//! iterations; a relaxed atomic flag detects convergence. Times are real
+//! wall-clock measurements on the host.
+//!
+//! Values are stored as `AtomicU64` bit patterns ([`Value::to_bits`]); all
+//! cross-thread accesses are relaxed atomics, which is sound here because
+//! every algorithm tolerates reading a neighbour's value from either the
+//! current or the previous sweep (the usual asynchronous-iteration
+//! argument, and exactly what the racy pthreads original does — minus the
+//! undefined behaviour).
+
+use cusha_core::{IterationStat, RunStats, Value, VertexProgram};
+use cusha_graph::{Csr, Graph};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// MTCPU-CSR configuration.
+#[derive(Clone, Debug)]
+pub struct MtcpuConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Convergence-loop safety cap.
+    pub max_iterations: u32,
+}
+
+impl MtcpuConfig {
+    /// `threads` workers, default iteration cap.
+    pub fn new(threads: usize) -> Self {
+        MtcpuConfig { threads, max_iterations: 10_000 }
+    }
+}
+
+/// Output of an MTCPU run.
+#[derive(Clone, Debug)]
+pub struct MtcpuOutput<V> {
+    /// Final vertex values.
+    pub values: Vec<V>,
+    /// Run statistics (wall-clock compute time; no transfer components).
+    pub stats: RunStats,
+}
+
+/// Executes `prog` over `graph` with `cfg.threads` CPU threads.
+pub fn run_mtcpu<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &MtcpuConfig,
+) -> MtcpuOutput<P::V> {
+    assert!(cfg.threads > 0, "need at least one thread");
+    let csr = Csr::from_graph(graph);
+    let statics = prog.static_values(graph);
+    let edge_values: Vec<P::E> = {
+        let by_edge_id = prog.edge_values(graph);
+        csr.edge_ids().iter().map(|&id| by_edge_id[id as usize]).collect()
+    };
+    let n = graph.num_vertices() as usize;
+    let values: Vec<AtomicU64> = (0..graph.num_vertices())
+        .map(|v| AtomicU64::new(prog.initial_value(v).to_bits()))
+        .collect();
+
+    // Contiguous range per thread, remainder spread over the first ranges.
+    let t = cfg.threads.min(n.max(1));
+    let base = n / t;
+    let extra = n % t;
+    let range_of = |i: usize| {
+        let lo = i * base + i.min(extra);
+        let hi = lo + base + usize::from(i < extra);
+        lo..hi
+    };
+
+    let barrier = Barrier::new(t);
+    let changed = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let iterations = AtomicU64::new(0);
+    let updated_counts: Vec<AtomicU64> =
+        (0..cfg.max_iterations as usize).map(|_| AtomicU64::new(0)).collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..t {
+            let range = range_of(i);
+            let csr = &csr;
+            let statics = &statics;
+            let edge_values = &edge_values;
+            let values = &values;
+            let barrier = &barrier;
+            let changed = &changed;
+            let stop = &stop;
+            let iterations = &iterations;
+            let updated_counts = &updated_counts;
+            scope.spawn(move || {
+                let mut iter = 0usize;
+                loop {
+                    let mut local_updates = 0u64;
+                    for v in range.clone() {
+                        let old = P::V::from_bits(values[v].load(Ordering::Relaxed));
+                        let mut local = P::V::default();
+                        prog.init_compute(&mut local, &old);
+                        for slot in csr.in_range(v as u32) {
+                            let src = csr.src_indxs()[slot] as usize;
+                            let src_val =
+                                P::V::from_bits(values[src].load(Ordering::Relaxed));
+                            prog.compute(
+                                &src_val,
+                                &statics[src],
+                                &edge_values[slot],
+                                &mut local,
+                            );
+                        }
+                        if prog.update_condition(&mut local, &old) {
+                            values[v].store(local.to_bits(), Ordering::Relaxed);
+                            local_updates += 1;
+                        }
+                    }
+                    if local_updates > 0 {
+                        changed.store(true, Ordering::Relaxed);
+                        updated_counts[iter].fetch_add(local_updates, Ordering::Relaxed);
+                    }
+                    barrier.wait();
+                    // One thread evaluates the stop condition for all.
+                    if i == 0 {
+                        iterations.fetch_add(1, Ordering::Relaxed);
+                        let any = changed.swap(false, Ordering::Relaxed);
+                        let cap = iter + 1 >= cfg.max_iterations as usize;
+                        stop.store(!any || cap, Ordering::Relaxed);
+                    }
+                    barrier.wait();
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    iter += 1;
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let iters = iterations.load(Ordering::Relaxed) as u32;
+    let per_iteration: Vec<IterationStat> = (0..iters as usize)
+        .map(|k| IterationStat {
+            seconds: elapsed / iters.max(1) as f64,
+            updated_vertices: updated_counts[k].load(Ordering::Relaxed),
+        })
+        .collect();
+    let converged = iters < cfg.max_iterations
+        || per_iteration.last().map(|s| s.updated_vertices == 0).unwrap_or(true);
+    let out_values: Vec<P::V> = values
+        .iter()
+        .map(|a| P::V::from_bits(a.load(Ordering::Relaxed)))
+        .collect();
+    MtcpuOutput {
+        values: out_values,
+        stats: RunStats {
+            engine: format!("MTCPU-CSR/{}", cfg.threads),
+            iterations: iters,
+            converged,
+            compute_seconds: elapsed,
+            per_iteration,
+            ..Default::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_algos::assert_approx_eq;
+    use cusha_algos::bfs::{bfs_levels, Bfs};
+    use cusha_algos::pagerank::{pagerank_power_iteration, PageRank};
+    use cusha_algos::sssp::{dijkstra, Sssp};
+    use cusha_graph::generators::rmat::{rmat, RmatConfig};
+    use cusha_graph::Graph;
+
+    #[test]
+    fn single_thread_matches_oracles() {
+        let g = rmat(&RmatConfig::graph500(7, 800, 40));
+        let bfs = run_mtcpu(&Bfs::new(0), &g, &MtcpuConfig::new(1));
+        assert!(bfs.stats.converged);
+        assert_eq!(bfs.values, bfs_levels(&g, 0));
+        let sssp = run_mtcpu(&Sssp::new(0), &g, &MtcpuConfig::new(1));
+        assert_eq!(sssp.values, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn many_threads_match_oracles() {
+        let g = rmat(&RmatConfig::graph500(8, 2000, 41));
+        let oracle = bfs_levels(&g, 0);
+        for t in [2, 4, 8, 16] {
+            let out = run_mtcpu(&Bfs::new(0), &g, &MtcpuConfig::new(t));
+            assert!(out.stats.converged, "t={t}");
+            assert_eq!(out.values, oracle, "t={t}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_vertices_is_fine() {
+        let g = rmat(&RmatConfig::graph500(3, 20, 42));
+        let out = run_mtcpu(&Bfs::new(0), &g, &MtcpuConfig::new(64));
+        assert_eq!(out.values, bfs_levels(&g, 0));
+    }
+
+    #[test]
+    fn pagerank_parallel_matches_power_iteration() {
+        let g = rmat(&RmatConfig::graph500(7, 600, 43));
+        let oracle = pagerank_power_iteration(&g, 1e-9, 100_000);
+        let out = run_mtcpu(&PageRank::with_tolerance(1e-5), &g, &MtcpuConfig::new(4));
+        assert!(out.stats.converged);
+        assert_approx_eq(&out.values, &oracle, 2e-3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        let out = run_mtcpu(&Bfs::new(0), &g, &MtcpuConfig::new(4));
+        assert!(out.stats.converged);
+        assert_eq!(out.stats.iterations, 1);
+    }
+
+    #[test]
+    fn stats_measure_real_time() {
+        let g = rmat(&RmatConfig::graph500(8, 2000, 44));
+        let out = run_mtcpu(&Sssp::new(0), &g, &MtcpuConfig::new(2));
+        assert!(out.stats.compute_seconds > 0.0);
+        assert_eq!(out.stats.h2d_seconds, 0.0);
+        assert_eq!(out.stats.per_iteration.len(), out.stats.iterations as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let g = Graph::empty(1);
+        let _ = run_mtcpu(&Bfs::new(0), &g, &MtcpuConfig::new(0));
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Shared memory per SM** — the paper's concluding claim: more shared
+//!   memory allows larger `|N|`, larger windows, better G-Shards behaviour.
+//! * **Threads per block** — the launch-geometry knob the engine defaults
+//!   to 256.
+//! * **Shard size `|N|`** — autotuned vs deliberately mis-sized (the win
+//!   of the Section-4 selection rule).
+//! * **Device generation** — GTX 680 vs GTX 780 (SM count + bandwidth).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_algos::Sssp;
+use cusha_bench::bench_defs::default_source;
+use cusha_bench::experiments::{rmat_sweep_graph, scaled_n};
+use cusha_core::{run, CuShaConfig, Repr};
+use cusha_simt::DeviceConfig;
+use std::hint::black_box;
+
+const SCALE: u64 = 16384;
+
+fn bench(c: &mut Criterion) {
+    let g = rmat_sweep_graph(67_000_000, 16_000_000, SCALE);
+    let prog = Sssp::new(default_source(&g));
+
+    // (a) shared-memory ablation: autotuned |N| under each device.
+    for (name, dev) in [
+        ("gtx680", DeviceConfig::gtx680()),
+        ("gtx780", DeviceConfig::gtx780()),
+        ("big_shared", DeviceConfig::big_shared()),
+    ] {
+        c.bench_function(&format!("ablation/shared_mem/{name}/gs"), |b| {
+            let mut cfg = CuShaConfig::new(Repr::GShards);
+            cfg.device = dev.clone();
+            b.iter(|| black_box(run(&prog, &g, &cfg).stats.compute_seconds))
+        });
+    }
+
+    // (b) threads per block.
+    for tpb in [128u32, 256, 512] {
+        c.bench_function(&format!("ablation/threads_per_block/{tpb}"), |b| {
+            let mut cfg = CuShaConfig::new(Repr::ConcatWindows);
+            cfg.threads_per_block = tpb;
+            b.iter(|| black_box(run(&prog, &g, &cfg).stats.compute_seconds))
+        });
+    }
+
+    // (c) shard size: autotuned vs deliberately small vs deliberately big.
+    let auto = CuShaConfig::new(Repr::GShards);
+    let small = CuShaConfig::new(Repr::GShards)
+        .with_vertices_per_shard(scaled_n(512, SCALE));
+    let big = CuShaConfig::new(Repr::GShards)
+        .with_vertices_per_shard(scaled_n(6144, SCALE));
+    for (name, cfg) in [("autotuned", auto), ("small_n", small), ("big_n", big)] {
+        c.bench_function(&format!("ablation/shard_size/{name}"), |b| {
+            b.iter(|| black_box(run(&prog, &g, &cfg).stats.compute_seconds))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 10 bench: a run whose H2D/compute/D2H split is the figure's bar.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_graph::surrogates::Dataset;
+use std::hint::black_box;
+
+const SCALE: u64 = 16384;
+
+fn bench(c: &mut Criterion) {
+    let g = Dataset::LiveJournal.generate(SCALE);
+    c.bench_function("fig10/breakdown_cc_livejournal_cw", |b| {
+        b.iter(|| {
+            let s = Benchmark::Cc.run(&g, Engine::CuShaCw, 300);
+            black_box((s.h2d_seconds, s.compute_seconds, s.d2h_seconds))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 11 bench: window-histogram computation on a sweep graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_bench::experiments::{rmat_sweep_graph, scaled_n};
+use cusha_core::windows::WindowHistogram;
+use cusha_core::GShards;
+use std::hint::black_box;
+
+const SCALE: u64 = 16384;
+
+fn bench(c: &mut Criterion) {
+    let g = rmat_sweep_graph(67_000_000, 8_000_000, SCALE);
+    let n = scaled_n(3072, SCALE);
+    c.bench_function("fig11/gshards_67_8", |b| {
+        b.iter(|| black_box(GShards::from_graph(&g, n)))
+    });
+    let gs = GShards::from_graph(&g, n);
+    c.bench_function("fig11/window_histogram_67_8", |b| {
+        b.iter(|| black_box(WindowHistogram::of(&gs, 128).mean))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 12 bench: one GS-vs-CW sensitivity point (sparse graph, small
+//! |N| — the regime where the representations diverge most).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_algos::Sssp;
+use cusha_bench::bench_defs::default_source;
+use cusha_bench::experiments::{rmat_sweep_graph, scaled_n};
+use cusha_core::{run, CuShaConfig, Repr};
+use std::hint::black_box;
+
+const SCALE: u64 = 16384;
+
+fn bench(c: &mut Criterion) {
+    let g = rmat_sweep_graph(67_000_000, 16_000_000, SCALE);
+    let prog = Sssp::new(default_source(&g));
+    let n = scaled_n(1024, SCALE);
+    for (name, repr) in [("gs", Repr::GShards), ("cw", Repr::ConcatWindows)] {
+        c.bench_function(&format!("fig12/sssp_67_16_smallN/{name}"), |b| {
+            let cfg = CuShaConfig::new(repr).with_vertices_per_shard(n);
+            b.iter(|| black_box(run(&prog, &g, &cfg).stats.total_ms()))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

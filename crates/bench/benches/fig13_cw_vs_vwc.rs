@@ -1,0 +1,34 @@
+//! Figure 13 bench: CW vs the VWC warp-size sweep on one RMAT graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_algos::Sssp;
+use cusha_baselines::{run_vwc, VwcConfig};
+use cusha_bench::bench_defs::default_source;
+use cusha_bench::experiments::{rmat_sweep_graph, scaled_n};
+use cusha_core::{run, CuShaConfig, Repr};
+use std::hint::black_box;
+
+const SCALE: u64 = 16384;
+
+fn bench(c: &mut Criterion) {
+    let g = rmat_sweep_graph(67_000_000, 8_000_000, SCALE);
+    let prog = Sssp::new(default_source(&g));
+    c.bench_function("fig13/sssp_67_8/cw", |b| {
+        let cfg = CuShaConfig::new(Repr::ConcatWindows)
+            .with_vertices_per_shard(scaled_n(3072, SCALE));
+        b.iter(|| black_box(run(&prog, &g, &cfg).stats.total_ms()))
+    });
+    for vw in [2usize, 8, 32] {
+        c.bench_function(&format!("fig13/sssp_67_8/vwc{vw}"), |b| {
+            let cfg = VwcConfig::new(vw);
+            b.iter(|| black_box(run_vwc(&prog, &g, &cfg).stats.total_ms()))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

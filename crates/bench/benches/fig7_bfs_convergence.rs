@@ -1,0 +1,27 @@
+//! Figure 7 bench: BFS convergence loop (iteration series source).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_algos::Bfs;
+use cusha_bench::bench_defs::default_source;
+use cusha_core::{run, CuShaConfig};
+use cusha_graph::surrogates::Dataset;
+use std::hint::black_box;
+
+const SCALE: u64 = 4096;
+
+fn bench(c: &mut Criterion) {
+    let g = Dataset::RoadNetCA.generate(SCALE);
+    let prog = Bfs::new(default_source(&g));
+    for (name, cfg) in [("gs", CuShaConfig::gs()), ("cw", CuShaConfig::cw())] {
+        c.bench_function(&format!("fig7/bfs_roadnet/{name}"), |b| {
+            b.iter(|| black_box(run(&prog, &g, &cfg).stats.iterations))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 8 bench: the profiled kernels whose efficiency averages form the
+//! figure (LiveJournal surrogate, heavily scaled for bench time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_graph::surrogates::Dataset;
+use std::hint::black_box;
+
+const SCALE: u64 = 16384;
+
+fn bench(c: &mut Criterion) {
+    let g = Dataset::LiveJournal.generate(SCALE);
+    for (name, e) in [
+        ("cusha_gs", Engine::CuShaGs),
+        ("cusha_cw", Engine::CuShaCw),
+        ("vwc8", Engine::Vwc(8)),
+    ] {
+        c.bench_function(&format!("fig8/pr_livejournal/{name}"), |b| {
+            b.iter(|| {
+                let stats = Benchmark::Pr.run(&g, e, 200);
+                black_box((
+                    stats.kernel.gld_efficiency(),
+                    stats.kernel.gst_efficiency(),
+                    stats.kernel.warp_execution_efficiency(),
+                ))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

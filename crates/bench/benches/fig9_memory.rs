@@ -1,0 +1,39 @@
+//! Figure 9 bench: footprint-model evaluation over all graphs/benchmarks
+//! (pure arithmetic; establishes it is cheap enough to run per-allocation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_bench::bench_defs::Benchmark;
+use cusha_core::memsize::{csr_bytes, cw_bytes, gshards_bytes};
+use cusha_core::select_vertices_per_shard;
+use cusha_graph::surrogates::Dataset;
+use cusha_simt::DeviceConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let dev = DeviceConfig::gtx780();
+    c.bench_function("fig9/footprints_all_graphs_all_benchmarks", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for ds in Dataset::ALL {
+                let (e, v) = ds.paper_size();
+                for bench in Benchmark::ALL {
+                    let s = bench.value_sizes();
+                    let n = select_vertices_per_shard(v, e, s.vertex.max(1), &dev, 2) as u64;
+                    let p = v.div_ceil(n).max(1);
+                    acc = acc
+                        .wrapping_add(csr_bytes(v, e, s))
+                        .wrapping_add(gshards_bytes(v, e, p, s))
+                        .wrapping_add(cw_bytes(v, e, p, s));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

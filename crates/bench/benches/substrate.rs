@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the substrates: shard/CW construction, CSR
+//! construction, generators, and raw simulator kernel throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_core::{ConcatWindows, GShards};
+use cusha_graph::generators::rmat::{rmat, RmatConfig};
+use cusha_graph::Csr;
+use cusha_simt::{warp_chunks, DeviceConfig, Gpu, KernelDesc, Mask};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(13, 1 << 16, 99));
+
+    c.bench_function("substrate/rmat_generate_64k_edges", |b| {
+        b.iter(|| black_box(rmat(&RmatConfig::graph500(13, 1 << 16, 7))))
+    });
+
+    c.bench_function("substrate/csr_from_graph", |b| {
+        b.iter(|| black_box(Csr::from_graph(&g)))
+    });
+
+    c.bench_function("substrate/gshards_from_graph_n512", |b| {
+        b.iter(|| black_box(GShards::from_graph(&g, 512)))
+    });
+
+    let gs = GShards::from_graph(&g, 512);
+    c.bench_function("substrate/cw_from_gshards", |b| {
+        b.iter(|| black_box(ConcatWindows::from_gshards(&gs)))
+    });
+
+    c.bench_function("substrate/simt_coalesced_copy_64k", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::gtx780());
+            let src = gpu.upload(&vec![1u32; 1 << 16]);
+            let mut dst = gpu.alloc::<u32>(1 << 16);
+            let desc = KernelDesc::new("copy", 64, 256);
+            gpu.launch(&desc, |blk| {
+                let base = blk.id() as usize * 1024;
+                for (start, mask) in warp_chunks(1024) {
+                    let vals = blk.gload(&src, mask, |l| base + start + l);
+                    blk.gstore(&mut dst, mask, |l| base + start + l, |l| vals[l]);
+                }
+            });
+            black_box(dst.host()[0])
+        })
+    });
+
+    c.bench_function("substrate/simt_gather_64k", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::gtx780());
+            let src = gpu.upload(&(0..1u32 << 16).collect::<Vec<_>>());
+            let desc = KernelDesc::new("gather", 64, 256);
+            let stats = gpu.launch(&desc, |blk| {
+                let base = blk.id() as usize * 1024;
+                for (start, mask) in warp_chunks(1024) {
+                    // Strided gather: worst-case coalescing.
+                    black_box(blk.gload(&src, mask, |l| (base + start + l * 37) % (1 << 16)));
+                }
+            });
+            black_box(stats.counters.gld_transactions)
+        })
+    });
+
+    c.bench_function("substrate/mask_ops", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for n in 0..=32 {
+                acc += black_box(Mask::first(n)).count();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 2 bench: VWC-CSR efficiency profiling run (the measurement whose
+//! min/max ranges populate Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_graph::surrogates::Dataset;
+use std::hint::black_box;
+
+const SCALE: u64 = 4096;
+
+fn bench(c: &mut Criterion) {
+    let g = Dataset::WebGoogle.generate(SCALE);
+    for vw in [4usize, 32] {
+        c.bench_function(&format!("table2/vwc{vw}_bfs_webgoogle"), |b| {
+            b.iter(|| black_box(Benchmark::Bfs.run(&g, Engine::Vwc(vw), 300)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

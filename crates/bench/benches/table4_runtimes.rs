@@ -1,0 +1,29 @@
+//! Table 4 bench: one (graph, benchmark) cell per engine — the runtime
+//! measurement whose full matrix populates Table 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_graph::surrogates::Dataset;
+use std::hint::black_box;
+
+const SCALE: u64 = 4096;
+
+fn bench(c: &mut Criterion) {
+    let g = Dataset::Amazon0312.generate(SCALE);
+    for (name, e) in [
+        ("cusha_cw", Engine::CuShaCw),
+        ("cusha_gs", Engine::CuShaGs),
+        ("vwc8", Engine::Vwc(8)),
+    ] {
+        c.bench_function(&format!("table4/sssp_amazon/{name}"), |b| {
+            b.iter(|| black_box(Benchmark::Sssp.run(&g, e, 300)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

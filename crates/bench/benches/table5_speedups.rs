@@ -1,0 +1,30 @@
+//! Table 5 bench: measures the CuSha-vs-VWC pair on one cell and reports
+//! both runtimes (the speedup ratio is Table 5's content).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_graph::surrogates::Dataset;
+use std::hint::black_box;
+
+const SCALE: u64 = 4096;
+
+fn bench(c: &mut Criterion) {
+    let g = Dataset::Pokec.generate(SCALE);
+    for (name, e) in [
+        ("cusha_gs", Engine::CuShaGs),
+        ("cusha_cw", Engine::CuShaCw),
+        ("vwc2", Engine::Vwc(2)),
+        ("vwc32", Engine::Vwc(32)),
+    ] {
+        c.bench_function(&format!("table5/pr_pokec/{name}"), |b| {
+            b.iter(|| black_box(Benchmark::Pr.run(&g, e, 200)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

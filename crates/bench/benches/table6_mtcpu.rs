@@ -1,0 +1,28 @@
+//! Table 6 bench: the MTCPU-CSR baseline at several thread counts against
+//! CuSha-CW on the same cell (Table 6's speedup numerator/denominator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_graph::surrogates::Dataset;
+use std::hint::black_box;
+
+const SCALE: u64 = 4096;
+
+fn bench(c: &mut Criterion) {
+    let g = Dataset::Amazon0312.generate(SCALE);
+    for t in [1usize, 4] {
+        c.bench_function(&format!("table6/bfs_amazon/mtcpu{t}"), |b| {
+            b.iter(|| black_box(Benchmark::Bfs.run(&g, Engine::Mtcpu(t), 300)))
+        });
+    }
+    c.bench_function("table6/bfs_amazon/cusha_cw", |b| {
+        b.iter(|| black_box(Benchmark::Bfs.run(&g, Engine::CuShaCw, 300)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 7 bench: the full BFS traversal whose edges/second is TEPS.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_graph::surrogates::Dataset;
+use std::hint::black_box;
+
+const SCALE: u64 = 4096;
+
+fn bench(c: &mut Criterion) {
+    let g = Dataset::HiggsTwitter.generate(SCALE);
+    let mut group = c.benchmark_group("table7");
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    for (name, e) in [
+        ("bfs_higgs/cusha_cw", Engine::CuShaCw),
+        ("bfs_higgs/cusha_gs", Engine::CuShaGs),
+        ("bfs_higgs/vwc16", Engine::Vwc(16)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(Benchmark::Bfs.run(&g, e, 300)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! `repro` — regenerates every table and figure of the CuSha paper.
+//!
+//! ```text
+//! repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
+//!       [--out-dir DIR] [--verbose]
+//!
+//! ARTIFACT: all (default) | layouts | table1 | table2 | table4 | table5 |
+//!           table6 | table7 | fig1 | fig7 | fig8 | fig9 | fig10 | fig11 |
+//!           fig12 | fig13 | ablation
+//!
+//! --scale N       dataset surrogate scale divisor (default 64;
+//!                 1 = full Table-1 sizes)
+//! --rmat-scale N  RMAT sweep scale divisor for fig11/12/13 (default 64)
+//! --max-iters N   convergence-loop cap (default 300)
+//! --out-dir DIR   also write each artifact report and the raw matrix CSV
+//! --verbose       stream per-cell progress to stderr
+//! ```
+
+use cusha_baselines::{MTCPU_THREADS, VIRTUAL_WARP_SIZES};
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_bench::experiments::{self, Ctx};
+use cusha_bench::matrix::{run_matrix, MatrixResult};
+use cusha_graph::surrogates::Dataset;
+
+const MATRIX_ARTIFACTS: [&str; 7] =
+    ["table2", "table4", "table5", "table6", "table7", "fig7", "fig8"];
+const ALL_ARTIFACTS: [&str; 16] = [
+    "layouts", "table1", "fig1", "table2", "table4", "table5", "table6", "table7", "fig7",
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = Ctx::default();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut out_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                ctx.scale = parse(&args, i, "--scale");
+            }
+            "--rmat-scale" => {
+                i += 1;
+                ctx.rmat_scale = parse(&args, i, "--rmat-scale");
+            }
+            "--max-iters" => {
+                i += 1;
+                ctx.max_iterations = parse(&args, i, "--max-iters") as u32;
+            }
+            "--verbose" | "-v" => ctx.verbose = true,
+            "--out-dir" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out-dir needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return;
+            }
+            a if a.starts_with('-') => {
+                eprintln!("unknown flag {a}\n{HELP}");
+                std::process::exit(2);
+            }
+            a => artifacts.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
+        artifacts = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
+    }
+    for a in &artifacts {
+        if !ALL_ARTIFACTS.contains(&a.as_str()) {
+            eprintln!("unknown artifact {a}\n{HELP}");
+            std::process::exit(2);
+        }
+    }
+    let needs_mtcpu = artifacts.iter().any(|a| a == "table6");
+    let needs_matrix = artifacts.iter().any(|a| MATRIX_ARTIFACTS.contains(&a.as_str()));
+
+    eprintln!(
+        "repro: scale 1/{}, rmat scale 1/{}, max {} iterations",
+        ctx.scale, ctx.rmat_scale, ctx.max_iterations
+    );
+    let matrix: Option<MatrixResult> = needs_matrix.then(|| {
+        let mut engines = vec![Engine::CuShaGs, Engine::CuShaCw];
+        engines.extend(VIRTUAL_WARP_SIZES.iter().map(|&vw| Engine::Vwc(vw)));
+        if needs_mtcpu {
+            engines.extend(MTCPU_THREADS.iter().map(|&t| Engine::Mtcpu(t)));
+        }
+        eprintln!(
+            "repro: computing {}x{}x{} result matrix...",
+            Dataset::ALL.len(),
+            Benchmark::ALL.len(),
+            engines.len()
+        );
+        run_matrix(
+            &Dataset::ALL,
+            &Benchmark::ALL,
+            &engines,
+            ctx.scale,
+            ctx.max_iterations,
+            ctx.verbose,
+        )
+    });
+    if let (Some(dir), Some(m)) = (&out_dir, &matrix) {
+        std::fs::create_dir_all(dir).expect("create --out-dir");
+        let path = format!("{dir}/matrix.csv");
+        std::fs::write(&path, m.to_csv()).expect("write matrix.csv");
+        eprintln!("repro: wrote {path}");
+    }
+
+    for a in &artifacts {
+        let report = match a.as_str() {
+            "layouts" => experiments::layouts::run(),
+            "table1" => experiments::table1::run(&ctx),
+            "fig1" => experiments::fig1::run(&ctx),
+            "table2" => experiments::table2::run(matrix.as_ref().unwrap()),
+            "table4" => experiments::table4::run(matrix.as_ref().unwrap()),
+            "table5" => experiments::table5::run(matrix.as_ref().unwrap()),
+            "table6" => experiments::table6::run(matrix.as_ref().unwrap()),
+            "table7" => experiments::table7::run(matrix.as_ref().unwrap()),
+            "fig7" => experiments::fig7::run(matrix.as_ref().unwrap()),
+            "fig8" => experiments::fig8::run(matrix.as_ref().unwrap()),
+            "fig9" => experiments::fig9::run(&ctx),
+            "fig10" => experiments::fig10::run(matrix.as_ref().unwrap()),
+            "fig11" => experiments::fig11::run(&ctx),
+            "fig12" => experiments::fig12::run(&ctx),
+            "fig13" => experiments::fig13::run(&ctx),
+            "ablation" => experiments::ablation::run_all(&ctx),
+            _ => unreachable!(),
+        };
+        println!("{report}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create --out-dir");
+            let path = format!("{dir}/{a}.txt");
+            std::fs::write(&path, &report).expect("write artifact report");
+        }
+    }
+}
+
+fn parse(args: &[String], i: usize, flag: &str) -> u64 {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a positive integer");
+            std::process::exit(2);
+        })
+}
+
+const HELP: &str = "\
+repro — regenerate the CuSha paper's tables and figures
+
+usage: repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
+             [--out-dir DIR] [--verbose]
+
+artifacts: all layouts table1 fig1 table2 table4 table5 table6 table7
+           fig7 fig8 fig9 fig10 fig11 fig12 fig13 ablation
+";

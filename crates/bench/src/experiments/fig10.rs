@@ -1,0 +1,73 @@
+//! Figure 10: time breakdown on LiveJournal — host-to-device copy, GPU
+//! execution, and device-to-host copy — for CuSha-CW, CuSha-GS, and the
+//! best VWC-CSR configuration, per benchmark.
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::matrix::{CellResult, MatrixResult};
+use crate::table::{fmt_ms, Table};
+use cusha_graph::surrogates::Dataset;
+
+fn row_of(cell: &CellResult, label: &str, b: Benchmark, first: bool) -> [String; 6] {
+    let s = &cell.stats;
+    [
+        if first { b.name().to_string() } else { String::new() },
+        label.to_string(),
+        fmt_ms(s.h2d_seconds * 1e3),
+        fmt_ms(s.compute_seconds * 1e3),
+        fmt_ms(s.d2h_seconds * 1e3),
+        fmt_ms(s.total_ms()),
+    ]
+}
+
+/// Renders Figure 10 from the shared result matrix.
+pub fn run(matrix: &MatrixResult) -> String {
+    let ds = Dataset::LiveJournal;
+    let mut t = Table::new(format!(
+        "Figure 10: time breakdown on LiveJournal, ms (scale 1/{})",
+        matrix.scale
+    ))
+    .header(["Benchmark", "Engine", "H2D copy", "GPU exec", "D2H copy", "Total"]);
+    for b in Benchmark::ALL {
+        let mut first = true;
+        for (label, cell) in [
+            ("CuSha-CW", matrix.get(ds, b, Engine::CuShaCw)),
+            ("CuSha-GS", matrix.get(ds, b, Engine::CuShaGs)),
+            ("best VWC-CSR", matrix.best_vwc(ds, b)),
+        ] {
+            if let Some(cell) = cell {
+                t.row(row_of(cell, label, b, first));
+                first = false;
+            }
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let m = run_matrix(
+            &[Dataset::LiveJournal],
+            &[Benchmark::Bfs],
+            &[Engine::CuShaCw, Engine::Vwc(8)],
+            8192,
+            300,
+            false,
+        );
+        let cell = m.get(Dataset::LiveJournal, Benchmark::Bfs, Engine::CuShaCw).unwrap();
+        let s = &cell.stats;
+        assert!(
+            ((s.h2d_seconds + s.compute_seconds + s.d2h_seconds) - s.total_seconds()).abs()
+                < 1e-12
+        );
+        // CuSha's H2D is heavier than VWC's (bigger representation).
+        let vwc = m.get(Dataset::LiveJournal, Benchmark::Bfs, Engine::Vwc(8)).unwrap();
+        assert!(s.h2d_seconds > vwc.stats.h2d_seconds);
+        let rendered = run(&m);
+        assert!(rendered.contains("H2D copy"));
+    }
+}

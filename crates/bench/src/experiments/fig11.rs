@@ -1,0 +1,104 @@
+//! Figure 11: frequency of window sizes (0..=128) under varying (a) graph
+//! size, (b) sparsity, and (c) vertices-per-shard `|N|`, on RMAT graphs.
+//!
+//! Graphs are scaled by `ctx.rmat_scale`; `|N|` is scaled by its square
+//! root so window sizes are preserved (`|E||N|²/|V|²`).
+
+use crate::experiments::{rmat_sweep_graph, scaled_n, Ctx};
+use crate::table::{fmt_pct, Table};
+use cusha_core::windows::WindowHistogram;
+use cusha_core::GShards;
+
+const CAP: usize = 128;
+
+fn histogram_row(name: &str, edges: u64, vertices: u64, n_full: u32, ctx: &Ctx) -> [String; 6] {
+    let g = rmat_sweep_graph(edges, vertices, ctx.rmat_scale);
+    let n = scaled_n(n_full, ctx.rmat_scale);
+    let gs = GShards::from_graph(&g, n);
+    let h = WindowHistogram::of(&gs, CAP);
+    let bucket = |lo: usize, hi: usize| -> u64 { h.counts[lo..=hi].iter().sum() };
+    [
+        format!("{name} |N|={n_full}"),
+        format!("{:.1}", h.mean),
+        fmt_pct(h.sub_warp_fraction()),
+        bucket(0, 7).to_string(),
+        bucket(8, 31).to_string(),
+        (h.total_windows - bucket(0, 31)).to_string(),
+    ]
+}
+
+/// Renders Figure 11 (all three panels).
+pub fn run(ctx: &Ctx) -> String {
+    let header = ["Graph", "mean window", "windows < warp", "size 0-7", "size 8-31", "size >= 32"];
+    let mut out = String::new();
+
+    let mut a = Table::new(format!(
+        "Figure 11(a): graph size effect, |N|=3k full-scale (rmat scale 1/{})",
+        ctx.rmat_scale
+    ))
+    .header(header);
+    for (name, e, v) in [("16_2", 16_000_000u64, 2_000_000u64), ("67_8", 67_000_000, 8_000_000), ("134_16", 134_000_000, 16_000_000)] {
+        a.row(histogram_row(name, e, v, 3072, ctx));
+    }
+    out.push_str(&a.render());
+    out.push('\n');
+
+    let mut b = Table::new(format!(
+        "Figure 11(b): sparsity effect, |E|=67M, |N|=3k full-scale (rmat scale 1/{})",
+        ctx.rmat_scale
+    ))
+    .header(header);
+    for (name, e, v) in [("67_4", 67_000_000u64, 4_000_000u64), ("67_8", 67_000_000, 8_000_000), ("67_16", 67_000_000, 16_000_000)] {
+        b.row(histogram_row(name, e, v, 3072, ctx));
+    }
+    out.push_str(&b.render());
+    out.push('\n');
+
+    let mut c = Table::new(format!(
+        "Figure 11(c): |N| effect on 67_8 (rmat scale 1/{})",
+        ctx.rmat_scale
+    ))
+    .header(header);
+    for n_full in [1024u32, 2048, 3072, 6144] {
+        c.row(histogram_row("67_8", 67_000_000, 8_000_000, n_full, ctx));
+    }
+    out.push_str(&c.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Ctx {
+        Ctx { rmat_scale: 4096, ..Default::default() }
+    }
+
+    #[test]
+    fn sparser_graphs_have_more_subwarp_windows() {
+        let c = ctx();
+        let dense = histogram_row("67_4", 67_000_000, 4_000_000, 3072, &c);
+        let sparse = histogram_row("67_16", 67_000_000, 16_000_000, 3072, &c);
+        let mean_dense: f64 = dense[1].parse().unwrap();
+        let mean_sparse: f64 = sparse[1].parse().unwrap();
+        assert!(mean_sparse < mean_dense);
+    }
+
+    #[test]
+    fn larger_n_grows_windows() {
+        let c = ctx();
+        let small = histogram_row("67_8", 67_000_000, 8_000_000, 1024, &c);
+        let large = histogram_row("67_8", 67_000_000, 8_000_000, 6144, &c);
+        let m_small: f64 = small[1].parse().unwrap();
+        let m_large: f64 = large[1].parse().unwrap();
+        assert!(m_large > m_small * 4.0, "{m_small} -> {m_large}");
+    }
+
+    #[test]
+    fn renders_three_panels() {
+        let s = run(&ctx());
+        assert!(s.contains("Figure 11(a)"));
+        assert!(s.contains("Figure 11(b)"));
+        assert!(s.contains("Figure 11(c)"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 12: CuSha running time with G-Shards vs Concatenated Windows on
+//! the RMAT sweep, across shard sizes — normalized to the fastest
+//! configuration, SSSP benchmark.
+//!
+//! Demonstrates G-Shards' sensitivity to graph size, sparsity and `|N|`
+//! (Section 5.2): CW stays flat where GS degrades on large sparse graphs
+//! with small windows.
+
+use crate::bench_defs::default_source;
+use crate::experiments::{rmat_sweep_graph, scaled_n, Ctx, RMAT_SWEEP};
+use crate::table::Table;
+use cusha_algos::Sssp;
+use cusha_core::{run as run_cusha, CuShaConfig, Repr};
+
+/// `(graph, |N| full-scale, GS ms, CW ms)` for every sweep point.
+pub fn sweep(ctx: &Ctx) -> Vec<(String, u32, f64, f64)> {
+    let mut rows = Vec::new();
+    for (name, e, v) in RMAT_SWEEP {
+        let g = rmat_sweep_graph(e, v, ctx.rmat_scale);
+        let prog = Sssp::new(default_source(&g));
+        for n_full in [1024u32, 2048, 3072] {
+            let n = scaled_n(n_full, ctx.rmat_scale);
+            let mut ms = [0.0f64; 2];
+            for (i, repr) in [Repr::GShards, Repr::ConcatWindows].into_iter().enumerate() {
+                let mut cfg = CuShaConfig::new(repr).with_vertices_per_shard(n);
+                cfg.max_iterations = ctx.max_iterations;
+                ms[i] = run_cusha(&prog, &g, &cfg).stats.total_ms();
+            }
+            rows.push((name.to_string(), n_full, ms[0], ms[1]));
+        }
+    }
+    rows
+}
+
+/// Renders Figure 12.
+pub fn run(ctx: &Ctx) -> String {
+    let rows = sweep(ctx);
+    let best = rows
+        .iter()
+        .flat_map(|r| [r.2, r.3])
+        .fold(f64::INFINITY, f64::min);
+    let mut t = Table::new(format!(
+        "Figure 12: SSSP time normalized to fastest, GS vs CW (rmat scale 1/{})",
+        ctx.rmat_scale
+    ))
+    .header(["Graph", "|N| (full-scale)", "GS (norm)", "CW (norm)", "GS/CW"]);
+    for (name, n_full, gs_ms, cw_ms) in rows {
+        t.row([
+            name,
+            n_full.to_string(),
+            format!("{:.2}", gs_ms / best),
+            format!("{:.2}", cw_ms / best),
+            format!("{:.2}", gs_ms / cw_ms),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cw_beats_gs_on_the_sparsest_small_n_point() {
+        // The paper's headline sensitivity claim: with small |N| on a large
+        // sparse graph, GS degrades while CW holds up. The effect needs a
+        // graph big enough that stage-4 work dominates launch overhead.
+        let ctx = Ctx { rmat_scale: 1024, max_iterations: 100, ..Default::default() };
+        let g = rmat_sweep_graph(67_000_000, 16_000_000, ctx.rmat_scale);
+        let prog = Sssp::new(default_source(&g));
+        let n = scaled_n(1024, ctx.rmat_scale);
+        let gs = {
+            let cfg = CuShaConfig::new(Repr::GShards).with_vertices_per_shard(n);
+            run_cusha(&prog, &g, &cfg).stats.total_ms()
+        };
+        let cw = {
+            let cfg = CuShaConfig::new(Repr::ConcatWindows).with_vertices_per_shard(n);
+            run_cusha(&prog, &g, &cfg).stats.total_ms()
+        };
+        assert!(
+            cw < gs,
+            "CW ({cw:.2} ms) should beat GS ({gs:.2} ms) on sparse graphs with small |N|"
+        );
+    }
+}

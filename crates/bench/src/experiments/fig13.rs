@@ -1,0 +1,79 @@
+//! Figure 13: CuSha-CW speedup over VWC-CSR with virtual warp sizes 2, 4,
+//! 8, 16 and 32, on the RMAT sweep graphs (SSSP, `|N| = 3k` full-scale).
+
+use crate::bench_defs::default_source;
+use crate::experiments::{rmat_sweep_graph, scaled_n, Ctx, RMAT_SWEEP};
+use crate::table::{fmt_speedup, Table};
+use cusha_algos::Sssp;
+use cusha_baselines::{run_vwc, VwcConfig, VIRTUAL_WARP_SIZES};
+use cusha_core::{run as run_cusha, CuShaConfig, Repr};
+
+/// `(graph_name, cw_ms, [vwc_ms by warp size])` for every sweep graph.
+pub fn sweep(ctx: &Ctx) -> Vec<(String, f64, Vec<f64>)> {
+    let mut rows = Vec::new();
+    for (name, e, v) in RMAT_SWEEP {
+        let g = rmat_sweep_graph(e, v, ctx.rmat_scale);
+        let prog = Sssp::new(default_source(&g));
+        let n = scaled_n(3072, ctx.rmat_scale);
+        let cw_ms = {
+            let mut cfg = CuShaConfig::new(Repr::ConcatWindows).with_vertices_per_shard(n);
+            cfg.max_iterations = ctx.max_iterations;
+            run_cusha(&prog, &g, &cfg).stats.total_ms()
+        };
+        let vwc_ms: Vec<f64> = VIRTUAL_WARP_SIZES
+            .iter()
+            .map(|&vw| {
+                let mut cfg = VwcConfig::new(vw);
+                cfg.max_iterations = ctx.max_iterations;
+                run_vwc(&prog, &g, &cfg).stats.total_ms()
+            })
+            .collect();
+        rows.push((name.to_string(), cw_ms, vwc_ms));
+    }
+    rows
+}
+
+/// Renders Figure 13.
+pub fn run(ctx: &Ctx) -> String {
+    let mut t = Table::new(format!(
+        "Figure 13: CW speedup over VWC-CSR per virtual warp size, SSSP (rmat scale 1/{})",
+        ctx.rmat_scale
+    ))
+    .header(
+        std::iter::once("Graph".to_string())
+            .chain(VIRTUAL_WARP_SIZES.iter().map(|vw| format!("vs VWC/{vw}"))),
+    );
+    for (name, cw_ms, vwc_ms) in sweep(ctx) {
+        let mut row = vec![name];
+        row.extend(vwc_ms.iter().map(|&ms| fmt_speedup(ms / cw_ms)));
+        t.row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_baselines::VwcConfig;
+
+    #[test]
+    fn cw_beats_every_vwc_config_on_a_sweep_graph() {
+        // Needs a graph large enough that per-iteration memory traffic
+        // dominates the fixed per-iteration launch/readback latency.
+        let ctx = Ctx { rmat_scale: 256, max_iterations: 100, ..Default::default() };
+        let g = rmat_sweep_graph(67_000_000, 8_000_000, ctx.rmat_scale);
+        let prog = Sssp::new(default_source(&g));
+        let n = scaled_n(3072, ctx.rmat_scale);
+        let cw = {
+            let cfg = CuShaConfig::new(Repr::ConcatWindows).with_vertices_per_shard(n);
+            run_cusha(&prog, &g, &cfg).stats.total_ms()
+        };
+        for vw in [2usize, 32] {
+            let vwc = run_vwc(&prog, &g, &VwcConfig::new(vw)).stats.total_ms();
+            assert!(
+                cw < vwc,
+                "CW ({cw:.2} ms) should beat VWC/{vw} ({vwc:.2} ms)"
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 7: BFS traversal progress — vertices updated per iteration over
+//! cumulative time, for CuSha-CW, CuSha-GS, and the best VWC-CSR.
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::matrix::{CellResult, MatrixResult};
+use crate::table::Table;
+use cusha_graph::surrogates::Dataset;
+
+fn series(cell: &CellResult) -> Vec<(f64, u64)> {
+    let mut t = 0.0;
+    cell.stats
+        .per_iteration
+        .iter()
+        .map(|it| {
+            t += it.seconds;
+            (t * 1e3, it.updated_vertices)
+        })
+        .collect()
+}
+
+/// Renders Figure 7 from the shared result matrix.
+pub fn run(matrix: &MatrixResult) -> String {
+    let mut out = String::new();
+    for ds in Dataset::ALL {
+        let cw = matrix.get(ds, Benchmark::Bfs, Engine::CuShaCw);
+        let gs = matrix.get(ds, Benchmark::Bfs, Engine::CuShaGs);
+        let vwc = matrix.best_vwc(ds, Benchmark::Bfs);
+        let engines: Vec<(&str, &CellResult)> = [
+            cw.map(|c| ("CuSha-CW", c)),
+            gs.map(|c| ("CuSha-GS", c)),
+            vwc.map(|c| ("best VWC-CSR", c)),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if engines.is_empty() {
+            continue;
+        }
+        let mut t = Table::new(format!(
+            "Figure 7 [{}]: vertices updated per BFS iteration over time (scale 1/{})",
+            ds.name(),
+            matrix.scale
+        ))
+        .header(["Engine", "iter", "cumulative ms", "updated vertices"]);
+        for (label, cell) in engines {
+            for (i, (ms, updated)) in series(cell).into_iter().enumerate() {
+                t.row([
+                    if i == 0 { label.to_string() } else { String::new() },
+                    (i + 1).to_string(),
+                    format!("{ms:.3}"),
+                    updated.to_string(),
+                ]);
+            }
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+
+    #[test]
+    fn series_accumulates_time() {
+        let m = run_matrix(
+            &[Dataset::Amazon0312],
+            &[Benchmark::Bfs],
+            &[Engine::CuShaCw, Engine::Vwc(8)],
+            2048,
+            300,
+            false,
+        );
+        let cell = m.get(Dataset::Amazon0312, Benchmark::Bfs, Engine::CuShaCw).unwrap();
+        let s = series(cell);
+        assert_eq!(s.len(), cell.stats.iterations as usize);
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0), "time is cumulative");
+        let rendered = run(&m);
+        assert!(rendered.contains("CuSha-CW"));
+        assert!(rendered.contains("best VWC-CSR"));
+    }
+}

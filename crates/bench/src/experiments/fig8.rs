@@ -1,0 +1,92 @@
+//! Figure 8: average profiled efficiencies (global store, global load,
+//! warp execution) of best-VWC-CSR vs CuSha-GS vs CuSha-CW on LiveJournal.
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::matrix::MatrixResult;
+use crate::table::{fmt_pct, Table};
+use cusha_graph::surrogates::Dataset;
+
+struct Avg {
+    gst: f64,
+    gld: f64,
+    warp: f64,
+    n: usize,
+}
+
+fn average(matrix: &MatrixResult, pick: impl Fn(Benchmark) -> Option<Engine>) -> Option<Avg> {
+    let mut acc = Avg { gst: 0.0, gld: 0.0, warp: 0.0, n: 0 };
+    for b in Benchmark::ALL {
+        let Some(engine) = pick(b) else { continue };
+        let Some(cell) = matrix.get(Dataset::LiveJournal, b, engine) else {
+            continue;
+        };
+        acc.gst += cell.stats.kernel.gst_efficiency();
+        acc.gld += cell.stats.kernel.gld_efficiency();
+        acc.warp += cell.stats.kernel.warp_execution_efficiency();
+        acc.n += 1;
+    }
+    (acc.n > 0).then_some(Avg {
+        gst: acc.gst / acc.n as f64,
+        gld: acc.gld / acc.n as f64,
+        warp: acc.warp / acc.n as f64,
+        n: acc.n,
+    })
+}
+
+/// Engine-picking closure per benchmark (best-VWC is benchmark-dependent).
+type EnginePick<'a> = Box<dyn Fn(Benchmark) -> Option<Engine> + 'a>;
+
+/// Renders Figure 8 from the shared result matrix.
+pub fn run(matrix: &MatrixResult) -> String {
+    let mut t = Table::new(format!(
+        "Figure 8: average profiled efficiencies on LiveJournal (scale 1/{})",
+        matrix.scale
+    ))
+    .header(["Engine", "Global store eff", "Global load eff", "Warp exec eff", "benchmarks"]);
+    let rows: [(&str, EnginePick<'_>); 3] = [
+        (
+            "Best VWC-CSR",
+            Box::new(|b| {
+                matrix
+                    .best_vwc(Dataset::LiveJournal, b)
+                    .map(|c| c.engine)
+            }),
+        ),
+        ("CuSha-GS", Box::new(|_| Some(Engine::CuShaGs))),
+        ("CuSha-CW", Box::new(|_| Some(Engine::CuShaCw))),
+    ];
+    for (label, pick) in rows {
+        if let Some(a) = average(matrix, pick) {
+            t.row([
+                label.to_string(),
+                fmt_pct(a.gst),
+                fmt_pct(a.gld),
+                fmt_pct(a.warp),
+                a.n.to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+
+    #[test]
+    fn efficiencies_render_for_present_engines() {
+        let m = run_matrix(
+            &[Dataset::LiveJournal],
+            &[Benchmark::Bfs],
+            &[Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(8)],
+            8192,
+            300,
+            false,
+        );
+        let s = run(&m);
+        assert!(s.contains("CuSha-GS"));
+        assert!(s.contains("Best VWC-CSR"));
+        assert!(s.contains('%'));
+    }
+}

@@ -1,0 +1,42 @@
+//! Table 1: the real-world input graphs (paper sizes vs generated
+//! surrogates at the chosen scale).
+
+use crate::experiments::Ctx;
+use crate::table::Table;
+use cusha_graph::surrogates::Dataset;
+
+/// Renders Table 1.
+pub fn run(ctx: &Ctx) -> String {
+    let mut t = Table::new(format!(
+        "Table 1: input graphs (surrogates at 1/{} scale)",
+        ctx.scale
+    ))
+    .header(["Graph", "Paper edges", "Paper vertices", "Surrogate edges", "Surrogate vertices", "|E|/|V|"]);
+    for ds in Dataset::ALL {
+        let (pe, pv) = ds.paper_size();
+        let g = ds.generate(ctx.scale);
+        t.row([
+            ds.name().to_string(),
+            pe.to_string(),
+            pv.to_string(),
+            g.num_edges().to_string(),
+            g.num_vertices().to_string(),
+            format!("{:.2}", g.avg_degree()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_six_graphs() {
+        let s = run(&Ctx { scale: 1024, ..Default::default() });
+        for ds in Dataset::ALL {
+            assert!(s.contains(ds.name()), "missing {ds}");
+        }
+        assert!(s.contains("68993773"), "paper LiveJournal size");
+    }
+}

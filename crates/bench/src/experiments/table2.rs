@@ -1,0 +1,60 @@
+//! Table 2: min–max global-memory-access and warp-execution efficiency of
+//! VWC-CSR across all graphs and virtual-warp configurations.
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::matrix::MatrixResult;
+use crate::table::{fmt_pct, Table};
+
+/// Renders Table 2 from the shared result matrix (VWC cells only).
+pub fn run(matrix: &MatrixResult) -> String {
+    let mut t = Table::new(format!(
+        "Table 2: VWC-CSR efficiency ranges across graphs (scale 1/{})",
+        matrix.scale
+    ))
+    .header(["Benchmark", "Global memory accesses", "Warp execution"]);
+    for b in Benchmark::ALL {
+        let cells: Vec<_> = matrix
+            .cells
+            .iter()
+            .filter(|c| c.benchmark == b && matches!(c.engine, Engine::Vwc(_)))
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let gmem: Vec<f64> = cells.iter().map(|c| c.stats.kernel.gmem_efficiency()).collect();
+        let warp: Vec<f64> = cells
+            .iter()
+            .map(|c| c.stats.kernel.warp_execution_efficiency())
+            .collect();
+        let rng = |v: &[f64]| {
+            let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            format!("{}-{}", fmt_pct(lo), fmt_pct(hi))
+        };
+        t.row([b.name().to_string(), rng(&gmem), rng(&warp)]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+    use cusha_graph::surrogates::Dataset;
+
+    #[test]
+    fn reports_ranges_for_present_benchmarks() {
+        let m = run_matrix(
+            &[Dataset::Amazon0312],
+            &[Benchmark::Bfs],
+            &[Engine::Vwc(4), Engine::Vwc(32)],
+            2048,
+            300,
+            false,
+        );
+        let s = run(&m);
+        assert!(s.contains("BFS"));
+        assert!(s.contains('%'));
+        assert!(!s.contains("SSSP"), "absent benchmarks are skipped");
+    }
+}

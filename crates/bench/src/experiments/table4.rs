@@ -1,0 +1,72 @@
+//! Table 4: raw running times (ms, including host-device transfers) of
+//! CuSha-CW, CuSha-GS and VWC-CSR (min–max across virtual warp sizes).
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::matrix::MatrixResult;
+use crate::table::{fmt_ms, Table};
+use cusha_graph::surrogates::Dataset;
+
+fn cell(matrix: &MatrixResult, ds: Dataset, b: Benchmark, row: &str) -> String {
+    let v = match row {
+        "CuSha-CW" => matrix.get(ds, b, Engine::CuShaCw).map(|c| fmt_ms(c.stats.total_ms())),
+        "CuSha-GS" => matrix.get(ds, b, Engine::CuShaGs).map(|c| fmt_ms(c.stats.total_ms())),
+        _ => matrix
+            .vwc_range_ms(ds, b)
+            .map(|(lo, hi)| format!("{}-{}", fmt_ms(lo), fmt_ms(hi))),
+    };
+    v.unwrap_or_else(|| "-".into())
+}
+
+/// Renders Table 4 from the shared result matrix.
+pub fn run(matrix: &MatrixResult) -> String {
+    let mut t = Table::new(format!(
+        "Table 4: running times in ms, transfers included (scale 1/{})",
+        matrix.scale
+    ))
+    .header(
+        ["Graph", "Engine"]
+            .into_iter()
+            .map(String::from)
+            .chain(Benchmark::ALL.iter().map(|b| b.name().to_string())),
+    );
+    for ds in Dataset::ALL {
+        for label in ["CuSha-CW", "CuSha-GS", "VWC-CSR"] {
+            let cells: Vec<String> = Benchmark::ALL
+                .iter()
+                .map(|&b| cell(matrix, ds, b, label))
+                .collect();
+            if cells.iter().any(|c| c != "-") {
+                let mut row = vec![
+                    if label == "CuSha-CW" { ds.name().to_string() } else { String::new() },
+                    label.to_string(),
+                ];
+                row.extend(cells);
+                t.row(row);
+            }
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+
+    #[test]
+    fn renders_rows_per_engine() {
+        let m = run_matrix(
+            &[Dataset::WebGoogle],
+            &[Benchmark::Bfs],
+            &[Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(8), Engine::Vwc(16)],
+            2048,
+            300,
+            false,
+        );
+        let s = run(&m);
+        assert!(s.contains("CuSha-CW"));
+        assert!(s.contains("CuSha-GS"));
+        assert!(s.contains("VWC-CSR"));
+        assert!(s.contains('-'), "VWC shows a range");
+    }
+}

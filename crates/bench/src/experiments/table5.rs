@@ -1,0 +1,117 @@
+//! Table 5: speedup ranges of CuSha-GS and CuSha-CW over VWC-CSR,
+//! averaged across inputs (per benchmark) and across benchmarks (per input).
+//!
+//! As in the paper, a range's minimum is the speedup over the *best* VWC
+//! virtual-warp configuration and its maximum over the worst one.
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::matrix::MatrixResult;
+use crate::table::{fmt_speedup, Table};
+use cusha_graph::surrogates::Dataset;
+
+/// `(min, max)` speedup of `engine` over the VWC range for one cell.
+fn cell_speedups(
+    matrix: &MatrixResult,
+    ds: Dataset,
+    b: Benchmark,
+    engine: Engine,
+) -> Option<(f64, f64)> {
+    let own = matrix.get(ds, b, engine)?.stats.total_ms();
+    let (vwc_lo, vwc_hi) = matrix.vwc_range_ms(ds, b)?;
+    Some((vwc_lo / own, vwc_hi / own))
+}
+
+fn avg_range(items: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if items.is_empty() {
+        return None;
+    }
+    let n = items.len() as f64;
+    Some((
+        items.iter().map(|x| x.0).sum::<f64>() / n,
+        items.iter().map(|x| x.1).sum::<f64>() / n,
+    ))
+}
+
+fn fmt_range(r: Option<(f64, f64)>) -> String {
+    match r {
+        Some((lo, hi)) => format!("{}-{}", fmt_speedup(lo), fmt_speedup(hi)),
+        None => "-".into(),
+    }
+}
+
+/// Renders Table 5 from the shared result matrix.
+pub fn run(matrix: &MatrixResult) -> String {
+    let mut t = Table::new(format!(
+        "Table 5: speedups over VWC-CSR (scale 1/{})",
+        matrix.scale
+    ))
+    .header(["", "CuSha-GS over VWC-CSR", "CuSha-CW over VWC-CSR"]);
+    t.row(["-- averages across input graphs --", "", ""]);
+    for b in Benchmark::ALL {
+        let collect = |engine| {
+            let v: Vec<(f64, f64)> = Dataset::ALL
+                .iter()
+                .filter_map(|&ds| cell_speedups(matrix, ds, b, engine))
+                .collect();
+            avg_range(&v)
+        };
+        let gs = collect(Engine::CuShaGs);
+        let cw = collect(Engine::CuShaCw);
+        if gs.is_some() || cw.is_some() {
+            t.row([b.name().to_string(), fmt_range(gs), fmt_range(cw)]);
+        }
+    }
+    t.row(["-- averages across benchmarks --", "", ""]);
+    for ds in Dataset::ALL {
+        let collect = |engine| {
+            let v: Vec<(f64, f64)> = Benchmark::ALL
+                .iter()
+                .filter_map(|&b| cell_speedups(matrix, ds, b, engine))
+                .collect();
+            avg_range(&v)
+        };
+        let gs = collect(Engine::CuShaGs);
+        let cw = collect(Engine::CuShaCw);
+        if gs.is_some() || cw.is_some() {
+            t.row([ds.name().to_string(), fmt_range(gs), fmt_range(cw)]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+
+    #[test]
+    fn speedup_ranges_render() {
+        let m = run_matrix(
+            &[Dataset::Amazon0312],
+            &[Benchmark::Bfs],
+            &[Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(4), Engine::Vwc(32)],
+            2048,
+            300,
+            false,
+        );
+        let s = run(&m);
+        assert!(s.contains("BFS"));
+        assert!(s.contains("Amazon0312"));
+        assert!(s.contains('x'), "speedups formatted as Nx");
+    }
+
+    #[test]
+    fn min_is_not_larger_than_max() {
+        let m = run_matrix(
+            &[Dataset::WebGoogle],
+            &[Benchmark::Sssp],
+            &[Engine::CuShaCw, Engine::Vwc(2), Engine::Vwc(16)],
+            2048,
+            300,
+            false,
+        );
+        let (lo, hi) =
+            cell_speedups(&m, Dataset::WebGoogle, Benchmark::Sssp, Engine::CuShaCw).unwrap();
+        assert!(lo <= hi);
+    }
+}

@@ -1,0 +1,102 @@
+//! Table 6: speedup ranges of CuSha-GS and CuSha-CW over MTCPU-CSR.
+//!
+//! The range minimum is the speedup over the best thread count, the maximum
+//! over the single-threaded run (as the paper notes). MTCPU times are real
+//! wall-clock measurements while CuSha times are modeled, so this artifact
+//! claims shape (which benchmarks/graphs benefit most), not the absolute
+//! ratio — see EXPERIMENTS.md.
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::matrix::MatrixResult;
+use crate::table::{fmt_speedup, Table};
+use cusha_graph::surrogates::Dataset;
+
+fn cell_speedups(
+    matrix: &MatrixResult,
+    ds: Dataset,
+    b: Benchmark,
+    engine: Engine,
+) -> Option<(f64, f64)> {
+    let own = matrix.get(ds, b, engine)?.stats.total_ms();
+    let (cpu_lo, cpu_hi) = matrix.mtcpu_range_ms(ds, b)?;
+    Some((cpu_lo / own, cpu_hi / own))
+}
+
+fn avg_range(items: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if items.is_empty() {
+        return None;
+    }
+    let n = items.len() as f64;
+    Some((
+        items.iter().map(|x| x.0).sum::<f64>() / n,
+        items.iter().map(|x| x.1).sum::<f64>() / n,
+    ))
+}
+
+fn fmt_range(r: Option<(f64, f64)>) -> String {
+    match r {
+        Some((lo, hi)) => format!("{}-{}", fmt_speedup(lo), fmt_speedup(hi)),
+        None => "-".into(),
+    }
+}
+
+/// Renders Table 6 from the shared result matrix.
+pub fn run(matrix: &MatrixResult) -> String {
+    let mut t = Table::new(format!(
+        "Table 6: speedups over MTCPU-CSR (scale 1/{}; modeled-GPU vs real-CPU, shape only)",
+        matrix.scale
+    ))
+    .header(["", "CuSha-GS over MTCPU-CSR", "CuSha-CW over MTCPU-CSR"]);
+    t.row(["-- averages across input graphs --", "", ""]);
+    for b in Benchmark::ALL {
+        let collect = |engine| {
+            let v: Vec<(f64, f64)> = Dataset::ALL
+                .iter()
+                .filter_map(|&ds| cell_speedups(matrix, ds, b, engine))
+                .collect();
+            avg_range(&v)
+        };
+        let gs = collect(Engine::CuShaGs);
+        let cw = collect(Engine::CuShaCw);
+        if gs.is_some() || cw.is_some() {
+            t.row([b.name().to_string(), fmt_range(gs), fmt_range(cw)]);
+        }
+    }
+    t.row(["-- averages across benchmarks --", "", ""]);
+    for ds in Dataset::ALL {
+        let collect = |engine| {
+            let v: Vec<(f64, f64)> = Benchmark::ALL
+                .iter()
+                .filter_map(|&b| cell_speedups(matrix, ds, b, engine))
+                .collect();
+            avg_range(&v)
+        };
+        let gs = collect(Engine::CuShaGs);
+        let cw = collect(Engine::CuShaCw);
+        if gs.is_some() || cw.is_some() {
+            t.row([ds.name().to_string(), fmt_range(gs), fmt_range(cw)]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+
+    #[test]
+    fn mtcpu_speedups_render() {
+        let m = run_matrix(
+            &[Dataset::Amazon0312],
+            &[Benchmark::Bfs],
+            &[Engine::CuShaCw, Engine::Mtcpu(1), Engine::Mtcpu(4)],
+            2048,
+            300,
+            false,
+        );
+        let s = run(&m);
+        assert!(s.contains("BFS"));
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 7: Traversed Edges Per Second (TEPS) for BFS with CuSha-CW,
+//! CuSha-GS, and the best VWC-CSR configuration per graph.
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::matrix::MatrixResult;
+use crate::table::Table;
+use cusha_graph::surrogates::Dataset;
+
+fn fmt_teps(teps: f64) -> String {
+    if teps >= 1e9 {
+        format!("{:.2} G", teps / 1e9)
+    } else if teps >= 1e6 {
+        format!("{:.1} M", teps / 1e6)
+    } else {
+        format!("{:.0} K", teps / 1e3)
+    }
+}
+
+/// Renders Table 7 from the shared result matrix.
+pub fn run(matrix: &MatrixResult) -> String {
+    let mut t = Table::new(format!(
+        "Table 7: TEPS for BFS (scale 1/{})",
+        matrix.scale
+    ))
+    .header(["Graph", "CuSha-CW", "CuSha-GS", "Best VWC-CSR"]);
+    for ds in Dataset::ALL {
+        let edges = matrix
+            .graph_sizes
+            .iter()
+            .find(|(d, _, _)| *d == ds)
+            .map(|(_, e, _)| *e);
+        let Some(edges) = edges else { continue };
+        let teps_of = |cell: Option<&crate::matrix::CellResult>| {
+            cell.map(|c| fmt_teps(c.stats.teps(edges))).unwrap_or_else(|| "-".into())
+        };
+        let cw = matrix.get(ds, Benchmark::Bfs, Engine::CuShaCw);
+        let gs = matrix.get(ds, Benchmark::Bfs, Engine::CuShaGs);
+        let vwc = matrix.best_vwc(ds, Benchmark::Bfs);
+        if cw.is_some() || gs.is_some() || vwc.is_some() {
+            t.row([ds.name().to_string(), teps_of(cw), teps_of(gs), teps_of(vwc)]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+
+    #[test]
+    fn teps_render_with_units() {
+        let m = run_matrix(
+            &[Dataset::Amazon0312],
+            &[Benchmark::Bfs],
+            &[Engine::CuShaCw, Engine::CuShaGs, Engine::Vwc(8)],
+            2048,
+            300,
+            false,
+        );
+        let s = run(&m);
+        assert!(s.contains("Amazon0312"));
+        assert!(s.contains(" M") || s.contains(" K") || s.contains(" G"));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_teps(2.5e9), "2.50 G");
+        assert_eq!(fmt_teps(929.1e6), "929.1 M");
+        assert_eq!(fmt_teps(42_000.0), "42 K");
+    }
+}

@@ -1,0 +1,275 @@
+//! Parallel experiment-matrix runner.
+//!
+//! Most artifacts (Tables 4–7, Figures 7, 8, 10) derive from the same
+//! (dataset × benchmark × engine) result matrix; this module computes it
+//! once. GPU-engine cells are simulator runs (deterministic, modeled time)
+//! and execute concurrently across host threads; MTCPU cells measure real
+//! wall-clock time and therefore run sequentially with the machine to
+//! themselves.
+
+use crate::bench_defs::{Benchmark, Engine};
+use cusha_core::RunStats;
+use cusha_graph::surrogates::Dataset;
+use cusha_graph::Graph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One matrix cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Input graph.
+    pub dataset: Dataset,
+    /// Benchmark run.
+    pub benchmark: Benchmark,
+    /// Engine used.
+    pub engine: Engine,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+/// The full result matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixResult {
+    /// All computed cells.
+    pub cells: Vec<CellResult>,
+    /// The scale divisor the graphs were generated with.
+    pub scale: u64,
+    /// Per dataset: `(edges, vertices)` of the generated surrogate.
+    pub graph_sizes: Vec<(Dataset, u64, u64)>,
+}
+
+impl MatrixResult {
+    /// Finds one cell.
+    pub fn get(&self, ds: Dataset, b: Benchmark, e: Engine) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.dataset == ds && c.benchmark == b && c.engine == e)
+    }
+
+    /// All cells for `(dataset, benchmark)` whose engine satisfies `pred`.
+    pub fn select(
+        &self,
+        ds: Dataset,
+        b: Benchmark,
+        pred: impl Fn(Engine) -> bool,
+    ) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.dataset == ds && c.benchmark == b && pred(c.engine))
+            .collect()
+    }
+
+    /// `(min, max)` total ms across the VWC virtual-warp configurations.
+    pub fn vwc_range_ms(&self, ds: Dataset, b: Benchmark) -> Option<(f64, f64)> {
+        range_ms(&self.select(ds, b, |e| matches!(e, Engine::Vwc(_))))
+    }
+
+    /// `(min, max)` total ms across the MTCPU thread counts.
+    pub fn mtcpu_range_ms(&self, ds: Dataset, b: Benchmark) -> Option<(f64, f64)> {
+        range_ms(&self.select(ds, b, |e| matches!(e, Engine::Mtcpu(_))))
+    }
+
+    /// The best (fastest) VWC cell for `(dataset, benchmark)`.
+    pub fn best_vwc(&self, ds: Dataset, b: Benchmark) -> Option<&CellResult> {
+        self.select(ds, b, |e| matches!(e, Engine::Vwc(_)))
+            .into_iter()
+            .min_by(|a, b| a.stats.total_ms().total_cmp(&b.stats.total_ms()))
+    }
+}
+
+impl MatrixResult {
+    /// Serializes every cell as CSV (one row per engine run) for external
+    /// analysis/plotting: dataset, benchmark, engine, times, iterations,
+    /// convergence, and the three profiled efficiencies.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "dataset,benchmark,engine,total_ms,h2d_ms,compute_ms,d2h_ms,\
+             iterations,converged,gld_efficiency,gst_efficiency,warp_efficiency\n",
+        );
+        for c in &self.cells {
+            let s = &c.stats;
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{:.6},{:.6},{:.6}\n",
+                c.dataset,
+                c.benchmark,
+                c.engine.label(),
+                s.total_ms(),
+                s.h2d_seconds * 1e3,
+                s.compute_seconds * 1e3,
+                s.d2h_seconds * 1e3,
+                s.iterations,
+                s.converged,
+                s.kernel.gld_efficiency(),
+                s.kernel.gst_efficiency(),
+                s.kernel.warp_execution_efficiency(),
+            ));
+        }
+        out
+    }
+}
+
+fn range_ms(cells: &[&CellResult]) -> Option<(f64, f64)> {
+    if cells.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for c in cells {
+        let ms = c.stats.total_ms();
+        lo = lo.min(ms);
+        hi = hi.max(ms);
+    }
+    Some((lo, hi))
+}
+
+/// Runs one cell.
+pub fn run_cell(
+    g: &Graph,
+    ds: Dataset,
+    b: Benchmark,
+    e: Engine,
+    max_iterations: u32,
+) -> CellResult {
+    CellResult { dataset: ds, benchmark: b, engine: e, stats: b.run(g, e, max_iterations) }
+}
+
+/// Computes the matrix over the cross product of the inputs.
+///
+/// `scale` is the surrogate scale divisor (see
+/// [`cusha_graph::surrogates::Dataset::generate`]); `verbose` streams
+/// per-cell progress to stderr.
+pub fn run_matrix(
+    datasets: &[Dataset],
+    benchmarks: &[Benchmark],
+    engines: &[Engine],
+    scale: u64,
+    max_iterations: u32,
+    verbose: bool,
+) -> MatrixResult {
+    let graphs: Vec<(Dataset, Graph)> =
+        datasets.iter().map(|&ds| (ds, ds.generate(scale))).collect();
+    let graph_sizes = graphs
+        .iter()
+        .map(|(ds, g)| (*ds, g.num_edges() as u64, g.num_vertices() as u64))
+        .collect();
+
+    // Work items, GPU first (parallel), CPU afterwards (sequential).
+    let mut gpu_items = Vec::new();
+    let mut cpu_items = Vec::new();
+    for (gi, (ds, _)) in graphs.iter().enumerate() {
+        for &b in benchmarks {
+            for &e in engines {
+                if e.is_gpu() {
+                    gpu_items.push((gi, *ds, b, e));
+                } else {
+                    cpu_items.push((gi, *ds, b, e));
+                }
+            }
+        }
+    }
+
+    let results = Mutex::new(Vec::with_capacity(gpu_items.len() + cpu_items.len()));
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(gpu_items.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= gpu_items.len() {
+                    break;
+                }
+                let (gi, ds, b, e) = gpu_items[i];
+                let cell = run_cell(&graphs[gi].1, ds, b, e, max_iterations);
+                if verbose {
+                    eprintln!(
+                        "  [{}/{}] {} {} {}: {:.1} ms ({} iters)",
+                        i + 1,
+                        gpu_items.len(),
+                        ds,
+                        b,
+                        e.label(),
+                        cell.stats.total_ms(),
+                        cell.stats.iterations
+                    );
+                }
+                results.lock().unwrap().push(cell);
+            });
+        }
+    });
+    let mut cells = results.into_inner().unwrap();
+    for (gi, ds, b, e) in cpu_items {
+        let cell = run_cell(&graphs[gi].1, ds, b, e, max_iterations);
+        if verbose {
+            eprintln!(
+                "  [cpu] {} {} {}: {:.1} ms ({} iters)",
+                ds,
+                b,
+                e.label(),
+                cell.stats.total_ms(),
+                cell.stats.iterations
+            );
+        }
+        cells.push(cell);
+    }
+    MatrixResult { cells, scale, graph_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: u64 = 2048;
+
+    #[test]
+    fn small_matrix_runs_and_indexes() {
+        let m = run_matrix(
+            &[Dataset::Amazon0312],
+            &[Benchmark::Bfs, Benchmark::Sssp],
+            &[Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(8), Engine::Vwc(32), Engine::Mtcpu(2)],
+            SCALE,
+            500,
+            false,
+        );
+        assert_eq!(m.cells.len(), 2 * 5);
+        let cell = m.get(Dataset::Amazon0312, Benchmark::Bfs, Engine::CuShaCw).unwrap();
+        assert!(cell.stats.converged);
+        let (lo, hi) = m.vwc_range_ms(Dataset::Amazon0312, Benchmark::Bfs).unwrap();
+        assert!(lo <= hi);
+        let best = m.best_vwc(Dataset::Amazon0312, Benchmark::Sssp).unwrap();
+        assert!((best.stats.total_ms() - lo).abs() >= 0.0);
+        assert!(m.mtcpu_range_ms(Dataset::Amazon0312, Benchmark::Bfs).is_some());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell() {
+        let m = run_matrix(
+            &[Dataset::Amazon0312],
+            &[Benchmark::Bfs],
+            &[Engine::CuShaGs, Engine::Vwc(8)],
+            SCALE,
+            300,
+            false,
+        );
+        let csv = m.to_csv();
+        assert_eq!(csv.lines().count(), 1 + m.cells.len());
+        assert!(csv.starts_with("dataset,benchmark,engine"));
+        assert!(csv.contains("Amazon0312,BFS,CuSha-GS,"));
+    }
+
+    #[test]
+    fn missing_cell_returns_none() {
+        let m = run_matrix(
+            &[Dataset::WebGoogle],
+            &[Benchmark::Cc],
+            &[Engine::CuShaGs],
+            SCALE,
+            500,
+            false,
+        );
+        assert!(m.get(Dataset::WebGoogle, Benchmark::Cc, Engine::CuShaCw).is_none());
+        assert!(m.vwc_range_ms(Dataset::WebGoogle, Benchmark::Cc).is_none());
+    }
+}

@@ -1,0 +1,485 @@
+//! The CuSha iterative processing engine (paper Figure 5).
+//!
+//! One call to [`run`] executes a [`VertexProgram`] over a graph on the
+//! simulated GPU until convergence:
+//!
+//! 1. build the G-Shards (and, in CW mode, Concatenated Windows) layout on
+//!    the host and upload it (charged as H2D copy time),
+//! 2. repeatedly launch the processing kernel — one thread block per shard,
+//!    running the four stages of Figure 5 — until no block raises
+//!    `values_updated`, reading the `is_converged` flag back after every
+//!    launch exactly like the paper's per-iteration `cudaMemcpy`,
+//! 3. download the final `VertexValues` (charged as D2H copy time).
+//!
+//! Asynchronous intra-iteration visibility (Section 1's contrast with BSP)
+//! falls out of the simulator's deterministic block order: stage 4 of shard
+//! `s` writes `SrcValue` entries that shards processed later in the same
+//! launch observe in their stage 2.
+//!
+//! Control metadata (shard boundaries, window offsets) is treated as
+//! uniform/cached and charged neither traffic nor instructions; the bulk
+//! per-edge and per-vertex arrays dominate, and they are fully accounted.
+
+use crate::autotune::select_vertices_per_shard;
+use crate::cw::ConcatWindows;
+use crate::program::VertexProgram;
+use crate::shards::GShards;
+use crate::stats::{IterationStat, RunStats};
+use cusha_graph::Graph;
+use cusha_simt::{aligned_chunks, DevVec, DeviceConfig, Gpu, KernelDesc, Mask, WARP};
+
+/// Which CuSha representation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Repr {
+    /// G-Shards (paper Section 3.1): stage 4 walks windows warp-by-warp.
+    GShards,
+    /// Concatenated Windows (Section 3.2): stage 4 sweeps the per-shard
+    /// `SrcIndex` + `Mapper` arrays with full thread utilization.
+    ConcatWindows,
+}
+
+impl Repr {
+    /// Engine label used in reports ("CuSha-GS" / "CuSha-CW").
+    pub fn label(self) -> &'static str {
+        match self {
+            Repr::GShards => "CuSha-GS",
+            Repr::ConcatWindows => "CuSha-CW",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct CuShaConfig {
+    /// Representation to use.
+    pub repr: Repr,
+    /// The paper's `|N|`; `None` = autotune via the average-window-size
+    /// formula (Section 4).
+    pub vertices_per_shard: Option<u32>,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Blocks assumed resident per SM (feeds the autotuner's shared-memory
+    /// quota).
+    pub resident_blocks: u32,
+    /// Convergence-loop safety cap.
+    pub max_iterations: u32,
+    /// Retain per-launch kernel statistics in
+    /// [`RunStats::profile`](crate::stats::RunStats::profile).
+    pub profile: bool,
+    /// Simulated device.
+    pub device: DeviceConfig,
+}
+
+impl CuShaConfig {
+    /// Defaults with the given representation on the GTX 780 preset.
+    pub fn new(repr: Repr) -> Self {
+        CuShaConfig {
+            repr,
+            vertices_per_shard: None,
+            threads_per_block: 256,
+            resident_blocks: 2,
+            max_iterations: 10_000,
+            profile: false,
+            device: DeviceConfig::gtx780(),
+        }
+    }
+
+    /// G-Shards defaults.
+    pub fn gs() -> Self {
+        Self::new(Repr::GShards)
+    }
+
+    /// Concatenated-Windows defaults.
+    pub fn cw() -> Self {
+        Self::new(Repr::ConcatWindows)
+    }
+
+    /// Sets an explicit `|N|`.
+    pub fn with_vertices_per_shard(mut self, n: u32) -> Self {
+        self.vertices_per_shard = Some(n);
+        self
+    }
+}
+
+/// Result of a CuSha run.
+#[derive(Clone, Debug)]
+pub struct CuShaOutput<V> {
+    /// Final vertex values, indexed by vertex id.
+    pub values: Vec<V>,
+    /// Run statistics (times, iterations, profiler counters).
+    pub stats: RunStats,
+}
+
+/// Executes `prog` over `graph` with the given configuration.
+pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuShaOutput<P::V> {
+    let n_per = cfg.vertices_per_shard.unwrap_or_else(|| {
+        select_vertices_per_shard(
+            graph.num_vertices() as u64,
+            graph.num_edges() as u64,
+            <P::V as cusha_simt::Pod>::SIZE,
+            &cfg.device,
+            cfg.resident_blocks,
+        )
+    });
+    let gs = GShards::from_graph(graph, n_per);
+    let cw = matches!(cfg.repr, Repr::ConcatWindows).then(|| ConcatWindows::from_gshards(&gs));
+    let mut gpu = Gpu::new(cfg.device.clone());
+    gpu.set_profiling(cfg.profile);
+
+    // ---- Host-side preparation and upload (H2D) --------------------------
+    let n = graph.num_vertices() as usize;
+    let init: Vec<P::V> = (0..graph.num_vertices()).map(|v| prog.initial_value(v)).collect();
+    let mut vertex_values = gpu.upload(&init);
+
+    let src_value_init: Vec<P::V> =
+        gs.src_index().iter().map(|&s| init[s as usize]).collect();
+    let mut src_value = gpu.upload(&src_value_init);
+
+    let src_static_buf: Option<DevVec<P::SV>> = if P::HAS_STATIC_VALUES {
+        let per_vertex = prog.static_values(graph);
+        let per_entry: Vec<P::SV> =
+            gs.src_index().iter().map(|&s| per_vertex[s as usize]).collect();
+        Some(gpu.upload(&per_entry))
+    } else {
+        None
+    };
+
+    let edge_value_buf: Option<DevVec<P::E>> = if P::HAS_EDGE_VALUES {
+        let by_edge_id = prog.edge_values(graph);
+        let per_entry: Vec<P::E> =
+            gs.edge_id().iter().map(|&id| by_edge_id[id as usize]).collect();
+        Some(gpu.upload(&per_entry))
+    } else {
+        None
+    };
+
+    let dest_index = gpu.upload(gs.dest_index());
+    let src_index = match &cw {
+        Some(cw) => gpu.upload(cw.src_index()),
+        None => gpu.upload(gs.src_index()),
+    };
+    let mapper_buf: Option<DevVec<u32>> = cw.as_ref().map(|cw| gpu.upload(cw.mapper()));
+    // G-Shards' stage 4 must look up every window's boundaries — a p×p
+    // offset table the CW layout does not need (its per-shard ranges are
+    // one entry each). The table lives in device memory and its reads are
+    // charged below, which is part of why small windows hurt G-Shards.
+    let window_offsets_buf: Option<DevVec<u32>> = cw.is_none().then(|| {
+        let p = gs.num_shards() as usize;
+        let mut flat = vec![0u32; p * p];
+        for j in 0..p {
+            for i in 0..p {
+                flat[j * p + i] = gs.window(i as u32, j as u32).start as u32;
+            }
+        }
+        gpu.upload(&flat)
+    });
+
+    let mut converged_flag = gpu.upload(&[1u32]);
+    let h2d_initial = gpu.h2d_seconds;
+
+    // ---- Convergence loop -------------------------------------------------
+    let p = gs.num_shards();
+    let desc = KernelDesc::new(
+        format!("{}::{}", cfg.repr.label(), prog.name()),
+        p,
+        cfg.threads_per_block,
+    );
+    let mut total = RunStats {
+        engine: cfg.repr.label().to_string(),
+        ..Default::default()
+    };
+    let mut converged = false;
+    while total.iterations < cfg.max_iterations {
+        gpu.h2d(&mut converged_flag, &[1u32]); // host resets is_converged
+        let mut updated_this_iter = 0u64;
+        let kstats = gpu.launch(&desc, |b| {
+            let s = b.id();
+            let vrange = gs.vertex_range(s);
+            let offset = vrange.start as usize;
+            let nv = vrange.len();
+            let mut local = b.shared_alloc::<P::V>(nv);
+
+            // Stage 1: coalesced fetch of VertexValues into shared memory.
+            for (base, mask) in aligned_chunks(offset..offset + nv) {
+                let vals = b.gload(&vertex_values, mask, |l| base + l);
+                let mut inited = [P::V::default(); WARP];
+                for l in mask.iter() {
+                    let mut lv = P::V::default();
+                    prog.init_compute(&mut lv, &vals[l]);
+                    inited[l] = lv;
+                }
+                b.exec(mask, 1);
+                b.sstore(&mut local, mask, |l| base + l - offset, |l| inited[l]);
+            }
+            b.sync();
+
+            // Stage 2: process shard entries; atomic shared update of the
+            // destination's local value.
+            let er = gs.shard_entries(s);
+            for (base, mask) in aligned_chunks(er.clone()) {
+                let srcv = b.gload(&src_value, mask, |l| base + l);
+                let statv = match &src_static_buf {
+                    Some(buf) => b.gload(buf, mask, |l| base + l),
+                    None => [P::SV::default(); WARP],
+                };
+                let ev = match &edge_value_buf {
+                    Some(buf) => b.gload(buf, mask, |l| base + l),
+                    None => [P::E::default(); WARP],
+                };
+                let dst = b.gload(&dest_index, mask, |l| base + l);
+                b.exec(mask, P::COMPUTE_COST);
+                b.supdate(
+                    &mut local,
+                    mask,
+                    |l| dst[l] as usize - offset,
+                    |l, slot| prog.compute(&srcv[l], &statv[l], &ev[l], slot),
+                );
+            }
+            b.sync();
+
+            // Stage 3: update_condition; publish changed values.
+            let mut block_updated = false;
+            for (base, mask) in aligned_chunks(offset..offset + nv) {
+                let old = b.gload(&vertex_values, mask, |l| base + l);
+                let loc = b.sload(&local, mask, |l| base + l - offset);
+                let mut newv = loc;
+                let mut cond = [false; WARP];
+                for l in mask.iter() {
+                    cond[l] = prog.update_condition(&mut newv[l], &old[l]);
+                }
+                b.exec(mask, 1);
+                // update_condition may have refined local (e.g. PageRank's
+                // damping); keep the shared copy current for stage 4.
+                b.sstore(&mut local, mask, |l| base + l - offset, |l| newv[l]);
+                let smask = mask.and(Mask::from_fn(|l| cond[l]));
+                if !smask.is_empty() {
+                    b.gstore(&mut vertex_values, smask, |l| base + l, |l| newv[l]);
+                    block_updated = true;
+                    updated_this_iter += smask.count() as u64;
+                }
+            }
+            b.sync();
+
+            // Stage 4: write-back to the windows in all shards.
+            if block_updated {
+                match &cw {
+                    None => {
+                        // G-Shards: one warp walks each window W_sj, first
+                        // fetching its boundary from the offset table.
+                        for j in 0..p {
+                            if let Some(wo) = &window_offsets_buf {
+                                let lanes = if s + 1 < p { 2 } else { 1 };
+                                b.gload(wo, Mask::first(lanes), |l| {
+                                    (j * p + s) as usize + l
+                                });
+                            }
+                            for (base, mask) in aligned_chunks(gs.window(s, j)) {
+                                let sidx = b.gload(&src_index, mask, |l| base + l);
+                                let loc =
+                                    b.sload(&local, mask, |l| sidx[l] as usize - offset);
+                                b.gstore(&mut src_value, mask, |l| base + l, |l| loc[l]);
+                            }
+                        }
+                    }
+                    Some(cw) => {
+                        // Concatenated Windows: dense sweep of CW_s through
+                        // the Mapper.
+                        let r = cw.cw_entries(s);
+                        for (base, mask) in aligned_chunks(r) {
+                            let sidx = b.gload(&src_index, mask, |l| base + l);
+                            let map = match &mapper_buf {
+                                Some(mbuf) => b.gload(mbuf, mask, |l| base + l),
+                                None => unreachable!("CW mode always has a mapper"),
+                            };
+                            let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
+                            b.gstore(&mut src_value, mask, |l| map[l] as usize, |l| loc[l]);
+                        }
+                    }
+                }
+                b.gstore(&mut converged_flag, Mask::first(1), |_| 0, |_| 0u32);
+            }
+        });
+        total.iterations += 1;
+        total.per_iteration.push(IterationStat {
+            seconds: kstats.seconds,
+            updated_vertices: updated_this_iter,
+        });
+        total.kernel.counters.add(&kstats.counters);
+        total.kernel.blocks = kstats.blocks;
+        total.kernel.threads_per_block = kstats.threads_per_block;
+        if gpu.download_scalar(&converged_flag, 0) == 1 {
+            converged = true;
+            break;
+        }
+    }
+
+    // ---- Download results (D2H) -------------------------------------------
+    let d2h_before_results = gpu.d2h_seconds;
+    let values = gpu.download(&vertex_values);
+    let _ = n; // n documented the vertex count; values.len() == n
+
+    total.converged = converged;
+    total.kernel.name = desc.name.clone();
+    total.h2d_seconds = h2d_initial;
+    // Per-iteration flag traffic counts as part of the compute loop.
+    total.compute_seconds =
+        gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
+    total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
+    total.profile = gpu.profile.take();
+    CuShaOutput { values, stats: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_graph::{Edge, VertexId};
+
+    /// Minimal SSSP-like program (Figure 6 of the paper) used to exercise
+    /// the engine; the full algorithm suite lives in `cusha-algos`.
+    struct MiniSssp {
+        source: VertexId,
+    }
+
+    const INF: u32 = u32::MAX;
+
+    impl VertexProgram for MiniSssp {
+        type V = u32;
+        type E = u32;
+        type SV = u32;
+        const HAS_EDGE_VALUES: bool = true;
+        const HAS_STATIC_VALUES: bool = false;
+
+        fn name(&self) -> &'static str {
+            "mini-sssp"
+        }
+        fn initial_value(&self, v: VertexId) -> u32 {
+            if v == self.source {
+                0
+            } else {
+                INF
+            }
+        }
+        fn edge_value(&self, w: u32) -> u32 {
+            w
+        }
+        fn init_compute(&self, local: &mut u32, global: &u32) {
+            *local = *global;
+        }
+        fn compute(&self, src: &u32, _st: &u32, edge: &u32, local: &mut u32) {
+            if *src != INF {
+                *local = (*local).min(src.saturating_add(*edge));
+            }
+        }
+        fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
+            *local < *old
+        }
+    }
+
+    fn line_graph(n: u32) -> Graph {
+        // 0 -> 1 -> 2 -> ... with weight 2 each.
+        let edges = (0..n - 1).map(|v| Edge::new(v, v + 1, 2)).collect();
+        Graph::new(n, edges)
+    }
+
+    fn check_line_distances(values: &[u32]) {
+        for (v, &d) in values.iter().enumerate() {
+            assert_eq!(d, 2 * v as u32, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn gs_solves_line_graph() {
+        let g = line_graph(50);
+        let cfg = CuShaConfig::gs().with_vertices_per_shard(8);
+        let out = run(&MiniSssp { source: 0 }, &g, &cfg);
+        assert!(out.stats.converged);
+        check_line_distances(&out.values);
+        // Line of 50 with shards of 8: asynchrony lets a value cross many
+        // shards per iteration, but at least a couple of iterations happen.
+        assert!(out.stats.iterations >= 2);
+    }
+
+    #[test]
+    fn cw_solves_line_graph() {
+        let g = line_graph(50);
+        let cfg = CuShaConfig::cw().with_vertices_per_shard(8);
+        let out = run(&MiniSssp { source: 0 }, &g, &cfg);
+        assert!(out.stats.converged);
+        check_line_distances(&out.values);
+    }
+
+    #[test]
+    fn gs_and_cw_agree_on_random_graph() {
+        use cusha_graph::generators::rmat::{rmat, RmatConfig};
+        let g = rmat(&RmatConfig::graph500(8, 1500, 21));
+        let gs_out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(32));
+        let cw_out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::cw().with_vertices_per_shard(32));
+        assert_eq!(gs_out.values, cw_out.values);
+        assert!(gs_out.stats.converged && cw_out.stats.converged);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_at_inf() {
+        let g = Graph::new(4, vec![Edge::new(0, 1, 1)]);
+        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(2));
+        assert_eq!(out.values, vec![0, 1, INF, INF]);
+    }
+
+    #[test]
+    fn empty_graph_converges_immediately() {
+        let g = Graph::empty(8);
+        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::cw().with_vertices_per_shard(4));
+        assert!(out.stats.converged);
+        assert_eq!(out.stats.iterations, 1);
+        assert_eq!(out.values[0], 0);
+        assert!(out.values[1..].iter().all(|&v| v == INF));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = line_graph(1024);
+        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(128));
+        let s = &out.stats;
+        assert!(s.h2d_seconds > 0.0);
+        assert!(s.compute_seconds > 0.0);
+        assert!(s.d2h_seconds > 0.0);
+        assert_eq!(s.per_iteration.len(), s.iterations as usize);
+        assert!(s.kernel.counters.warp_instructions > 0);
+        // Last iteration discovers no updates.
+        assert_eq!(s.per_iteration.last().unwrap().updated_vertices, 0);
+        // Earlier iterations did update vertices.
+        assert!(s.per_iteration[0].updated_vertices > 0);
+        // Coalesced layout: high load efficiency on this contiguous graph.
+        assert!(s.kernel.gld_efficiency() > 0.5, "{}", s.kernel.gld_efficiency());
+    }
+
+    #[test]
+    fn autotuned_shard_size_works() {
+        let g = line_graph(300);
+        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::cw());
+        check_line_distances(&out.values);
+    }
+
+    #[test]
+    fn profiling_flag_retains_kernel_history() {
+        let g = line_graph(40);
+        let mut cfg = CuShaConfig::cw().with_vertices_per_shard(8);
+        cfg.profile = true;
+        let out = run(&MiniSssp { source: 0 }, &g, &cfg);
+        let profile = out.stats.profile.expect("profile retained");
+        assert_eq!(profile.launches().len(), out.stats.iterations as usize);
+        assert!(profile.report().contains("CuSha-CW::mini-sssp"));
+        // Off by default.
+        let out2 = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(8));
+        assert!(out2.stats.profile.is_none());
+    }
+
+    #[test]
+    fn self_loops_are_harmless() {
+        let mut edges = vec![Edge::new(0, 1, 3), Edge::new(1, 1, 1)];
+        edges.push(Edge::new(1, 2, 3));
+        let g = Graph::new(3, edges);
+        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(2));
+        assert_eq!(out.values, vec![0, 3, 6]);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! CuSha core: the paper's contribution.
+//!
+//! * [`program`] — the user-facing vertex-centric API: implement
+//!   [`VertexProgram`] (`init_compute` / `compute` / `update_condition` plus
+//!   the `Vertex`, `Edge` and `StaticVertex` types of Table 3) and the
+//!   framework parallelizes it over the whole graph.
+//! * [`shards`] — the **G-Shards** representation (Section 3.1): the graph
+//!   as destination-partitioned, source-ordered shards.
+//! * [`windows`] — computation-window bookkeeping (the `W_ij` matrix) and
+//!   window-size statistics (Figure 11).
+//! * [`cw`] — the **Concatenated Windows** representation (Section 3.2):
+//!   per-shard `SrcIndex` arrays reordered window-major plus the `Mapper`.
+//! * [`autotune`] — shard-size selection from the average-window-size
+//!   formula `|E||N|²/|V|²` (Section 4).
+//! * [`engine`] — the iterative 4-stage processing loop of Figure 5 running
+//!   on the [`cusha_simt`] simulator, in both GS and CW modes.
+//! * [`memsize`] — representation footprint model (Figure 9).
+
+pub mod autotune;
+pub mod cw;
+pub mod engine;
+pub mod memsize;
+pub mod program;
+pub mod shards;
+pub mod stats;
+pub mod streaming;
+pub mod windows;
+
+pub use autotune::select_vertices_per_shard;
+pub use cw::ConcatWindows;
+pub use engine::{run, CuShaConfig, CuShaOutput, Repr};
+pub use program::{Value, VertexProgram};
+pub use shards::GShards;
+pub use stats::{IterationStat, RunStats};
+pub use streaming::{run_streamed, StreamingConfig};

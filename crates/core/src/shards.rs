@@ -1,0 +1,327 @@
+//! The G-Shards representation (paper Section 3.1).
+//!
+//! A graph is stored as `p = ceil(|V| / N)` **shards**. Shard `s` owns the
+//! destination-vertex range `[s*N, (s+1)*N)` and holds *every* edge whose
+//! destination falls in that range (*Partitioned*), listed in increasing
+//! order of source index (*Ordered*). Each edge is the 4-tuple
+//! `(SrcIndex, SrcValue, EdgeValue, DestIndex)`; this module stores the
+//! topology columns (`SrcIndex`, `DestIndex`, plus the original edge id that
+//! stands in for `EdgeValue`), while the mutable `SrcValue` column lives in
+//! device memory inside the engine.
+//!
+//! The *Ordered* property makes every **computation window** `W_ij` — the
+//! entries of shard `j` whose source lies in shard `i`'s vertex range — a
+//! contiguous span; [`GShards::window`] exposes the precomputed span matrix.
+
+use cusha_graph::{Graph, VertexId};
+
+/// Destination-partitioned, source-ordered shard decomposition of a graph.
+#[derive(Clone, Debug)]
+pub struct GShards {
+    num_vertices: u32,
+    vertices_per_shard: u32,
+    num_shards: u32,
+    /// `p + 1` offsets delimiting shards within the edge arrays.
+    shard_starts: Vec<u32>,
+    /// Source vertex of each entry (shard-major, source-ordered per shard).
+    src_index: Vec<VertexId>,
+    /// Destination vertex of each entry.
+    dest_index: Vec<VertexId>,
+    /// Original edge id of each entry (carries the weight seed).
+    edge_id: Vec<u32>,
+    /// `p * p` matrix, row-major by *owning shard j*: entry `(j, i)` is the
+    /// absolute start of window `W_ij` inside shard `j`.
+    window_offsets: Vec<u32>,
+}
+
+impl GShards {
+    /// Builds the shard decomposition with `vertices_per_shard = n_per` (the
+    /// paper's `|N|`).
+    ///
+    /// # Panics
+    /// Panics if `n_per == 0`.
+    pub fn from_graph(g: &Graph, n_per: u32) -> Self {
+        assert!(n_per > 0, "vertices_per_shard must be positive");
+        let n = g.num_vertices();
+        let m = g.num_edges() as usize;
+        let p = n.div_ceil(n_per).max(1);
+
+        // Order edge ids by (owning shard, src, dst, id): a single sort
+        // produces both the shard partition and the Ordered property.
+        let mut ids: Vec<u32> = (0..m as u32).collect();
+        ids.sort_unstable_by_key(|&id| {
+            let e = g.edge(id);
+            (e.dst / n_per, e.src, e.dst, id)
+        });
+
+        let mut src_index = Vec::with_capacity(m);
+        let mut dest_index = Vec::with_capacity(m);
+        for &id in &ids {
+            let e = g.edge(id);
+            src_index.push(e.src);
+            dest_index.push(e.dst);
+        }
+
+        // Shard boundaries.
+        let mut shard_starts = vec![0u32; p as usize + 1];
+        {
+            let mut counts = vec![0u32; p as usize];
+            for &d in &dest_index {
+                counts[(d / n_per) as usize] += 1;
+            }
+            for s in 0..p as usize {
+                shard_starts[s + 1] = shard_starts[s] + counts[s];
+            }
+        }
+
+        // Window offsets: within shard j (sorted by src), window W_ij starts
+        // at the first entry with src >= i * n_per.
+        let mut window_offsets = vec![0u32; (p as usize) * (p as usize)];
+        for j in 0..p as usize {
+            let lo = shard_starts[j] as usize;
+            let hi = shard_starts[j + 1] as usize;
+            let slice = &src_index[lo..hi];
+            for i in 0..p as usize {
+                let boundary = (i as u32) * n_per;
+                let off = slice.partition_point(|&s| s < boundary);
+                window_offsets[j * p as usize + i] = (lo + off) as u32;
+            }
+        }
+
+        GShards {
+            num_vertices: n,
+            vertices_per_shard: n_per,
+            num_shards: p,
+            shard_starts,
+            src_index,
+            dest_index,
+            edge_id: ids,
+            window_offsets,
+        }
+    }
+
+    /// Number of vertices in the underlying graph.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of edges (total entries across shards).
+    #[inline]
+    pub fn num_edges(&self) -> u32 {
+        self.src_index.len() as u32
+    }
+
+    /// The paper's `|N|`: vertices assigned to each shard.
+    #[inline]
+    pub fn vertices_per_shard(&self) -> u32 {
+        self.vertices_per_shard
+    }
+
+    /// Number of shards `p`.
+    #[inline]
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// The shard owning vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> u32 {
+        v / self.vertices_per_shard
+    }
+
+    /// Vertex range `[a, b)` owned by shard `s` (clamped at `|V|`).
+    pub fn vertex_range(&self, s: u32) -> std::ops::Range<u32> {
+        let lo = s * self.vertices_per_shard;
+        let hi = (lo + self.vertices_per_shard).min(self.num_vertices);
+        lo..hi
+    }
+
+    /// Absolute entry range of shard `s` within the edge arrays.
+    pub fn shard_entries(&self, s: u32) -> std::ops::Range<usize> {
+        self.shard_starts[s as usize] as usize..self.shard_starts[s as usize + 1] as usize
+    }
+
+    /// Absolute entry range of computation window `W_ij`: the entries of
+    /// shard `j` whose sources belong to shard `i`'s vertex range.
+    pub fn window(&self, i: u32, j: u32) -> std::ops::Range<usize> {
+        let p = self.num_shards as usize;
+        let start = self.window_offsets[j as usize * p + i as usize] as usize;
+        let end = if (i as usize) + 1 < p {
+            self.window_offsets[j as usize * p + i as usize + 1] as usize
+        } else {
+            self.shard_starts[j as usize + 1] as usize
+        };
+        start..end
+    }
+
+    /// `SrcIndex` column (shard-major).
+    #[inline]
+    pub fn src_index(&self) -> &[VertexId] {
+        &self.src_index
+    }
+
+    /// `DestIndex` column (shard-major).
+    #[inline]
+    pub fn dest_index(&self) -> &[VertexId] {
+        &self.dest_index
+    }
+
+    /// Original edge ids (shard-major); `edge_id()[k]` identifies the graph
+    /// edge stored at entry `k`, for deriving `EdgeValue` columns.
+    #[inline]
+    pub fn edge_id(&self) -> &[u32] {
+        &self.edge_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_graph::generators::rmat::{rmat, RmatConfig};
+    use cusha_graph::Edge;
+
+    /// 8-vertex graph shaped like the paper's Figure 2(a) discussion: two
+    /// shards of 4 vertices each.
+    fn sample() -> Graph {
+        Graph::new(
+            8,
+            vec![
+                Edge::new(1, 2, 10),
+                Edge::new(7, 2, 11),
+                Edge::new(0, 1, 12),
+                Edge::new(3, 0, 13),
+                Edge::new(5, 4, 14),
+                Edge::new(6, 4, 15),
+                Edge::new(2, 7, 16),
+                Edge::new(4, 7, 17),
+                Edge::new(0, 5, 18),
+                Edge::new(6, 1, 19),
+            ],
+        )
+    }
+
+    fn check_invariants(g: &Graph, gs: &GShards) {
+        assert_eq!(gs.num_edges(), g.num_edges());
+        // Partitioned: every entry's destination in its shard's range.
+        for s in 0..gs.num_shards() {
+            let vr = gs.vertex_range(s);
+            let er = gs.shard_entries(s);
+            for k in er.clone() {
+                assert!(vr.contains(&gs.dest_index()[k]));
+            }
+            // Ordered: src nondecreasing within the shard.
+            let srcs = &gs.src_index()[er];
+            assert!(srcs.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Windows tile each shard exactly.
+        for j in 0..gs.num_shards() {
+            let mut covered = 0;
+            for i in 0..gs.num_shards() {
+                let w = gs.window(i, j);
+                covered += w.len();
+                // Window sources in shard i's range.
+                let vr = gs.vertex_range(i);
+                for k in w {
+                    assert!(vr.contains(&gs.src_index()[k]));
+                }
+            }
+            assert_eq!(covered, gs.shard_entries(j).len());
+        }
+        // Edge ids are a permutation carrying the right endpoints.
+        let mut seen = vec![false; g.num_edges() as usize];
+        for (k, &id) in gs.edge_id().iter().enumerate() {
+            assert!(!seen[id as usize]);
+            seen[id as usize] = true;
+            let e = g.edge(id);
+            assert_eq!(e.src, gs.src_index()[k]);
+            assert_eq!(e.dst, gs.dest_index()[k]);
+        }
+    }
+
+    #[test]
+    fn sample_two_shards() {
+        let g = sample();
+        let gs = GShards::from_graph(&g, 4);
+        assert_eq!(gs.num_shards(), 2);
+        assert_eq!(gs.vertex_range(0), 0..4);
+        assert_eq!(gs.vertex_range(1), 4..8);
+        check_invariants(&g, &gs);
+        // Shard 0 holds edges with dst in 0..4: (1,2) (7,2) (0,1) (3,0) (6,1).
+        assert_eq!(gs.shard_entries(0).len(), 5);
+        assert_eq!(gs.shard_entries(1).len(), 5);
+        // W_00: shard-0 entries with src in 0..4 => (0,1),(1,2),(3,0).
+        assert_eq!(gs.window(0, 0).len(), 3);
+        // W_10: shard-0 entries with src in 4..8 => (6,1),(7,2).
+        assert_eq!(gs.window(1, 0).len(), 2);
+        // W_01: shard-1 entries with src in 0..4 => (0,5),(2,7).
+        assert_eq!(gs.window(0, 1).len(), 2);
+        // W_11 => (4,7),(5,4),(6,4).
+        assert_eq!(gs.window(1, 1).len(), 3);
+    }
+
+    #[test]
+    fn uneven_tail_shard() {
+        let g = sample();
+        let gs = GShards::from_graph(&g, 3); // shards: 0..3, 3..6, 6..8
+        assert_eq!(gs.num_shards(), 3);
+        assert_eq!(gs.vertex_range(2), 6..8);
+        check_invariants(&g, &gs);
+    }
+
+    #[test]
+    fn single_shard_when_n_large() {
+        let g = sample();
+        let gs = GShards::from_graph(&g, 100);
+        assert_eq!(gs.num_shards(), 1);
+        assert_eq!(gs.vertex_range(0), 0..8);
+        check_invariants(&g, &gs);
+        // The lone window is the whole shard.
+        assert_eq!(gs.window(0, 0), gs.shard_entries(0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        let gs = GShards::from_graph(&g, 2);
+        assert_eq!(gs.num_shards(), 3);
+        assert_eq!(gs.num_edges(), 0);
+        for s in 0..3 {
+            assert!(gs.shard_entries(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn graph_with_zero_vertices() {
+        let g = Graph::empty(0);
+        let gs = GShards::from_graph(&g, 4);
+        assert_eq!(gs.num_shards(), 1); // max(1) keeps the kernel launchable
+        assert!(gs.shard_entries(0).is_empty());
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_kept() {
+        let g = Graph::new(
+            4,
+            vec![Edge::new(2, 2, 1), Edge::new(0, 1, 2), Edge::new(0, 1, 3)],
+        );
+        let gs = GShards::from_graph(&g, 2);
+        check_invariants(&g, &gs);
+        assert_eq!(gs.num_edges(), 3);
+    }
+
+    #[test]
+    fn rmat_invariants() {
+        let g = rmat(&RmatConfig::graph500(9, 4000, 77));
+        for n_per in [7, 32, 100, 512] {
+            let gs = GShards::from_graph(&g, n_per);
+            check_invariants(&g, &gs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_rejected() {
+        GShards::from_graph(&Graph::empty(1), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Run statistics shared by every engine (CuSha, VWC, MTCPU).
+
+use cusha_simt::KernelStats;
+
+/// One iteration of the convergence loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterationStat {
+    /// Modeled (GPU engines) or measured (CPU engine) seconds this
+    /// iteration took, excluding transfers.
+    pub seconds: f64,
+    /// Vertices whose published value changed this iteration (the y-axis of
+    /// the paper's Figure 7).
+    pub updated_vertices: u64,
+}
+
+/// Aggregate statistics of one full algorithm run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Engine label ("CuSha-GS", "CuSha-CW", "VWC-CSR/8", "MTCPU/16", ...).
+    pub engine: String,
+    /// Iterations until convergence (or until the cap).
+    pub iterations: u32,
+    /// Whether the run converged before hitting the iteration cap.
+    pub converged: bool,
+    /// Host→device copy seconds (0 for CPU engines).
+    pub h2d_seconds: f64,
+    /// Kernel / compute seconds.
+    pub compute_seconds: f64,
+    /// Device→host copy seconds (0 for CPU engines).
+    pub d2h_seconds: f64,
+    /// Per-iteration detail (Figure 7).
+    pub per_iteration: Vec<IterationStat>,
+    /// Accumulated simulator counters over all kernel launches (empty
+    /// default for CPU engines). Efficiencies derived from these are the
+    /// whole-run averages the paper profiles (Table 2, Figure 8).
+    pub kernel: KernelStats,
+    /// Per-launch kernel history, retained when the engine was configured
+    /// with profiling on (see `CuShaConfig::profile` / `VwcConfig::profile`);
+    /// `profile.report()` renders an `nvprof`-style summary.
+    pub profile: Option<cusha_simt::Profile>,
+}
+
+impl RunStats {
+    /// End-to-end modeled time including transfers — what the paper's
+    /// Table 4 reports.
+    pub fn total_seconds(&self) -> f64 {
+        self.h2d_seconds + self.compute_seconds + self.d2h_seconds
+    }
+
+    /// Total milliseconds (Table 4's unit).
+    pub fn total_ms(&self) -> f64 {
+        self.total_seconds() * 1e3
+    }
+
+    /// Traversed edges per second, given the graph's edge count (Table 7;
+    /// the paper computes TEPS over the full traversal time).
+    pub fn teps(&self, num_edges: u64) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            num_edges as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_teps() {
+        let s = RunStats {
+            h2d_seconds: 0.010,
+            compute_seconds: 0.030,
+            d2h_seconds: 0.002,
+            ..Default::default()
+        };
+        assert!((s.total_seconds() - 0.042).abs() < 1e-12);
+        assert!((s.total_ms() - 42.0).abs() < 1e-9);
+        assert!((s.teps(4200) - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_time_teps_is_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.teps(100), 0.0);
+    }
+}

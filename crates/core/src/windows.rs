@@ -1,0 +1,144 @@
+//! Computation-window statistics (paper Section 3.2 and Figure 11).
+//!
+//! The window structure itself lives in [`crate::shards::GShards::window`];
+//! this module derives the quantities the paper analyses: the distribution
+//! of window sizes and the average-window-size formula `|E|·|N|²/|V|²` that
+//! drives shard-size selection.
+
+use crate::shards::GShards;
+
+/// Frequency histogram of window sizes.
+#[derive(Clone, Debug)]
+pub struct WindowHistogram {
+    /// `counts[s]` = number of windows with exactly `s` entries, for
+    /// `s < counts.len() - 1`; the last slot aggregates everything larger.
+    pub counts: Vec<u64>,
+    /// Total number of windows (`p²`).
+    pub total_windows: u64,
+    /// Mean window size.
+    pub mean: f64,
+}
+
+impl WindowHistogram {
+    /// Computes the histogram, clamping sizes above `cap` into the final
+    /// bucket (the paper's Figure 11 plots 0..=128).
+    pub fn of(gs: &GShards, cap: usize) -> Self {
+        let p = gs.num_shards();
+        let mut counts = vec![0u64; cap + 2];
+        let mut sum = 0u64;
+        for j in 0..p {
+            for i in 0..p {
+                let len = gs.window(i, j).len();
+                sum += len as u64;
+                counts[len.min(cap + 1)] += 1;
+            }
+        }
+        let total_windows = (p as u64) * (p as u64);
+        let mean = if total_windows == 0 {
+            0.0
+        } else {
+            sum as f64 / total_windows as f64
+        };
+        WindowHistogram { counts, total_windows, mean }
+    }
+
+    /// Fraction of windows with size `<= s`.
+    pub fn cdf(&self, s: usize) -> f64 {
+        if self.total_windows == 0 {
+            return 0.0;
+        }
+        let le: u64 = self.counts[..=s.min(self.counts.len() - 1)].iter().sum();
+        le as f64 / self.total_windows as f64
+    }
+
+    /// Fraction of windows smaller than one warp (size < 32) — the
+    /// GPU-underutilization indicator motivating Concatenated Windows.
+    pub fn sub_warp_fraction(&self) -> f64 {
+        if self.total_windows == 0 {
+            return 0.0;
+        }
+        let sub: u64 = self.counts[..32.min(self.counts.len())].iter().sum();
+        sub as f64 / self.total_windows as f64
+    }
+}
+
+/// The paper's analytical average window size: `|E| · |N|² / |V|²`
+/// (Section 3.2). Returns 0 for an empty vertex set.
+pub fn expected_window_size(num_edges: u64, num_vertices: u64, n_per_shard: u32) -> f64 {
+    if num_vertices == 0 {
+        return 0.0;
+    }
+    num_edges as f64 * (n_per_shard as f64).powi(2) / (num_vertices as f64).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_graph::generators::erdos_renyi::erdos_renyi;
+    use cusha_graph::generators::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn histogram_accounts_every_window() {
+        let g = erdos_renyi(256, 2048, 1);
+        let gs = GShards::from_graph(&g, 32);
+        let h = WindowHistogram::of(&gs, 128);
+        assert_eq!(h.total_windows, 64);
+        assert_eq!(h.counts.iter().sum::<u64>(), 64);
+        // Mean * windows = edges.
+        assert!((h.mean * h.total_windows as f64 - 2048.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn formula_predicts_uniform_graph_mean() {
+        // ER graphs spread edges uniformly, so the analytic mean is tight.
+        let g = erdos_renyi(1024, 16384, 2);
+        let n_per = 128;
+        let gs = GShards::from_graph(&g, n_per);
+        let h = WindowHistogram::of(&gs, 1024);
+        let predicted = expected_window_size(16384, 1024, n_per);
+        assert!(
+            (h.mean - predicted).abs() / predicted < 0.05,
+            "measured {} vs predicted {predicted}",
+            h.mean
+        );
+    }
+
+    #[test]
+    fn sparser_graphs_have_smaller_windows() {
+        // Same |V|, |N|; fewer edges => smaller windows (Figure 11(b)).
+        let dense = erdos_renyi(512, 16384, 3);
+        let sparse = erdos_renyi(512, 2048, 3);
+        let hd = WindowHistogram::of(&GShards::from_graph(&dense, 64), 128);
+        let hs = WindowHistogram::of(&GShards::from_graph(&sparse, 64), 128);
+        assert!(hs.mean < hd.mean);
+        assert!(hs.sub_warp_fraction() >= hd.sub_warp_fraction());
+    }
+
+    #[test]
+    fn larger_n_gives_larger_windows() {
+        // Figure 11(c): growing |N| grows windows quadratically.
+        let g = rmat(&RmatConfig::graph500(11, 16384, 4));
+        let small = WindowHistogram::of(&GShards::from_graph(&g, 64), 4096);
+        let large = WindowHistogram::of(&GShards::from_graph(&g, 512), 4096);
+        assert!(large.mean > small.mean * 10.0);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let g = erdos_renyi(256, 1024, 5);
+        let h = WindowHistogram::of(&GShards::from_graph(&g, 32), 128);
+        let mut prev = 0.0;
+        for s in 0..130 {
+            let c = h.cdf(s);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((h.cdf(129) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formula_edge_cases() {
+        assert_eq!(expected_window_size(100, 0, 10), 0.0);
+        assert!((expected_window_size(32, 32, 32) - 32.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,238 @@
+//! Structural graph analysis utilities.
+//!
+//! These back the correctness oracles (e.g. weakly-connected components for
+//! the CC benchmark) and the reachability-aware assertions in the
+//! integration tests.
+
+use crate::types::{Graph, VertexId};
+
+/// Union-find (disjoint-set) structure with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: u32) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n as usize],
+            components: n as usize,
+        }
+    }
+
+    /// Representative of `v`'s set.
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            // Path halving.
+            self.parent[v as usize] = self.parent[self.parent[v as usize] as usize];
+            v = self.parent[v as usize];
+        }
+        v
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Weakly-connected components: returns for every vertex the *smallest vertex
+/// id in its component* — exactly the fixed point that the CC vertex program
+/// of Table 3 converges to on a symmetrized graph.
+pub fn weak_components(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for e in g.edges() {
+        uf.union(e.src, e.dst);
+    }
+    // Min label per root, then per vertex.
+    let mut min_label = (0..n).collect::<Vec<u32>>();
+    for v in 0..n {
+        let r = uf.find(v);
+        if v < min_label[r as usize] {
+            min_label[r as usize] = v;
+        }
+    }
+    (0..n).map(|v| min_label[uf.find(v) as usize]).collect()
+}
+
+/// Lower-bounds the diameter of the symmetrized graph with the classic
+/// double-BFS sweep: BFS from `start` to find a far vertex `u`, then BFS
+/// from `u`; the largest finite level found is the estimate. Useful for
+/// predicting iteration counts of the path-style benchmarks (they need
+/// roughly one iteration per diameter unit at minimum).
+pub fn estimate_diameter(g: &Graph, start: VertexId) -> u32 {
+    fn bfs_far(adj_offsets: &[u32], adj: &[u32], n: usize, src: u32) -> (u32, u32) {
+        let mut level = vec![u32::MAX; n];
+        level[src as usize] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        let mut far = (src, 0u32);
+        while let Some(v) = queue.pop_front() {
+            let next = level[v as usize] + 1;
+            for i in adj_offsets[v as usize]..adj_offsets[v as usize + 1] {
+                let u = adj[i as usize];
+                if level[u as usize] == u32::MAX {
+                    level[u as usize] = next;
+                    if next > far.1 {
+                        far = (u, next);
+                    }
+                    queue.push_back(u);
+                }
+            }
+        }
+        far
+    }
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return 0;
+    }
+    // Symmetrized adjacency.
+    let mut offsets = vec![0u32; n + 1];
+    for e in g.edges() {
+        offsets[e.src as usize + 1] += 1;
+        offsets[e.dst as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut adj = vec![0u32; 2 * g.num_edges() as usize];
+    let mut cursor = offsets.clone();
+    for e in g.edges() {
+        adj[cursor[e.src as usize] as usize] = e.dst;
+        cursor[e.src as usize] += 1;
+        adj[cursor[e.dst as usize] as usize] = e.src;
+        cursor[e.dst as usize] += 1;
+    }
+    let (far, _) = bfs_far(&offsets, &adj, n, start);
+    let (_, dist) = bfs_far(&offsets, &adj, n, far);
+    dist
+}
+
+/// Vertices reachable from `src` following edge direction.
+pub fn reachable_from(g: &Graph, src: VertexId) -> Vec<bool> {
+    let n = g.num_vertices() as usize;
+    // Forward adjacency.
+    let mut offsets = vec![0u32; n + 1];
+    for e in g.edges() {
+        offsets[e.src as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut adj = vec![0u32; g.num_edges() as usize];
+    let mut cursor = offsets.clone();
+    for e in g.edges() {
+        adj[cursor[e.src as usize] as usize] = e.dst;
+        cursor[e.src as usize] += 1;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![src];
+    seen[src as usize] = true;
+    while let Some(v) = stack.pop() {
+        for i in offsets[v as usize]..offsets[v as usize + 1] {
+            let u = adj[i as usize];
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                stack.push(u);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn two_components() -> Graph {
+        Graph::new(
+            6,
+            vec![
+                Edge::new(0, 1, 1),
+                Edge::new(1, 2, 1),
+                Edge::new(4, 3, 1),
+                Edge::new(3, 4, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn union_find_counts_components() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.find(2), uf.find(0));
+        assert_ne!(uf.find(3), uf.find(0));
+    }
+
+    #[test]
+    fn weak_components_min_labels() {
+        let labels = weak_components(&two_components());
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn weak_components_ignores_direction() {
+        // 2 -> 1 -> 0 chain: all in the component labeled 0.
+        let g = Graph::new(3, vec![Edge::new(2, 1, 1), Edge::new(1, 0, 1)]);
+        assert_eq!(weak_components(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn reachability_follows_direction() {
+        let g = two_components();
+        let seen = reachable_from(&g, 0);
+        assert_eq!(seen, vec![true, true, true, false, false, false]);
+        let seen1 = reachable_from(&g, 1);
+        assert!(!seen1[0]);
+        assert!(seen1[2]);
+    }
+
+    #[test]
+    fn diameter_of_a_path_graph() {
+        // 0 - 1 - ... - 9: diameter 9, found from any start.
+        let g = Graph::new(10, (0..9).map(|v| Edge::new(v, v + 1, 1)).collect());
+        assert_eq!(estimate_diameter(&g, 0), 9);
+        assert_eq!(estimate_diameter(&g, 5), 9);
+    }
+
+    #[test]
+    fn diameter_of_star_and_empty() {
+        let g = Graph::new(6, (1..6).map(|v| Edge::new(0, v, 1)).collect());
+        assert_eq!(estimate_diameter(&g, 0), 2);
+        assert_eq!(estimate_diameter(&Graph::empty(0), 0), 0);
+        assert_eq!(estimate_diameter(&Graph::empty(3), 1), 0);
+    }
+
+    #[test]
+    fn reachability_with_cycle() {
+        let g = Graph::new(3, vec![Edge::new(0, 1, 1), Edge::new(1, 0, 1)]);
+        let seen = reachable_from(&g, 0);
+        assert_eq!(seen, vec![true, true, false]);
+    }
+}

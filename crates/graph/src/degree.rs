@@ -1,0 +1,175 @@
+//! Degree-distribution analysis (paper Figure 1).
+//!
+//! Figure 1 plots, for every input graph, the number of vertices having each
+//! degree on log-log axes. [`DegreeDistribution`] computes the exact
+//! histogram plus the log-binned view used for plotting, and summary
+//! statistics that the surrogate generators are validated against.
+
+use crate::types::Graph;
+
+/// Which endpoint's degree to analyse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// In-degree (edges arriving at the vertex) — what shard sizes depend on.
+    In,
+    /// Out-degree (edges leaving the vertex).
+    Out,
+}
+
+/// Exact and log-binned degree histogram of a graph.
+#[derive(Clone, Debug)]
+pub struct DegreeDistribution {
+    /// `counts[d]` = number of vertices with degree exactly `d`.
+    pub counts: Vec<u64>,
+    /// Largest observed degree.
+    pub max_degree: u32,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of vertices with degree zero.
+    pub isolated: u64,
+}
+
+impl DegreeDistribution {
+    /// Computes the distribution of `dir`-degrees of `g`.
+    pub fn of(g: &Graph, dir: Direction) -> Self {
+        let degrees = match dir {
+            Direction::In => g.in_degrees(),
+            Direction::Out => g.out_degrees(),
+        };
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let mut counts = vec![0u64; max_degree as usize + 1];
+        for &d in &degrees {
+            counts[d as usize] += 1;
+        }
+        let mean = if degrees.is_empty() {
+            0.0
+        } else {
+            degrees.iter().map(|&d| d as f64).sum::<f64>() / degrees.len() as f64
+        };
+        let isolated = counts[0];
+        DegreeDistribution { counts, max_degree, mean, isolated }
+    }
+
+    /// Log₂-binned view: bin `k` covers degrees `[2^k, 2^(k+1))`, bin for
+    /// degree 0 is reported separately via [`DegreeDistribution::isolated`].
+    /// Returns `(bin_lower_bound, vertex_count)` pairs, skipping empty bins.
+    pub fn log_binned(&self) -> Vec<(u32, u64)> {
+        let mut bins: Vec<(u32, u64)> = Vec::new();
+        let mut k = 0u32;
+        loop {
+            let lo = 1u64 << k;
+            if lo > self.max_degree as u64 {
+                break;
+            }
+            let hi = (1u64 << (k + 1)).min(self.counts.len() as u64);
+            let total: u64 = self.counts[lo as usize..hi as usize].iter().sum();
+            if total > 0 {
+                bins.push((lo as u32, total));
+            }
+            k += 1;
+        }
+        bins
+    }
+
+    /// Complementary CDF: fraction of vertices with degree ≥ `d`.
+    pub fn ccdf(&self, d: u32) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let ge: u64 = self.counts[(d as usize).min(self.counts.len())..].iter().sum();
+        ge as f64 / total as f64
+    }
+
+    /// Crude power-law skew indicator: the 99.9th-percentile degree among
+    /// vertices of non-zero degree (so isolated vertices cannot drown out
+    /// the tail), divided by the overall mean degree. Social/web graphs
+    /// score high; road networks near 1.
+    pub fn skew(&self) -> f64 {
+        let total_nz: u64 = self.counts[1..].iter().sum();
+        if total_nz == 0 || self.mean == 0.0 {
+            return 0.0;
+        }
+        let target = (total_nz as f64 * 0.999).ceil() as u64;
+        let mut acc = 0u64;
+        for (d, &c) in self.counts.iter().enumerate().skip(1) {
+            acc += c;
+            if acc >= target {
+                return d as f64 / self.mean;
+            }
+        }
+        self.max_degree as f64 / self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Edge, Graph};
+
+    fn star(n: u32) -> Graph {
+        // Vertex 0 receives an edge from every other vertex.
+        let edges = (1..n).map(|v| Edge::new(v, 0, 1)).collect();
+        Graph::new(n, edges)
+    }
+
+    #[test]
+    fn star_in_distribution() {
+        let d = DegreeDistribution::of(&star(10), Direction::In);
+        assert_eq!(d.max_degree, 9);
+        assert_eq!(d.counts[9], 1);
+        assert_eq!(d.counts[0], 9);
+        assert_eq!(d.isolated, 9);
+        assert!((d.mean - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_out_distribution() {
+        let d = DegreeDistribution::of(&star(10), Direction::Out);
+        assert_eq!(d.max_degree, 1);
+        assert_eq!(d.counts[1], 9);
+        assert_eq!(d.isolated, 1);
+    }
+
+    #[test]
+    fn log_binning_covers_all_nonzero_degrees() {
+        let d = DegreeDistribution::of(&star(10), Direction::In);
+        let bins = d.log_binned();
+        let binned_total: u64 = bins.iter().map(|&(_, c)| c).sum();
+        let nonzero_total: u64 = d.counts[1..].iter().sum();
+        assert_eq!(binned_total, nonzero_total);
+        // Degree 9 lands in the [8, 16) bin.
+        assert!(bins.contains(&(8, 1)));
+    }
+
+    #[test]
+    fn ccdf_monotone_and_bounded() {
+        let d = DegreeDistribution::of(&star(10), Direction::In);
+        assert!((d.ccdf(0) - 1.0).abs() < 1e-12);
+        assert!(d.ccdf(1) <= d.ccdf(0));
+        assert!((d.ccdf(10) - 0.0).abs() < 1e-12);
+        assert!((d.ccdf(9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_detects_hubs() {
+        let hubby = DegreeDistribution::of(&star(1000), Direction::In);
+        assert!(hubby.skew() > 100.0, "star should be extremely skewed");
+        // A ring has uniform degree 1 => skew 1.
+        let ring = Graph::new(
+            8,
+            (0..8).map(|v| Edge::new(v, (v + 1) % 8, 1)).collect(),
+        );
+        let flat = DegreeDistribution::of(&ring, Direction::In);
+        assert!((flat.skew() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let d = DegreeDistribution::of(&Graph::empty(0), Direction::In);
+        assert_eq!(d.max_degree, 0);
+        assert_eq!(d.mean, 0.0);
+        assert_eq!(d.ccdf(0), 0.0);
+        assert!(d.log_binned().is_empty());
+    }
+}

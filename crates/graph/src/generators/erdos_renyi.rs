@@ -1,0 +1,51 @@
+//! G(n, m) Erdős–Rényi random graphs.
+
+use crate::generators::DEFAULT_MAX_WEIGHT;
+use crate::types::{Edge, Graph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed G(n, m) graph: `m` edges with endpoints chosen
+/// uniformly at random (self-loops allowed, parallel edges allowed —
+/// matching the sparse regime where collisions are negligible).
+pub fn erdos_renyi(n: u32, m: u64, seed: u64) -> Graph {
+    assert!(n > 0 || m == 0, "cannot place edges in an empty vertex set");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        let weight = rng.gen_range(1..=DEFAULT_MAX_WEIGHT);
+        edges.push(Edge::new(src, dst, weight));
+    }
+    Graph::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::{DegreeDistribution, Direction};
+
+    #[test]
+    fn counts_and_determinism() {
+        let g = erdos_renyi(500, 2500, 11);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), 2500);
+        assert_eq!(g, erdos_renyi(500, 2500, 11));
+        assert_ne!(g, erdos_renyi(500, 2500, 12));
+    }
+
+    #[test]
+    fn zero_edges_allowed() {
+        let g = erdos_renyi(10, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn degrees_are_flat() {
+        let g = erdos_renyi(2000, 20000, 5);
+        let d = DegreeDistribution::of(&g, Direction::In);
+        // Poisson(10): 99.9th percentile around 21-22, skew ~2.2, never >4.
+        assert!(d.skew() < 4.0, "ER degrees should be near-uniform, skew={}", d.skew());
+    }
+}

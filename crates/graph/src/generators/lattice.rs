@@ -1,0 +1,102 @@
+//! Perturbed 2-D geometric lattice — the road-network surrogate.
+//!
+//! RoadNetCA in Table 1 has |E|/|V| ≈ 2.8, an essentially uniform degree
+//! distribution, and enormous diameter — the combination that produces the
+//! tiny computation windows motivating Concatenated Windows. A 2-D grid
+//! where each intersection connects to its right/down neighbours (both
+//! directions), with a fraction of edges randomly deleted and a sprinkle of
+//! shortcut edges, reproduces all three properties.
+
+use crate::generators::DEFAULT_MAX_WEIGHT;
+use crate::types::{Edge, Graph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a `rows x cols` lattice.
+///
+/// * Every grid edge (4-neighbourhood, both directions) is kept with
+///   probability `keep`, modeling missing road segments.
+/// * `shortcuts` extra random edges model highways/ramps.
+///
+/// The result has `rows * cols` vertices and roughly
+/// `keep * (4 * rows * cols - 2 * (rows + cols)) + shortcuts` edges.
+pub fn lattice2d(rows: u32, cols: u32, keep: f64, shortcuts: u64, seed: u64) -> Graph {
+    assert!(rows > 0 && cols > 0, "lattice must be non-empty");
+    assert!((0.0..=1.0).contains(&keep), "keep must be a probability");
+    let n = rows
+        .checked_mul(cols)
+        .expect("lattice vertex count overflows u32");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    let id = |r: u32, c: u32| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = id(r, c);
+            let link = |u: u32, rng: &mut SmallRng, edges: &mut Vec<Edge>| {
+                if rng.gen::<f64>() < keep {
+                    let w = rng.gen_range(1..=DEFAULT_MAX_WEIGHT);
+                    edges.push(Edge::new(v, u, w));
+                }
+                if rng.gen::<f64>() < keep {
+                    let w = rng.gen_range(1..=DEFAULT_MAX_WEIGHT);
+                    edges.push(Edge::new(u, v, w));
+                }
+            };
+            if c + 1 < cols {
+                link(id(r, c + 1), &mut rng, &mut edges);
+            }
+            if r + 1 < rows {
+                link(id(r + 1, c), &mut rng, &mut edges);
+            }
+        }
+    }
+    for _ in 0..shortcuts {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let w = rng.gen_range(1..=DEFAULT_MAX_WEIGHT);
+        edges.push(Edge::new(a, b, w));
+    }
+    Graph::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::{DegreeDistribution, Direction};
+
+    #[test]
+    fn full_lattice_edge_count() {
+        // keep = 1.0: every interior grid link present in both directions.
+        let g = lattice2d(10, 10, 1.0, 0, 0);
+        assert_eq!(g.num_vertices(), 100);
+        // Horizontal links: 10 rows * 9 = 90; vertical: 9 * 10 = 90; x2 dirs.
+        assert_eq!(g.num_edges(), 360);
+    }
+
+    #[test]
+    fn keep_reduces_density() {
+        let dense = lattice2d(30, 30, 1.0, 0, 1);
+        let sparse = lattice2d(30, 30, 0.5, 0, 1);
+        assert!(sparse.num_edges() < dense.num_edges());
+        assert!(sparse.num_edges() > 0);
+    }
+
+    #[test]
+    fn degree_distribution_is_uniform() {
+        let g = lattice2d(50, 50, 0.85, 100, 2);
+        let d = DegreeDistribution::of(&g, Direction::In);
+        assert!(d.max_degree <= 8, "lattice in-degree bounded, got {}", d.max_degree);
+        assert!(d.skew() < 3.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(lattice2d(8, 8, 0.7, 5, 9), lattice2d(8, 8, 0.7, 5, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        lattice2d(0, 5, 1.0, 0, 0);
+    }
+}

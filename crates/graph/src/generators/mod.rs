@@ -1,0 +1,43 @@
+//! Synthetic graph generators.
+//!
+//! * [`mod@rmat`] — the recursive-matrix model of Chakrabarti et al. (reference
+//!   \[5\] of the paper), used by the paper's own sensitivity study (Section
+//!   5.2) and by our dataset surrogates for the power-law graphs.
+//! * [`mod@erdos_renyi`] — uniform random graphs (useful in tests as an
+//!   "unstructured" control).
+//! * [`lattice`] — perturbed 2-D geometric lattices, the surrogate for road
+//!   networks (uniform low degree, huge diameter).
+//!
+//! All generators are deterministic for a given seed and assign every edge a
+//! raw weight seed drawn uniformly from `1..=max_weight`.
+
+pub mod erdos_renyi;
+pub mod lattice;
+pub mod preferential;
+pub mod rmat;
+pub mod smallworld;
+
+pub use erdos_renyi::erdos_renyi;
+pub use lattice::lattice2d;
+pub use preferential::barabasi_albert;
+pub use rmat::{rmat, RmatConfig};
+pub use smallworld::watts_strogatz;
+
+/// Default largest raw edge weight produced by the generators.
+pub const DEFAULT_MAX_WEIGHT: u32 = 64;
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates), for relabeling
+/// generated graphs the way real datasets arrive: with vertex ids carrying
+/// no locality. SNAP's road networks, for example, have arbitrary ids, and
+/// that arbitrariness is what shrinks CuSha's computation windows.
+pub fn random_permutation(n: u32, seed: u64) -> Vec<u32> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}

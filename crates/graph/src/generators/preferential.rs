@@ -1,0 +1,103 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Vertices arrive one at a time and attach `m` out-edges to existing
+//! vertices with probability proportional to their current degree,
+//! producing the power-law in-degree tail characteristic of citation and
+//! social graphs. Complements R-MAT: BA grows hubs *temporally* (old
+//! vertices are hubs), so vertex id correlates with degree — a distinct
+//! shard-layout stressor.
+
+use crate::generators::DEFAULT_MAX_WEIGHT;
+use crate::types::{Edge, Graph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Barabási–Albert graph with `n` vertices and `m` attachments
+/// per arriving vertex (so roughly `(n - m) * m` edges).
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: u32, m: u32, seed: u64) -> Graph {
+    assert!(m > 0 && n > m, "need n > m > 0");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // `targets` holds one entry per edge endpoint, making degree-
+    // proportional sampling a uniform pick (the standard BA trick).
+    let mut endpoint_pool: Vec<u32> = (0..m).collect();
+    let mut edges = Vec::with_capacity(((n - m) as usize) * (m as usize));
+    for v in m..n {
+        let mut chosen = Vec::with_capacity(m as usize);
+        while chosen.len() < m as usize {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            let w = rng.gen_range(1..=DEFAULT_MAX_WEIGHT);
+            edges.push(Edge::new(v, t, w));
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    Graph::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::{DegreeDistribution, Direction};
+
+    #[test]
+    fn counts_and_determinism() {
+        let g = barabasi_albert(500, 3, 9);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), (500 - 3) * 3);
+        assert_eq!(g, barabasi_albert(500, 3, 9));
+    }
+
+    #[test]
+    fn indegree_tail_is_heavy() {
+        let g = barabasi_albert(3000, 4, 10);
+        let d = DegreeDistribution::of(&g, Direction::In);
+        assert!(d.skew() > 5.0, "BA should be power-law, skew {}", d.skew());
+        // Every arriving vertex has out-degree exactly m.
+        let out = g.out_degrees();
+        assert!(out[4..].iter().all(|&o| o == 4));
+    }
+
+    #[test]
+    fn early_vertices_become_hubs() {
+        let g = barabasi_albert(2000, 3, 11);
+        let d = g.in_degrees();
+        let early: u32 = d[..20].iter().sum();
+        let late: u32 = d[d.len() - 20..].iter().sum();
+        assert!(
+            early > 10 * late.max(1),
+            "early {early} vs late {late}: age should confer degree"
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_attachments() {
+        let g = barabasi_albert(300, 5, 12);
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+        // Per arriving vertex, targets are distinct.
+        let mut by_src: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
+        for e in g.edges() {
+            by_src.entry(e.src).or_default().push(e.dst);
+        }
+        for (_, mut dsts) in by_src {
+            let len = dsts.len();
+            dsts.sort_unstable();
+            dsts.dedup();
+            assert_eq!(dsts.len(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m > 0")]
+    fn rejects_degenerate_parameters() {
+        barabasi_albert(3, 3, 0);
+    }
+}

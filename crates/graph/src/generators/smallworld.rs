@@ -1,0 +1,96 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! A ring lattice where each vertex connects to its `k` nearest clockwise
+//! neighbours, with every edge's endpoint rewired uniformly at random with
+//! probability `beta`. Interpolates between a road-network-like regular
+//! structure (`beta = 0`) and an Erdős–Rényi-like random one (`beta = 1`),
+//! which makes it a useful locality knob for shard/window experiments.
+
+use crate::generators::DEFAULT_MAX_WEIGHT;
+use crate::types::{Edge, Graph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed Watts–Strogatz graph: `n` vertices, `n * k` edges.
+///
+/// # Panics
+/// Panics if `k == 0`, `k >= n`, or `beta` is not a probability.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Graph {
+    assert!(k > 0 && k < n.max(1), "need 0 < k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity((n as usize) * (k as usize));
+    for v in 0..n {
+        for hop in 1..=k {
+            let mut dst = (v + hop) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire: any vertex but v itself.
+                dst = loop {
+                    let cand = rng.gen_range(0..n);
+                    if cand != v {
+                        break cand;
+                    }
+                };
+            }
+            let w = rng.gen_range(1..=DEFAULT_MAX_WEIGHT);
+            edges.push(Edge::new(v, dst, w));
+        }
+    }
+    Graph::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::{DegreeDistribution, Direction};
+
+    #[test]
+    fn counts_and_determinism() {
+        let g = watts_strogatz(200, 4, 0.1, 5);
+        assert_eq!(g.num_vertices(), 200);
+        assert_eq!(g.num_edges(), 800);
+        assert_eq!(g, watts_strogatz(200, 4, 0.1, 5));
+    }
+
+    #[test]
+    fn beta_zero_is_a_perfect_ring_lattice() {
+        let g = watts_strogatz(50, 3, 0.0, 1);
+        for e in g.edges() {
+            let hop = (e.dst + 50 - e.src) % 50;
+            assert!((1..=3).contains(&hop), "edge {e:?} not a ring edge");
+        }
+        // Uniform out- AND in-degree.
+        let d = DegreeDistribution::of(&g, Direction::In);
+        assert_eq!(d.max_degree, 3);
+        assert_eq!(d.counts[3], 50);
+    }
+
+    #[test]
+    fn rewiring_breaks_locality() {
+        let regular = watts_strogatz(300, 4, 0.0, 2);
+        let random = watts_strogatz(300, 4, 1.0, 2);
+        let long_edges = |g: &Graph| {
+            g.edges()
+                .iter()
+                .filter(|e| {
+                    let fwd = (e.dst + 300 - e.src) % 300;
+                    fwd > 4 && fwd < 296
+                })
+                .count()
+        };
+        assert_eq!(long_edges(&regular), 0);
+        assert!(long_edges(&random) > 200);
+    }
+
+    #[test]
+    fn no_self_loops_from_rewiring() {
+        let g = watts_strogatz(40, 2, 1.0, 3);
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k < n")]
+    fn rejects_bad_k() {
+        watts_strogatz(5, 5, 0.1, 0);
+    }
+}

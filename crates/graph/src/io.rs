@@ -1,0 +1,238 @@
+//! Graph de/serialization.
+//!
+//! Two formats:
+//!
+//! * **Text edge list** — the SNAP interchange format the paper's inputs ship
+//!   in: one `src dst [weight]` triple per line, `#`-prefixed comment lines
+//!   ignored. A missing weight defaults to 1.
+//! * **Binary** — a compact little-endian format (`CUSH` magic, version,
+//!   counts, then packed `(src, dst, weight)` triples) for fast reloads of
+//!   generated surrogates.
+
+use crate::builder::GraphBuilder;
+use crate::types::{Edge, Graph};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CUSH";
+const VERSION: u32 = 1;
+
+/// Errors produced by graph IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Malformed input; the string describes line/offset and cause.
+    Parse(String),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Parses a text edge list from a reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u32, IoError> {
+            tok.ok_or_else(|| {
+                IoError::Parse(format!("line {}: missing {what}", lineno + 1))
+            })?
+            .parse::<u32>()
+            .map_err(|e| IoError::Parse(format!("line {}: bad {what}: {e}", lineno + 1)))
+        };
+        let src = parse(it.next(), "source")?;
+        let dst = parse(it.next(), "destination")?;
+        let weight = match it.next() {
+            Some(tok) => tok.parse::<u32>().map_err(|e| {
+                IoError::Parse(format!("line {}: bad weight: {e}", lineno + 1))
+            })?,
+            None => 1,
+        };
+        if it.next().is_some() {
+            return Err(IoError::Parse(format!(
+                "line {}: trailing tokens",
+                lineno + 1
+            )));
+        }
+        builder.add_edge(src, dst, weight);
+    }
+    Ok(builder.build())
+}
+
+/// Writes a text edge list (with weights) to a writer.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# cusha edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a text edge list from a file path.
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Saves a text edge list to a file path.
+pub fn save_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Writes the compact binary format.
+pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&g.num_vertices().to_le_bytes())?;
+    w.write_all(&g.num_edges().to_le_bytes())?;
+    for e in g.edges() {
+        w.write_all(&e.src.to_le_bytes())?;
+        w.write_all(&e.dst.to_le_bytes())?;
+        w.write_all(&e.weight.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the compact binary format.
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Parse("bad magic".into()));
+    }
+    let mut buf4 = [0u8; 4];
+    let mut read_u32 = |r: &mut BufReader<R>| -> Result<u32, IoError> {
+        r.read_exact(&mut buf4)?;
+        Ok(u32::from_le_bytes(buf4))
+    };
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(IoError::Parse(format!("unsupported version {version}")));
+    }
+    let n = read_u32(&mut r)?;
+    let m = read_u32(&mut r)?;
+    let mut edges = Vec::with_capacity(m as usize);
+    for i in 0..m {
+        let src = read_u32(&mut r)?;
+        let dst = read_u32(&mut r)?;
+        let weight = read_u32(&mut r)?;
+        if src >= n || dst >= n {
+            return Err(IoError::Parse(format!("edge #{i} out of range")));
+        }
+        edges.push(Edge::new(src, dst, weight));
+    }
+    Ok(Graph::new(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn text_round_trip() {
+        let g = erdos_renyi(50, 200, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g.num_edges(), back.num_edges());
+        assert_eq!(g.edges(), back.edges());
+    }
+
+    #[test]
+    fn text_parses_comments_and_default_weight() {
+        let input = "# header\n\n0 1\n1 2 9\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge(0).weight, 1);
+        assert_eq!(g.edge(1).weight, 9);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(matches!(
+            read_edge_list("0 x\n".as_bytes()),
+            Err(IoError::Parse(_))
+        ));
+        assert!(matches!(
+            read_edge_list("0\n".as_bytes()),
+            Err(IoError::Parse(_))
+        ));
+        assert!(matches!(
+            read_edge_list("0 1 2 3\n".as_bytes()),
+            Err(IoError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = erdos_renyi(64, 333, 4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = erdos_renyi(8, 10, 5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_binary(&buf[..]), Err(IoError::Parse(_))));
+        let mut buf2 = Vec::new();
+        write_binary(&g, &mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 2);
+        assert!(matches!(read_binary(&buf2[..]), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn file_round_trip_through_paths() {
+        let g = erdos_renyi(30, 90, 6);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cusha-io-test-{}.txt", std::process::id()));
+        save_edge_list(&g, &path).unwrap();
+        let back = load_edge_list(&path).unwrap();
+        assert_eq!(g.edges(), back.edges());
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            load_edge_list(dir.join("cusha-io-definitely-missing")),
+            Err(IoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_edge() {
+        let g = Graph::new(4, vec![Edge::new(0, 3, 1)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Patch the vertex count down to 2 so the edge becomes invalid.
+        buf[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(IoError::Parse(_))));
+    }
+}

@@ -1,0 +1,378 @@
+//! Thread-block execution context: the kernel-facing API.
+//!
+//! A block program is a Rust closure receiving `&mut Block`. It allocates
+//! shared arrays and then issues *warp-wide operations*; each operation
+//! corresponds to one warp instruction on hardware and is accounted for in
+//! the kernel's counters:
+//!
+//! * [`Block::gload`] / [`Block::gstore`] — global memory with coalescing,
+//! * [`Block::sload`] / [`Block::sstore`] / [`Block::supdate`] — shared
+//!   memory with bank conflicts and atomic serialization,
+//! * [`Block::exec`] — pure-compute instructions (for divergence metrics),
+//! * [`Block::sync`] — `__syncthreads()`.
+//!
+//! Lane-indexing convention: every operation takes a [`Mask`] of active
+//! lanes plus per-lane closures (`|lane| index` / `|lane| value`), and
+//! returns a `[T; WARP]` with inactive lanes left at `T::default()`.
+
+use crate::coalesce::{bank_conflicts, coalesce};
+use crate::config::DeviceConfig;
+use crate::counters::{Counters, Mask, WARP};
+use crate::mem::DevVec;
+use crate::pod::Pod;
+use crate::shared::SharedVec;
+
+/// Per-block execution context handed to kernel closures.
+pub struct Block<'cfg> {
+    id: u32,
+    threads: u32,
+    cfg: &'cfg DeviceConfig,
+    shared_cursor: u64,
+    pub(crate) counters: Counters,
+    /// Memory-pipe (LSU) issue slots consumed: one per memory warp
+    /// instruction plus replays. The LSU is 32 lanes wide per SM, so a
+    /// sub-warp memory operation still burns a whole slot — this is where
+    /// G-Shards' small-window underutilization costs show up.
+    pub(crate) mem_cycles: u64,
+    /// ALU-pipe issue slots consumed; the SM's schedulers retire these
+    /// `issue_width` per cycle.
+    pub(crate) alu_cycles: u64,
+}
+
+impl<'cfg> Block<'cfg> {
+    pub(crate) fn new(id: u32, threads: u32, cfg: &'cfg DeviceConfig) -> Self {
+        assert!(
+            threads > 0 && threads <= cfg.max_threads_per_block,
+            "block of {threads} threads exceeds device limit {}",
+            cfg.max_threads_per_block
+        );
+        Block {
+            id,
+            threads,
+            cfg,
+            shared_cursor: 0,
+            counters: Counters::default(),
+            mem_cycles: 0,
+            alu_cycles: 0,
+        }
+    }
+
+    /// This block's index within the grid (`blockIdx.x`).
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Threads in this block (`blockDim.x`).
+    #[inline]
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Number of (physical) warps in this block.
+    #[inline]
+    pub fn num_warps(&self) -> u32 {
+        self.threads.div_ceil(WARP as u32)
+    }
+
+    /// Shared memory consumed so far by this block, in bytes.
+    #[inline]
+    pub fn shared_used(&self) -> u64 {
+        self.shared_cursor
+    }
+
+    /// Allocates a zero-initialized `__shared__` array of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if the block's total shared usage would exceed the per-SM
+    /// shared memory (a kernel that over-subscribes shared memory fails to
+    /// launch on real hardware).
+    pub fn shared_alloc<T: Pod>(&mut self, len: usize) -> SharedVec<T> {
+        let base = self.shared_cursor;
+        let bytes = len as u64 * T::SIZE as u64;
+        self.shared_cursor += bytes;
+        assert!(
+            self.shared_cursor <= self.cfg.shared_mem_per_sm as u64,
+            "block shared memory {}B exceeds SM capacity {}B",
+            self.shared_cursor,
+            self.cfg.shared_mem_per_sm
+        );
+        SharedVec::from_parts(vec![T::default(); len], base)
+    }
+
+    fn issue_mem(&mut self, mask: Mask, extra_replays: u64) {
+        self.counters.warp_instructions += 1 + extra_replays;
+        self.counters.active_lane_sum += mask.count() as u64 * (1 + extra_replays);
+        self.mem_cycles += 1 + extra_replays;
+    }
+
+    fn issue_alu(&mut self, mask: Mask) {
+        self.counters.warp_instructions += 1;
+        self.counters.active_lane_sum += mask.count() as u64;
+        self.alu_cycles += 1;
+    }
+
+    /// Warp-wide global load: lane `l` (if active) reads `buf[idx(l)]`.
+    pub fn gload<T: Pod>(
+        &mut self,
+        buf: &DevVec<T>,
+        mask: Mask,
+        mut idx: impl FnMut(usize) -> usize,
+    ) -> [T; WARP] {
+        let mut out = [T::default(); WARP];
+        let mut addrs = [None; WARP];
+        for lane in mask.iter() {
+            let i = idx(lane);
+            out[lane] = buf.get(i);
+            addrs[lane] = Some((buf.addr(i), T::SIZE));
+        }
+        let c = coalesce(&addrs, self.cfg.segment_bytes, self.cfg.sector_bytes);
+        self.counters.gld_transactions += c.segments as u64;
+        self.counters.gld_requested_bytes += c.requested_bytes as u64;
+        self.counters.dram_sectors += c.sectors as u64;
+        self.issue_mem(mask, 0);
+        out
+    }
+
+    /// Warp-wide global store: lane `l` (if active) writes `val(l)` to
+    /// `buf[idx(l)]`. Lanes storing to the same element apply in lane order
+    /// (matching CUDA's unspecified-but-single-winner semantics).
+    pub fn gstore<T: Pod>(
+        &mut self,
+        buf: &mut DevVec<T>,
+        mask: Mask,
+        mut idx: impl FnMut(usize) -> usize,
+        mut val: impl FnMut(usize) -> T,
+    ) {
+        let mut addrs = [None; WARP];
+        for lane in mask.iter() {
+            let i = idx(lane);
+            buf.set(i, val(lane));
+            addrs[lane] = Some((buf.addr(i), T::SIZE));
+        }
+        let c = coalesce(&addrs, self.cfg.segment_bytes, self.cfg.sector_bytes);
+        self.counters.gst_transactions += c.segments as u64;
+        self.counters.gst_requested_bytes += c.requested_bytes as u64;
+        self.counters.dram_sectors += c.sectors as u64;
+        self.issue_mem(mask, 0);
+    }
+
+    /// Warp-wide shared load.
+    pub fn sload<T: Pod>(
+        &mut self,
+        sh: &SharedVec<T>,
+        mask: Mask,
+        mut idx: impl FnMut(usize) -> usize,
+    ) -> [T; WARP] {
+        let mut out = [T::default(); WARP];
+        let mut addrs = [None; WARP];
+        for lane in mask.iter() {
+            let i = idx(lane);
+            out[lane] = sh.get(i);
+            addrs[lane] = Some(sh.addr(i));
+        }
+        let replays = bank_conflicts(&addrs, self.cfg.shared_banks, self.cfg.bank_width_bytes);
+        self.counters.shared_accesses += 1;
+        self.counters.bank_conflict_replays += replays as u64;
+        self.issue_mem(mask, replays as u64);
+        out
+    }
+
+    /// Warp-wide shared store. Same-address lanes apply in lane order.
+    pub fn sstore<T: Pod>(
+        &mut self,
+        sh: &mut SharedVec<T>,
+        mask: Mask,
+        mut idx: impl FnMut(usize) -> usize,
+        mut val: impl FnMut(usize) -> T,
+    ) {
+        let mut addrs = [None; WARP];
+        for lane in mask.iter() {
+            let i = idx(lane);
+            sh.set(i, val(lane));
+            addrs[lane] = Some(sh.addr(i));
+        }
+        let replays = bank_conflicts(&addrs, self.cfg.shared_banks, self.cfg.bank_width_bytes);
+        self.counters.shared_accesses += 1;
+        self.counters.bank_conflict_replays += replays as u64;
+        self.issue_mem(mask, replays as u64);
+    }
+
+    /// Warp-wide *atomic* read-modify-write on shared memory: lane `l`
+    /// applies `f(l, &mut sh[idx(l)])`. Lanes targeting the same element are
+    /// serialized (applied in lane order) and each collision charges one
+    /// replay, modeling shared-memory atomic contention — the cost the paper
+    /// argues is small because shards bound it (Section 4).
+    pub fn supdate<T: Pod>(
+        &mut self,
+        sh: &mut SharedVec<T>,
+        mask: Mask,
+        mut idx: impl FnMut(usize) -> usize,
+        mut f: impl FnMut(usize, &mut T),
+    ) {
+        let mut targets = [usize::MAX; WARP];
+        let mut addrs = [None; WARP];
+        for lane in mask.iter() {
+            let i = idx(lane);
+            targets[lane] = i;
+            addrs[lane] = Some(sh.addr(i));
+        }
+        // Serialization: every additional lane hitting an already-hit
+        // element costs one replay pass.
+        let mut seen = [usize::MAX; WARP];
+        let mut n_seen = 0;
+        let mut collisions = 0u64;
+        for lane in mask.iter() {
+            let t = targets[lane];
+            if seen[..n_seen].contains(&t) {
+                collisions += 1;
+            } else {
+                seen[n_seen] = t;
+                n_seen += 1;
+            }
+            f(lane, sh.get_mut(t));
+        }
+        let bank_replays =
+            bank_conflicts(&addrs, self.cfg.shared_banks, self.cfg.bank_width_bytes) as u64;
+        self.counters.shared_accesses += 1;
+        self.counters.atomic_replays += collisions;
+        self.counters.bank_conflict_replays += bank_replays;
+        self.issue_mem(mask, collisions + bank_replays);
+    }
+
+    /// `insts` pure-compute warp instructions under `mask` (ALU work,
+    /// branches, address arithmetic). Affects issue time and warp execution
+    /// efficiency but no memory counters.
+    pub fn exec(&mut self, mask: Mask, insts: u64) {
+        for _ in 0..insts {
+            self.issue_alu(mask);
+        }
+    }
+
+    /// `__syncthreads()`: a barrier among the block's threads. Costs one
+    /// full-warp instruction per warp in the block.
+    pub fn sync(&mut self) {
+        for _ in 0..self.num_warps() {
+            self.issue_alu(Mask::FULL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::mem::DevVec;
+
+    fn test_block(cfg: &DeviceConfig) -> Block<'_> {
+        Block::new(0, 128, cfg)
+    }
+
+    #[test]
+    fn gload_coalesced_vs_gather() {
+        let cfg = DeviceConfig::gtx780();
+        let mut b = test_block(&cfg);
+        let buf: DevVec<u32> = DevVec::from_parts((0..4096).collect(), 0);
+        // Coalesced: 1 transaction.
+        let out = b.gload(&buf, Mask::FULL, |l| l);
+        assert_eq!(out[5], 5);
+        assert_eq!(b.counters.gld_transactions, 1);
+        // Strided gather: 32 transactions.
+        b.gload(&buf, Mask::FULL, |l| l * 32);
+        assert_eq!(b.counters.gld_transactions, 33);
+        assert_eq!(b.counters.gld_requested_bytes, 256);
+    }
+
+    #[test]
+    fn gstore_writes_and_accounts() {
+        let cfg = DeviceConfig::gtx780();
+        let mut b = test_block(&cfg);
+        let mut buf: DevVec<u32> = DevVec::from_parts(vec![0; 64], 0);
+        b.gstore(&mut buf, Mask::first(4), |l| l, |l| l as u32 * 10);
+        assert_eq!(&buf.host()[..5], &[0, 10, 20, 30, 0]);
+        assert_eq!(b.counters.gst_transactions, 1);
+        assert_eq!(b.counters.gst_requested_bytes, 16);
+    }
+
+    #[test]
+    fn supdate_serializes_same_target() {
+        let cfg = DeviceConfig::gtx780();
+        let mut b = test_block(&cfg);
+        let mut sh = b.shared_alloc::<u32>(4);
+        // All 32 lanes add 1 to element 2: result 32, 31 collisions.
+        b.supdate(&mut sh, Mask::FULL, |_| 2, |_, v| *v += 1);
+        assert_eq!(sh.host()[2], 32);
+        assert_eq!(b.counters.atomic_replays, 31);
+        // Distinct targets: no collisions.
+        let mut sh2 = b.shared_alloc::<u32>(32);
+        let before = b.counters.atomic_replays;
+        b.supdate(&mut sh2, Mask::FULL, |l| l, |l, v| *v = l as u32);
+        assert_eq!(b.counters.atomic_replays, before);
+        assert_eq!(sh2.host()[31], 31);
+    }
+
+    #[test]
+    fn supdate_applies_in_lane_order() {
+        let cfg = DeviceConfig::gtx780();
+        let mut b = test_block(&cfg);
+        let mut sh = b.shared_alloc::<u32>(1);
+        // min-style update: final value is the min over lanes.
+        sh.set(0, 100);
+        b.supdate(&mut sh, Mask::FULL, |_| 0, |l, v| *v = (*v).min(31 - l as u32));
+        assert_eq!(sh.host()[0], 0);
+    }
+
+    #[test]
+    fn warp_efficiency_tracks_masks() {
+        let cfg = DeviceConfig::gtx780();
+        let mut b = test_block(&cfg);
+        b.exec(Mask::FULL, 1);
+        b.exec(Mask::first(8), 1);
+        assert_eq!(b.counters.warp_instructions, 2);
+        assert_eq!(b.counters.active_lane_sum, 40);
+    }
+
+    #[test]
+    fn shared_alloc_respects_quota() {
+        let cfg = DeviceConfig::tiny_test(); // 1 KiB
+        let mut b = Block::new(0, 32, &cfg);
+        let _a = b.shared_alloc::<u32>(128); // 512 B
+        assert_eq!(b.shared_used(), 512);
+        let _b = b.shared_alloc::<u32>(128); // 1024 B: exactly at limit
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.shared_alloc::<u32>(1)
+        }));
+        assert!(r.is_err(), "over-allocation must panic");
+    }
+
+    #[test]
+    fn sync_charges_per_warp() {
+        let cfg = DeviceConfig::gtx780();
+        let mut b = test_block(&cfg); // 128 threads = 4 warps
+        b.sync();
+        assert_eq!(b.counters.warp_instructions, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_rejected() {
+        let cfg = DeviceConfig::gtx780();
+        let _ = Block::new(0, 2048, &cfg);
+    }
+
+    #[test]
+    fn sload_bank_conflict_replays() {
+        let cfg = DeviceConfig::gtx780();
+        let mut b = test_block(&cfg);
+        let mut sh = b.shared_alloc::<u32>(1024);
+        for i in 0..1024 {
+            sh.set(i, i as u32);
+        }
+        let i0 = b.mem_cycles;
+        b.sload(&sh, Mask::FULL, |l| l); // conflict-free
+        assert_eq!(b.mem_cycles - i0, 1);
+        let i1 = b.mem_cycles;
+        b.sload(&sh, Mask::FULL, |l| l * 32); // 32-way conflict
+        assert_eq!(b.mem_cycles - i1, 32);
+    }
+}

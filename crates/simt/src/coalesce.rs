@@ -1,0 +1,213 @@
+//! Memory-coalescing math: mapping a warp's per-lane accesses onto aligned
+//! memory segments and sectors.
+//!
+//! The GPU memory controller services a warp's global access with one
+//! transaction per distinct aligned segment touched by its active lanes.
+//! Fully coalesced accesses (32 consecutive 4-byte words) need a single
+//! 128-byte transaction; a random gather needs up to 32. This module is the
+//! arithmetic core behind the simulator's `gld`/`gst` efficiency counters.
+
+use crate::counters::WARP;
+
+/// Result of coalescing one warp-wide memory operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coalesced {
+    /// Number of distinct aligned segments (transactions).
+    pub segments: u32,
+    /// Number of distinct aligned sectors (DRAM traffic granularity).
+    pub sectors: u32,
+    /// Bytes actually requested by active lanes.
+    pub requested_bytes: u32,
+}
+
+/// Coalesces the byte accesses `(addr, len)` of the active lanes.
+///
+/// `addrs[i]` is `Some((byte_address, access_bytes))` for active lanes.
+/// `segment_bytes` and `sector_bytes` must be powers of two.
+pub fn coalesce(
+    addrs: &[Option<(u64, u32)>; WARP],
+    segment_bytes: u32,
+    sector_bytes: u32,
+) -> Coalesced {
+    debug_assert!(segment_bytes.is_power_of_two() && sector_bytes.is_power_of_two());
+    let mut segs = [0u64; WARP * 2]; // an access may straddle two segments
+    let mut secs = [0u64; WARP * 4];
+    let mut nsegs = 0;
+    let mut nsecs = 0;
+    let mut requested = 0u32;
+    for a in addrs.iter().flatten() {
+        let (addr, len) = *a;
+        debug_assert!(len > 0);
+        requested += len;
+        let first_seg = addr >> segment_bytes.trailing_zeros();
+        let last_seg = (addr + len as u64 - 1) >> segment_bytes.trailing_zeros();
+        for s in first_seg..=last_seg {
+            segs[nsegs] = s;
+            nsegs += 1;
+        }
+        let first_sec = addr >> sector_bytes.trailing_zeros();
+        let last_sec = (addr + len as u64 - 1) >> sector_bytes.trailing_zeros();
+        for s in first_sec..=last_sec {
+            secs[nsecs] = s;
+            nsecs += 1;
+        }
+    }
+    let segs = &mut segs[..nsegs];
+    segs.sort_unstable();
+    let segments = count_distinct(segs);
+    let secs = &mut secs[..nsecs];
+    secs.sort_unstable();
+    let sectors = count_distinct(secs);
+    Coalesced { segments, sectors, requested_bytes: requested }
+}
+
+fn count_distinct(sorted: &[u64]) -> u32 {
+    let mut n = 0;
+    let mut prev = None;
+    for &x in sorted {
+        if Some(x) != prev {
+            n += 1;
+            prev = Some(x);
+        }
+    }
+    n
+}
+
+/// Computes the shared-memory conflict degree of a warp access: the maximum
+/// number of active lanes hitting the same bank *at different addresses*
+/// (same-address lanes broadcast and do not conflict). The returned value is
+/// the number of replays, i.e. `max_per_bank_distinct_addresses - 1`
+/// (0 for a conflict-free access).
+pub fn bank_conflicts(
+    addrs: &[Option<u64>; WARP],
+    banks: u32,
+    bank_width: u32,
+) -> u32 {
+    // For each bank, collect the distinct word addresses accessed.
+    let mut words = [(u64::MAX, 0u32); WARP];
+    let mut n = 0;
+    for a in addrs.iter().flatten() {
+        let word = a / bank_width as u64;
+        let bank = (word % banks as u64) as u32;
+        words[n] = (word, bank);
+        n += 1;
+    }
+    let words = &mut words[..n];
+    words.sort_unstable();
+    let mut per_bank = [0u32; 64];
+    let mut prev_word = u64::MAX;
+    for &(word, bank) in words.iter() {
+        if word != prev_word {
+            per_bank[bank as usize] += 1;
+            prev_word = word;
+        }
+    }
+    per_bank.iter().copied().max().unwrap_or(0).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes(addrs: impl IntoIterator<Item = (u64, u32)>) -> [Option<(u64, u32)>; WARP] {
+        let mut out = [None; WARP];
+        for (i, a) in addrs.into_iter().enumerate() {
+            out[i] = Some(a);
+        }
+        out
+    }
+
+    #[test]
+    fn fully_coalesced_single_segment() {
+        // 32 consecutive 4-byte words starting at an aligned address.
+        let a = lanes((0..32).map(|i| (i * 4, 4u32)));
+        let c = coalesce(&a, 128, 32);
+        assert_eq!(c.segments, 1);
+        assert_eq!(c.sectors, 4);
+        assert_eq!(c.requested_bytes, 128);
+    }
+
+    #[test]
+    fn misaligned_costs_one_extra_segment() {
+        let a = lanes((0..32).map(|i| (64 + i * 4, 4u32)));
+        let c = coalesce(&a, 128, 32);
+        assert_eq!(c.segments, 2);
+    }
+
+    #[test]
+    fn random_gather_needs_many_segments() {
+        // Strided by 128 bytes: every lane its own segment.
+        let a = lanes((0..32).map(|i| (i * 128, 4u32)));
+        let c = coalesce(&a, 128, 32);
+        assert_eq!(c.segments, 32);
+        assert_eq!(c.sectors, 32);
+        assert_eq!(c.requested_bytes, 128);
+    }
+
+    #[test]
+    fn duplicate_addresses_collapse() {
+        let a = lanes((0..32).map(|_| (256, 4u32)));
+        let c = coalesce(&a, 128, 32);
+        assert_eq!(c.segments, 1);
+        assert_eq!(c.sectors, 1);
+        assert_eq!(c.requested_bytes, 128);
+    }
+
+    #[test]
+    fn partial_warp_counts_only_active() {
+        let a = lanes((0..4).map(|i| (i * 4, 4u32)));
+        let c = coalesce(&a, 128, 32);
+        assert_eq!(c.segments, 1);
+        assert_eq!(c.requested_bytes, 16);
+    }
+
+    #[test]
+    fn wide_access_straddles_segments() {
+        // One 8-byte access crossing a 128-byte boundary.
+        let a = lanes([(124, 8u32)]);
+        let c = coalesce(&a, 128, 32);
+        assert_eq!(c.segments, 2);
+        assert_eq!(c.sectors, 2);
+    }
+
+    #[test]
+    fn empty_mask_is_free() {
+        let a = [None; WARP];
+        let c = coalesce(&a, 128, 32);
+        assert_eq!(c, Coalesced::default());
+    }
+
+    fn baddrs(addrs: impl IntoIterator<Item = u64>) -> [Option<u64>; WARP] {
+        let mut out = [None; WARP];
+        for (i, a) in addrs.into_iter().enumerate() {
+            out[i] = Some(a);
+        }
+        out
+    }
+
+    #[test]
+    fn conflict_free_consecutive_words() {
+        let a = baddrs((0..32).map(|i| i * 4));
+        assert_eq!(bank_conflicts(&a, 32, 4), 0);
+    }
+
+    #[test]
+    fn same_address_broadcasts() {
+        let a = baddrs((0..32).map(|_| 64));
+        assert_eq!(bank_conflicts(&a, 32, 4), 0);
+    }
+
+    #[test]
+    fn stride_two_creates_two_way_conflict() {
+        // Words 0, 2, 4, ..., 62: banks 0, 2, ..., 30, 0, 2, ... => 2 lanes
+        // per used bank at distinct addresses => 1 replay.
+        let a = baddrs((0..32).map(|i| i * 8));
+        assert_eq!(bank_conflicts(&a, 32, 4), 1);
+    }
+
+    #[test]
+    fn stride_32_words_serializes_fully() {
+        let a = baddrs((0..32).map(|i| i * 32 * 4));
+        assert_eq!(bank_conflicts(&a, 32, 4), 31);
+    }
+}

@@ -1,0 +1,237 @@
+//! Profiling counters, lane masks, and per-kernel statistics.
+
+/// Warp width of the simulated device (all NVIDIA architectures to date).
+pub const WARP: usize = 32;
+
+/// Active-lane mask of a warp instruction; bit `i` = lane `i` active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mask(pub u32);
+
+impl Mask {
+    /// All 32 lanes active.
+    pub const FULL: Mask = Mask(u32::MAX);
+    /// No lanes active.
+    pub const NONE: Mask = Mask(0);
+
+    /// Mask with the first `n` lanes active (`n <= 32`).
+    #[inline]
+    pub fn first(n: usize) -> Mask {
+        debug_assert!(n <= WARP);
+        if n >= WARP {
+            Mask::FULL
+        } else {
+            Mask((1u32 << n) - 1)
+        }
+    }
+
+    /// Builds a mask from a per-lane predicate.
+    #[inline]
+    pub fn from_fn(mut f: impl FnMut(usize) -> bool) -> Mask {
+        let mut m = 0u32;
+        for lane in 0..WARP {
+            if f(lane) {
+                m |= 1 << lane;
+            }
+        }
+        Mask(m)
+    }
+
+    /// Is lane `i` active?
+    #[inline]
+    pub fn lane(self, i: usize) -> bool {
+        self.0 & (1 << i) != 0
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if no lane is active.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Intersection of two masks.
+    #[inline]
+    pub fn and(self, other: Mask) -> Mask {
+        Mask(self.0 & other.0)
+    }
+
+    /// Iterator over active lane indices.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..WARP).filter(move |&i| self.lane(i))
+    }
+}
+
+/// Raw event counters accumulated while a kernel runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Counters {
+    /// Warp instructions issued (every warp-wide operation counts one).
+    pub warp_instructions: u64,
+    /// Sum of active lanes over all issued warp instructions.
+    pub active_lane_sum: u64,
+    /// Global-load transactions (distinct 128 B segments).
+    pub gld_transactions: u64,
+    /// Bytes requested by global loads.
+    pub gld_requested_bytes: u64,
+    /// Global-store transactions.
+    pub gst_transactions: u64,
+    /// Bytes requested by global stores.
+    pub gst_requested_bytes: u64,
+    /// DRAM sectors moved (loads + stores), for bandwidth accounting.
+    pub dram_sectors: u64,
+    /// Shared-memory accesses issued.
+    pub shared_accesses: u64,
+    /// Shared-memory bank-conflict replays.
+    pub bank_conflict_replays: u64,
+    /// Extra passes serializing same-address shared atomics.
+    pub atomic_replays: u64,
+}
+
+impl Counters {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &Counters) {
+        self.warp_instructions += other.warp_instructions;
+        self.active_lane_sum += other.active_lane_sum;
+        self.gld_transactions += other.gld_transactions;
+        self.gld_requested_bytes += other.gld_requested_bytes;
+        self.gst_transactions += other.gst_transactions;
+        self.gst_requested_bytes += other.gst_requested_bytes;
+        self.dram_sectors += other.dram_sectors;
+        self.shared_accesses += other.shared_accesses;
+        self.bank_conflict_replays += other.bank_conflict_replays;
+        self.atomic_replays += other.atomic_replays;
+    }
+}
+
+/// Statistics of one simulated kernel launch, in `nvprof` terms.
+#[derive(Clone, Debug, Default)]
+pub struct KernelStats {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Number of blocks launched.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Accumulated raw counters.
+    pub counters: Counters,
+    /// Modeled issue-limited time in seconds (max over SMs).
+    pub issue_seconds: f64,
+    /// Modeled DRAM-limited time in seconds.
+    pub dram_seconds: f64,
+    /// Total modeled kernel time in seconds (roofline + launch overhead).
+    pub seconds: f64,
+}
+
+impl KernelStats {
+    /// Global-memory *load* efficiency: requested bytes over transferred
+    /// bytes (`transactions * segment size`); 100 % means every transaction
+    /// was fully used.
+    pub fn gld_efficiency(&self) -> f64 {
+        ratio(
+            self.counters.gld_requested_bytes,
+            self.counters.gld_transactions * 128,
+        )
+    }
+
+    /// Global-memory *store* efficiency.
+    pub fn gst_efficiency(&self) -> f64 {
+        ratio(
+            self.counters.gst_requested_bytes,
+            self.counters.gst_transactions * 128,
+        )
+    }
+
+    /// Combined load+store efficiency ("global memory accesses" column of
+    /// the paper's Table 2).
+    pub fn gmem_efficiency(&self) -> f64 {
+        ratio(
+            self.counters.gld_requested_bytes + self.counters.gst_requested_bytes,
+            (self.counters.gld_transactions + self.counters.gst_transactions) * 128,
+        )
+    }
+
+    /// Warp execution efficiency: mean fraction of active lanes per issued
+    /// warp instruction.
+    pub fn warp_execution_efficiency(&self) -> f64 {
+        ratio(
+            self.counters.active_lane_sum,
+            self.counters.warp_instructions * WARP as u64,
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        // No accesses issued: report perfect efficiency, as nvprof omits the
+        // metric; callers averaging across kernels skip empty ones anyway.
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_first() {
+        assert_eq!(Mask::first(0), Mask::NONE);
+        assert_eq!(Mask::first(32), Mask::FULL);
+        assert_eq!(Mask::first(3).count(), 3);
+        assert!(Mask::first(3).lane(2));
+        assert!(!Mask::first(3).lane(3));
+    }
+
+    #[test]
+    fn mask_from_fn_and_iter() {
+        let m = Mask::from_fn(|i| i % 2 == 0);
+        assert_eq!(m.count(), 16);
+        assert_eq!(m.iter().collect::<Vec<_>>()[..3], [0, 2, 4]);
+        assert_eq!(m.and(Mask::first(4)).count(), 2);
+    }
+
+    #[test]
+    fn efficiencies() {
+        let mut s = KernelStats::default();
+        s.counters.gld_requested_bytes = 128;
+        s.counters.gld_transactions = 1;
+        assert!((s.gld_efficiency() - 1.0).abs() < 1e-12);
+        s.counters.gld_transactions = 4;
+        assert!((s.gld_efficiency() - 0.25).abs() < 1e-12);
+        // Store side independent.
+        s.counters.gst_requested_bytes = 4;
+        s.counters.gst_transactions = 1;
+        assert!((s.gst_efficiency() - 4.0 / 128.0).abs() < 1e-12);
+        // Combined.
+        assert!((s.gmem_efficiency() - 132.0 / (5.0 * 128.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warp_efficiency() {
+        let mut s = KernelStats::default();
+        s.counters.warp_instructions = 10;
+        s.counters.active_lane_sum = 160;
+        assert!((s.warp_execution_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_kernel_reports_unity() {
+        let s = KernelStats::default();
+        assert_eq!(s.gld_efficiency(), 1.0);
+        assert_eq!(s.warp_execution_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn counters_add() {
+        let mut a = Counters { warp_instructions: 1, ..Default::default() };
+        let b = Counters { warp_instructions: 2, gld_transactions: 3, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.warp_instructions, 3);
+        assert_eq!(a.gld_transactions, 3);
+    }
+}

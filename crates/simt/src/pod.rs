@@ -1,0 +1,36 @@
+//! Plain-old-data marker for values that can live in simulated device memory.
+
+/// Types storable in device/shared memory.
+///
+/// `SIZE` is the *device-side* size in bytes used for address math and
+/// traffic accounting; it defaults to the host `size_of` and must never be
+/// zero (CUDA has no zero-sized objects in memory; genuinely value-less
+/// algorithms like BFS use a 4-byte vertex value and no edge array at all,
+/// which is modeled by not allocating the buffer).
+pub trait Pod: Copy + Default + Send + Sync + 'static {
+    /// Device-side size in bytes.
+    const SIZE: u32 = std::mem::size_of::<Self>() as u32;
+}
+
+impl Pod for u8 {}
+impl Pod for u16 {}
+impl Pod for u32 {}
+impl Pod for u64 {}
+impl Pod for i32 {}
+impl Pod for i64 {}
+impl Pod for f32 {}
+impl Pod for f64 {}
+impl Pod for (u32, u32) {}
+impl Pod for (f32, f32) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_host_layout() {
+        assert_eq!(u32::SIZE, 4);
+        assert_eq!(f64::SIZE, 8);
+        assert_eq!(<(u32, u32)>::SIZE, 8);
+    }
+}

@@ -1,0 +1,163 @@
+//! `nvprof`-style profiling reports over a device's kernel history.
+//!
+//! When profiling is enabled on a [`crate::Gpu`], every launch's
+//! [`KernelStats`] is retained; [`Profile::report`] renders the aggregate
+//! view the paper's Table 2 / Figure 8 discussions are based on: per
+//! kernel, the launch count, total/mean modeled time, and the three
+//! efficiency metrics.
+
+use crate::counters::{Counters, KernelStats};
+use std::collections::BTreeMap;
+
+/// Aggregated statistics of one kernel (grouped by name).
+#[derive(Clone, Debug, Default)]
+pub struct KernelAggregate {
+    /// Number of launches.
+    pub launches: u64,
+    /// Sum of modeled kernel seconds.
+    pub total_seconds: f64,
+    /// Sum of raw counters across launches.
+    pub counters: Counters,
+}
+
+impl KernelAggregate {
+    fn absorb(&mut self, s: &KernelStats) {
+        self.launches += 1;
+        self.total_seconds += s.seconds;
+        self.counters.add(&s.counters);
+    }
+
+    /// Whole-history global-load efficiency.
+    pub fn gld_efficiency(&self) -> f64 {
+        self.as_stats().gld_efficiency()
+    }
+
+    /// Whole-history global-store efficiency.
+    pub fn gst_efficiency(&self) -> f64 {
+        self.as_stats().gst_efficiency()
+    }
+
+    /// Whole-history warp execution efficiency.
+    pub fn warp_execution_efficiency(&self) -> f64 {
+        self.as_stats().warp_execution_efficiency()
+    }
+
+    fn as_stats(&self) -> KernelStats {
+        KernelStats { counters: self.counters, ..Default::default() }
+    }
+}
+
+/// A device's profiling history.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    log: Vec<KernelStats>,
+}
+
+impl Profile {
+    /// Records one launch.
+    pub fn record(&mut self, stats: &KernelStats) {
+        self.log.push(stats.clone());
+    }
+
+    /// All recorded launches, in order.
+    pub fn launches(&self) -> &[KernelStats] {
+        &self.log
+    }
+
+    /// Aggregates grouped by kernel name.
+    pub fn aggregates(&self) -> BTreeMap<String, KernelAggregate> {
+        let mut map: BTreeMap<String, KernelAggregate> = BTreeMap::new();
+        for s in &self.log {
+            map.entry(s.name.clone()).or_default().absorb(s);
+        }
+        map
+    }
+
+    /// Renders an `nvprof`-style summary table.
+    pub fn report(&self) -> String {
+        let mut out = String::from(
+            "kernel                                    launches   total ms    avg ms   gld%   gst%  warp%\n",
+        );
+        for (name, agg) in self.aggregates() {
+            let total_ms = agg.total_seconds * 1e3;
+            out.push_str(&format!(
+                "{:<42}{:>9}{:>11.3}{:>10.4}{:>7.1}{:>7.1}{:>7.1}\n",
+                truncate(&name, 41),
+                agg.launches,
+                total_ms,
+                total_ms / agg.launches as f64,
+                agg.gld_efficiency() * 100.0,
+                agg.gst_efficiency() * 100.0,
+                agg.warp_execution_efficiency() * 100.0,
+            ));
+        }
+        out
+    }
+
+    /// Forgets all recorded launches.
+    pub fn clear(&mut self) {
+        self.log.clear();
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(name: &str, secs: f64, gld_req: u64, gld_tx: u64) -> KernelStats {
+        KernelStats {
+            name: name.into(),
+            seconds: secs,
+            counters: Counters {
+                warp_instructions: 10,
+                active_lane_sum: 320,
+                gld_requested_bytes: gld_req,
+                gld_transactions: gld_tx,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_group_by_name() {
+        let mut p = Profile::default();
+        p.record(&fake("bfs", 0.001, 128, 1));
+        p.record(&fake("bfs", 0.003, 128, 4));
+        p.record(&fake("sssp", 0.002, 64, 1));
+        let aggs = p.aggregates();
+        assert_eq!(aggs.len(), 2);
+        let bfs = &aggs["bfs"];
+        assert_eq!(bfs.launches, 2);
+        assert!((bfs.total_seconds - 0.004).abs() < 1e-12);
+        // 256 requested over 5 transactions of 128 B.
+        assert!((bfs.gld_efficiency() - 256.0 / 640.0).abs() < 1e-12);
+        assert!((bfs.warp_execution_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_rows() {
+        let mut p = Profile::default();
+        p.record(&fake("kernel-a", 0.5, 128, 1));
+        let r = p.report();
+        assert!(r.contains("kernel-a"));
+        assert!(r.contains("500.000"));
+        p.clear();
+        assert_eq!(p.launches().len(), 0);
+    }
+
+    #[test]
+    fn long_names_truncate() {
+        assert_eq!(truncate("abc", 5), "abc");
+        let t = truncate("abcdefghij", 5);
+        assert!(t.chars().count() == 5 && t.ends_with('…'));
+    }
+}

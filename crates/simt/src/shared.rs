@@ -1,0 +1,75 @@
+//! Simulated per-block shared memory.
+//!
+//! A [`SharedVec`] is allocated from a block's shared-memory quota via
+//! [`crate::Block::shared_alloc`]. It carries a shared-address-space base so
+//! bank-conflict math sees real addresses. Lifetime is the block's closure
+//! invocation, exactly like `__shared__` arrays in CUDA.
+
+use crate::pod::Pod;
+
+/// A typed shared-memory array belonging to one block.
+#[derive(Debug)]
+pub struct SharedVec<T: Pod> {
+    data: Vec<T>,
+    base: u64,
+}
+
+impl<T: Pod> SharedVec<T> {
+    pub(crate) fn from_parts(data: Vec<T>, base: u64) -> Self {
+        SharedVec { data, base }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Shared-space byte address of element `idx`.
+    #[inline]
+    pub fn addr(&self, idx: usize) -> u64 {
+        debug_assert!(idx < self.data.len());
+        self.base + (idx as u64) * T::SIZE as u64
+    }
+
+    /// Direct (un-accounted) view; for assertions inside kernels and tests.
+    #[inline]
+    pub fn host(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, idx: usize) -> T {
+        self.data[idx]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, idx: usize, v: T) {
+        self.data[idx] = v;
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, idx: usize) -> &mut T {
+        &mut self.data[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing() {
+        let s: SharedVec<f32> = SharedVec::from_parts(vec![0.0; 4], 128);
+        assert_eq!(s.addr(0), 128);
+        assert_eq!(s.addr(2), 136);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Warp-scheduling helpers for kernel code.
+//!
+//! Kernels written against the simulator express "`n` items processed by the
+//! block's threads with stride `blockDim`" as a sequence of warp-sized
+//! chunks; [`warp_chunks`] produces them with the right tail mask. The
+//! virtual-warp helpers below support the VWC baseline, where one physical
+//! warp multiplexes several virtual warps of width 2–32.
+
+use crate::counters::{Mask, WARP};
+
+/// Splits `0..n` into warp-sized chunks `(start, mask)`, where `mask`
+/// activates the first `min(32, n - start)` lanes. Item `start + lane` is
+/// processed by `lane`. This is the simulation-side equivalent of the
+/// canonical grid-stride/block-stride loop: the *set* of (warp, items)
+/// pairings is identical, only enumeration order differs, which is
+/// irrelevant to both results (lane writes are disjoint or atomic) and
+/// accounting (counters are sums).
+pub fn warp_chunks(n: usize) -> impl Iterator<Item = (usize, Mask)> {
+    (0..n).step_by(WARP).map(move |start| {
+        let lanes = (n - start).min(WARP);
+        (start, Mask::first(lanes))
+    })
+}
+
+/// Splits an arbitrary index range into *alignment-preserving* warp chunks:
+/// every yielded `(base, mask)` has `base` a multiple of the warp width and
+/// `mask` activating exactly the lanes `l` with `base + l` inside `range`
+/// (so the first and last chunks may be partial). Lane `l` processes index
+/// `base + l`; because buffers are 256-byte aligned, a contiguous sweep
+/// issued this way produces segment-aligned, fully-coalesced transactions —
+/// the standard CUDA idiom of deriving the element index from the global
+/// thread index.
+pub fn aligned_chunks(
+    range: std::ops::Range<usize>,
+) -> impl Iterator<Item = (usize, Mask)> {
+    let start = range.start;
+    let end = range.end;
+    let first_base = start - (start % WARP);
+    (first_base..end)
+        .step_by(WARP)
+        .map(move |base| {
+            let mask = Mask::from_fn(|l| {
+                let i = base + l;
+                i >= start && i < end
+            });
+            (base, mask)
+        })
+        .filter(|(_, mask)| !mask.is_empty())
+}
+
+/// Describes how a physical warp is divided into virtual warps of width
+/// `vw` (2, 4, 8, 16 or 32), as in the Virtual Warp-Centric method.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtualWarps {
+    /// Virtual warp width in lanes.
+    pub vw: usize,
+}
+
+impl VirtualWarps {
+    /// Creates the layout; `vw` must divide the warp width.
+    pub fn new(vw: usize) -> Self {
+        assert!(
+            vw > 0 && WARP.is_multiple_of(vw),
+            "virtual warp size {vw} must divide {WARP}"
+        );
+        VirtualWarps { vw }
+    }
+
+    /// Virtual warps per physical warp.
+    #[inline]
+    pub fn per_physical(&self) -> usize {
+        WARP / self.vw
+    }
+
+    /// The virtual-warp index (within the physical warp) that lane belongs to.
+    #[inline]
+    pub fn group_of(&self, lane: usize) -> usize {
+        lane / self.vw
+    }
+
+    /// The lane's index within its virtual warp (`virtual_lane_ID`).
+    #[inline]
+    pub fn lane_in_group(&self, lane: usize) -> usize {
+        lane % self.vw
+    }
+
+    /// Mask activating `virtual_lane_ID == 0` of every virtual warp.
+    pub fn leaders(&self) -> Mask {
+        Mask::from_fn(|l| self.lane_in_group(l) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly() {
+        let chunks: Vec<_> = warp_chunks(70).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], (0, Mask::FULL));
+        assert_eq!(chunks[1], (32, Mask::FULL));
+        assert_eq!(chunks[2].0, 64);
+        assert_eq!(chunks[2].1.count(), 6);
+        let total: u32 = chunks.iter().map(|c| c.1.count()).sum();
+        assert_eq!(total, 70);
+    }
+
+    #[test]
+    fn zero_items_yield_no_chunks() {
+        assert_eq!(warp_chunks(0).count(), 0);
+    }
+
+    #[test]
+    fn exact_multiple() {
+        let chunks: Vec<_> = warp_chunks(64).collect();
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(|c| c.1 == Mask::FULL));
+    }
+
+    #[test]
+    fn virtual_warp_layout() {
+        let v = VirtualWarps::new(8);
+        assert_eq!(v.per_physical(), 4);
+        assert_eq!(v.group_of(0), 0);
+        assert_eq!(v.group_of(9), 1);
+        assert_eq!(v.lane_in_group(9), 1);
+        assert_eq!(v.leaders().count(), 4);
+        assert!(v.leaders().lane(0));
+        assert!(v.leaders().lane(8));
+        assert!(!v.leaders().lane(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_vw_rejected() {
+        VirtualWarps::new(3);
+    }
+
+    #[test]
+    fn aligned_chunks_cover_range_with_aligned_bases() {
+        let chunks: Vec<_> = aligned_chunks(37..105).collect();
+        // Bases 32, 64, 96 — all warp-aligned.
+        assert!(chunks.iter().all(|c| c.0 % WARP == 0));
+        assert_eq!(chunks.len(), 3);
+        // First chunk activates lanes 5..32 (indices 37..64).
+        assert_eq!(chunks[0], (32, Mask::from_fn(|l| l >= 5)));
+        // Exactly the 68 indices of the range are covered once.
+        let total: u32 = chunks.iter().map(|c| c.1.count()).sum();
+        assert_eq!(total, 68);
+        // Last chunk covers 96..105 => lanes 0..9.
+        assert_eq!(chunks[2].1, Mask::first(9));
+    }
+
+    #[test]
+    fn aligned_chunks_empty_and_aligned_ranges() {
+        assert_eq!(aligned_chunks(10..10).count(), 0);
+        let chunks: Vec<_> = aligned_chunks(64..128).collect();
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(|c| c.1 == Mask::FULL));
+    }
+}

@@ -1,0 +1,97 @@
+//! Defining a *new* vertex-centric algorithm on CuSha — the programmability
+//! claim of the paper's Section 4: supply `Vertex`/`Edge` types plus
+//! `init_compute` / `compute` / `update_condition`, and the framework
+//! handles shards, windows, and parallelization.
+//!
+//! The algorithm: **multi-source reachability**. Up to 32 seed vertices
+//! each own a bit; every vertex converges to the OR of the seed-bits that
+//! can reach it. `compute` is a bitwise OR — commutative and associative,
+//! as the framework requires.
+//!
+//! ```sh
+//! cargo run --release --example custom_algorithm
+//! ```
+
+use cusha::core::{run, CuShaConfig, VertexProgram};
+use cusha::graph::analysis::reachable_from;
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::graph::VertexId;
+
+/// Which of up to 32 seeds reach each vertex.
+struct MultiSourceReach {
+    seeds: Vec<VertexId>,
+}
+
+impl VertexProgram for MultiSourceReach {
+    type V = u32; // bitset of seeds that reach this vertex
+    type E = u32;
+    type SV = u32;
+    const HAS_EDGE_VALUES: bool = false;
+    const HAS_STATIC_VALUES: bool = false;
+    const COMPUTE_COST: u64 = 1;
+
+    fn name(&self) -> &'static str {
+        "multi-source-reach"
+    }
+
+    fn initial_value(&self, v: VertexId) -> u32 {
+        self.seeds
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == v)
+            .fold(0, |acc, (bit, _)| acc | (1 << bit))
+    }
+
+    fn edge_value(&self, _raw: u32) -> u32 {
+        0
+    }
+
+    fn init_compute(&self, local: &mut u32, global: &u32) {
+        *local = *global;
+    }
+
+    fn compute(&self, src: &u32, _st: &u32, _e: &u32, local: &mut u32) {
+        *local |= *src;
+    }
+
+    fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
+        *local != *old
+    }
+}
+
+fn main() {
+    let graph = rmat(&RmatConfig::graph500(12, 40_000, 123));
+    let seeds: Vec<VertexId> = (0..8).map(|i| i * 37 + 1).collect();
+    println!(
+        "graph: {} vertices, {} edges; seeds: {seeds:?}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let prog = MultiSourceReach { seeds: seeds.clone() };
+    let out = run(&prog, &graph, &CuShaConfig::cw());
+    println!(
+        "converged in {} iterations ({:.2} ms modeled GPU time)",
+        out.stats.iterations,
+        out.stats.total_ms()
+    );
+
+    // Report coverage per seed and verify against plain DFS reachability.
+    for (bit, &seed) in seeds.iter().enumerate() {
+        let covered = out
+            .values
+            .iter()
+            .filter(|&&v| v & (1 << bit) != 0)
+            .count();
+        let oracle = reachable_from(&graph, seed);
+        let expected = oracle.iter().filter(|&&r| r).count();
+        assert_eq!(covered, expected, "seed {seed} coverage mismatch");
+        println!("  seed {seed:>4} reaches {covered:>5} vertices (verified)");
+    }
+    let multi = out
+        .values
+        .iter()
+        .filter(|&&v| v.count_ones() >= 2)
+        .count();
+    println!("{multi} vertices are reachable from 2+ seeds");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run BFS over a generated scale-free graph with both CuSha
+//! representations and the VWC-CSR baseline, and print what the framework
+//! measured.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cusha::algos::Bfs;
+use cusha::baselines::{run_vwc, VwcConfig};
+use cusha::core::{run, CuShaConfig};
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+
+fn main() {
+    // A Graph500-style RMAT graph: 2^14 vertices, ~130k edges.
+    let graph = rmat(&RmatConfig::graph500(14, 1 << 17, 7));
+    println!(
+        "graph: {} vertices, {} edges (avg degree {:.1})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.avg_degree()
+    );
+
+    let bfs = Bfs::new(0);
+
+    for (label, cfg) in [("CuSha-GS", CuShaConfig::gs()), ("CuSha-CW", CuShaConfig::cw())] {
+        let out = run(&bfs, &graph, &cfg);
+        let s = &out.stats;
+        println!(
+            "{label:>10}: {:>8.3} ms total ({:.3} H2D + {:.3} kernel + {:.3} D2H), \
+             {} iterations, gld {:.0}%, warp exec {:.0}%",
+            s.total_ms(),
+            s.h2d_seconds * 1e3,
+            s.compute_seconds * 1e3,
+            s.d2h_seconds * 1e3,
+            s.iterations,
+            s.kernel.gld_efficiency() * 100.0,
+            s.kernel.warp_execution_efficiency() * 100.0,
+        );
+    }
+
+    let vwc = run_vwc(&bfs, &graph, &VwcConfig::new(8));
+    let s = &vwc.stats;
+    println!(
+        "{:>10}: {:>8.3} ms total, {} iterations, gld {:.0}%, warp exec {:.0}%",
+        s.engine,
+        s.total_ms(),
+        s.iterations,
+        s.kernel.gld_efficiency() * 100.0,
+        s.kernel.warp_execution_efficiency() * 100.0,
+    );
+
+    let reached = vwc.values.iter().filter(|&&l| l != u32::MAX).count();
+    println!("BFS reached {reached} vertices from vertex 0");
+}

@@ -1,0 +1,227 @@
+//! `cusha` — run any of the eight paper benchmarks over a graph from disk
+//! (SNAP-style edge list or the compact binary format) or a generator, on
+//! any engine.
+//!
+//! ```text
+//! cusha --algo bfs --input graph.txt [--engine cw|gs|vwc:8|mtcpu:4]
+//!       [--source N] [--shard-size N] [--max-iters N] [--output out.txt]
+//! cusha --algo pagerank --rmat 16:1000000 --engine cw
+//! ```
+
+use cusha::algos::{
+    Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, NeuralNetwork, PageRank, Sswp,
+    Sssp,
+};
+use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
+use cusha::core::{run, CuShaConfig, Repr, RunStats, VertexProgram};
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::graph::{io, Graph};
+use std::io::Write;
+use std::process::exit;
+
+struct Args {
+    algo: String,
+    input: Option<String>,
+    rmat: Option<(u32, u64)>,
+    engine: String,
+    source: u32,
+    shard_size: Option<u32>,
+    max_iters: u32,
+    output: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cusha --algo <bfs|sssp|pagerank|cc|sswp|nn|hs|cs>\n\
+         \x20      (--input <edge-list-or-.bin> | --rmat <scale>:<edges>)\n\
+         \x20      [--engine <cw|gs|vwc:<2|4|8|16|32>|mtcpu:<threads>>] (default cw)\n\
+         \x20      [--source <vertex>] [--shard-size <N>] [--max-iters <n>]\n\
+         \x20      [--output <path>]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        algo: String::new(),
+        input: None,
+        rmat: None,
+        engine: "cw".into(),
+        source: 0,
+        shard_size: None,
+        max_iters: 10_000,
+        output: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |argv: &[String], i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--algo" => args.algo = take(&argv, &mut i).to_lowercase(),
+            "--input" => args.input = Some(take(&argv, &mut i)),
+            "--rmat" => {
+                let spec = take(&argv, &mut i);
+                let (s, e) = spec.split_once(':').unwrap_or_else(|| usage());
+                args.rmat = Some((
+                    s.parse().unwrap_or_else(|_| usage()),
+                    e.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--engine" => args.engine = take(&argv, &mut i).to_lowercase(),
+            "--source" => args.source = take(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--shard-size" => {
+                args.shard_size = Some(take(&argv, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-iters" => {
+                args.max_iters = take(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--output" => args.output = Some(take(&argv, &mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if args.algo.is_empty() || (args.input.is_none() && args.rmat.is_none()) {
+        usage();
+    }
+    args
+}
+
+fn load_graph(args: &Args) -> Graph {
+    if let Some((scale, edges)) = args.rmat {
+        return rmat(&RmatConfig::graph500(scale, edges, 42));
+    }
+    let path = args.input.as_ref().unwrap();
+    let result = if path.ends_with(".bin") {
+        std::fs::File::open(path)
+            .map_err(io::IoError::Io)
+            .and_then(io::read_binary)
+    } else {
+        io::load_edge_list(path)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cusha: cannot load {path}: {e}");
+        exit(1)
+    })
+}
+
+/// Runs `prog` on the selected engine and returns printable value lines.
+fn execute<P: VertexProgram>(
+    prog: &P,
+    g: &Graph,
+    args: &Args,
+    show: impl Fn(&P::V) -> String,
+) -> (RunStats, Vec<String>) {
+    let (stats, values): (RunStats, Vec<P::V>) = match args.engine.as_str() {
+        "cw" | "gs" => {
+            let repr = if args.engine == "gs" { Repr::GShards } else { Repr::ConcatWindows };
+            let mut cfg = CuShaConfig::new(repr);
+            cfg.vertices_per_shard = args.shard_size;
+            cfg.max_iterations = args.max_iters;
+            let out = run(prog, g, &cfg);
+            (out.stats, out.values)
+        }
+        e if e.starts_with("vwc:") => {
+            let vw = e[4..].parse().unwrap_or_else(|_| usage());
+            let mut cfg = VwcConfig::new(vw);
+            cfg.max_iterations = args.max_iters;
+            let out = run_vwc(prog, g, &cfg);
+            (out.stats, out.values)
+        }
+        e if e.starts_with("mtcpu:") => {
+            let t = e[6..].parse().unwrap_or_else(|_| usage());
+            let mut cfg = MtcpuConfig::new(t);
+            cfg.max_iterations = args.max_iters;
+            let out = run_mtcpu(prog, g, &cfg);
+            (out.stats, out.values)
+        }
+        _ => usage(),
+    };
+    let lines = values.iter().map(show).collect();
+    (stats, lines)
+}
+
+fn main() {
+    let args = parse_args();
+    let g = load_graph(&args);
+    eprintln!(
+        "cusha: {} vertices, {} edges; running {} on {}",
+        g.num_vertices(),
+        g.num_edges(),
+        args.algo,
+        args.engine
+    );
+    if args.source >= g.num_vertices() && g.num_vertices() > 0 {
+        eprintln!("cusha: source {} out of range", args.source);
+        exit(1);
+    }
+
+    let show_u32 = |v: &u32| {
+        if *v == u32::MAX {
+            "inf".to_string()
+        } else {
+            v.to_string()
+        }
+    };
+    let (stats, lines) = match args.algo.as_str() {
+        "bfs" => execute(&Bfs::new(args.source), &g, &args, show_u32),
+        "sssp" => execute(&Sssp::new(args.source), &g, &args, show_u32),
+        "pagerank" | "pr" => {
+            execute(&PageRank::new(), &g, &args, |v: &f32| format!("{v:.6}"))
+        }
+        "cc" => execute(&ConnectedComponents::new(), &g, &args, |v: &u32| v.to_string()),
+        "sswp" => execute(&Sswp::new(args.source), &g, &args, show_u32),
+        "nn" => execute(&NeuralNetwork::new(), &g, &args, |v: &f32| format!("{v:.6}")),
+        "hs" => execute(&HeatSimulation::new(), &g, &args, |v: &(f32, f32)| {
+            format!("{:.4}", v.0)
+        }),
+        "cs" => {
+            let gnd = g.num_vertices().saturating_sub(1);
+            execute(
+                &CircuitSimulation::new(args.source, gnd),
+                &g,
+                &args,
+                |v: &(f32, f32)| format!("{:.6}", v.0),
+            )
+        }
+        other => {
+            eprintln!("cusha: unknown algorithm {other}");
+            usage()
+        }
+    };
+
+    eprintln!(
+        "cusha: {} iterations, converged: {}, {:.3} ms {}",
+        stats.iterations,
+        stats.converged,
+        stats.total_ms(),
+        if args.engine.starts_with("mtcpu") { "measured" } else { "modeled" },
+    );
+
+    match &args.output {
+        Some(path) => {
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(path).unwrap_or_else(|e| {
+                    eprintln!("cusha: cannot create {path}: {e}");
+                    exit(1)
+                }),
+            );
+            for (v, line) in lines.iter().enumerate() {
+                writeln!(f, "{v} {line}").unwrap();
+            }
+            eprintln!("cusha: wrote {} values to {path}", lines.len());
+        }
+        None => {
+            // Print the first few values as a preview.
+            for (v, line) in lines.iter().take(10).enumerate() {
+                println!("{v} {line}");
+            }
+            if lines.len() > 10 {
+                println!("... ({} more; use --output to save all)", lines.len() - 10);
+            }
+        }
+    }
+}

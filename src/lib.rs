@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # cusha-rs
+//!
+//! A Rust reproduction of **CuSha: Vertex-Centric Graph Processing on
+//! GPUs** (Khorasani, Vora, Gupta, Bhuyan — HPDC 2014), running on a
+//! software SIMT GPU simulator.
+//!
+//! CuSha processes graphs with an iterative vertex-centric model over two
+//! novel representations — **G-Shards** (destination-partitioned,
+//! source-ordered shards that make every global memory access coalesced)
+//! and **Concatenated Windows** (a reordering of the shard `SrcIndex`
+//! columns that keeps all GPU threads busy on large sparse graphs) — and
+//! compares them against the virtual warp-centric CSR method and a
+//! multithreaded CPU baseline.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — graphs, generators, dataset surrogates ([`cusha_graph`])
+//! * [`simt`] — the simulated GPU ([`cusha_simt`])
+//! * [`core`] — G-Shards, CW, and the CuSha engine ([`cusha_core`])
+//! * [`algos`] — the eight benchmarks of the paper ([`cusha_algos`])
+//! * [`baselines`] — VWC-CSR and MTCPU-CSR ([`cusha_baselines`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cusha::algos::Bfs;
+//! use cusha::core::{run, CuShaConfig};
+//! use cusha::graph::generators::rmat::{rmat, RmatConfig};
+//!
+//! // A small scale-free graph...
+//! let graph = rmat(&RmatConfig::graph500(10, 8_000, 42));
+//! // ...processed by CuSha with the Concatenated Windows representation.
+//! let out = run(&Bfs::new(0), &graph, &CuShaConfig::cw());
+//! assert!(out.stats.converged);
+//! println!(
+//!     "BFS finished in {} iterations, {:.2} ms modeled GPU time",
+//!     out.stats.iterations,
+//!     out.stats.total_ms()
+//! );
+//! // out.values[v] is the BFS level of vertex v.
+//! assert_eq!(out.values[0], 0);
+//! ```
+//!
+//! ## Defining your own algorithm
+//!
+//! Implement [`core::VertexProgram`] — the same three device functions the
+//! paper's Figure 6 shows for SSSP (`init_compute`, `compute`,
+//! `update_condition`) — and every engine in the workspace can run it. See
+//! `examples/custom_algorithm.rs`.
+
+pub use cusha_algos as algos;
+pub use cusha_baselines as baselines;
+pub use cusha_core as core;
+pub use cusha_graph as graph;
+pub use cusha_simt as simt;
+
+/// One-stop imports for application code.
+///
+/// ```
+/// use cusha::prelude::*;
+///
+/// let g = rmat(&RmatConfig::graph500(8, 1_000, 1));
+/// let out = run(&Sssp::new(0), &g, &CuShaConfig::gs());
+/// assert_eq!(out.values[0], 0);
+/// ```
+pub mod prelude {
+    pub use cusha_algos::{
+        Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, MultiSourceBfs,
+        NeuralNetwork, PageRank, Sswp, Sssp,
+    };
+    pub use cusha_baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
+    pub use cusha_core::{
+        run, run_streamed, CuShaConfig, Repr, RunStats, StreamingConfig, VertexProgram,
+    };
+    pub use cusha_graph::generators::rmat::{rmat, RmatConfig};
+    pub use cusha_graph::generators::{
+        barabasi_albert, erdos_renyi, lattice2d, watts_strogatz,
+    };
+    pub use cusha_graph::surrogates::Dataset;
+    pub use cusha_graph::{Edge, Graph, VertexId};
+    pub use cusha_simt::DeviceConfig;
+}

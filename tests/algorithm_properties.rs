@@ -1,0 +1,104 @@
+//! Property-based tests of the eight vertex programs' semantic invariants,
+//! run through the full CuSha engine on arbitrary graphs.
+
+use cusha::algos::{Bfs, ConnectedComponents, PageRank, Sswp, Sssp, INF};
+use cusha::core::{run, CuShaConfig};
+use cusha::graph::analysis::weak_components;
+use cusha::graph::{Edge, Graph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2u32..120).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1u32..65).prop_map(|(s, d, w)| Edge::new(s, d, w));
+        proptest::collection::vec(edge, 0..400)
+            .prop_map(move |edges| Graph::new(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bfs_levels_respect_edges(g in arb_graph()) {
+        // For every edge (u, v): level(v) <= level(u) + 1 (triangle
+        // inequality of BFS levels).
+        let out = run(&Bfs::new(0), &g, &CuShaConfig::cw().with_vertices_per_shard(16));
+        prop_assert!(out.stats.converged);
+        let lv = &out.values;
+        prop_assert_eq!(lv[0], 0);
+        for e in g.edges() {
+            if lv[e.src as usize] != INF {
+                prop_assert!(lv[e.dst as usize] <= lv[e.src as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_is_a_fixed_point_of_relaxation(g in arb_graph()) {
+        let out = run(&Sssp::new(0), &g, &CuShaConfig::gs().with_vertices_per_shard(16));
+        prop_assert!(out.stats.converged);
+        let d = &out.values;
+        prop_assert_eq!(d[0], 0);
+        for e in g.edges() {
+            if d[e.src as usize] != INF {
+                // No edge can further relax its endpoint.
+                prop_assert!(
+                    d[e.dst as usize] <= d[e.src as usize].saturating_add(e.weight)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sswp_widths_are_bottleneck_consistent(g in arb_graph()) {
+        let out = run(&Sswp::new(0), &g, &CuShaConfig::cw().with_vertices_per_shard(16));
+        prop_assert!(out.stats.converged);
+        let w = &out.values;
+        prop_assert_eq!(w[0], INF);
+        for e in g.edges() {
+            let cap = e.weight.max(1);
+            // Bottleneck inequality: width(dst) >= min(width(src), cap).
+            prop_assert!(w[e.dst as usize] >= w[e.src as usize].min(cap));
+        }
+    }
+
+    #[test]
+    fn cc_labels_equal_union_find_on_symmetrized(g in arb_graph()) {
+        let sym = g.symmetrized();
+        let out = run(
+            &ConnectedComponents::new(),
+            &sym,
+            &CuShaConfig::gs().with_vertices_per_shard(16),
+        );
+        prop_assert!(out.stats.converged);
+        prop_assert_eq!(&out.values, &weak_components(&sym));
+    }
+
+    #[test]
+    fn pagerank_mass_is_conserved_approximately(g in arb_graph()) {
+        // On a graph with no dangling vertices, total rank ~= |V|.
+        let n = g.num_vertices();
+        let no_dangle = {
+            let mut edges = g.edges().to_vec();
+            let out = g.out_degrees();
+            for v in 0..n {
+                if out[v as usize] == 0 {
+                    edges.push(Edge::new(v, (v + 1) % n, 1));
+                }
+            }
+            Graph::new(n, edges)
+        };
+        let out = run(
+            &PageRank::with_tolerance(1e-5),
+            &no_dangle,
+            &CuShaConfig::cw().with_vertices_per_shard(16),
+        );
+        prop_assert!(out.stats.converged);
+        let total: f64 = out.values.iter().map(|&r| r as f64).sum();
+        let expect = n as f64;
+        prop_assert!(
+            (total - expect).abs() / expect < 0.05,
+            "total rank {total} vs |V| = {expect}"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The central correctness property of the reproduction: all four engines
+//! (CuSha-GS, CuSha-CW, VWC-CSR, MTCPU-CSR) and the sequential oracle
+//! compute the same function for every benchmark of Table 3.
+//!
+//! The monotone integer algorithms (BFS, SSSP, CC, SSWP) must agree
+//! *exactly* — their fixed point is unique and execution-order-independent.
+//! The float algorithms (PR, NN, HS, CS) converge to within tolerance of
+//! the same fixed point from any execution order, so they are compared
+//! within a small band.
+
+use cusha::algos::{
+    assert_approx_eq, run_sequential, Bfs, CircuitSimulation, ConnectedComponents,
+    HeatSimulation, NeuralNetwork, PageRank, Sswp, Sssp,
+};
+use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
+use cusha::core::{run, CuShaConfig, Value, VertexProgram};
+use cusha::graph::generators::lattice2d;
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::graph::Graph;
+
+const MAX_ITERS: u32 = 5_000;
+
+/// Runs `prog` on every engine and returns the per-engine value vectors,
+/// labels first.
+fn run_everywhere<P: VertexProgram>(prog: &P, g: &Graph) -> Vec<(String, Vec<P::V>)> {
+    let mut out = Vec::new();
+    for n_per in [16u32, 64] {
+        for cfg in [
+            CuShaConfig::gs().with_vertices_per_shard(n_per),
+            CuShaConfig::cw().with_vertices_per_shard(n_per),
+        ] {
+            let label = format!("{}/N={n_per}", cfg.repr.label());
+            let mut cfg = cfg;
+            cfg.max_iterations = MAX_ITERS;
+            out.push((label, run(prog, g, &cfg).values));
+        }
+    }
+    for vw in [2usize, 16, 32] {
+        let mut cfg = VwcConfig::new(vw);
+        cfg.max_iterations = MAX_ITERS;
+        out.push((format!("VWC/{vw}"), run_vwc(prog, g, &cfg).values));
+    }
+    for t in [1usize, 4] {
+        let mut cfg = MtcpuConfig::new(t);
+        cfg.max_iterations = MAX_ITERS;
+        out.push((format!("MTCPU/{t}"), run_mtcpu(prog, g, &cfg).values));
+    }
+    out
+}
+
+fn assert_exact<P: VertexProgram>(prog: &P, g: &Graph)
+where
+    P::V: PartialEq,
+{
+    let oracle = run_sequential(prog, g, MAX_ITERS);
+    assert!(oracle.converged, "oracle did not converge");
+    for (label, values) in run_everywhere(prog, g) {
+        assert_eq!(values, oracle.values, "{label} disagrees with oracle");
+    }
+}
+
+fn test_graph(seed: u64) -> Graph {
+    rmat(&RmatConfig::graph500(8, 2200, seed))
+}
+
+#[test]
+fn bfs_everywhere() {
+    assert_exact(&Bfs::new(0), &test_graph(60));
+}
+
+#[test]
+fn sssp_everywhere() {
+    assert_exact(&Sssp::new(0), &test_graph(61));
+}
+
+#[test]
+fn cc_everywhere() {
+    assert_exact(&ConnectedComponents::new(), &test_graph(62).symmetrized());
+}
+
+#[test]
+fn sswp_everywhere() {
+    assert_exact(&Sswp::new(0), &test_graph(63));
+}
+
+#[test]
+fn pagerank_everywhere() {
+    let g = test_graph(64);
+    let prog = PageRank::with_tolerance(1e-5);
+    let oracle = run_sequential(&prog, &g, MAX_ITERS);
+    assert!(oracle.converged);
+    for (label, values) in run_everywhere(&prog, &g) {
+        assert_approx_eq(&values, &oracle.values, 1e-3);
+        let _ = label;
+    }
+}
+
+#[test]
+fn nn_everywhere() {
+    let g = test_graph(65);
+    let prog = NeuralNetwork::with_tolerance(1e-5);
+    let oracle = run_sequential(&prog, &g, MAX_ITERS);
+    assert!(oracle.converged);
+    for (_, values) in run_everywhere(&prog, &g) {
+        assert_approx_eq(&values, &oracle.values, 1e-3);
+    }
+}
+
+#[test]
+fn hs_everywhere() {
+    let g = lattice2d(20, 20, 0.9, 20, 66);
+    let prog = HeatSimulation::with_tolerance(1e-4);
+    let oracle = run_sequential(&prog, &g, 100_000);
+    assert!(oracle.converged);
+    let q = |vals: &[(f32, f32)]| vals.iter().map(|v| v.0).collect::<Vec<_>>();
+    let oq = q(&oracle.values);
+    for (label, values) in run_everywhere(&prog, &g) {
+        assert_approx_eq(&q(&values), &oq, 0.5);
+        let _ = label;
+    }
+}
+
+#[test]
+fn cs_everywhere() {
+    // Symmetric random circuit between two terminals.
+    let g = test_graph(67).symmetrized();
+    let gnd = g.num_vertices() - 1;
+    let prog = CircuitSimulation::new(0, gnd);
+    let oracle = run_sequential(&prog, &g, 100_000);
+    assert!(oracle.converged);
+    let volt = |vals: &[(f32, f32)]| vals.iter().map(|v| v.0).collect::<Vec<_>>();
+    let ov = volt(&oracle.values);
+    for (_, values) in run_everywhere(&prog, &g) {
+        assert_approx_eq(&volt(&values), &ov, 5e-2);
+    }
+}
+
+#[test]
+fn value_bit_round_trip_under_engines() {
+    // MTCPU round-trips every value through AtomicU64 bits; make sure a
+    // graph whose result includes INF (u32::MAX) survives.
+    let g = Graph::new(
+        3,
+        vec![cusha::graph::Edge::new(0, 1, 5)],
+    );
+    let out = run_mtcpu(&Sssp::new(0), &g, &MtcpuConfig::new(2));
+    assert_eq!(out.values, vec![0, 5, u32::MAX]);
+    assert_eq!(u32::from_bits(Value::to_bits(u32::MAX)), u32::MAX);
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the G-Shards and Concatenated Windows
+//! representations over arbitrary graphs.
+
+use cusha::core::{ConcatWindows, GShards};
+use cusha::graph::{Csr, Edge, Graph};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small graph (possibly with self-loops, parallel
+/// edges, isolated vertices).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1u32..200).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1u32..65).prop_map(|(s, d, w)| Edge::new(s, d, w));
+        proptest::collection::vec(edge, 0..600)
+            .prop_map(move |edges| Graph::new(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gshards_partitioned_and_ordered(g in arb_graph(), n_per in 1u32..64) {
+        let gs = GShards::from_graph(&g, n_per);
+        prop_assert_eq!(gs.num_edges(), g.num_edges());
+        for s in 0..gs.num_shards() {
+            let vr = gs.vertex_range(s);
+            let er = gs.shard_entries(s);
+            let srcs = &gs.src_index()[er.clone()];
+            prop_assert!(srcs.windows(2).all(|w| w[0] <= w[1]), "Ordered");
+            for k in er {
+                prop_assert!(vr.contains(&gs.dest_index()[k]), "Partitioned");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_tile_shards_exactly(g in arb_graph(), n_per in 1u32..64) {
+        let gs = GShards::from_graph(&g, n_per);
+        for j in 0..gs.num_shards() {
+            let mut covered = 0usize;
+            let mut prev_end = gs.shard_entries(j).start;
+            for i in 0..gs.num_shards() {
+                let w = gs.window(i, j);
+                prop_assert_eq!(w.start, prev_end, "windows are contiguous");
+                prev_end = w.end;
+                covered += w.len();
+                let vr = gs.vertex_range(i);
+                for k in w {
+                    prop_assert!(vr.contains(&gs.src_index()[k]));
+                }
+            }
+            prop_assert_eq!(covered, gs.shard_entries(j).len());
+        }
+    }
+
+    #[test]
+    fn cw_mapper_is_a_bijection_preserving_src(g in arb_graph(), n_per in 1u32..64) {
+        let gs = GShards::from_graph(&g, n_per);
+        let cw = ConcatWindows::from_gshards(&gs);
+        prop_assert_eq!(cw.len(), g.num_edges() as usize);
+        let mut seen = vec![false; cw.len()];
+        for (k, &pos) in cw.mapper().iter().enumerate() {
+            prop_assert!(!seen[pos as usize], "mapper target repeated");
+            seen[pos as usize] = true;
+            prop_assert_eq!(cw.src_index()[k], gs.src_index()[pos as usize]);
+        }
+        // CW_s groups exactly the out-edges of shard s's vertices.
+        let out = g.out_degrees();
+        for s in 0..gs.num_shards() {
+            let expected: u32 = gs.vertex_range(s).map(|v| out[v as usize]).sum();
+            prop_assert_eq!(cw.cw_entries(s).len() as u32, expected);
+        }
+    }
+
+    #[test]
+    fn csr_round_trips_every_edge(g in arb_graph()) {
+        let csr = Csr::from_graph(&g);
+        let mut seen = vec![false; g.num_edges() as usize];
+        for v in 0..g.num_vertices() {
+            for slot in csr.in_range(v) {
+                let id = csr.edge_ids()[slot] as usize;
+                prop_assert!(!seen[id]);
+                seen[id] = true;
+                let e = g.edge(id as u32);
+                prop_assert_eq!(e.dst, v);
+                prop_assert_eq!(e.src, csr.src_indxs()[slot]);
+                prop_assert_eq!(e.weight, csr.weights()[slot]);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn relabeling_preserves_structure(g in arb_graph(), seed in 0u64..1000) {
+        let perm = cusha::graph::generators::random_permutation(g.num_vertices(), seed);
+        let h = g.relabeled(&perm);
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        // Degree multiset is invariant under relabeling.
+        let mut dg = g.in_degrees();
+        let mut dh = h.in_degrees();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        prop_assert_eq!(dg, dh);
+        let mut og = g.out_degrees();
+        let mut oh = h.out_degrees();
+        og.sort_unstable();
+        oh.sort_unstable();
+        prop_assert_eq!(og, oh);
+    }
+
+    #[test]
+    fn window_sizes_sum_to_edge_count(g in arb_graph(), n_per in 1u32..64) {
+        let gs = GShards::from_graph(&g, n_per);
+        let h = cusha::core::windows::WindowHistogram::of(&gs, 64);
+        let weighted: u64 = (h.mean * h.total_windows as f64).round() as u64;
+        prop_assert_eq!(weighted, g.num_edges() as u64);
+    }
+}

@@ -1,0 +1,102 @@
+//! Invariants of the statistics every engine reports — these are the
+//! numbers all paper artifacts are derived from, so they get their own
+//! contract tests.
+
+use cusha::algos::{Bfs, PageRank};
+use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
+use cusha::core::{run, CuShaConfig, RunStats};
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::graph::surrogates::Dataset;
+
+fn check_common(s: &RunStats, is_gpu: bool) {
+    assert!(s.iterations >= 1);
+    assert_eq!(s.per_iteration.len(), s.iterations as usize);
+    assert!(s.compute_seconds > 0.0);
+    assert!(s.total_seconds() >= s.compute_seconds);
+    // Converged runs end with an iteration that found no updates.
+    if s.converged {
+        assert_eq!(s.per_iteration.last().unwrap().updated_vertices, 0);
+    }
+    // Per-iteration times are positive and sum below the compute total
+    // (which also includes the per-iteration flag transfers).
+    let sum: f64 = s.per_iteration.iter().map(|i| i.seconds).sum();
+    assert!(sum > 0.0);
+    assert!(sum <= s.compute_seconds + 1e-12, "{sum} vs {}", s.compute_seconds);
+    if is_gpu {
+        assert!(s.h2d_seconds > 0.0);
+        assert!(s.d2h_seconds > 0.0);
+        assert!(s.kernel.counters.warp_instructions > 0);
+        let e = s.kernel.gld_efficiency();
+        assert!(e > 0.0 && e <= 1.0 + 1e-9, "gld {e}");
+        let w = s.kernel.warp_execution_efficiency();
+        assert!(w > 0.0 && w <= 1.0 + 1e-9, "wee {w}");
+    } else {
+        assert_eq!(s.h2d_seconds, 0.0);
+        assert_eq!(s.d2h_seconds, 0.0);
+    }
+}
+
+#[test]
+fn cusha_stats_contract() {
+    let g = rmat(&RmatConfig::graph500(9, 4000, 70));
+    for cfg in [CuShaConfig::gs(), CuShaConfig::cw()] {
+        let out = run(&Bfs::new(0), &g, &cfg);
+        check_common(&out.stats, true);
+        assert!(out.stats.converged);
+    }
+}
+
+#[test]
+fn vwc_stats_contract() {
+    let g = rmat(&RmatConfig::graph500(9, 4000, 71));
+    for vw in [2usize, 8, 32] {
+        let out = run_vwc(&Bfs::new(0), &g, &VwcConfig::new(vw));
+        check_common(&out.stats, true);
+    }
+}
+
+#[test]
+fn mtcpu_stats_contract() {
+    let g = rmat(&RmatConfig::graph500(9, 4000, 72));
+    for t in [1usize, 4] {
+        let out = run_mtcpu(&Bfs::new(0), &g, &MtcpuConfig::new(t));
+        check_common(&out.stats, false);
+    }
+}
+
+#[test]
+fn updated_vertex_counts_tell_the_traversal_story() {
+    // BFS frontier grows then shrinks; total updates >= reached vertices
+    // (values can be refined more than once under asynchrony).
+    let g = Dataset::Amazon0312.generate(2048);
+    let src = cusha::graph::VertexId::from(0u32);
+    let out = run(&Bfs::new(src), &g, &CuShaConfig::cw());
+    let total: u64 = out.stats.per_iteration.iter().map(|i| i.updated_vertices).sum();
+    let reached = out.values.iter().filter(|&&v| v != u32::MAX).count() as u64;
+    assert!(total >= reached.saturating_sub(1), "{total} vs {reached}");
+}
+
+#[test]
+fn efficiency_ordering_matches_the_papers_thesis() {
+    // The core claim of Table 2 / Figure 8 holds on every dataset
+    // surrogate: CuSha's memory efficiency and warp utilization beat VWC's.
+    let g = Dataset::WebGoogle.generate(1024);
+    let prog = PageRank::new();
+    let cw = run(&prog, &g, &CuShaConfig::cw()).stats;
+    let vwc = run_vwc(&prog, &g, &VwcConfig::new(8)).stats;
+    assert!(cw.kernel.gld_efficiency() > 2.0 * vwc.kernel.gld_efficiency());
+    assert!(cw.kernel.gst_efficiency() > vwc.kernel.gst_efficiency());
+    assert!(
+        cw.kernel.warp_execution_efficiency()
+            > 1.5 * vwc.kernel.warp_execution_efficiency()
+    );
+}
+
+#[test]
+fn teps_definition() {
+    let g = Dataset::Amazon0312.generate(2048);
+    let out = run(&Bfs::new(0), &g, &CuShaConfig::cw());
+    let teps = out.stats.teps(g.num_edges() as u64);
+    let expect = g.num_edges() as f64 / out.stats.total_seconds();
+    assert!((teps - expect).abs() / expect < 1e-12);
+}
