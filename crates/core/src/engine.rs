@@ -22,11 +22,15 @@
 
 use crate::autotune::select_vertices_per_shard;
 use crate::cw::ConcatWindows;
-use crate::program::VertexProgram;
+use crate::error::EngineError;
+use crate::program::{Value, VertexProgram};
 use crate::shards::GShards;
 use crate::stats::{IterationStat, RunStats};
 use cusha_graph::Graph;
-use cusha_simt::{aligned_chunks, DevVec, DeviceConfig, Gpu, KernelDesc, Mask, WARP};
+use cusha_simt::{
+    aligned_chunks, DevVec, DeviceConfig, FaultPlan, Gpu, KernelDesc, Mask, WARP,
+};
+use std::collections::HashSet;
 
 /// Which CuSha representation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +72,15 @@ pub struct CuShaConfig {
     pub profile: bool,
     /// Simulated device.
     pub device: DeviceConfig,
+    /// Optional fault-injection schedule installed on the device; see
+    /// [`cusha_simt::FaultPlan`]. The in-core engine surfaces injected
+    /// faults as [`EngineError`]s; the streamed engine recovers from them.
+    pub fault_plan: Option<FaultPlan>,
+    /// Livelock watchdog: every this-many iterations the engine snapshots
+    /// the value vector and errors with [`EngineError::Watchdog`] if a
+    /// previously-seen state recurs without convergence. `None` disables
+    /// the check (the `max_iterations` cap still bounds the loop).
+    pub watchdog_interval: Option<u32>,
 }
 
 impl CuShaConfig {
@@ -81,6 +94,8 @@ impl CuShaConfig {
             max_iterations: 10_000,
             profile: false,
             device: DeviceConfig::gtx780(),
+            fault_plan: None,
+            watchdog_interval: None,
         }
     }
 
@@ -99,6 +114,45 @@ impl CuShaConfig {
         self.vertices_per_shard = Some(n);
         self
     }
+
+    /// Installs a fault-injection schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the livelock watchdog at the given snapshot interval.
+    pub fn with_watchdog(mut self, interval: u32) -> Self {
+        self.watchdog_interval = Some(interval);
+        self
+    }
+
+    /// Checks the configuration's invariants, returning a message naming
+    /// the offending field on failure. Shared by every fallible engine
+    /// entry point so no `assert!` is reachable from user-supplied
+    /// configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads_per_block == 0 || !self.threads_per_block.is_multiple_of(32) {
+            return Err(format!(
+                "threads_per_block must be a nonzero multiple of the warp \
+                 width (32), got {}",
+                self.threads_per_block
+            ));
+        }
+        if self.vertices_per_shard == Some(0) {
+            return Err("vertices_per_shard must be nonzero when set".into());
+        }
+        if self.resident_blocks == 0 {
+            return Err("resident_blocks must be at least 1".into());
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be at least 1".into());
+        }
+        if self.watchdog_interval == Some(0) {
+            return Err("watchdog_interval must be nonzero when set".into());
+        }
+        Ok(())
+    }
 }
 
 /// Result of a CuSha run.
@@ -111,7 +165,49 @@ pub struct CuShaOutput<V> {
 }
 
 /// Executes `prog` over `graph` with the given configuration.
+///
+/// # Panics
+/// Panics on invalid configuration or graph, and on any device fault the
+/// installed [`FaultPlan`] injects. A run that merely hits the iteration
+/// cap returns its partial output (with `stats.converged == false`), which
+/// is the historical behavior. Fallible callers use [`try_run`].
 pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuShaOutput<P::V> {
+    match try_run(prog, graph, cfg) {
+        Ok(out) => out,
+        Err(EngineError::NonConverged { partial }) => *partial,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// FNV-1a over the bit patterns of a value vector — the watchdog's cheap
+/// state fingerprint.
+fn fingerprint<V: Value>(values: &[V]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in values {
+        let mut bits = v.to_bits();
+        for _ in 0..8 {
+            h = (h ^ (bits & 0xff)).wrapping_mul(0x100_0000_01b3);
+            bits >>= 8;
+        }
+    }
+    h
+}
+
+/// Executes `prog` over `graph`, returning every failure as an
+/// [`EngineError`] instead of panicking: bad configurations and graphs are
+/// rejected up front, device faults (injected via
+/// [`CuShaConfig::fault_plan`] or a genuinely exhausted device) surface as
+/// their taxonomy variant, a capped run yields
+/// [`EngineError::NonConverged`] carrying the partial output, and the
+/// optional watchdog turns value-state cycles into
+/// [`EngineError::Watchdog`].
+pub fn try_run<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &CuShaConfig,
+) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
+    cfg.validate().map_err(EngineError::InvalidConfig)?;
+    graph.validate()?;
     let n_per = cfg.vertices_per_shard.unwrap_or_else(|| {
         select_vertices_per_shard(
             graph.num_vertices() as u64,
@@ -125,21 +221,24 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
     let cw = matches!(cfg.repr, Repr::ConcatWindows).then(|| ConcatWindows::from_gshards(&gs));
     let mut gpu = Gpu::new(cfg.device.clone());
     gpu.set_profiling(cfg.profile);
+    if let Some(plan) = cfg.fault_plan.clone() {
+        gpu.set_fault_plan(plan);
+    }
 
     // ---- Host-side preparation and upload (H2D) --------------------------
     let n = graph.num_vertices() as usize;
     let init: Vec<P::V> = (0..graph.num_vertices()).map(|v| prog.initial_value(v)).collect();
-    let mut vertex_values = gpu.upload(&init);
+    let mut vertex_values = gpu.try_upload(&init)?;
 
     let src_value_init: Vec<P::V> =
         gs.src_index().iter().map(|&s| init[s as usize]).collect();
-    let mut src_value = gpu.upload(&src_value_init);
+    let mut src_value = gpu.try_upload(&src_value_init)?;
 
     let src_static_buf: Option<DevVec<P::SV>> = if P::HAS_STATIC_VALUES {
         let per_vertex = prog.static_values(graph);
         let per_entry: Vec<P::SV> =
             gs.src_index().iter().map(|&s| per_vertex[s as usize]).collect();
-        Some(gpu.upload(&per_entry))
+        Some(gpu.try_upload(&per_entry)?)
     } else {
         None
     };
@@ -148,22 +247,25 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
         let by_edge_id = prog.edge_values(graph);
         let per_entry: Vec<P::E> =
             gs.edge_id().iter().map(|&id| by_edge_id[id as usize]).collect();
-        Some(gpu.upload(&per_entry))
+        Some(gpu.try_upload(&per_entry)?)
     } else {
         None
     };
 
-    let dest_index = gpu.upload(gs.dest_index());
+    let dest_index = gpu.try_upload(gs.dest_index())?;
     let src_index = match &cw {
-        Some(cw) => gpu.upload(cw.src_index()),
-        None => gpu.upload(gs.src_index()),
+        Some(cw) => gpu.try_upload(cw.src_index())?,
+        None => gpu.try_upload(gs.src_index())?,
     };
-    let mapper_buf: Option<DevVec<u32>> = cw.as_ref().map(|cw| gpu.upload(cw.mapper()));
+    let mapper_buf: Option<DevVec<u32>> = match cw.as_ref() {
+        Some(cw) => Some(gpu.try_upload(cw.mapper())?),
+        None => None,
+    };
     // G-Shards' stage 4 must look up every window's boundaries — a p×p
     // offset table the CW layout does not need (its per-shard ranges are
     // one entry each). The table lives in device memory and its reads are
     // charged below, which is part of why small windows hurt G-Shards.
-    let window_offsets_buf: Option<DevVec<u32>> = cw.is_none().then(|| {
+    let window_offsets_buf: Option<DevVec<u32>> = if cw.is_none() {
         let p = gs.num_shards() as usize;
         let mut flat = vec![0u32; p * p];
         for j in 0..p {
@@ -171,10 +273,12 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
                 flat[j * p + i] = gs.window(i as u32, j as u32).start as u32;
             }
         }
-        gpu.upload(&flat)
-    });
+        Some(gpu.try_upload(&flat)?)
+    } else {
+        None
+    };
 
-    let mut converged_flag = gpu.upload(&[1u32]);
+    let mut converged_flag = gpu.try_upload(&[1u32])?;
     let h2d_initial = gpu.h2d_seconds;
 
     // ---- Convergence loop -------------------------------------------------
@@ -189,10 +293,11 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
         ..Default::default()
     };
     let mut converged = false;
+    let mut watchdog_seen: HashSet<u64> = HashSet::new();
     while total.iterations < cfg.max_iterations {
-        gpu.h2d(&mut converged_flag, &[1u32]); // host resets is_converged
+        gpu.try_h2d(&mut converged_flag, &[1u32])?; // host resets is_converged
         let mut updated_this_iter = 0u64;
-        let kstats = gpu.launch(&desc, |b| {
+        let kstats = gpu.try_launch(&desc, |b| {
             let s = b.id();
             let vrange = gs.vertex_range(s);
             let offset = vrange.start as usize;
@@ -298,7 +403,7 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
                 }
                 b.gstore(&mut converged_flag, Mask::first(1), |_| 0, |_| 0u32);
             }
-        });
+        })?;
         total.iterations += 1;
         total.per_iteration.push(IterationStat {
             seconds: kstats.seconds,
@@ -307,15 +412,26 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
         total.kernel.counters.add(&kstats.counters);
         total.kernel.blocks = kstats.blocks;
         total.kernel.threads_per_block = kstats.threads_per_block;
-        if gpu.download_scalar(&converged_flag, 0) == 1 {
+        if gpu.try_download_scalar(&converged_flag, 0)? == 1 {
             converged = true;
             break;
+        }
+        if let Some(w) = cfg.watchdog_interval {
+            if total.iterations.is_multiple_of(w) {
+                // Snapshot the value vector (a real D2H, charged as such);
+                // a recurring fingerprint without convergence means the
+                // loop is cycling through the same states forever.
+                let snapshot = gpu.try_download(&vertex_values)?;
+                if !watchdog_seen.insert(fingerprint(&snapshot)) {
+                    return Err(EngineError::Watchdog { iterations: total.iterations });
+                }
+            }
         }
     }
 
     // ---- Download results (D2H) -------------------------------------------
     let d2h_before_results = gpu.d2h_seconds;
-    let values = gpu.download(&vertex_values);
+    let values = gpu.try_download(&vertex_values)?;
     let _ = n; // n documented the vertex count; values.len() == n
 
     total.converged = converged;
@@ -326,7 +442,12 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
     total.profile = gpu.profile.take();
-    CuShaOutput { values, stats: total }
+    let output = CuShaOutput { values, stats: total };
+    if converged {
+        Ok(output)
+    } else {
+        Err(EngineError::NonConverged { partial: Box::new(output) })
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,8 @@
 pub mod autotune;
 pub mod cw;
 pub mod engine;
+pub mod error;
+pub mod fallback;
 pub mod memsize;
 pub mod program;
 pub mod shards;
@@ -30,8 +32,10 @@ pub mod windows;
 
 pub use autotune::select_vertices_per_shard;
 pub use cw::ConcatWindows;
-pub use engine::{run, CuShaConfig, CuShaOutput, Repr};
+pub use engine::{run, try_run, CuShaConfig, CuShaOutput, Repr};
+pub use error::EngineError;
+pub use fallback::run_fallback;
 pub use program::{Value, VertexProgram};
 pub use shards::GShards;
-pub use stats::{IterationStat, RunStats};
-pub use streaming::{run_streamed, StreamingConfig};
+pub use stats::{FaultStats, IterationStat, RunStats};
+pub use streaming::{run_streamed, try_run_streamed, StreamingConfig};

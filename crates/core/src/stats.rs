@@ -13,6 +13,34 @@ pub struct IterationStat {
     pub updated_vertices: u64,
 }
 
+/// Counters of the fault-tolerance machinery's activity during one run.
+/// All zero for a fault-free run on a healthy device.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Transient copy faults that were retried successfully.
+    pub copy_retries: u32,
+    /// Modeled seconds spent in exponential backoff before copy retries.
+    pub backoff_seconds: f64,
+    /// Times the streamed engine halved its residency budget and restarted
+    /// after a device OOM.
+    pub oom_rebatches: u32,
+    /// Rungs of the degradation ladder taken after repeated kernel faults
+    /// (CW → G-Shards → host fallback).
+    pub degradations: u32,
+    /// Kernel launches that failed and were retried in place.
+    pub kernel_retries: u32,
+}
+
+impl FaultStats {
+    /// True when no fault-tolerance machinery fired.
+    pub fn is_clean(&self) -> bool {
+        self.copy_retries == 0
+            && self.oom_rebatches == 0
+            && self.degradations == 0
+            && self.kernel_retries == 0
+    }
+}
+
 /// Aggregate statistics of one full algorithm run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -38,6 +66,9 @@ pub struct RunStats {
     /// with profiling on (see `CuShaConfig::profile` / `VwcConfig::profile`);
     /// `profile.report()` renders an `nvprof`-style summary.
     pub profile: Option<cusha_simt::Profile>,
+    /// Recovery activity (retries, rebatches, degradations); all zero for
+    /// fault-free runs.
+    pub fault: FaultStats,
 }
 
 impl RunStats {

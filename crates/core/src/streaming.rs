@@ -18,14 +18,44 @@
 //! an iteration's modeled time is the pipelined
 //! `copy_0 + Σ max(kernel_k, copy_{k+1}) + kernel_last` instead of the
 //! serial sum.
+//!
+//! # Fault tolerance
+//!
+//! Because it owns the batching loop, the streamed engine is also where
+//! recovery lives (see `DESIGN.md`, "Failure model & recovery"):
+//!
+//! * **Transient copy faults** (H2D/D2H) are retried in place with
+//!   exponential backoff, up to [`StreamingConfig::max_copy_retries`] per
+//!   operation. A failed copy transferred nothing, so the retry re-issues
+//!   the identical transfer.
+//! * **Device OOM** halves [`StreamingConfig::resident_bytes`] and restarts
+//!   the computation from scratch with more, smaller batches — up to
+//!   [`StreamingConfig::max_rebatches`] times.
+//! * **Kernel faults** are retried up to
+//!   [`StreamingConfig::max_kernel_retries`] per launch; past that the
+//!   engine walks the degradation ladder CW → G-Shards → host fallback
+//!   ([`crate::run_fallback`]), restarting from scratch on each rung.
+//! * A **watchdog** (opt-in via `base.watchdog_interval`) snapshots the
+//!   value vector periodically and flags livelock when a state recurs.
+//!
+//! Restarts are safe because every engine in the ladder computes the same
+//! deterministic fixed point from scratch; the installed
+//! [`cusha_simt::FaultPlan`] is carried across restarts (its operation
+//! counters persist), so consumed one-shot faults do not re-fire. All
+//! recovery activity is recorded in [`RunStats::fault`].
 
 use crate::cw::ConcatWindows;
 use crate::engine::{CuShaConfig, CuShaOutput, Repr};
-use crate::program::VertexProgram;
+use crate::error::EngineError;
+use crate::fallback::run_fallback;
+use crate::program::{Value, VertexProgram};
 use crate::shards::GShards;
-use crate::stats::{IterationStat, RunStats};
+use crate::stats::{FaultStats, IterationStat, RunStats};
 use cusha_graph::Graph;
-use cusha_simt::{aligned_chunks, DevVec, Gpu, KernelDesc, Mask, Pod, WARP};
+use cusha_simt::{
+    aligned_chunks, DevVec, DeviceFault, Gpu, KernelDesc, Mask, Pod, WARP,
+};
+use std::collections::HashSet;
 
 /// Configuration of the streamed engine.
 #[derive(Clone, Debug)]
@@ -38,13 +68,46 @@ pub struct StreamingConfig {
     /// Number of copy/compute streams; `>= 2` overlaps uploads with
     /// kernels, `1` serializes them.
     pub streams: u32,
+    /// Transient-copy-fault retries allowed per operation before the fault
+    /// is considered permanent.
+    pub max_copy_retries: u32,
+    /// First retry's backoff in seconds; doubles per subsequent retry of
+    /// the same operation. Recorded in [`FaultStats::backoff_seconds`].
+    pub backoff_base_seconds: f64,
+    /// In-place re-launches allowed per kernel fault before the engine
+    /// degrades to the next representation.
+    pub max_kernel_retries: u32,
+    /// Halve-and-restart cycles allowed on device OOM before giving up.
+    pub max_rebatches: u32,
 }
 
 impl StreamingConfig {
     /// Streams the given base configuration within `resident_bytes`,
-    /// double-buffered.
+    /// double-buffered, with default recovery limits (3 copy retries,
+    /// 1 ms base backoff, 1 kernel retry, 8 rebatches).
     pub fn new(base: CuShaConfig, resident_bytes: u64) -> Self {
-        StreamingConfig { base, resident_bytes, streams: 2 }
+        StreamingConfig {
+            base,
+            resident_bytes,
+            streams: 2,
+            max_copy_retries: 3,
+            backoff_base_seconds: 1e-3,
+            max_kernel_retries: 1,
+            max_rebatches: 8,
+        }
+    }
+
+    /// Checks the streaming-specific invariants on top of
+    /// [`CuShaConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.streams == 0 {
+            return Err("streams must be at least 1".into());
+        }
+        if self.resident_bytes == 0 {
+            return Err("resident_bytes must be nonzero".into());
+        }
+        Ok(())
     }
 }
 
@@ -84,13 +147,168 @@ fn plan_batches(gs: &GShards, per_entry: u64, budget: u64) -> Vec<std::ops::Rang
     batches
 }
 
+/// Why one from-scratch attempt of the streamed loop gave up.
+enum AttemptError {
+    /// A device fault escaped the in-attempt retries.
+    Fault(DeviceFault),
+    /// The watchdog saw the value vector revisit an earlier state.
+    Watchdog {
+        iterations: u32,
+    },
+}
+
+impl From<DeviceFault> for AttemptError {
+    fn from(f: DeviceFault) -> Self {
+        AttemptError::Fault(f)
+    }
+}
+
+/// Retries `op` on transient copy faults with exponential backoff; other
+/// faults (OOM, kernel) pass through for coarser-grained recovery.
+fn with_copy_retries<T>(
+    gpu: &mut Gpu,
+    cfg: &StreamingConfig,
+    fault: &mut FaultStats,
+    mut op: impl FnMut(&mut Gpu) -> Result<T, DeviceFault>,
+) -> Result<T, DeviceFault> {
+    let mut attempt = 0u32;
+    loop {
+        match op(gpu) {
+            Ok(v) => return Ok(v),
+            Err(f @ DeviceFault::Copy { .. }) => {
+                if attempt >= cfg.max_copy_retries {
+                    return Err(f);
+                }
+                fault.copy_retries += 1;
+                fault.backoff_seconds +=
+                    cfg.backoff_base_seconds * (1u64 << attempt) as f64;
+                attempt += 1;
+            }
+            Err(f) => return Err(f),
+        }
+    }
+}
+
 /// Executes `prog` over `graph` with the streamed engine.
+///
+/// # Panics
+/// Panics on invalid configuration/graph and on unrecovered device faults.
+/// A run that merely hits the iteration cap returns its partial output
+/// (`stats.converged == false`), the historical behavior. Fallible callers
+/// use [`try_run_streamed`].
 pub fn run_streamed<P: VertexProgram>(
     prog: &P,
     graph: &Graph,
     cfg: &StreamingConfig,
 ) -> CuShaOutput<P::V> {
-    assert!(cfg.streams >= 1, "need at least one stream");
+    match try_run_streamed(prog, graph, cfg) {
+        Ok(out) => out,
+        Err(EngineError::NonConverged { partial }) => *partial,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Executes `prog` over `graph` with the streamed engine, recovering from
+/// injected or genuine device faults as described in the module docs and
+/// returning unrecoverable failures as [`EngineError`]s. Recovery activity
+/// is recorded in the output's [`RunStats::fault`].
+pub fn try_run_streamed<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &StreamingConfig,
+) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
+    cfg.validate().map_err(EngineError::InvalidConfig)?;
+    graph.validate()?;
+
+    let mut fault = FaultStats::default();
+    let mut plan = cfg.base.fault_plan.clone();
+    let mut resident = cfg.resident_bytes;
+    let mut repr = cfg.base.repr;
+
+    loop {
+        let mut gpu = Gpu::new(cfg.base.device.clone());
+        if let Some(p) = plan.take() {
+            gpu.set_fault_plan(p);
+        }
+        let result = stream_attempt(prog, graph, cfg, repr, resident, &mut gpu, &mut fault);
+        // The plan's operation counters persist across restarts, so
+        // consumed one-shot faults never re-fire.
+        plan = gpu.take_fault_plan();
+        drop(gpu);
+
+        match result {
+            Ok(mut out) => {
+                out.stats.fault = fault;
+                return if out.stats.converged {
+                    Ok(out)
+                } else {
+                    Err(EngineError::NonConverged { partial: Box::new(out) })
+                };
+            }
+            Err(AttemptError::Watchdog { iterations }) => {
+                return Err(EngineError::Watchdog { iterations });
+            }
+            Err(AttemptError::Fault(DeviceFault::Oom {
+                requested_bytes,
+                capacity_bytes,
+                ..
+            })) => {
+                if fault.oom_rebatches >= cfg.max_rebatches {
+                    return Err(EngineError::DeviceOom { requested_bytes, capacity_bytes });
+                }
+                fault.oom_rebatches += 1;
+                resident = (resident / 2).max(1);
+            }
+            Err(AttemptError::Fault(DeviceFault::Kernel { name, op_index })) => {
+                match repr {
+                    Repr::ConcatWindows => {
+                        // First rung: fall back to G-Shards, whose kernels
+                        // are a different code path (and, under injection, a
+                        // different name pattern).
+                        fault.degradations += 1;
+                        repr = Repr::GShards;
+                    }
+                    Repr::GShards => {
+                        // Last rung: abandon the device entirely.
+                        fault.degradations += 1;
+                        let _ = (name, op_index);
+                        let mut base = cfg.base.clone();
+                        base.repr = Repr::GShards;
+                        base.fault_plan = None;
+                        return match run_fallback(prog, graph, &base) {
+                            Ok(mut out) => {
+                                out.stats.fault = fault;
+                                Ok(out)
+                            }
+                            Err(EngineError::NonConverged { mut partial }) => {
+                                partial.stats.fault = fault;
+                                Err(EngineError::NonConverged { partial })
+                            }
+                            Err(e) => Err(e),
+                        };
+                    }
+                }
+            }
+            Err(AttemptError::Fault(f @ DeviceFault::Copy { .. })) => {
+                return Err(f.into());
+            }
+        }
+    }
+}
+
+/// One from-scratch pass of the streamed convergence loop with the given
+/// representation and residency budget. Copy faults are retried inside;
+/// OOM and persistent kernel faults bubble up for the caller's
+/// coarser-grained recovery.
+fn stream_attempt<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &StreamingConfig,
+    repr: Repr,
+    resident_bytes: u64,
+    gpu: &mut Gpu,
+    fault: &mut FaultStats,
+) -> Result<CuShaOutput<P::V>, AttemptError> {
     let base = &cfg.base;
     let n_per = base.vertices_per_shard.unwrap_or_else(|| {
         crate::autotune::select_vertices_per_shard(
@@ -102,9 +320,7 @@ pub fn run_streamed<P: VertexProgram>(
         )
     });
     let gs = GShards::from_graph(graph, n_per);
-    let cw = matches!(base.repr, Repr::ConcatWindows)
-        .then(|| ConcatWindows::from_gshards(&gs));
-    let mut gpu = Gpu::new(base.device.clone());
+    let cw = matches!(repr, Repr::ConcatWindows).then(|| ConcatWindows::from_gshards(&gs));
 
     // ---- Host master copies of the per-entry arrays ------------------------
     let init: Vec<P::V> =
@@ -121,24 +337,27 @@ pub fn run_streamed<P: VertexProgram>(
     });
 
     // Resident state: vertex values + convergence flag.
-    let mut vertex_values = gpu.upload(&init);
-    let mut converged_flag = gpu.upload(&[1u32]);
+    let mut vertex_values =
+        with_copy_retries(gpu, cfg, fault, |g| g.try_upload(&init))?;
+    let mut converged_flag =
+        with_copy_retries(gpu, cfg, fault, |g| g.try_upload(&[1u32]))?;
     let h2d_resident = gpu.h2d_seconds;
 
-    let per_entry = entry_bytes::<P>(base.repr);
-    let batches = plan_batches(&gs, per_entry, cfg.resident_bytes);
+    let per_entry = entry_bytes::<P>(repr);
+    let batches = plan_batches(&gs, per_entry, resident_bytes);
     let p = gs.num_shards();
 
     let mut total = RunStats {
-        engine: format!("{}-streamed", base.repr.label()),
+        engine: format!("{}-streamed", repr.label()),
         ..Default::default()
     };
     let mut kernel_seconds_pipelined = 0.0f64;
     let mut extra_transfer_seconds = 0.0f64;
     let mut converged = false;
+    let mut watchdog_seen: HashSet<u64> = HashSet::new();
 
     while total.iterations < base.max_iterations {
-        gpu.h2d(&mut converged_flag, &[1u32]);
+        with_copy_retries(gpu, cfg, fault, |g| g.try_h2d(&mut converged_flag, &[1u32]))?;
         extra_transfer_seconds += base.device.transfer_seconds(4);
         let mut updated_this_iter = 0u64;
         let mut copy_times = Vec::with_capacity(batches.len());
@@ -151,34 +370,53 @@ pub fn run_streamed<P: VertexProgram>(
 
             // ---- Upload the batch (tracked separately for pipelining). ----
             let h2d_before = gpu.h2d_seconds;
-            let mut src_value = gpu.upload(&master_src_value[er_all.clone()]);
-            let static_buf: Option<DevVec<P::SV>> = master_static
-                .as_ref()
-                .map(|m| gpu.upload(&m[er_all.clone()]));
-            let edge_buf: Option<DevVec<P::E>> =
-                master_edges.as_ref().map(|m| gpu.upload(&m[er_all.clone()]));
-            let dest_index = gpu.upload(&gs.dest_index()[er_all.clone()]);
+            let mut src_value = with_copy_retries(gpu, cfg, fault, |g| {
+                g.try_upload(&master_src_value[er_all.clone()])
+            })?;
+            let static_buf: Option<DevVec<P::SV>> = match master_static.as_ref() {
+                Some(m) => Some(with_copy_retries(gpu, cfg, fault, |g| {
+                    g.try_upload(&m[er_all.clone()])
+                })?),
+                None => None,
+            };
+            let edge_buf: Option<DevVec<P::E>> = match master_edges.as_ref() {
+                Some(m) => Some(with_copy_retries(gpu, cfg, fault, |g| {
+                    g.try_upload(&m[er_all.clone()])
+                })?),
+                None => None,
+            };
+            let dest_index = with_copy_retries(gpu, cfg, fault, |g| {
+                g.try_upload(&gs.dest_index()[er_all.clone()])
+            })?;
             let (src_index, mapper_buf) = match &cw {
                 Some(cw) => {
                     let cw_lo = cw.cw_entries(batch.start).start;
                     let cw_hi = cw.cw_entries(batch.end - 1).end;
-                    (
-                        gpu.upload(&cw.src_index()[cw_lo..cw_hi]),
-                        Some((gpu.upload(&cw.mapper()[cw_lo..cw_hi]), cw_lo)),
-                    )
+                    let si = with_copy_retries(gpu, cfg, fault, |g| {
+                        g.try_upload(&cw.src_index()[cw_lo..cw_hi])
+                    })?;
+                    let mp = with_copy_retries(gpu, cfg, fault, |g| {
+                        g.try_upload(&cw.mapper()[cw_lo..cw_hi])
+                    })?;
+                    (si, Some((mp, cw_lo)))
                 }
-                None => (gpu.upload(&gs.src_index()[er_all.clone()]), None),
+                None => (
+                    with_copy_retries(gpu, cfg, fault, |g| {
+                        g.try_upload(&gs.src_index()[er_all.clone()])
+                    })?,
+                    None,
+                ),
             };
             copy_times.push(gpu.h2d_seconds - h2d_before);
 
             // ---- Process the batch's shards. -----------------------------
             let desc = KernelDesc::new(
-                format!("{}-streamed::{}", base.repr.label(), prog.name()),
+                format!("{}-streamed::{}", repr.label(), prog.name()),
                 batch.len() as u32,
                 base.threads_per_block,
             );
             let mut host_writes = 0u64; // bytes escaping to non-resident batches
-            let kstats = gpu.launch(&desc, |b| {
+            let mut body = |b: &mut cusha_simt::Block<'_>| {
                 let s = batch.start + b.id();
                 let vrange = gs.vertex_range(s);
                 let offset = vrange.start as usize;
@@ -323,14 +561,31 @@ pub fn run_streamed<P: VertexProgram>(
                     }
                     b.gstore(&mut converged_flag, Mask::first(1), |_| 0, |_| 0u32);
                 }
-            });
+            };
+            // Kernel faults fire before any block runs, so an in-place
+            // re-launch re-executes the identical work.
+            let mut launch_attempts = 0u32;
+            let kstats = loop {
+                match gpu.try_launch(&desc, &mut body) {
+                    Ok(k) => break k,
+                    Err(f @ DeviceFault::Kernel { .. }) => {
+                        if launch_attempts >= cfg.max_kernel_retries {
+                            return Err(f.into());
+                        }
+                        launch_attempts += 1;
+                        fault.kernel_retries += 1;
+                    }
+                    Err(f) => return Err(f.into()),
+                }
+            };
             kernel_times.push(kstats.seconds);
             total.kernel.counters.add(&kstats.counters);
             total.kernel.blocks += kstats.blocks;
             total.kernel.threads_per_block = kstats.threads_per_block;
 
             // ---- Write the batch's SrcValue back to the host master. ------
-            let batch_values = gpu.download(&src_value);
+            let batch_values =
+                with_copy_retries(gpu, cfg, fault, |g| g.try_download(&src_value))?;
             master_src_value[er_all].copy_from_slice(&batch_values);
             extra_transfer_seconds += base.device.transfer_seconds(host_writes);
         }
@@ -353,21 +608,45 @@ pub fn run_streamed<P: VertexProgram>(
             seconds: iter_seconds,
             updated_vertices: updated_this_iter,
         });
-        if gpu.download_scalar(&converged_flag, 0) == 1 {
+        if with_copy_retries(gpu, cfg, fault, |g| g.try_download_scalar(&converged_flag, 0))?
+            == 1
+        {
             converged = true;
             break;
         }
+        if let Some(w) = base.watchdog_interval {
+            if total.iterations.is_multiple_of(w) {
+                let snapshot =
+                    with_copy_retries(gpu, cfg, fault, |g| g.try_download(&vertex_values))?;
+                if !watchdog_seen.insert(fingerprint(&snapshot)) {
+                    return Err(AttemptError::Watchdog { iterations: total.iterations });
+                }
+            }
+        }
     }
 
-    let values = gpu.download(&vertex_values);
+    let values = with_copy_retries(gpu, cfg, fault, |g| g.try_download(&vertex_values))?;
     total.converged = converged;
-    total.kernel.name = format!("{}-streamed::{}", base.repr.label(), prog.name());
+    total.kernel.name = format!("{}-streamed::{}", repr.label(), prog.name());
     total.h2d_seconds = h2d_resident;
     total.compute_seconds = kernel_seconds_pipelined + extra_transfer_seconds;
     total.d2h_seconds = base.device.transfer_seconds(
         graph.num_vertices() as u64 * <P::V as Pod>::SIZE as u64,
     );
-    CuShaOutput { values, stats: total }
+    Ok(CuShaOutput { values, stats: total })
+}
+
+/// FNV-1a over the value vector's bit patterns (watchdog fingerprint).
+fn fingerprint<V: Value>(values: &[V]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in values {
+        let mut bits = v.to_bits();
+        for _ in 0..8 {
+            h = (h ^ (bits & 0xff)).wrapping_mul(0x100_0000_01b3);
+            bits >>= 8;
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -430,6 +709,7 @@ mod tests {
             &StreamingConfig::new(base.clone(), tiny_budget(1500)),
         );
         assert!(streamed.stats.converged);
+        assert!(streamed.stats.fault.is_clean());
         assert_eq!(streamed.values, in_core.values);
     }
 
@@ -518,5 +798,16 @@ mod tests {
         for (v, &d) in streamed.values.iter().enumerate() {
             assert_eq!(d, v as u32);
         }
+    }
+
+    #[test]
+    fn zero_streams_is_an_invalid_config() {
+        let g = Graph::empty(4);
+        let mut cfg = StreamingConfig::new(CuShaConfig::gs(), 1024);
+        cfg.streams = 0;
+        assert!(matches!(
+            try_run_streamed(&MiniSssp { source: 0 }, &g, &cfg),
+            Err(EngineError::InvalidConfig(_))
+        ));
     }
 }

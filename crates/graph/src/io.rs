@@ -117,36 +117,78 @@ pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
     Ok(())
 }
 
+/// Bytes per serialized edge record: `(src, dst, weight)` as `u32` each.
+const EDGE_RECORD_BYTES: usize = 12;
+
+/// Upper bound on the edge capacity reserved up front from an untrusted
+/// header (16 MiB of records). A header claiming more edges than this gets
+/// its vector grown incrementally instead, so a corrupt or hostile `m`
+/// cannot force a multi-gigabyte allocation before the payload proves it is
+/// actually that long.
+const MAX_TRUSTED_CAPACITY: usize = (16 << 20) / EDGE_RECORD_BYTES;
+
 /// Reads the compact binary format.
+///
+/// The header's claimed counts are treated as untrusted: the edge vector's
+/// up-front reservation is capped (a corrupt `m` cannot trigger an
+/// allocation the payload never backs), and a payload shorter than `m`
+/// records yields [`IoError::Parse`] naming the truncation point rather
+/// than a bare EOF.
 pub fn read_binary<R: Read>(reader: R) -> Result<Graph, IoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic)
+        .map_err(|e| truncated("magic", e))?;
     if &magic != MAGIC {
         return Err(IoError::Parse("bad magic".into()));
     }
     let mut buf4 = [0u8; 4];
-    let mut read_u32 = |r: &mut BufReader<R>| -> Result<u32, IoError> {
-        r.read_exact(&mut buf4)?;
+    let mut read_u32 = |r: &mut BufReader<R>, what: &str| -> Result<u32, IoError> {
+        r.read_exact(&mut buf4).map_err(|e| truncated(what, e))?;
         Ok(u32::from_le_bytes(buf4))
     };
-    let version = read_u32(&mut r)?;
+    let version = read_u32(&mut r, "version")?;
     if version != VERSION {
         return Err(IoError::Parse(format!("unsupported version {version}")));
     }
-    let n = read_u32(&mut r)?;
-    let m = read_u32(&mut r)?;
-    let mut edges = Vec::with_capacity(m as usize);
+    let n = read_u32(&mut r, "vertex count")?;
+    let m = read_u32(&mut r, "edge count")?;
+    let mut edges = Vec::with_capacity((m as usize).min(MAX_TRUSTED_CAPACITY));
     for i in 0..m {
-        let src = read_u32(&mut r)?;
-        let dst = read_u32(&mut r)?;
-        let weight = read_u32(&mut r)?;
+        let mut record = [0u8; EDGE_RECORD_BYTES];
+        r.read_exact(&mut record).map_err(|e| {
+            truncated(&format!("edge #{i} of {m} claimed by the header"), e)
+        })?;
+        let word = |k: usize| u32::from_le_bytes(record[4 * k..4 * k + 4].try_into().unwrap());
+        let (src, dst, weight) = (word(0), word(1), word(2));
         if src >= n || dst >= n {
-            return Err(IoError::Parse(format!("edge #{i} out of range")));
+            return Err(IoError::Parse(format!(
+                "edge #{i} ({src} -> {dst}) out of range for {n} vertices"
+            )));
         }
         edges.push(Edge::new(src, dst, weight));
     }
-    Ok(Graph::new(n, edges))
+    Graph::try_new(n, edges).map_err(|e| IoError::Parse(e.to_string()))
+}
+
+/// Maps a short read to [`IoError::Parse`] (a truncated file is malformed
+/// input, not an environment failure); other IO errors pass through.
+fn truncated(what: &str, e: io::Error) -> IoError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        IoError::Parse(format!("truncated input while reading {what}"))
+    } else {
+        IoError::Io(e)
+    }
+}
+
+/// Loads the compact binary format from a file path.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+/// Saves the compact binary format to a file path.
+pub fn save_binary(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_binary(g, std::fs::File::create(path)?)
 }
 
 #[cfg(test)]
@@ -205,10 +247,52 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf[0] = b'X';
         assert!(matches!(read_binary(&buf[..]), Err(IoError::Parse(_))));
+        // A truncated payload is malformed input, not an IO failure.
         let mut buf2 = Vec::new();
         write_binary(&g, &mut buf2).unwrap();
         buf2.truncate(buf2.len() - 2);
-        assert!(matches!(read_binary(&buf2[..]), Err(IoError::Io(_))));
+        match read_binary(&buf2[..]) {
+            Err(IoError::Parse(msg)) => {
+                assert!(msg.contains("truncated"), "{msg}");
+                assert!(msg.contains("edge #9"), "{msg}");
+            }
+            other => panic!("expected Parse(truncated), got {other:?}"),
+        }
+        // Truncation inside the header is also a parse error.
+        let mut buf3 = Vec::new();
+        write_binary(&g, &mut buf3).unwrap();
+        buf3.truncate(10);
+        assert!(matches!(read_binary(&buf3[..]), Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn binary_header_cannot_force_huge_allocation() {
+        // A header claiming u32::MAX edges backed by no payload must fail
+        // with a truncation parse error without first reserving ~48 GiB.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CUSH");
+        buf.extend_from_slice(&1u32.to_le_bytes()); // version
+        buf.extend_from_slice(&10u32.to_le_bytes()); // n
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // m (lie)
+        match read_binary(&buf[..]) {
+            Err(IoError::Parse(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected Parse(truncated), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_file_round_trip_through_paths() {
+        let g = erdos_renyi(30, 90, 7);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cusha-io-bin-test-{}.bin", std::process::id()));
+        save_binary(&g, &path).unwrap();
+        let back = load_binary(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            load_binary(dir.join("cusha-io-definitely-missing.bin")),
+            Err(IoError::Io(_))
+        ));
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
-pub use types::{Edge, EdgeId, Graph, VertexId};
+pub use types::{Edge, EdgeId, Graph, GraphError, VertexId};

@@ -35,33 +35,93 @@ impl Edge {
     }
 }
 
+/// A structural defect found by [`Graph::validate`] / [`Graph::try_new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a vertex `>= num_vertices`.
+    EdgeOutOfRange {
+        /// Index of the offending edge in the edge list.
+        index: usize,
+        /// The offending edge.
+        edge: Edge,
+        /// The graph's vertex count.
+        num_vertices: u32,
+    },
+    /// The edge list does not fit the 32-bit [`EdgeId`] space.
+    TooManyEdges {
+        /// Actual edge count.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::EdgeOutOfRange { index, edge, num_vertices } => write!(
+                f,
+                "edge #{index} ({} -> {}) out of range for {num_vertices} vertices",
+                edge.src, edge.dst
+            ),
+            GraphError::TooManyEdges { count } => {
+                write!(f, "{count} edges exceed the 32-bit edge-id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A directed graph stored as a flat edge list.
 ///
 /// This is the interchange format: generators produce it, representations
 /// ([`crate::Csr`], G-Shards, Concatenated Windows) are built from it, and IO
 /// reads/writes it. Vertex ids must be `< num_vertices`; this is enforced by
-/// [`Graph::new`] and preserved by all constructors in this crate.
+/// [`Graph::new`] / [`Graph::try_new`] and preserved by all constructors in
+/// this crate. Weights are raw `u32` seeds, so non-finite values are
+/// unrepresentable by construction; algorithms that derive floats from the
+/// seed map it through finite-preserving transforms.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Graph {
     num_vertices: u32,
     edges: Vec<Edge>,
 }
 
+/// Checks the invariants [`Graph`] maintains over raw parts.
+fn check_parts(num_vertices: u32, edges: &[Edge]) -> Result<(), GraphError> {
+    if edges.len() > EdgeId::MAX as usize {
+        return Err(GraphError::TooManyEdges { count: edges.len() });
+    }
+    for (index, e) in edges.iter().enumerate() {
+        if e.src >= num_vertices || e.dst >= num_vertices {
+            return Err(GraphError::EdgeOutOfRange { index, edge: *e, num_vertices });
+        }
+    }
+    Ok(())
+}
+
 impl Graph {
     /// Builds a graph from parts, validating that every endpoint is in range.
     ///
     /// # Panics
-    /// Panics if any edge references a vertex `>= num_vertices`.
+    /// Panics if any edge references a vertex `>= num_vertices`. Fallible
+    /// callers (file loaders, user-supplied inputs) use [`Graph::try_new`].
     pub fn new(num_vertices: u32, edges: Vec<Edge>) -> Self {
-        for (i, e) in edges.iter().enumerate() {
-            assert!(
-                e.src < num_vertices && e.dst < num_vertices,
-                "edge #{i} ({} -> {}) out of range for {num_vertices} vertices",
-                e.src,
-                e.dst,
-            );
-        }
-        Graph { num_vertices, edges }
+        Graph::try_new(num_vertices, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a graph from parts, returning the first structural defect
+    /// instead of panicking.
+    pub fn try_new(num_vertices: u32, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        check_parts(num_vertices, &edges)?;
+        Ok(Graph { num_vertices, edges })
+    }
+
+    /// Re-checks the graph's invariants (endpoints in range, edge count
+    /// within [`EdgeId`]). Always `Ok` for graphs built through this
+    /// crate's constructors; engines call it to reject hand-assembled or
+    /// deserialized inputs before touching the device.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        check_parts(self.num_vertices, &self.edges)
     }
 
     /// An empty graph over `num_vertices` isolated vertices.
@@ -205,6 +265,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn new_rejects_out_of_range() {
         Graph::new(2, vec![Edge::new(0, 2, 1)]);
+    }
+
+    #[test]
+    fn try_new_reports_the_offending_edge() {
+        let err = Graph::try_new(2, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::EdgeOutOfRange {
+                index: 1,
+                edge: Edge::new(1, 2, 1),
+                num_vertices: 2
+            }
+        );
+        assert!(err.to_string().contains("edge #1"));
+    }
+
+    #[test]
+    fn validate_accepts_constructed_graphs() {
+        assert_eq!(sample().validate(), Ok(()));
+        assert_eq!(Graph::empty(0).validate(), Ok(()));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::block::Block;
 use crate::config::DeviceConfig;
 use crate::counters::KernelStats;
+use crate::fault::{DeviceFault, FaultKind, FaultPlan};
 use crate::mem::{DevVec, ALLOC_ALIGN};
 use crate::pod::Pod;
 
@@ -44,6 +45,8 @@ pub struct Gpu {
     pub kernels_launched: u64,
     /// Optional kernel-history profiler (see [`Gpu::set_profiling`]).
     pub profile: Option<crate::profile::Profile>,
+    /// Optional fault-injection schedule consulted by the `try_*` ops.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Gpu {
@@ -58,7 +61,31 @@ impl Gpu {
             kernel_seconds: 0.0,
             kernels_launched: 0,
             profile: None,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault-injection plan; `try_*` operations consult it.
+    /// Replaces any existing plan (returning it), so a plan carried across
+    /// device rebuilds keeps its operation counters.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Option<FaultPlan> {
+        self.fault_plan.replace(plan)
+    }
+
+    /// Removes and returns the installed fault plan, if any. Engines call
+    /// this before tearing a device down so the plan (with its consumed
+    /// fault coordinates) survives a restart.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// The installed fault plan, if any (to read injection counts).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    fn fault_fires(&mut self, kind: FaultKind, kernel_name: Option<&str>) -> Option<u64> {
+        self.fault_plan.as_mut().and_then(|p| p.check(kind, kernel_name))
     }
 
     /// Enables (or disables) retention of every launch's [`KernelStats`]
@@ -86,61 +113,160 @@ impl Gpu {
         self.h2d_seconds + self.d2h_seconds + self.kernel_seconds
     }
 
-    /// Allocates a zero-initialized device buffer (like `cudaMalloc` +
-    /// `cudaMemset`). No transfer cost.
-    ///
-    /// # Panics
-    /// Panics when device memory is exhausted, as the paper's runs would
-    /// abort on `cudaMalloc` failure.
-    pub fn alloc<T: Pod>(&mut self, len: usize) -> DevVec<T> {
+    /// Fallible allocation of a zero-initialized device buffer (like
+    /// `cudaMalloc` + `cudaMemset`). No transfer cost. Fails with
+    /// [`DeviceFault::Oom`] when capacity is exhausted or the fault plan
+    /// injects an allocation failure; a failed allocation reserves nothing.
+    pub fn try_alloc<T: Pod>(&mut self, len: usize) -> Result<DevVec<T>, DeviceFault> {
         let bytes = len as u64 * T::SIZE as u64;
+        if self.fault_fires(FaultKind::Alloc, None).is_some() {
+            return Err(DeviceFault::Oom {
+                requested_bytes: self.allocated_bytes + bytes,
+                capacity_bytes: self.cfg.global_mem_bytes,
+                injected: true,
+            });
+        }
+        if self.allocated_bytes + bytes > self.cfg.global_mem_bytes {
+            return Err(DeviceFault::Oom {
+                requested_bytes: self.allocated_bytes + bytes,
+                capacity_bytes: self.cfg.global_mem_bytes,
+                injected: false,
+            });
+        }
         let base = self.next_addr;
         let aligned = bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
         self.allocated_bytes += bytes;
-        assert!(
-            self.allocated_bytes <= self.cfg.global_mem_bytes,
-            "device out of memory: {} B requested, {} B capacity",
-            self.allocated_bytes,
-            self.cfg.global_mem_bytes
-        );
         self.next_addr += aligned.max(ALLOC_ALIGN);
-        DevVec::from_parts(vec![T::default(); len], base)
+        Ok(DevVec::from_parts(vec![T::default(); len], base))
+    }
+
+    /// Allocates a zero-initialized device buffer.
+    ///
+    /// # Panics
+    /// Panics when device memory is exhausted, as the paper's runs would
+    /// abort on `cudaMalloc` failure. Fault-aware engines use
+    /// [`Gpu::try_alloc`] instead.
+    pub fn alloc<T: Pod>(&mut self, len: usize) -> DevVec<T> {
+        self.try_alloc(len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible allocate-and-upload, charging one host→device transfer.
+    /// An injected H2D fault leaves nothing allocated.
+    pub fn try_upload<T: Pod>(&mut self, data: &[T]) -> Result<DevVec<T>, DeviceFault> {
+        if let Some(op_index) = self.fault_fires(FaultKind::H2d, None) {
+            return Err(DeviceFault::Copy { kind: FaultKind::H2d, op_index });
+        }
+        let mut buf = self.try_alloc::<T>(data.len())?;
+        buf.host_mut().copy_from_slice(data);
+        self.h2d_seconds += self.cfg.transfer_seconds(buf.size_bytes());
+        Ok(buf)
     }
 
     /// Allocates and uploads, charging one host→device transfer.
+    ///
+    /// # Panics
+    /// Panics on OOM or injected copy fault; see [`Gpu::try_upload`].
     pub fn upload<T: Pod>(&mut self, data: &[T]) -> DevVec<T> {
-        let mut buf = self.alloc::<T>(data.len());
+        self.try_upload(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible overwrite of an existing buffer from host data, charging a
+    /// transfer. An injected fault transfers nothing — the buffer keeps its
+    /// previous contents, so the caller may retry.
+    pub fn try_h2d<T: Pod>(
+        &mut self,
+        buf: &mut DevVec<T>,
+        data: &[T],
+    ) -> Result<(), DeviceFault> {
+        assert_eq!(buf.len(), data.len(), "h2d length mismatch");
+        if let Some(op_index) = self.fault_fires(FaultKind::H2d, None) {
+            return Err(DeviceFault::Copy { kind: FaultKind::H2d, op_index });
+        }
         buf.host_mut().copy_from_slice(data);
         self.h2d_seconds += self.cfg.transfer_seconds(buf.size_bytes());
-        buf
+        Ok(())
     }
 
     /// Overwrites an existing buffer from host data, charging a transfer.
+    ///
+    /// # Panics
+    /// Panics on injected copy fault; see [`Gpu::try_h2d`].
     pub fn h2d<T: Pod>(&mut self, buf: &mut DevVec<T>, data: &[T]) {
-        assert_eq!(buf.len(), data.len(), "h2d length mismatch");
-        buf.host_mut().copy_from_slice(data);
-        self.h2d_seconds += self.cfg.transfer_seconds(buf.size_bytes());
+        self.try_h2d(buf, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible copy of a buffer back to the host, charging a device→host
+    /// transfer. An injected fault returns no data; the device buffer is
+    /// untouched and the caller may retry.
+    pub fn try_download<T: Pod>(&mut self, buf: &DevVec<T>) -> Result<Vec<T>, DeviceFault> {
+        if let Some(op_index) = self.fault_fires(FaultKind::D2h, None) {
+            return Err(DeviceFault::Copy { kind: FaultKind::D2h, op_index });
+        }
+        self.d2h_seconds += self.cfg.transfer_seconds(buf.size_bytes());
+        Ok(buf.host().to_vec())
     }
 
     /// Copies a buffer back to the host, charging a device→host transfer.
+    ///
+    /// # Panics
+    /// Panics on injected copy fault; see [`Gpu::try_download`].
     pub fn download<T: Pod>(&mut self, buf: &DevVec<T>) -> Vec<T> {
-        self.d2h_seconds += self.cfg.transfer_seconds(buf.size_bytes());
-        buf.host().to_vec()
+        self.try_download(buf).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Copies a single element back to the host (the per-iteration
-    /// `is_converged` readback in Figure 5, line 29 — dominated by PCIe
-    /// latency).
-    pub fn download_scalar<T: Pod>(&mut self, buf: &DevVec<T>, idx: usize) -> T {
+    /// Fallible single-element readback (the per-iteration `is_converged`
+    /// readback in Figure 5, line 29 — dominated by PCIe latency).
+    pub fn try_download_scalar<T: Pod>(
+        &mut self,
+        buf: &DevVec<T>,
+        idx: usize,
+    ) -> Result<T, DeviceFault> {
+        if let Some(op_index) = self.fault_fires(FaultKind::D2h, None) {
+            return Err(DeviceFault::Copy { kind: FaultKind::D2h, op_index });
+        }
         self.d2h_seconds += self.cfg.transfer_seconds(T::SIZE as u64);
-        buf.host()[idx]
+        Ok(buf.host()[idx])
+    }
+
+    /// Copies a single element back to the host.
+    ///
+    /// # Panics
+    /// Panics on injected copy fault; see [`Gpu::try_download_scalar`].
+    pub fn download_scalar<T: Pod>(&mut self, buf: &DevVec<T>, idx: usize) -> T {
+        self.try_download_scalar(buf, idx).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible kernel launch; see [`Gpu::launch`]. An injected launch
+    /// fault fires *before* any block executes, so device state is exactly
+    /// as it was — mirroring a CUDA launch error — and the caller may
+    /// re-launch or fall back to another representation.
+    pub fn try_launch(
+        &mut self,
+        desc: &KernelDesc,
+        body: impl FnMut(&mut Block<'_>),
+    ) -> Result<KernelStats, DeviceFault> {
+        if let Some(op_index) = self.fault_fires(FaultKind::Kernel, Some(&desc.name)) {
+            return Err(DeviceFault::Kernel { name: desc.name.clone(), op_index });
+        }
+        Ok(self.launch_unchecked(desc, body))
     }
 
     /// Launches a kernel: runs `body` once per block (in block-id order —
     /// this fixed order is how the simulator realizes CuSha's asynchronous
     /// intra-iteration visibility deterministically) and charges the
     /// roofline time model.
+    ///
+    /// # Panics
+    /// Panics on injected launch fault; see [`Gpu::try_launch`].
     pub fn launch(
+        &mut self,
+        desc: &KernelDesc,
+        body: impl FnMut(&mut Block<'_>),
+    ) -> KernelStats {
+        self.try_launch(desc, body).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn launch_unchecked(
         &mut self,
         desc: &KernelDesc,
         mut body: impl FnMut(&mut Block<'_>),
@@ -285,6 +411,74 @@ mod tests {
         assert!(profile.report().contains("probe"));
         gpu.set_profiling(false);
         assert!(gpu.profile.is_none());
+    }
+
+    #[test]
+    fn try_alloc_reports_oom_without_reserving() {
+        let mut gpu = Gpu::new(DeviceConfig::tiny_test()); // 1 MiB
+        let err = gpu.try_alloc::<u64>(1 << 20).unwrap_err();
+        match err {
+            DeviceFault::Oom { injected, .. } => assert!(!injected),
+            other => panic!("expected Oom, got {other:?}"),
+        }
+        // The failed allocation reserved nothing; a fitting one succeeds.
+        assert_eq!(gpu.allocated_bytes(), 0);
+        assert!(gpu.try_alloc::<u32>(16).is_ok());
+    }
+
+    #[test]
+    fn injected_faults_surface_through_try_ops() {
+        let mut gpu = Gpu::new(DeviceConfig::tiny_test());
+        gpu.set_fault_plan(
+            FaultPlan::new()
+                .fail_alloc_at(&[1])
+                .fail_h2d_at(&[1])
+                .fail_d2h_at(&[0])
+                .fail_kernel_at(&[0]),
+        );
+        // alloc #0 fine, #1 injected OOM, #2 fine again.
+        assert!(gpu.try_alloc::<u32>(4).is_ok());
+        match gpu.try_alloc::<u32>(4) {
+            Err(DeviceFault::Oom { injected: true, .. }) => {}
+            other => panic!("expected injected Oom, got {other:?}"),
+        }
+        let mut buf = gpu.try_alloc::<u32>(4).unwrap();
+        // h2d #0 (upload counts as h2d) fine, #1 fails and leaves the
+        // buffer untouched, #2 (the retry) succeeds.
+        let _up = gpu.try_upload(&[9u32; 4]).unwrap();
+        assert!(matches!(
+            gpu.try_h2d(&mut buf, &[1, 2, 3, 4]),
+            Err(DeviceFault::Copy { kind: FaultKind::H2d, op_index: 1 })
+        ));
+        assert_eq!(buf.host(), &[0; 4], "failed copy transferred nothing");
+        gpu.try_h2d(&mut buf, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(buf.host(), &[1, 2, 3, 4]);
+        // d2h #0 fails, retry succeeds.
+        assert!(gpu.try_download(&buf).is_err());
+        assert_eq!(gpu.try_download(&buf).unwrap(), vec![1, 2, 3, 4]);
+        // kernel #0 fails before running any block, retry runs.
+        let desc = KernelDesc::new("probe", 1, 32);
+        let mut ran = false;
+        assert!(gpu.try_launch(&desc, |_| ran = true).is_err());
+        assert!(!ran, "failed launch must not execute blocks");
+        gpu.try_launch(&desc, |_| ran = true).unwrap();
+        assert!(ran);
+        let log = gpu.fault_plan().unwrap().injected();
+        assert_eq!((log.alloc, log.h2d, log.d2h, log.kernel), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn fault_plan_survives_take_and_reinstall() {
+        let mut gpu = Gpu::new(DeviceConfig::tiny_test());
+        gpu.set_fault_plan(FaultPlan::new().fail_h2d_at(&[2]));
+        let _ = gpu.try_upload(&[1u32]).unwrap(); // h2d #0
+        let plan = gpu.take_fault_plan().unwrap();
+        // Simulated engine restart: fresh device, same plan.
+        let mut gpu2 = Gpu::new(DeviceConfig::tiny_test());
+        gpu2.set_fault_plan(plan);
+        let _ = gpu2.try_upload(&[1u32]).unwrap(); // h2d #1
+        assert!(gpu2.try_upload(&[1u32]).is_err(), "h2d #2 injected");
+        assert!(gpu2.try_upload(&[1u32]).is_ok());
     }
 
     #[test]

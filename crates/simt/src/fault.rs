@@ -1,0 +1,368 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] schedules failures of the four fallible device operations
+//! — host→device copies, device→host copies, device allocations, and kernel
+//! launches — at chosen *operation coordinates*. Every `Gpu` operation of a
+//! kind increments that kind's counter; a fault fires when the counter hits
+//! a scheduled index (or, in seeded-random mode, when a deterministic hash
+//! of `(seed, kind, index)` falls under the configured rate). Two runs with
+//! the same plan therefore observe the *identical* fault schedule, which is
+//! what makes recovery paths testable: an engine that retries/rebatches
+//! around injected faults must reproduce the fault-free values bit-for-bit.
+//!
+//! Operation counters live in the plan, not the `Gpu`, so a plan carried
+//! across engine restarts (e.g. after an OOM-triggered rebatch) keeps its
+//! global coordinates: a fault scheduled at h2d #7 fires exactly once even
+//! if the engine tears the device down and starts over.
+//!
+//! Faults are injected *before* the operation takes effect: a failed copy
+//! transfers nothing, a failed allocation reserves nothing, and a failed
+//! launch runs no blocks — mirroring a CUDA error return, after which the
+//! caller may retry.
+
+use std::collections::BTreeSet;
+
+/// Kinds of injectable device faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Host→device copy failure (transient in real systems).
+    H2d,
+    /// Device→host copy failure (transient in real systems).
+    D2h,
+    /// Device allocation failure (`cudaMalloc` returning OOM).
+    Alloc,
+    /// Kernel launch failure (launch error / abort before side effects).
+    Kernel,
+}
+
+impl FaultKind {
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::H2d => 0x683264,   // "h2d"
+            FaultKind::D2h => 0x643268,   // "d2h"
+            FaultKind::Alloc => 0x616c6c, // "all"
+            FaultKind::Kernel => 0x6b726e, // "krn"
+        }
+    }
+}
+
+/// A device-level failure surfaced by the fallible `Gpu` operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeviceFault {
+    /// Allocation failed: either injected or genuinely over capacity.
+    Oom {
+        /// Bytes the failed allocation requested (cumulative ask).
+        requested_bytes: u64,
+        /// Device capacity in bytes.
+        capacity_bytes: u64,
+        /// True when the failure was injected rather than a real
+        /// capacity overflow.
+        injected: bool,
+    },
+    /// A host↔device copy failed.
+    Copy {
+        /// Which direction failed.
+        kind: FaultKind,
+        /// Zero-based index of the failed operation among its kind.
+        op_index: u64,
+    },
+    /// A kernel launch failed before executing any block.
+    Kernel {
+        /// Name of the kernel whose launch failed.
+        name: String,
+        /// Zero-based launch index.
+        op_index: u64,
+    },
+}
+
+impl std::fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceFault::Oom { requested_bytes, capacity_bytes, injected } => write!(
+                f,
+                "device out of memory: {requested_bytes} B requested, {capacity_bytes} B capacity{}",
+                if *injected { " (injected)" } else { "" }
+            ),
+            DeviceFault::Copy { kind, op_index } => {
+                let dir = match kind {
+                    FaultKind::H2d => "host-to-device",
+                    FaultKind::D2h => "device-to-host",
+                    _ => "copy",
+                };
+                write!(f, "{dir} copy #{op_index} failed (injected)")
+            }
+            DeviceFault::Kernel { name, op_index } => {
+                write!(f, "kernel launch #{op_index} ({name}) failed (injected)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+/// Counts of faults a plan has actually fired, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectionLog {
+    /// Host→device copy faults fired.
+    pub h2d: u64,
+    /// Device→host copy faults fired.
+    pub d2h: u64,
+    /// Allocation faults fired.
+    pub alloc: u64,
+    /// Kernel-launch faults fired.
+    pub kernel: u64,
+}
+
+impl InjectionLog {
+    /// Total faults fired.
+    pub fn total(&self) -> u64 {
+        self.h2d + self.d2h + self.alloc + self.kernel
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct KindState {
+    /// Next operation index of this kind (monotonic across restarts).
+    counter: u64,
+    /// Explicitly scheduled one-shot fault indices.
+    scheduled: BTreeSet<u64>,
+}
+
+/// A deterministic schedule of injected device faults.
+///
+/// Build one with the `fail_*` constructors (exact coordinates) and/or
+/// [`FaultPlan::seeded`] plus `with_*_rate` (pseudo-random but fully
+/// determined by the seed), install it with `Gpu::set_fault_plan`, and read
+/// back [`FaultPlan::injected`] after the run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    h2d: KindState,
+    d2h: KindState,
+    alloc: KindState,
+    kernel: KindState,
+    /// Substring-matched kernel faults: fail the next `remaining` launches
+    /// whose name contains `pattern`.
+    kernel_named: Vec<(String, u64)>,
+    seed: Option<u64>,
+    h2d_rate: f64,
+    d2h_rate: f64,
+    alloc_rate: f64,
+    kernel_rate: f64,
+    injected: InjectionLog,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan whose random faults are fully determined by `seed`. Combine
+    /// with the `with_*_rate` builders; without a rate the seed alone
+    /// injects nothing.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed: Some(seed), ..Self::default() }
+    }
+
+    /// Fails host→device copies at the given zero-based operation indices.
+    pub fn fail_h2d_at(mut self, ops: &[u64]) -> Self {
+        self.h2d.scheduled.extend(ops);
+        self
+    }
+
+    /// Fails device→host copies at the given zero-based operation indices.
+    pub fn fail_d2h_at(mut self, ops: &[u64]) -> Self {
+        self.d2h.scheduled.extend(ops);
+        self
+    }
+
+    /// Fails allocations at the given zero-based operation indices.
+    pub fn fail_alloc_at(mut self, ops: &[u64]) -> Self {
+        self.alloc.scheduled.extend(ops);
+        self
+    }
+
+    /// Fails kernel launches at the given zero-based launch indices.
+    pub fn fail_kernel_at(mut self, ops: &[u64]) -> Self {
+        self.kernel.scheduled.extend(ops);
+        self
+    }
+
+    /// Fails the next `count` kernel launches whose name contains
+    /// `pattern`. Use `u64::MAX` for a persistent fault (e.g. to force a
+    /// representation's kernels to always fail and exercise degradation).
+    pub fn fail_kernels_named(mut self, pattern: impl Into<String>, count: u64) -> Self {
+        self.kernel_named.push((pattern.into(), count));
+        self
+    }
+
+    /// Random h2d-copy fault probability per operation (seeded mode).
+    pub fn with_h2d_rate(mut self, rate: f64) -> Self {
+        self.h2d_rate = rate;
+        self
+    }
+
+    /// Random d2h-copy fault probability per operation (seeded mode).
+    pub fn with_d2h_rate(mut self, rate: f64) -> Self {
+        self.d2h_rate = rate;
+        self
+    }
+
+    /// Random allocation fault probability per operation (seeded mode).
+    pub fn with_alloc_rate(mut self, rate: f64) -> Self {
+        self.alloc_rate = rate;
+        self
+    }
+
+    /// Random kernel fault probability per launch (seeded mode).
+    pub fn with_kernel_rate(mut self, rate: f64) -> Self {
+        self.kernel_rate = rate;
+        self
+    }
+
+    /// Counts of faults fired so far.
+    pub fn injected(&self) -> InjectionLog {
+        self.injected
+    }
+
+    /// Operation counters consumed so far `(h2d, d2h, alloc, kernel)` —
+    /// useful for aiming `fail_*_at` at coordinates observed in a fault-free
+    /// run.
+    pub fn op_counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.h2d.counter,
+            self.d2h.counter,
+            self.alloc.counter,
+            self.kernel.counter,
+        )
+    }
+
+    fn random_fires(&self, kind: FaultKind, index: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let Some(seed) = self.seed else { return false };
+        // SplitMix64 over (seed, kind, index): a pure function, so the
+        // schedule is identical for identical seeds regardless of timing.
+        let mut z = seed ^ kind.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < rate
+    }
+
+    /// Advances the counter for `kind` and reports whether this operation
+    /// must fail. Scheduled one-shot indices are consumed; named kernel
+    /// matches decrement their budget.
+    pub(crate) fn check(&mut self, kind: FaultKind, kernel_name: Option<&str>) -> Option<u64> {
+        let rate = match kind {
+            FaultKind::H2d => self.h2d_rate,
+            FaultKind::D2h => self.d2h_rate,
+            FaultKind::Alloc => self.alloc_rate,
+            FaultKind::Kernel => self.kernel_rate,
+        };
+        let state = match kind {
+            FaultKind::H2d => &mut self.h2d,
+            FaultKind::D2h => &mut self.d2h,
+            FaultKind::Alloc => &mut self.alloc,
+            FaultKind::Kernel => &mut self.kernel,
+        };
+        let index = state.counter;
+        state.counter += 1;
+        let mut fires = state.scheduled.remove(&index);
+        if !fires {
+            if let Some(name) = kernel_name {
+                for (pattern, remaining) in &mut self.kernel_named {
+                    if *remaining > 0 && name.contains(pattern.as_str()) {
+                        *remaining -= 1;
+                        fires = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !fires {
+            fires = self.random_fires(kind, index, rate);
+        }
+        if fires {
+            match kind {
+                FaultKind::H2d => self.injected.h2d += 1,
+                FaultKind::D2h => self.injected.d2h += 1,
+                FaultKind::Alloc => self.injected.alloc += 1,
+                FaultKind::Kernel => self.injected.kernel += 1,
+            }
+            Some(index)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_faults_fire_once_at_their_index() {
+        let mut plan = FaultPlan::new().fail_h2d_at(&[1, 3]);
+        let fired: Vec<bool> =
+            (0..6).map(|_| plan.check(FaultKind::H2d, None).is_some()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false, false]);
+        assert_eq!(plan.injected().h2d, 2);
+        assert_eq!(plan.injected().total(), 2);
+    }
+
+    #[test]
+    fn kinds_have_independent_counters() {
+        let mut plan = FaultPlan::new().fail_alloc_at(&[0]).fail_d2h_at(&[0]);
+        assert!(plan.check(FaultKind::H2d, None).is_none());
+        assert!(plan.check(FaultKind::Alloc, None).is_some());
+        assert!(plan.check(FaultKind::D2h, None).is_some());
+        assert!(plan.check(FaultKind::Kernel, Some("k")).is_none());
+    }
+
+    #[test]
+    fn named_kernel_faults_respect_budget() {
+        let mut plan = FaultPlan::new().fail_kernels_named("CW", 2);
+        assert!(plan.check(FaultKind::Kernel, Some("CuSha-GS::bfs")).is_none());
+        assert!(plan.check(FaultKind::Kernel, Some("CuSha-CW::bfs")).is_some());
+        assert!(plan.check(FaultKind::Kernel, Some("CuSha-CW::bfs")).is_some());
+        assert!(plan.check(FaultKind::Kernel, Some("CuSha-CW::bfs")).is_none());
+        assert_eq!(plan.injected().kernel, 2);
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(seed).with_h2d_rate(0.3);
+            (0..64).map(|_| plan.check(FaultKind::H2d, None).is_some()).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds give different schedules");
+        assert!(run(42).iter().any(|&b| b), "rate 0.3 over 64 ops fires");
+    }
+
+    #[test]
+    fn counters_persist_across_conceptual_restarts() {
+        // A plan threaded through two device lifetimes keeps coordinates.
+        let mut plan = FaultPlan::new().fail_alloc_at(&[2]);
+        assert!(plan.check(FaultKind::Alloc, None).is_none()); // first gpu, op 0
+        assert!(plan.check(FaultKind::Alloc, None).is_none()); // first gpu, op 1
+        // engine restarts with a fresh Gpu, same plan:
+        assert!(plan.check(FaultKind::Alloc, None).is_some()); // op 2 fires
+        assert!(plan.check(FaultKind::Alloc, None).is_none());
+        assert_eq!(plan.op_counters().2, 4);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let oom = DeviceFault::Oom { requested_bytes: 10, capacity_bytes: 5, injected: true };
+        assert!(oom.to_string().contains("out of memory"));
+        assert!(oom.to_string().contains("injected"));
+        let copy = DeviceFault::Copy { kind: FaultKind::H2d, op_index: 3 };
+        assert!(copy.to_string().contains("host-to-device"));
+        let k = DeviceFault::Kernel { name: "k".into(), op_index: 0 };
+        assert!(k.to_string().contains("kernel launch"));
+    }
+}

@@ -3,21 +3,35 @@
 //! any engine.
 //!
 //! ```text
-//! cusha --algo bfs --input graph.txt [--engine cw|gs|vwc:8|mtcpu:4]
+//! cusha --algo bfs --input graph.txt [--engine cw|gs|cw-streamed|gs-streamed|vwc:8|mtcpu:4]
 //!       [--source N] [--shard-size N] [--max-iters N] [--output out.txt]
+//!       [--resident-bytes N] [--watchdog N] [--inject <fault-spec>]
 //! cusha --algo pagerank --rmat 16:1000000 --engine cw
+//! cusha --algo pagerank --rmat 12:40000 --engine cw-streamed \
+//!       --resident-bytes 65536 --inject seed=7,alloc@2,h2d@5,h2d@9
 //! ```
+//!
+//! Exit codes: `0` success (including a capped, non-converged run), `1` IO
+//! failure, `2` usage error, `3` unrecovered engine error.
 
 use cusha::algos::{
     Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, NeuralNetwork, PageRank, Sswp,
     Sssp,
 };
 use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
-use cusha::core::{run, CuShaConfig, Repr, RunStats, VertexProgram};
+use cusha::core::{
+    try_run, try_run_streamed, CuShaConfig, CuShaOutput, EngineError, Repr, RunStats,
+    StreamingConfig, Value, VertexProgram,
+};
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::{io, Graph};
+use cusha::simt::FaultPlan;
 use std::io::Write;
 use std::process::exit;
+
+const EXIT_IO: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_ENGINE: i32 = 3;
 
 struct Args {
     algo: String,
@@ -28,17 +42,105 @@ struct Args {
     shard_size: Option<u32>,
     max_iters: u32,
     output: Option<String>,
+    resident_bytes: u64,
+    watchdog: Option<u32>,
+    inject: Option<FaultPlan>,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: cusha --algo <bfs|sssp|pagerank|cc|sswp|nn|hs|cs>\n\
+fn usage_text() -> &'static str {
+    "usage: cusha --algo <bfs|sssp|pagerank|cc|sswp|nn|hs|cs>\n\
          \x20      (--input <edge-list-or-.bin> | --rmat <scale>:<edges>)\n\
-         \x20      [--engine <cw|gs|vwc:<2|4|8|16|32>|mtcpu:<threads>>] (default cw)\n\
+         \x20      [--engine <cw|gs|cw-streamed|gs-streamed|vwc:<2|4|8|16|32>|mtcpu:<threads>>]\n\
          \x20      [--source <vertex>] [--shard-size <N>] [--max-iters <n>]\n\
-         \x20      [--output <path>]"
-    );
-    exit(2)
+         \x20      [--resident-bytes <bytes>] [--watchdog <interval>]\n\
+         \x20      [--inject <spec>[,<spec>...]] [--output <path>]\n\
+         \n\
+         fault-injection specs (deterministic; see DESIGN.md):\n\
+         \x20 seed=<u64>      seed for rate-based faults\n\
+         \x20 h2d@<i>  d2h@<i>  alloc@<i>  kernel@<i>   fail op #i of that kind\n\
+         \x20 h2d%<rate> d2h%<rate> alloc%<rate> kernel%<rate>  seeded random faults\n\
+         \x20 kernel~<pattern>:<count>   fail next <count> launches matching <pattern>"
+}
+
+/// Reports a usage error naming the offending flag/value, then exits 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("cusha: {msg}");
+    eprintln!("cusha: run with --help for usage");
+    exit(EXIT_USAGE)
+}
+
+/// Parses `--inject` specs like `seed=7,alloc@2,h2d@5,kernel~CW:3,d2h%0.01`.
+fn parse_inject(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    let mut seed: Option<u64> = None;
+    let mut directives: Vec<(String, String)> = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(v) = part.strip_prefix("seed=") {
+            seed = Some(
+                v.parse()
+                    .map_err(|e| format!("bad seed value {v:?} in --inject: {e}"))?,
+            );
+            continue;
+        }
+        if let Some((kind, idx)) = part.split_once('@') {
+            directives.push((format!("{kind}@"), idx.to_string()));
+        } else if let Some((kind, rate)) = part.split_once('%') {
+            directives.push((format!("{kind}%"), rate.to_string()));
+        } else if let Some(rest) = part.strip_prefix("kernel~") {
+            directives.push(("kernel~".into(), rest.to_string()));
+        } else {
+            return Err(format!("unrecognized --inject spec {part:?}"));
+        }
+    }
+    if let Some(s) = seed {
+        plan = FaultPlan::seeded(s);
+    }
+    for (kind, val) in directives {
+        match kind.as_str() {
+            "h2d@" | "d2h@" | "alloc@" | "kernel@" => {
+                let i: u64 = val
+                    .parse()
+                    .map_err(|e| format!("bad op index {val:?} in --inject {kind}: {e}"))?;
+                plan = match kind.as_str() {
+                    "h2d@" => plan.fail_h2d_at(&[i]),
+                    "d2h@" => plan.fail_d2h_at(&[i]),
+                    "alloc@" => plan.fail_alloc_at(&[i]),
+                    _ => plan.fail_kernel_at(&[i]),
+                };
+            }
+            "h2d%" | "d2h%" | "alloc%" | "kernel%" => {
+                let r: f64 = val
+                    .parse()
+                    .map_err(|e| format!("bad rate {val:?} in --inject {kind}: {e}"))?;
+                if seed.is_none() {
+                    return Err(format!(
+                        "--inject {kind}{val} needs a seed=<u64> spec (rates are seeded)"
+                    ));
+                }
+                plan = match kind.as_str() {
+                    "h2d%" => plan.with_h2d_rate(r),
+                    "d2h%" => plan.with_d2h_rate(r),
+                    "alloc%" => plan.with_alloc_rate(r),
+                    _ => plan.with_kernel_rate(r),
+                };
+            }
+            "kernel~" => {
+                let (pattern, count) = val.split_once(':').ok_or_else(|| {
+                    format!("--inject kernel~{val} needs the form kernel~<pattern>:<count>")
+                })?;
+                let c: u64 = count.parse().map_err(|e| {
+                    format!("bad count {count:?} in --inject kernel~: {e}")
+                })?;
+                plan = plan.fail_kernels_named(pattern, c);
+            }
+            _ => unreachable!(),
+        }
+    }
+    Ok(plan)
 }
 
 fn parse_args() -> Args {
@@ -51,41 +153,77 @@ fn parse_args() -> Args {
         shard_size: None,
         max_iters: 10_000,
         output: None,
+        resident_bytes: 16 << 20,
+        watchdog: None,
+        inject: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let take = |argv: &[String], i: &mut usize| -> String {
+    let take = |argv: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
-        argv.get(*i).cloned().unwrap_or_else(|| usage())
+        argv.get(*i)
+            .cloned()
+            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
     };
+    // Parses the flag's value, naming flag and value in the failure message.
+    fn parsed<T: std::str::FromStr>(flag: &str, val: &str) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        val.parse().unwrap_or_else(|e| {
+            usage_error(&format!("bad value {val:?} for {flag}: {e}"))
+        })
+    }
     while i < argv.len() {
         match argv[i].as_str() {
-            "--algo" => args.algo = take(&argv, &mut i).to_lowercase(),
-            "--input" => args.input = Some(take(&argv, &mut i)),
+            "--algo" => args.algo = take(&argv, &mut i, "--algo").to_lowercase(),
+            "--input" => args.input = Some(take(&argv, &mut i, "--input")),
             "--rmat" => {
-                let spec = take(&argv, &mut i);
-                let (s, e) = spec.split_once(':').unwrap_or_else(|| usage());
-                args.rmat = Some((
-                    s.parse().unwrap_or_else(|_| usage()),
-                    e.parse().unwrap_or_else(|_| usage()),
-                ));
+                let spec = take(&argv, &mut i, "--rmat");
+                let (s, e) = spec.split_once(':').unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "bad value {spec:?} for --rmat: expected <scale>:<edges>"
+                    ))
+                });
+                args.rmat = Some((parsed("--rmat scale", s), parsed("--rmat edges", e)));
             }
-            "--engine" => args.engine = take(&argv, &mut i).to_lowercase(),
-            "--source" => args.source = take(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--engine" => args.engine = take(&argv, &mut i, "--engine").to_lowercase(),
+            "--source" => {
+                args.source = parsed("--source", &take(&argv, &mut i, "--source"))
+            }
             "--shard-size" => {
-                args.shard_size = Some(take(&argv, &mut i).parse().unwrap_or_else(|_| usage()))
+                args.shard_size =
+                    Some(parsed("--shard-size", &take(&argv, &mut i, "--shard-size")))
             }
             "--max-iters" => {
-                args.max_iters = take(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+                args.max_iters = parsed("--max-iters", &take(&argv, &mut i, "--max-iters"))
             }
-            "--output" => args.output = Some(take(&argv, &mut i)),
-            "--help" | "-h" => usage(),
-            _ => usage(),
+            "--resident-bytes" => {
+                args.resident_bytes =
+                    parsed("--resident-bytes", &take(&argv, &mut i, "--resident-bytes"))
+            }
+            "--watchdog" => {
+                args.watchdog = Some(parsed("--watchdog", &take(&argv, &mut i, "--watchdog")))
+            }
+            "--inject" => {
+                let spec = take(&argv, &mut i, "--inject");
+                args.inject =
+                    Some(parse_inject(&spec).unwrap_or_else(|e| usage_error(&e)));
+            }
+            "--output" => args.output = Some(take(&argv, &mut i, "--output")),
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                exit(0)
+            }
+            other => usage_error(&format!("unknown flag {other:?}")),
         }
         i += 1;
     }
-    if args.algo.is_empty() || (args.input.is_none() && args.rmat.is_none()) {
-        usage();
+    if args.algo.is_empty() {
+        usage_error("--algo is required");
+    }
+    if args.input.is_none() && args.rmat.is_none() {
+        usage_error("one of --input or --rmat is required");
     }
     args
 }
@@ -96,16 +234,28 @@ fn load_graph(args: &Args) -> Graph {
     }
     let path = args.input.as_ref().unwrap();
     let result = if path.ends_with(".bin") {
-        std::fs::File::open(path)
-            .map_err(io::IoError::Io)
-            .and_then(io::read_binary)
+        io::load_binary(path)
     } else {
         io::load_edge_list(path)
     };
     result.unwrap_or_else(|e| {
         eprintln!("cusha: cannot load {path}: {e}");
-        exit(1)
+        exit(EXIT_IO)
     })
+}
+
+/// Unwraps a CuSha engine result: a capped run degrades to its partial
+/// output (the historical CLI behavior); everything else exits 3 with the
+/// error's taxonomy tag.
+fn engine_result<V: Value>(r: Result<CuShaOutput<V>, EngineError<V>>) -> CuShaOutput<V> {
+    match r {
+        Ok(out) => out,
+        Err(EngineError::NonConverged { partial }) => *partial,
+        Err(e) => {
+            eprintln!("cusha: engine error [{}]: {e}", e.kind());
+            exit(EXIT_ENGINE)
+        }
+    }
 }
 
 /// Runs `prog` on the selected engine and returns printable value lines.
@@ -115,33 +265,62 @@ fn execute<P: VertexProgram>(
     args: &Args,
     show: impl Fn(&P::V) -> String,
 ) -> (RunStats, Vec<String>) {
+    let cusha_cfg = |repr: Repr| {
+        let mut cfg = CuShaConfig::new(repr);
+        cfg.vertices_per_shard = args.shard_size;
+        cfg.max_iterations = args.max_iters;
+        cfg.fault_plan = args.inject.clone();
+        cfg.watchdog_interval = args.watchdog;
+        cfg
+    };
     let (stats, values): (RunStats, Vec<P::V>) = match args.engine.as_str() {
         "cw" | "gs" => {
             let repr = if args.engine == "gs" { Repr::GShards } else { Repr::ConcatWindows };
-            let mut cfg = CuShaConfig::new(repr);
-            cfg.vertices_per_shard = args.shard_size;
-            cfg.max_iterations = args.max_iters;
-            let out = run(prog, g, &cfg);
+            let out = engine_result(try_run(prog, g, &cusha_cfg(repr)));
+            (out.stats, out.values)
+        }
+        "cw-streamed" | "gs-streamed" => {
+            let repr = if args.engine == "gs-streamed" {
+                Repr::GShards
+            } else {
+                Repr::ConcatWindows
+            };
+            let cfg = StreamingConfig::new(cusha_cfg(repr), args.resident_bytes);
+            let out = engine_result(try_run_streamed(prog, g, &cfg));
             (out.stats, out.values)
         }
         e if e.starts_with("vwc:") => {
-            let vw = e[4..].parse().unwrap_or_else(|_| usage());
+            let vw = parsed_engine_num("vwc", &e[4..]);
             let mut cfg = VwcConfig::new(vw);
             cfg.max_iterations = args.max_iters;
             let out = run_vwc(prog, g, &cfg);
             (out.stats, out.values)
         }
         e if e.starts_with("mtcpu:") => {
-            let t = e[6..].parse().unwrap_or_else(|_| usage());
+            let t = parsed_engine_num("mtcpu", &e[6..]);
             let mut cfg = MtcpuConfig::new(t);
             cfg.max_iterations = args.max_iters;
             let out = run_mtcpu(prog, g, &cfg);
             (out.stats, out.values)
         }
-        _ => usage(),
+        other => usage_error(&format!(
+            "unknown engine {other:?} (expected cw, gs, cw-streamed, gs-streamed, \
+             vwc:<width>, or mtcpu:<threads>)"
+        )),
     };
     let lines = values.iter().map(show).collect();
     (stats, lines)
+}
+
+/// Parses the numeric suffix of `vwc:<n>` / `mtcpu:<n>`, rejecting zero.
+fn parsed_engine_num(engine: &str, val: &str) -> usize {
+    let n: usize = val.parse().unwrap_or_else(|e| {
+        usage_error(&format!("bad value {val:?} for --engine {engine}: {e}"))
+    });
+    if n == 0 {
+        usage_error(&format!("--engine {engine}:{val}: value must be nonzero"));
+    }
+    n
 }
 
 fn main() {
@@ -155,8 +334,11 @@ fn main() {
         args.engine
     );
     if args.source >= g.num_vertices() && g.num_vertices() > 0 {
-        eprintln!("cusha: source {} out of range", args.source);
-        exit(1);
+        usage_error(&format!(
+            "bad value {} for --source: graph has {} vertices",
+            args.source,
+            g.num_vertices()
+        ));
     }
 
     let show_u32 = |v: &u32| {
@@ -187,26 +369,36 @@ fn main() {
                 |v: &(f32, f32)| format!("{:.6}", v.0),
             )
         }
-        other => {
-            eprintln!("cusha: unknown algorithm {other}");
-            usage()
-        }
+        other => usage_error(&format!("unknown algorithm {other:?}")),
     };
 
     eprintln!(
-        "cusha: {} iterations, converged: {}, {:.3} ms {}",
+        "cusha: {} ({}) {} iterations, converged: {}, {:.3} ms {}",
+        stats.engine,
+        args.engine,
         stats.iterations,
         stats.converged,
         stats.total_ms(),
         if args.engine.starts_with("mtcpu") { "measured" } else { "modeled" },
     );
+    if !stats.fault.is_clean() {
+        eprintln!(
+            "cusha: recovered from faults: {} copy retries ({:.3} ms backoff), \
+             {} kernel retries, {} OOM rebatches, {} degradations",
+            stats.fault.copy_retries,
+            stats.fault.backoff_seconds * 1e3,
+            stats.fault.kernel_retries,
+            stats.fault.oom_rebatches,
+            stats.fault.degradations,
+        );
+    }
 
     match &args.output {
         Some(path) => {
             let mut f = std::io::BufWriter::new(
                 std::fs::File::create(path).unwrap_or_else(|e| {
                     eprintln!("cusha: cannot create {path}: {e}");
-                    exit(1)
+                    exit(EXIT_IO)
                 }),
             );
             for (v, line) in lines.iter().enumerate() {

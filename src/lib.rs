@@ -72,7 +72,8 @@ pub mod prelude {
     };
     pub use cusha_baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
     pub use cusha_core::{
-        run, run_streamed, CuShaConfig, Repr, RunStats, StreamingConfig, VertexProgram,
+        run, run_streamed, try_run, try_run_streamed, CuShaConfig, EngineError, FaultStats,
+        Repr, RunStats, StreamingConfig, VertexProgram,
     };
     pub use cusha_graph::generators::rmat::{rmat, RmatConfig};
     pub use cusha_graph::generators::{
@@ -80,5 +81,5 @@ pub mod prelude {
     };
     pub use cusha_graph::surrogates::Dataset;
     pub use cusha_graph::{Edge, Graph, VertexId};
-    pub use cusha_simt::DeviceConfig;
+    pub use cusha_simt::{DeviceConfig, FaultPlan};
 }

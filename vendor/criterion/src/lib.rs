@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of the criterion 0.5 API the bench harness uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It performs no statistical analysis: each
+//! bench runs `sample_size` iterations and reports the mean wall time,
+//! which is enough to eyeball the paper-reproduction tables.
+
+use std::time::Instant;
+
+/// Passed to bench closures; [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    pub last_mean_seconds: f64,
+}
+
+impl Bencher {
+    /// Runs `f` `sample_size` times, recording the mean wall time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.last_mean_seconds =
+            start.elapsed().as_secs_f64() / self.samples.max(1) as f64;
+    }
+}
+
+/// Throughput annotation for benchmark groups.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of iterations each bench runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, last_mean_seconds: 0.0 };
+        f(&mut b);
+        println!("{name:<50} {:>12.3} ms/iter", b.last_mean_seconds * 1e3);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput (reported next to timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b =
+            Bencher { samples: self.parent.sample_size, last_mean_seconds: 0.0 };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, name);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if b.last_mean_seconds > 0.0 => println!(
+                "{full:<50} {:>12.3} ms/iter {:>14.0} elem/s",
+                b.last_mean_seconds * 1e3,
+                n as f64 / b.last_mean_seconds
+            ),
+            Some(Throughput::Bytes(n)) if b.last_mean_seconds > 0.0 => println!(
+                "{full:<50} {:>12.3} ms/iter {:>14.0} B/s",
+                b.last_mean_seconds * 1e3,
+                n as f64 / b.last_mean_seconds
+            ),
+            _ => println!("{full:<50} {:>12.3} ms/iter", b.last_mean_seconds * 1e3),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Declares a bench group: `criterion_group!(name, target, ...)` or the
+/// braced form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(c: &mut Criterion) {
+        c.bench_function("probe/noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = probe
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}
