@@ -149,7 +149,11 @@ mod tests {
     #[test]
     fn different_source() {
         let g = diamond();
-        let out = run(&Bfs::new(1), &g, &CuShaConfig::gs().with_vertices_per_shard(2));
+        let out = run(
+            &Bfs::new(1),
+            &g,
+            &CuShaConfig::gs().with_vertices_per_shard(2),
+        );
         assert_eq!(out.values, bfs_levels(&g, 1));
         assert_eq!(out.values, vec![INF, 0, INF, 1, INF]);
     }

@@ -29,7 +29,11 @@ pub struct CircuitSimulation {
 impl CircuitSimulation {
     /// 1 V at `vdd`, ground at `gnd`, default tolerance.
     pub fn new(vdd: VertexId, gnd: VertexId) -> Self {
-        CircuitSimulation { vdd, gnd, tolerance: DEFAULT_TOLERANCE }
+        CircuitSimulation {
+            vdd,
+            gnd,
+            tolerance: DEFAULT_TOLERANCE,
+        }
     }
 }
 
@@ -109,8 +113,16 @@ mod tests {
         assert!(seq.converged);
         assert!((seq.values[0].0 - 1.0).abs() < 1e-6, "vdd pinned");
         assert!((seq.values[3].0 - 0.0).abs() < 1e-6, "gnd pinned");
-        assert!((seq.values[1].0 - 2.0 / 3.0).abs() < 5e-3, "got {}", seq.values[1].0);
-        assert!((seq.values[2].0 - 1.0 / 3.0).abs() < 5e-3, "got {}", seq.values[2].0);
+        assert!(
+            (seq.values[1].0 - 2.0 / 3.0).abs() < 5e-3,
+            "got {}",
+            seq.values[1].0
+        );
+        assert!(
+            (seq.values[2].0 - 1.0 / 3.0).abs() < 5e-3,
+            "got {}",
+            seq.values[2].0
+        );
     }
 
     #[test]
@@ -142,7 +154,11 @@ mod tests {
         let cs = CircuitSimulation::new(0, 2);
         let seq = run_sequential(&cs, &g, 100_000);
         assert!(seq.converged);
-        assert!((seq.values[1].0 - 0.8).abs() < 5e-3, "got {}", seq.values[1].0);
+        assert!(
+            (seq.values[1].0 - 0.8).abs() < 5e-3,
+            "got {}",
+            seq.values[1].0
+        );
     }
 
     #[test]

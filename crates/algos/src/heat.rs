@@ -30,12 +30,18 @@ impl HeatSimulation {
     /// stays below `coeff_scale` and the explicit scheme is stable on
     /// arbitrary (e.g. power-law) graphs.
     pub fn new() -> Self {
-        HeatSimulation { tolerance: DEFAULT_TOLERANCE, coeff_scale: 0.5 }
+        HeatSimulation {
+            tolerance: DEFAULT_TOLERANCE,
+            coeff_scale: 0.5,
+        }
     }
 
     /// Custom tolerance, default coefficient scale.
     pub fn with_tolerance(tolerance: f32) -> Self {
-        HeatSimulation { tolerance, ..Self::new() }
+        HeatSimulation {
+            tolerance,
+            ..Self::new()
+        }
     }
 
     /// Deterministic initial temperature in `[0, 100)`.

@@ -29,8 +29,8 @@ pub mod msbfs;
 pub mod nn;
 pub mod pagerank;
 pub mod reference;
-pub mod sswp;
 pub mod sssp;
+pub mod sswp;
 
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
@@ -40,15 +40,14 @@ pub use msbfs::MultiSourceBfs;
 pub use nn::NeuralNetwork;
 pub use pagerank::PageRank;
 pub use reference::run_sequential;
-pub use sswp::Sswp;
 pub use sssp::Sssp;
+pub use sswp::Sswp;
 
 /// "Infinity" marker for the integer-valued path algorithms.
 pub const INF: u32 = u32::MAX;
 
 /// All benchmark names, in the paper's Table 2/4 column order.
-pub const BENCHMARK_NAMES: [&str; 8] =
-    ["BFS", "SSSP", "PR", "CC", "SSWP", "NN", "HS", "CS"];
+pub const BENCHMARK_NAMES: [&str; 8] = ["BFS", "SSSP", "PR", "CC", "SSWP", "NN", "HS", "CS"];
 
 /// Asserts two `f32` slices agree within `tol` (used by the float-valued
 /// algorithms, whose different-but-equivalent execution orders stop within
@@ -56,9 +55,6 @@ pub const BENCHMARK_NAMES: [&str; 8] =
 pub fn assert_approx_eq(a: &[f32], b: &[f32], tol: f32) {
     assert_eq!(a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!(
-            (x - y).abs() <= tol,
-            "index {i}: {x} vs {y} (tol {tol})"
-        );
+        assert!((x - y).abs() <= tol, "index {i}: {x} vs {y} (tol {tol})");
     }
 }

@@ -28,12 +28,18 @@ impl NeuralNetwork {
     /// |weights| below `weight_scale / 2` — a contraction on arbitrary
     /// (e.g. power-law) graphs.
     pub fn new() -> Self {
-        NeuralNetwork { tolerance: DEFAULT_TOLERANCE, weight_scale: 1.6 }
+        NeuralNetwork {
+            tolerance: DEFAULT_TOLERANCE,
+            weight_scale: 1.6,
+        }
     }
 
     /// Network with a custom tolerance.
     pub fn with_tolerance(tolerance: f32) -> Self {
-        NeuralNetwork { tolerance, ..Self::new() }
+        NeuralNetwork {
+            tolerance,
+            ..Self::new()
+        }
     }
 
     /// Deterministic pseudo-random initial activation in `(-0.5, 0.5)`.

@@ -25,7 +25,9 @@ pub struct PageRank {
 impl PageRank {
     /// PageRank with [`DEFAULT_TOLERANCE`].
     pub fn new() -> Self {
-        PageRank { tolerance: DEFAULT_TOLERANCE }
+        PageRank {
+            tolerance: DEFAULT_TOLERANCE,
+        }
     }
 
     /// PageRank with a custom tolerance.
@@ -111,8 +113,8 @@ pub fn pagerank_power_iteration(g: &Graph, tol: f64, max_iters: u32) -> Vec<f32>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reference::run_sequential;
     use crate::assert_approx_eq;
+    use crate::reference::run_sequential;
     use cusha_core::{run, CuShaConfig};
     use cusha_graph::generators::rmat::{rmat, RmatConfig};
     use cusha_graph::{Edge, Graph};

@@ -32,7 +32,10 @@ pub fn run_sequential<P: VertexProgram>(
     let statics = prog.static_values(g);
     let edge_values: Vec<P::E> = {
         let by_edge_id = prog.edge_values(g);
-        csr.edge_ids().iter().map(|&id| by_edge_id[id as usize]).collect()
+        csr.edge_ids()
+            .iter()
+            .map(|&id| by_edge_id[id as usize])
+            .collect()
     };
     let n = g.num_vertices();
     let mut values: Vec<P::V> = (0..n).map(|v| prog.initial_value(v)).collect();
@@ -60,7 +63,11 @@ pub fn run_sequential<P: VertexProgram>(
             break;
         }
     }
-    SequentialOutput { values, iterations, converged }
+    SequentialOutput {
+        values,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -72,7 +79,10 @@ mod tests {
 
     #[test]
     fn bfs_on_a_path() {
-        let g = Graph::new(4, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(2, 3, 1)]);
+        let g = Graph::new(
+            4,
+            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(2, 3, 1)],
+        );
         let out = run_sequential(&Bfs::new(0), &g, 100);
         assert!(out.converged);
         assert_eq!(out.values, vec![0, 1, 2, 3]);

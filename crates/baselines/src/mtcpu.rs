@@ -32,7 +32,10 @@ pub struct MtcpuConfig {
 impl MtcpuConfig {
     /// `threads` workers, default iteration cap.
     pub fn new(threads: usize) -> Self {
-        MtcpuConfig { threads, max_iterations: 10_000 }
+        MtcpuConfig {
+            threads,
+            max_iterations: 10_000,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub fn run_mtcpu<P: VertexProgram>(
     let statics = prog.static_values(graph);
     let edge_values: Vec<P::E> = {
         let by_edge_id = prog.edge_values(graph);
-        csr.edge_ids().iter().map(|&id| by_edge_id[id as usize]).collect()
+        csr.edge_ids()
+            .iter()
+            .map(|&id| by_edge_id[id as usize])
+            .collect()
     };
     let n = graph.num_vertices() as usize;
     let values: Vec<AtomicU64> = (0..graph.num_vertices())
@@ -77,8 +83,9 @@ pub fn run_mtcpu<P: VertexProgram>(
     let changed = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
     let iterations = AtomicU64::new(0);
-    let updated_counts: Vec<AtomicU64> =
-        (0..cfg.max_iterations as usize).map(|_| AtomicU64::new(0)).collect();
+    let updated_counts: Vec<AtomicU64> = (0..cfg.max_iterations as usize)
+        .map(|_| AtomicU64::new(0))
+        .collect();
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -103,14 +110,8 @@ pub fn run_mtcpu<P: VertexProgram>(
                         prog.init_compute(&mut local, &old);
                         for slot in csr.in_range(v as u32) {
                             let src = csr.src_indxs()[slot] as usize;
-                            let src_val =
-                                P::V::from_bits(values[src].load(Ordering::Relaxed));
-                            prog.compute(
-                                &src_val,
-                                &statics[src],
-                                &edge_values[slot],
-                                &mut local,
-                            );
+                            let src_val = P::V::from_bits(values[src].load(Ordering::Relaxed));
+                            prog.compute(&src_val, &statics[src], &edge_values[slot], &mut local);
                         }
                         if prog.update_condition(&mut local, &old) {
                             values[v].store(local.to_bits(), Ordering::Relaxed);
@@ -148,7 +149,10 @@ pub fn run_mtcpu<P: VertexProgram>(
         })
         .collect();
     let converged = iters < cfg.max_iterations
-        || per_iteration.last().map(|s| s.updated_vertices == 0).unwrap_or(true);
+        || per_iteration
+            .last()
+            .map(|s| s.updated_vertices == 0)
+            .unwrap_or(true);
     let out_values: Vec<P::V> = values
         .iter()
         .map(|a| P::V::from_bits(a.load(Ordering::Relaxed)))

@@ -17,7 +17,7 @@
 
 use cusha_core::{IterationStat, RunStats, VertexProgram};
 use cusha_graph::{Csr, Graph};
-use cusha_simt::{DeviceConfig, DevVec, Gpu, KernelDesc, Mask, VirtualWarps, WARP};
+use cusha_simt::{DevVec, DeviceConfig, Gpu, KernelDesc, Mask, VirtualWarps, WARP};
 
 /// VWC-CSR configuration.
 #[derive(Clone, Debug)]
@@ -78,7 +78,9 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
     let n = graph.num_vertices() as usize;
 
     // ---- Upload CSR (H2D) --------------------------------------------------
-    let init: Vec<P::V> = (0..graph.num_vertices()).map(|v| prog.initial_value(v)).collect();
+    let init: Vec<P::V> = (0..graph.num_vertices())
+        .map(|v| prog.initial_value(v))
+        .collect();
     let mut vertex_values = gpu.upload(&init);
     let in_edge_idxs = gpu.upload(csr.in_edge_idxs());
     let src_indxs = gpu.upload(csr.src_indxs());
@@ -86,8 +88,11 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
         P::HAS_STATIC_VALUES.then(|| gpu.upload(&prog.static_values(graph)));
     let edge_buf: Option<DevVec<P::E>> = P::HAS_EDGE_VALUES.then(|| {
         let by_edge_id = prog.edge_values(graph);
-        let vals: Vec<P::E> =
-            csr.edge_ids().iter().map(|&id| by_edge_id[id as usize]).collect();
+        let vals: Vec<P::E> = csr
+            .edge_ids()
+            .iter()
+            .map(|&id| by_edge_id[id as usize])
+            .collect();
         gpu.upload(&vals)
     });
     let mut converged_flag = gpu.upload(&[1u32]);
@@ -134,7 +139,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
                 let ends = b.gload(&in_edge_idxs, leaders, |l| vertex_of(l) + 1);
                 let olds = b.gload(&vertex_values, leaders, vertex_of);
                 b.exec(leaders, 1); // InitCompute
-                // Host-side group bookkeeping.
+                                    // Host-side group bookkeeping.
                 let mut group_start = [0u32; WARP];
                 let mut group_deg = [0u32; WARP];
                 let mut group_old = [P::V::default(); WARP];
@@ -170,9 +175,8 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
                 let max_deg = (0..wpg).map(|g| group_deg[g]).max().unwrap_or(0);
                 let steps = (max_deg as usize).div_ceil(cfg.virtual_warp);
                 for step in 0..steps {
-                    let slot_of = |lane: usize| {
-                        (step * cfg.virtual_warp + vws.lane_in_group(lane)) as u32
-                    };
+                    let slot_of =
+                        |lane: usize| (step * cfg.virtual_warp + vws.lane_in_group(lane)) as u32;
                     let mask = Mask::from_fn(|l| {
                         group_valid(l) && slot_of(l) < group_deg[vws.group_of(l)]
                     });
@@ -219,9 +223,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
                 // shrinking active masks (the intra-warp divergence source).
                 let mut off = cfg.virtual_warp / 2;
                 while off >= 1 {
-                    let mask = Mask::from_fn(|l| {
-                        group_valid(l) && vws.lane_in_group(l) < off
-                    });
+                    let mask = Mask::from_fn(|l| group_valid(l) && vws.lane_in_group(l) < off);
                     let warp_thread_base = w * WARP;
                     let partial = b.sload(&outcome, mask, |l| warp_thread_base + l + off);
                     b.sstore(&mut outcome, mask, |l| warp_thread_base + l, |l| partial[l]);
@@ -238,8 +240,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
                         continue;
                     }
                     let mut local = acc[g];
-                    changed[leader] =
-                        prog.update_condition(&mut local, &group_old[g]);
+                    changed[leader] = prog.update_condition(&mut local, &group_old[g]);
                     news[leader] = local;
                 }
                 b.exec(leaders, 1);
@@ -323,7 +324,10 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
     total.profile = gpu.profile.take();
-    VwcOutput { values, stats: total }
+    VwcOutput {
+        values,
+        stats: total,
+    }
 }
 
 #[cfg(test)]
@@ -388,7 +392,10 @@ mod tests {
         let g = rmat(&RmatConfig::graph500(8, 3000, 33));
         let out = run_vwc(&Sssp::new(0), &g, &VwcConfig::new(8));
         let gld = out.stats.kernel.gld_efficiency();
-        assert!(gld < 0.60, "VWC load efficiency should be limited, got {gld}");
+        assert!(
+            gld < 0.60,
+            "VWC load efficiency should be limited, got {gld}"
+        );
     }
 
     #[test]
@@ -417,8 +424,7 @@ mod tests {
         let g = Graph::new(800, edges);
         let prog = Sssp::new(5);
         let plain = run_vwc(&prog, &g, &VwcConfig::new(2));
-        let deferred =
-            run_vwc(&prog, &g, &VwcConfig::new(2).with_outlier_deferral(32));
+        let deferred = run_vwc(&prog, &g, &VwcConfig::new(2).with_outlier_deferral(32));
         assert_eq!(plain.values, deferred.values);
         let e_plain = plain.stats.kernel.warp_execution_efficiency();
         let e_def = deferred.stats.kernel.warp_execution_efficiency();

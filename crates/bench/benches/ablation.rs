@@ -46,10 +46,8 @@ fn bench(c: &mut Criterion) {
 
     // (c) shard size: autotuned vs deliberately small vs deliberately big.
     let auto = CuShaConfig::new(Repr::GShards);
-    let small = CuShaConfig::new(Repr::GShards)
-        .with_vertices_per_shard(scaled_n(512, SCALE));
-    let big = CuShaConfig::new(Repr::GShards)
-        .with_vertices_per_shard(scaled_n(6144, SCALE));
+    let small = CuShaConfig::new(Repr::GShards).with_vertices_per_shard(scaled_n(512, SCALE));
+    let big = CuShaConfig::new(Repr::GShards).with_vertices_per_shard(scaled_n(6144, SCALE));
     for (name, cfg) in [("autotuned", auto), ("small_n", small), ("big_n", big)] {
         c.bench_function(&format!("ablation/shard_size/{name}"), |b| {
             b.iter(|| black_box(run(&prog, &g, &cfg).stats.compute_seconds))

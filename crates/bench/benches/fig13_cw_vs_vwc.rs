@@ -14,8 +14,8 @@ fn bench(c: &mut Criterion) {
     let g = rmat_sweep_graph(67_000_000, 8_000_000, SCALE);
     let prog = Sssp::new(default_source(&g));
     c.bench_function("fig13/sssp_67_8/cw", |b| {
-        let cfg = CuShaConfig::new(Repr::ConcatWindows)
-            .with_vertices_per_shard(scaled_n(3072, SCALE));
+        let cfg =
+            CuShaConfig::new(Repr::ConcatWindows).with_vertices_per_shard(scaled_n(3072, SCALE));
         b.iter(|| black_box(run(&prog, &g, &cfg).stats.total_ms()))
     });
     for vw in [2usize, 8, 32] {

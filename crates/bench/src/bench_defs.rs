@@ -1,8 +1,8 @@
 //! Benchmark and engine enumerations used by every experiment.
 
 use cusha_algos::{
-    Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, NeuralNetwork, PageRank, Sswp,
-    Sssp,
+    Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, NeuralNetwork, PageRank, Sssp,
+    Sswp,
 };
 use cusha_baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
 use cusha_core::{run as run_cusha, CuShaConfig, Repr, RunStats, VertexProgram};
@@ -61,17 +61,31 @@ impl Benchmark {
     pub fn value_sizes(self) -> cusha_core::memsize::ValueSizes {
         use cusha_core::memsize::ValueSizes;
         match self {
-            Benchmark::Bfs | Benchmark::Cc => {
-                ValueSizes { vertex: 4, edge: 0, static_vertex: 0 }
-            }
-            Benchmark::Sssp | Benchmark::Sswp => {
-                ValueSizes { vertex: 4, edge: 4, static_vertex: 0 }
-            }
-            Benchmark::Pr => ValueSizes { vertex: 4, edge: 0, static_vertex: 4 },
-            Benchmark::Nn => ValueSizes { vertex: 4, edge: 4, static_vertex: 0 },
-            Benchmark::Hs | Benchmark::Cs => {
-                ValueSizes { vertex: 8, edge: 4, static_vertex: 0 }
-            }
+            Benchmark::Bfs | Benchmark::Cc => ValueSizes {
+                vertex: 4,
+                edge: 0,
+                static_vertex: 0,
+            },
+            Benchmark::Sssp | Benchmark::Sswp => ValueSizes {
+                vertex: 4,
+                edge: 4,
+                static_vertex: 0,
+            },
+            Benchmark::Pr => ValueSizes {
+                vertex: 4,
+                edge: 0,
+                static_vertex: 4,
+            },
+            Benchmark::Nn => ValueSizes {
+                vertex: 4,
+                edge: 4,
+                static_vertex: 0,
+            },
+            Benchmark::Hs | Benchmark::Cs => ValueSizes {
+                vertex: 8,
+                edge: 4,
+                static_vertex: 0,
+            },
         }
     }
 
@@ -83,15 +97,18 @@ impl Benchmark {
             Benchmark::Bfs => dispatch(&Bfs::new(source), g, engine, max_iterations),
             Benchmark::Sssp => dispatch(&Sssp::new(source), g, engine, max_iterations),
             Benchmark::Pr => dispatch(&PageRank::new(), g, engine, max_iterations),
-            Benchmark::Cc => {
-                dispatch(&ConnectedComponents::new(), g, engine, max_iterations)
-            }
+            Benchmark::Cc => dispatch(&ConnectedComponents::new(), g, engine, max_iterations),
             Benchmark::Sswp => dispatch(&Sswp::new(source), g, engine, max_iterations),
             Benchmark::Nn => dispatch(&NeuralNetwork::new(), g, engine, max_iterations),
             Benchmark::Hs => dispatch(&HeatSimulation::new(), g, engine, max_iterations),
             Benchmark::Cs => {
                 let gnd = g.num_vertices().saturating_sub(1);
-                dispatch(&CircuitSimulation::new(source, gnd), g, engine, max_iterations)
+                dispatch(
+                    &CircuitSimulation::new(source, gnd),
+                    g,
+                    engine,
+                    max_iterations,
+                )
             }
         }
     }
@@ -184,7 +201,12 @@ mod tests {
     fn every_benchmark_runs_on_every_engine_kind() {
         let g = rmat(&RmatConfig::graph500(6, 300, 50));
         for b in Benchmark::ALL {
-            for e in [Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(8), Engine::Mtcpu(2)] {
+            for e in [
+                Engine::CuShaGs,
+                Engine::CuShaCw,
+                Engine::Vwc(8),
+                Engine::Mtcpu(2),
+            ] {
                 let stats = b.run(&g, e, 2000);
                 assert!(stats.iterations > 0, "{b} on {}", e.label());
                 assert!(stats.converged, "{b} on {} did not converge", e.label());

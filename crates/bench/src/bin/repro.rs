@@ -22,11 +22,27 @@ use cusha_bench::experiments::{self, Ctx};
 use cusha_bench::matrix::{run_matrix, MatrixResult};
 use cusha_graph::surrogates::Dataset;
 
-const MATRIX_ARTIFACTS: [&str; 7] =
-    ["table2", "table4", "table5", "table6", "table7", "fig7", "fig8"];
-const ALL_ARTIFACTS: [&str; 16] = [
-    "layouts", "table1", "fig1", "table2", "table4", "table5", "table6", "table7", "fig7",
-    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation",
+const MATRIX_ARTIFACTS: [&str; 7] = [
+    "table2", "table4", "table5", "table6", "table7", "fig7", "fig8",
+];
+const ALL_ARTIFACTS: [&str; 17] = [
+    "layouts",
+    "table1",
+    "fig1",
+    "table2",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablation",
+    "multi_gpu_scaling",
 ];
 
 fn main() {
@@ -79,7 +95,9 @@ fn main() {
         }
     }
     let needs_mtcpu = artifacts.iter().any(|a| a == "table6");
-    let needs_matrix = artifacts.iter().any(|a| MATRIX_ARTIFACTS.contains(&a.as_str()));
+    let needs_matrix = artifacts
+        .iter()
+        .any(|a| MATRIX_ARTIFACTS.contains(&a.as_str()));
 
     eprintln!(
         "repro: scale 1/{}, rmat scale 1/{}, max {} iterations",
@@ -131,6 +149,16 @@ fn main() {
             "fig12" => experiments::fig12::run(&ctx),
             "fig13" => experiments::fig13::run(&ctx),
             "ablation" => experiments::ablation::run_all(&ctx),
+            "multi_gpu_scaling" => {
+                let res = experiments::multi_gpu_scaling::run(&ctx);
+                if let Some(dir) = &out_dir {
+                    std::fs::create_dir_all(dir).expect("create --out-dir");
+                    let path = format!("{dir}/multi_gpu_scaling.json");
+                    std::fs::write(&path, res.to_json()).expect("write scaling json");
+                    eprintln!("repro: wrote {path}");
+                }
+                res.report()
+            }
             _ => unreachable!(),
         };
         println!("{report}");
@@ -143,12 +171,10 @@ fn main() {
 }
 
 fn parse(args: &[String], i: usize, flag: &str) -> u64 {
-    args.get(i)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} needs a positive integer");
-            std::process::exit(2);
-        })
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a positive integer");
+        std::process::exit(2);
+    })
 }
 
 const HELP: &str = "\
@@ -159,4 +185,5 @@ usage: repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
 
 artifacts: all layouts table1 fig1 table2 table4 table5 table6 table7
            fig7 fig8 fig9 fig10 fig11 fig12 fig13 ablation
+           multi_gpu_scaling (also writes multi_gpu_scaling.json to --out-dir)
 ";

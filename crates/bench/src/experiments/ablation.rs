@@ -37,7 +37,12 @@ pub fn run_all(ctx: &Ctx) -> String {
     };
     let mut sizes: Vec<(String, u32)> = [512u32, 3072, 6144]
         .iter()
-        .map(|&nf| (format!("{}", scaled_n(nf, ctx.rmat_scale)), scaled_n(nf, ctx.rmat_scale)))
+        .map(|&nf| {
+            (
+                format!("{}", scaled_n(nf, ctx.rmat_scale)),
+                scaled_n(nf, ctx.rmat_scale),
+            )
+        })
         .collect();
     sizes.push((format!("{autotuned} (autotuned)"), autotuned));
     for (label, n) in sizes {
@@ -58,7 +63,11 @@ pub fn run_all(ctx: &Ctx) -> String {
         ctx.rmat_scale
     ))
     .header(["Device", "autotuned |N|", "GS ms", "CW ms"]);
-    for dev in [DeviceConfig::gtx680(), DeviceConfig::gtx780(), DeviceConfig::big_shared()] {
+    for dev in [
+        DeviceConfig::gtx680(),
+        DeviceConfig::gtx780(),
+        DeviceConfig::big_shared(),
+    ] {
         let n = cusha_core::select_vertices_per_shard(
             g.num_vertices() as u64,
             g.num_edges() as u64,
@@ -73,7 +82,12 @@ pub fn run_all(ctx: &Ctx) -> String {
             cfg.max_iterations = ctx.max_iterations;
             ms[i] = run(&prog, &g, &cfg).stats.total_ms();
         }
-        bt.row([dev.name.to_string(), n.to_string(), fmt_ms(ms[0]), fmt_ms(ms[1])]);
+        bt.row([
+            dev.name.to_string(),
+            n.to_string(),
+            fmt_ms(ms[0]),
+            fmt_ms(ms[1]),
+        ]);
     }
     out.push_str(&bt.render());
     out.push('\n');
@@ -83,7 +97,13 @@ pub fn run_all(ctx: &Ctx) -> String {
         "Ablation (c): VWC outlier deferral, SSSP on 67_16 (rmat scale 1/{})",
         ctx.rmat_scale
     ))
-    .header(["Virtual warp", "plain ms", "deferred(>64) ms", "plain warp eff", "deferred warp eff"]);
+    .header([
+        "Virtual warp",
+        "plain ms",
+        "deferred(>64) ms",
+        "plain warp eff",
+        "deferred warp eff",
+    ]);
     for vw in [2usize, 8, 32] {
         let mut plain_cfg = VwcConfig::new(vw);
         plain_cfg.max_iterations = ctx.max_iterations;
@@ -109,7 +129,11 @@ mod tests {
 
     #[test]
     fn ablation_report_renders_all_three_sections() {
-        let ctx = Ctx { rmat_scale: 4096, max_iterations: 60, ..Default::default() };
+        let ctx = Ctx {
+            rmat_scale: 4096,
+            max_iterations: 60,
+            ..Default::default()
+        };
         let s = run_all(&ctx);
         assert!(s.contains("Ablation (a)"));
         assert!(s.contains("autotuned"));

@@ -34,7 +34,10 @@ mod tests {
 
     #[test]
     fn social_graph_has_longer_tail_than_road() {
-        let s = run(&Ctx { scale: 1024, ..Default::default() });
+        let s = run(&Ctx {
+            scale: 1024,
+            ..Default::default()
+        });
         assert!(s.contains("LiveJournal"));
         assert!(s.contains("RoadNetCA"));
         // The road network section must not contain large degree bins.

@@ -10,7 +10,11 @@ use cusha_graph::surrogates::Dataset;
 fn row_of(cell: &CellResult, label: &str, b: Benchmark, first: bool) -> [String; 6] {
     let s = &cell.stats;
     [
-        if first { b.name().to_string() } else { String::new() },
+        if first {
+            b.name().to_string()
+        } else {
+            String::new()
+        },
         label.to_string(),
         fmt_ms(s.h2d_seconds * 1e3),
         fmt_ms(s.compute_seconds * 1e3),
@@ -26,7 +30,14 @@ pub fn run(matrix: &MatrixResult) -> String {
         "Figure 10: time breakdown on LiveJournal, ms (scale 1/{})",
         matrix.scale
     ))
-    .header(["Benchmark", "Engine", "H2D copy", "GPU exec", "D2H copy", "Total"]);
+    .header([
+        "Benchmark",
+        "Engine",
+        "H2D copy",
+        "GPU exec",
+        "D2H copy",
+        "Total",
+    ]);
     for b in Benchmark::ALL {
         let mut first = true;
         for (label, cell) in [
@@ -58,14 +69,17 @@ mod tests {
             300,
             false,
         );
-        let cell = m.get(Dataset::LiveJournal, Benchmark::Bfs, Engine::CuShaCw).unwrap();
+        let cell = m
+            .get(Dataset::LiveJournal, Benchmark::Bfs, Engine::CuShaCw)
+            .unwrap();
         let s = &cell.stats;
         assert!(
-            ((s.h2d_seconds + s.compute_seconds + s.d2h_seconds) - s.total_seconds()).abs()
-                < 1e-12
+            ((s.h2d_seconds + s.compute_seconds + s.d2h_seconds) - s.total_seconds()).abs() < 1e-12
         );
         // CuSha's H2D is heavier than VWC's (bigger representation).
-        let vwc = m.get(Dataset::LiveJournal, Benchmark::Bfs, Engine::Vwc(8)).unwrap();
+        let vwc = m
+            .get(Dataset::LiveJournal, Benchmark::Bfs, Engine::Vwc(8))
+            .unwrap();
         assert!(s.h2d_seconds > vwc.stats.h2d_seconds);
         let rendered = run(&m);
         assert!(rendered.contains("H2D copy"));

@@ -29,7 +29,14 @@ fn histogram_row(name: &str, edges: u64, vertices: u64, n_full: u32, ctx: &Ctx) 
 
 /// Renders Figure 11 (all three panels).
 pub fn run(ctx: &Ctx) -> String {
-    let header = ["Graph", "mean window", "windows < warp", "size 0-7", "size 8-31", "size >= 32"];
+    let header = [
+        "Graph",
+        "mean window",
+        "windows < warp",
+        "size 0-7",
+        "size 8-31",
+        "size >= 32",
+    ];
     let mut out = String::new();
 
     let mut a = Table::new(format!(
@@ -37,7 +44,11 @@ pub fn run(ctx: &Ctx) -> String {
         ctx.rmat_scale
     ))
     .header(header);
-    for (name, e, v) in [("16_2", 16_000_000u64, 2_000_000u64), ("67_8", 67_000_000, 8_000_000), ("134_16", 134_000_000, 16_000_000)] {
+    for (name, e, v) in [
+        ("16_2", 16_000_000u64, 2_000_000u64),
+        ("67_8", 67_000_000, 8_000_000),
+        ("134_16", 134_000_000, 16_000_000),
+    ] {
         a.row(histogram_row(name, e, v, 3072, ctx));
     }
     out.push_str(&a.render());
@@ -48,7 +59,11 @@ pub fn run(ctx: &Ctx) -> String {
         ctx.rmat_scale
     ))
     .header(header);
-    for (name, e, v) in [("67_4", 67_000_000u64, 4_000_000u64), ("67_8", 67_000_000, 8_000_000), ("67_16", 67_000_000, 16_000_000)] {
+    for (name, e, v) in [
+        ("67_4", 67_000_000u64, 4_000_000u64),
+        ("67_8", 67_000_000, 8_000_000),
+        ("67_16", 67_000_000, 16_000_000),
+    ] {
         b.row(histogram_row(name, e, v, 3072, ctx));
     }
     out.push_str(&b.render());
@@ -71,7 +86,10 @@ mod tests {
     use super::*;
 
     fn ctx() -> Ctx {
-        Ctx { rmat_scale: 4096, ..Default::default() }
+        Ctx {
+            rmat_scale: 4096,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -43,7 +43,13 @@ pub fn run(ctx: &Ctx) -> String {
         "Figure 12: SSSP time normalized to fastest, GS vs CW (rmat scale 1/{})",
         ctx.rmat_scale
     ))
-    .header(["Graph", "|N| (full-scale)", "GS (norm)", "CW (norm)", "GS/CW"]);
+    .header([
+        "Graph",
+        "|N| (full-scale)",
+        "GS (norm)",
+        "CW (norm)",
+        "GS/CW",
+    ]);
     for (name, n_full, gs_ms, cw_ms) in rows {
         t.row([
             name,
@@ -65,7 +71,11 @@ mod tests {
         // The paper's headline sensitivity claim: with small |N| on a large
         // sparse graph, GS degrades while CW holds up. The effect needs a
         // graph big enough that stage-4 work dominates launch overhead.
-        let ctx = Ctx { rmat_scale: 1024, max_iterations: 100, ..Default::default() };
+        let ctx = Ctx {
+            rmat_scale: 1024,
+            max_iterations: 100,
+            ..Default::default()
+        };
         let g = rmat_sweep_graph(67_000_000, 16_000_000, ctx.rmat_scale);
         let prog = Sssp::new(default_source(&g));
         let n = scaled_n(1024, ctx.rmat_scale);

@@ -60,7 +60,11 @@ mod tests {
     fn cw_beats_every_vwc_config_on_a_sweep_graph() {
         // Needs a graph large enough that per-iteration memory traffic
         // dominates the fixed per-iteration launch/readback latency.
-        let ctx = Ctx { rmat_scale: 256, max_iterations: 100, ..Default::default() };
+        let ctx = Ctx {
+            rmat_scale: 256,
+            max_iterations: 100,
+            ..Default::default()
+        };
         let g = rmat_sweep_graph(67_000_000, 8_000_000, ctx.rmat_scale);
         let prog = Sssp::new(default_source(&g));
         let n = scaled_n(3072, ctx.rmat_scale);

@@ -45,7 +45,11 @@ pub fn run(matrix: &MatrixResult) -> String {
         for (label, cell) in engines {
             for (i, (ms, updated)) in series(cell).into_iter().enumerate() {
                 t.row([
-                    if i == 0 { label.to_string() } else { String::new() },
+                    if i == 0 {
+                        label.to_string()
+                    } else {
+                        String::new()
+                    },
                     (i + 1).to_string(),
                     format!("{ms:.3}"),
                     updated.to_string(),
@@ -73,7 +77,9 @@ mod tests {
             300,
             false,
         );
-        let cell = m.get(Dataset::Amazon0312, Benchmark::Bfs, Engine::CuShaCw).unwrap();
+        let cell = m
+            .get(Dataset::Amazon0312, Benchmark::Bfs, Engine::CuShaCw)
+            .unwrap();
         let s = series(cell);
         assert_eq!(s.len(), cell.stats.iterations as usize);
         assert!(s.windows(2).all(|w| w[0].0 <= w[1].0), "time is cumulative");

@@ -14,7 +14,12 @@ struct Avg {
 }
 
 fn average(matrix: &MatrixResult, pick: impl Fn(Benchmark) -> Option<Engine>) -> Option<Avg> {
-    let mut acc = Avg { gst: 0.0, gld: 0.0, warp: 0.0, n: 0 };
+    let mut acc = Avg {
+        gst: 0.0,
+        gld: 0.0,
+        warp: 0.0,
+        n: 0,
+    };
     for b in Benchmark::ALL {
         let Some(engine) = pick(b) else { continue };
         let Some(cell) = matrix.get(Dataset::LiveJournal, b, engine) else {
@@ -42,15 +47,17 @@ pub fn run(matrix: &MatrixResult) -> String {
         "Figure 8: average profiled efficiencies on LiveJournal (scale 1/{})",
         matrix.scale
     ))
-    .header(["Engine", "Global store eff", "Global load eff", "Warp exec eff", "benchmarks"]);
+    .header([
+        "Engine",
+        "Global store eff",
+        "Global load eff",
+        "Warp exec eff",
+        "benchmarks",
+    ]);
     let rows: [(&str, EnginePick<'_>); 3] = [
         (
             "Best VWC-CSR",
-            Box::new(|b| {
-                matrix
-                    .best_vwc(Dataset::LiveJournal, b)
-                    .map(|c| c.engine)
-            }),
+            Box::new(|b| matrix.best_vwc(Dataset::LiveJournal, b).map(|c| c.engine)),
         ),
         ("CuSha-GS", Box::new(|_| Some(Engine::CuShaGs))),
         ("CuSha-CW", Box::new(|_| Some(Engine::CuShaCw))),

@@ -36,7 +36,12 @@ pub fn run(_ctx: &Ctx) -> String {
     let mut t = Table::new(
         "Figure 9: memory footprint normalized to per-graph CSR average (full paper sizes)",
     )
-    .header(["Graph", "CSR min/avg/max", "G-Shards min/avg/max", "CW min/avg/max"]);
+    .header([
+        "Graph",
+        "CSR min/avg/max",
+        "G-Shards min/avg/max",
+        "CW min/avg/max",
+    ]);
     for ds in Dataset::ALL {
         let (e, v) = ds.paper_size();
         let mut csr = Vec::new();
@@ -44,15 +49,21 @@ pub fn run(_ctx: &Ctx) -> String {
         let mut cw = Vec::new();
         for b in Benchmark::ALL {
             let s = b.value_sizes();
-            let n_per =
-                select_vertices_per_shard(v, e, s.vertex.max(1), &dev, 2) as u64;
+            let n_per = select_vertices_per_shard(v, e, s.vertex.max(1), &dev, 2) as u64;
             let p = v.div_ceil(n_per).max(1);
             csr.push(csr_bytes(v, e, s) as f64);
             gsh.push(gshards_bytes(v, e, p, s) as f64);
             cw.push(cw_bytes(v, e, p, s) as f64);
         }
         let base = csr.iter().sum::<f64>() / csr.len() as f64;
-        let f = |s: Stat| format!("{:.2}/{:.2}/{:.2}", s.min / base, s.avg / base, s.max / base);
+        let f = |s: Stat| {
+            format!(
+                "{:.2}/{:.2}/{:.2}",
+                s.min / base,
+                s.avg / base,
+                s.max / base
+            )
+        };
         t.row([
             ds.name().to_string(),
             f(stat(&csr)),

@@ -33,8 +33,12 @@ pub fn run() -> String {
 
     // --- Figure 2(b): CSR. -------------------------------------------------
     let csr = Csr::from_graph(&g);
-    let mut t = Table::new("Figure 2(b): CSR layout of the example graph")
-        .header(["vertex", "InEdgeIdxs", "incoming SrcIndxs", "EdgeValues"]);
+    let mut t = Table::new("Figure 2(b): CSR layout of the example graph").header([
+        "vertex",
+        "InEdgeIdxs",
+        "incoming SrcIndxs",
+        "EdgeValues",
+    ]);
     for v in 0..g.num_vertices() {
         let r = csr.in_range(v);
         t.row([
@@ -49,8 +53,14 @@ pub fn run() -> String {
 
     // --- Figure 3(a): G-Shards. ---------------------------------------------
     let gs = GShards::from_graph(&g, 4);
-    let mut t = Table::new("Figure 3(a): G-Shards layout (|N| = 4)")
-        .header(["shard", "entry", "SrcIndex", "DestIndex", "EdgeValue", "window"]);
+    let mut t = Table::new("Figure 3(a): G-Shards layout (|N| = 4)").header([
+        "shard",
+        "entry",
+        "SrcIndex",
+        "DestIndex",
+        "EdgeValue",
+        "window",
+    ]);
     for s in 0..gs.num_shards() {
         for k in gs.shard_entries(s) {
             let window = (0..gs.num_shards())
@@ -75,8 +85,12 @@ pub fn run() -> String {
 
     // --- Figure 4(c): Concatenated Windows. ----------------------------------
     let cw = ConcatWindows::from_gshards(&gs);
-    let mut t = Table::new("Figure 4(c): Concatenated Windows layout")
-        .header(["CW", "entry", "SrcIndex", "Mapper (shard position)"]);
+    let mut t = Table::new("Figure 4(c): Concatenated Windows layout").header([
+        "CW",
+        "entry",
+        "SrcIndex",
+        "Mapper (shard position)",
+    ]);
     for s in 0..gs.num_shards() {
         for k in cw.cw_entries(s) {
             t.row([

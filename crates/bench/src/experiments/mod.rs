@@ -15,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod layouts;
+pub mod multi_gpu_scaling;
 pub mod table1;
 pub mod table2;
 pub mod table4;
@@ -40,7 +41,12 @@ impl Default for Ctx {
     /// per-iteration launch/readback latency (where the paper's regime
     /// lives) while finishing a full `repro all` in tens of minutes.
     fn default() -> Self {
-        Ctx { scale: 64, rmat_scale: 64, max_iterations: 300, verbose: false }
+        Ctx {
+            scale: 64,
+            rmat_scale: 64,
+            max_iterations: 300,
+            verbose: false,
+        }
     }
 }
 
@@ -84,7 +90,10 @@ mod tests {
     fn sweep_graph_preserves_sparsity() {
         let g = rmat_sweep_graph(67_000_000, 8_000_000, 4096);
         let ratio = g.avg_degree();
-        assert!((ratio - 67.0 / 8.0).abs() / (67.0 / 8.0) < 0.2, "ratio {ratio}");
+        assert!(
+            (ratio - 67.0 / 8.0).abs() / (67.0 / 8.0) < 0.2,
+            "ratio {ratio}"
+        );
     }
 
     #[test]
@@ -92,11 +101,8 @@ mod tests {
         use cusha_core::windows::expected_window_size;
         let full = expected_window_size(67_000_000, 8_000_000, 3072);
         let scale = 256;
-        let scaled = expected_window_size(
-            67_000_000 / scale,
-            8_000_000 / scale,
-            scaled_n(3072, scale),
-        );
+        let scaled =
+            expected_window_size(67_000_000 / scale, 8_000_000 / scale, scaled_n(3072, scale));
         assert!((full - scaled).abs() / full < 0.1, "{full} vs {scaled}");
     }
 

@@ -11,7 +11,14 @@ pub fn run(ctx: &Ctx) -> String {
         "Table 1: input graphs (surrogates at 1/{} scale)",
         ctx.scale
     ))
-    .header(["Graph", "Paper edges", "Paper vertices", "Surrogate edges", "Surrogate vertices", "|E|/|V|"]);
+    .header([
+        "Graph",
+        "Paper edges",
+        "Paper vertices",
+        "Surrogate edges",
+        "Surrogate vertices",
+        "|E|/|V|",
+    ]);
     for ds in Dataset::ALL {
         let (pe, pv) = ds.paper_size();
         let g = ds.generate(ctx.scale);
@@ -33,7 +40,10 @@ mod tests {
 
     #[test]
     fn renders_all_six_graphs() {
-        let s = run(&Ctx { scale: 1024, ..Default::default() });
+        let s = run(&Ctx {
+            scale: 1024,
+            ..Default::default()
+        });
         for ds in Dataset::ALL {
             assert!(s.contains(ds.name()), "missing {ds}");
         }

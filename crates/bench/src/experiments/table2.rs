@@ -21,7 +21,10 @@ pub fn run(matrix: &MatrixResult) -> String {
         if cells.is_empty() {
             continue;
         }
-        let gmem: Vec<f64> = cells.iter().map(|c| c.stats.kernel.gmem_efficiency()).collect();
+        let gmem: Vec<f64> = cells
+            .iter()
+            .map(|c| c.stats.kernel.gmem_efficiency())
+            .collect();
         let warp: Vec<f64> = cells
             .iter()
             .map(|c| c.stats.kernel.warp_execution_efficiency())

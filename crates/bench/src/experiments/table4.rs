@@ -8,8 +8,12 @@ use cusha_graph::surrogates::Dataset;
 
 fn cell(matrix: &MatrixResult, ds: Dataset, b: Benchmark, row: &str) -> String {
     let v = match row {
-        "CuSha-CW" => matrix.get(ds, b, Engine::CuShaCw).map(|c| fmt_ms(c.stats.total_ms())),
-        "CuSha-GS" => matrix.get(ds, b, Engine::CuShaGs).map(|c| fmt_ms(c.stats.total_ms())),
+        "CuSha-CW" => matrix
+            .get(ds, b, Engine::CuShaCw)
+            .map(|c| fmt_ms(c.stats.total_ms())),
+        "CuSha-GS" => matrix
+            .get(ds, b, Engine::CuShaGs)
+            .map(|c| fmt_ms(c.stats.total_ms())),
         _ => matrix
             .vwc_range_ms(ds, b)
             .map(|(lo, hi)| format!("{}-{}", fmt_ms(lo), fmt_ms(hi))),
@@ -37,7 +41,11 @@ pub fn run(matrix: &MatrixResult) -> String {
                 .collect();
             if cells.iter().any(|c| c != "-") {
                 let mut row = vec![
-                    if label == "CuSha-CW" { ds.name().to_string() } else { String::new() },
+                    if label == "CuSha-CW" {
+                        ds.name().to_string()
+                    } else {
+                        String::new()
+                    },
                     label.to_string(),
                 ];
                 row.extend(cells);
@@ -58,7 +66,12 @@ mod tests {
         let m = run_matrix(
             &[Dataset::WebGoogle],
             &[Benchmark::Bfs],
-            &[Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(8), Engine::Vwc(16)],
+            &[
+                Engine::CuShaGs,
+                Engine::CuShaCw,
+                Engine::Vwc(8),
+                Engine::Vwc(16),
+            ],
             2048,
             300,
             false,

@@ -89,7 +89,12 @@ mod tests {
         let m = run_matrix(
             &[Dataset::Amazon0312],
             &[Benchmark::Bfs],
-            &[Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(4), Engine::Vwc(32)],
+            &[
+                Engine::CuShaGs,
+                Engine::CuShaCw,
+                Engine::Vwc(4),
+                Engine::Vwc(32),
+            ],
             2048,
             300,
             false,

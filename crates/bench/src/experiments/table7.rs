@@ -18,11 +18,12 @@ fn fmt_teps(teps: f64) -> String {
 
 /// Renders Table 7 from the shared result matrix.
 pub fn run(matrix: &MatrixResult) -> String {
-    let mut t = Table::new(format!(
-        "Table 7: TEPS for BFS (scale 1/{})",
-        matrix.scale
-    ))
-    .header(["Graph", "CuSha-CW", "CuSha-GS", "Best VWC-CSR"]);
+    let mut t = Table::new(format!("Table 7: TEPS for BFS (scale 1/{})", matrix.scale)).header([
+        "Graph",
+        "CuSha-CW",
+        "CuSha-GS",
+        "Best VWC-CSR",
+    ]);
     for ds in Dataset::ALL {
         let edges = matrix
             .graph_sizes
@@ -31,13 +32,19 @@ pub fn run(matrix: &MatrixResult) -> String {
             .map(|(_, e, _)| *e);
         let Some(edges) = edges else { continue };
         let teps_of = |cell: Option<&crate::matrix::CellResult>| {
-            cell.map(|c| fmt_teps(c.stats.teps(edges))).unwrap_or_else(|| "-".into())
+            cell.map(|c| fmt_teps(c.stats.teps(edges)))
+                .unwrap_or_else(|| "-".into())
         };
         let cw = matrix.get(ds, Benchmark::Bfs, Engine::CuShaCw);
         let gs = matrix.get(ds, Benchmark::Bfs, Engine::CuShaGs);
         let vwc = matrix.best_vwc(ds, Benchmark::Bfs);
         if cw.is_some() || gs.is_some() || vwc.is_some() {
-            t.row([ds.name().to_string(), teps_of(cw), teps_of(gs), teps_of(vwc)]);
+            t.row([
+                ds.name().to_string(),
+                teps_of(cw),
+                teps_of(gs),
+                teps_of(vwc),
+            ]);
         }
     }
     t.render()

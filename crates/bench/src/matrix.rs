@@ -130,7 +130,12 @@ pub fn run_cell(
     e: Engine,
     max_iterations: u32,
 ) -> CellResult {
-    CellResult { dataset: ds, benchmark: b, engine: e, stats: b.run(g, e, max_iterations) }
+    CellResult {
+        dataset: ds,
+        benchmark: b,
+        engine: e,
+        stats: b.run(g, e, max_iterations),
+    }
 }
 
 /// Computes the matrix over the cross product of the inputs.
@@ -146,8 +151,10 @@ pub fn run_matrix(
     max_iterations: u32,
     verbose: bool,
 ) -> MatrixResult {
-    let graphs: Vec<(Dataset, Graph)> =
-        datasets.iter().map(|&ds| (ds, ds.generate(scale))).collect();
+    let graphs: Vec<(Dataset, Graph)> = datasets
+        .iter()
+        .map(|&ds| (ds, ds.generate(scale)))
+        .collect();
     let graph_sizes = graphs
         .iter()
         .map(|(ds, g)| (*ds, g.num_edges() as u64, g.num_vertices() as u64))
@@ -214,7 +221,11 @@ pub fn run_matrix(
         }
         cells.push(cell);
     }
-    MatrixResult { cells, scale, graph_sizes }
+    MatrixResult {
+        cells,
+        scale,
+        graph_sizes,
+    }
 }
 
 #[cfg(test)]
@@ -228,19 +239,29 @@ mod tests {
         let m = run_matrix(
             &[Dataset::Amazon0312],
             &[Benchmark::Bfs, Benchmark::Sssp],
-            &[Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(8), Engine::Vwc(32), Engine::Mtcpu(2)],
+            &[
+                Engine::CuShaGs,
+                Engine::CuShaCw,
+                Engine::Vwc(8),
+                Engine::Vwc(32),
+                Engine::Mtcpu(2),
+            ],
             SCALE,
             500,
             false,
         );
         assert_eq!(m.cells.len(), 2 * 5);
-        let cell = m.get(Dataset::Amazon0312, Benchmark::Bfs, Engine::CuShaCw).unwrap();
+        let cell = m
+            .get(Dataset::Amazon0312, Benchmark::Bfs, Engine::CuShaCw)
+            .unwrap();
         assert!(cell.stats.converged);
         let (lo, hi) = m.vwc_range_ms(Dataset::Amazon0312, Benchmark::Bfs).unwrap();
         assert!(lo <= hi);
         let best = m.best_vwc(Dataset::Amazon0312, Benchmark::Sssp).unwrap();
         assert!((best.stats.total_ms() - lo).abs() >= 0.0);
-        assert!(m.mtcpu_range_ms(Dataset::Amazon0312, Benchmark::Bfs).is_some());
+        assert!(m
+            .mtcpu_range_ms(Dataset::Amazon0312, Benchmark::Bfs)
+            .is_some());
     }
 
     #[test]
@@ -269,7 +290,9 @@ mod tests {
             500,
             false,
         );
-        assert!(m.get(Dataset::WebGoogle, Benchmark::Cc, Engine::CuShaCw).is_none());
+        assert!(m
+            .get(Dataset::WebGoogle, Benchmark::Cc, Engine::CuShaCw)
+            .is_none());
         assert!(m.vwc_range_ms(Dataset::WebGoogle, Benchmark::Cc).is_none());
     }
 }

@@ -11,7 +11,10 @@ pub struct Table {
 impl Table {
     /// New table with a title line.
     pub fn new(title: impl Into<String>) -> Self {
-        Table { title: title.into(), ..Default::default() }
+        Table {
+            title: title.into(),
+            ..Default::default()
+        }
     }
 
     /// Sets the header row.
@@ -59,7 +62,10 @@ impl Table {
         };
         if !self.header.is_empty() {
             out.push_str(&fmt_row(&self.header));
-            out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1)))));
+            out.push_str(&format!(
+                "{}\n",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1)))
+            ));
         }
         for row in &self.rows {
             out.push_str(&fmt_row(row));

@@ -60,7 +60,7 @@ mod tests {
     #[test]
     fn clamps_to_shared_memory_quota() {
         let cfg = DeviceConfig::gtx780(); // 48 KiB per SM
-        // Very sparse, very large: ideal |N| would exceed the quota.
+                                          // Very sparse, very large: ideal |N| would exceed the quota.
         let n = select_vertices_per_shard(100_000_000, 100_000_000, 4, &cfg, 2);
         // Quota: 24 KiB / 4 B = 6144 vertices (the paper's own example).
         assert_eq!(n, 6144);

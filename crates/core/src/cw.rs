@@ -46,7 +46,11 @@ impl ConcatWindows {
             }
             cw_starts.push(src_index.len() as u32);
         }
-        ConcatWindows { cw_starts, src_index, mapper }
+        ConcatWindows {
+            cw_starts,
+            src_index,
+            mapper,
+        }
     }
 
     /// Entry range of `CW_s` within [`ConcatWindows::src_index`] /

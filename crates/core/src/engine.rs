@@ -27,9 +27,7 @@ use crate::program::{Value, VertexProgram};
 use crate::shards::GShards;
 use crate::stats::{IterationStat, RunStats};
 use cusha_graph::Graph;
-use cusha_simt::{
-    aligned_chunks, DevVec, DeviceConfig, FaultPlan, Gpu, KernelDesc, Mask, WARP,
-};
+use cusha_simt::{aligned_chunks, DevVec, DeviceConfig, FaultPlan, Gpu, KernelDesc, Mask, WARP};
 use std::collections::HashSet;
 
 /// Which CuSha representation to run.
@@ -181,7 +179,7 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
 
 /// FNV-1a over the bit patterns of a value vector — the watchdog's cheap
 /// state fingerprint.
-fn fingerprint<V: Value>(values: &[V]) -> u64 {
+pub(crate) fn fingerprint<V: Value>(values: &[V]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &v in values {
         let mut bits = v.to_bits();
@@ -227,17 +225,21 @@ pub fn try_run<P: VertexProgram>(
 
     // ---- Host-side preparation and upload (H2D) --------------------------
     let n = graph.num_vertices() as usize;
-    let init: Vec<P::V> = (0..graph.num_vertices()).map(|v| prog.initial_value(v)).collect();
+    let init: Vec<P::V> = (0..graph.num_vertices())
+        .map(|v| prog.initial_value(v))
+        .collect();
     let mut vertex_values = gpu.try_upload(&init)?;
 
-    let src_value_init: Vec<P::V> =
-        gs.src_index().iter().map(|&s| init[s as usize]).collect();
+    let src_value_init: Vec<P::V> = gs.src_index().iter().map(|&s| init[s as usize]).collect();
     let mut src_value = gpu.try_upload(&src_value_init)?;
 
     let src_static_buf: Option<DevVec<P::SV>> = if P::HAS_STATIC_VALUES {
         let per_vertex = prog.static_values(graph);
-        let per_entry: Vec<P::SV> =
-            gs.src_index().iter().map(|&s| per_vertex[s as usize]).collect();
+        let per_entry: Vec<P::SV> = gs
+            .src_index()
+            .iter()
+            .map(|&s| per_vertex[s as usize])
+            .collect();
         Some(gpu.try_upload(&per_entry)?)
     } else {
         None
@@ -245,8 +247,11 @@ pub fn try_run<P: VertexProgram>(
 
     let edge_value_buf: Option<DevVec<P::E>> = if P::HAS_EDGE_VALUES {
         let by_edge_id = prog.edge_values(graph);
-        let per_entry: Vec<P::E> =
-            gs.edge_id().iter().map(|&id| by_edge_id[id as usize]).collect();
+        let per_entry: Vec<P::E> = gs
+            .edge_id()
+            .iter()
+            .map(|&id| by_edge_id[id as usize])
+            .collect();
         Some(gpu.try_upload(&per_entry)?)
     } else {
         None
@@ -374,14 +379,11 @@ pub fn try_run<P: VertexProgram>(
                         for j in 0..p {
                             if let Some(wo) = &window_offsets_buf {
                                 let lanes = if s + 1 < p { 2 } else { 1 };
-                                b.gload(wo, Mask::first(lanes), |l| {
-                                    (j * p + s) as usize + l
-                                });
+                                b.gload(wo, Mask::first(lanes), |l| (j * p + s) as usize + l);
                             }
                             for (base, mask) in aligned_chunks(gs.window(s, j)) {
                                 let sidx = b.gload(&src_index, mask, |l| base + l);
-                                let loc =
-                                    b.sload(&local, mask, |l| sidx[l] as usize - offset);
+                                let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
                                 b.gstore(&mut src_value, mask, |l| base + l, |l| loc[l]);
                             }
                         }
@@ -423,7 +425,9 @@ pub fn try_run<P: VertexProgram>(
                 // loop is cycling through the same states forever.
                 let snapshot = gpu.try_download(&vertex_values)?;
                 if !watchdog_seen.insert(fingerprint(&snapshot)) {
-                    return Err(EngineError::Watchdog { iterations: total.iterations });
+                    return Err(EngineError::Watchdog {
+                        iterations: total.iterations,
+                    });
                 }
             }
         }
@@ -442,11 +446,16 @@ pub fn try_run<P: VertexProgram>(
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
     total.profile = gpu.profile.take();
-    let output = CuShaOutput { values, stats: total };
+    let output = CuShaOutput {
+        values,
+        stats: total,
+    };
     if converged {
         Ok(output)
     } else {
-        Err(EngineError::NonConverged { partial: Box::new(output) })
+        Err(EngineError::NonConverged {
+            partial: Box::new(output),
+        })
     }
 }
 
@@ -533,8 +542,16 @@ mod tests {
     fn gs_and_cw_agree_on_random_graph() {
         use cusha_graph::generators::rmat::{rmat, RmatConfig};
         let g = rmat(&RmatConfig::graph500(8, 1500, 21));
-        let gs_out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(32));
-        let cw_out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::cw().with_vertices_per_shard(32));
+        let gs_out = run(
+            &MiniSssp { source: 0 },
+            &g,
+            &CuShaConfig::gs().with_vertices_per_shard(32),
+        );
+        let cw_out = run(
+            &MiniSssp { source: 0 },
+            &g,
+            &CuShaConfig::cw().with_vertices_per_shard(32),
+        );
         assert_eq!(gs_out.values, cw_out.values);
         assert!(gs_out.stats.converged && cw_out.stats.converged);
     }
@@ -542,14 +559,22 @@ mod tests {
     #[test]
     fn unreachable_vertices_stay_at_inf() {
         let g = Graph::new(4, vec![Edge::new(0, 1, 1)]);
-        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(2));
+        let out = run(
+            &MiniSssp { source: 0 },
+            &g,
+            &CuShaConfig::gs().with_vertices_per_shard(2),
+        );
         assert_eq!(out.values, vec![0, 1, INF, INF]);
     }
 
     #[test]
     fn empty_graph_converges_immediately() {
         let g = Graph::empty(8);
-        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::cw().with_vertices_per_shard(4));
+        let out = run(
+            &MiniSssp { source: 0 },
+            &g,
+            &CuShaConfig::cw().with_vertices_per_shard(4),
+        );
         assert!(out.stats.converged);
         assert_eq!(out.stats.iterations, 1);
         assert_eq!(out.values[0], 0);
@@ -559,7 +584,11 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let g = line_graph(1024);
-        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(128));
+        let out = run(
+            &MiniSssp { source: 0 },
+            &g,
+            &CuShaConfig::gs().with_vertices_per_shard(128),
+        );
         let s = &out.stats;
         assert!(s.h2d_seconds > 0.0);
         assert!(s.compute_seconds > 0.0);
@@ -571,7 +600,11 @@ mod tests {
         // Earlier iterations did update vertices.
         assert!(s.per_iteration[0].updated_vertices > 0);
         // Coalesced layout: high load efficiency on this contiguous graph.
-        assert!(s.kernel.gld_efficiency() > 0.5, "{}", s.kernel.gld_efficiency());
+        assert!(
+            s.kernel.gld_efficiency() > 0.5,
+            "{}",
+            s.kernel.gld_efficiency()
+        );
     }
 
     #[test]
@@ -591,7 +624,11 @@ mod tests {
         assert_eq!(profile.launches().len(), out.stats.iterations as usize);
         assert!(profile.report().contains("CuSha-CW::mini-sssp"));
         // Off by default.
-        let out2 = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(8));
+        let out2 = run(
+            &MiniSssp { source: 0 },
+            &g,
+            &CuShaConfig::gs().with_vertices_per_shard(8),
+        );
         assert!(out2.stats.profile.is_none());
     }
 
@@ -600,7 +637,11 @@ mod tests {
         let mut edges = vec![Edge::new(0, 1, 3), Edge::new(1, 1, 1)];
         edges.push(Edge::new(1, 2, 3));
         let g = Graph::new(3, edges);
-        let out = run(&MiniSssp { source: 0 }, &g, &CuShaConfig::gs().with_vertices_per_shard(2));
+        let out = run(
+            &MiniSssp { source: 0 },
+            &g,
+            &CuShaConfig::gs().with_vertices_per_shard(2),
+        );
         assert_eq!(out.values, vec![0, 3, 6]);
     }
 }

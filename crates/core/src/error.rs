@@ -77,15 +77,19 @@ impl<V> EngineError<V> {
 impl<V> From<DeviceFault> for EngineError<V> {
     fn from(f: DeviceFault) -> Self {
         match f {
-            DeviceFault::Oom { requested_bytes, capacity_bytes, .. } => {
-                EngineError::DeviceOom { requested_bytes, capacity_bytes }
-            }
-            DeviceFault::Copy { kind, op_index } => {
-                EngineError::CopyFault { direction: kind, op_index }
-            }
-            DeviceFault::Kernel { name, op_index } => {
-                EngineError::KernelFault { name, op_index }
-            }
+            DeviceFault::Oom {
+                requested_bytes,
+                capacity_bytes,
+                ..
+            } => EngineError::DeviceOom {
+                requested_bytes,
+                capacity_bytes,
+            },
+            DeviceFault::Copy { kind, op_index } => EngineError::CopyFault {
+                direction: kind,
+                op_index,
+            },
+            DeviceFault::Kernel { name, op_index } => EngineError::KernelFault { name, op_index },
         }
     }
 }
@@ -101,12 +105,18 @@ impl<V> std::fmt::Display for EngineError<V> {
         match self {
             EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EngineError::InvalidGraph(e) => write!(f, "invalid graph: {e}"),
-            EngineError::DeviceOom { requested_bytes, capacity_bytes } => write!(
+            EngineError::DeviceOom {
+                requested_bytes,
+                capacity_bytes,
+            } => write!(
                 f,
                 "device out of memory: {requested_bytes} B requested, \
                  {capacity_bytes} B capacity"
             ),
-            EngineError::CopyFault { direction, op_index } => {
+            EngineError::CopyFault {
+                direction,
+                op_index,
+            } => {
                 let dir = match direction {
                     FaultKind::H2d => "host-to-device",
                     FaultKind::D2h => "device-to-host",
@@ -145,16 +155,28 @@ mod tests {
             injected: true,
         }
         .into();
-        assert!(matches!(e, EngineError::DeviceOom { requested_bytes: 100, .. }));
+        assert!(matches!(
+            e,
+            EngineError::DeviceOom {
+                requested_bytes: 100,
+                ..
+            }
+        ));
         assert_eq!(e.kind(), "device-oom");
 
-        let e: EngineError<u32> =
-            DeviceFault::Copy { kind: FaultKind::D2h, op_index: 7 }.into();
+        let e: EngineError<u32> = DeviceFault::Copy {
+            kind: FaultKind::D2h,
+            op_index: 7,
+        }
+        .into();
         assert!(e.to_string().contains("device-to-host"));
         assert_eq!(e.kind(), "copy-fault");
 
-        let e: EngineError<u32> =
-            DeviceFault::Kernel { name: "k".into(), op_index: 2 }.into();
+        let e: EngineError<u32> = DeviceFault::Kernel {
+            name: "k".into(),
+            op_index: 2,
+        }
+        .into();
         assert!(e.to_string().contains("launch #2"));
         assert_eq!(e.kind(), "kernel-fault");
     }

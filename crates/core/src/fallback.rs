@@ -45,21 +45,27 @@ pub fn run_fallback<P: VertexProgram>(
     let gs = GShards::from_graph(graph, n_per);
     let p = gs.num_shards();
 
-    let init: Vec<P::V> =
-        (0..graph.num_vertices()).map(|v| prog.initial_value(v)).collect();
+    let init: Vec<P::V> = (0..graph.num_vertices())
+        .map(|v| prog.initial_value(v))
+        .collect();
     let mut vertex_values = init.clone();
-    let mut src_value: Vec<P::V> =
-        gs.src_index().iter().map(|&s| init[s as usize]).collect();
+    let mut src_value: Vec<P::V> = gs.src_index().iter().map(|&s| init[s as usize]).collect();
     let static_vals: Option<Vec<P::SV>> = P::HAS_STATIC_VALUES.then(|| {
         let per_vertex = prog.static_values(graph);
-        gs.src_index().iter().map(|&s| per_vertex[s as usize]).collect()
+        gs.src_index()
+            .iter()
+            .map(|&s| per_vertex[s as usize])
+            .collect()
     });
     let edge_vals: Option<Vec<P::E>> = P::HAS_EDGE_VALUES.then(|| {
         let by_id = prog.edge_values(graph);
         gs.edge_id().iter().map(|&id| by_id[id as usize]).collect()
     });
 
-    let mut total = RunStats { engine: FALLBACK_LABEL.to_string(), ..Default::default() };
+    let mut total = RunStats {
+        engine: FALLBACK_LABEL.to_string(),
+        ..Default::default()
+    };
     let mut converged = false;
     while total.iterations < cfg.max_iterations {
         let mut any_updated = false;
@@ -81,10 +87,7 @@ pub fn run_fallback<P: VertexProgram>(
             // Stage 2: fold every shard entry into its destination's slot,
             // in entry order (the simulator's lane-serialized order).
             for e in gs.shard_entries(s) {
-                let statv = static_vals
-                    .as_ref()
-                    .map(|v| v[e])
-                    .unwrap_or_default();
+                let statv = static_vals.as_ref().map(|v| v[e]).unwrap_or_default();
                 let ev = edge_vals.as_ref().map(|v| v[e]).unwrap_or_default();
                 let slot = gs.dest_index()[e] as usize - offset;
                 prog.compute(&src_value[e], &statv, &ev, &mut local[slot]);
@@ -127,11 +130,16 @@ pub fn run_fallback<P: VertexProgram>(
     }
 
     total.converged = converged;
-    let output = CuShaOutput { values: vertex_values, stats: total };
+    let output = CuShaOutput {
+        values: vertex_values,
+        stats: total,
+    };
     if converged {
         Ok(output)
     } else {
-        Err(EngineError::NonConverged { partial: Box::new(output) })
+        Err(EngineError::NonConverged {
+            partial: Box::new(output),
+        })
     }
 }
 

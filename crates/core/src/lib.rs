@@ -17,6 +17,9 @@
 //! * [`engine`] — the iterative 4-stage processing loop of Figure 5 running
 //!   on the [`cusha_simt`] simulator, in both GS and CW modes.
 //! * [`memsize`] — representation footprint model (Figure 9).
+//! * [`multi`] — the multi-device engine: partitions the shard sequence
+//!   over a [`cusha_simt::DeviceFleet`] and exchanges halo updates over a
+//!   modeled interconnect, bit-identical to the single-device engine.
 
 pub mod autotune;
 pub mod cw;
@@ -24,6 +27,7 @@ pub mod engine;
 pub mod error;
 pub mod fallback;
 pub mod memsize;
+pub mod multi;
 pub mod program;
 pub mod shards;
 pub mod stats;
@@ -35,6 +39,9 @@ pub use cw::ConcatWindows;
 pub use engine::{run, try_run, CuShaConfig, CuShaOutput, Repr};
 pub use error::EngineError;
 pub use fallback::run_fallback;
+pub use multi::{
+    run_multi, try_run_multi, DeviceRunStats, MultiConfig, MultiOutput, MultiRunStats,
+};
 pub use program::{Value, VertexProgram};
 pub use shards::GShards;
 pub use stats::{FaultStats, IterationStat, RunStats};

@@ -53,8 +53,16 @@ pub fn cw_bytes(v: u64, e: u64, num_shards: u64, s: ValueSizes) -> u64 {
 mod tests {
     use super::*;
 
-    const SSSP: ValueSizes = ValueSizes { vertex: 4, edge: 4, static_vertex: 0 };
-    const PR: ValueSizes = ValueSizes { vertex: 4, edge: 0, static_vertex: 4 };
+    const SSSP: ValueSizes = ValueSizes {
+        vertex: 4,
+        edge: 4,
+        static_vertex: 0,
+    };
+    const PR: ValueSizes = ValueSizes {
+        vertex: 4,
+        edge: 0,
+        static_vertex: 4,
+    };
 
     #[test]
     fn csr_matches_paper_formula() {
@@ -91,7 +99,10 @@ mod tests {
         // per-entry static value) near the upper end.
         let (v, e, p) = (4_847_571u64, 68_993_773u64, 256u64);
         let ratio_sssp = gshards_bytes(v, e, p, SSSP) as f64 / csr_bytes(v, e, SSSP) as f64;
-        assert!((1.5..2.6).contains(&ratio_sssp), "GS/SSSP ratio {ratio_sssp}");
+        assert!(
+            (1.5..2.6).contains(&ratio_sssp),
+            "GS/SSSP ratio {ratio_sssp}"
+        );
         for s in [SSSP, PR] {
             let ratio = gshards_bytes(v, e, p, s) as f64 / csr_bytes(v, e, s) as f64;
             assert!((1.5..3.6).contains(&ratio), "GS ratio {ratio}");

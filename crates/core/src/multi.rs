@@ -1,0 +1,1808 @@
+//! The multi-device engine: G-Shards/CW over a [`DeviceFleet`] with a
+//! modeled halo exchange.
+//!
+//! The graph's shard sequence is split into N edge-balanced contiguous
+//! ranges ([`FleetPartition`]); device `d` holds the vertex values, shard
+//! entries and (CW) concatenated windows of its own range. Each iteration
+//! every device runs the same four-stage kernel as the single-device engine
+//! over its shards; stage-4 writes that land in *another* device's shard
+//! arrays — the halo updates — are written to a per-device outbox buffer
+//! (charging normal store traffic) and then exchanged: one bulk-synchronous
+//! all-to-all per iteration, timed by the fleet's [`Interconnect`].
+//!
+//! **Determinism / bit-identity.** Functionally the fleet re-enacts the
+//! single-device engine's exact schedule: devices are processed in
+//! ascending order (continuing the global block-id order), and each
+//! device's halo updates are applied to their targets immediately after its
+//! launch — so devices later in the order observe them within the same
+//! iteration and earlier devices in the next, exactly like stage-4 writes
+//! through the single shared `SrcValue` array. Outputs are therefore
+//! bit-identical to [`crate::run`] for any device count. *Timing* is
+//! modeled as concurrent: an iteration costs the slowest device's wall time
+//! plus the exchange, which is where the speedup (and the interconnect
+//! bottleneck) appears.
+//!
+//! **Fault isolation.** Each device has its own [`FaultPlan`] and its own
+//! recovery ladder — transient copy faults retry with exponential backoff,
+//! kernel faults relaunch in place (launch faults fire before any block
+//! runs, so the relaunch is exact), a device that cannot hold its partition
+//! rebatches it through a fresh device under a shrinking budget, and a
+//! device whose kernel keeps faulting degrades to a host-side re-enactment
+//! of its own shards. A faulted device never poisons the fleet: the other
+//! devices keep running on hardware, and results stay bit-identical.
+
+use crate::autotune::select_vertices_per_shard;
+use crate::cw::ConcatWindows;
+use crate::engine::{CuShaConfig, CuShaOutput, Repr};
+use crate::error::EngineError;
+use crate::fallback::FALLBACK_LABEL;
+use crate::program::VertexProgram;
+use crate::shards::GShards;
+use crate::stats::{FaultStats, IterationStat, RunStats};
+use cusha_graph::{FleetPartition, Graph};
+use cusha_simt::{
+    aligned_chunks, DevVec, DeviceFault, DeviceFleet, Gpu, Interconnect, KernelDesc, KernelStats,
+    Mask, Pod, Profile, WARP,
+};
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// Configuration of the multi-device engine.
+#[derive(Clone, Debug)]
+pub struct MultiConfig {
+    /// Base engine configuration (representation, shard size, per-device
+    /// hardware model, watchdog). `base.fault_plan`, if set, is installed
+    /// on device 0 unless [`MultiConfig::fault_plans`] overrides it.
+    pub base: CuShaConfig,
+    /// Number of devices in the fleet.
+    pub devices: usize,
+    /// Interconnect preset timing the per-iteration halo exchange.
+    pub interconnect: Interconnect,
+    /// Per-device fault plans (index = device id); shorter than `devices`
+    /// leaves the remaining devices fault-free.
+    pub fault_plans: Vec<Option<cusha_simt::FaultPlan>>,
+    /// Transient-copy-fault retries allowed per operation per device.
+    pub max_copy_retries: u32,
+    /// First retry's backoff in seconds; doubles per subsequent retry.
+    pub backoff_base_seconds: f64,
+    /// In-place kernel relaunches before a device degrades to the host.
+    pub max_kernel_retries: u32,
+    /// Budget-halving cycles allowed per device on OOM before it degrades.
+    pub max_rebatches: u32,
+}
+
+impl MultiConfig {
+    /// `devices` copies of the base configuration's device over PCIe.
+    pub fn new(base: CuShaConfig, devices: usize) -> Self {
+        MultiConfig {
+            base,
+            devices,
+            interconnect: Interconnect::pcie_gen3(),
+            fault_plans: Vec::new(),
+            max_copy_retries: 3,
+            backoff_base_seconds: 1e-3,
+            max_kernel_retries: 1,
+            max_rebatches: 8,
+        }
+    }
+
+    /// Selects the interconnect preset.
+    pub fn with_interconnect(mut self, ic: Interconnect) -> Self {
+        self.interconnect = ic;
+        self
+    }
+
+    /// Installs a fault plan on one device of the fleet.
+    pub fn with_device_fault_plan(mut self, d: usize, plan: cusha_simt::FaultPlan) -> Self {
+        if self.fault_plans.len() <= d {
+            self.fault_plans.resize(d + 1, None);
+        }
+        self.fault_plans[d] = Some(plan);
+        self
+    }
+
+    /// Checks the multi-device invariants on top of
+    /// [`CuShaConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.devices == 0 {
+            return Err("devices must be at least 1".into());
+        }
+        if self.fault_plans.len() > self.devices {
+            return Err(format!(
+                "fault_plans names device {} but the fleet has {} devices",
+                self.fault_plans.len() - 1,
+                self.devices
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-device breakdown inside a [`MultiRunStats`].
+#[derive(Clone, Debug)]
+pub struct DeviceRunStats {
+    /// Device id within the fleet.
+    pub device: usize,
+    /// How the device finished the run: `"resident"` (whole partition on
+    /// device), `"rebatched"` (OOM recovery: batches through a fresh
+    /// device), or `"host-fallback"` (kernel-fault recovery).
+    pub mode: &'static str,
+    /// Shards owned by this device.
+    pub shards: usize,
+    /// Vertices owned by this device.
+    pub vertices: usize,
+    /// Shard entries (edges) owned by this device.
+    pub edges: usize,
+    /// Remote vertices this device's entries read (the partition halo).
+    pub halo_vertices: usize,
+    /// Host→device seconds charged on this device.
+    pub h2d_seconds: f64,
+    /// Device→host seconds charged on this device.
+    pub d2h_seconds: f64,
+    /// Kernel seconds charged on this device.
+    pub kernel_seconds: f64,
+    /// Kernels launched on this device.
+    pub kernels_launched: u64,
+    /// Accumulated simulator counters of this device's launches.
+    pub kernel: KernelStats,
+    /// Halo bytes this device sent over the interconnect.
+    pub exchange_sent_bytes: u64,
+    /// Halo bytes this device received over the interconnect.
+    pub exchange_recv_bytes: u64,
+    /// Recovery activity on this device.
+    pub fault: FaultStats,
+    /// Per-launch kernel history when profiling was enabled.
+    pub profile: Option<Profile>,
+}
+
+/// Statistics of one multi-device run.
+#[derive(Clone, Debug)]
+pub struct MultiRunStats {
+    /// Engine label, e.g. `"CuSha-CW x4"`.
+    pub engine: String,
+    /// Interconnect preset name.
+    pub interconnect: String,
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Iterations until convergence (or the cap).
+    pub iterations: u32,
+    /// Whether the fleet converged before the iteration cap.
+    pub converged: bool,
+    /// Modeled setup seconds: the slowest device's initial upload.
+    pub setup_seconds: f64,
+    /// Modeled iteration seconds: per iteration, the slowest device's wall
+    /// (transfers + kernels + watchdog snapshots), devices overlapping.
+    pub compute_seconds: f64,
+    /// Total halo bytes moved over the interconnect.
+    pub exchange_bytes: u64,
+    /// Modeled interconnect seconds across all exchanges.
+    pub exchange_seconds: f64,
+    /// Modeled final-download seconds: the slowest device's result copy.
+    pub teardown_seconds: f64,
+    /// Edge-count load imbalance of the partition (1.0 = perfect).
+    pub load_imbalance: f64,
+    /// Per-device breakdown.
+    pub per_device: Vec<DeviceRunStats>,
+    /// Fleet-level aggregate of every device's kernel counters.
+    pub aggregate: KernelStats,
+    /// Fleet-level aggregate of every device's recovery activity.
+    pub fault: FaultStats,
+    /// Per-iteration detail (seconds = slowest device's kernel time).
+    pub per_iteration: Vec<IterationStat>,
+}
+
+impl MultiRunStats {
+    /// End-to-end modeled seconds: setup + overlapped iterations +
+    /// exchanges + teardown.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.setup_seconds + self.compute_seconds + self.exchange_seconds + self.teardown_seconds
+    }
+
+    /// Flattens into a single-engine [`RunStats`] (setup → `h2d`,
+    /// iterations + exchange → `compute`, teardown → `d2h`, aggregate
+    /// counters → `kernel`) for code paths that consume the single-device
+    /// shape, e.g. [`EngineError::NonConverged`].
+    pub fn as_run_stats(&self) -> RunStats {
+        RunStats {
+            engine: self.engine.clone(),
+            iterations: self.iterations,
+            converged: self.converged,
+            h2d_seconds: self.setup_seconds,
+            compute_seconds: self.compute_seconds + self.exchange_seconds,
+            d2h_seconds: self.teardown_seconds,
+            per_iteration: self.per_iteration.clone(),
+            kernel: self.aggregate.clone(),
+            profile: None,
+            fault: self.fault,
+        }
+    }
+}
+
+/// Result of a multi-device run.
+#[derive(Clone, Debug)]
+pub struct MultiOutput<V> {
+    /// Final vertex values, indexed by vertex id — bit-identical to the
+    /// single-device engine's.
+    pub values: Vec<V>,
+    /// Multi-device statistics.
+    pub stats: MultiRunStats,
+}
+
+/// Executes `prog` over `graph` on a fleet of `cfg.devices` devices.
+///
+/// # Panics
+/// Panics on invalid configuration or graph and on unrecovered device
+/// faults. A run that merely hits the iteration cap returns its partial
+/// output (`stats.converged == false`). Fallible callers use
+/// [`try_run_multi`].
+pub fn run_multi<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &MultiConfig,
+) -> MultiOutput<P::V> {
+    match run_multi_inner(prog, graph, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Executes `prog` over `graph` on the fleet, returning every failure as an
+/// [`EngineError`]. A capped run yields [`EngineError::NonConverged`]
+/// carrying the flattened partial output.
+pub fn try_run_multi<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &MultiConfig,
+) -> Result<MultiOutput<P::V>, EngineError<P::V>> {
+    let out = run_multi_inner(prog, graph, cfg)?;
+    if out.stats.converged {
+        Ok(out)
+    } else {
+        let partial = CuShaOutput {
+            values: out.values,
+            stats: out.stats.as_run_stats(),
+        };
+        Err(EngineError::NonConverged {
+            partial: Box::new(partial),
+        })
+    }
+}
+
+/// Per-entry device bytes of one shard entry for program `P` (the rebatch
+/// planner's estimate; mirrors the streamed engine's accounting).
+fn entry_bytes<P: VertexProgram>(repr: Repr) -> u64 {
+    let mut b = <P::V as Pod>::SIZE as u64 + 4 + 4; // SrcValue + DestIndex + SrcIndex
+    if P::HAS_EDGE_VALUES {
+        b += <P::E as Pod>::SIZE as u64;
+    }
+    if P::HAS_STATIC_VALUES {
+        b += <P::SV as Pod>::SIZE as u64;
+    }
+    if matches!(repr, Repr::ConcatWindows) {
+        b += 4; // Mapper
+    }
+    b
+}
+
+/// Retries `op` on transient copy faults with exponential backoff; other
+/// faults pass through for coarser-grained recovery.
+fn with_copy_retries<T>(
+    gpu: &mut Gpu,
+    max_retries: u32,
+    backoff_base: f64,
+    fault: &mut FaultStats,
+    mut op: impl FnMut(&mut Gpu) -> Result<T, DeviceFault>,
+) -> Result<T, DeviceFault> {
+    let mut attempt = 0u32;
+    loop {
+        match op(gpu) {
+            Ok(v) => return Ok(v),
+            Err(f @ DeviceFault::Copy { .. }) => {
+                if attempt >= max_retries {
+                    return Err(f);
+                }
+                fault.copy_retries += 1;
+                fault.backoff_seconds += backoff_base * (1u64 << attempt) as f64;
+                attempt += 1;
+            }
+            Err(f) => return Err(f),
+        }
+    }
+}
+
+/// Global ranges of one device's slice of the layout.
+#[derive(Clone, Debug)]
+struct DevInfo {
+    /// Global shard ids owned (contiguous).
+    shards: Range<u32>,
+    /// Global vertex range covered by those shards.
+    vrange: Range<usize>,
+    /// Global shard-entry range covered.
+    erange: Range<usize>,
+    /// Global CW-entry range covered (CW mode; `0..0` otherwise).
+    cwrange: Range<usize>,
+    /// Sorted global entry positions this device's stage 4 writes *outside*
+    /// `erange` — the halo-update targets.
+    remote: Vec<usize>,
+}
+
+/// Device-resident buffers of one device's partition slice.
+struct ResidentDev<P: VertexProgram> {
+    vertex_values: DevVec<P::V>,
+    src_value: DevVec<P::V>,
+    src_static: Option<DevVec<P::SV>>,
+    edge_value: Option<DevVec<P::E>>,
+    dest_index: DevVec<u32>,
+    src_index: DevVec<u32>,
+    mapper: Option<DevVec<u32>>,
+    window_offsets: Option<DevVec<u32>>,
+    remote_src_index: Option<DevVec<u32>>,
+    outbox: Option<DevVec<P::V>>,
+    flag: DevVec<u32>,
+}
+
+/// Execution mode of one device.
+enum Mode<P: VertexProgram> {
+    /// No shards assigned (more devices than shards); never launches.
+    Idle,
+    /// Whole partition slice resident on the device.
+    Resident(Box<ResidentDev<P>>),
+    /// OOM recovery: shards stream through a fresh device in batches under
+    /// the byte budget.
+    Rebatched {
+        /// Current per-batch byte budget; halved on each further OOM.
+        budget: u64,
+    },
+    /// Kernel-fault recovery: the device's shards are re-enacted on the
+    /// host (bit-identical, zero modeled device time).
+    Fallback,
+}
+
+impl<P: VertexProgram> Mode<P> {
+    fn label(&self) -> &'static str {
+        match self {
+            Mode::Idle => "idle",
+            Mode::Resident(_) => "resident",
+            Mode::Rebatched { .. } => "rebatched",
+            Mode::Fallback => FALLBACK_LABEL,
+        }
+    }
+}
+
+/// Time totals carried across device rebuilds (rebatching replaces the
+/// `Gpu`, which restarts its counters).
+#[derive(Clone, Copy, Default)]
+struct TimeAcc {
+    h2d: f64,
+    d2h: f64,
+    kernel: f64,
+    launched: u64,
+}
+
+/// Stage-4 targets of `shards` that fall outside `erange`, sorted.
+fn remote_targets(
+    gs: &GShards,
+    cw: Option<&ConcatWindows>,
+    shards: Range<u32>,
+    erange: &Range<usize>,
+) -> Vec<usize> {
+    let mut remote = Vec::new();
+    match cw {
+        None => {
+            for s in shards {
+                for j in 0..gs.num_shards() {
+                    let w = gs.window(s, j);
+                    if !w.is_empty() && !erange.contains(&w.start) {
+                        remote.extend(w);
+                    }
+                }
+            }
+        }
+        Some(cw) => {
+            for s in shards {
+                for k in cw.cw_entries(s) {
+                    let pos = cw.mapper()[k] as usize;
+                    if !erange.contains(&pos) {
+                        remote.push(pos);
+                    }
+                }
+            }
+        }
+    }
+    remote.sort_unstable();
+    remote.dedup();
+    remote
+}
+
+/// Everything the convergence loop needs, shared across devices.
+struct MultiState<'a, P: VertexProgram> {
+    prog: &'a P,
+    cfg: &'a MultiConfig,
+    gs: GShards,
+    cw: Option<ConcatWindows>,
+    fleet: DeviceFleet,
+    infos: Vec<DevInfo>,
+    modes: Vec<Mode<P>>,
+    /// Host-authoritative vertex values for non-resident devices (resident
+    /// devices keep theirs on device; their master slice is stale).
+    master_values: Vec<P::V>,
+    /// Host-authoritative `SrcValue` column for non-resident devices; also
+    /// receives every halo update.
+    master_src_value: Vec<P::V>,
+    static_entries: Option<Vec<P::SV>>,
+    edge_entries: Option<Vec<P::E>>,
+    faults: Vec<FaultStats>,
+    acc: Vec<TimeAcc>,
+    profiles: Vec<Option<Profile>>,
+    desc_name: String,
+    /// `devices + 1` prefix of global entry starts, for owner lookup.
+    estarts: Vec<usize>,
+}
+
+/// Outcome of one device's slice of one iteration.
+struct DeviceIter<P: VertexProgram> {
+    updated: u64,
+    kernel_seconds: f64,
+    /// Stage-4 writes outside the launch's own entry range, in write order:
+    /// `(global entry position, value)`.
+    spills: Vec<(usize, P::V)>,
+}
+
+impl<P: VertexProgram> MultiState<'_, P> {
+    fn device_time(&self, d: usize) -> f64 {
+        let g = self.fleet.device(d);
+        let a = &self.acc[d];
+        a.h2d + a.d2h + a.kernel + g.h2d_seconds + g.d2h_seconds + g.kernel_seconds
+    }
+
+    fn owner_of_entry(&self, k: usize) -> usize {
+        self.estarts.partition_point(|&s| s <= k) - 1
+    }
+
+    /// Folds a retired `Gpu`'s counters into the device's carried totals
+    /// (called when rebatching swaps in a fresh device).
+    fn retire_gpu(&mut self, d: usize, mut old: Gpu) {
+        let a = &mut self.acc[d];
+        a.h2d += old.h2d_seconds;
+        a.d2h += old.d2h_seconds;
+        a.kernel += old.kernel_seconds;
+        a.launched += old.kernels_launched;
+        if let Some(p) = old.profile.take() {
+            let merged = self.profiles[d].get_or_insert_with(Profile::default);
+            for launch in p.launches() {
+                merged.record(launch);
+            }
+        }
+        if let Some(plan) = old.take_fault_plan() {
+            self.fleet.device_mut(d).set_fault_plan(plan);
+        }
+    }
+
+    /// Uploads device `d`'s partition slice; `Err` carries the device fault
+    /// (OOM → caller switches the device to rebatched mode).
+    fn setup_resident(&mut self, d: usize) -> Result<(), DeviceFault> {
+        let info = self.infos[d].clone();
+        let cfgc = self.cfg;
+        let (maxr, backoff) = (cfgc.max_copy_retries, cfgc.backoff_base_seconds);
+        let fault = &mut self.faults[d];
+        let gpu = self.fleet.device_mut(d);
+        let up = |gpu: &mut Gpu, fault: &mut FaultStats, data: &[_]| {
+            with_copy_retries(gpu, maxr, backoff, fault, |g| g.try_upload(data))
+        };
+        let vertex_values = up(gpu, fault, &self.master_values[info.vrange.clone()])?;
+        let src_value = up(gpu, fault, &self.master_src_value[info.erange.clone()])?;
+        let src_static = match &self.static_entries {
+            Some(v) => Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&v[info.erange.clone()])
+            })?),
+            None => None,
+        };
+        let edge_value = match &self.edge_entries {
+            Some(v) => Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&v[info.erange.clone()])
+            })?),
+            None => None,
+        };
+        let dest_index = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+            g.try_upload(&self.gs.dest_index()[info.erange.clone()])
+        })?;
+        let src_index = match &self.cw {
+            Some(cw) => with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&cw.src_index()[info.cwrange.clone()])
+            })?,
+            None => with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&self.gs.src_index()[info.erange.clone()])
+            })?,
+        };
+        let mapper = match &self.cw {
+            Some(cw) => Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&cw.mapper()[info.cwrange.clone()])
+            })?),
+            None => None,
+        };
+        let window_offsets = if self.cw.is_none() {
+            let p = self.gs.num_shards() as usize;
+            let mut flat = vec![0u32; p * p];
+            for j in 0..p {
+                for i in 0..p {
+                    flat[j * p + i] = self.gs.window(i as u32, j as u32).start as u32;
+                }
+            }
+            Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&flat)
+            })?)
+        } else {
+            None
+        };
+        let remote_src_index = if self.cw.is_none() && !info.remote.is_empty() {
+            let rsi: Vec<u32> = info
+                .remote
+                .iter()
+                .map(|&k| self.gs.src_index()[k])
+                .collect();
+            Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&rsi)
+            })?)
+        } else {
+            None
+        };
+        let outbox = if info.remote.is_empty() {
+            None
+        } else {
+            Some(gpu.try_alloc::<P::V>(info.remote.len())?)
+        };
+        let flag = with_copy_retries(gpu, maxr, backoff, fault, |g| g.try_upload(&[1u32]))?;
+        self.modes[d] = Mode::Resident(Box::new(ResidentDev {
+            vertex_values,
+            src_value,
+            src_static,
+            edge_value,
+            dest_index,
+            src_index,
+            mapper,
+            window_offsets,
+            remote_src_index,
+            outbox,
+            flag,
+        }));
+        Ok(())
+    }
+
+    /// Runs one launch of the four-stage kernel over `shards`, against
+    /// buffers holding the global ranges given by the offsets. Identical
+    /// op-for-op to the single-device engine when the offsets are zero and
+    /// `remote` is empty.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_shards(
+        gpu: &mut Gpu,
+        desc: &KernelDesc,
+        prog: &P,
+        gs: &GShards,
+        cw: Option<&ConcatWindows>,
+        shard_base: u32,
+        voff: usize,
+        eoff: usize,
+        cwoff: usize,
+        own_erange: &Range<usize>,
+        remote: &[usize],
+        dev: &mut ResidentDev<P>,
+        spills: &mut Vec<(usize, P::V)>,
+        updated: &mut u64,
+    ) -> Result<KernelStats, DeviceFault> {
+        let p = gs.num_shards();
+        gpu.try_launch(desc, |b| {
+            let s = shard_base + b.id();
+            let vrange = gs.vertex_range(s);
+            let offset = vrange.start as usize;
+            let nv = vrange.len();
+            let mut local = b.shared_alloc::<P::V>(nv);
+
+            // Stage 1: coalesced fetch of VertexValues into shared memory.
+            for (base, mask) in aligned_chunks(offset..offset + nv) {
+                let vals = b.gload(&dev.vertex_values, mask, |l| base + l - voff);
+                let mut inited = [P::V::default(); WARP];
+                for l in mask.iter() {
+                    let mut lv = P::V::default();
+                    prog.init_compute(&mut lv, &vals[l]);
+                    inited[l] = lv;
+                }
+                b.exec(mask, 1);
+                b.sstore(&mut local, mask, |l| base + l - offset, |l| inited[l]);
+            }
+            b.sync();
+
+            // Stage 2: fold the shard's entries into the local values.
+            let er = gs.shard_entries(s);
+            for (base, mask) in aligned_chunks(er.clone()) {
+                let srcv = b.gload(&dev.src_value, mask, |l| base + l - eoff);
+                let statv = match &dev.src_static {
+                    Some(buf) => b.gload(buf, mask, |l| base + l - eoff),
+                    None => [P::SV::default(); WARP],
+                };
+                let ev = match &dev.edge_value {
+                    Some(buf) => b.gload(buf, mask, |l| base + l - eoff),
+                    None => [P::E::default(); WARP],
+                };
+                let dst = b.gload(&dev.dest_index, mask, |l| base + l - eoff);
+                b.exec(mask, P::COMPUTE_COST);
+                b.supdate(
+                    &mut local,
+                    mask,
+                    |l| dst[l] as usize - offset,
+                    |l, slot| prog.compute(&srcv[l], &statv[l], &ev[l], slot),
+                );
+            }
+            b.sync();
+
+            // Stage 3: update_condition; publish changed values.
+            let mut block_updated = false;
+            for (base, mask) in aligned_chunks(offset..offset + nv) {
+                let old = b.gload(&dev.vertex_values, mask, |l| base + l - voff);
+                let loc = b.sload(&local, mask, |l| base + l - offset);
+                let mut newv = loc;
+                let mut cond = [false; WARP];
+                for l in mask.iter() {
+                    cond[l] = prog.update_condition(&mut newv[l], &old[l]);
+                }
+                b.exec(mask, 1);
+                b.sstore(&mut local, mask, |l| base + l - offset, |l| newv[l]);
+                let smask = mask.and(Mask::from_fn(|l| cond[l]));
+                if !smask.is_empty() {
+                    b.gstore(
+                        &mut dev.vertex_values,
+                        smask,
+                        |l| base + l - voff,
+                        |l| newv[l],
+                    );
+                    block_updated = true;
+                    *updated += smask.count() as u64;
+                }
+            }
+            b.sync();
+
+            // Stage 4: write-back to the windows in all shards; writes
+            // outside this launch's own entry range go to the outbox (and
+            // are recorded as spills for the halo exchange).
+            if block_updated {
+                match cw {
+                    None => {
+                        for j in 0..p {
+                            if let Some(wo) = &dev.window_offsets {
+                                let lanes = if s + 1 < p { 2 } else { 1 };
+                                b.gload(wo, Mask::first(lanes), |l| (j * p + s) as usize + l);
+                            }
+                            let w = gs.window(s, j);
+                            let own = w.is_empty() || own_erange.contains(&w.start);
+                            for (base, mask) in aligned_chunks(w.clone()) {
+                                if own {
+                                    let sidx = b.gload(&dev.src_index, mask, |l| base + l - eoff);
+                                    let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
+                                    b.gstore(
+                                        &mut dev.src_value,
+                                        mask,
+                                        |l| base + l - eoff,
+                                        |l| loc[l],
+                                    );
+                                } else {
+                                    let rsi = dev
+                                        .remote_src_index
+                                        .as_ref()
+                                        .expect("remote window requires remote_src_index");
+                                    let slot =
+                                        |l: usize| remote.binary_search(&(base + l)).unwrap();
+                                    let sidx = b.gload(rsi, mask, slot);
+                                    let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
+                                    let ob = dev
+                                        .outbox
+                                        .as_mut()
+                                        .expect("remote window requires an outbox");
+                                    b.gstore(ob, mask, slot, |l| loc[l]);
+                                    for l in mask.iter() {
+                                        spills.push((base + l, loc[l]));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Some(cw) => {
+                        let r = cw.cw_entries(s);
+                        for (base, mask) in aligned_chunks(r) {
+                            let sidx = b.gload(&dev.src_index, mask, |l| base + l - cwoff);
+                            let map = match &dev.mapper {
+                                Some(mbuf) => b.gload(mbuf, mask, |l| base + l - cwoff),
+                                None => unreachable!("CW mode always has a mapper"),
+                            };
+                            let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
+                            let ownmask = mask
+                                .and(Mask::from_fn(|l| own_erange.contains(&(map[l] as usize))));
+                            let remmask = mask
+                                .and(Mask::from_fn(|l| !own_erange.contains(&(map[l] as usize))));
+                            if !ownmask.is_empty() {
+                                b.gstore(
+                                    &mut dev.src_value,
+                                    ownmask,
+                                    |l| map[l] as usize - eoff,
+                                    |l| loc[l],
+                                );
+                            }
+                            if !remmask.is_empty() {
+                                let ob = dev
+                                    .outbox
+                                    .as_mut()
+                                    .expect("remote CW targets require an outbox");
+                                b.gstore(
+                                    ob,
+                                    remmask,
+                                    |l| remote.binary_search(&(map[l] as usize)).unwrap(),
+                                    |l| loc[l],
+                                );
+                                for l in remmask.iter() {
+                                    spills.push((map[l] as usize, loc[l]));
+                                }
+                            }
+                        }
+                    }
+                }
+                b.gstore(&mut dev.flag, Mask::first(1), |_| 0, |_| 0u32);
+            }
+        })
+    }
+
+    /// Degrades device `d` to host fallback: syncs its current state into
+    /// the masters (resident state is downloaded and charged) and runs the
+    /// whole partition slice on the host for this iteration.
+    fn degrade_to_fallback(
+        &mut self,
+        d: usize,
+        out: &mut DeviceIter<P>,
+    ) -> Result<(), DeviceFault> {
+        let info = self.infos[d].clone();
+        let (maxr, backoff) = (self.cfg.max_copy_retries, self.cfg.backoff_base_seconds);
+        if let Mode::Resident(dev) = &self.modes[d] {
+            let gpu = self.fleet.device_mut(d);
+            let fault = &mut self.faults[d];
+            let vals = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_download(&dev.vertex_values)
+            })?;
+            self.master_values[info.vrange.clone()].copy_from_slice(&vals);
+            let srcv = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_download(&dev.src_value)
+            })?;
+            self.master_src_value[info.erange.clone()].copy_from_slice(&srcv);
+        }
+        self.faults[d].degradations += 1;
+        self.modes[d] = Mode::Fallback;
+        self.host_iterate(d, info.shards, out);
+        Ok(())
+    }
+
+    /// Host re-enactment of `shards` for device `d` — mirrors the fallback
+    /// engine's exact schedule over the master arrays. Stage-4 writes
+    /// outside the device's own entry range are also pushed as spills so
+    /// they still flow through the halo exchange accounting.
+    fn host_iterate(&mut self, d: usize, shards: Range<u32>, out: &mut DeviceIter<P>) {
+        let own_erange = self.infos[d].erange.clone();
+        let p = self.gs.num_shards();
+        for s in shards {
+            let vrange = self.gs.vertex_range(s);
+            let offset = vrange.start as usize;
+            let mut local: Vec<P::V> = vrange
+                .clone()
+                .map(|v| {
+                    let mut lv = P::V::default();
+                    self.prog
+                        .init_compute(&mut lv, &self.master_values[v as usize]);
+                    lv
+                })
+                .collect();
+            for e in self.gs.shard_entries(s) {
+                let statv = self
+                    .static_entries
+                    .as_ref()
+                    .map(|v| v[e])
+                    .unwrap_or_default();
+                let ev = self.edge_entries.as_ref().map(|v| v[e]).unwrap_or_default();
+                let slot = self.gs.dest_index()[e] as usize - offset;
+                self.prog
+                    .compute(&self.master_src_value[e], &statv, &ev, &mut local[slot]);
+            }
+            let mut block_updated = false;
+            for v in vrange.clone() {
+                let i = v as usize - offset;
+                let old = self.master_values[v as usize];
+                let mut newv = local[i];
+                let cond = self.prog.update_condition(&mut newv, &old);
+                local[i] = newv;
+                if cond {
+                    self.master_values[v as usize] = newv;
+                    block_updated = true;
+                    out.updated += 1;
+                }
+            }
+            if block_updated {
+                for j in 0..p {
+                    for e in self.gs.window(s, j) {
+                        let val = local[self.gs.src_index()[e] as usize - offset];
+                        self.master_src_value[e] = val;
+                        if !own_erange.contains(&e) {
+                            out.spills.push((e, val));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One iteration of a resident device: flag reset, launch (with
+    /// in-place retry; a second kernel fault degrades to host fallback),
+    /// flag readback.
+    fn iterate_resident(&mut self, d: usize) -> Result<DeviceIter<P>, DeviceFault> {
+        let info = self.infos[d].clone();
+        let desc = KernelDesc::new(
+            self.desc_name.clone(),
+            info.shards.len() as u32,
+            self.cfg.base.threads_per_block,
+        );
+        let (maxr, backoff) = (self.cfg.max_copy_retries, self.cfg.backoff_base_seconds);
+        let mut out = DeviceIter {
+            updated: 0,
+            kernel_seconds: 0.0,
+            spills: Vec::new(),
+        };
+        let mut degrade = false;
+        {
+            let Mode::Resident(dev) = &mut self.modes[d] else {
+                unreachable!()
+            };
+            let gpu = self.fleet.device_mut(d);
+            let fault = &mut self.faults[d];
+            with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_h2d(&mut dev.flag, &[1u32])
+            })?;
+            let mut attempts = 0u32;
+            let kstats = loop {
+                out.updated = 0;
+                out.spills.clear();
+                match Self::launch_shards(
+                    gpu,
+                    &desc,
+                    self.prog,
+                    &self.gs,
+                    self.cw.as_ref(),
+                    info.shards.start,
+                    info.vrange.start,
+                    info.erange.start,
+                    info.cwrange.start,
+                    &info.erange,
+                    &info.remote,
+                    dev,
+                    &mut out.spills,
+                    &mut out.updated,
+                ) {
+                    Ok(k) => break Some(k),
+                    Err(DeviceFault::Kernel { .. }) if attempts < self.cfg.max_kernel_retries => {
+                        fault.kernel_retries += 1;
+                        attempts += 1;
+                    }
+                    Err(DeviceFault::Kernel { .. }) => {
+                        degrade = true;
+                        break None;
+                    }
+                    Err(other) => return Err(other),
+                }
+            };
+            if let Some(k) = kstats {
+                out.kernel_seconds += k.seconds;
+                // Per-iteration is_converged readback, as in Figure 5.
+                let _ = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_download_scalar(&dev.flag, 0)
+                })?;
+                self.fleet.record_launch(d, &k);
+                return Ok(out);
+            }
+        }
+        debug_assert!(degrade);
+        out.updated = 0;
+        out.spills.clear();
+        self.degrade_to_fallback(d, &mut out)?;
+        Ok(out)
+    }
+
+    /// One iteration of a rebatched device: its shards stream through a
+    /// fresh device in contiguous batches under the byte budget; each
+    /// batch's updated slices are downloaded back into the masters. A
+    /// further OOM halves the budget (up to the rebatch cap); exhausted
+    /// kernel retries degrade to host fallback.
+    fn iterate_rebatched(&mut self, d: usize) -> Result<DeviceIter<P>, DeviceFault> {
+        let info = self.infos[d].clone();
+        let per_entry = entry_bytes::<P>(self.cfg.base.repr);
+        let mut out = DeviceIter {
+            updated: 0,
+            kernel_seconds: 0.0,
+            spills: Vec::new(),
+        };
+        let mut s = info.shards.start;
+        'shards: while s < info.shards.end {
+            let Mode::Rebatched { budget } = self.modes[d] else {
+                unreachable!()
+            };
+            // Greedy contiguous batch from `s` under the budget (always at
+            // least one shard — a shard is indivisible).
+            let mut end = s + 1;
+            let mut bytes = self.gs.shard_entries(s).len() as u64 * per_entry;
+            while end < info.shards.end {
+                let nb = self.gs.shard_entries(end).len() as u64 * per_entry;
+                if bytes + nb > budget {
+                    break;
+                }
+                bytes += nb;
+                end += 1;
+            }
+            match self.run_batch(d, s..end, &mut out) {
+                Ok(()) => s = end,
+                Err(DeviceFault::Oom { .. }) => {
+                    self.faults[d].oom_rebatches += 1;
+                    if self.faults[d].oom_rebatches > self.cfg.max_rebatches {
+                        self.faults[d].degradations += 1;
+                        self.modes[d] = Mode::Fallback;
+                        self.host_iterate(d, s..info.shards.end, &mut out);
+                        break 'shards;
+                    }
+                    self.modes[d] = Mode::Rebatched {
+                        budget: (budget / 2).max(per_entry),
+                    };
+                }
+                Err(DeviceFault::Kernel { .. }) => {
+                    self.faults[d].degradations += 1;
+                    self.modes[d] = Mode::Fallback;
+                    self.host_iterate(d, s..info.shards.end, &mut out);
+                    break 'shards;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Uploads, launches and downloads one batch of a rebatched device
+    /// through a fresh `Gpu`. Kernel faults are retried in place up to the
+    /// cap and then surface to the caller for degradation.
+    fn run_batch(
+        &mut self,
+        d: usize,
+        batch: Range<u32>,
+        out: &mut DeviceIter<P>,
+    ) -> Result<(), DeviceFault> {
+        let voff = self.gs.vertex_range(batch.start).start as usize;
+        let vend = self.gs.vertex_range(batch.end - 1).end as usize;
+        let eoff = self.gs.shard_entries(batch.start).start;
+        let eend = self.gs.shard_entries(batch.end - 1).end;
+        let erange = eoff..eend;
+        let (cwoff, cwend) = match &self.cw {
+            Some(cw) => (
+                cw.cw_entries(batch.start).start,
+                cw.cw_entries(batch.end - 1).end,
+            ),
+            None => (0, 0),
+        };
+        let remote = remote_targets(&self.gs, self.cw.as_ref(), batch.clone(), &erange);
+        let (maxr, backoff) = (self.cfg.max_copy_retries, self.cfg.backoff_base_seconds);
+
+        // Fresh device for the batch, carrying the fault plan and retiring
+        // the previous device's time totals.
+        let mut fresh = Gpu::new(self.cfg.base.device.clone());
+        fresh.set_profiling(self.cfg.base.profile);
+        let old = self.fleet.replace_device(d, fresh);
+        self.retire_gpu(d, old);
+
+        let mut dev = {
+            let gpu = self.fleet.device_mut(d);
+            let fault = &mut self.faults[d];
+            let vertex_values = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&self.master_values[voff..vend])
+            })?;
+            let src_value = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&self.master_src_value[erange.clone()])
+            })?;
+            let src_static = match &self.static_entries {
+                Some(v) => Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_upload(&v[erange.clone()])
+                })?),
+                None => None,
+            };
+            let edge_value = match &self.edge_entries {
+                Some(v) => Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_upload(&v[erange.clone()])
+                })?),
+                None => None,
+            };
+            let dest_index = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_upload(&self.gs.dest_index()[erange.clone()])
+            })?;
+            let src_index = match &self.cw {
+                Some(cw) => with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_upload(&cw.src_index()[cwoff..cwend])
+                })?,
+                None => with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_upload(&self.gs.src_index()[erange.clone()])
+                })?,
+            };
+            let mapper = match &self.cw {
+                Some(cw) => Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_upload(&cw.mapper()[cwoff..cwend])
+                })?),
+                None => None,
+            };
+            let window_offsets = if self.cw.is_none() {
+                let p = self.gs.num_shards() as usize;
+                let mut flat = vec![0u32; p * p];
+                for j in 0..p {
+                    for i in 0..p {
+                        flat[j * p + i] = self.gs.window(i as u32, j as u32).start as u32;
+                    }
+                }
+                Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_upload(&flat)
+                })?)
+            } else {
+                None
+            };
+            let remote_src_index = if self.cw.is_none() && !remote.is_empty() {
+                let rsi: Vec<u32> = remote.iter().map(|&k| self.gs.src_index()[k]).collect();
+                Some(with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_upload(&rsi)
+                })?)
+            } else {
+                None
+            };
+            let outbox = if remote.is_empty() {
+                None
+            } else {
+                Some(gpu.try_alloc::<P::V>(remote.len())?)
+            };
+            let flag = with_copy_retries(gpu, maxr, backoff, fault, |g| g.try_upload(&[1u32]))?;
+            ResidentDev {
+                vertex_values,
+                src_value,
+                src_static,
+                edge_value,
+                dest_index,
+                src_index,
+                mapper,
+                window_offsets,
+                remote_src_index,
+                outbox,
+                flag,
+            }
+        };
+
+        let desc = KernelDesc::new(
+            self.desc_name.clone(),
+            batch.len() as u32,
+            self.cfg.base.threads_per_block,
+        );
+        let mut attempts = 0u32;
+        let mut batch_updated;
+        let mut batch_spills = Vec::new();
+        let kstats = {
+            let gpu = self.fleet.device_mut(d);
+            loop {
+                batch_updated = 0;
+                batch_spills.clear();
+                match Self::launch_shards(
+                    gpu,
+                    &desc,
+                    self.prog,
+                    &self.gs,
+                    self.cw.as_ref(),
+                    batch.start,
+                    voff,
+                    eoff,
+                    cwoff,
+                    &erange,
+                    &remote,
+                    &mut dev,
+                    &mut batch_spills,
+                    &mut batch_updated,
+                ) {
+                    Ok(k) => break k,
+                    Err(f @ DeviceFault::Kernel { .. }) => {
+                        if attempts < self.cfg.max_kernel_retries {
+                            self.faults[d].kernel_retries += 1;
+                            attempts += 1;
+                        } else {
+                            return Err(f);
+                        }
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+        };
+        out.kernel_seconds += kstats.seconds;
+        self.fleet.record_launch(d, &kstats);
+        {
+            let gpu = self.fleet.device_mut(d);
+            let fault = &mut self.faults[d];
+            let _ = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_download_scalar(&dev.flag, 0)
+            })?;
+            // Sync the batch's updated state back into the masters — the
+            // next batch (and the next iteration) upload from them.
+            let vals = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_download(&dev.vertex_values)
+            })?;
+            self.master_values[voff..vend].copy_from_slice(&vals);
+            let srcv = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_download(&dev.src_value)
+            })?;
+            self.master_src_value[erange.clone()].copy_from_slice(&srcv);
+        }
+        // Cross-batch stage-4 writes must land in the master `SrcValue`
+        // before the next batch uploads its slice — that is exactly the
+        // single-buffer visibility the resident kernel has for free.
+        for &(k, v) in &batch_spills {
+            self.master_src_value[k] = v;
+        }
+        out.updated += batch_updated;
+        out.spills.append(&mut batch_spills);
+        Ok(())
+    }
+}
+
+/// Runs the fleet to completion. Returns the output whether or not it
+/// converged (the `converged` flag tells); hard failures are errors.
+fn run_multi_inner<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &MultiConfig,
+) -> Result<MultiOutput<P::V>, EngineError<P::V>> {
+    cfg.validate().map_err(EngineError::InvalidConfig)?;
+    graph.validate()?;
+    let n_per = cfg.base.vertices_per_shard.unwrap_or_else(|| {
+        select_vertices_per_shard(
+            graph.num_vertices() as u64,
+            graph.num_edges() as u64,
+            <P::V as Pod>::SIZE,
+            &cfg.base.device,
+            cfg.base.resident_blocks,
+        )
+    });
+    let gs = GShards::from_graph(graph, n_per);
+    let cw = matches!(cfg.base.repr, Repr::ConcatWindows).then(|| ConcatWindows::from_gshards(&gs));
+    let fp = FleetPartition::from_graph(graph, n_per, cfg.devices);
+    debug_assert_eq!(fp.num_shards(), gs.num_shards() as usize);
+
+    let init: Vec<P::V> = (0..graph.num_vertices())
+        .map(|v| prog.initial_value(v))
+        .collect();
+    let master_src_value: Vec<P::V> = gs.src_index().iter().map(|&s| init[s as usize]).collect();
+    let static_entries: Option<Vec<P::SV>> = P::HAS_STATIC_VALUES.then(|| {
+        let per_vertex = prog.static_values(graph);
+        gs.src_index()
+            .iter()
+            .map(|&s| per_vertex[s as usize])
+            .collect()
+    });
+    let edge_entries: Option<Vec<P::E>> = P::HAS_EDGE_VALUES.then(|| {
+        let by_id = prog.edge_values(graph);
+        gs.edge_id().iter().map(|&id| by_id[id as usize]).collect()
+    });
+
+    let mut fleet = DeviceFleet::new(&cfg.base.device, cfg.devices, cfg.interconnect.clone());
+    for d in 0..cfg.devices {
+        fleet.device_mut(d).set_profiling(cfg.base.profile);
+    }
+    let mut plans = cfg.fault_plans.clone();
+    if plans.iter().all(Option::is_none) {
+        if let Some(base_plan) = cfg.base.fault_plan.clone() {
+            if plans.is_empty() {
+                plans.push(None);
+            }
+            plans[0] = Some(base_plan);
+        }
+    }
+    for (d, plan) in plans.into_iter().enumerate() {
+        if let Some(p) = plan {
+            fleet.device_mut(d).set_fault_plan(p);
+        }
+    }
+
+    // Per-device global ranges from the edge-balanced partition.
+    let mut infos = Vec::with_capacity(cfg.devices);
+    for part in fp.parts() {
+        let shards = part.shards.start as u32..part.shards.end as u32;
+        let (vrange, erange, cwrange) = if shards.is_empty() {
+            (0..0, 0..0, 0..0)
+        } else {
+            let vr = gs.vertex_range(shards.start).start as usize
+                ..gs.vertex_range(shards.end - 1).end as usize;
+            let er = gs.shard_entries(shards.start).start..gs.shard_entries(shards.end - 1).end;
+            let cwr = match &cw {
+                Some(cw) => cw.cw_entries(shards.start).start..cw.cw_entries(shards.end - 1).end,
+                None => 0..0,
+            };
+            (vr, er, cwr)
+        };
+        let remote = remote_targets(&gs, cw.as_ref(), shards.clone(), &erange);
+        infos.push(DevInfo {
+            shards,
+            vrange,
+            erange,
+            cwrange,
+            remote,
+        });
+    }
+    // Monotone entry starts for owner lookup; empty partitions inherit the
+    // running boundary so `partition_point` never sees a regression.
+    let mut estarts: Vec<usize> = Vec::with_capacity(cfg.devices + 1);
+    let mut boundary = 0usize;
+    for info in &infos {
+        if !info.shards.is_empty() {
+            boundary = info.erange.start;
+        }
+        estarts.push(boundary);
+        if !info.shards.is_empty() {
+            boundary = info.erange.end;
+        }
+    }
+    estarts.push(gs.num_edges() as usize);
+
+    let desc_name = format!("{}::{}", cfg.base.repr.label(), prog.name());
+    let engine_label = if cfg.devices == 1 {
+        cfg.base.repr.label().to_string()
+    } else {
+        format!("{} x{}", cfg.base.repr.label(), cfg.devices)
+    };
+
+    let mut st = MultiState {
+        prog,
+        cfg,
+        gs,
+        cw,
+        fleet,
+        infos,
+        modes: (0..cfg.devices).map(|_| Mode::Idle).collect(),
+        master_values: init,
+        master_src_value,
+        static_entries,
+        edge_entries,
+        faults: vec![FaultStats::default(); cfg.devices],
+        acc: vec![TimeAcc::default(); cfg.devices],
+        profiles: vec![None; cfg.devices],
+        desc_name,
+        estarts,
+    };
+
+    // ---- Setup: upload every non-empty partition (H2D) --------------------
+    for d in 0..cfg.devices {
+        if st.infos[d].shards.is_empty() {
+            continue;
+        }
+        match st.setup_resident(d) {
+            Ok(()) => {}
+            Err(DeviceFault::Oom { .. }) => {
+                // The partition does not fit: stream it in batches under
+                // half the device's memory, like the streamed engine.
+                st.faults[d].oom_rebatches += 1;
+                st.modes[d] = Mode::Rebatched {
+                    budget: (cfg.base.device.global_mem_bytes / 2).max(1),
+                };
+            }
+            Err(f) => return Err(f.into()),
+        }
+    }
+    let setup_seconds = (0..cfg.devices)
+        .map(|d| st.device_time(d))
+        .fold(0.0f64, f64::max);
+    let setup_marks: Vec<f64> = (0..cfg.devices).map(|d| st.device_time(d)).collect();
+
+    // ---- Convergence loop -------------------------------------------------
+    let halo_bytes_per_vertex = <P::V as Pod>::SIZE as u64 + 4; // value + vertex id
+    let mut stats = MultiRunStats {
+        engine: engine_label,
+        interconnect: cfg.interconnect.name.to_string(),
+        devices: cfg.devices,
+        iterations: 0,
+        converged: false,
+        setup_seconds,
+        compute_seconds: 0.0,
+        exchange_bytes: 0,
+        exchange_seconds: 0.0,
+        teardown_seconds: 0.0,
+        load_imbalance: fp.imbalance(),
+        per_device: Vec::new(),
+        aggregate: KernelStats::default(),
+        fault: FaultStats::default(),
+        per_iteration: Vec::new(),
+    };
+    let mut sent_bytes_total = vec![0u64; cfg.devices];
+    let mut recv_bytes_total = vec![0u64; cfg.devices];
+    let mut time_marks = setup_marks;
+    let mut watchdog_seen: HashSet<u64> = HashSet::new();
+    let mut watchdog_seconds = 0.0f64;
+    let mut converged = false;
+    while stats.iterations < cfg.base.max_iterations {
+        let mut iter_updated = 0u64;
+        let mut max_wall = 0.0f64;
+        let mut max_kernel = 0.0f64;
+        let mut sent_pairs: Vec<HashSet<(u32, usize)>> =
+            (0..cfg.devices).map(|_| HashSet::new()).collect();
+        for d in 0..cfg.devices {
+            let res = match &st.modes[d] {
+                Mode::Idle => continue,
+                Mode::Resident(_) => st.iterate_resident(d).map_err(EngineError::from)?,
+                Mode::Rebatched { .. } => st.iterate_rebatched(d).map_err(EngineError::from)?,
+                Mode::Fallback => {
+                    let shards = st.infos[d].shards.clone();
+                    let mut out = DeviceIter {
+                        updated: 0,
+                        kernel_seconds: 0.0,
+                        spills: Vec::new(),
+                    };
+                    st.host_iterate(d, shards, &mut out);
+                    out
+                }
+            };
+            // Apply the device's halo updates synchronously, in write
+            // order, to their targets: later devices observe them this
+            // iteration, earlier ones next — exactly the single-buffer
+            // stage-4 visibility.
+            for &(k, v) in &res.spills {
+                st.master_src_value[k] = v;
+                let t = st.owner_of_entry(k);
+                if t != d {
+                    if let Mode::Resident(dev) = &mut st.modes[t] {
+                        dev.src_value.host_mut()[k - st.infos[t].erange.start] = v;
+                    }
+                    sent_pairs[d].insert((st.gs.src_index()[k], t));
+                }
+            }
+            iter_updated += res.updated;
+            max_kernel = max_kernel.max(res.kernel_seconds);
+            let now = st.device_time(d);
+            max_wall = max_wall.max(now - time_marks[d]);
+            time_marks[d] = now;
+        }
+        stats.iterations += 1;
+        stats.per_iteration.push(IterationStat {
+            seconds: max_kernel,
+            updated_vertices: iter_updated,
+        });
+        stats.compute_seconds += max_wall;
+        // Bulk-synchronous halo exchange over the interconnect.
+        let sent: Vec<u64> = sent_pairs
+            .iter()
+            .map(|s| s.len() as u64 * halo_bytes_per_vertex)
+            .collect();
+        stats.exchange_seconds += st.fleet.exchange_seconds(&sent);
+        for (d, set) in sent_pairs.iter().enumerate() {
+            sent_bytes_total[d] += sent[d];
+            stats.exchange_bytes += sent[d];
+            for &(_, t) in set {
+                recv_bytes_total[t] += halo_bytes_per_vertex;
+            }
+        }
+        if iter_updated == 0 {
+            converged = true;
+            break;
+        }
+        if let Some(w) = cfg.base.watchdog_interval {
+            if stats.iterations.is_multiple_of(w) {
+                // Assemble the current global value vector (resident
+                // slices are real, charged D2H snapshots).
+                let mut snapshot = st.master_values.clone();
+                for d in 0..cfg.devices {
+                    if let Mode::Resident(dev) = &st.modes[d] {
+                        let before = st.device_time(d);
+                        let gpu = st.fleet.device_mut(d);
+                        let fault = &mut st.faults[d];
+                        let vals = with_copy_retries(
+                            gpu,
+                            cfg.max_copy_retries,
+                            cfg.backoff_base_seconds,
+                            fault,
+                            |g| g.try_download(&dev.vertex_values),
+                        )
+                        .map_err(EngineError::from)?;
+                        snapshot[st.infos[d].vrange.clone()].copy_from_slice(&vals);
+                        let after = st.device_time(d);
+                        watchdog_seconds += after - before;
+                        time_marks[d] = after;
+                    }
+                }
+                if !watchdog_seen.insert(crate::engine::fingerprint(&snapshot)) {
+                    return Err(EngineError::Watchdog {
+                        iterations: stats.iterations,
+                    });
+                }
+            }
+        }
+    }
+    stats.converged = converged;
+    stats.compute_seconds += watchdog_seconds;
+
+    // ---- Download results (D2H) -------------------------------------------
+    let mut values = st.master_values.clone();
+    let mut teardown = 0.0f64;
+    for d in 0..cfg.devices {
+        if let Mode::Resident(dev) = &st.modes[d] {
+            let before = st.device_time(d);
+            let gpu = st.fleet.device_mut(d);
+            let fault = &mut st.faults[d];
+            let vals = with_copy_retries(
+                gpu,
+                cfg.max_copy_retries,
+                cfg.backoff_base_seconds,
+                fault,
+                |g| g.try_download(&dev.vertex_values),
+            )
+            .map_err(EngineError::from)?;
+            values[st.infos[d].vrange.clone()].copy_from_slice(&vals);
+            teardown = teardown.max(st.device_time(d) - before);
+        }
+    }
+    stats.teardown_seconds = teardown;
+
+    // ---- Per-device breakdown ---------------------------------------------
+    for d in 0..cfg.devices {
+        let gpu = st.fleet.device(d);
+        let a = st.acc[d];
+        let part = &fp.parts()[d];
+        let mut profile = st.profiles[d].take();
+        if let Some(fresh) = st.fleet.device(d).profile.as_ref() {
+            let merged = profile.get_or_insert_with(Profile::default);
+            for launch in fresh.launches() {
+                merged.record(launch);
+            }
+        }
+        stats.per_device.push(DeviceRunStats {
+            device: d,
+            mode: st.modes[d].label(),
+            shards: part.shards.len(),
+            vertices: part.vertices.len(),
+            edges: part.edges,
+            halo_vertices: part.halo.len(),
+            h2d_seconds: a.h2d + gpu.h2d_seconds,
+            d2h_seconds: a.d2h + gpu.d2h_seconds,
+            kernel_seconds: a.kernel + gpu.kernel_seconds,
+            kernels_launched: a.launched + gpu.kernels_launched,
+            kernel: st.fleet.device_stats(d).clone(),
+            exchange_sent_bytes: sent_bytes_total[d],
+            exchange_recv_bytes: recv_bytes_total[d],
+            fault: st.faults[d],
+            profile,
+        });
+        let f = &st.faults[d];
+        stats.fault.copy_retries += f.copy_retries;
+        stats.fault.backoff_seconds += f.backoff_seconds;
+        stats.fault.oom_rebatches += f.oom_rebatches;
+        stats.fault.degradations += f.degradations;
+        stats.fault.kernel_retries += f.kernel_retries;
+    }
+    stats.aggregate = st.fleet.aggregate_stats();
+    stats.aggregate.name = st.desc_name.clone();
+
+    Ok(MultiOutput { values, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, CuShaConfig};
+    use cusha_graph::generators::rmat::{rmat, RmatConfig};
+    use cusha_graph::{Edge, VertexId};
+    use cusha_simt::FaultPlan;
+
+    struct MiniSssp {
+        source: VertexId,
+    }
+
+    const INF: u32 = u32::MAX;
+
+    impl VertexProgram for MiniSssp {
+        type V = u32;
+        type E = u32;
+        type SV = u32;
+        const HAS_EDGE_VALUES: bool = true;
+        const HAS_STATIC_VALUES: bool = false;
+
+        fn name(&self) -> &'static str {
+            "mini-sssp"
+        }
+        fn initial_value(&self, v: VertexId) -> u32 {
+            if v == self.source {
+                0
+            } else {
+                INF
+            }
+        }
+        fn edge_value(&self, w: u32) -> u32 {
+            w
+        }
+        fn init_compute(&self, local: &mut u32, global: &u32) {
+            *local = *global;
+        }
+        fn compute(&self, src: &u32, _st: &u32, edge: &u32, local: &mut u32) {
+            if *src != INF {
+                *local = (*local).min(src.saturating_add(*edge));
+            }
+        }
+        fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
+            *local < *old
+        }
+    }
+
+    fn test_graph() -> Graph {
+        rmat(&RmatConfig::graph500(8, 1500, 21))
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn one_device_matches_engine_bit_for_bit_gs() {
+        let g = test_graph();
+        let base = CuShaConfig::gs().with_vertices_per_shard(32);
+        let single = run(&MiniSssp { source: 0 }, &g, &base);
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 1));
+        assert_eq!(single.values, multi.values);
+        let (s, m) = (&single.stats, &multi.stats);
+        assert_eq!(s.iterations, m.iterations);
+        assert_eq!(m.exchange_bytes, 0);
+        assert_eq!(m.exchange_seconds, 0.0);
+        // Same upload/launch/readback schedule -> same modeled time.
+        assert!(
+            close(s.h2d_seconds, m.setup_seconds),
+            "{} vs {}",
+            s.h2d_seconds,
+            m.setup_seconds
+        );
+        assert!(
+            close(s.compute_seconds, m.compute_seconds),
+            "{} vs {}",
+            s.compute_seconds,
+            m.compute_seconds
+        );
+        assert!(close(s.d2h_seconds, m.teardown_seconds));
+        assert!(close(s.total_seconds(), m.modeled_seconds()));
+    }
+
+    #[test]
+    fn one_device_matches_engine_bit_for_bit_cw() {
+        let g = test_graph();
+        let base = CuShaConfig::cw().with_vertices_per_shard(32);
+        let single = run(&MiniSssp { source: 0 }, &g, &base);
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 1));
+        assert_eq!(single.values, multi.values);
+        assert!(close(
+            single.stats.total_seconds(),
+            multi.stats.modeled_seconds()
+        ));
+    }
+
+    #[test]
+    fn multi_device_output_is_bit_identical() {
+        let g = test_graph();
+        for repr_cfg in [CuShaConfig::gs(), CuShaConfig::cw()] {
+            let base = repr_cfg.with_vertices_per_shard(32);
+            let single = run(&MiniSssp { source: 0 }, &g, &base);
+            for devices in [2, 3, 4] {
+                let multi = run_multi(
+                    &MiniSssp { source: 0 },
+                    &g,
+                    &MultiConfig::new(base.clone(), devices),
+                );
+                assert_eq!(
+                    single.values,
+                    multi.values,
+                    "{} x{devices} diverged",
+                    base.repr.label()
+                );
+                assert_eq!(single.stats.iterations, multi.stats.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_device_exchanges_halo_bytes() {
+        let g = test_graph();
+        let base = CuShaConfig::cw().with_vertices_per_shard(32);
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 4));
+        assert!(multi.stats.exchange_bytes > 0);
+        assert!(multi.stats.exchange_seconds > 0.0);
+        let sent: u64 = multi
+            .stats
+            .per_device
+            .iter()
+            .map(|d| d.exchange_sent_bytes)
+            .sum();
+        let recv: u64 = multi
+            .stats
+            .per_device
+            .iter()
+            .map(|d| d.exchange_recv_bytes)
+            .sum();
+        assert_eq!(sent, multi.stats.exchange_bytes);
+        assert!(recv > 0);
+        assert!(multi.stats.load_imbalance >= 1.0);
+    }
+
+    #[test]
+    fn nvlink_exchanges_faster_than_pcie() {
+        let g = test_graph();
+        let base = CuShaConfig::gs().with_vertices_per_shard(32);
+        let pcie = run_multi(
+            &MiniSssp { source: 0 },
+            &g,
+            &MultiConfig::new(base.clone(), 4),
+        );
+        let nv = run_multi(
+            &MiniSssp { source: 0 },
+            &g,
+            &MultiConfig::new(base, 4).with_interconnect(Interconnect::nvlink()),
+        );
+        assert_eq!(pcie.values, nv.values);
+        assert_eq!(pcie.stats.exchange_bytes, nv.stats.exchange_bytes);
+        assert!(nv.stats.exchange_seconds < pcie.stats.exchange_seconds);
+    }
+
+    #[test]
+    fn more_devices_than_shards_leaves_spares_idle() {
+        // 3 vertices at 2 per shard -> 2 shards, 4 devices.
+        let g = Graph::new(
+            3,
+            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(0, 2, 5)],
+        );
+        let base = CuShaConfig::gs().with_vertices_per_shard(2);
+        let single = run(&MiniSssp { source: 0 }, &g, &base);
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 4));
+        assert_eq!(single.values, multi.values);
+        let idle = multi
+            .stats
+            .per_device
+            .iter()
+            .filter(|d| d.mode == "idle")
+            .count();
+        assert_eq!(idle, 2);
+        for d in &multi.stats.per_device {
+            if d.mode == "idle" {
+                assert_eq!(d.kernels_launched, 0);
+                assert_eq!(d.exchange_sent_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_converges_immediately() {
+        let g = Graph::empty(8);
+        let base = CuShaConfig::cw().with_vertices_per_shard(4);
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 2));
+        assert!(multi.stats.converged);
+        assert_eq!(multi.stats.iterations, 1);
+        assert_eq!(multi.stats.exchange_bytes, 0);
+        assert_eq!(multi.values[0], 0);
+        assert!(multi.values[1..].iter().all(|&v| v == INF));
+    }
+
+    #[test]
+    fn kernel_fault_on_one_device_degrades_it_not_the_fleet() {
+        let g = test_graph();
+        let base = CuShaConfig::gs().with_vertices_per_shard(32);
+        let single = run(&MiniSssp { source: 0 }, &g, &base);
+        // Two faults on device 1: the in-place retry is exhausted and the
+        // device degrades to the host path.
+        let cfg = MultiConfig::new(base, 3)
+            .with_device_fault_plan(1, FaultPlan::new().fail_kernel_at(&[1, 2]));
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &cfg);
+        assert_eq!(
+            single.values, multi.values,
+            "fault recovery broke bit-identity"
+        );
+        assert_eq!(multi.stats.per_device[1].mode, FALLBACK_LABEL);
+        assert_eq!(multi.stats.per_device[1].fault.kernel_retries, 1);
+        assert_eq!(multi.stats.per_device[1].fault.degradations, 1);
+        assert_eq!(multi.stats.per_device[0].mode, "resident");
+        assert_eq!(multi.stats.per_device[2].mode, "resident");
+        assert!(multi.stats.fault.degradations == 1);
+    }
+
+    #[test]
+    fn transient_copy_fault_is_retried() {
+        let g = test_graph();
+        let base = CuShaConfig::gs().with_vertices_per_shard(32);
+        let single = run(&MiniSssp { source: 0 }, &g, &base);
+        let cfg =
+            MultiConfig::new(base, 2).with_device_fault_plan(0, FaultPlan::new().fail_h2d_at(&[3]));
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &cfg);
+        assert_eq!(single.values, multi.values);
+        assert_eq!(multi.stats.per_device[0].fault.copy_retries, 1);
+        assert!(multi.stats.fault.backoff_seconds > 0.0);
+        assert_eq!(multi.stats.per_device[0].mode, "resident");
+    }
+
+    #[test]
+    fn alloc_fault_rebatches_without_breaking_identity() {
+        let g = test_graph();
+        let base = CuShaConfig::gs().with_vertices_per_shard(32);
+        let single = run(&MiniSssp { source: 0 }, &g, &base);
+        let cfg = MultiConfig::new(base, 2)
+            .with_device_fault_plan(1, FaultPlan::new().fail_alloc_at(&[4]));
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &cfg);
+        assert_eq!(single.values, multi.values, "rebatching broke bit-identity");
+        assert_eq!(multi.stats.per_device[1].mode, "rebatched");
+        assert!(multi.stats.per_device[1].fault.oom_rebatches >= 1);
+        assert_eq!(multi.stats.per_device[0].mode, "resident");
+    }
+
+    #[test]
+    fn base_fault_plan_lands_on_device_zero() {
+        let g = test_graph();
+        let base = CuShaConfig::gs()
+            .with_vertices_per_shard(32)
+            .with_fault_plan(FaultPlan::new().fail_h2d_at(&[1]));
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 2));
+        assert_eq!(multi.stats.per_device[0].fault.copy_retries, 1);
+        assert_eq!(multi.stats.per_device[1].fault.copy_retries, 0);
+    }
+
+    #[test]
+    fn aggregate_equals_sum_of_devices() {
+        let g = test_graph();
+        let base = CuShaConfig::cw().with_vertices_per_shard(32);
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 3));
+        let s = &multi.stats;
+        assert_eq!(s.per_device.len(), 3);
+        let blocks: u32 = s.per_device.iter().map(|d| d.kernel.blocks).sum();
+        assert_eq!(s.aggregate.blocks, blocks);
+        let wi: u64 = s
+            .per_device
+            .iter()
+            .map(|d| d.kernel.counters.warp_instructions)
+            .sum();
+        assert_eq!(s.aggregate.counters.warp_instructions, wi);
+        let secs: f64 = s.per_device.iter().map(|d| d.kernel.seconds).sum();
+        assert!(close(s.aggregate.seconds, secs));
+        // Per-iteration compute is the slowest device, so overlapped time
+        // is below the serial sum.
+        let serial: f64 = s.per_device.iter().map(|d| d.kernel_seconds).sum();
+        assert!(s.compute_seconds < serial + s.setup_seconds + 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let g = test_graph();
+        let base = CuShaConfig::gs().with_vertices_per_shard(32);
+        let zero = MultiConfig {
+            devices: 0,
+            ..MultiConfig::new(base.clone(), 1)
+        };
+        assert!(matches!(
+            try_run_multi(&MiniSssp { source: 0 }, &g, &zero),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        let overfull = MultiConfig::new(base, 2).with_device_fault_plan(5, FaultPlan::new());
+        assert!(matches!(
+            try_run_multi(&MiniSssp { source: 0 }, &g, &overfull),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn non_converged_carries_flattened_partial() {
+        let g = test_graph();
+        let mut base = CuShaConfig::gs().with_vertices_per_shard(32);
+        base.max_iterations = 1;
+        let err =
+            try_run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 2)).unwrap_err();
+        match err {
+            EngineError::NonConverged { partial } => {
+                assert_eq!(partial.stats.iterations, 1);
+                assert!(!partial.stats.converged);
+                assert!(partial.stats.compute_seconds > 0.0);
+            }
+            other => panic!("expected NonConverged, got {other}"),
+        }
+    }
+}

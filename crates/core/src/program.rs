@@ -63,7 +63,10 @@ impl Value for (f32, f32) {
         ((f32::to_bits(self.0) as u64) << 32) | f32::to_bits(self.1) as u64
     }
     fn from_bits(bits: u64) -> Self {
-        (f32::from_bits((bits >> 32) as u32), f32::from_bits(bits as u32))
+        (
+            f32::from_bits((bits >> 32) as u32),
+            f32::from_bits(bits as u32),
+        )
     }
 }
 
@@ -126,7 +129,10 @@ pub trait VertexProgram: Sync {
     /// degree for stability on power-law graphs) override this. All engines
     /// source edge values from here.
     fn edge_values(&self, g: &Graph) -> Vec<Self::E> {
-        g.edges().iter().map(|e| self.edge_value(e.weight)).collect()
+        g.edges()
+            .iter()
+            .map(|e| self.edge_value(e.weight))
+            .collect()
     }
 
     /// Stage-1 hook: initialize the shared-memory copy from the global one.
@@ -134,7 +140,13 @@ pub trait VertexProgram: Sync {
 
     /// Stage-2 hook: fold one incoming edge into the destination's local
     /// value. Must be commutative + associative across a vertex's edges.
-    fn compute(&self, src: &Self::V, src_static: &Self::SV, edge: &Self::E, local_dst: &mut Self::V);
+    fn compute(
+        &self,
+        src: &Self::V,
+        src_static: &Self::SV,
+        edge: &Self::E,
+        local_dst: &mut Self::V,
+    );
 
     /// Stage-3 hook: finalize `local` (may mutate) and decide whether it
     /// changed enough to publish and iterate again.
@@ -149,7 +161,10 @@ mod tests {
     fn bit_round_trips() {
         assert_eq!(u32::from_bits(12345u32.to_bits()), 12345);
         assert_eq!(f32::from_bits((-1.5f32).to_bits()), -1.5);
-        assert_eq!(<(f32, f32)>::from_bits((1.25f32, -3.5f32).to_bits()), (1.25, -3.5));
+        assert_eq!(
+            <(f32, f32)>::from_bits((1.25f32, -3.5f32).to_bits()),
+            (1.25, -3.5)
+        );
         assert_eq!(<(u32, u32)>::from_bits((7u32, 9u32).to_bits()), (7, 9));
         assert_eq!(f64::from_bits(2.5f64.to_bits()), 2.5);
         assert_eq!(u64::from_bits(u64::MAX.to_bits()), u64::MAX);

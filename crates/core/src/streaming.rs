@@ -52,9 +52,7 @@ use crate::program::{Value, VertexProgram};
 use crate::shards::GShards;
 use crate::stats::{FaultStats, IterationStat, RunStats};
 use cusha_graph::Graph;
-use cusha_simt::{
-    aligned_chunks, DevVec, DeviceFault, Gpu, KernelDesc, Mask, Pod, WARP,
-};
+use cusha_simt::{aligned_chunks, DevVec, DeviceFault, Gpu, KernelDesc, Mask, Pod, WARP};
 use std::collections::HashSet;
 
 /// Configuration of the streamed engine.
@@ -152,9 +150,7 @@ enum AttemptError {
     /// A device fault escaped the in-attempt retries.
     Fault(DeviceFault),
     /// The watchdog saw the value vector revisit an earlier state.
-    Watchdog {
-        iterations: u32,
-    },
+    Watchdog { iterations: u32 },
 }
 
 impl From<DeviceFault> for AttemptError {
@@ -180,8 +176,7 @@ fn with_copy_retries<T>(
                     return Err(f);
                 }
                 fault.copy_retries += 1;
-                fault.backoff_seconds +=
-                    cfg.backoff_base_seconds * (1u64 << attempt) as f64;
+                fault.backoff_seconds += cfg.backoff_base_seconds * (1u64 << attempt) as f64;
                 attempt += 1;
             }
             Err(f) => return Err(f),
@@ -242,7 +237,9 @@ pub fn try_run_streamed<P: VertexProgram>(
                 return if out.stats.converged {
                     Ok(out)
                 } else {
-                    Err(EngineError::NonConverged { partial: Box::new(out) })
+                    Err(EngineError::NonConverged {
+                        partial: Box::new(out),
+                    })
                 };
             }
             Err(AttemptError::Watchdog { iterations }) => {
@@ -254,7 +251,10 @@ pub fn try_run_streamed<P: VertexProgram>(
                 ..
             })) => {
                 if fault.oom_rebatches >= cfg.max_rebatches {
-                    return Err(EngineError::DeviceOom { requested_bytes, capacity_bytes });
+                    return Err(EngineError::DeviceOom {
+                        requested_bytes,
+                        capacity_bytes,
+                    });
                 }
                 fault.oom_rebatches += 1;
                 resident = (resident / 2).max(1);
@@ -323,13 +323,17 @@ fn stream_attempt<P: VertexProgram>(
     let cw = matches!(repr, Repr::ConcatWindows).then(|| ConcatWindows::from_gshards(&gs));
 
     // ---- Host master copies of the per-entry arrays ------------------------
-    let init: Vec<P::V> =
-        (0..graph.num_vertices()).map(|v| prog.initial_value(v)).collect();
+    let init: Vec<P::V> = (0..graph.num_vertices())
+        .map(|v| prog.initial_value(v))
+        .collect();
     let mut master_src_value: Vec<P::V> =
         gs.src_index().iter().map(|&s| init[s as usize]).collect();
     let master_static: Option<Vec<P::SV>> = P::HAS_STATIC_VALUES.then(|| {
         let per_vertex = prog.static_values(graph);
-        gs.src_index().iter().map(|&s| per_vertex[s as usize]).collect()
+        gs.src_index()
+            .iter()
+            .map(|&s| per_vertex[s as usize])
+            .collect()
     });
     let master_edges: Option<Vec<P::E>> = P::HAS_EDGE_VALUES.then(|| {
         let by_id = prog.edge_values(graph);
@@ -337,10 +341,8 @@ fn stream_attempt<P: VertexProgram>(
     });
 
     // Resident state: vertex values + convergence flag.
-    let mut vertex_values =
-        with_copy_retries(gpu, cfg, fault, |g| g.try_upload(&init))?;
-    let mut converged_flag =
-        with_copy_retries(gpu, cfg, fault, |g| g.try_upload(&[1u32]))?;
+    let mut vertex_values = with_copy_retries(gpu, cfg, fault, |g| g.try_upload(&init))?;
+    let mut converged_flag = with_copy_retries(gpu, cfg, fault, |g| g.try_upload(&[1u32]))?;
     let h2d_resident = gpu.h2d_seconds;
 
     let per_entry = entry_bytes::<P>(repr);
@@ -485,31 +487,23 @@ fn stream_attempt<P: VertexProgram>(
                 // Stage 4: resident targets via device stores; non-resident
                 // targets land in the host master (counted as PCIe bytes).
                 if block_updated {
-                    let mut write =
-                        |b: &mut cusha_simt::Block<'_>,
-                         local: &cusha_simt::SharedVec<P::V>,
-                         abs_pos: [usize; WARP],
-                         sidx: [u32; WARP],
-                         mask: Mask| {
-                            let loc =
-                                b.sload(local, mask, |l| sidx[l] as usize - offset);
-                            let resident =
-                                mask.and(Mask::from_fn(|l| er_all.contains(&abs_pos[l])));
-                            if !resident.is_empty() {
-                                b.gstore(
-                                    &mut src_value,
-                                    resident,
-                                    |l| abs_pos[l] - lo,
-                                    |l| loc[l],
-                                );
+                    let mut write = |b: &mut cusha_simt::Block<'_>,
+                                     local: &cusha_simt::SharedVec<P::V>,
+                                     abs_pos: [usize; WARP],
+                                     sidx: [u32; WARP],
+                                     mask: Mask| {
+                        let loc = b.sload(local, mask, |l| sidx[l] as usize - offset);
+                        let resident = mask.and(Mask::from_fn(|l| er_all.contains(&abs_pos[l])));
+                        if !resident.is_empty() {
+                            b.gstore(&mut src_value, resident, |l| abs_pos[l] - lo, |l| loc[l]);
+                        }
+                        for l in mask.iter() {
+                            if !er_all.contains(&abs_pos[l]) {
+                                master_src_value[abs_pos[l]] = loc[l];
+                                host_writes += <P::V as Pod>::SIZE as u64;
                             }
-                            for l in mask.iter() {
-                                if !er_all.contains(&abs_pos[l]) {
-                                    master_src_value[abs_pos[l]] = loc[l];
-                                    host_writes += <P::V as Pod>::SIZE as u64;
-                                }
-                            }
-                        };
+                        }
+                    };
                     match &cw {
                         None => {
                             for j in 0..p {
@@ -521,8 +515,8 @@ fn stream_attempt<P: VertexProgram>(
                                     // resident buffer when possible.
                                     let mut sidx = [0u32; WARP];
                                     let mut abs = [0usize; WARP];
-                                    let res_mask = mask
-                                        .and(Mask::from_fn(|l| er_all.contains(&(abase + l))));
+                                    let res_mask =
+                                        mask.and(Mask::from_fn(|l| er_all.contains(&(abase + l))));
                                     let loaded = if !res_mask.is_empty() {
                                         b.gload(&src_index, res_mask, |l| abase + l - lo)
                                     } else {
@@ -544,13 +538,10 @@ fn stream_attempt<P: VertexProgram>(
                             let r = cw.cw_entries(s);
                             let cw_lo = mapper_buf.as_ref().unwrap().1;
                             for (abase, mask) in aligned_chunks(r) {
-                                let sidx =
-                                    b.gload(&src_index, mask, |l| abase + l - cw_lo);
-                                let map = b.gload(
-                                    &mapper_buf.as_ref().unwrap().0,
-                                    mask,
-                                    |l| abase + l - cw_lo,
-                                );
+                                let sidx = b.gload(&src_index, mask, |l| abase + l - cw_lo);
+                                let map = b.gload(&mapper_buf.as_ref().unwrap().0, mask, |l| {
+                                    abase + l - cw_lo
+                                });
                                 let mut abs = [0usize; WARP];
                                 for l in mask.iter() {
                                     abs[l] = map[l] as usize;
@@ -584,8 +575,7 @@ fn stream_attempt<P: VertexProgram>(
             total.kernel.threads_per_block = kstats.threads_per_block;
 
             // ---- Write the batch's SrcValue back to the host master. ------
-            let batch_values =
-                with_copy_retries(gpu, cfg, fault, |g| g.try_download(&src_value))?;
+            let batch_values = with_copy_retries(gpu, cfg, fault, |g| g.try_download(&src_value))?;
             master_src_value[er_all].copy_from_slice(&batch_values);
             extra_transfer_seconds += base.device.transfer_seconds(host_writes);
         }
@@ -608,8 +598,9 @@ fn stream_attempt<P: VertexProgram>(
             seconds: iter_seconds,
             updated_vertices: updated_this_iter,
         });
-        if with_copy_retries(gpu, cfg, fault, |g| g.try_download_scalar(&converged_flag, 0))?
-            == 1
+        if with_copy_retries(gpu, cfg, fault, |g| {
+            g.try_download_scalar(&converged_flag, 0)
+        })? == 1
         {
             converged = true;
             break;
@@ -619,7 +610,9 @@ fn stream_attempt<P: VertexProgram>(
                 let snapshot =
                     with_copy_retries(gpu, cfg, fault, |g| g.try_download(&vertex_values))?;
                 if !watchdog_seen.insert(fingerprint(&snapshot)) {
-                    return Err(AttemptError::Watchdog { iterations: total.iterations });
+                    return Err(AttemptError::Watchdog {
+                        iterations: total.iterations,
+                    });
                 }
             }
         }
@@ -630,10 +623,13 @@ fn stream_attempt<P: VertexProgram>(
     total.kernel.name = format!("{}-streamed::{}", repr.label(), prog.name());
     total.h2d_seconds = h2d_resident;
     total.compute_seconds = kernel_seconds_pipelined + extra_transfer_seconds;
-    total.d2h_seconds = base.device.transfer_seconds(
-        graph.num_vertices() as u64 * <P::V as Pod>::SIZE as u64,
-    );
-    Ok(CuShaOutput { values, stats: total })
+    total.d2h_seconds = base
+        .device
+        .transfer_seconds(graph.num_vertices() as u64 * <P::V as Pod>::SIZE as u64);
+    Ok(CuShaOutput {
+        values,
+        stats: total,
+    })
 }
 
 /// FNV-1a over the value vector's bit patterns (watchdog fingerprint).
@@ -760,8 +756,7 @@ mod tests {
         let prog = MiniSssp { source: 0 };
         let base = CuShaConfig::cw().with_vertices_per_shard(32);
         let in_core = run(&prog, &g, &base);
-        let streamed =
-            run_streamed(&prog, &g, &StreamingConfig::new(base, u64::MAX));
+        let streamed = run_streamed(&prog, &g, &StreamingConfig::new(base, u64::MAX));
         assert_eq!(streamed.values, in_core.values);
         assert_eq!(streamed.stats.iterations, in_core.stats.iterations);
     }
@@ -787,14 +782,10 @@ mod tests {
 
     #[test]
     fn works_on_a_chain_crossing_batches() {
-        let g = cusha_graph::Graph::new(
-            120,
-            (0..119).map(|v| Edge::new(v, v + 1, 1)).collect(),
-        );
+        let g = cusha_graph::Graph::new(120, (0..119).map(|v| Edge::new(v, v + 1, 1)).collect());
         let prog = MiniSssp { source: 0 };
         let base = CuShaConfig::gs().with_vertices_per_shard(8);
-        let streamed =
-            run_streamed(&prog, &g, &StreamingConfig::new(base, 1024));
+        let streamed = run_streamed(&prog, &g, &StreamingConfig::new(base, 1024));
         for (v, &d) in streamed.values.iter().enumerate() {
             assert_eq!(d, v as u32);
         }

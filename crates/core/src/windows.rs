@@ -39,7 +39,11 @@ impl WindowHistogram {
         } else {
             sum as f64 / total_windows as f64
         };
-        WindowHistogram { counts, total_windows, mean }
+        WindowHistogram {
+            counts,
+            total_windows,
+            mean,
+        }
     }
 
     /// Fraction of windows with size `<= s`.

@@ -69,7 +69,12 @@ impl GraphBuilder {
 
     /// Finalizes the graph, applying the configured cleanup passes.
     pub fn build(self) -> Graph {
-        let GraphBuilder { mut edges, min_vertices, drop_self_loops, dedup } = self;
+        let GraphBuilder {
+            mut edges,
+            min_vertices,
+            drop_self_loops,
+            dedup,
+        } = self;
         if drop_self_loops {
             edges.retain(|e| e.src != e.dst);
         }
@@ -123,7 +128,10 @@ mod tests {
     #[test]
     fn dedup_keeps_min_weight() {
         let mut b = GraphBuilder::new().dedup_parallel(true);
-        b.add_edge(0, 1, 7).add_edge(0, 1, 3).add_edge(0, 1, 9).add_edge(1, 0, 4);
+        b.add_edge(0, 1, 7)
+            .add_edge(0, 1, 3)
+            .add_edge(0, 1, 9)
+            .add_edge(1, 0, 4);
         let g = b.build();
         assert_eq!(g.num_edges(), 2);
         assert!(g.edges().contains(&Edge::new(0, 1, 3)));

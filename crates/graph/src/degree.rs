@@ -47,7 +47,12 @@ impl DegreeDistribution {
             degrees.iter().map(|&d| d as f64).sum::<f64>() / degrees.len() as f64
         };
         let isolated = counts[0];
-        DegreeDistribution { counts, max_degree, mean, isolated }
+        DegreeDistribution {
+            counts,
+            max_degree,
+            mean,
+            isolated,
+        }
     }
 
     /// Log₂-binned view: bin `k` covers degrees `[2^k, 2^(k+1))`, bin for
@@ -77,7 +82,9 @@ impl DegreeDistribution {
         if total == 0 {
             return 0.0;
         }
-        let ge: u64 = self.counts[(d as usize).min(self.counts.len())..].iter().sum();
+        let ge: u64 = self.counts[(d as usize).min(self.counts.len())..]
+            .iter()
+            .sum();
         ge as f64 / total as f64
     }
 
@@ -156,10 +163,7 @@ mod tests {
         let hubby = DegreeDistribution::of(&star(1000), Direction::In);
         assert!(hubby.skew() > 100.0, "star should be extremely skewed");
         // A ring has uniform degree 1 => skew 1.
-        let ring = Graph::new(
-            8,
-            (0..8).map(|v| Edge::new(v, (v + 1) % 8, 1)).collect(),
-        );
+        let ring = Graph::new(8, (0..8).map(|v| Edge::new(v, (v + 1) % 8, 1)).collect());
         let flat = DegreeDistribution::of(&ring, Direction::In);
         assert!((flat.skew() - 1.0).abs() < 1e-9);
     }

@@ -46,6 +46,10 @@ mod tests {
         let g = erdos_renyi(2000, 20000, 5);
         let d = DegreeDistribution::of(&g, Direction::In);
         // Poisson(10): 99.9th percentile around 21-22, skew ~2.2, never >4.
-        assert!(d.skew() < 4.0, "ER degrees should be near-uniform, skew={}", d.skew());
+        assert!(
+            d.skew() < 4.0,
+            "ER degrees should be near-uniform, skew={}",
+            d.skew()
+        );
     }
 }

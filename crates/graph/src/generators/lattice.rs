@@ -85,7 +85,11 @@ mod tests {
     fn degree_distribution_is_uniform() {
         let g = lattice2d(50, 50, 0.85, 100, 2);
         let d = DegreeDistribution::of(&g, Direction::In);
-        assert!(d.max_degree <= 8, "lattice in-degree bounded, got {}", d.max_degree);
+        assert!(
+            d.max_degree <= 8,
+            "lattice in-degree bounded, got {}",
+            d.max_degree
+        );
         assert!(d.skew() < 3.0);
     }
 

@@ -82,8 +82,7 @@ mod tests {
         let g = barabasi_albert(300, 5, 12);
         assert!(g.edges().iter().all(|e| e.src != e.dst));
         // Per arriving vertex, targets are distinct.
-        let mut by_src: std::collections::HashMap<u32, Vec<u32>> =
-            std::collections::HashMap::new();
+        let mut by_src: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
         for e in g.edges() {
             by_src.entry(e.src).or_default().push(e.dst);
         }

@@ -54,11 +54,21 @@ impl RmatConfig {
 
     /// Milder skew, closer to co-purchase networks such as Amazon0312.
     pub fn mild(scale: u32, edges: u64, seed: u64) -> Self {
-        RmatConfig { a: 0.45, b: 0.22, c: 0.22, d: 0.11, ..Self::graph500(scale, edges, seed) }
+        RmatConfig {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+            ..Self::graph500(scale, edges, seed)
+        }
     }
 
     fn validate(&self) {
-        assert!(self.scale <= 31, "scale {} too large for u32 ids", self.scale);
+        assert!(
+            self.scale <= 31,
+            "scale {} too large for u32 ids",
+            self.scale
+        );
         let sum = self.a + self.b + self.c + self.d;
         assert!(
             (sum - 1.0).abs() < 1e-9,
@@ -173,6 +183,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_probabilities() {
-        rmat(&RmatConfig { a: 0.5, b: 0.5, c: 0.5, d: 0.5, ..RmatConfig::graph500(4, 8, 0) });
+        rmat(&RmatConfig {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+            ..RmatConfig::graph500(4, 8, 0)
+        });
     }
 }

@@ -55,18 +55,16 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
         }
         let mut it = trimmed.split_whitespace();
         let parse = |tok: Option<&str>, what: &str| -> Result<u32, IoError> {
-            tok.ok_or_else(|| {
-                IoError::Parse(format!("line {}: missing {what}", lineno + 1))
-            })?
-            .parse::<u32>()
-            .map_err(|e| IoError::Parse(format!("line {}: bad {what}: {e}", lineno + 1)))
+            tok.ok_or_else(|| IoError::Parse(format!("line {}: missing {what}", lineno + 1)))?
+                .parse::<u32>()
+                .map_err(|e| IoError::Parse(format!("line {}: bad {what}: {e}", lineno + 1)))
         };
         let src = parse(it.next(), "source")?;
         let dst = parse(it.next(), "destination")?;
         let weight = match it.next() {
-            Some(tok) => tok.parse::<u32>().map_err(|e| {
-                IoError::Parse(format!("line {}: bad weight: {e}", lineno + 1))
-            })?,
+            Some(tok) => tok
+                .parse::<u32>()
+                .map_err(|e| IoError::Parse(format!("line {}: bad weight: {e}", lineno + 1)))?,
             None => 1,
         };
         if it.next().is_some() {
@@ -83,7 +81,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
 /// Writes a text edge list (with weights) to a writer.
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# cusha edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# cusha edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
     }
@@ -156,9 +159,8 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, IoError> {
     let mut edges = Vec::with_capacity((m as usize).min(MAX_TRUSTED_CAPACITY));
     for i in 0..m {
         let mut record = [0u8; EDGE_RECORD_BYTES];
-        r.read_exact(&mut record).map_err(|e| {
-            truncated(&format!("edge #{i} of {m} claimed by the header"), e)
-        })?;
+        r.read_exact(&mut record)
+            .map_err(|e| truncated(&format!("edge #{i} of {m} claimed by the header"), e))?;
         let word = |k: usize| u32::from_le_bytes(record[4 * k..4 * k + 4].try_into().unwrap());
         let (src, dst, weight) = (word(0), word(1), word(2));
         if src >= n || dst >= n {

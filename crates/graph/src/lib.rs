@@ -13,6 +13,8 @@
 //! * [`generators`] — RMAT, Erdős–Rényi and geometric-lattice generators,
 //! * [`surrogates`] — synthetic stand-ins for the six SNAP datasets of
 //!   Table 1 (see DESIGN.md for the substitution rationale),
+//! * [`partition`] — edge-balanced fleet partitioning with per-device halo
+//!   sets, feeding the engine's multi-GPU mode,
 //! * [`degree`] — degree-distribution analysis used by Figure 1,
 //! * [`io`] — text edge-list and compact binary de/serialization,
 //! * [`analysis`] — structural utilities (union-find components, etc.).
@@ -23,10 +25,12 @@ pub mod csr;
 pub mod degree;
 pub mod generators;
 pub mod io;
+pub mod partition;
 pub mod reorder;
 pub mod surrogates;
 pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use partition::{edge_balanced_ranges, DevicePartition, FleetPartition};
 pub use types::{Edge, EdgeId, Graph, GraphError, VertexId};

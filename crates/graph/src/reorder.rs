@@ -99,9 +99,8 @@ mod tests {
 
     fn is_permutation(perm: &[u32]) -> bool {
         let mut seen = vec![false; perm.len()];
-        perm.iter().all(|&p| {
-            (p as usize) < perm.len() && !std::mem::replace(&mut seen[p as usize], true)
-        })
+        perm.iter()
+            .all(|&p| (p as usize) < perm.len() && !std::mem::replace(&mut seen[p as usize], true))
     }
 
     #[test]
@@ -134,7 +133,10 @@ mod tests {
         // Total degree is non-increasing-ish: the top id has the max.
         let total: Vec<u64> = {
             let out = relabeled.out_degrees();
-            d.iter().zip(out).map(|(&i, o)| i as u64 + o as u64).collect()
+            d.iter()
+                .zip(out)
+                .map(|(&i, o)| i as u64 + o as u64)
+                .collect()
         };
         let max = *total.iter().max().unwrap();
         assert_eq!(total[0], max);

@@ -84,7 +84,10 @@ impl Dataset {
         assert!(scale_divisor > 0, "scale divisor must be positive");
         let (_, v) = self.paper_size();
         let target_v = v / scale_divisor;
-        assert!(target_v >= 2, "scale divisor {scale_divisor} leaves no graph");
+        assert!(
+            target_v >= 2,
+            "scale divisor {scale_divisor} leaves no graph"
+        );
         let ratio = self.sparsity();
         let seed = 0xC0_5A + self as u64; // stable per-dataset seed
         match self {

@@ -57,7 +57,11 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::EdgeOutOfRange { index, edge, num_vertices } => write!(
+            GraphError::EdgeOutOfRange {
+                index,
+                edge,
+                num_vertices,
+            } => write!(
                 f,
                 "edge #{index} ({} -> {}) out of range for {num_vertices} vertices",
                 edge.src, edge.dst
@@ -93,7 +97,11 @@ fn check_parts(num_vertices: u32, edges: &[Edge]) -> Result<(), GraphError> {
     }
     for (index, e) in edges.iter().enumerate() {
         if e.src >= num_vertices || e.dst >= num_vertices {
-            return Err(GraphError::EdgeOutOfRange { index, edge: *e, num_vertices });
+            return Err(GraphError::EdgeOutOfRange {
+                index,
+                edge: *e,
+                num_vertices,
+            });
         }
     }
     Ok(())
@@ -113,7 +121,10 @@ impl Graph {
     /// instead of panicking.
     pub fn try_new(num_vertices: u32, edges: Vec<Edge>) -> Result<Self, GraphError> {
         check_parts(num_vertices, &edges)?;
-        Ok(Graph { num_vertices, edges })
+        Ok(Graph {
+            num_vertices,
+            edges,
+        })
     }
 
     /// Re-checks the graph's invariants (endpoints in range, edge count
@@ -126,7 +137,10 @@ impl Graph {
 
     /// An empty graph over `num_vertices` isolated vertices.
     pub fn empty(num_vertices: u32) -> Self {
-        Graph { num_vertices, edges: Vec::new() }
+        Graph {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices, `|V|`.
@@ -194,7 +208,10 @@ impl Graph {
             .iter()
             .map(|e| Edge::new(e.dst, e.src, e.weight))
             .collect();
-        Graph { num_vertices: self.num_vertices, edges }
+        Graph {
+            num_vertices: self.num_vertices,
+            edges,
+        }
     }
 
     /// Returns a copy with vertex ids renamed through `perm` (vertex `v`
@@ -216,7 +233,10 @@ impl Graph {
             .iter()
             .map(|e| Edge::new(perm[e.src as usize], perm[e.dst as usize], e.weight))
             .collect();
-        Graph { num_vertices: self.num_vertices, edges }
+        Graph {
+            num_vertices: self.num_vertices,
+            edges,
+        }
     }
 
     /// Returns a copy where for every edge `u -> v` the edge `v -> u` is also
@@ -230,7 +250,10 @@ impl Graph {
                 edges.push(Edge::new(e.dst, e.src, e.weight));
             }
         }
-        Graph { num_vertices: self.num_vertices, edges }
+        Graph {
+            num_vertices: self.num_vertices,
+            edges,
+        }
     }
 }
 
@@ -269,8 +292,7 @@ mod tests {
 
     #[test]
     fn try_new_reports_the_offending_edge() {
-        let err = Graph::try_new(2, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)])
-            .unwrap_err();
+        let err = Graph::try_new(2, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)]).unwrap_err();
         assert_eq!(
             err,
             GraphError::EdgeOutOfRange {
@@ -312,7 +334,10 @@ mod tests {
         assert_eq!(g.num_edges(), 5);
         assert!(g.edges().contains(&Edge::new(2, 1, 3)));
         assert_eq!(
-            g.edges().iter().filter(|e| e.src == 3 && e.dst == 3).count(),
+            g.edges()
+                .iter()
+                .filter(|e| e.src == 3 && e.dst == 3)
+                .count(),
             1
         );
     }

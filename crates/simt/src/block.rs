@@ -318,7 +318,12 @@ mod tests {
         let mut sh = b.shared_alloc::<u32>(1);
         // min-style update: final value is the min over lanes.
         sh.set(0, 100);
-        b.supdate(&mut sh, Mask::FULL, |_| 0, |l, v| *v = (*v).min(31 - l as u32));
+        b.supdate(
+            &mut sh,
+            Mask::FULL,
+            |_| 0,
+            |l, v| *v = (*v).min(31 - l as u32),
+        );
         assert_eq!(sh.host()[0], 0);
     }
 
@@ -339,9 +344,7 @@ mod tests {
         let _a = b.shared_alloc::<u32>(128); // 512 B
         assert_eq!(b.shared_used(), 512);
         let _b = b.shared_alloc::<u32>(128); // 1024 B: exactly at limit
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            b.shared_alloc::<u32>(1)
-        }));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.shared_alloc::<u32>(1)));
         assert!(r.is_err(), "over-allocation must panic");
     }
 

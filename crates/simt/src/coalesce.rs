@@ -58,7 +58,11 @@ pub fn coalesce(
     let secs = &mut secs[..nsecs];
     secs.sort_unstable();
     let sectors = count_distinct(secs);
-    Coalesced { segments, sectors, requested_bytes: requested }
+    Coalesced {
+        segments,
+        sectors,
+        requested_bytes: requested,
+    }
 }
 
 fn count_distinct(sorted: &[u64]) -> u32 {
@@ -78,11 +82,7 @@ fn count_distinct(sorted: &[u64]) -> u32 {
 /// (same-address lanes broadcast and do not conflict). The returned value is
 /// the number of replays, i.e. `max_per_bank_distinct_addresses - 1`
 /// (0 for a conflict-free access).
-pub fn bank_conflicts(
-    addrs: &[Option<u64>; WARP],
-    banks: u32,
-    bank_width: u32,
-) -> u32 {
+pub fn bank_conflicts(addrs: &[Option<u64>; WARP], banks: u32, bank_width: u32) -> u32 {
     // For each bank, collect the distinct word addresses accessed.
     let mut words = [(u64::MAX, 0u32); WARP];
     let mut n = 0;
@@ -102,7 +102,12 @@ pub fn bank_conflicts(
             prev_word = word;
         }
     }
-    per_bank.iter().copied().max().unwrap_or(0).saturating_sub(1)
+    per_bank
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(1)
 }
 
 #[cfg(test)]

@@ -228,8 +228,15 @@ mod tests {
 
     #[test]
     fn counters_add() {
-        let mut a = Counters { warp_instructions: 1, ..Default::default() };
-        let b = Counters { warp_instructions: 2, gld_transactions: 3, ..Default::default() };
+        let mut a = Counters {
+            warp_instructions: 1,
+            ..Default::default()
+        };
+        let b = Counters {
+            warp_instructions: 2,
+            gld_transactions: 3,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.warp_instructions, 3);
         assert_eq!(a.gld_transactions, 3);

@@ -21,7 +21,11 @@ pub struct KernelDesc {
 impl KernelDesc {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, grid_blocks: u32, threads_per_block: u32) -> Self {
-        KernelDesc { name: name.into(), grid_blocks, threads_per_block }
+        KernelDesc {
+            name: name.into(),
+            grid_blocks,
+            threads_per_block,
+        }
     }
 }
 
@@ -85,7 +89,9 @@ impl Gpu {
     }
 
     fn fault_fires(&mut self, kind: FaultKind, kernel_name: Option<&str>) -> Option<u64> {
-        self.fault_plan.as_mut().and_then(|p| p.check(kind, kernel_name))
+        self.fault_plan
+            .as_mut()
+            .and_then(|p| p.check(kind, kernel_name))
     }
 
     /// Enables (or disables) retention of every launch's [`KernelStats`]
@@ -154,7 +160,10 @@ impl Gpu {
     /// An injected H2D fault leaves nothing allocated.
     pub fn try_upload<T: Pod>(&mut self, data: &[T]) -> Result<DevVec<T>, DeviceFault> {
         if let Some(op_index) = self.fault_fires(FaultKind::H2d, None) {
-            return Err(DeviceFault::Copy { kind: FaultKind::H2d, op_index });
+            return Err(DeviceFault::Copy {
+                kind: FaultKind::H2d,
+                op_index,
+            });
         }
         let mut buf = self.try_alloc::<T>(data.len())?;
         buf.host_mut().copy_from_slice(data);
@@ -173,14 +182,13 @@ impl Gpu {
     /// Fallible overwrite of an existing buffer from host data, charging a
     /// transfer. An injected fault transfers nothing — the buffer keeps its
     /// previous contents, so the caller may retry.
-    pub fn try_h2d<T: Pod>(
-        &mut self,
-        buf: &mut DevVec<T>,
-        data: &[T],
-    ) -> Result<(), DeviceFault> {
+    pub fn try_h2d<T: Pod>(&mut self, buf: &mut DevVec<T>, data: &[T]) -> Result<(), DeviceFault> {
         assert_eq!(buf.len(), data.len(), "h2d length mismatch");
         if let Some(op_index) = self.fault_fires(FaultKind::H2d, None) {
-            return Err(DeviceFault::Copy { kind: FaultKind::H2d, op_index });
+            return Err(DeviceFault::Copy {
+                kind: FaultKind::H2d,
+                op_index,
+            });
         }
         buf.host_mut().copy_from_slice(data);
         self.h2d_seconds += self.cfg.transfer_seconds(buf.size_bytes());
@@ -200,7 +208,10 @@ impl Gpu {
     /// untouched and the caller may retry.
     pub fn try_download<T: Pod>(&mut self, buf: &DevVec<T>) -> Result<Vec<T>, DeviceFault> {
         if let Some(op_index) = self.fault_fires(FaultKind::D2h, None) {
-            return Err(DeviceFault::Copy { kind: FaultKind::D2h, op_index });
+            return Err(DeviceFault::Copy {
+                kind: FaultKind::D2h,
+                op_index,
+            });
         }
         self.d2h_seconds += self.cfg.transfer_seconds(buf.size_bytes());
         Ok(buf.host().to_vec())
@@ -222,7 +233,10 @@ impl Gpu {
         idx: usize,
     ) -> Result<T, DeviceFault> {
         if let Some(op_index) = self.fault_fires(FaultKind::D2h, None) {
-            return Err(DeviceFault::Copy { kind: FaultKind::D2h, op_index });
+            return Err(DeviceFault::Copy {
+                kind: FaultKind::D2h,
+                op_index,
+            });
         }
         self.d2h_seconds += self.cfg.transfer_seconds(T::SIZE as u64);
         Ok(buf.host()[idx])
@@ -233,7 +247,8 @@ impl Gpu {
     /// # Panics
     /// Panics on injected copy fault; see [`Gpu::try_download_scalar`].
     pub fn download_scalar<T: Pod>(&mut self, buf: &DevVec<T>, idx: usize) -> T {
-        self.try_download_scalar(buf, idx).unwrap_or_else(|e| panic!("{e}"))
+        self.try_download_scalar(buf, idx)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible kernel launch; see [`Gpu::launch`]. An injected launch
@@ -246,7 +261,10 @@ impl Gpu {
         body: impl FnMut(&mut Block<'_>),
     ) -> Result<KernelStats, DeviceFault> {
         if let Some(op_index) = self.fault_fires(FaultKind::Kernel, Some(&desc.name)) {
-            return Err(DeviceFault::Kernel { name: desc.name.clone(), op_index });
+            return Err(DeviceFault::Kernel {
+                name: desc.name.clone(),
+                op_index,
+            });
         }
         Ok(self.launch_unchecked(desc, body))
     }
@@ -258,12 +276,9 @@ impl Gpu {
     ///
     /// # Panics
     /// Panics on injected launch fault; see [`Gpu::try_launch`].
-    pub fn launch(
-        &mut self,
-        desc: &KernelDesc,
-        body: impl FnMut(&mut Block<'_>),
-    ) -> KernelStats {
-        self.try_launch(desc, body).unwrap_or_else(|e| panic!("{e}"))
+    pub fn launch(&mut self, desc: &KernelDesc, body: impl FnMut(&mut Block<'_>)) -> KernelStats {
+        self.try_launch(desc, body)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn launch_unchecked(
@@ -302,8 +317,8 @@ impl Gpu {
         // bandwidth whether or not its bytes are used — this is precisely
         // the cost of non-coalesced access that the paper attacks, and the
         // counter the gld/gst efficiency metrics are defined over.
-        stats.dram_seconds = (stats.counters.gld_transactions
-            + stats.counters.gst_transactions) as f64
+        stats.dram_seconds = (stats.counters.gld_transactions + stats.counters.gst_transactions)
+            as f64
             * self.cfg.segment_bytes as f64
             / (self.cfg.dram_bandwidth_gbps * 1e9);
         stats.seconds =
@@ -346,7 +361,11 @@ mod tests {
     fn transfers_accumulate_time() {
         let mut gpu = Gpu::new(DeviceConfig::tiny_test());
         let buf = gpu.upload(&[1u32; 250]); // 1000 B at 1 GB/s = 1 us + 1 us lat
-        assert!((gpu.h2d_seconds - 2e-6).abs() < 1e-12, "{}", gpu.h2d_seconds);
+        assert!(
+            (gpu.h2d_seconds - 2e-6).abs() < 1e-12,
+            "{}",
+            gpu.h2d_seconds
+        );
         let back = gpu.download(&buf);
         assert_eq!(back, vec![1u32; 250]);
         assert!(gpu.d2h_seconds > 1e-6);
@@ -448,7 +467,10 @@ mod tests {
         let _up = gpu.try_upload(&[9u32; 4]).unwrap();
         assert!(matches!(
             gpu.try_h2d(&mut buf, &[1, 2, 3, 4]),
-            Err(DeviceFault::Copy { kind: FaultKind::H2d, op_index: 1 })
+            Err(DeviceFault::Copy {
+                kind: FaultKind::H2d,
+                op_index: 1
+            })
         ));
         assert_eq!(buf.host(), &[0; 4], "failed copy transferred nothing");
         gpu.try_h2d(&mut buf, &[1, 2, 3, 4]).unwrap();

@@ -38,9 +38,9 @@ pub enum FaultKind {
 impl FaultKind {
     fn tag(self) -> u64 {
         match self {
-            FaultKind::H2d => 0x683264,   // "h2d"
-            FaultKind::D2h => 0x643268,   // "d2h"
-            FaultKind::Alloc => 0x616c6c, // "all"
+            FaultKind::H2d => 0x683264,    // "h2d"
+            FaultKind::D2h => 0x643268,    // "d2h"
+            FaultKind::Alloc => 0x616c6c,  // "all"
             FaultKind::Kernel => 0x6b726e, // "krn"
         }
     }
@@ -161,7 +161,10 @@ impl FaultPlan {
     /// with the `with_*_rate` builders; without a rate the seed alone
     /// injects nothing.
     pub fn seeded(seed: u64) -> Self {
-        FaultPlan { seed: Some(seed), ..Self::default() }
+        FaultPlan {
+            seed: Some(seed),
+            ..Self::default()
+        }
     }
 
     /// Fails host→device copies at the given zero-based operation indices.
@@ -306,8 +309,9 @@ mod tests {
     #[test]
     fn scheduled_faults_fire_once_at_their_index() {
         let mut plan = FaultPlan::new().fail_h2d_at(&[1, 3]);
-        let fired: Vec<bool> =
-            (0..6).map(|_| plan.check(FaultKind::H2d, None).is_some()).collect();
+        let fired: Vec<bool> = (0..6)
+            .map(|_| plan.check(FaultKind::H2d, None).is_some())
+            .collect();
         assert_eq!(fired, vec![false, true, false, true, false, false]);
         assert_eq!(plan.injected().h2d, 2);
         assert_eq!(plan.injected().total(), 2);
@@ -325,10 +329,18 @@ mod tests {
     #[test]
     fn named_kernel_faults_respect_budget() {
         let mut plan = FaultPlan::new().fail_kernels_named("CW", 2);
-        assert!(plan.check(FaultKind::Kernel, Some("CuSha-GS::bfs")).is_none());
-        assert!(plan.check(FaultKind::Kernel, Some("CuSha-CW::bfs")).is_some());
-        assert!(plan.check(FaultKind::Kernel, Some("CuSha-CW::bfs")).is_some());
-        assert!(plan.check(FaultKind::Kernel, Some("CuSha-CW::bfs")).is_none());
+        assert!(plan
+            .check(FaultKind::Kernel, Some("CuSha-GS::bfs"))
+            .is_none());
+        assert!(plan
+            .check(FaultKind::Kernel, Some("CuSha-CW::bfs"))
+            .is_some());
+        assert!(plan
+            .check(FaultKind::Kernel, Some("CuSha-CW::bfs"))
+            .is_some());
+        assert!(plan
+            .check(FaultKind::Kernel, Some("CuSha-CW::bfs"))
+            .is_none());
         assert_eq!(plan.injected().kernel, 2);
     }
 
@@ -336,7 +348,9 @@ mod tests {
     fn seeded_schedule_is_reproducible() {
         let run = |seed: u64| -> Vec<bool> {
             let mut plan = FaultPlan::seeded(seed).with_h2d_rate(0.3);
-            (0..64).map(|_| plan.check(FaultKind::H2d, None).is_some()).collect()
+            (0..64)
+                .map(|_| plan.check(FaultKind::H2d, None).is_some())
+                .collect()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43), "different seeds give different schedules");
@@ -349,7 +363,7 @@ mod tests {
         let mut plan = FaultPlan::new().fail_alloc_at(&[2]);
         assert!(plan.check(FaultKind::Alloc, None).is_none()); // first gpu, op 0
         assert!(plan.check(FaultKind::Alloc, None).is_none()); // first gpu, op 1
-        // engine restarts with a fresh Gpu, same plan:
+                                                               // engine restarts with a fresh Gpu, same plan:
         assert!(plan.check(FaultKind::Alloc, None).is_some()); // op 2 fires
         assert!(plan.check(FaultKind::Alloc, None).is_none());
         assert_eq!(plan.op_counters().2, 4);
@@ -357,12 +371,22 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let oom = DeviceFault::Oom { requested_bytes: 10, capacity_bytes: 5, injected: true };
+        let oom = DeviceFault::Oom {
+            requested_bytes: 10,
+            capacity_bytes: 5,
+            injected: true,
+        };
         assert!(oom.to_string().contains("out of memory"));
         assert!(oom.to_string().contains("injected"));
-        let copy = DeviceFault::Copy { kind: FaultKind::H2d, op_index: 3 };
+        let copy = DeviceFault::Copy {
+            kind: FaultKind::H2d,
+            op_index: 3,
+        };
         assert!(copy.to_string().contains("host-to-device"));
-        let k = DeviceFault::Kernel { name: "k".into(), op_index: 0 };
+        let k = DeviceFault::Kernel {
+            name: "k".into(),
+            op_index: 0,
+        };
         assert!(k.to_string().contains("kernel launch"));
     }
 }

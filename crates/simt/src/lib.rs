@@ -37,6 +37,7 @@ pub mod coalesce;
 pub mod config;
 pub mod counters;
 pub mod device;
+pub mod fabric;
 pub mod fault;
 pub mod mem;
 pub mod pod;
@@ -48,6 +49,7 @@ pub use block::Block;
 pub use config::DeviceConfig;
 pub use counters::{KernelStats, Mask, WARP};
 pub use device::{Gpu, KernelDesc};
+pub use fabric::{DeviceFleet, Interconnect};
 pub use fault::{DeviceFault, FaultKind, FaultPlan, InjectionLog};
 pub use mem::DevVec;
 pub use pod::Pod;

@@ -29,7 +29,11 @@ pub struct DevVec<T: Pod> {
 
 impl<T: Pod> DevVec<T> {
     pub(crate) fn from_parts(data: Vec<T>, base: u64) -> Self {
-        DevVec { data, base, _marker: PhantomData }
+        DevVec {
+            data,
+            base,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of elements.

@@ -43,7 +43,10 @@ impl KernelAggregate {
     }
 
     fn as_stats(&self) -> KernelStats {
-        KernelStats { counters: self.counters, ..Default::default() }
+        KernelStats {
+            counters: self.counters,
+            ..Default::default()
+        }
     }
 }
 

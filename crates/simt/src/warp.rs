@@ -30,9 +30,7 @@ pub fn warp_chunks(n: usize) -> impl Iterator<Item = (usize, Mask)> {
 /// issued this way produces segment-aligned, fully-coalesced transactions —
 /// the standard CUDA idiom of deriving the element index from the global
 /// thread index.
-pub fn aligned_chunks(
-    range: std::ops::Range<usize>,
-) -> impl Iterator<Item = (usize, Mask)> {
+pub fn aligned_chunks(range: std::ops::Range<usize>) -> impl Iterator<Item = (usize, Mask)> {
     let start = range.start;
     let end = range.end;
     let first_base = start - (start % WARP);

@@ -68,7 +68,9 @@ fn main() {
         graph.num_edges()
     );
 
-    let prog = MultiSourceReach { seeds: seeds.clone() };
+    let prog = MultiSourceReach {
+        seeds: seeds.clone(),
+    };
     let out = run(&prog, &graph, &CuShaConfig::cw());
     println!(
         "converged in {} iterations ({:.2} ms modeled GPU time)",
@@ -78,20 +80,12 @@ fn main() {
 
     // Report coverage per seed and verify against plain DFS reachability.
     for (bit, &seed) in seeds.iter().enumerate() {
-        let covered = out
-            .values
-            .iter()
-            .filter(|&&v| v & (1 << bit) != 0)
-            .count();
+        let covered = out.values.iter().filter(|&&v| v & (1 << bit) != 0).count();
         let oracle = reachable_from(&graph, seed);
         let expected = oracle.iter().filter(|&&r| r).count();
         assert_eq!(covered, expected, "seed {seed} coverage mismatch");
         println!("  seed {seed:>4} reaches {covered:>5} vertices (verified)");
     }
-    let multi = out
-        .values
-        .iter()
-        .filter(|&&v| v.count_ones() >= 2)
-        .count();
+    let multi = out.values.iter().filter(|&&v| v.count_ones() >= 2).count();
     println!("{multi} vertices are reachable from 2+ seeds");
 }

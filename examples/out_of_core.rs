@@ -42,7 +42,11 @@ fn main() {
             "streamed x{streams}  : {:>8.2} ms, {} iterations ({} the copies)",
             out.stats.total_ms(),
             out.stats.iterations,
-            if streams >= 2 { "overlapping" } else { "serializing" },
+            if streams >= 2 {
+                "overlapping"
+            } else {
+                "serializing"
+            },
         );
     }
     println!("results identical across all three runs");

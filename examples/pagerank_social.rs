@@ -42,8 +42,7 @@ fn main() {
     );
 
     // The five most influential accounts.
-    let mut ranked: Vec<(usize, f32)> =
-        cw.values.iter().copied().enumerate().collect();
+    let mut ranked: Vec<(usize, f32)> = cw.values.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top-5 vertices by rank:");
     for (v, rank) in ranked.into_iter().take(5) {

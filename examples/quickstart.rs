@@ -23,7 +23,10 @@ fn main() {
 
     let bfs = Bfs::new(0);
 
-    for (label, cfg) in [("CuSha-GS", CuShaConfig::gs()), ("CuSha-CW", CuShaConfig::cw())] {
+    for (label, cfg) in [
+        ("CuSha-GS", CuShaConfig::gs()),
+        ("CuSha-CW", CuShaConfig::cw()),
+    ] {
         let out = run(&bfs, &graph, &cfg);
         let s = &out.stats;
         println!(

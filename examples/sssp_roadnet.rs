@@ -28,7 +28,13 @@ fn main() {
         // Deliberately small shards: the regime Figure 12 explores.
         let cfg = CuShaConfig::new(repr).with_vertices_per_shard(64);
         let out = run(&prog, &graph, &cfg);
-        kernel_ms[i] = out.stats.per_iteration.iter().map(|s| s.seconds).sum::<f64>() * 1e3;
+        kernel_ms[i] = out
+            .stats
+            .per_iteration
+            .iter()
+            .map(|s| s.seconds)
+            .sum::<f64>()
+            * 1e3;
         println!(
             "{:>9}: {:>8.2} ms total ({:.2} ms in kernels), {} iterations, warp exec {:.0}%",
             out.stats.engine,

@@ -6,7 +6,9 @@
 //! cusha --algo bfs --input graph.txt [--engine cw|gs|cw-streamed|gs-streamed|vwc:8|mtcpu:4]
 //!       [--source N] [--shard-size N] [--max-iters N] [--output out.txt]
 //!       [--resident-bytes N] [--watchdog N] [--inject <fault-spec>]
+//!       [--devices N] [--interconnect pcie|nvlink]
 //! cusha --algo pagerank --rmat 16:1000000 --engine cw
+//! cusha --algo pagerank --rmat 14:500000 --engine cw --devices 4 --interconnect nvlink
 //! cusha --algo pagerank --rmat 12:40000 --engine cw-streamed \
 //!       --resident-bytes 65536 --inject seed=7,alloc@2,h2d@5,h2d@9
 //! ```
@@ -15,17 +17,17 @@
 //! failure, `2` usage error, `3` unrecovered engine error.
 
 use cusha::algos::{
-    Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, NeuralNetwork, PageRank, Sswp,
-    Sssp,
+    Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, NeuralNetwork, PageRank, Sssp,
+    Sswp,
 };
 use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
 use cusha::core::{
-    try_run, try_run_streamed, CuShaConfig, CuShaOutput, EngineError, Repr, RunStats,
-    StreamingConfig, Value, VertexProgram,
+    try_run, try_run_multi, try_run_streamed, CuShaConfig, CuShaOutput, EngineError, MultiConfig,
+    Repr, RunStats, StreamingConfig, Value, VertexProgram,
 };
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::{io, Graph};
-use cusha::simt::FaultPlan;
+use cusha::simt::{FaultPlan, Interconnect};
 use std::io::Write;
 use std::process::exit;
 
@@ -45,6 +47,19 @@ struct Args {
     resident_bytes: u64,
     watchdog: Option<u32>,
     inject: Option<FaultPlan>,
+    devices: Option<usize>,
+    interconnect: Option<Interconnect>,
+}
+
+/// Fleet-level counters the single-engine [`RunStats`] cannot carry; shown
+/// after the main stats line when the multi engine ran.
+struct FleetSummary {
+    devices: usize,
+    interconnect: String,
+    exchange_bytes: u64,
+    exchange_seconds: f64,
+    load_imbalance: f64,
+    degraded: usize,
 }
 
 fn usage_text() -> &'static str {
@@ -54,6 +69,11 @@ fn usage_text() -> &'static str {
          \x20      [--source <vertex>] [--shard-size <N>] [--max-iters <n>]\n\
          \x20      [--resident-bytes <bytes>] [--watchdog <interval>]\n\
          \x20      [--inject <spec>[,<spec>...]] [--output <path>]\n\
+         \x20      [--devices <N>] [--interconnect <pcie|nvlink>]\n\
+         \n\
+         --devices runs the cw/gs engine over a fleet of N simulated GPUs\n\
+         (edge-balanced shard partitions, per-iteration halo exchange over\n\
+         the modeled interconnect; --inject faults land on device 0).\n\
          \n\
          fault-injection specs (deterministic; see DESIGN.md):\n\
          \x20 seed=<u64>      seed for rate-based faults\n\
@@ -132,9 +152,9 @@ fn parse_inject(spec: &str) -> Result<FaultPlan, String> {
                 let (pattern, count) = val.split_once(':').ok_or_else(|| {
                     format!("--inject kernel~{val} needs the form kernel~<pattern>:<count>")
                 })?;
-                let c: u64 = count.parse().map_err(|e| {
-                    format!("bad count {count:?} in --inject kernel~: {e}")
-                })?;
+                let c: u64 = count
+                    .parse()
+                    .map_err(|e| format!("bad count {count:?} in --inject kernel~: {e}"))?;
                 plan = plan.fail_kernels_named(pattern, c);
             }
             _ => unreachable!(),
@@ -156,6 +176,8 @@ fn parse_args() -> Args {
         resident_bytes: 16 << 20,
         watchdog: None,
         inject: None,
+        devices: None,
+        interconnect: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -170,9 +192,8 @@ fn parse_args() -> Args {
     where
         T::Err: std::fmt::Display,
     {
-        val.parse().unwrap_or_else(|e| {
-            usage_error(&format!("bad value {val:?} for {flag}: {e}"))
-        })
+        val.parse()
+            .unwrap_or_else(|e| usage_error(&format!("bad value {val:?} for {flag}: {e}")))
     }
     while i < argv.len() {
         match argv[i].as_str() {
@@ -188,12 +209,9 @@ fn parse_args() -> Args {
                 args.rmat = Some((parsed("--rmat scale", s), parsed("--rmat edges", e)));
             }
             "--engine" => args.engine = take(&argv, &mut i, "--engine").to_lowercase(),
-            "--source" => {
-                args.source = parsed("--source", &take(&argv, &mut i, "--source"))
-            }
+            "--source" => args.source = parsed("--source", &take(&argv, &mut i, "--source")),
             "--shard-size" => {
-                args.shard_size =
-                    Some(parsed("--shard-size", &take(&argv, &mut i, "--shard-size")))
+                args.shard_size = Some(parsed("--shard-size", &take(&argv, &mut i, "--shard-size")))
             }
             "--max-iters" => {
                 args.max_iters = parsed("--max-iters", &take(&argv, &mut i, "--max-iters"))
@@ -207,8 +225,22 @@ fn parse_args() -> Args {
             }
             "--inject" => {
                 let spec = take(&argv, &mut i, "--inject");
-                args.inject =
-                    Some(parse_inject(&spec).unwrap_or_else(|e| usage_error(&e)));
+                args.inject = Some(parse_inject(&spec).unwrap_or_else(|e| usage_error(&e)));
+            }
+            "--devices" => {
+                let n: usize = parsed("--devices", &take(&argv, &mut i, "--devices"));
+                if n == 0 {
+                    usage_error("bad value 0 for --devices: a fleet needs at least one device");
+                }
+                args.devices = Some(n);
+            }
+            "--interconnect" => {
+                let name = take(&argv, &mut i, "--interconnect");
+                args.interconnect = Some(Interconnect::from_name(&name).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "bad value {name:?} for --interconnect (expected pcie or nvlink)"
+                    ))
+                }));
             }
             "--output" => args.output = Some(take(&argv, &mut i, "--output")),
             "--help" | "-h" => {
@@ -224,6 +256,15 @@ fn parse_args() -> Args {
     }
     if args.input.is_none() && args.rmat.is_none() {
         usage_error("one of --input or --rmat is required");
+    }
+    if args.devices.is_some() && !matches!(args.engine.as_str(), "cw" | "gs") {
+        usage_error(&format!(
+            "--devices only applies to the cw/gs engines, not {:?}",
+            args.engine
+        ));
+    }
+    if args.interconnect.is_some() && args.devices.is_none() {
+        usage_error("--interconnect needs --devices (it times the fleet's halo exchange)");
     }
     args
 }
@@ -258,13 +299,14 @@ fn engine_result<V: Value>(r: Result<CuShaOutput<V>, EngineError<V>>) -> CuShaOu
     }
 }
 
-/// Runs `prog` on the selected engine and returns printable value lines.
+/// Runs `prog` on the selected engine and returns printable value lines
+/// (plus fleet counters when the multi engine ran).
 fn execute<P: VertexProgram>(
     prog: &P,
     g: &Graph,
     args: &Args,
     show: impl Fn(&P::V) -> String,
-) -> (RunStats, Vec<String>) {
+) -> (RunStats, Vec<String>, Option<FleetSummary>) {
     let cusha_cfg = |repr: Repr| {
         let mut cfg = CuShaConfig::new(repr);
         cfg.vertices_per_shard = args.shard_size;
@@ -273,9 +315,50 @@ fn execute<P: VertexProgram>(
         cfg.watchdog_interval = args.watchdog;
         cfg
     };
+    let mut fleet = None;
     let (stats, values): (RunStats, Vec<P::V>) = match args.engine.as_str() {
+        "cw" | "gs" if args.devices.is_some() => {
+            let repr = if args.engine == "gs" {
+                Repr::GShards
+            } else {
+                Repr::ConcatWindows
+            };
+            let mut mcfg = MultiConfig::new(cusha_cfg(repr), args.devices.unwrap());
+            if let Some(ic) = &args.interconnect {
+                mcfg = mcfg.with_interconnect(ic.clone());
+            }
+            match try_run_multi(prog, g, &mcfg) {
+                Ok(out) => {
+                    let s = &out.stats;
+                    fleet = Some(FleetSummary {
+                        devices: s.devices,
+                        interconnect: s.interconnect.clone(),
+                        exchange_bytes: s.exchange_bytes,
+                        exchange_seconds: s.exchange_seconds,
+                        load_imbalance: s.load_imbalance,
+                        degraded: s
+                            .per_device
+                            .iter()
+                            .filter(|d| d.mode != "resident" && d.mode != "idle")
+                            .count(),
+                    });
+                    (s.as_run_stats(), out.values)
+                }
+                // A capped run degrades to its flattened partial output,
+                // matching the single-engine CLI convention.
+                Err(EngineError::NonConverged { partial }) => (partial.stats, partial.values),
+                Err(e) => {
+                    eprintln!("cusha: engine error [{}]: {e}", e.kind());
+                    exit(EXIT_ENGINE)
+                }
+            }
+        }
         "cw" | "gs" => {
-            let repr = if args.engine == "gs" { Repr::GShards } else { Repr::ConcatWindows };
+            let repr = if args.engine == "gs" {
+                Repr::GShards
+            } else {
+                Repr::ConcatWindows
+            };
             let out = engine_result(try_run(prog, g, &cusha_cfg(repr)));
             (out.stats, out.values)
         }
@@ -309,14 +392,14 @@ fn execute<P: VertexProgram>(
         )),
     };
     let lines = values.iter().map(show).collect();
-    (stats, lines)
+    (stats, lines, fleet)
 }
 
 /// Parses the numeric suffix of `vwc:<n>` / `mtcpu:<n>`, rejecting zero.
 fn parsed_engine_num(engine: &str, val: &str) -> usize {
-    let n: usize = val.parse().unwrap_or_else(|e| {
-        usage_error(&format!("bad value {val:?} for --engine {engine}: {e}"))
-    });
+    let n: usize = val
+        .parse()
+        .unwrap_or_else(|e| usage_error(&format!("bad value {val:?} for --engine {engine}: {e}")));
     if n == 0 {
         usage_error(&format!("--engine {engine}:{val}: value must be nonzero"));
     }
@@ -348,15 +431,17 @@ fn main() {
             v.to_string()
         }
     };
-    let (stats, lines) = match args.algo.as_str() {
+    let (stats, lines, fleet) = match args.algo.as_str() {
         "bfs" => execute(&Bfs::new(args.source), &g, &args, show_u32),
         "sssp" => execute(&Sssp::new(args.source), &g, &args, show_u32),
-        "pagerank" | "pr" => {
-            execute(&PageRank::new(), &g, &args, |v: &f32| format!("{v:.6}"))
-        }
-        "cc" => execute(&ConnectedComponents::new(), &g, &args, |v: &u32| v.to_string()),
+        "pagerank" | "pr" => execute(&PageRank::new(), &g, &args, |v: &f32| format!("{v:.6}")),
+        "cc" => execute(&ConnectedComponents::new(), &g, &args, |v: &u32| {
+            v.to_string()
+        }),
         "sswp" => execute(&Sswp::new(args.source), &g, &args, show_u32),
-        "nn" => execute(&NeuralNetwork::new(), &g, &args, |v: &f32| format!("{v:.6}")),
+        "nn" => execute(&NeuralNetwork::new(), &g, &args, |v: &f32| {
+            format!("{v:.6}")
+        }),
         "hs" => execute(&HeatSimulation::new(), &g, &args, |v: &(f32, f32)| {
             format!("{:.4}", v.0)
         }),
@@ -379,8 +464,28 @@ fn main() {
         stats.iterations,
         stats.converged,
         stats.total_ms(),
-        if args.engine.starts_with("mtcpu") { "measured" } else { "modeled" },
+        if args.engine.starts_with("mtcpu") {
+            "measured"
+        } else {
+            "modeled"
+        },
     );
+    if let Some(f) = &fleet {
+        eprintln!(
+            "cusha: fleet: {} devices over {}, {} halo bytes exchanged in {:.3} ms, \
+             load imbalance {:.3}{}",
+            f.devices,
+            f.interconnect,
+            f.exchange_bytes,
+            f.exchange_seconds * 1e3,
+            f.load_imbalance,
+            if f.degraded > 0 {
+                format!(", {} device(s) degraded", f.degraded)
+            } else {
+                String::new()
+            },
+        );
+    }
     if !stats.fault.is_clean() {
         eprintln!(
             "cusha: recovered from faults: {} copy retries ({:.3} ms backoff), \
@@ -395,12 +500,10 @@ fn main() {
 
     match &args.output {
         Some(path) => {
-            let mut f = std::io::BufWriter::new(
-                std::fs::File::create(path).unwrap_or_else(|e| {
-                    eprintln!("cusha: cannot create {path}: {e}");
-                    exit(EXIT_IO)
-                }),
-            );
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cusha: cannot create {path}: {e}");
+                exit(EXIT_IO)
+            }));
             for (v, line) in lines.iter().enumerate() {
                 writeln!(f, "{v} {line}").unwrap();
             }

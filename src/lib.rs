@@ -67,18 +67,16 @@ pub use cusha_simt as simt;
 /// ```
 pub mod prelude {
     pub use cusha_algos::{
-        Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, MultiSourceBfs,
-        NeuralNetwork, PageRank, Sswp, Sssp,
+        Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, MultiSourceBfs, NeuralNetwork,
+        PageRank, Sssp, Sswp,
     };
     pub use cusha_baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
     pub use cusha_core::{
-        run, run_streamed, try_run, try_run_streamed, CuShaConfig, EngineError, FaultStats,
-        Repr, RunStats, StreamingConfig, VertexProgram,
+        run, run_streamed, try_run, try_run_streamed, CuShaConfig, EngineError, FaultStats, Repr,
+        RunStats, StreamingConfig, VertexProgram,
     };
     pub use cusha_graph::generators::rmat::{rmat, RmatConfig};
-    pub use cusha_graph::generators::{
-        barabasi_albert, erdos_renyi, lattice2d, watts_strogatz,
-    };
+    pub use cusha_graph::generators::{barabasi_albert, erdos_renyi, lattice2d, watts_strogatz};
     pub use cusha_graph::surrogates::Dataset;
     pub use cusha_graph::{Edge, Graph, VertexId};
     pub use cusha_simt::{DeviceConfig, FaultPlan};

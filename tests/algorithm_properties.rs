@@ -1,7 +1,7 @@
 //! Property-based tests of the eight vertex programs' semantic invariants,
 //! run through the full CuSha engine on arbitrary graphs.
 
-use cusha::algos::{Bfs, ConnectedComponents, PageRank, Sswp, Sssp, INF};
+use cusha::algos::{Bfs, ConnectedComponents, PageRank, Sssp, Sswp, INF};
 use cusha::core::{run, CuShaConfig};
 use cusha::graph::analysis::weak_components;
 use cusha::graph::{Edge, Graph};
@@ -10,8 +10,7 @@ use proptest::prelude::*;
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2u32..120).prop_flat_map(|n| {
         let edge = (0..n, 0..n, 1u32..65).prop_map(|(s, d, w)| Edge::new(s, d, w));
-        proptest::collection::vec(edge, 0..400)
-            .prop_map(move |edges| Graph::new(n, edges))
+        proptest::collection::vec(edge, 0..400).prop_map(move |edges| Graph::new(n, edges))
     })
 }
 

@@ -9,8 +9,8 @@
 //! within a small band.
 
 use cusha::algos::{
-    assert_approx_eq, run_sequential, Bfs, CircuitSimulation, ConnectedComponents,
-    HeatSimulation, NeuralNetwork, PageRank, Sswp, Sssp,
+    assert_approx_eq, run_sequential, Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation,
+    NeuralNetwork, PageRank, Sssp, Sswp,
 };
 use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
 use cusha::core::{run, CuShaConfig, Value, VertexProgram};
@@ -142,10 +142,7 @@ fn cs_everywhere() {
 fn value_bit_round_trip_under_engines() {
     // MTCPU round-trips every value through AtomicU64 bits; make sure a
     // graph whose result includes INF (u32::MAX) survives.
-    let g = Graph::new(
-        3,
-        vec![cusha::graph::Edge::new(0, 1, 5)],
-    );
+    let g = Graph::new(3, vec![cusha::graph::Edge::new(0, 1, 5)]);
     let out = run_mtcpu(&Sssp::new(0), &g, &MtcpuConfig::new(2));
     assert_eq!(out.values, vec![0, 5, u32::MAX]);
     assert_eq!(u32::from_bits(Value::to_bits(u32::MAX)), u32::MAX);

@@ -8,9 +8,17 @@ use cusha::graph::{Edge, Graph, GraphBuilder};
 
 fn engines_agree_bfs(g: &Graph, source: u32) {
     let oracle = bfs_levels(g, source);
-    let gs = run(&Bfs::new(source), g, &CuShaConfig::gs().with_vertices_per_shard(4));
+    let gs = run(
+        &Bfs::new(source),
+        g,
+        &CuShaConfig::gs().with_vertices_per_shard(4),
+    );
     assert_eq!(gs.values, oracle, "GS");
-    let cw = run(&Bfs::new(source), g, &CuShaConfig::cw().with_vertices_per_shard(4));
+    let cw = run(
+        &Bfs::new(source),
+        g,
+        &CuShaConfig::cw().with_vertices_per_shard(4),
+    );
     assert_eq!(cw.values, oracle, "CW");
     let vwc = run_vwc(&Bfs::new(source), g, &VwcConfig::new(4));
     assert_eq!(vwc.values, oracle, "VWC");
@@ -36,7 +44,11 @@ fn two_vertices_parallel_edges() {
     );
     engines_agree_bfs(&g, 0);
     // SSSP must pick the lightest parallel edge.
-    let out = run(&Sssp::new(0), &g, &CuShaConfig::cw().with_vertices_per_shard(1));
+    let out = run(
+        &Sssp::new(0),
+        &g,
+        &CuShaConfig::cw().with_vertices_per_shard(1),
+    );
     assert_eq!(out.values, vec![0, 1]);
 }
 
@@ -44,7 +56,11 @@ fn two_vertices_parallel_edges() {
 fn fully_disconnected_graph() {
     let g = Graph::empty(100);
     engines_agree_bfs(&g, 42);
-    let out = run(&Bfs::new(42), &g, &CuShaConfig::gs().with_vertices_per_shard(7));
+    let out = run(
+        &Bfs::new(42),
+        &g,
+        &CuShaConfig::gs().with_vertices_per_shard(7),
+    );
     assert_eq!(out.values.iter().filter(|&&v| v == 0).count(), 1);
     assert_eq!(out.values.iter().filter(|&&v| v == INF).count(), 99);
     assert_eq!(out.stats.iterations, 1);
@@ -62,10 +78,18 @@ fn backward_chain_fights_block_order() {
     // Values must also propagate *against* ascending block order.
     let g = Graph::new(200, (0..199).map(|v| Edge::new(v + 1, v, 1)).collect());
     engines_agree_bfs(&g, 199);
-    let out = run(&Bfs::new(199), &g, &CuShaConfig::cw().with_vertices_per_shard(8));
+    let out = run(
+        &Bfs::new(199),
+        &g,
+        &CuShaConfig::cw().with_vertices_per_shard(8),
+    );
     assert_eq!(out.values[0], 199);
     // Backward propagation needs many more iterations than forward.
-    assert!(out.stats.iterations > 5, "iterations: {}", out.stats.iterations);
+    assert!(
+        out.stats.iterations > 5,
+        "iterations: {}",
+        out.stats.iterations
+    );
 }
 
 #[test]
@@ -87,7 +111,11 @@ fn saturating_weights_near_inf() {
         3,
         vec![Edge::new(0, 1, u32::MAX - 5), Edge::new(1, 2, u32::MAX - 5)],
     );
-    let out = run(&Sssp::new(0), &g, &CuShaConfig::gs().with_vertices_per_shard(2));
+    let out = run(
+        &Sssp::new(0),
+        &g,
+        &CuShaConfig::gs().with_vertices_per_shard(2),
+    );
     assert_eq!(out.values[1], u32::MAX - 5);
     // 2's distance saturates instead of wrapping to a small number...
     assert_eq!(out.values[2], u32::MAX);
@@ -98,7 +126,11 @@ fn saturating_weights_near_inf() {
 #[test]
 fn shard_size_larger_than_graph() {
     let g = Graph::new(5, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)]);
-    let out = run(&Bfs::new(0), &g, &CuShaConfig::cw().with_vertices_per_shard(1000));
+    let out = run(
+        &Bfs::new(0),
+        &g,
+        &CuShaConfig::cw().with_vertices_per_shard(1000),
+    );
     assert_eq!(out.values[..3], [0, 1, 2]);
 }
 
@@ -116,7 +148,11 @@ fn max_iterations_cap_is_honored() {
 fn pagerank_on_a_sink_heavy_graph_terminates() {
     // All mass flows into vertex 0; dangling vertices everywhere.
     let g = Graph::new(50, (1..50).map(|v| Edge::new(v, 0, 1)).collect());
-    let out = run(&PageRank::new(), &g, &CuShaConfig::cw().with_vertices_per_shard(8));
+    let out = run(
+        &PageRank::new(),
+        &g,
+        &CuShaConfig::cw().with_vertices_per_shard(8),
+    );
     assert!(out.stats.converged);
     assert!(out.values[0] > out.values[1]);
 }

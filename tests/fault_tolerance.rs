@@ -6,8 +6,7 @@
 
 use cusha::algos::{Bfs, PageRank};
 use cusha::core::{
-    run, try_run, try_run_streamed, CuShaConfig, EngineError, Repr, StreamingConfig,
-    VertexProgram,
+    run, try_run, try_run_streamed, CuShaConfig, EngineError, Repr, StreamingConfig, VertexProgram,
 };
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::{Edge, Graph, VertexId};
@@ -56,19 +55,25 @@ fn same_seed_means_same_schedule_and_same_values() {
     let g = rmat(&RmatConfig::graph500(8, 3000, 78));
     let prog = Bfs::new(0);
 
-    let clean = try_run_streamed(&prog, &g, &streamed_cfg(Repr::GShards, 1 << 14))
-        .expect("fault-free run");
+    let clean =
+        try_run_streamed(&prog, &g, &streamed_cfg(Repr::GShards, 1 << 14)).expect("fault-free run");
 
     let seeded = || {
         let mut cfg = streamed_cfg(Repr::GShards, 1 << 14);
-        cfg.base.fault_plan =
-            Some(FaultPlan::seeded(42).with_h2d_rate(0.08).with_d2h_rate(0.08));
+        cfg.base.fault_plan = Some(
+            FaultPlan::seeded(42)
+                .with_h2d_rate(0.08)
+                .with_d2h_rate(0.08),
+        );
         try_run_streamed(&prog, &g, &cfg).expect("recovered run")
     };
     let a = seeded();
     let b = seeded();
 
-    assert_eq!(a.stats.fault, b.stats.fault, "schedule not seed-deterministic");
+    assert_eq!(
+        a.stats.fault, b.stats.fault,
+        "schedule not seed-deterministic"
+    );
     assert!(!a.stats.fault.is_clean(), "seeded rates injected nothing");
     assert_eq!(a.values, b.values);
     assert_eq!(a.values, clean.values);
@@ -165,7 +170,10 @@ fn invalid_configs_are_errors_not_panics() {
         cfg.threads_per_block = tpb;
         match try_run(&Bfs::new(0), &g, &cfg) {
             Err(EngineError::InvalidConfig(msg)) => {
-                assert!(msg.contains(&tpb.to_string()), "message {msg:?} omits the value")
+                assert!(
+                    msg.contains(&tpb.to_string()),
+                    "message {msg:?} omits the value"
+                )
             }
             other => panic!("tpb={tpb}: expected InvalidConfig, got {other:?}"),
         }
@@ -190,7 +198,10 @@ fn invalid_configs_are_errors_not_panics() {
 fn invalid_graphs_are_rejected_at_construction() {
     let err = Graph::try_new(4, vec![Edge::new(0, 9, 1)]).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains('9') && msg.contains('4'), "unhelpful message: {msg}");
+    assert!(
+        msg.contains('9') && msg.contains('4'),
+        "unhelpful message: {msg}"
+    );
     assert!(Graph::try_new(4, vec![Edge::new(3, 3, 1)]).is_ok());
 }
 
@@ -225,7 +236,9 @@ impl VertexProgram for Oscillator {
 #[test]
 fn watchdog_flags_a_livelocked_program() {
     let g = Graph::new(32, (0..31).map(|v| Edge::new(v, v + 1, 1)).collect());
-    let mut cfg = CuShaConfig::cw().with_vertices_per_shard(8).with_watchdog(2);
+    let mut cfg = CuShaConfig::cw()
+        .with_vertices_per_shard(8)
+        .with_watchdog(2);
     cfg.max_iterations = 10_000;
     match try_run(&Oscillator, &g, &cfg) {
         Err(EngineError::Watchdog { iterations }) => {

@@ -38,8 +38,17 @@ fn gshards_kernel_time_improves_with_reordering() {
     let recovered = shuffled.relabeled(&bfs_order(&shuffled));
 
     let kernel_ms = |g: &cusha::graph::Graph| {
-        let out = run(&Bfs::new(0), g, &CuShaConfig::gs().with_vertices_per_shard(64));
-        out.stats.per_iteration.iter().map(|i| i.seconds).sum::<f64>() * 1e3
+        let out = run(
+            &Bfs::new(0),
+            g,
+            &CuShaConfig::gs().with_vertices_per_shard(64),
+        );
+        out.stats
+            .per_iteration
+            .iter()
+            .map(|i| i.seconds)
+            .sum::<f64>()
+            * 1e3
             / out.stats.iterations as f64 // per-iteration, so different
                                           // iteration counts don't bias it
     };
@@ -58,7 +67,11 @@ fn reordering_does_not_change_results() {
     let relabeled = g.relabeled(&perm);
     // BFS from the relabeled image of vertex 0 gives the same level
     // structure mapped through the permutation.
-    let out_orig = run(&Bfs::new(0), &g, &CuShaConfig::cw().with_vertices_per_shard(32));
+    let out_orig = run(
+        &Bfs::new(0),
+        &g,
+        &CuShaConfig::cw().with_vertices_per_shard(32),
+    );
     let out_re = run(
         &Bfs::new(perm[0]),
         &relabeled,

@@ -10,8 +10,7 @@ use proptest::prelude::*;
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (1u32..200).prop_flat_map(|n| {
         let edge = (0..n, 0..n, 1u32..65).prop_map(|(s, d, w)| Edge::new(s, d, w));
-        proptest::collection::vec(edge, 0..600)
-            .prop_map(move |edges| Graph::new(n, edges))
+        proptest::collection::vec(edge, 0..600).prop_map(move |edges| Graph::new(n, edges))
     })
 }
 

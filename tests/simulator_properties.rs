@@ -1,9 +1,7 @@
 //! Property-based tests of the SIMT simulator substrate: coalescing math,
 //! masks, chunk iterators, and launch accounting invariants.
 
-use cusha::simt::{
-    aligned_chunks, warp_chunks, DeviceConfig, Gpu, KernelDesc, Mask, WARP,
-};
+use cusha::simt::{aligned_chunks, warp_chunks, DeviceConfig, Gpu, KernelDesc, Mask, WARP};
 use proptest::prelude::*;
 
 proptest! {

@@ -4,7 +4,7 @@
 
 use cusha::algos::{Bfs, PageRank};
 use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
-use cusha::core::{run, CuShaConfig, RunStats};
+use cusha::core::{run, run_multi, CuShaConfig, MultiConfig, RunStats};
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::surrogates::Dataset;
 
@@ -21,7 +21,11 @@ fn check_common(s: &RunStats, is_gpu: bool) {
     // (which also includes the per-iteration flag transfers).
     let sum: f64 = s.per_iteration.iter().map(|i| i.seconds).sum();
     assert!(sum > 0.0);
-    assert!(sum <= s.compute_seconds + 1e-12, "{sum} vs {}", s.compute_seconds);
+    assert!(
+        sum <= s.compute_seconds + 1e-12,
+        "{sum} vs {}",
+        s.compute_seconds
+    );
     if is_gpu {
         assert!(s.h2d_seconds > 0.0);
         assert!(s.d2h_seconds > 0.0);
@@ -65,13 +69,85 @@ fn mtcpu_stats_contract() {
 }
 
 #[test]
+fn multi_stats_contract_and_aggregate_sums() {
+    let g = rmat(&RmatConfig::graph500(9, 4000, 70));
+    for base in [CuShaConfig::gs(), CuShaConfig::cw()] {
+        for devices in [1usize, 3] {
+            let out = run_multi(&Bfs::new(0), &g, &MultiConfig::new(base.clone(), devices));
+            let s = &out.stats;
+            assert!(s.converged);
+            assert_eq!(s.devices, devices);
+            assert_eq!(s.per_device.len(), devices);
+            // The flattened view satisfies the common single-engine
+            // contract (it is what NonConverged partials expose).
+            check_common(&s.as_run_stats(), true);
+
+            // The fleet aggregate is the element-wise sum of the
+            // per-device kernel tallies...
+            let blocks: u32 = s.per_device.iter().map(|d| d.kernel.blocks).sum();
+            assert_eq!(s.aggregate.blocks, blocks);
+            let wi: u64 = s
+                .per_device
+                .iter()
+                .map(|d| d.kernel.counters.warp_instructions)
+                .sum();
+            assert_eq!(s.aggregate.counters.warp_instructions, wi);
+            let gt: u64 = s
+                .per_device
+                .iter()
+                .map(|d| d.kernel.counters.gld_transactions)
+                .sum();
+            assert_eq!(s.aggregate.counters.gld_transactions, gt);
+            let secs: f64 = s.per_device.iter().map(|d| d.kernel.seconds).sum();
+            assert!((s.aggregate.seconds - secs).abs() <= 1e-12 * secs.max(1.0));
+
+            // ...and so are the fault counters and exchange bytes.
+            let retries: u32 = s.per_device.iter().map(|d| d.fault.copy_retries).sum();
+            assert_eq!(s.fault.copy_retries, retries);
+            let sent: u64 = s.per_device.iter().map(|d| d.exchange_sent_bytes).sum();
+            assert_eq!(s.exchange_bytes, sent);
+            let recv: u64 = s.per_device.iter().map(|d| d.exchange_recv_bytes).sum();
+            if devices == 1 {
+                assert_eq!(sent, 0);
+                assert_eq!(s.exchange_seconds, 0.0);
+            } else {
+                assert!(sent > 0);
+                assert!(recv > 0);
+                assert!(s.exchange_seconds > 0.0);
+            }
+            // Partitions are edge-balanced: the imbalance ratio is sane.
+            assert!(s.load_imbalance >= 1.0);
+            // Overlapped compute cannot exceed the serial sum of every
+            // device's transfers and kernels (a per-iteration max is
+            // bounded by the per-iteration sum).
+            let serial: f64 = s
+                .per_device
+                .iter()
+                .map(|d| d.h2d_seconds + d.d2h_seconds + d.kernel_seconds)
+                .sum();
+            assert!(
+                s.compute_seconds <= serial + 1e-12,
+                "{} vs {serial}",
+                s.compute_seconds
+            );
+            assert!(s.modeled_seconds() > 0.0);
+        }
+    }
+}
+
+#[test]
 fn updated_vertex_counts_tell_the_traversal_story() {
     // BFS frontier grows then shrinks; total updates >= reached vertices
     // (values can be refined more than once under asynchrony).
     let g = Dataset::Amazon0312.generate(2048);
     let src = cusha::graph::VertexId::from(0u32);
     let out = run(&Bfs::new(src), &g, &CuShaConfig::cw());
-    let total: u64 = out.stats.per_iteration.iter().map(|i| i.updated_vertices).sum();
+    let total: u64 = out
+        .stats
+        .per_iteration
+        .iter()
+        .map(|i| i.updated_vertices)
+        .sum();
     let reached = out.values.iter().filter(|&&v| v != u32::MAX).count() as u64;
     assert!(total >= reached.saturating_sub(1), "{total} vs {reached}");
 }
@@ -86,10 +162,7 @@ fn efficiency_ordering_matches_the_papers_thesis() {
     let vwc = run_vwc(&prog, &g, &VwcConfig::new(8)).stats;
     assert!(cw.kernel.gld_efficiency() > 2.0 * vwc.kernel.gld_efficiency());
     assert!(cw.kernel.gst_efficiency() > vwc.kernel.gst_efficiency());
-    assert!(
-        cw.kernel.warp_execution_efficiency()
-            > 1.5 * vwc.kernel.warp_execution_efficiency()
-    );
+    assert!(cw.kernel.warp_execution_efficiency() > 1.5 * vwc.kernel.warp_execution_efficiency());
 }
 
 #[test]

@@ -37,8 +37,11 @@ fn pagerank_with_statics_streams_correctly() {
     let prog = PageRank::with_tolerance(1e-5);
     for base in configs() {
         let in_core = run(&prog, &g, &base);
-        let streamed =
-            run_streamed(&prog, &g, &StreamingConfig::new(base.clone(), 1800 * 16 / 4));
+        let streamed = run_streamed(
+            &prog,
+            &g,
+            &StreamingConfig::new(base.clone(), 1800 * 16 / 4),
+        );
         assert_approx_eq(&streamed.values, &in_core.values, 1e-6);
         assert_eq!(streamed.stats.iterations, in_core.stats.iterations);
     }
@@ -51,8 +54,7 @@ fn heat_with_pair_values_streams_correctly() {
     let prog = HeatSimulation::with_tolerance(1e-3);
     for base in configs() {
         let in_core = run(&prog, &g, &base);
-        let streamed =
-            run_streamed(&prog, &g, &StreamingConfig::new(base.clone(), 1024));
+        let streamed = run_streamed(&prog, &g, &StreamingConfig::new(base.clone(), 1024));
         let a: Vec<f32> = streamed.values.iter().map(|v| v.0).collect();
         let b: Vec<f32> = in_core.values.iter().map(|v| v.0).collect();
         assert_approx_eq(&a, &b, 1e-6);
@@ -87,8 +89,7 @@ mod proptests {
     fn arb_graph() -> impl Strategy<Value = Graph> {
         (2u32..100).prop_flat_map(|n| {
             let edge = (0..n, 0..n, 1u32..65).prop_map(|(s, d, w)| Edge::new(s, d, w));
-            proptest::collection::vec(edge, 0..300)
-                .prop_map(move |edges| Graph::new(n, edges))
+            proptest::collection::vec(edge, 0..300).prop_map(move |edges| Graph::new(n, edges))
         })
     }
 

@@ -24,8 +24,7 @@ impl Bencher {
         for _ in 0..self.samples {
             std::hint::black_box(f());
         }
-        self.last_mean_seconds =
-            start.elapsed().as_secs_f64() / self.samples.max(1) as f64;
+        self.last_mean_seconds = start.elapsed().as_secs_f64() / self.samples.max(1) as f64;
     }
 }
 
@@ -57,12 +56,11 @@ impl Criterion {
     }
 
     /// Runs one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        mut f: F,
-    ) -> &mut Self {
-        let mut b = Bencher { samples: self.sample_size, last_mean_seconds: 0.0 };
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean_seconds: 0.0,
+        };
         f(&mut b);
         println!("{name:<50} {:>12.3} ms/iter", b.last_mean_seconds * 1e3);
         self
@@ -70,7 +68,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
     }
 }
 
@@ -89,13 +91,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one named benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        mut f: F,
-    ) -> &mut Self {
-        let mut b =
-            Bencher { samples: self.parent.sample_size, last_mean_seconds: 0.0 };
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.parent.sample_size,
+            last_mean_seconds: 0.0,
+        };
         f(&mut b);
         let full = format!("{}/{}", self.name, name);
         match self.throughput {

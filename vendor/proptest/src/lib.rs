@@ -27,7 +27,9 @@ impl TestRng {
         for b in test_name.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
     }
 
     /// Next raw 64-bit value.
@@ -109,10 +111,7 @@ pub mod strategy {
 
         /// Feeds generated values into a strategy-producing `f` and samples
         /// from the produced strategy.
-        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(
-            self,
-            f: F,
-        ) -> FlatMap<Self, F>
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
         where
             Self: Sized,
         {
@@ -371,7 +370,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *a != *b,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($a), stringify!($b), a
+            stringify!($a),
+            stringify!($b),
+            a
         );
     }};
 }
