@@ -16,6 +16,7 @@
 
 use cusha_core::{IterationStat, RunStats, Value, VertexProgram};
 use cusha_graph::{Csr, Graph};
+use cusha_obs::trace::{lanes, ArgVal, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
@@ -27,6 +28,10 @@ pub struct MtcpuConfig {
     pub threads: usize,
     /// Convergence-loop safety cap.
     pub max_iterations: u32,
+    /// Span/event tracer; disabled (no-op, zero-cost) by default. The CPU
+    /// engine has no modeled clock, so iteration spans are reconstructed
+    /// post-hoc from measured wall time.
+    pub trace: Tracer,
 }
 
 impl MtcpuConfig {
@@ -35,7 +40,14 @@ impl MtcpuConfig {
         MtcpuConfig {
             threads,
             max_iterations: 10_000,
+            trace: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer recording spans of the run.
+    pub fn with_tracer(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -157,6 +169,35 @@ pub fn run_mtcpu<P: VertexProgram>(
         .iter()
         .map(|a| P::V::from_bits(a.load(Ordering::Relaxed)))
         .collect();
+    if cfg.trace.is_enabled() {
+        cfg.trace.name_process(0, "mtcpu");
+        cfg.trace.name_lane(0, lanes::ENGINE, "engine");
+        let mut cursor = 0.0f64;
+        for (k, it) in per_iteration.iter().enumerate() {
+            cfg.trace.complete_with(
+                0,
+                lanes::ENGINE,
+                "engine",
+                "iteration",
+                cursor,
+                it.seconds,
+                || {
+                    vec![
+                        ("iteration", ArgVal::U64(k as u64)),
+                        ("updated_vertices", ArgVal::U64(it.updated_vertices)),
+                    ]
+                },
+            );
+            cursor += it.seconds;
+            cfg.trace.counter(
+                0,
+                lanes::ENGINE,
+                "updated_vertices",
+                cursor,
+                it.updated_vertices as f64,
+            );
+        }
+    }
     MtcpuOutput {
         values: out_values,
         stats: RunStats {
@@ -232,6 +273,25 @@ mod tests {
         assert!(out.stats.compute_seconds > 0.0);
         assert_eq!(out.stats.h2d_seconds, 0.0);
         assert_eq!(out.stats.per_iteration.len(), out.stats.iterations as usize);
+    }
+
+    #[test]
+    fn tracer_reconstructs_iteration_spans() {
+        use cusha_obs::trace::Ph;
+        let g = rmat(&RmatConfig::graph500(7, 600, 45));
+        let tracer = Tracer::enabled();
+        let out = run_mtcpu(
+            &Sssp::new(0),
+            &g,
+            &MtcpuConfig::new(2).with_tracer(tracer.clone()),
+        );
+        tracer.with_events(|events| {
+            let iters = events
+                .iter()
+                .filter(|e| e.name == "iteration" && e.ph == Ph::Complete)
+                .count();
+            assert_eq!(iters as u32, out.stats.iterations);
+        });
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use cusha_core::{IterationStat, RunStats, VertexProgram};
 use cusha_graph::{Csr, Graph};
+use cusha_obs::trace::{lanes, ArgVal, Tracer};
 use cusha_simt::{DevVec, DeviceConfig, Gpu, KernelDesc, Mask, VirtualWarps, WARP};
 
 /// VWC-CSR configuration.
@@ -38,6 +39,8 @@ pub struct VwcConfig {
     pub profile: bool,
     /// Simulated device.
     pub device: DeviceConfig,
+    /// Span/event tracer; disabled (no-op, zero-cost) by default.
+    pub trace: Tracer,
 }
 
 impl VwcConfig {
@@ -50,12 +53,19 @@ impl VwcConfig {
             defer_outliers: None,
             profile: false,
             device: DeviceConfig::gtx780(),
+            trace: Tracer::disabled(),
         }
     }
 
     /// Enables outlier deferral with the given degree threshold.
     pub fn with_outlier_deferral(mut self, threshold: u32) -> Self {
         self.defer_outliers = Some(threshold);
+        self
+    }
+
+    /// Installs a tracer recording spans of the run.
+    pub fn with_tracer(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -75,6 +85,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
     let csr = Csr::from_graph(graph);
     let mut gpu = Gpu::new(cfg.device.clone());
     gpu.set_profiling(cfg.profile);
+    gpu.set_tracer(cfg.trace.clone(), 0);
     let n = graph.num_vertices() as usize;
 
     // ---- Upload CSR (H2D) --------------------------------------------------
@@ -97,6 +108,14 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
     });
     let mut converged_flag = gpu.upload(&[1u32]);
     let h2d_initial = gpu.h2d_seconds;
+    cfg.trace.complete(
+        0,
+        lanes::ENGINE,
+        "engine",
+        "setup",
+        0.0,
+        gpu.total_seconds(),
+    );
 
     // ---- Convergence loop --------------------------------------------------
     let vertices_per_block = (cfg.threads_per_block as usize / cfg.virtual_warp).max(1);
@@ -113,6 +132,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
     };
     let mut converged = false;
     while total.iterations < cfg.max_iterations {
+        let iter_ts = gpu.total_seconds();
         gpu.h2d(&mut converged_flag, &[1u32]);
         let mut updated_this_iter = 0u64;
         let kstats = gpu.launch(&desc, |b| {
@@ -135,6 +155,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
                 let leaders = vws.leaders().and(Mask::from_fn(group_valid));
 
                 // --- SISD phase (leader lanes): CSR offsets + old value.
+                b.phase("sisd");
                 let starts = b.gload(&in_edge_idxs, leaders, vertex_of);
                 let ends = b.gload(&in_edge_idxs, leaders, |l| vertex_of(l) + 1);
                 let olds = b.gload(&vertex_values, leaders, vertex_of);
@@ -172,6 +193,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
                 }
 
                 // --- Neighbour sweep, `vw` edges of each vertex per step.
+                b.phase("sweep");
                 let max_deg = (0..wpg).map(|g| group_deg[g]).max().unwrap_or(0);
                 let steps = (max_deg as usize).div_ceil(cfg.virtual_warp);
                 for step in 0..steps {
@@ -221,6 +243,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
 
                 // --- Parallel reduction ladder: log2(vw) halving steps with
                 // shrinking active masks (the intra-warp divergence source).
+                b.phase("reduce");
                 let mut off = cfg.virtual_warp / 2;
                 while off >= 1 {
                     let mask = Mask::from_fn(|l| group_valid(l) && vws.lane_in_group(l) < off);
@@ -232,6 +255,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
                 }
 
                 // --- Leader publishes if changed (Appendix A lines 22-25).
+                b.phase("publish");
                 let mut changed = [false; WARP];
                 let mut news = [P::V::default(); WARP];
                 for g in 0..wpg {
@@ -253,6 +277,9 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
             }
 
             // Second pass: deferred outliers, one full 32-lane warp each.
+            if !deferred.is_empty() {
+                b.phase("deferred");
+            }
             for &(v, start, deg, old) in &deferred {
                 let mut local = P::V::default();
                 prog.init_compute(&mut local, &old);
@@ -308,7 +335,30 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
         total.kernel.counters.add(&kstats.counters);
         total.kernel.blocks = kstats.blocks;
         total.kernel.threads_per_block = kstats.threads_per_block;
-        if gpu.download_scalar(&converged_flag, 0) == 1 {
+        let flag = gpu.download_scalar(&converged_flag, 0);
+        let iter = total.iterations as u64 - 1;
+        cfg.trace.complete_with(
+            0,
+            lanes::ENGINE,
+            "engine",
+            "iteration",
+            iter_ts,
+            gpu.total_seconds() - iter_ts,
+            || {
+                vec![
+                    ("iteration", ArgVal::U64(iter)),
+                    ("updated_vertices", ArgVal::U64(updated_this_iter)),
+                ]
+            },
+        );
+        cfg.trace.counter(
+            0,
+            lanes::ENGINE,
+            "updated_vertices",
+            gpu.total_seconds(),
+            updated_this_iter as f64,
+        );
+        if flag == 1 {
             converged = true;
             break;
         }
@@ -316,7 +366,16 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
 
     // ---- Download results (D2H) --------------------------------------------
     let d2h_before_results = gpu.d2h_seconds;
+    let dl_ts = gpu.total_seconds();
     let values = gpu.download(&vertex_values);
+    cfg.trace.complete(
+        0,
+        lanes::ENGINE,
+        "engine",
+        "download",
+        dl_ts,
+        gpu.total_seconds() - dl_ts,
+    );
     total.converged = converged;
     total.kernel.name = desc.name.clone();
     total.h2d_seconds = h2d_initial;
@@ -431,6 +490,36 @@ mod tests {
         assert!(
             e_def > e_plain,
             "deferral should raise warp efficiency: {e_plain:.3} -> {e_def:.3}"
+        );
+    }
+
+    #[test]
+    fn tracer_records_iteration_kernel_and_phase_spans() {
+        use cusha_obs::trace::Ph;
+        let g = rmat(&RmatConfig::graph500(7, 600, 36));
+        let tracer = Tracer::enabled();
+        let cfg = VwcConfig::new(8).with_tracer(tracer.clone());
+        let out = run_vwc(&Sssp::new(0), &g, &cfg);
+        tracer.with_events(|events| {
+            let iters = events
+                .iter()
+                .filter(|e| e.name == "iteration" && e.ph == Ph::Complete)
+                .count();
+            assert_eq!(iters as u32, out.stats.iterations);
+            for phase in ["sisd", "sweep", "reduce", "publish"] {
+                assert!(
+                    events.iter().any(|e| e.cat == "phase" && e.name == phase),
+                    "missing phase span {phase}"
+                );
+            }
+            assert!(events.iter().any(|e| e.cat == "kernel"));
+        });
+        // Tracing must not perturb results or the modeled clock.
+        let plain = run_vwc(&Sssp::new(0), &g, &VwcConfig::new(8));
+        assert_eq!(out.values, plain.values);
+        assert_eq!(
+            out.stats.total_seconds().to_bits(),
+            plain.stats.total_seconds().to_bits()
         );
     }
 

@@ -2,25 +2,31 @@
 //!
 //! ```text
 //! repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
-//!       [--out-dir DIR] [--verbose]
+//!       [--out-dir DIR] [--verbose] [--log-level LEVEL]
 //!
 //! ARTIFACT: all (default) | layouts | table1 | table2 | table4 | table5 |
 //!           table6 | table7 | fig1 | fig7 | fig8 | fig9 | fig10 | fig11 |
 //!           fig12 | fig13 | ablation
 //!
-//! --scale N       dataset surrogate scale divisor (default 64;
-//!                 1 = full Table-1 sizes)
-//! --rmat-scale N  RMAT sweep scale divisor for fig11/12/13 (default 64)
-//! --max-iters N   convergence-loop cap (default 300)
-//! --out-dir DIR   also write each artifact report and the raw matrix CSV
-//! --verbose       stream per-cell progress to stderr
+//! --scale N         dataset surrogate scale divisor (default 64;
+//!                   1 = full Table-1 sizes)
+//! --rmat-scale N    RMAT sweep scale divisor for fig11/12/13 (default 64)
+//! --max-iters N     convergence-loop cap (default 300)
+//! --out-dir DIR     also write each artifact report and the raw matrix CSV
+//! --verbose         stream per-cell progress to stderr
+//! --log-level LEVEL error|warn|info|debug|trace (default info)
 //! ```
+//!
+//! All progress chatter goes through the [`cusha_obs::log`] leveled stderr
+//! logger; stdout carries only the artifact reports, so
+//! `repro table2 > table2.txt` stays clean under any log level.
 
 use cusha_baselines::{MTCPU_THREADS, VIRTUAL_WARP_SIZES};
 use cusha_bench::bench_defs::{Benchmark, Engine};
 use cusha_bench::experiments::{self, Ctx};
 use cusha_bench::matrix::{run_matrix, MatrixResult};
 use cusha_graph::surrogates::Dataset;
+use cusha_obs::{log, Level};
 
 const MATRIX_ARTIFACTS: [&str; 7] = [
     "table2", "table4", "table5", "table6", "table7", "fig7", "fig8",
@@ -66,6 +72,17 @@ fn main() {
                 ctx.max_iterations = parse(&args, i, "--max-iters") as u32;
             }
             "--verbose" | "-v" => ctx.verbose = true,
+            "--log-level" => {
+                i += 1;
+                let value = args.get(i).cloned().unwrap_or_default();
+                match Level::parse(&value) {
+                    Some(level) => log::set_level(level),
+                    None => {
+                        eprintln!("--log-level needs one of error|warn|info|debug|trace");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--out-dir" => {
                 i += 1;
                 out_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -99,9 +116,12 @@ fn main() {
         .iter()
         .any(|a| MATRIX_ARTIFACTS.contains(&a.as_str()));
 
-    eprintln!(
-        "repro: scale 1/{}, rmat scale 1/{}, max {} iterations",
-        ctx.scale, ctx.rmat_scale, ctx.max_iterations
+    log::write(
+        Level::Info,
+        &format!(
+            "repro: scale 1/{}, rmat scale 1/{}, max {} iterations",
+            ctx.scale, ctx.rmat_scale, ctx.max_iterations
+        ),
     );
     let matrix: Option<MatrixResult> = needs_matrix.then(|| {
         let mut engines = vec![Engine::CuShaGs, Engine::CuShaCw];
@@ -109,11 +129,14 @@ fn main() {
         if needs_mtcpu {
             engines.extend(MTCPU_THREADS.iter().map(|&t| Engine::Mtcpu(t)));
         }
-        eprintln!(
-            "repro: computing {}x{}x{} result matrix...",
-            Dataset::ALL.len(),
-            Benchmark::ALL.len(),
-            engines.len()
+        log::write(
+            Level::Info,
+            &format!(
+                "repro: computing {}x{}x{} result matrix...",
+                Dataset::ALL.len(),
+                Benchmark::ALL.len(),
+                engines.len()
+            ),
         );
         run_matrix(
             &Dataset::ALL,
@@ -128,7 +151,7 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create --out-dir");
         let path = format!("{dir}/matrix.csv");
         std::fs::write(&path, m.to_csv()).expect("write matrix.csv");
-        eprintln!("repro: wrote {path}");
+        log::write(Level::Info, &format!("repro: wrote {path}"));
     }
 
     for a in &artifacts {
@@ -155,7 +178,10 @@ fn main() {
                     std::fs::create_dir_all(dir).expect("create --out-dir");
                     let path = format!("{dir}/multi_gpu_scaling.json");
                     std::fs::write(&path, res.to_json()).expect("write scaling json");
-                    eprintln!("repro: wrote {path}");
+                    log::write(Level::Info, &format!("repro: wrote {path}"));
+                    let mpath = format!("{dir}/multi_gpu_scaling_metrics.json");
+                    std::fs::write(&mpath, res.metrics_json()).expect("write scaling metrics");
+                    log::write(Level::Info, &format!("repro: wrote {mpath}"));
                 }
                 res.report()
             }
@@ -181,9 +207,13 @@ const HELP: &str = "\
 repro — regenerate the CuSha paper's tables and figures
 
 usage: repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
-             [--out-dir DIR] [--verbose]
+             [--out-dir DIR] [--verbose] [--log-level LEVEL]
 
 artifacts: all layouts table1 fig1 table2 table4 table5 table6 table7
            fig7 fig8 fig9 fig10 fig11 fig12 fig13 ablation
-           multi_gpu_scaling (also writes multi_gpu_scaling.json to --out-dir)
+           multi_gpu_scaling (also writes multi_gpu_scaling.json and
+           multi_gpu_scaling_metrics.json to --out-dir)
+
+Progress goes to stderr via the leveled logger (--log-level error|warn|
+info|debug|trace, default info); stdout carries only artifact reports.
 ";

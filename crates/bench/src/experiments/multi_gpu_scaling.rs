@@ -15,6 +15,7 @@ use crate::table::{fmt_ms, fmt_pct, fmt_speedup, Table};
 use cusha_algos::PageRank;
 use cusha_core::{run_multi, CuShaConfig, MultiConfig};
 use cusha_graph::surrogates::Dataset;
+use cusha_obs::{log, Level, MetricsRegistry};
 
 /// Device counts swept per dataset.
 pub const DEVICE_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -60,6 +61,9 @@ pub struct ScalingResult {
     pub interconnect: String,
     /// One row per dataset surrogate.
     pub rows: Vec<ScalingRow>,
+    /// Every run's full stats (per-device breakdown included), recorded
+    /// under `dataset`/`devices` labels for `multi_gpu_scaling_metrics.json`.
+    pub metrics: MetricsRegistry,
 }
 
 /// Runs PageRank (the all-active benchmark: every vertex updates every
@@ -67,14 +71,18 @@ pub struct ScalingResult {
 /// surrogate for every device count.
 pub fn run(ctx: &Ctx) -> ScalingResult {
     let mut rows = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     for ds in Dataset::ALL {
         let g = ds.generate(ctx.scale);
         if ctx.verbose {
-            eprintln!(
-                "multi_gpu_scaling: {} ({} vertices, {} edges)",
-                ds.name(),
-                g.num_vertices(),
-                g.num_edges()
+            log::write(
+                Level::Info,
+                &format!(
+                    "multi_gpu_scaling: {} ({} vertices, {} edges)",
+                    ds.name(),
+                    g.num_vertices(),
+                    g.num_edges()
+                ),
             );
         }
         let mut base = CuShaConfig::cw();
@@ -90,6 +98,11 @@ pub fn run(ctx: &Ctx) -> ScalingResult {
             );
             let s = &out.stats;
             let modeled = s.modeled_seconds();
+            let devices_label = devices.to_string();
+            s.record_metrics(
+                &mut metrics,
+                &[("dataset", ds.name()), ("devices", &devices_label)],
+            );
             match &baseline_values {
                 None => {
                     baseline_values = Some(out.values);
@@ -125,6 +138,7 @@ pub fn run(ctx: &Ctx) -> ScalingResult {
         scale: ctx.scale,
         interconnect: cusha_simt::Interconnect::pcie_gen3().name.to_string(),
         rows,
+        metrics,
     }
 }
 
@@ -209,6 +223,12 @@ impl ScalingResult {
         s.push_str("  ]\n}\n");
         s
     }
+
+    /// Byte-stable metrics snapshot (`cusha-metrics/v1`) of every run in
+    /// the sweep, written next to `multi_gpu_scaling.json` by `repro`.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
 }
 
 #[cfg(test)]
@@ -239,5 +259,9 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let report = res.report();
         assert!(report.contains("Multi-GPU scaling"));
+        let metrics = res.metrics_json();
+        assert!(metrics.starts_with("{\"schema\":\"cusha-metrics/v1\""));
+        assert!(metrics.contains("multi_devices{dataset=LiveJournal,devices=8}"));
+        assert!(metrics.contains("device_kernel_seconds{"));
     }
 }

@@ -142,7 +142,8 @@ pub fn run_cell(
 ///
 /// `scale` is the surrogate scale divisor (see
 /// [`cusha_graph::surrogates::Dataset::generate`]); `verbose` streams
-/// per-cell progress to stderr.
+/// per-cell progress to stderr through the [`cusha_obs::log`] logger
+/// (info level, so `--log-level warn` silences it).
 pub fn run_matrix(
     datasets: &[Dataset],
     benchmarks: &[Benchmark],
@@ -191,15 +192,18 @@ pub fn run_matrix(
                 let (gi, ds, b, e) = gpu_items[i];
                 let cell = run_cell(&graphs[gi].1, ds, b, e, max_iterations);
                 if verbose {
-                    eprintln!(
-                        "  [{}/{}] {} {} {}: {:.1} ms ({} iters)",
-                        i + 1,
-                        gpu_items.len(),
-                        ds,
-                        b,
-                        e.label(),
-                        cell.stats.total_ms(),
-                        cell.stats.iterations
+                    cusha_obs::log::write(
+                        cusha_obs::Level::Info,
+                        &format!(
+                            "matrix [{}/{}] {} {} {}: {:.1} ms ({} iters)",
+                            i + 1,
+                            gpu_items.len(),
+                            ds,
+                            b,
+                            e.label(),
+                            cell.stats.total_ms(),
+                            cell.stats.iterations
+                        ),
                     );
                 }
                 results.lock().unwrap().push(cell);
@@ -210,13 +214,16 @@ pub fn run_matrix(
     for (gi, ds, b, e) in cpu_items {
         let cell = run_cell(&graphs[gi].1, ds, b, e, max_iterations);
         if verbose {
-            eprintln!(
-                "  [cpu] {} {} {}: {:.1} ms ({} iters)",
-                ds,
-                b,
-                e.label(),
-                cell.stats.total_ms(),
-                cell.stats.iterations
+            cusha_obs::log::write(
+                cusha_obs::Level::Info,
+                &format!(
+                    "matrix [cpu] {} {} {}: {:.1} ms ({} iters)",
+                    ds,
+                    b,
+                    e.label(),
+                    cell.stats.total_ms(),
+                    cell.stats.iterations
+                ),
             );
         }
         cells.push(cell);

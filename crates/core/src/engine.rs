@@ -27,6 +27,7 @@ use crate::program::{Value, VertexProgram};
 use crate::shards::GShards;
 use crate::stats::{IterationStat, RunStats};
 use cusha_graph::Graph;
+use cusha_obs::trace::{lanes, ArgVal, Tracer};
 use cusha_simt::{aligned_chunks, DevVec, DeviceConfig, FaultPlan, Gpu, KernelDesc, Mask, WARP};
 use std::collections::HashSet;
 
@@ -79,6 +80,11 @@ pub struct CuShaConfig {
     /// previously-seen state recurs without convergence. `None` disables
     /// the check (the `max_iterations` cap still bounds the loop).
     pub watchdog_interval: Option<u32>,
+    /// Span sink threaded to the device and the convergence loop. The
+    /// default no-op tracer records nothing and costs nothing; install an
+    /// enabled tracer (see [`cusha_obs::Tracer::enabled`]) to capture the
+    /// modeled-clock timeline.
+    pub trace: Tracer,
 }
 
 impl CuShaConfig {
@@ -94,6 +100,7 @@ impl CuShaConfig {
             device: DeviceConfig::gtx780(),
             fault_plan: None,
             watchdog_interval: None,
+            trace: Tracer::default(),
         }
     }
 
@@ -122,6 +129,12 @@ impl CuShaConfig {
     /// Enables the livelock watchdog at the given snapshot interval.
     pub fn with_watchdog(mut self, interval: u32) -> Self {
         self.watchdog_interval = Some(interval);
+        self
+    }
+
+    /// Installs a span sink.
+    pub fn with_tracer(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -219,6 +232,9 @@ pub fn try_run<P: VertexProgram>(
     let cw = matches!(cfg.repr, Repr::ConcatWindows).then(|| ConcatWindows::from_gshards(&gs));
     let mut gpu = Gpu::new(cfg.device.clone());
     gpu.set_profiling(cfg.profile);
+    // Single-device runs occupy process lane 0 of the trace; a device
+    // embedded in a fleet is instead wired by `DeviceFleet::set_tracer`.
+    gpu.set_tracer(cfg.trace.clone(), 0);
     if let Some(plan) = cfg.fault_plan.clone() {
         gpu.set_fault_plan(plan);
     }
@@ -285,6 +301,14 @@ pub fn try_run<P: VertexProgram>(
 
     let mut converged_flag = gpu.try_upload(&[1u32])?;
     let h2d_initial = gpu.h2d_seconds;
+    cfg.trace.complete(
+        0,
+        lanes::ENGINE,
+        "engine",
+        "setup",
+        0.0,
+        gpu.total_seconds(),
+    );
 
     // ---- Convergence loop -------------------------------------------------
     let p = gs.num_shards();
@@ -300,6 +324,7 @@ pub fn try_run<P: VertexProgram>(
     let mut converged = false;
     let mut watchdog_seen: HashSet<u64> = HashSet::new();
     while total.iterations < cfg.max_iterations {
+        let iter_ts = gpu.total_seconds();
         gpu.try_h2d(&mut converged_flag, &[1u32])?; // host resets is_converged
         let mut updated_this_iter = 0u64;
         let kstats = gpu.try_launch(&desc, |b| {
@@ -310,6 +335,7 @@ pub fn try_run<P: VertexProgram>(
             let mut local = b.shared_alloc::<P::V>(nv);
 
             // Stage 1: coalesced fetch of VertexValues into shared memory.
+            b.phase("gather");
             for (base, mask) in aligned_chunks(offset..offset + nv) {
                 let vals = b.gload(&vertex_values, mask, |l| base + l);
                 let mut inited = [P::V::default(); WARP];
@@ -325,6 +351,7 @@ pub fn try_run<P: VertexProgram>(
 
             // Stage 2: process shard entries; atomic shared update of the
             // destination's local value.
+            b.phase("apply");
             let er = gs.shard_entries(s);
             for (base, mask) in aligned_chunks(er.clone()) {
                 let srcv = b.gload(&src_value, mask, |l| base + l);
@@ -348,6 +375,7 @@ pub fn try_run<P: VertexProgram>(
             b.sync();
 
             // Stage 3: update_condition; publish changed values.
+            b.phase("scatter");
             let mut block_updated = false;
             for (base, mask) in aligned_chunks(offset..offset + nv) {
                 let old = b.gload(&vertex_values, mask, |l| base + l);
@@ -371,6 +399,7 @@ pub fn try_run<P: VertexProgram>(
             b.sync();
 
             // Stage 4: write-back to the windows in all shards.
+            b.phase("compact");
             if block_updated {
                 match &cw {
                     None => {
@@ -414,7 +443,30 @@ pub fn try_run<P: VertexProgram>(
         total.kernel.counters.add(&kstats.counters);
         total.kernel.blocks = kstats.blocks;
         total.kernel.threads_per_block = kstats.threads_per_block;
-        if gpu.try_download_scalar(&converged_flag, 0)? == 1 {
+        let flag = gpu.try_download_scalar(&converged_flag, 0)?;
+        let iter = total.iterations as u64;
+        cfg.trace.complete_with(
+            0,
+            lanes::ENGINE,
+            "engine",
+            "iteration",
+            iter_ts,
+            gpu.total_seconds() - iter_ts,
+            || {
+                vec![
+                    ("iteration", ArgVal::U64(iter)),
+                    ("updated_vertices", ArgVal::U64(updated_this_iter)),
+                ]
+            },
+        );
+        cfg.trace.counter(
+            0,
+            lanes::ENGINE,
+            "updated_vertices",
+            gpu.total_seconds(),
+            updated_this_iter as f64,
+        );
+        if flag == 1 {
             converged = true;
             break;
         }
@@ -435,7 +487,16 @@ pub fn try_run<P: VertexProgram>(
 
     // ---- Download results (D2H) -------------------------------------------
     let d2h_before_results = gpu.d2h_seconds;
+    let teardown_ts = gpu.total_seconds();
     let values = gpu.try_download(&vertex_values)?;
+    cfg.trace.complete(
+        0,
+        lanes::ENGINE,
+        "engine",
+        "download",
+        teardown_ts,
+        gpu.total_seconds() - teardown_ts,
+    );
     let _ = n; // n documented the vertex count; values.len() == n
 
     total.converged = converged;

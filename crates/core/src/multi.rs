@@ -40,6 +40,7 @@ use crate::program::VertexProgram;
 use crate::shards::GShards;
 use crate::stats::{FaultStats, IterationStat, RunStats};
 use cusha_graph::{FleetPartition, Graph};
+use cusha_obs::trace::{lanes, ArgVal};
 use cusha_simt::{
     aligned_chunks, DevVec, DeviceFault, DeviceFleet, Gpu, Interconnect, KernelDesc, KernelStats,
     Mask, Pod, Profile, WARP,
@@ -217,6 +218,53 @@ impl MultiRunStats {
             fault: self.fault,
         }
     }
+
+    /// Records the fleet run — overlapped phase timings, exchange volume,
+    /// aggregate kernel counters, fleet fault activity, and a per-device
+    /// breakdown under an added `device=N` label — into a metrics registry.
+    pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.add("multi_devices", labels, self.devices as u64);
+        reg.add("run_iterations", labels, self.iterations as u64);
+        reg.set_gauge(
+            "run_converged",
+            labels,
+            if self.converged { 1.0 } else { 0.0 },
+        );
+        reg.set_gauge("multi_setup_seconds", labels, self.setup_seconds);
+        reg.set_gauge("multi_compute_seconds", labels, self.compute_seconds);
+        reg.set_gauge("multi_exchange_seconds", labels, self.exchange_seconds);
+        reg.set_gauge("multi_teardown_seconds", labels, self.teardown_seconds);
+        reg.set_gauge("multi_total_seconds", labels, self.modeled_seconds());
+        reg.add("multi_exchange_bytes", labels, self.exchange_bytes);
+        reg.set_gauge("multi_load_imbalance", labels, self.load_imbalance);
+        for it in &self.per_iteration {
+            reg.observe("iteration_seconds", labels, it.seconds);
+            reg.observe(
+                "iteration_updated_vertices",
+                labels,
+                it.updated_vertices as f64,
+            );
+        }
+        self.aggregate.record_metrics(reg, labels);
+        self.fault.record_metrics(reg, labels);
+        for dev in &self.per_device {
+            let id = dev.device.to_string();
+            let mut dl: Vec<(&str, &str)> = labels.to_vec();
+            dl.push(("device", &id));
+            reg.add("device_shards", &dl, dev.shards as u64);
+            reg.add("device_vertices", &dl, dev.vertices as u64);
+            reg.add("device_edges", &dl, dev.edges as u64);
+            reg.add("device_halo_vertices", &dl, dev.halo_vertices as u64);
+            reg.add("device_kernels_launched", &dl, dev.kernels_launched);
+            reg.add("device_exchange_sent_bytes", &dl, dev.exchange_sent_bytes);
+            reg.add("device_exchange_recv_bytes", &dl, dev.exchange_recv_bytes);
+            reg.set_gauge("device_h2d_seconds", &dl, dev.h2d_seconds);
+            reg.set_gauge("device_d2h_seconds", &dl, dev.d2h_seconds);
+            reg.set_gauge("device_kernel_seconds", &dl, dev.kernel_seconds);
+            dev.kernel.record_metrics(reg, &dl);
+            dev.fault.record_metrics(reg, &dl);
+        }
+    }
 }
 
 /// Result of a multi-device run.
@@ -304,6 +352,13 @@ fn with_copy_retries<T>(
                 }
                 fault.copy_retries += 1;
                 fault.backoff_seconds += backoff_base * (1u64 << attempt) as f64;
+                gpu.tracer().clone().instant(
+                    gpu.trace_pid(),
+                    lanes::FAULT,
+                    "fault",
+                    "copy-retry",
+                    gpu.total_seconds(),
+                );
                 attempt += 1;
             }
             Err(f) => return Err(f),
@@ -599,6 +654,7 @@ impl<P: VertexProgram> MultiState<'_, P> {
             let mut local = b.shared_alloc::<P::V>(nv);
 
             // Stage 1: coalesced fetch of VertexValues into shared memory.
+            b.phase("gather");
             for (base, mask) in aligned_chunks(offset..offset + nv) {
                 let vals = b.gload(&dev.vertex_values, mask, |l| base + l - voff);
                 let mut inited = [P::V::default(); WARP];
@@ -613,6 +669,7 @@ impl<P: VertexProgram> MultiState<'_, P> {
             b.sync();
 
             // Stage 2: fold the shard's entries into the local values.
+            b.phase("apply");
             let er = gs.shard_entries(s);
             for (base, mask) in aligned_chunks(er.clone()) {
                 let srcv = b.gload(&dev.src_value, mask, |l| base + l - eoff);
@@ -636,6 +693,7 @@ impl<P: VertexProgram> MultiState<'_, P> {
             b.sync();
 
             // Stage 3: update_condition; publish changed values.
+            b.phase("scatter");
             let mut block_updated = false;
             for (base, mask) in aligned_chunks(offset..offset + nv) {
                 let old = b.gload(&dev.vertex_values, mask, |l| base + l - voff);
@@ -664,6 +722,7 @@ impl<P: VertexProgram> MultiState<'_, P> {
             // Stage 4: write-back to the windows in all shards; writes
             // outside this launch's own entry range go to the outbox (and
             // are recorded as spills for the halo exchange).
+            b.phase("compact");
             if block_updated {
                 match cw {
                     None => {
@@ -772,6 +831,13 @@ impl<P: VertexProgram> MultiState<'_, P> {
             self.master_src_value[info.erange.clone()].copy_from_slice(&srcv);
         }
         self.faults[d].degradations += 1;
+        self.cfg.base.trace.instant(
+            d as u32,
+            lanes::FAULT,
+            "fault",
+            "degrade-to-host",
+            self.device_time(d),
+        );
         self.modes[d] = Mode::Fallback;
         self.host_iterate(d, info.shards, out);
         Ok(())
@@ -883,6 +949,13 @@ impl<P: VertexProgram> MultiState<'_, P> {
                     Ok(k) => break Some(k),
                     Err(DeviceFault::Kernel { .. }) if attempts < self.cfg.max_kernel_retries => {
                         fault.kernel_retries += 1;
+                        gpu.tracer().clone().instant(
+                            gpu.trace_pid(),
+                            lanes::FAULT,
+                            "fault",
+                            "kernel-retry",
+                            gpu.total_seconds(),
+                        );
                         attempts += 1;
                     }
                     Err(DeviceFault::Kernel { .. }) => {
@@ -943,8 +1016,22 @@ impl<P: VertexProgram> MultiState<'_, P> {
                 Ok(()) => s = end,
                 Err(DeviceFault::Oom { .. }) => {
                     self.faults[d].oom_rebatches += 1;
+                    self.cfg.base.trace.instant(
+                        d as u32,
+                        lanes::FAULT,
+                        "fault",
+                        "oom-rebatch",
+                        self.device_time(d),
+                    );
                     if self.faults[d].oom_rebatches > self.cfg.max_rebatches {
                         self.faults[d].degradations += 1;
+                        self.cfg.base.trace.instant(
+                            d as u32,
+                            lanes::FAULT,
+                            "fault",
+                            "degrade-to-host",
+                            self.device_time(d),
+                        );
                         self.modes[d] = Mode::Fallback;
                         self.host_iterate(d, s..info.shards.end, &mut out);
                         break 'shards;
@@ -955,6 +1042,13 @@ impl<P: VertexProgram> MultiState<'_, P> {
                 }
                 Err(DeviceFault::Kernel { .. }) => {
                     self.faults[d].degradations += 1;
+                    self.cfg.base.trace.instant(
+                        d as u32,
+                        lanes::FAULT,
+                        "fault",
+                        "degrade-to-host",
+                        self.device_time(d),
+                    );
                     self.modes[d] = Mode::Fallback;
                     self.host_iterate(d, s..info.shards.end, &mut out);
                     break 'shards;
@@ -1110,6 +1204,13 @@ impl<P: VertexProgram> MultiState<'_, P> {
                     Err(f @ DeviceFault::Kernel { .. }) => {
                         if attempts < self.cfg.max_kernel_retries {
                             self.faults[d].kernel_retries += 1;
+                            gpu.tracer().clone().instant(
+                                gpu.trace_pid(),
+                                lanes::FAULT,
+                                "fault",
+                                "kernel-retry",
+                                gpu.total_seconds(),
+                            );
                             attempts += 1;
                         } else {
                             return Err(f);
@@ -1190,6 +1291,8 @@ fn run_multi_inner<P: VertexProgram>(
     });
 
     let mut fleet = DeviceFleet::new(&cfg.base.device, cfg.devices, cfg.interconnect.clone());
+    fleet.set_tracer(&cfg.base.trace);
+    let fleet_pid = fleet.fleet_pid();
     for d in 0..cfg.devices {
         fleet.device_mut(d).set_profiling(cfg.base.profile);
     }
@@ -1285,6 +1388,13 @@ fn run_multi_inner<P: VertexProgram>(
                 // The partition does not fit: stream it in batches under
                 // half the device's memory, like the streamed engine.
                 st.faults[d].oom_rebatches += 1;
+                cfg.base.trace.instant(
+                    d as u32,
+                    lanes::FAULT,
+                    "fault",
+                    "oom-rebatch",
+                    st.device_time(d),
+                );
                 st.modes[d] = Mode::Rebatched {
                     budget: (cfg.base.device.global_mem_bytes / 2).max(1),
                 };
@@ -1296,6 +1406,17 @@ fn run_multi_inner<P: VertexProgram>(
         .map(|d| st.device_time(d))
         .fold(0.0f64, f64::max);
     let setup_marks: Vec<f64> = (0..cfg.devices).map(|d| st.device_time(d)).collect();
+    cfg.base.trace.complete(
+        fleet_pid,
+        lanes::ENGINE,
+        "engine",
+        "setup",
+        0.0,
+        setup_seconds,
+    );
+    // Fleet-lane clock: devices overlap, so the fleet timeline advances by
+    // the slowest device's wall per iteration plus each exchange.
+    let mut fleet_clock = setup_seconds;
 
     // ---- Convergence loop -------------------------------------------------
     let halo_bytes_per_vertex = <P::V as Pod>::SIZE as u64 + 4; // value + vertex id
@@ -1370,12 +1491,47 @@ fn run_multi_inner<P: VertexProgram>(
             updated_vertices: iter_updated,
         });
         stats.compute_seconds += max_wall;
+        let iter_no = stats.iterations as u64 - 1;
+        cfg.base.trace.complete_with(
+            fleet_pid,
+            lanes::ENGINE,
+            "engine",
+            "iteration",
+            fleet_clock,
+            max_wall,
+            || {
+                vec![
+                    ("iteration", ArgVal::U64(iter_no)),
+                    ("updated_vertices", ArgVal::U64(iter_updated)),
+                ]
+            },
+        );
+        fleet_clock += max_wall;
+        cfg.base.trace.counter(
+            fleet_pid,
+            lanes::ENGINE,
+            "updated_vertices",
+            fleet_clock,
+            iter_updated as f64,
+        );
         // Bulk-synchronous halo exchange over the interconnect.
         let sent: Vec<u64> = sent_pairs
             .iter()
             .map(|s| s.len() as u64 * halo_bytes_per_vertex)
             .collect();
-        stats.exchange_seconds += st.fleet.exchange_seconds(&sent);
+        let exchange = st.fleet.exchange_seconds(&sent);
+        stats.exchange_seconds += exchange;
+        let exchanged_bytes: u64 = sent.iter().sum();
+        cfg.base.trace.complete_with(
+            fleet_pid,
+            lanes::ENGINE,
+            "exchange",
+            "halo-exchange",
+            fleet_clock,
+            exchange,
+            || vec![("bytes", ArgVal::U64(exchanged_bytes))],
+        );
+        fleet_clock += exchange;
         for (d, set) in sent_pairs.iter().enumerate() {
             sent_bytes_total[d] += sent[d];
             stats.exchange_bytes += sent[d];
@@ -1443,6 +1599,14 @@ fn run_multi_inner<P: VertexProgram>(
         }
     }
     stats.teardown_seconds = teardown;
+    cfg.base.trace.complete(
+        fleet_pid,
+        lanes::ENGINE,
+        "engine",
+        "download",
+        fleet_clock,
+        teardown,
+    );
 
     // ---- Per-device breakdown ---------------------------------------------
     for d in 0..cfg.devices {
@@ -1787,6 +1951,55 @@ mod tests {
             try_run_multi(&MiniSssp { source: 0 }, &g, &overfull),
             Err(EngineError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn tracer_records_fleet_and_device_lanes() {
+        use cusha_obs::trace::{Ph, Tracer};
+        let g = test_graph();
+        let tracer = Tracer::enabled();
+        let base = CuShaConfig::gs()
+            .with_vertices_per_shard(32)
+            .with_tracer(tracer.clone());
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 2));
+        let fleet_pid = 2u32; // devices 0..2, fleet lane after them
+        tracer.with_events(|events| {
+            let iters = events
+                .iter()
+                .filter(|e| e.pid == fleet_pid && e.name == "iteration" && e.ph == Ph::Complete)
+                .count();
+            assert_eq!(iters as u32, multi.stats.iterations);
+            assert!(events
+                .iter()
+                .any(|e| e.pid == fleet_pid && e.name == "halo-exchange"));
+            assert!(events
+                .iter()
+                .any(|e| e.pid == fleet_pid && e.name == "setup" && e.ph == Ph::Complete));
+            // Both devices launched kernels on their own lanes.
+            for pid in 0..2u32 {
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| e.pid == pid && e.cat == "kernel" && e.ph == Ph::Complete),
+                    "device {pid} has no kernel span"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn record_metrics_emits_per_device_series() {
+        let g = test_graph();
+        let base = CuShaConfig::gs().with_vertices_per_shard(32);
+        let multi = run_multi(&MiniSssp { source: 0 }, &g, &MultiConfig::new(base, 2));
+        let mut reg = cusha_obs::MetricsRegistry::new();
+        multi.stats.record_metrics(&mut reg, &[("engine", "multi")]);
+        let text = reg.render_text();
+        assert!(text.contains("multi_devices{engine=multi}"));
+        assert!(text.contains("device_kernel_seconds{device=0,engine=multi}"));
+        assert!(text.contains("device_kernel_seconds{device=1,engine=multi}"));
+        assert!(text.contains("gpu_gld_efficiency{device=1,engine=multi}"));
+        assert!(text.contains("fault_copy_retries{engine=multi}"));
     }
 
     #[test]

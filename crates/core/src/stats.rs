@@ -32,12 +32,24 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
-    /// True when no fault-tolerance machinery fired.
+    /// True when no fault-tolerance machinery fired. A run that spent any
+    /// modeled time in backoff is not clean even if every other counter is
+    /// zero — backoff time is recovery activity like any other.
     pub fn is_clean(&self) -> bool {
         self.copy_retries == 0
+            && self.backoff_seconds == 0.0
             && self.oom_rebatches == 0
             && self.degradations == 0
             && self.kernel_retries == 0
+    }
+
+    /// Records the recovery counters into a metrics registry.
+    pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.add("fault_copy_retries", labels, self.copy_retries as u64);
+        reg.add("fault_oom_rebatches", labels, self.oom_rebatches as u64);
+        reg.add("fault_degradations", labels, self.degradations as u64);
+        reg.add("fault_kernel_retries", labels, self.kernel_retries as u64);
+        reg.set_gauge("fault_backoff_seconds", labels, self.backoff_seconds);
     }
 }
 
@@ -92,6 +104,32 @@ impl RunStats {
         } else {
             num_edges as f64 / t
         }
+    }
+
+    /// Records the full run — timing, kernel counters and efficiencies,
+    /// per-iteration histograms, and fault-recovery activity — into a
+    /// metrics registry under the unified schema.
+    pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.add("run_iterations", labels, self.iterations as u64);
+        reg.set_gauge(
+            "run_converged",
+            labels,
+            if self.converged { 1.0 } else { 0.0 },
+        );
+        reg.set_gauge("run_h2d_seconds", labels, self.h2d_seconds);
+        reg.set_gauge("run_compute_seconds", labels, self.compute_seconds);
+        reg.set_gauge("run_d2h_seconds", labels, self.d2h_seconds);
+        reg.set_gauge("run_total_seconds", labels, self.total_seconds());
+        for it in &self.per_iteration {
+            reg.observe("iteration_seconds", labels, it.seconds);
+            reg.observe(
+                "iteration_updated_vertices",
+                labels,
+                it.updated_vertices as f64,
+            );
+        }
+        self.kernel.record_metrics(reg, labels);
+        self.fault.record_metrics(reg, labels);
     }
 }
 

@@ -52,6 +52,7 @@ use crate::program::{Value, VertexProgram};
 use crate::shards::GShards;
 use crate::stats::{FaultStats, IterationStat, RunStats};
 use cusha_graph::Graph;
+use cusha_obs::trace::{lanes, ArgVal};
 use cusha_simt::{aligned_chunks, DevVec, DeviceFault, Gpu, KernelDesc, Mask, Pod, WARP};
 use std::collections::HashSet;
 
@@ -176,7 +177,15 @@ fn with_copy_retries<T>(
                     return Err(f);
                 }
                 fault.copy_retries += 1;
-                fault.backoff_seconds += cfg.backoff_base_seconds * (1u64 << attempt) as f64;
+                let backoff = cfg.backoff_base_seconds * (1u64 << attempt) as f64;
+                fault.backoff_seconds += backoff;
+                gpu.tracer().clone().instant(
+                    gpu.trace_pid(),
+                    lanes::FAULT,
+                    "fault",
+                    "copy-retry",
+                    gpu.total_seconds(),
+                );
                 attempt += 1;
             }
             Err(f) => return Err(f),
@@ -222,6 +231,7 @@ pub fn try_run_streamed<P: VertexProgram>(
 
     loop {
         let mut gpu = Gpu::new(cfg.base.device.clone());
+        gpu.set_tracer(cfg.base.trace.clone(), 0);
         if let Some(p) = plan.take() {
             gpu.set_fault_plan(p);
         }
@@ -229,6 +239,7 @@ pub fn try_run_streamed<P: VertexProgram>(
         // The plan's operation counters persist across restarts, so
         // consumed one-shot faults never re-fire.
         plan = gpu.take_fault_plan();
+        let attempt_end = gpu.total_seconds();
         drop(gpu);
 
         match result {
@@ -258,6 +269,9 @@ pub fn try_run_streamed<P: VertexProgram>(
                 }
                 fault.oom_rebatches += 1;
                 resident = (resident / 2).max(1);
+                cfg.base
+                    .trace
+                    .instant(0, lanes::FAULT, "fault", "oom-rebatch", attempt_end);
             }
             Err(AttemptError::Fault(DeviceFault::Kernel { name, op_index })) => {
                 match repr {
@@ -267,10 +281,24 @@ pub fn try_run_streamed<P: VertexProgram>(
                         // different name pattern).
                         fault.degradations += 1;
                         repr = Repr::GShards;
+                        cfg.base.trace.instant(
+                            0,
+                            lanes::FAULT,
+                            "fault",
+                            "degrade-to-gshards",
+                            attempt_end,
+                        );
                     }
                     Repr::GShards => {
                         // Last rung: abandon the device entirely.
                         fault.degradations += 1;
+                        cfg.base.trace.instant(
+                            0,
+                            lanes::FAULT,
+                            "fault",
+                            "degrade-to-host",
+                            attempt_end,
+                        );
                         let _ = (name, op_index);
                         let mut base = cfg.base.clone();
                         base.repr = Repr::GShards;
@@ -359,13 +387,15 @@ fn stream_attempt<P: VertexProgram>(
     let mut watchdog_seen: HashSet<u64> = HashSet::new();
 
     while total.iterations < base.max_iterations {
+        let iter_ts = gpu.total_seconds();
         with_copy_retries(gpu, cfg, fault, |g| g.try_h2d(&mut converged_flag, &[1u32]))?;
         extra_transfer_seconds += base.device.transfer_seconds(4);
         let mut updated_this_iter = 0u64;
         let mut copy_times = Vec::with_capacity(batches.len());
         let mut kernel_times = Vec::with_capacity(batches.len());
 
-        for batch in &batches {
+        for (batch_index, batch) in batches.iter().enumerate() {
+            let batch_ts = gpu.total_seconds();
             let entry_lo = gs.shard_entries(batch.start).start;
             let entry_hi = gs.shard_entries(batch.end - 1).end;
             let er_all = entry_lo..entry_hi;
@@ -565,6 +595,13 @@ fn stream_attempt<P: VertexProgram>(
                         }
                         launch_attempts += 1;
                         fault.kernel_retries += 1;
+                        gpu.tracer().clone().instant(
+                            gpu.trace_pid(),
+                            lanes::FAULT,
+                            "fault",
+                            "kernel-retry",
+                            gpu.total_seconds(),
+                        );
                     }
                     Err(f) => return Err(f.into()),
                 }
@@ -578,6 +615,21 @@ fn stream_attempt<P: VertexProgram>(
             let batch_values = with_copy_retries(gpu, cfg, fault, |g| g.try_download(&src_value))?;
             master_src_value[er_all].copy_from_slice(&batch_values);
             extra_transfer_seconds += base.device.transfer_seconds(host_writes);
+            let shards = batch.len() as u64;
+            gpu.tracer().clone().complete_with(
+                gpu.trace_pid(),
+                lanes::ENGINE,
+                "engine",
+                "batch",
+                batch_ts,
+                gpu.total_seconds() - batch_ts,
+                || {
+                    vec![
+                        ("batch", ArgVal::U64(batch_index as u64)),
+                        ("shards", ArgVal::U64(shards)),
+                    ]
+                },
+            );
         }
 
         // Pipelined iteration time: with >= 2 streams, copy k+1 overlaps
@@ -598,10 +650,25 @@ fn stream_attempt<P: VertexProgram>(
             seconds: iter_seconds,
             updated_vertices: updated_this_iter,
         });
-        if with_copy_retries(gpu, cfg, fault, |g| {
+        let flag = with_copy_retries(gpu, cfg, fault, |g| {
             g.try_download_scalar(&converged_flag, 0)
-        })? == 1
-        {
+        })?;
+        let iter = total.iterations as u64 - 1;
+        gpu.tracer().clone().complete_with(
+            gpu.trace_pid(),
+            lanes::ENGINE,
+            "engine",
+            "iteration",
+            iter_ts,
+            gpu.total_seconds() - iter_ts,
+            || {
+                vec![
+                    ("iteration", ArgVal::U64(iter)),
+                    ("updated_vertices", ArgVal::U64(updated_this_iter)),
+                ]
+            },
+        );
+        if flag == 1 {
             converged = true;
             break;
         }

@@ -1,0 +1,244 @@
+//! Exporters: Chrome trace-event JSON and its structural validator.
+//!
+//! [`chrome_trace_json`] renders a [`Tracer`]'s buffer in the
+//! `chrome://tracing` / Perfetto "JSON Array Format": a `traceEvents` list
+//! of metadata (`ph:"M"` process/thread names), complete spans (`ph:"X"`),
+//! instants (`ph:"i"`) and counters (`ph:"C"`), with modeled-clock
+//! timestamps in microseconds. Lanes: one process per device (plus the
+//! fleet lane), one thread per engine/copy/kernel/fault role and per
+//! simulated SM.
+
+use crate::json::{push_f64, push_str_lit};
+use crate::trace::{ArgVal, Ph, Tracer, TRACE_SCHEMA};
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgVal)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(out, k);
+        out.push(':');
+        match v {
+            ArgVal::U64(u) => out.push_str(&u.to_string()),
+            ArgVal::F64(f) => push_f64(out, *f),
+            ArgVal::Str(s) => push_str_lit(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// Renders the tracer's buffered events as Chrome trace JSON. Returns the
+/// empty-trace document for a disabled tracer.
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    let dropped = tracer
+        .with_buf(|buf| {
+            for (pid, name) in &buf.process_names {
+                sep(&mut out);
+                out.push_str(&format!(
+                    "{{\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":"
+                ));
+                push_str_lit(&mut out, name);
+                out.push_str("}}");
+                // Stable process ordering in the viewer.
+                sep(&mut out);
+                out.push_str(&format!(
+                    "{{\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":0,\"name\":\"process_sort_index\",\"args\":{{\"sort_index\":{pid}}}}}"
+                ));
+            }
+            for ((pid, tid), name) in &buf.lane_names {
+                sep(&mut out);
+                out.push_str(&format!(
+                    "{{\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":"
+                ));
+                push_str_lit(&mut out, name);
+                out.push_str("}}");
+                sep(&mut out);
+                out.push_str(&format!(
+                    "{{\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{tid}}}}}"
+                ));
+            }
+            for e in &buf.events {
+                sep(&mut out);
+                let ph = match e.ph {
+                    Ph::Complete => "X",
+                    Ph::Instant => "i",
+                    Ph::Counter => "C",
+                };
+                out.push_str(&format!(
+                    "{{\"ph\":\"{ph}\",\"pid\":{},\"tid\":{},\"cat\":\"{}\",\"name\":",
+                    e.pid, e.tid, e.cat
+                ));
+                push_str_lit(&mut out, &e.name);
+                out.push_str(",\"ts\":");
+                push_f64(&mut out, e.ts_us);
+                match e.ph {
+                    Ph::Complete => {
+                        out.push_str(",\"dur\":");
+                        push_f64(&mut out, e.dur_us);
+                    }
+                    Ph::Instant => out.push_str(",\"s\":\"t\""),
+                    Ph::Counter => {}
+                }
+                if !e.args.is_empty() {
+                    out.push_str(",\"args\":");
+                    push_args(&mut out, &e.args);
+                }
+                out.push('}');
+            }
+            buf.dropped
+        })
+        .unwrap_or(0);
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":");
+    push_str_lit(&mut out, TRACE_SCHEMA);
+    out.push_str(&format!(
+        ",\"clock\":\"modeled\",\"droppedEvents\":{dropped}}}}}\n"
+    ));
+    out
+}
+
+/// Structurally validates a Chrome trace document: it must carry a
+/// `traceEvents` array whose every object has the required keys `ph`,
+/// `ts`, `pid`, `tid`, `name` (metadata events included). Returns the
+/// number of events on success; a message naming the first offending event
+/// otherwise.
+///
+/// This is a purpose-built scanner, not a JSON parser: it splits the
+/// `traceEvents` array on top-level object boundaries (string-aware) and
+/// checks each object's keys — enough to keep the exporter honest in tests
+/// and CI without a serde dependency.
+pub fn validate_chrome_trace(doc: &str) -> Result<usize, String> {
+    let start = doc
+        .find("\"traceEvents\"")
+        .ok_or("missing \"traceEvents\" key")?;
+    let open = doc[start..]
+        .find('[')
+        .ok_or("\"traceEvents\" is not an array")?
+        + start;
+    // Scan to the matching close bracket, tracking strings and nesting.
+    let bytes = doc.as_bytes();
+    let mut depth_sq = 0i32;
+    let mut depth_br = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut obj_start: Option<usize> = None;
+    let mut count = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if b == b'\\' {
+                escape = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' => depth_sq += 1,
+            b']' => {
+                depth_sq -= 1;
+                if depth_sq == 0 {
+                    return Ok(count);
+                }
+            }
+            b'{' => {
+                if depth_br == 0 && depth_sq == 1 {
+                    obj_start = Some(i);
+                }
+                depth_br += 1;
+            }
+            b'}' => {
+                depth_br -= 1;
+                if depth_br == 0 && depth_sq == 1 {
+                    let obj = &doc[obj_start.ok_or("unbalanced object")?..=i];
+                    for key in ["\"ph\"", "\"ts\"", "\"pid\"", "\"tid\"", "\"name\""] {
+                        if !obj.contains(key) {
+                            return Err(format!("event {count} is missing {key}: {obj}"));
+                        }
+                    }
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated traceEvents array".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::lanes;
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = Tracer::enabled();
+        let doc = chrome_trace_json(&t);
+        assert_eq!(validate_chrome_trace(&doc), Ok(0));
+        assert!(doc.contains("cusha-trace/v1"));
+    }
+
+    #[test]
+    fn events_and_metadata_export_with_required_keys() {
+        let t = Tracer::enabled();
+        t.name_device_lanes(0, 2);
+        t.complete_with(
+            0,
+            lanes::KERNEL,
+            "kernel",
+            "CuSha-CW::bfs",
+            1e-3,
+            2e-3,
+            || {
+                vec![
+                    ("blocks", ArgVal::U64(4)),
+                    ("gld_efficiency", ArgVal::F64(0.5)),
+                ]
+            },
+        );
+        t.instant(0, lanes::FAULT, "fault", "copy-retry", 2e-3);
+        t.counter(0, lanes::ENGINE, "updated_vertices", 3e-3, 17.0);
+        let doc = chrome_trace_json(&t);
+        // 7 metadata (1 process + 4 role lanes + 2 SM lanes) ×2 entries
+        // (name + sort index) + 3 events.
+        let n = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(n, 17, "{doc}");
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"dur\":2000"));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"gld_efficiency\":0.5"));
+        assert!(doc.contains("\"name\":\"sm1\""));
+    }
+
+    #[test]
+    fn validator_flags_missing_keys() {
+        let bad = "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0,\"pid\":0,\"tid\":0}]}";
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("\"name\""), "{err}");
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn validator_survives_braces_inside_strings() {
+        let doc = "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0,\"pid\":0,\"tid\":0,\
+                   \"name\":\"odd { name ] \\\" here\"}]}";
+        assert_eq!(validate_chrome_trace(doc), Ok(1));
+    }
+
+    #[test]
+    fn disabled_tracer_exports_empty_document() {
+        let doc = chrome_trace_json(&Tracer::default());
+        assert_eq!(validate_chrome_trace(&doc), Ok(0));
+    }
+}

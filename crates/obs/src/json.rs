@@ -1,0 +1,65 @@
+//! Minimal deterministic JSON emission helpers.
+//!
+//! The build environment has no serde; the exporters hand-roll their JSON
+//! through these helpers so output is byte-stable: map keys come from
+//! `BTreeMap` iteration order, floats use Rust's shortest round-trip
+//! `Display` (deterministic across runs and optimization levels), and
+//! non-finite floats degrade to `null`.
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` in shortest round-trip form, or `null` for
+/// NaN/infinities (JSON has no representation for them).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Integral values print without a fractional part ("3"), which is
+        // still valid JSON and stable.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_lit(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(lit("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+        assert_eq!(lit("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn floats_are_stable_and_finite_only() {
+        let mut out = String::new();
+        push_f64(&mut out, 0.125);
+        out.push(' ');
+        push_f64(&mut out, 3.0);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "0.125 3 null");
+    }
+}

@@ -1,0 +1,279 @@
+//! Metrics registry: counters, gauges and histograms under one schema.
+//!
+//! Every engine's statistics (`KernelStats`, `RunStats`, `FaultStats`,
+//! `MultiRunStats`) record themselves here through `record_metrics`
+//! methods defined next to the types; the registry serializes to a flat,
+//! versioned, byte-stable JSON snapshot ([`MetricsRegistry::to_json`]) that
+//! the bench experiments write next to `results/*.json` and the CLI writes
+//! for `--metrics-out`.
+//!
+//! Keys are `name{label1=value1,label2=value2}` with labels sorted, so the
+//! same logical series always maps to the same flat key and `BTreeMap`
+//! iteration makes exports deterministic.
+
+use crate::json::{push_f64, push_str_lit};
+use std::collections::BTreeMap;
+
+/// Schema tag of the metrics snapshot format.
+pub const METRICS_SCHEMA: &str = "cusha-metrics/v1";
+
+/// Summary of observed values (the registry keeps moments, not samples).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Registry of named metric series.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Builds the flat `name{k=v,...}` key; labels are sorted by key.
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort();
+    let mut key = String::with_capacity(name.len() + 16 * sorted.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key.push('}');
+    key
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name{labels}`.
+    pub fn add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self.counters.entry(series_key(name, labels)).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name{labels}` to `value`.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(series_key(name, labels), value);
+    }
+
+    /// Folds `value` into the histogram `name{labels}`.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.histograms
+            .entry(series_key(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter series, if recorded.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&series_key(name, labels)).copied()
+    }
+
+    /// Current value of a gauge series, if recorded.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&series_key(name, labels)).copied()
+    }
+
+    /// Current state of a histogram series, if recorded.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        self.histograms.get(&series_key(name, labels)).copied()
+    }
+
+    /// Total number of recorded series.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the versioned snapshot:
+    /// `{"schema":"cusha-metrics/v1","counters":{..},"gauges":{..},"histograms":{..}}`.
+    ///
+    /// Output is byte-stable for identical registry contents: keys iterate
+    /// in `BTreeMap` order and floats use shortest round-trip formatting.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":");
+        push_str_lit(&mut out, METRICS_SCHEMA);
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_lit(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_lit(&mut out, k);
+            out.push(':');
+            push_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_lit(&mut out, k);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            push_f64(&mut out, h.sum);
+            out.push_str(",\"min\":");
+            push_f64(&mut out, h.min);
+            out.push_str(",\"max\":");
+            push_f64(&mut out, h.max);
+            out.push_str(",\"mean\":");
+            push_f64(&mut out, h.mean());
+            out.push('}');
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Renders a human-readable snapshot (the `--profile` report's metrics
+    /// section): one `key = value` line per series, sorted.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k}: count {} mean {} min {} max {}\n",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_sort_labels() {
+        assert_eq!(series_key("x", &[]), "x");
+        assert_eq!(
+            series_key("x", &[("engine", "cw"), ("device", "0")]),
+            "x{device=0,engine=cw}"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.add("iters", &[("engine", "cw")], 2);
+        r.add("iters", &[("engine", "cw")], 3);
+        r.set_gauge("eff", &[], 0.5);
+        r.set_gauge("eff", &[], 0.75);
+        assert_eq!(r.counter("iters", &[("engine", "cw")]), Some(5));
+        assert_eq!(r.gauge("eff", &[]), Some(0.75));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn histogram_tracks_moments() {
+        let mut r = MetricsRegistry::new();
+        for v in [2.0, 1.0, 4.0] {
+            r.observe("iter_seconds", &[], v);
+        }
+        let h = r.histogram("iter_seconds", &[]).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 4.0);
+        assert!((h.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_snapshot_is_versioned_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.add("b", &[], 1);
+        r.add("a", &[], 2);
+        r.set_gauge("g", &[("k", "v")], 0.25);
+        r.observe("h", &[], 1.5);
+        let j1 = r.to_json();
+        let j2 = r.to_json();
+        assert_eq!(j1, j2, "snapshot must be byte-stable");
+        assert!(j1.starts_with("{\"schema\":\"cusha-metrics/v1\""));
+        // BTreeMap ordering: "a" before "b".
+        assert!(j1.find("\"a\":2").unwrap() < j1.find("\"b\":1").unwrap());
+        assert!(j1.contains("\"g{k=v}\":0.25"));
+        assert!(j1.contains("\"h\":{\"count\":1,\"sum\":1.5,\"min\":1.5,\"max\":1.5,\"mean\":1.5}"));
+    }
+
+    #[test]
+    fn text_rendering_lists_series() {
+        let mut r = MetricsRegistry::new();
+        r.add("c", &[], 7);
+        r.observe("h", &[], 2.0);
+        let t = r.render_text();
+        assert!(t.contains("c = 7"));
+        assert!(t.contains("h: count 1"));
+    }
+}

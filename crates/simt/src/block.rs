@@ -37,6 +37,12 @@ pub struct Block<'cfg> {
     /// ALU-pipe issue slots consumed; the SM's schedulers retire these
     /// `issue_width` per cycle.
     pub(crate) alu_cycles: u64,
+    /// When true, [`Block::phase`] records markers; set by the device from
+    /// its tracer so the disabled-tracing path never allocates.
+    pub(crate) trace_phases: bool,
+    /// `(phase name, cycles consumed when the phase began)` markers; the
+    /// device turns consecutive markers into kernel phase sub-spans.
+    pub(crate) phase_marks: Vec<(&'static str, u64)>,
 }
 
 impl<'cfg> Block<'cfg> {
@@ -54,6 +60,8 @@ impl<'cfg> Block<'cfg> {
             counters: Counters::default(),
             mem_cycles: 0,
             alu_cycles: 0,
+            trace_phases: false,
+            phase_marks: Vec::new(),
         }
     }
 
@@ -254,6 +262,19 @@ impl<'cfg> Block<'cfg> {
     pub fn sync(&mut self) {
         for _ in 0..self.num_warps() {
             self.issue_alu(Mask::FULL);
+        }
+    }
+
+    /// Marks the start of a named kernel phase (e.g. the 4-stage CuSha
+    /// kernel's `gather` / `apply` / `scatter` / `compact`). Purely an
+    /// observability marker: it consumes no modeled cycles and no counters,
+    /// and when tracing is disabled it is a branch-and-return — kernels may
+    /// call it unconditionally.
+    #[inline]
+    pub fn phase(&mut self, name: &'static str) {
+        if self.trace_phases {
+            self.phase_marks
+                .push((name, self.mem_cycles + self.alu_cycles));
         }
     }
 }

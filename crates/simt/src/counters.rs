@@ -162,6 +162,35 @@ impl KernelStats {
             self.counters.warp_instructions * WARP as u64,
         )
     }
+
+    /// Records this launch (or aggregate) into a metrics registry under the
+    /// unified `cusha-metrics/v1` schema: raw event counts as counters,
+    /// derived efficiencies and modeled times as gauges.
+    pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        let c = &self.counters;
+        reg.add("gpu_blocks", labels, self.blocks as u64);
+        reg.add("gpu_warp_instructions", labels, c.warp_instructions);
+        reg.add("gpu_active_lane_sum", labels, c.active_lane_sum);
+        reg.add("gpu_gld_transactions", labels, c.gld_transactions);
+        reg.add("gpu_gld_requested_bytes", labels, c.gld_requested_bytes);
+        reg.add("gpu_gst_transactions", labels, c.gst_transactions);
+        reg.add("gpu_gst_requested_bytes", labels, c.gst_requested_bytes);
+        reg.add("gpu_dram_sectors", labels, c.dram_sectors);
+        reg.add("gpu_shared_accesses", labels, c.shared_accesses);
+        reg.add("gpu_bank_conflict_replays", labels, c.bank_conflict_replays);
+        reg.add("gpu_atomic_replays", labels, c.atomic_replays);
+        reg.set_gauge("gpu_gld_efficiency", labels, self.gld_efficiency());
+        reg.set_gauge("gpu_gst_efficiency", labels, self.gst_efficiency());
+        reg.set_gauge("gpu_gmem_efficiency", labels, self.gmem_efficiency());
+        reg.set_gauge(
+            "gpu_warp_execution_efficiency",
+            labels,
+            self.warp_execution_efficiency(),
+        );
+        reg.set_gauge("gpu_kernel_seconds", labels, self.seconds);
+        reg.set_gauge("gpu_issue_seconds", labels, self.issue_seconds);
+        reg.set_gauge("gpu_dram_seconds", labels, self.dram_seconds);
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {

@@ -6,6 +6,7 @@ use crate::counters::KernelStats;
 use crate::fault::{DeviceFault, FaultKind, FaultPlan};
 use crate::mem::{DevVec, ALLOC_ALIGN};
 use crate::pod::Pod;
+use cusha_obs::trace::{lanes, ArgVal, Tracer};
 
 /// Launch geometry and identification of a kernel.
 #[derive(Clone, Debug)]
@@ -51,6 +52,10 @@ pub struct Gpu {
     pub profile: Option<crate::profile::Profile>,
     /// Optional fault-injection schedule consulted by the `try_*` ops.
     fault_plan: Option<FaultPlan>,
+    /// Span sink; the default no-op handle records nothing.
+    tracer: Tracer,
+    /// Chrome-trace process lane of this device's spans (device index).
+    trace_pid: u32,
 }
 
 impl Gpu {
@@ -66,7 +71,30 @@ impl Gpu {
             kernels_launched: 0,
             profile: None,
             fault_plan: None,
+            tracer: Tracer::default(),
+            trace_pid: 0,
         }
+    }
+
+    /// Installs a tracer and assigns this device's process lane (`pid`,
+    /// the device index; single-device engines use 0). Names the device's
+    /// standard lane set, including one lane per simulated SM. All modeled
+    /// operations (transfers, launches) then emit spans on the modeled
+    /// clock; installing the default no-op tracer turns tracing off.
+    pub fn set_tracer(&mut self, tracer: Tracer, pid: u32) {
+        tracer.name_device_lanes(pid, self.cfg.num_sms);
+        self.tracer = tracer;
+        self.trace_pid = pid;
+    }
+
+    /// The installed tracer handle (no-op by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// This device's Chrome-trace process lane.
+    pub fn trace_pid(&self) -> u32 {
+        self.trace_pid
     }
 
     /// Installs a fault-injection plan; `try_*` operations consult it.
@@ -167,7 +195,14 @@ impl Gpu {
         }
         let mut buf = self.try_alloc::<T>(data.len())?;
         buf.host_mut().copy_from_slice(data);
-        self.h2d_seconds += self.cfg.transfer_seconds(buf.size_bytes());
+        let ts = self.total_seconds();
+        let dur = self.cfg.transfer_seconds(buf.size_bytes());
+        self.h2d_seconds += dur;
+        let bytes = buf.size_bytes();
+        self.tracer
+            .complete_with(self.trace_pid, lanes::COPY, "copy", "h2d", ts, dur, || {
+                vec![("bytes", ArgVal::U64(bytes))]
+            });
         Ok(buf)
     }
 
@@ -191,7 +226,14 @@ impl Gpu {
             });
         }
         buf.host_mut().copy_from_slice(data);
-        self.h2d_seconds += self.cfg.transfer_seconds(buf.size_bytes());
+        let ts = self.total_seconds();
+        let dur = self.cfg.transfer_seconds(buf.size_bytes());
+        self.h2d_seconds += dur;
+        let bytes = buf.size_bytes();
+        self.tracer
+            .complete_with(self.trace_pid, lanes::COPY, "copy", "h2d", ts, dur, || {
+                vec![("bytes", ArgVal::U64(bytes))]
+            });
         Ok(())
     }
 
@@ -213,7 +255,14 @@ impl Gpu {
                 op_index,
             });
         }
-        self.d2h_seconds += self.cfg.transfer_seconds(buf.size_bytes());
+        let ts = self.total_seconds();
+        let dur = self.cfg.transfer_seconds(buf.size_bytes());
+        self.d2h_seconds += dur;
+        let bytes = buf.size_bytes();
+        self.tracer
+            .complete_with(self.trace_pid, lanes::COPY, "copy", "d2h", ts, dur, || {
+                vec![("bytes", ArgVal::U64(bytes))]
+            });
         Ok(buf.host().to_vec())
     }
 
@@ -238,7 +287,18 @@ impl Gpu {
                 op_index,
             });
         }
-        self.d2h_seconds += self.cfg.transfer_seconds(T::SIZE as u64);
+        let ts = self.total_seconds();
+        let dur = self.cfg.transfer_seconds(T::SIZE as u64);
+        self.d2h_seconds += dur;
+        self.tracer.complete_with(
+            self.trace_pid,
+            lanes::COPY,
+            "copy",
+            "d2h-scalar",
+            ts,
+            dur,
+            || vec![("bytes", ArgVal::U64(T::SIZE as u64))],
+        );
         Ok(buf.host()[idx])
     }
 
@@ -292,10 +352,14 @@ impl Gpu {
             threads_per_block: desc.threads_per_block,
             ..Default::default()
         };
+        let tracing = self.tracer.is_enabled();
         let mut sm_mem = vec![0u64; self.cfg.num_sms as usize];
         let mut sm_alu = vec![0u64; self.cfg.num_sms as usize];
+        // Per-phase cycles aggregated across blocks, in first-marked order.
+        let mut phase_cycles: Vec<(&'static str, u64)> = Vec::new();
         for block_id in 0..desc.grid_blocks {
             let mut block = Block::new(block_id, desc.threads_per_block, &self.cfg);
+            block.trace_phases = tracing;
             body(&mut block);
             stats.counters.add(&block.counters);
             // Round-robin block-to-SM assignment approximates the hardware
@@ -303,6 +367,19 @@ impl Gpu {
             let sm = (block_id % self.cfg.num_sms) as usize;
             sm_mem[sm] += block.mem_cycles;
             sm_alu[sm] += block.alu_cycles;
+            if tracing && !block.phase_marks.is_empty() {
+                let total = block.mem_cycles + block.alu_cycles;
+                for (i, &(name, start)) in block.phase_marks.iter().enumerate() {
+                    let end = block
+                        .phase_marks
+                        .get(i + 1)
+                        .map_or(total, |&(_, next)| next);
+                    match phase_cycles.iter_mut().find(|(n, _)| *n == name) {
+                        Some((_, c)) => *c += end - start,
+                        None => phase_cycles.push((name, end - start)),
+                    }
+                }
+            }
         }
         // Per SM, the LSU retires one memory warp instruction per cycle
         // while the schedulers retire `issue_width` ALU instructions; with
@@ -323,10 +400,68 @@ impl Gpu {
             / (self.cfg.dram_bandwidth_gbps * 1e9);
         stats.seconds =
             stats.issue_seconds.max(stats.dram_seconds) + self.cfg.kernel_launch_us * 1e-6;
+        let ts = self.total_seconds();
         self.kernel_seconds += stats.seconds;
         self.kernels_launched += 1;
         if let Some(profile) = &mut self.profile {
             profile.record(&stats);
+        }
+        if tracing {
+            self.tracer.complete_with(
+                self.trace_pid,
+                lanes::KERNEL,
+                "kernel",
+                &stats.name,
+                ts,
+                stats.seconds,
+                || {
+                    vec![
+                        ("blocks", ArgVal::U64(stats.blocks as u64)),
+                        ("gld_efficiency", ArgVal::F64(stats.gld_efficiency())),
+                        ("gst_efficiency", ArgVal::F64(stats.gst_efficiency())),
+                        (
+                            "warp_execution_efficiency",
+                            ArgVal::F64(stats.warp_execution_efficiency()),
+                        ),
+                    ]
+                },
+            );
+            // Phase sub-spans: the kernel's modeled time split proportionally
+            // to each marked phase's share of issued cycles.
+            let marked: u64 = phase_cycles.iter().map(|&(_, c)| c).sum();
+            if marked > 0 {
+                let mut cursor = ts;
+                for &(name, cycles) in &phase_cycles {
+                    let dur = stats.seconds * cycles as f64 / marked as f64;
+                    self.tracer.complete_with(
+                        self.trace_pid,
+                        lanes::KERNEL,
+                        "phase",
+                        name,
+                        cursor,
+                        dur,
+                        || vec![("cycles", ArgVal::U64(cycles))],
+                    );
+                    cursor += dur;
+                }
+            }
+            // Per-SM busy spans (occupancy lanes): each SM is busy for its
+            // own bound pipe's cycles.
+            for sm in 0..self.cfg.num_sms as usize {
+                let cycles = sm_mem[sm].max(sm_alu[sm].div_ceil(self.cfg.issue_width as u64));
+                if cycles > 0 {
+                    let busy = cycles as f64 / (self.cfg.clock_ghz * 1e9);
+                    self.tracer.complete_with(
+                        self.trace_pid,
+                        lanes::SM_BASE + sm as u32,
+                        "sm",
+                        &stats.name,
+                        ts,
+                        busy,
+                        || vec![("cycles", ArgVal::U64(cycles))],
+                    );
+                }
+            }
         }
         stats
     }
@@ -501,6 +636,67 @@ mod tests {
         let _ = gpu2.try_upload(&[1u32]).unwrap(); // h2d #1
         assert!(gpu2.try_upload(&[1u32]).is_err(), "h2d #2 injected");
         assert!(gpu2.try_upload(&[1u32]).is_ok());
+    }
+
+    #[test]
+    fn tracer_records_copy_kernel_phase_and_sm_spans() {
+        use cusha_obs::trace::{lanes, Ph, Tracer};
+        let mut gpu = Gpu::new(DeviceConfig::tiny_test());
+        gpu.set_tracer(Tracer::enabled(), 0);
+        let buf = gpu.upload(&[0u32; 64]);
+        let desc = KernelDesc::new("probe", 2, 32);
+        gpu.launch(&desc, |b| {
+            b.phase("gather");
+            b.gload(&buf, Mask::FULL, |l| l);
+            b.phase("apply");
+            b.exec(Mask::FULL, 10);
+        });
+        let _ = gpu.download_scalar(&buf, 0);
+        gpu.tracer()
+            .clone()
+            .with_events(|ev| {
+                let names: Vec<&str> = ev.iter().map(|e| e.name.as_str()).collect();
+                assert!(names.contains(&"h2d"));
+                assert!(names.contains(&"probe"));
+                assert!(names.contains(&"gather"));
+                assert!(names.contains(&"apply"));
+                assert!(names.contains(&"d2h-scalar"));
+                // Phase sub-spans tile the kernel span.
+                let kernel = ev
+                    .iter()
+                    .find(|e| e.name == "probe" && e.cat == "kernel")
+                    .unwrap();
+                let phase_dur: f64 = ev
+                    .iter()
+                    .filter(|e| e.cat == "phase")
+                    .map(|e| e.dur_us)
+                    .sum();
+                assert!((phase_dur - kernel.dur_us).abs() < 1e-6);
+                // Both SMs got a busy span (2 blocks round-robin onto 2 SMs).
+                let sm_lanes: Vec<u32> =
+                    ev.iter().filter(|e| e.cat == "sm").map(|e| e.tid).collect();
+                assert_eq!(sm_lanes, vec![lanes::SM_BASE, lanes::SM_BASE + 1]);
+                assert!(ev.iter().all(|e| e.ph == Ph::Complete));
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn disabled_tracer_keeps_timing_identical() {
+        let run = |trace: bool| {
+            let mut gpu = Gpu::new(DeviceConfig::tiny_test());
+            if trace {
+                gpu.set_tracer(cusha_obs::Tracer::enabled(), 0);
+            }
+            let buf = gpu.upload(&[0u32; 64]);
+            let desc = KernelDesc::new("probe", 2, 32);
+            let stats = gpu.launch(&desc, |b| {
+                b.phase("gather");
+                b.gload(&buf, Mask::FULL, |l| l);
+            });
+            (gpu.total_seconds(), stats.counters)
+        };
+        assert_eq!(run(false), run(true), "tracing must not perturb the model");
     }
 
     #[test]

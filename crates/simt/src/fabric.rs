@@ -19,6 +19,7 @@
 use crate::config::DeviceConfig;
 use crate::counters::KernelStats;
 use crate::device::Gpu;
+use cusha_obs::trace::{lanes, Tracer};
 
 /// Timing model of the link(s) connecting devices in a fleet.
 #[derive(Clone, Debug)]
@@ -153,9 +154,34 @@ impl DeviceFleet {
 
     /// Swaps in a replacement device (an engine rebuilding a device after
     /// an OOM rebatch), returning the old one so its fault plan and time
-    /// totals can be carried over.
-    pub fn replace_device(&mut self, d: usize, gpu: Gpu) -> Gpu {
+    /// totals can be carried over. The replacement inherits the old
+    /// device's tracer and process lane so a rebuild doesn't truncate the
+    /// timeline.
+    pub fn replace_device(&mut self, d: usize, mut gpu: Gpu) -> Gpu {
+        gpu.set_tracer(
+            self.devices[d].tracer().clone(),
+            self.devices[d].trace_pid(),
+        );
         std::mem::replace(&mut self.devices[d], gpu)
+    }
+
+    /// Installs a tracer across the fleet: device `d` gets process lane
+    /// `d`, and one extra process lane (`pid = len()`, named "fleet") is
+    /// reserved for fleet-level spans — bulk-synchronous iterations and
+    /// halo exchanges that belong to no single device.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        for (d, gpu) in self.devices.iter_mut().enumerate() {
+            gpu.set_tracer(tracer.clone(), d as u32);
+        }
+        let fleet = self.fleet_pid();
+        tracer.name_process(fleet, "fleet");
+        tracer.name_lane(fleet, lanes::ENGINE, "engine");
+        tracer.name_lane(fleet, lanes::FAULT, "fault");
+    }
+
+    /// The Chrome-trace process lane reserved for fleet-level spans.
+    pub fn fleet_pid(&self) -> u32 {
+        self.devices.len() as u32
     }
 
     /// Folds one launch's stats into device `d`'s tally.

@@ -27,6 +27,7 @@ use cusha::core::{
 };
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::{io, Graph};
+use cusha::obs::{chrome_trace_json, log, Level, MetricsRegistry, Tracer};
 use cusha::simt::{FaultPlan, Interconnect};
 use std::io::Write;
 use std::process::exit;
@@ -49,6 +50,9 @@ struct Args {
     inject: Option<FaultPlan>,
     devices: Option<usize>,
     interconnect: Option<Interconnect>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    profile: bool,
 }
 
 /// Fleet-level counters the single-engine [`RunStats`] cannot carry; shown
@@ -70,6 +74,17 @@ fn usage_text() -> &'static str {
          \x20      [--resident-bytes <bytes>] [--watchdog <interval>]\n\
          \x20      [--inject <spec>[,<spec>...]] [--output <path>]\n\
          \x20      [--devices <N>] [--interconnect <pcie|nvlink>]\n\
+         \x20      [--trace-out <path>] [--metrics-out <path>]\n\
+         \x20      [--log-level <error|warn|info|debug|trace>] [--profile]\n\
+         \n\
+         --trace-out writes a Chrome trace-event JSON of the run (load it\n\
+         in chrome://tracing or https://ui.perfetto.dev): one process lane\n\
+         per device plus per-SM rows, with iteration, kernel-phase, copy,\n\
+         halo-exchange and fault-recovery spans on the modeled clock.\n\
+         --metrics-out writes a flat versioned metrics JSON snapshot\n\
+         (efficiencies, timings, fault counters, per-device breakdown).\n\
+         --profile prints an nvprof-style per-kernel report plus the\n\
+         metrics snapshot to stderr.\n\
          \n\
          --devices runs the cw/gs engine over a fleet of N simulated GPUs\n\
          (edge-balanced shard partitions, per-iteration halo exchange over\n\
@@ -87,6 +102,21 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("cusha: {msg}");
     eprintln!("cusha: run with --help for usage");
     exit(EXIT_USAGE)
+}
+
+/// Informational stderr chatter; silenced by `--log-level warn` or lower.
+/// Errors always print unconditionally.
+fn info(msg: &str) {
+    if log::enabled(Level::Info) {
+        eprintln!("cusha: {msg}");
+    }
+}
+
+/// Warnings (fault-recovery summaries); silenced only by `--log-level error`.
+fn warn(msg: &str) {
+    if log::enabled(Level::Warn) {
+        eprintln!("cusha: {msg}");
+    }
 }
 
 /// Parses `--inject` specs like `seed=7,alloc@2,h2d@5,kernel~CW:3,d2h%0.01`.
@@ -178,6 +208,9 @@ fn parse_args() -> Args {
         inject: None,
         devices: None,
         interconnect: None,
+        trace_out: None,
+        metrics_out: None,
+        profile: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -243,6 +276,19 @@ fn parse_args() -> Args {
                 }));
             }
             "--output" => args.output = Some(take(&argv, &mut i, "--output")),
+            "--trace-out" => args.trace_out = Some(take(&argv, &mut i, "--trace-out")),
+            "--metrics-out" => args.metrics_out = Some(take(&argv, &mut i, "--metrics-out")),
+            "--log-level" => {
+                let name = take(&argv, &mut i, "--log-level");
+                let level = Level::parse(&name).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "bad value {name:?} for --log-level (expected error, warn, info, \
+                         debug, or trace)"
+                    ))
+                });
+                log::set_level(level);
+            }
+            "--profile" => args.profile = true,
             "--help" | "-h" => {
                 println!("{}", usage_text());
                 exit(0)
@@ -300,22 +346,30 @@ fn engine_result<V: Value>(r: Result<CuShaOutput<V>, EngineError<V>>) -> CuShaOu
 }
 
 /// Runs `prog` on the selected engine and returns printable value lines
-/// (plus fleet counters when the multi engine ran).
+/// (plus fleet counters when the multi engine ran). Records the run's
+/// statistics into `metrics` under `algo`/`engine` labels and threads
+/// `tracer` into whichever engine executes.
 fn execute<P: VertexProgram>(
     prog: &P,
     g: &Graph,
     args: &Args,
+    tracer: &Tracer,
+    metrics: &mut MetricsRegistry,
     show: impl Fn(&P::V) -> String,
 ) -> (RunStats, Vec<String>, Option<FleetSummary>) {
+    let labels: &[(&str, &str)] = &[("algo", &args.algo), ("engine", &args.engine)];
     let cusha_cfg = |repr: Repr| {
         let mut cfg = CuShaConfig::new(repr);
         cfg.vertices_per_shard = args.shard_size;
         cfg.max_iterations = args.max_iters;
         cfg.fault_plan = args.inject.clone();
         cfg.watchdog_interval = args.watchdog;
+        cfg.profile = args.profile;
+        cfg.trace = tracer.clone();
         cfg
     };
     let mut fleet = None;
+    let mut metrics_recorded = false;
     let (stats, values): (RunStats, Vec<P::V>) = match args.engine.as_str() {
         "cw" | "gs" if args.devices.is_some() => {
             let repr = if args.engine == "gs" {
@@ -330,6 +384,11 @@ fn execute<P: VertexProgram>(
             match try_run_multi(prog, g, &mcfg) {
                 Ok(out) => {
                     let s = &out.stats;
+                    // Full fleet stats (per-device breakdown included) go
+                    // through MultiRunStats' own recorder, not the
+                    // flattened RunStats.
+                    s.record_metrics(metrics, labels);
+                    metrics_recorded = true;
                     fleet = Some(FleetSummary {
                         devices: s.devices,
                         interconnect: s.interconnect.clone(),
@@ -376,6 +435,8 @@ fn execute<P: VertexProgram>(
             let vw = parsed_engine_num("vwc", &e[4..]);
             let mut cfg = VwcConfig::new(vw);
             cfg.max_iterations = args.max_iters;
+            cfg.profile = args.profile;
+            cfg.trace = tracer.clone();
             let out = run_vwc(prog, g, &cfg);
             (out.stats, out.values)
         }
@@ -383,6 +444,7 @@ fn execute<P: VertexProgram>(
             let t = parsed_engine_num("mtcpu", &e[6..]);
             let mut cfg = MtcpuConfig::new(t);
             cfg.max_iterations = args.max_iters;
+            cfg.trace = tracer.clone();
             let out = run_mtcpu(prog, g, &cfg);
             (out.stats, out.values)
         }
@@ -391,6 +453,9 @@ fn execute<P: VertexProgram>(
              vwc:<width>, or mtcpu:<threads>)"
         )),
     };
+    if !metrics_recorded {
+        stats.record_metrics(metrics, labels);
+    }
     let lines = values.iter().map(show).collect();
     (stats, lines, fleet)
 }
@@ -409,13 +474,13 @@ fn parsed_engine_num(engine: &str, val: &str) -> usize {
 fn main() {
     let args = parse_args();
     let g = load_graph(&args);
-    eprintln!(
-        "cusha: {} vertices, {} edges; running {} on {}",
+    info(&format!(
+        "{} vertices, {} edges; running {} on {}",
         g.num_vertices(),
         g.num_edges(),
         args.algo,
         args.engine
-    );
+    ));
     if args.source >= g.num_vertices() && g.num_vertices() > 0 {
         usage_error(&format!(
             "bad value {} for --source: graph has {} vertices",
@@ -423,6 +488,15 @@ fn main() {
             g.num_vertices()
         ));
     }
+
+    // The tracer stays a no-op handle unless a trace is actually wanted, so
+    // plain runs take the zero-allocation disabled path.
+    let tracer = if args.trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let mut metrics = MetricsRegistry::new();
 
     let show_u32 = |v: &u32| {
         if *v == u32::MAX {
@@ -432,33 +506,78 @@ fn main() {
         }
     };
     let (stats, lines, fleet) = match args.algo.as_str() {
-        "bfs" => execute(&Bfs::new(args.source), &g, &args, show_u32),
-        "sssp" => execute(&Sssp::new(args.source), &g, &args, show_u32),
-        "pagerank" | "pr" => execute(&PageRank::new(), &g, &args, |v: &f32| format!("{v:.6}")),
-        "cc" => execute(&ConnectedComponents::new(), &g, &args, |v: &u32| {
-            v.to_string()
-        }),
-        "sswp" => execute(&Sswp::new(args.source), &g, &args, show_u32),
-        "nn" => execute(&NeuralNetwork::new(), &g, &args, |v: &f32| {
-            format!("{v:.6}")
-        }),
-        "hs" => execute(&HeatSimulation::new(), &g, &args, |v: &(f32, f32)| {
-            format!("{:.4}", v.0)
-        }),
+        "bfs" => execute(
+            &Bfs::new(args.source),
+            &g,
+            &args,
+            &tracer,
+            &mut metrics,
+            show_u32,
+        ),
+        "sssp" => execute(
+            &Sssp::new(args.source),
+            &g,
+            &args,
+            &tracer,
+            &mut metrics,
+            show_u32,
+        ),
+        "pagerank" | "pr" => execute(
+            &PageRank::new(),
+            &g,
+            &args,
+            &tracer,
+            &mut metrics,
+            |v: &f32| format!("{v:.6}"),
+        ),
+        "cc" => execute(
+            &ConnectedComponents::new(),
+            &g,
+            &args,
+            &tracer,
+            &mut metrics,
+            |v: &u32| v.to_string(),
+        ),
+        "sswp" => execute(
+            &Sswp::new(args.source),
+            &g,
+            &args,
+            &tracer,
+            &mut metrics,
+            show_u32,
+        ),
+        "nn" => execute(
+            &NeuralNetwork::new(),
+            &g,
+            &args,
+            &tracer,
+            &mut metrics,
+            |v: &f32| format!("{v:.6}"),
+        ),
+        "hs" => execute(
+            &HeatSimulation::new(),
+            &g,
+            &args,
+            &tracer,
+            &mut metrics,
+            |v: &(f32, f32)| format!("{:.4}", v.0),
+        ),
         "cs" => {
             let gnd = g.num_vertices().saturating_sub(1);
             execute(
                 &CircuitSimulation::new(args.source, gnd),
                 &g,
                 &args,
+                &tracer,
+                &mut metrics,
                 |v: &(f32, f32)| format!("{:.6}", v.0),
             )
         }
         other => usage_error(&format!("unknown algorithm {other:?}")),
     };
 
-    eprintln!(
-        "cusha: {} ({}) {} iterations, converged: {}, {:.3} ms {}",
+    info(&format!(
+        "{} ({}) {} iterations, converged: {}, {:.3} ms {}",
         stats.engine,
         args.engine,
         stats.iterations,
@@ -469,10 +588,10 @@ fn main() {
         } else {
             "modeled"
         },
-    );
+    ));
     if let Some(f) = &fleet {
-        eprintln!(
-            "cusha: fleet: {} devices over {}, {} halo bytes exchanged in {:.3} ms, \
+        info(&format!(
+            "fleet: {} devices over {}, {} halo bytes exchanged in {:.3} ms, \
              load imbalance {:.3}{}",
             f.devices,
             f.interconnect,
@@ -484,18 +603,46 @@ fn main() {
             } else {
                 String::new()
             },
-        );
+        ));
     }
     if !stats.fault.is_clean() {
-        eprintln!(
-            "cusha: recovered from faults: {} copy retries ({:.3} ms backoff), \
+        warn(&format!(
+            "recovered from faults: {} copy retries ({:.3} ms backoff), \
              {} kernel retries, {} OOM rebatches, {} degradations",
             stats.fault.copy_retries,
             stats.fault.backoff_seconds * 1e3,
             stats.fault.kernel_retries,
             stats.fault.oom_rebatches,
             stats.fault.degradations,
-        );
+        ));
+    }
+
+    if args.profile {
+        // Unified profile report on stderr: nvprof-style per-kernel lines
+        // (when the engine retained a launch history) plus the metrics
+        // snapshot.
+        if let Some(p) = &stats.profile {
+            eprint!("{}", p.report());
+        }
+        eprint!("{}", metrics.render_text());
+    }
+    if let Some(path) = &args.trace_out {
+        let doc = chrome_trace_json(&tracer);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("cusha: cannot write {path}: {e}");
+            exit(EXIT_IO)
+        });
+        info(&format!(
+            "wrote {} trace events to {path} (load in chrome://tracing)",
+            tracer.event_count()
+        ));
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, metrics.to_json()).unwrap_or_else(|e| {
+            eprintln!("cusha: cannot write {path}: {e}");
+            exit(EXIT_IO)
+        });
+        info(&format!("wrote {} metric series to {path}", metrics.len()));
     }
 
     match &args.output {
@@ -507,7 +654,7 @@ fn main() {
             for (v, line) in lines.iter().enumerate() {
                 writeln!(f, "{v} {line}").unwrap();
             }
-            eprintln!("cusha: wrote {} values to {path}", lines.len());
+            info(&format!("wrote {} values to {path}", lines.len()));
         }
         None => {
             // Print the first few values as a preview.

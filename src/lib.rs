@@ -21,6 +21,7 @@
 //! * [`core`] — G-Shards, CW, and the CuSha engine ([`cusha_core`])
 //! * [`algos`] — the eight benchmarks of the paper ([`cusha_algos`])
 //! * [`baselines`] — VWC-CSR and MTCPU-CSR ([`cusha_baselines`])
+//! * [`obs`] — tracing, metrics and exporters ([`cusha_obs`])
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use cusha_algos as algos;
 pub use cusha_baselines as baselines;
 pub use cusha_core as core;
 pub use cusha_graph as graph;
+pub use cusha_obs as obs;
 pub use cusha_simt as simt;
 
 /// One-stop imports for application code.

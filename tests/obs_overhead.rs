@@ -1,0 +1,102 @@
+//! Overhead guard for the observability layer.
+//!
+//! Two guarantees keep "engines thread a tracer unconditionally" honest:
+//! the disabled tracer path performs **zero heap allocations** (measured
+//! with a counting global allocator), and enabling tracing does not
+//! perturb results — values and modeled times are bit-identical with
+//! tracing on or off, because the tracer only *reads* the modeled clock.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use cusha::algos::Bfs;
+use cusha::core::{run, CuShaConfig};
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::obs::{ArgVal, Tracer};
+
+/// Counts allocations per thread, so concurrently running tests in this
+/// binary cannot pollute each other's measurements.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: the allocator must survive TLS teardown.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+#[test]
+fn disabled_tracer_path_allocates_nothing() {
+    let tracer = Tracer::disabled();
+    let n = allocations_in(|| {
+        for i in 0..1_000u32 {
+            let ts = i as f64 * 1e-6;
+            tracer.complete(0, 0, "engine", "iteration", ts, 1e-6);
+            tracer.complete_with(0, 2, "kernel", "CuSha-CW::BFS", ts, 1e-6, || {
+                vec![("blocks", ArgVal::U64(64))]
+            });
+            tracer.instant(0, 3, "fault", "copy-retry", ts);
+            tracer.counter(0, 0, "updated_vertices", ts, 17.0);
+            tracer.span(0, 1, "copy", "h2d", ts).end(ts + 1e-6);
+            tracer.name_device_lanes(0, 16);
+        }
+    });
+    assert_eq!(n, 0, "disabled tracer performed {n} allocations");
+}
+
+#[test]
+fn cloning_a_disabled_tracer_allocates_nothing() {
+    let tracer = Tracer::disabled();
+    let n = allocations_in(|| {
+        for _ in 0..1_000 {
+            let clone = tracer.clone();
+            assert!(clone.is_noop());
+        }
+    });
+    assert_eq!(n, 0, "cloning the no-op handle performed {n} allocations");
+}
+
+#[test]
+fn tracing_does_not_perturb_results_or_modeled_times() {
+    let g = rmat(&RmatConfig::graph500(8, 1500, 9));
+    let plain = run(&Bfs::new(0), &g, &CuShaConfig::cw());
+    let tracer = Tracer::enabled();
+    let traced = run(
+        &Bfs::new(0),
+        &g,
+        &CuShaConfig::cw().with_tracer(tracer.clone()),
+    );
+    assert!(tracer.event_count() > 0, "tracer recorded nothing");
+    assert_eq!(plain.values, traced.values);
+    assert_eq!(plain.stats.iterations, traced.stats.iterations);
+    for (a, b) in [
+        (plain.stats.h2d_seconds, traced.stats.h2d_seconds),
+        (plain.stats.compute_seconds, traced.stats.compute_seconds),
+        (plain.stats.d2h_seconds, traced.stats.d2h_seconds),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits(), "modeled time drifted: {a} vs {b}");
+    }
+}
