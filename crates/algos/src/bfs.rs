@@ -61,6 +61,23 @@ impl VertexProgram for Bfs {
     fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
         *local < *old
     }
+
+    fn check_invariant(&self, prev: &[u32], curr: &[u32]) -> Result<(), String> {
+        // Min-folding over `level + 1` only ever lowers levels, and the
+        // source is pinned at 0 — any other trajectory is corruption.
+        if curr[self.source as usize] != 0 {
+            return Err(format!(
+                "BFS source {} left level 0 (now {})",
+                self.source, curr[self.source as usize]
+            ));
+        }
+        for (v, (&p, &c)) in prev.iter().zip(curr).enumerate() {
+            if c > p {
+                return Err(format!("BFS level of vertex {v} rose {p} -> {c}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Independent oracle: queue-based BFS over the out-adjacency.

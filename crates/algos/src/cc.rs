@@ -51,6 +51,21 @@ impl VertexProgram for ConnectedComponents {
     fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
         *local < *old
     }
+
+    fn check_invariant(&self, prev: &[u32], curr: &[u32]) -> Result<(), String> {
+        // Min-label propagation only lowers labels, and no label can drop
+        // below 0 or appear from outside the vertex-id range.
+        let n = curr.len() as u32;
+        for (v, (&p, &c)) in prev.iter().zip(curr).enumerate() {
+            if c > p {
+                return Err(format!("CC label of vertex {v} rose {p} -> {c}"));
+            }
+            if c >= n {
+                return Err(format!("CC label {c} of vertex {v} is not a vertex id"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

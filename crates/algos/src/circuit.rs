@@ -86,6 +86,24 @@ impl VertexProgram for CircuitSimulation {
             false
         }
     }
+
+    fn check_invariant(&self, _prev: &[(f32, f32)], curr: &[(f32, f32)]) -> Result<(), String> {
+        // Anchors stay pinned, and every free node's voltage is a
+        // conductance-weighted average of its neighbours, so all voltages
+        // lie between ground (0 V) and the supply (1 V).
+        if curr[self.vdd as usize] != (1.0, 1.0) {
+            return Err(format!("CS vdd node {} left 1 V", self.vdd));
+        }
+        if curr[self.gnd as usize] != (0.0, 1.0) {
+            return Err(format!("CS gnd node {} left 0 V", self.gnd));
+        }
+        for (v, &(volt, flag)) in curr.iter().enumerate() {
+            if !volt.is_finite() || !(0.0..=1.0).contains(&volt) || !(flag == 0.0 || flag == 1.0) {
+                return Err(format!("CS state of node {v} is ({volt}, {flag})"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

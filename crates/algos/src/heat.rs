@@ -103,6 +103,18 @@ impl VertexProgram for HeatSimulation {
         }
         changed
     }
+
+    fn check_invariant(&self, _prev: &[(f32, f32)], curr: &[(f32, f32)]) -> Result<(), String> {
+        // With per-vertex conductance sums below 1, each committed `Q` is a
+        // convex combination of existing temperatures, so the range of the
+        // initial seeds `[0, 100)` can never be escaped.
+        for (v, &(q, q_new)) in curr.iter().enumerate() {
+            if !q.is_finite() || !q_new.is_finite() || !(0.0..100.0).contains(&q) {
+                return Err(format!("HS temperature of vertex {v} is ({q}, {q_new})"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,27 @@ impl VertexProgram for MultiSourceBfs {
     fn update_condition(&self, local: &mut u64, old: &u64) -> bool {
         *local != *old
     }
+
+    fn check_invariant(&self, prev: &[u64], curr: &[u64]) -> Result<(), String> {
+        // OR-folding only sets bits, and only bits below the source count
+        // exist; a cleared or out-of-range bit is corruption.
+        let valid = if self.sources.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.sources.len()) - 1
+        };
+        for (v, (&p, &c)) in prev.iter().zip(curr).enumerate() {
+            if p & !c != 0 {
+                return Err(format!(
+                    "MSBFS bitset of vertex {v} lost bits {p:#x} -> {c:#x}"
+                ));
+            }
+            if c & !valid != 0 {
+                return Err(format!("MSBFS bitset of vertex {v} has ghost bits {c:#x}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Oracle: per-source reachability composed into bitsets.

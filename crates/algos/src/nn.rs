@@ -98,6 +98,17 @@ impl VertexProgram for NeuralNetwork {
         *local = local.tanh();
         (*local - *old).abs() > self.tolerance
     }
+
+    fn check_invariant(&self, _prev: &[f32], curr: &[f32]) -> Result<(), String> {
+        // Activations are either the initial seeds in (-0.5, 0.5) or a
+        // committed tanh, so every value lies in [-1, 1] and is finite.
+        for (v, &x) in curr.iter().enumerate() {
+            if !x.is_finite() || !(-1.0..=1.0).contains(&x) {
+                return Err(format!("NN activation of neuron {v} is {x}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,21 @@ impl VertexProgram for PageRank {
         *local = (1.0 - DAMPING) + *local * DAMPING;
         (*local - *old).abs() > self.tolerance
     }
+
+    fn check_invariant(&self, _prev: &[f32], curr: &[f32]) -> Result<(), String> {
+        // Every committed rank is `(1-d) + d * sum` with `sum >= 0` (or the
+        // untouched initial 1.0), so ranks are finite and never drop below
+        // the teleport mass. No sound upper bound exists mid-run: under
+        // asynchronous updates mass legitimately concentrates before it
+        // redistributes, so overshoot is left to the checksum layer.
+        let floor = (1.0 - DAMPING) - 1e-4;
+        for (v, &r) in curr.iter().enumerate() {
+            if !r.is_finite() || r < floor {
+                return Err(format!("PR rank of vertex {v} is {r}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Independent oracle: dense synchronous power iteration (Jacobi), in `f64`

@@ -57,6 +57,23 @@ impl VertexProgram for Sssp {
     fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
         *local < *old
     }
+
+    fn check_invariant(&self, prev: &[u32], curr: &[u32]) -> Result<(), String> {
+        // Bellman-Ford relaxation only shortens distances; the source is
+        // pinned at 0.
+        if curr[self.source as usize] != 0 {
+            return Err(format!(
+                "SSSP source {} left distance 0 (now {})",
+                self.source, curr[self.source as usize]
+            ));
+        }
+        for (v, (&p, &c)) in prev.iter().zip(curr).enumerate() {
+            if c > p {
+                return Err(format!("SSSP distance of vertex {v} rose {p} -> {c}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Independent oracle: binary-heap Dijkstra over the out-adjacency.

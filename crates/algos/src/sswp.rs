@@ -56,6 +56,22 @@ impl VertexProgram for Sswp {
     fn update_condition(&self, local: &mut u32, old: &u32) -> bool {
         *local > *old
     }
+
+    fn check_invariant(&self, prev: &[u32], curr: &[u32]) -> Result<(), String> {
+        // Max-min folding only widens paths; the source is pinned at INF.
+        if curr[self.source as usize] != INF {
+            return Err(format!(
+                "SSWP source {} left width INF (now {})",
+                self.source, curr[self.source as usize]
+            ));
+        }
+        for (v, (&p, &c)) in prev.iter().zip(curr).enumerate() {
+            if c < p {
+                return Err(format!("SSWP width of vertex {v} shrank {p} -> {c}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Independent oracle: max-min Dijkstra (widest-path first) over the

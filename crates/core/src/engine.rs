@@ -23,9 +23,11 @@
 use crate::autotune::select_vertices_per_shard;
 use crate::cw::ConcatWindows;
 use crate::error::EngineError;
+use crate::fallback::run_fallback;
+use crate::integrity::{apply_flips, checksum, CheckpointManager, IntegrityConfig};
 use crate::program::{Value, VertexProgram};
 use crate::shards::GShards;
-use crate::stats::{IterationStat, RunStats};
+use crate::stats::{IterationStat, RunStats, SdcStats};
 use cusha_graph::Graph;
 use cusha_obs::trace::{lanes, ArgVal, Tracer};
 use cusha_simt::{aligned_chunks, DevVec, DeviceConfig, FaultPlan, Gpu, KernelDesc, Mask, WARP};
@@ -85,6 +87,9 @@ pub struct CuShaConfig {
     /// enabled tracer (see [`cusha_obs::Tracer::enabled`]) to capture the
     /// modeled-clock timeline.
     pub trace: Tracer,
+    /// Silent-data-corruption defense: detection mode, checkpoint cadence
+    /// and the recovery-escalation budgets. Off by default (zero cost).
+    pub integrity: IntegrityConfig,
 }
 
 impl CuShaConfig {
@@ -101,6 +106,7 @@ impl CuShaConfig {
             fault_plan: None,
             watchdog_interval: None,
             trace: Tracer::default(),
+            integrity: IntegrityConfig::default(),
         }
     }
 
@@ -138,6 +144,12 @@ impl CuShaConfig {
         self
     }
 
+    /// Installs a silent-data-corruption defense configuration.
+    pub fn with_integrity(mut self, integrity: IntegrityConfig) -> Self {
+        self.integrity = integrity;
+        self
+    }
+
     /// Checks the configuration's invariants, returning a message naming
     /// the offending field on failure. Shared by every fallible engine
     /// entry point so no `assert!` is reachable from user-supplied
@@ -162,6 +174,7 @@ impl CuShaConfig {
         if self.watchdog_interval == Some(0) {
             return Err("watchdog_interval must be nonzero when set".into());
         }
+        self.integrity.validate()?;
         Ok(())
     }
 }
@@ -191,17 +204,92 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
 }
 
 /// FNV-1a over the bit patterns of a value vector — the watchdog's cheap
-/// state fingerprint.
+/// state fingerprint (the same digest the SDC scrubber uses as a
+/// per-buffer checksum).
 pub(crate) fn fingerprint<V: Value>(values: &[V]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &v in values {
-        let mut bits = v.to_bits();
-        for _ in 0..8 {
-            h = (h ^ (bits & 0xff)).wrapping_mul(0x100_0000_01b3);
-            bits >>= 8;
-        }
+    checksum(values)
+}
+
+/// Which SDC detector flagged a corruption.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Detector {
+    /// The checksum scrubber (deterministic, pre-consumption).
+    Checksum,
+    /// An algorithm invariant at a checkpoint (best-effort).
+    Invariant,
+}
+
+/// One step of the in-core engine's recovery ladder after a detected
+/// corruption: roll back to the latest verified checkpoint while the
+/// rollback budget lasts, then restart from the initial state, and finally
+/// report `Ok(false)` to tell the caller to escalate to the host fallback.
+/// Restores are real, charged H2D uploads.
+#[allow(clippy::too_many_arguments)]
+fn sdc_recover<V: Value>(
+    gpu: &mut Gpu,
+    integ: &IntegrityConfig,
+    detector: Detector,
+    sdc: &mut SdcStats,
+    ckpts: &mut CheckpointManager<V>,
+    vertex_values: &mut DevVec<V>,
+    src_value: &mut DevVec<V>,
+    init: &[V],
+    src_value_init: &[V],
+    total: &mut RunStats,
+    watchdog_seen: &mut HashSet<u64>,
+    vv_crc: &mut u64,
+    sv_crc: &mut u64,
+    trace: &Tracer,
+    pid: u32,
+) -> Result<bool, cusha_simt::DeviceFault> {
+    match detector {
+        Detector::Checksum => sdc.checksum_detections += 1,
+        Detector::Invariant => sdc.invariant_detections += 1,
     }
-    h
+    trace.instant(
+        pid,
+        lanes::FAULT,
+        "sdc",
+        "corruption-detected",
+        gpu.total_seconds(),
+    );
+    if sdc.rollbacks < integ.max_rollbacks {
+        let cp = ckpts.latest().expect("initial checkpoint always present");
+        gpu.try_h2d(vertex_values, &cp.values)?;
+        gpu.try_h2d(src_value, &cp.src_value)?;
+        *vv_crc = cp.values_crc;
+        *sv_crc = cp.src_crc;
+        sdc.reexecuted_iterations += total.iterations - cp.iteration;
+        total.iterations = cp.iteration;
+        total.per_iteration.truncate(cp.iteration as usize);
+        *watchdog_seen = cp.watchdog.clone();
+        sdc.rollbacks += 1;
+        trace.instant(pid, lanes::FAULT, "sdc", "rollback", gpu.total_seconds());
+        Ok(true)
+    } else if sdc.full_restarts < integ.max_full_restarts {
+        gpu.try_h2d(vertex_values, init)?;
+        gpu.try_h2d(src_value, src_value_init)?;
+        *vv_crc = checksum(init);
+        *sv_crc = checksum(src_value_init);
+        sdc.reexecuted_iterations += total.iterations;
+        total.iterations = 0;
+        total.per_iteration.clear();
+        watchdog_seen.clear();
+        ckpts.clear();
+        ckpts.push(0, init.to_vec(), src_value_init.to_vec(), HashSet::new());
+        sdc.full_restarts += 1;
+        trace.instant(
+            pid,
+            lanes::FAULT,
+            "sdc",
+            "full-restart",
+            gpu.total_seconds(),
+        );
+        Ok(true)
+    } else {
+        sdc.host_fallbacks += 1;
+        Ok(false)
+    }
 }
 
 /// Executes `prog` over `graph`, returning every failure as an
@@ -323,180 +411,337 @@ pub fn try_run<P: VertexProgram>(
     };
     let mut converged = false;
     let mut watchdog_seen: HashSet<u64> = HashSet::new();
-    while total.iterations < cfg.max_iterations {
-        let iter_ts = gpu.total_seconds();
-        gpu.try_h2d(&mut converged_flag, &[1u32])?; // host resets is_converged
-        let mut updated_this_iter = 0u64;
-        let kstats = gpu.try_launch(&desc, |b| {
-            let s = b.id();
-            let vrange = gs.vertex_range(s);
-            let offset = vrange.start as usize;
-            let nv = vrange.len();
-            let mut local = b.shared_alloc::<P::V>(nv);
 
-            // Stage 1: coalesced fetch of VertexValues into shared memory.
-            b.phase("gather");
-            for (base, mask) in aligned_chunks(offset..offset + nv) {
-                let vals = b.gload(&vertex_values, mask, |l| base + l);
-                let mut inited = [P::V::default(); WARP];
-                for l in mask.iter() {
-                    let mut lv = P::V::default();
-                    prog.init_compute(&mut lv, &vals[l]);
-                    inited[l] = lv;
-                }
-                b.exec(mask, 1);
-                b.sstore(&mut local, mask, |l| base + l - offset, |l| inited[l]);
+    // ---- SDC defense state ------------------------------------------------
+    let integ = &cfg.integrity;
+    let mut sdc = SdcStats::default();
+    let mut ckpts: CheckpointManager<P::V> = CheckpointManager::new(integ.max_checkpoints);
+    // The initial state is verified by construction (it came from the
+    // host), so it seeds the checkpoint ring for free: a rollback target
+    // exists before the first snapshot interval elapses.
+    if integ.mode.enabled() {
+        ckpts.push(0, init.clone(), src_value_init.clone(), HashSet::new());
+        sdc.checkpoints += 1;
+    }
+    // Scrubber references: checksums of the protected buffers as last
+    // legitimately written (post-kernel / post-restore).
+    let mut vv_crc = if integ.mode.checksums() {
+        checksum(&init)
+    } else {
+        0
+    };
+    let mut sv_crc = if integ.mode.checksums() {
+        checksum(&src_value_init)
+    } else {
+        0
+    };
+    let mut need_reverify = false;
+
+    // Pull the escalate-to-host rung out of the deep control flow: the loop
+    // breaks here with the flips-fired count, runs the fallback (which no
+    // device flip can reach), and grafts the SDC record onto its stats.
+    macro_rules! host_fallback {
+        () => {{
+            sdc.flips_injected = gpu
+                .fault_plan()
+                .map(|p| p.injected().bit_flips)
+                .unwrap_or(0);
+            let mut out = run_fallback(prog, graph, cfg)?;
+            out.stats.sdc = sdc;
+            return Ok(out);
+        }};
+    }
+
+    let (values, d2h_before_results) = 'run: loop {
+        while total.iterations < cfg.max_iterations {
+            // Silent bit flips scheduled at this kernel boundary land while
+            // the data sits at rest in device DRAM…
+            let flips = gpu.take_due_bit_flips();
+            if !flips.is_empty() {
+                apply_flips(&flips, &mut vertex_values, &mut src_value);
             }
-            b.sync();
-
-            // Stage 2: process shard entries; atomic shared update of the
-            // destination's local value.
-            b.phase("apply");
-            let er = gs.shard_entries(s);
-            for (base, mask) in aligned_chunks(er.clone()) {
-                let srcv = b.gload(&src_value, mask, |l| base + l);
-                let statv = match &src_static_buf {
-                    Some(buf) => b.gload(buf, mask, |l| base + l),
-                    None => [P::SV::default(); WARP],
-                };
-                let ev = match &edge_value_buf {
-                    Some(buf) => b.gload(buf, mask, |l| base + l),
-                    None => [P::E::default(); WARP],
-                };
-                let dst = b.gload(&dest_index, mask, |l| base + l);
-                b.exec(mask, P::COMPUTE_COST);
-                b.supdate(
-                    &mut local,
-                    mask,
-                    |l| dst[l] as usize - offset,
-                    |l, slot| prog.compute(&srcv[l], &statv[l], &ev[l], slot),
-                );
-            }
-            b.sync();
-
-            // Stage 3: update_condition; publish changed values.
-            b.phase("scatter");
-            let mut block_updated = false;
-            for (base, mask) in aligned_chunks(offset..offset + nv) {
-                let old = b.gload(&vertex_values, mask, |l| base + l);
-                let loc = b.sload(&local, mask, |l| base + l - offset);
-                let mut newv = loc;
-                let mut cond = [false; WARP];
-                for l in mask.iter() {
-                    cond[l] = prog.update_condition(&mut newv[l], &old[l]);
+            // …and the modeled ECC scrubber verifies the protected buffers
+            // before the kernel consumes them (host-side, charge-free —
+            // hardware scrubbing runs in the background).
+            if integ.mode.checksums()
+                && (checksum(vertex_values.host()) != vv_crc
+                    || checksum(src_value.host()) != sv_crc)
+            {
+                if sdc_recover(
+                    &mut gpu,
+                    integ,
+                    Detector::Checksum,
+                    &mut sdc,
+                    &mut ckpts,
+                    &mut vertex_values,
+                    &mut src_value,
+                    &init,
+                    &src_value_init,
+                    &mut total,
+                    &mut watchdog_seen,
+                    &mut vv_crc,
+                    &mut sv_crc,
+                    &cfg.trace,
+                    0,
+                )? {
+                    need_reverify = true;
+                    continue;
                 }
-                b.exec(mask, 1);
-                // update_condition may have refined local (e.g. PageRank's
-                // damping); keep the shared copy current for stage 4.
-                b.sstore(&mut local, mask, |l| base + l - offset, |l| newv[l]);
-                let smask = mask.and(Mask::from_fn(|l| cond[l]));
-                if !smask.is_empty() {
-                    b.gstore(&mut vertex_values, smask, |l| base + l, |l| newv[l]);
-                    block_updated = true;
-                    updated_this_iter += smask.count() as u64;
-                }
+                host_fallback!();
             }
-            b.sync();
+            let iter_ts = gpu.total_seconds();
+            gpu.try_h2d(&mut converged_flag, &[1u32])?; // host resets is_converged
+            let mut updated_this_iter = 0u64;
+            let kstats = gpu.try_launch(&desc, |b| {
+                let s = b.id();
+                let vrange = gs.vertex_range(s);
+                let offset = vrange.start as usize;
+                let nv = vrange.len();
+                let mut local = b.shared_alloc::<P::V>(nv);
 
-            // Stage 4: write-back to the windows in all shards.
-            b.phase("compact");
-            if block_updated {
-                match &cw {
-                    None => {
-                        // G-Shards: one warp walks each window W_sj, first
-                        // fetching its boundary from the offset table.
-                        for j in 0..p {
-                            if let Some(wo) = &window_offsets_buf {
-                                let lanes = if s + 1 < p { 2 } else { 1 };
-                                b.gload(wo, Mask::first(lanes), |l| (j * p + s) as usize + l);
+                // Stage 1: coalesced fetch of VertexValues into shared memory.
+                b.phase("gather");
+                for (base, mask) in aligned_chunks(offset..offset + nv) {
+                    let vals = b.gload(&vertex_values, mask, |l| base + l);
+                    let mut inited = [P::V::default(); WARP];
+                    for l in mask.iter() {
+                        let mut lv = P::V::default();
+                        prog.init_compute(&mut lv, &vals[l]);
+                        inited[l] = lv;
+                    }
+                    b.exec(mask, 1);
+                    b.sstore(&mut local, mask, |l| base + l - offset, |l| inited[l]);
+                }
+                b.sync();
+
+                // Stage 2: process shard entries; atomic shared update of the
+                // destination's local value.
+                b.phase("apply");
+                let er = gs.shard_entries(s);
+                for (base, mask) in aligned_chunks(er.clone()) {
+                    let srcv = b.gload(&src_value, mask, |l| base + l);
+                    let statv = match &src_static_buf {
+                        Some(buf) => b.gload(buf, mask, |l| base + l),
+                        None => [P::SV::default(); WARP],
+                    };
+                    let ev = match &edge_value_buf {
+                        Some(buf) => b.gload(buf, mask, |l| base + l),
+                        None => [P::E::default(); WARP],
+                    };
+                    let dst = b.gload(&dest_index, mask, |l| base + l);
+                    b.exec(mask, P::COMPUTE_COST);
+                    b.supdate(
+                        &mut local,
+                        mask,
+                        |l| dst[l] as usize - offset,
+                        |l, slot| prog.compute(&srcv[l], &statv[l], &ev[l], slot),
+                    );
+                }
+                b.sync();
+
+                // Stage 3: update_condition; publish changed values.
+                b.phase("scatter");
+                let mut block_updated = false;
+                for (base, mask) in aligned_chunks(offset..offset + nv) {
+                    let old = b.gload(&vertex_values, mask, |l| base + l);
+                    let loc = b.sload(&local, mask, |l| base + l - offset);
+                    let mut newv = loc;
+                    let mut cond = [false; WARP];
+                    for l in mask.iter() {
+                        cond[l] = prog.update_condition(&mut newv[l], &old[l]);
+                    }
+                    b.exec(mask, 1);
+                    // update_condition may have refined local (e.g. PageRank's
+                    // damping); keep the shared copy current for stage 4.
+                    b.sstore(&mut local, mask, |l| base + l - offset, |l| newv[l]);
+                    let smask = mask.and(Mask::from_fn(|l| cond[l]));
+                    if !smask.is_empty() {
+                        b.gstore(&mut vertex_values, smask, |l| base + l, |l| newv[l]);
+                        block_updated = true;
+                        updated_this_iter += smask.count() as u64;
+                    }
+                }
+                b.sync();
+
+                // Stage 4: write-back to the windows in all shards.
+                b.phase("compact");
+                if block_updated {
+                    match &cw {
+                        None => {
+                            // G-Shards: one warp walks each window W_sj, first
+                            // fetching its boundary from the offset table.
+                            for j in 0..p {
+                                if let Some(wo) = &window_offsets_buf {
+                                    let lanes = if s + 1 < p { 2 } else { 1 };
+                                    b.gload(wo, Mask::first(lanes), |l| (j * p + s) as usize + l);
+                                }
+                                for (base, mask) in aligned_chunks(gs.window(s, j)) {
+                                    let sidx = b.gload(&src_index, mask, |l| base + l);
+                                    let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
+                                    b.gstore(&mut src_value, mask, |l| base + l, |l| loc[l]);
+                                }
                             }
-                            for (base, mask) in aligned_chunks(gs.window(s, j)) {
+                        }
+                        Some(cw) => {
+                            // Concatenated Windows: dense sweep of CW_s through
+                            // the Mapper.
+                            let r = cw.cw_entries(s);
+                            for (base, mask) in aligned_chunks(r) {
                                 let sidx = b.gload(&src_index, mask, |l| base + l);
+                                let map = match &mapper_buf {
+                                    Some(mbuf) => b.gload(mbuf, mask, |l| base + l),
+                                    None => unreachable!("CW mode always has a mapper"),
+                                };
                                 let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
-                                b.gstore(&mut src_value, mask, |l| base + l, |l| loc[l]);
+                                b.gstore(&mut src_value, mask, |l| map[l] as usize, |l| loc[l]);
                             }
                         }
                     }
-                    Some(cw) => {
-                        // Concatenated Windows: dense sweep of CW_s through
-                        // the Mapper.
-                        let r = cw.cw_entries(s);
-                        for (base, mask) in aligned_chunks(r) {
-                            let sidx = b.gload(&src_index, mask, |l| base + l);
-                            let map = match &mapper_buf {
-                                Some(mbuf) => b.gload(mbuf, mask, |l| base + l),
-                                None => unreachable!("CW mode always has a mapper"),
-                            };
-                            let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
-                            b.gstore(&mut src_value, mask, |l| map[l] as usize, |l| loc[l]);
+                    b.gstore(&mut converged_flag, Mask::first(1), |_| 0, |_| 0u32);
+                }
+            })?;
+            total.iterations += 1;
+            total.per_iteration.push(IterationStat {
+                seconds: kstats.seconds,
+                updated_vertices: updated_this_iter,
+            });
+            total.kernel.counters.add(&kstats.counters);
+            total.kernel.blocks = kstats.blocks;
+            total.kernel.threads_per_block = kstats.threads_per_block;
+            // Record the post-kernel checksums: this is the state the next
+            // scrub pass must find untouched.
+            if integ.mode.checksums() {
+                vv_crc = checksum(vertex_values.host());
+                sv_crc = checksum(src_value.host());
+            }
+            let flag = gpu.try_download_scalar(&converged_flag, 0)?;
+            let iter = total.iterations as u64;
+            cfg.trace.complete_with(
+                0,
+                lanes::ENGINE,
+                "engine",
+                "iteration",
+                iter_ts,
+                gpu.total_seconds() - iter_ts,
+                || {
+                    vec![
+                        ("iteration", ArgVal::U64(iter)),
+                        ("updated_vertices", ArgVal::U64(updated_this_iter)),
+                    ]
+                },
+            );
+            cfg.trace.counter(
+                0,
+                lanes::ENGINE,
+                "updated_vertices",
+                gpu.total_seconds(),
+                updated_this_iter as f64,
+            );
+            if flag == 1 {
+                converged = true;
+                break;
+            }
+            // Checkpoint boundary: download the state (real, charged D2H),
+            // verify the algorithm invariant against the last verified
+            // snapshot, and store it as the new rollback target.
+            if integ.mode.enabled() && total.iterations.is_multiple_of(integ.checkpoint_every) {
+                let vals = gpu.try_download(&vertex_values)?;
+                let srcs = gpu.try_download(&src_value)?;
+                if integ.mode.invariants() {
+                    let prev = &ckpts.latest().expect("initial checkpoint").values;
+                    if prog.check_invariant(prev, &vals).is_err() {
+                        if sdc_recover(
+                            &mut gpu,
+                            integ,
+                            Detector::Invariant,
+                            &mut sdc,
+                            &mut ckpts,
+                            &mut vertex_values,
+                            &mut src_value,
+                            &init,
+                            &src_value_init,
+                            &mut total,
+                            &mut watchdog_seen,
+                            &mut vv_crc,
+                            &mut sv_crc,
+                            &cfg.trace,
+                            0,
+                        )? {
+                            need_reverify = true;
+                            continue;
                         }
+                        host_fallback!();
                     }
                 }
-                b.gstore(&mut converged_flag, Mask::first(1), |_| 0, |_| 0u32);
+                ckpts.push(total.iterations, vals, srcs, watchdog_seen.clone());
+                sdc.checkpoints += 1;
+                if need_reverify {
+                    need_reverify = false;
+                    cfg.trace
+                        .instant(0, lanes::FAULT, "sdc", "reverify", gpu.total_seconds());
+                }
             }
-        })?;
-        total.iterations += 1;
-        total.per_iteration.push(IterationStat {
-            seconds: kstats.seconds,
-            updated_vertices: updated_this_iter,
-        });
-        total.kernel.counters.add(&kstats.counters);
-        total.kernel.blocks = kstats.blocks;
-        total.kernel.threads_per_block = kstats.threads_per_block;
-        let flag = gpu.try_download_scalar(&converged_flag, 0)?;
-        let iter = total.iterations as u64;
-        cfg.trace.complete_with(
+            if let Some(w) = cfg.watchdog_interval {
+                if total.iterations.is_multiple_of(w) {
+                    // Snapshot the value vector (a real D2H, charged as such);
+                    // a recurring fingerprint without convergence means the
+                    // loop is cycling through the same states forever.
+                    let snapshot = gpu.try_download(&vertex_values)?;
+                    if !watchdog_seen.insert(fingerprint(&snapshot)) {
+                        return Err(EngineError::Watchdog {
+                            iterations: total.iterations,
+                        });
+                    }
+                }
+            }
+        }
+
+        // ---- Download results (D2H) -------------------------------------------
+        let d2h_before_results = gpu.d2h_seconds;
+        let teardown_ts = gpu.total_seconds();
+        let values = gpu.try_download(&vertex_values)?;
+        cfg.trace.complete(
             0,
             lanes::ENGINE,
             "engine",
-            "iteration",
-            iter_ts,
-            gpu.total_seconds() - iter_ts,
-            || {
-                vec![
-                    ("iteration", ArgVal::U64(iter)),
-                    ("updated_vertices", ArgVal::U64(updated_this_iter)),
-                ]
-            },
+            "download",
+            teardown_ts,
+            gpu.total_seconds() - teardown_ts,
         );
-        cfg.trace.counter(
-            0,
-            lanes::ENGINE,
-            "updated_vertices",
-            gpu.total_seconds(),
-            updated_this_iter as f64,
-        );
-        if flag == 1 {
-            converged = true;
-            break;
-        }
-        if let Some(w) = cfg.watchdog_interval {
-            if total.iterations.is_multiple_of(w) {
-                // Snapshot the value vector (a real D2H, charged as such);
-                // a recurring fingerprint without convergence means the
-                // loop is cycling through the same states forever.
-                let snapshot = gpu.try_download(&vertex_values)?;
-                if !watchdog_seen.insert(fingerprint(&snapshot)) {
-                    return Err(EngineError::Watchdog {
-                        iterations: total.iterations,
-                    });
-                }
+        // Per-buffer checksum on download: the values just crossed the bus;
+        // verify them against the scrubber reference before publishing. (A
+        // rejected download's transfer time rolls into the compute/recovery
+        // share of the next pass.)
+        if integ.mode.checksums() && checksum(&values) != vv_crc {
+            if sdc_recover(
+                &mut gpu,
+                integ,
+                Detector::Checksum,
+                &mut sdc,
+                &mut ckpts,
+                &mut vertex_values,
+                &mut src_value,
+                &init,
+                &src_value_init,
+                &mut total,
+                &mut watchdog_seen,
+                &mut vv_crc,
+                &mut sv_crc,
+                &cfg.trace,
+                0,
+            )? {
+                need_reverify = true;
+                converged = false;
+                continue 'run;
             }
+            host_fallback!();
         }
-    }
-
-    // ---- Download results (D2H) -------------------------------------------
-    let d2h_before_results = gpu.d2h_seconds;
-    let teardown_ts = gpu.total_seconds();
-    let values = gpu.try_download(&vertex_values)?;
-    cfg.trace.complete(
-        0,
-        lanes::ENGINE,
-        "engine",
-        "download",
-        teardown_ts,
-        gpu.total_seconds() - teardown_ts,
-    );
+        if need_reverify {
+            cfg.trace
+                .instant(0, lanes::FAULT, "sdc", "reverify", gpu.total_seconds());
+        }
+        break 'run (values, d2h_before_results);
+    };
     let _ = n; // n documented the vertex count; values.len() == n
 
     total.converged = converged;
@@ -507,6 +752,11 @@ pub fn try_run<P: VertexProgram>(
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
     total.profile = gpu.profile.take();
+    sdc.flips_injected = gpu
+        .fault_plan()
+        .map(|p| p.injected().bit_flips)
+        .unwrap_or(0);
+    total.sdc = sdc;
     let output = CuShaOutput {
         values,
         stats: total,

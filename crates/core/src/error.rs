@@ -6,6 +6,14 @@
 //! panicking. The panicking wrappers ([`crate::run`],
 //! [`crate::run_streamed`]) remain for callers that treat any failure as a
 //! bug, matching the paper's abort-on-`cudaError` runs.
+//!
+//! Silent data corruption deliberately has **no** variant here: the
+//! integrity layer ([`crate::integrity`]) always recovers — its ladder
+//! bottoms out at the host fallback, whose memory the device flip model
+//! cannot touch — so detected corruption surfaces as [`RunStats::sdc`]
+//! counters (plus trace instants), never as an error.
+//!
+//! [`RunStats::sdc`]: crate::stats::RunStats
 
 use crate::engine::CuShaOutput;
 use cusha_graph::GraphError;

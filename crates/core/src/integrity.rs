@@ -1,0 +1,440 @@
+//! Silent-data-corruption (SDC) defense: checksums, checkpoints, recovery.
+//!
+//! Fail-stop faults (PR 1's `FaultPlan` kinds) announce themselves with an
+//! error return; a DRAM bit flip does not. This module gives every engine
+//! the pieces of an online defense:
+//!
+//! * **Detection** — [`checksum`] fingerprints a value buffer's exact bit
+//!   patterns. Engines model an ECC-style scrubber: after each kernel they
+//!   record the checksums of the mutable device buffers (`VertexValues`,
+//!   `SrcValue`), and before the next kernel consumes them they re-verify.
+//!   Any at-rest flip of a protected word is therefore caught *before* it
+//!   contaminates downstream state. Algorithm-level invariants
+//!   ([`crate::VertexProgram::check_invariant`]) are the second, weaker
+//!   detector: they need no reference state, so they also run at checkpoint
+//!   boundaries on downloaded data.
+//! * **Recovery** — a [`CheckpointManager`] keeps a bounded ring of
+//!   verified `(VertexValues, SrcValue)` snapshots. On detection the engine
+//!   restores the latest snapshot (a real, charged H2D upload) and
+//!   re-executes; because the convergence loop is deterministic and flip
+//!   coordinates are one-shot, the replay reproduces the fault-free values
+//!   bit for bit. Repeated detections escalate: rollback → full restart →
+//!   host fallback (host memory is outside the simulated device, so no
+//!   injected flip can reach it).
+//!
+//! The scrubber's comparisons are host-side and charge no modeled time
+//! (ECC runs in hardware, in the background); checkpoint snapshots and
+//! rollback restores are real transfers and are charged as D2H/H2D.
+
+use crate::program::Value;
+use cusha_simt::{BitFlip, DevVec, FlipTarget, Pod};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// How much integrity checking an engine performs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IntegrityMode {
+    /// No detection, no checkpoints (the pre-SDC behavior).
+    #[default]
+    Off,
+    /// Checksum scrubbing of the mutable device buffers around every
+    /// kernel, plus checkpoint/rollback. Deterministic detection of any
+    /// at-rest flip in a protected buffer.
+    Checksum,
+    /// Algorithm-invariant checks on checkpoint downloads only (no
+    /// checksums). Best-effort detection — catches flips that break the
+    /// program's monotonicity/conservation laws.
+    Invariant,
+    /// Both detectors.
+    Full,
+}
+
+impl IntegrityMode {
+    /// True when checksum scrubbing runs.
+    pub fn checksums(self) -> bool {
+        matches!(self, IntegrityMode::Checksum | IntegrityMode::Full)
+    }
+
+    /// True when algorithm invariants are checked at checkpoints.
+    pub fn invariants(self) -> bool {
+        matches!(self, IntegrityMode::Invariant | IntegrityMode::Full)
+    }
+
+    /// True when any integrity machinery (including checkpoints) is on.
+    pub fn enabled(self) -> bool {
+        !matches!(self, IntegrityMode::Off)
+    }
+
+    /// CLI label (`off` / `checksum` / `invariant` / `full`).
+    pub fn label(self) -> &'static str {
+        match self {
+            IntegrityMode::Off => "off",
+            IntegrityMode::Checksum => "checksum",
+            IntegrityMode::Invariant => "invariant",
+            IntegrityMode::Full => "full",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(IntegrityMode::Off),
+            "checksum" => Some(IntegrityMode::Checksum),
+            "invariant" => Some(IntegrityMode::Invariant),
+            "full" => Some(IntegrityMode::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Integrity/recovery configuration carried by every engine config.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntegrityConfig {
+    /// Detection mode.
+    pub mode: IntegrityMode,
+    /// Snapshot the verified state every this-many iterations. Bounds the
+    /// re-execution window of a rollback.
+    pub checkpoint_every: u32,
+    /// Snapshots retained (ring buffer) — the memory bound.
+    pub max_checkpoints: usize,
+    /// Rollbacks before escalating to a full restart. Counted per engine
+    /// run (per device in the fleet).
+    pub max_rollbacks: u32,
+    /// Full restarts before escalating to the host fallback.
+    pub max_full_restarts: u32,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            mode: IntegrityMode::Off,
+            checkpoint_every: 4,
+            max_checkpoints: 2,
+            max_rollbacks: 8,
+            max_full_restarts: 1,
+        }
+    }
+}
+
+impl IntegrityConfig {
+    /// Defaults with the given mode.
+    pub fn with_mode(mode: IntegrityMode) -> Self {
+        IntegrityConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+
+    /// Checks the configuration's invariants (mirrors
+    /// `CuShaConfig::validate`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint_every must be at least 1".into());
+        }
+        if self.max_checkpoints == 0 {
+            return Err("max_checkpoints must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the exact bit patterns of a value slice — the scrubber's
+/// per-buffer checksum. Identical values (NaN payloads included) always
+/// hash identically, and any single-bit flip changes the digest.
+pub fn checksum<V: Value>(values: &[V]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in values {
+        let mut bits = v.to_bits();
+        for _ in 0..8 {
+            h = (h ^ (bits & 0xff)).wrapping_mul(0x100_0000_01b3);
+            bits >>= 8;
+        }
+    }
+    h
+}
+
+/// XOR-flips one bit of one word of a typed device buffer, reducing the
+/// plan's raw coordinates modulo the buffer length and the value width so
+/// any plan is valid for any graph. No-op on an empty buffer.
+pub fn apply_flip<V: Value>(buf: &mut DevVec<V>, flip: &BitFlip) {
+    if buf.is_empty() {
+        return;
+    }
+    let word = (flip.word % buf.len() as u64) as usize;
+    let width = (<V as Pod>::SIZE * 8).min(64);
+    let bit = flip.bit as u32 % width;
+    let host = buf.host_mut();
+    host[word] = V::from_bits(host[word].to_bits() ^ (1u64 << bit));
+}
+
+/// Routes a due flip onto the engine's two mutable buffers: the
+/// `VertexValues` role hits the vertex-value array, while `SrcValue` and
+/// `Window` both land in the source-value column (windows are slices of it
+/// in both representations, addressed through an independent coordinate
+/// stream).
+pub fn apply_flips<V: Value>(
+    flips: &[BitFlip],
+    vertex_values: &mut DevVec<V>,
+    src_value: &mut DevVec<V>,
+) {
+    for f in flips {
+        match f.target {
+            FlipTarget::VertexValues => apply_flip(vertex_values, f),
+            FlipTarget::SrcValue | FlipTarget::Window => apply_flip(src_value, f),
+        }
+    }
+}
+
+/// One verified snapshot of engine state at an iteration boundary.
+#[derive(Clone, Debug)]
+pub struct Checkpoint<V> {
+    /// Iteration count at snapshot time (re-execution resumes here).
+    pub iteration: u32,
+    /// Vertex values, by vertex id.
+    pub values: Vec<V>,
+    /// Source-value column, by shard entry.
+    pub src_value: Vec<V>,
+    /// Checksum of `values` (the scrubber reference after a rollback).
+    pub values_crc: u64,
+    /// Checksum of `src_value`.
+    pub src_crc: u64,
+    /// Watchdog fingerprints seen up to this point; restored on rollback so
+    /// a replay does not trip the livelock detector on its own states.
+    pub watchdog: HashSet<u64>,
+}
+
+/// Bounded ring of verified snapshots: pushing beyond the capacity drops
+/// the oldest, so the memory held is at most `capacity` full snapshots
+/// regardless of run length.
+#[derive(Clone, Debug)]
+pub struct CheckpointManager<V> {
+    capacity: usize,
+    snaps: VecDeque<Checkpoint<V>>,
+}
+
+impl<V: Value> CheckpointManager<V> {
+    /// An empty manager holding at most `capacity >= 1` snapshots.
+    pub fn new(capacity: usize) -> Self {
+        CheckpointManager {
+            capacity: capacity.max(1),
+            snaps: VecDeque::new(),
+        }
+    }
+
+    /// Builds and stores a snapshot, computing its checksums; evicts the
+    /// oldest when full.
+    pub fn push(
+        &mut self,
+        iteration: u32,
+        values: Vec<V>,
+        src_value: Vec<V>,
+        watchdog: HashSet<u64>,
+    ) {
+        let cp = Checkpoint {
+            iteration,
+            values_crc: checksum(&values),
+            src_crc: checksum(&src_value),
+            values,
+            src_value,
+            watchdog,
+        };
+        if self.snaps.len() == self.capacity {
+            self.snaps.pop_front();
+        }
+        self.snaps.push_back(cp);
+    }
+
+    /// The most recent snapshot (the rollback target).
+    pub fn latest(&self) -> Option<&Checkpoint<V>> {
+        self.snaps.back()
+    }
+
+    /// Snapshots currently held.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True when no snapshot is held.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every snapshot (used by the full-restart rung, which re-seeds
+    /// from the initial state).
+    pub fn clear(&mut self) {
+        self.snaps.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_simt::{DeviceConfig, Gpu};
+
+    #[test]
+    fn checksum_changes_on_any_flip() {
+        let vals: Vec<u32> = (0..64).collect();
+        let base = checksum(&vals);
+        for i in [0usize, 13, 63] {
+            for bit in [0u32, 7, 31] {
+                let mut flipped = vals.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(checksum(&flipped), base, "word {i} bit {bit}");
+            }
+        }
+        assert_eq!(checksum(&vals), base, "checksum is a pure function");
+    }
+
+    #[test]
+    fn apply_flip_reduces_coordinates_and_round_trips() {
+        let mut gpu = Gpu::new(DeviceConfig::tiny_test());
+        let mut buf = gpu.upload(&[0.0f32; 10]);
+        let flip = BitFlip {
+            target: FlipTarget::VertexValues,
+            word: 23, // 23 % 10 = 3
+            bit: 45,  // 45 % 32 = 13
+        };
+        apply_flip(&mut buf, &flip);
+        assert_eq!(buf.host()[3].to_bits(), 1 << 13);
+        apply_flip(&mut buf, &flip);
+        assert!(buf.host().iter().all(|v| v.to_bits() == 0), "XOR undoes");
+    }
+
+    #[test]
+    fn window_flips_land_in_the_src_value_buffer() {
+        let mut gpu = Gpu::new(DeviceConfig::tiny_test());
+        let mut vv = gpu.upload(&[0u32; 4]);
+        let mut sv = gpu.upload(&[0u32; 4]);
+        apply_flips(
+            &[
+                BitFlip {
+                    target: FlipTarget::Window,
+                    word: 1,
+                    bit: 0,
+                },
+                BitFlip {
+                    target: FlipTarget::SrcValue,
+                    word: 2,
+                    bit: 1,
+                },
+            ],
+            &mut vv,
+            &mut sv,
+        );
+        assert!(vv.host().iter().all(|&v| v == 0));
+        assert_eq!(sv.host(), &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn manager_holds_at_most_capacity_snapshots() {
+        let mut m: CheckpointManager<u32> = CheckpointManager::new(3);
+        for i in 0..10u32 {
+            m.push(i, vec![i; 4], vec![i; 2], HashSet::new());
+            assert!(m.len() <= 3, "bounded at capacity");
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.latest().unwrap().iteration, 9);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let m: CheckpointManager<u32> = CheckpointManager::new(0);
+        assert_eq!(m.capacity(), 1);
+    }
+
+    /// Checkpointed state must round-trip bit-exactly for every value type
+    /// the framework supports — including NaN payloads and negative zeros,
+    /// which `==` on floats would silently conflate.
+    #[test]
+    fn checkpoints_round_trip_bit_exactly_for_every_value_type() {
+        fn case<V: Value>(vals: Vec<V>, src: Vec<V>) {
+            let vcrc = checksum(&vals);
+            let scrc = checksum(&src);
+            let mut m: CheckpointManager<V> = CheckpointManager::new(2);
+            m.push(7, vals.clone(), src.clone(), HashSet::from([99u64]));
+            let cp = m.latest().unwrap();
+            assert_eq!(cp.iteration, 7);
+            assert_eq!(cp.values_crc, vcrc);
+            assert_eq!(cp.src_crc, scrc);
+            let restored: Vec<u64> = cp.values.iter().map(|v| v.to_bits()).collect();
+            let original: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(restored, original, "values round-trip");
+            let restored: Vec<u64> = cp.src_value.iter().map(|v| v.to_bits()).collect();
+            let original: Vec<u64> = src.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(restored, original, "src values round-trip");
+            assert!(cp.watchdog.contains(&99));
+        }
+        case::<u32>(vec![0, 1, u32::MAX], vec![5, 6]);
+        case::<u64>(vec![0, u64::MAX, 1 << 63], vec![7]);
+        case::<f32>(
+            vec![0.0, -0.0, f32::NAN, f32::INFINITY, f32::MIN_POSITIVE],
+            vec![1.5],
+        );
+        case::<f64>(vec![0.0, -0.0, f64::NAN, f64::NEG_INFINITY], vec![2.5]);
+        case::<(f32, f32)>(vec![(0.0, -0.0), (f32::NAN, 1.0)], vec![(3.0, 4.0)]);
+        case::<(u32, u32)>(vec![(0, u32::MAX), (1, 2)], vec![(9, 9)]);
+    }
+
+    /// `to_bits`/`from_bits` is the identity on raw bit patterns for every
+    /// value type, so flips are exactly reversible everywhere.
+    #[test]
+    fn flips_are_reversible_for_every_value_type() {
+        fn case<V: Value>(vals: Vec<V>) {
+            let mut gpu = Gpu::new(DeviceConfig::tiny_test());
+            let before: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+            let mut buf = gpu.upload(&vals);
+            let flip = BitFlip {
+                target: FlipTarget::VertexValues,
+                word: 1,
+                bit: 11,
+            };
+            apply_flip(&mut buf, &flip);
+            let mid: Vec<u64> = buf.host().iter().map(|v| v.to_bits()).collect();
+            assert_ne!(mid, before, "flip must change the bit pattern");
+            apply_flip(&mut buf, &flip);
+            let after: Vec<u64> = buf.host().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(after, before, "double flip is the identity");
+        }
+        case::<u32>(vec![3, 9, 27]);
+        case::<u64>(vec![1 << 40, 2, 3]);
+        case::<f32>(vec![1.0, -2.5, f32::NAN]);
+        case::<f64>(vec![0.25, 1e300, -0.0]);
+        case::<(f32, f32)>(vec![(1.0, 2.0), (3.0, 4.0)]);
+        case::<(u32, u32)>(vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for m in [
+            IntegrityMode::Off,
+            IntegrityMode::Checksum,
+            IntegrityMode::Invariant,
+            IntegrityMode::Full,
+        ] {
+            assert_eq!(IntegrityMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(IntegrityMode::parse("bogus"), None);
+        assert!(IntegrityMode::Full.checksums() && IntegrityMode::Full.invariants());
+        assert!(!IntegrityMode::Off.enabled());
+        assert!(IntegrityMode::Invariant.enabled() && !IntegrityMode::Invariant.checksums());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(IntegrityConfig::default().validate().is_ok());
+        let mut c = IntegrityConfig::with_mode(IntegrityMode::Full);
+        c.checkpoint_every = 0;
+        assert!(c.validate().is_err());
+        c.checkpoint_every = 2;
+        c.max_checkpoints = 0;
+        assert!(c.validate().is_err());
+    }
+}

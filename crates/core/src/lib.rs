@@ -17,6 +17,8 @@
 //! * [`engine`] — the iterative 4-stage processing loop of Figure 5 running
 //!   on the [`cusha_simt`] simulator, in both GS and CW modes.
 //! * [`memsize`] — representation footprint model (Figure 9).
+//! * [`integrity`] — silent-data-corruption defense: per-buffer checksums,
+//!   algorithm invariants, bounded checkpoint/rollback recovery.
 //! * [`multi`] — the multi-device engine: partitions the shard sequence
 //!   over a [`cusha_simt::DeviceFleet`] and exchanges halo updates over a
 //!   modeled interconnect, bit-identical to the single-device engine.
@@ -26,6 +28,7 @@ pub mod cw;
 pub mod engine;
 pub mod error;
 pub mod fallback;
+pub mod integrity;
 pub mod memsize;
 pub mod multi;
 pub mod program;
@@ -39,10 +42,11 @@ pub use cw::ConcatWindows;
 pub use engine::{run, try_run, CuShaConfig, CuShaOutput, Repr};
 pub use error::EngineError;
 pub use fallback::run_fallback;
+pub use integrity::{CheckpointManager, IntegrityConfig, IntegrityMode};
 pub use multi::{
     run_multi, try_run_multi, DeviceRunStats, MultiConfig, MultiOutput, MultiRunStats,
 };
 pub use program::{Value, VertexProgram};
 pub use shards::GShards;
-pub use stats::{FaultStats, IterationStat, RunStats};
+pub use stats::{FaultStats, IterationStat, RunStats, SdcStats};
 pub use streaming::{run_streamed, try_run_streamed, StreamingConfig};

@@ -33,12 +33,14 @@
 
 use crate::autotune::select_vertices_per_shard;
 use crate::cw::ConcatWindows;
+use crate::engine::Detector;
 use crate::engine::{CuShaConfig, CuShaOutput, Repr};
 use crate::error::EngineError;
 use crate::fallback::FALLBACK_LABEL;
+use crate::integrity::{apply_flips, checksum, CheckpointManager};
 use crate::program::VertexProgram;
 use crate::shards::GShards;
-use crate::stats::{FaultStats, IterationStat, RunStats};
+use crate::stats::{FaultStats, IterationStat, RunStats, SdcStats};
 use cusha_graph::{FleetPartition, Graph};
 use cusha_obs::trace::{lanes, ArgVal};
 use cusha_simt::{
@@ -153,6 +155,8 @@ pub struct DeviceRunStats {
     pub exchange_recv_bytes: u64,
     /// Recovery activity on this device.
     pub fault: FaultStats,
+    /// Silent-data-corruption defense activity on this device.
+    pub sdc: SdcStats,
     /// Per-launch kernel history when profiling was enabled.
     pub profile: Option<Profile>,
 }
@@ -189,6 +193,8 @@ pub struct MultiRunStats {
     pub aggregate: KernelStats,
     /// Fleet-level aggregate of every device's recovery activity.
     pub fault: FaultStats,
+    /// Fleet-level aggregate of every device's SDC-defense activity.
+    pub sdc: SdcStats,
     /// Per-iteration detail (seconds = slowest device's kernel time).
     pub per_iteration: Vec<IterationStat>,
 }
@@ -216,6 +222,7 @@ impl MultiRunStats {
             kernel: self.aggregate.clone(),
             profile: None,
             fault: self.fault,
+            sdc: self.sdc,
         }
     }
 
@@ -247,6 +254,7 @@ impl MultiRunStats {
         }
         self.aggregate.record_metrics(reg, labels);
         self.fault.record_metrics(reg, labels);
+        self.sdc.record_metrics(reg, labels);
         for dev in &self.per_device {
             let id = dev.device.to_string();
             let mut dl: Vec<(&str, &str)> = labels.to_vec();
@@ -263,6 +271,7 @@ impl MultiRunStats {
             reg.set_gauge("device_kernel_seconds", &dl, dev.kernel_seconds);
             dev.kernel.record_metrics(reg, &dl);
             dev.fault.record_metrics(reg, &dl);
+            dev.sdc.record_metrics(reg, &dl);
         }
     }
 }
@@ -488,6 +497,7 @@ struct MultiState<'a, P: VertexProgram> {
     static_entries: Option<Vec<P::SV>>,
     edge_entries: Option<Vec<P::E>>,
     faults: Vec<FaultStats>,
+    sdcs: Vec<SdcStats>,
     acc: Vec<TimeAcc>,
     profiles: Vec<Option<Profile>>,
     desc_name: String,
@@ -840,6 +850,200 @@ impl<P: VertexProgram> MultiState<'_, P> {
         );
         self.modes[d] = Mode::Fallback;
         self.host_iterate(d, info.shards, out);
+        Ok(())
+    }
+
+    /// Applies every resident device's due bit flips to its on-device
+    /// buffers. Flips land while the data is at rest in device DRAM, before
+    /// any device of the fleet launches — later writes into those buffers
+    /// (spills from other devices' stage 4) are legitimate and must not be
+    /// mistaken for corruption by the scrub that follows. Devices running
+    /// rebatched or on the host stage through trusted host masters, which
+    /// the flip model (device DRAM) cannot reach.
+    fn apply_due_flips(&mut self) {
+        for d in 0..self.cfg.devices {
+            if let Mode::Resident(dev) = &mut self.modes[d] {
+                let flips = self.fleet.device_mut(d).take_due_bit_flips();
+                if !flips.is_empty() {
+                    apply_flips(&flips, &mut dev.vertex_values, &mut dev.src_value);
+                }
+            }
+        }
+    }
+
+    /// Scrub pass: verifies every resident device's protected buffers
+    /// against the checksums recorded at the end of the previous fleet
+    /// iteration, returning the first device whose state no longer matches.
+    fn scrub(&self, crcs: &[(u64, u64)]) -> Option<usize> {
+        (0..self.cfg.devices).find(|&d| {
+            if let Mode::Resident(dev) = &self.modes[d] {
+                checksum(dev.vertex_values.host()) != crcs[d].0
+                    || checksum(dev.src_value.host()) != crcs[d].1
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Records the post-iteration checksums of every resident device's
+    /// protected buffers (after all spills of the iteration have landed) —
+    /// the state the next scrub pass must find untouched.
+    fn store_crcs(&self, crcs: &mut [(u64, u64)]) {
+        for (mode, crc) in self.modes.iter().zip(crcs.iter_mut()) {
+            if let Mode::Resident(dev) = mode {
+                *crc = (
+                    checksum(dev.vertex_values.host()),
+                    checksum(dev.src_value.host()),
+                );
+            }
+        }
+    }
+
+    /// Restores the whole fleet to the given verified global state: both
+    /// host masters, plus each resident device's slices as real, charged
+    /// H2D uploads. Refreshes the scrub references and the per-device time
+    /// marks (restore time is recovery activity, accumulated into
+    /// `integrity_seconds`).
+    fn restore_global(
+        &mut self,
+        values: &[P::V],
+        src: &[P::V],
+        crcs: &mut [(u64, u64)],
+        time_marks: &mut [f64],
+        integrity_seconds: &mut f64,
+    ) -> Result<(), DeviceFault> {
+        self.master_values.copy_from_slice(values);
+        self.master_src_value.copy_from_slice(src);
+        let (maxr, backoff) = (self.cfg.max_copy_retries, self.cfg.backoff_base_seconds);
+        for d in 0..self.cfg.devices {
+            let before = self.device_time(d);
+            let info = self.infos[d].clone();
+            let Mode::Resident(dev) = &mut self.modes[d] else {
+                continue;
+            };
+            let gpu = self.fleet.device_mut(d);
+            let fault = &mut self.faults[d];
+            with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_h2d(&mut dev.vertex_values, &values[info.vrange.clone()])
+            })?;
+            with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                g.try_h2d(&mut dev.src_value, &src[info.erange.clone()])
+            })?;
+            crcs[d] = (
+                checksum(dev.vertex_values.host()),
+                checksum(dev.src_value.host()),
+            );
+            let after = self.device_time(d);
+            *integrity_seconds += after - before;
+            time_marks[d] = after;
+        }
+        Ok(())
+    }
+
+    /// One rung of the fleet's SDC recovery ladder after a corruption was
+    /// detected on (or attributed to) device `det`: global rollback to the
+    /// latest verified checkpoint while the fleet-wide budget lasts, then
+    /// one full restart from the initial state, and finally degradation to
+    /// the host re-enactment — the detecting device for a checksum hit, or
+    /// every resident device for an invariant hit (whose culprit is
+    /// unknown) — since host masters are immune to device flips.
+    #[allow(clippy::too_many_arguments)]
+    fn sdc_recover_fleet(
+        &mut self,
+        det: usize,
+        detector: Detector,
+        ckpts: &mut CheckpointManager<P::V>,
+        crcs: &mut [(u64, u64)],
+        stats: &mut MultiRunStats,
+        watchdog_seen: &mut HashSet<u64>,
+        init_values: &[P::V],
+        init_src: &[P::V],
+        time_marks: &mut [f64],
+        integrity_seconds: &mut f64,
+    ) -> Result<(), DeviceFault> {
+        match detector {
+            Detector::Checksum => self.sdcs[det].checksum_detections += 1,
+            Detector::Invariant => self.sdcs[det].invariant_detections += 1,
+        }
+        self.cfg.base.trace.instant(
+            det as u32,
+            lanes::FAULT,
+            "sdc",
+            "corruption-detected",
+            self.device_time(det),
+        );
+        let integ = &self.cfg.base.integrity;
+        let rollbacks: u32 = self.sdcs.iter().map(|s| s.rollbacks).sum();
+        let restarts: u32 = self.sdcs.iter().map(|s| s.full_restarts).sum();
+        if rollbacks < integ.max_rollbacks {
+            let cp = ckpts.latest().expect("initial checkpoint always present");
+            let (iteration, watchdog) = (cp.iteration, cp.watchdog.clone());
+            let (values, src) = (cp.values.clone(), cp.src_value.clone());
+            self.restore_global(&values, &src, crcs, time_marks, integrity_seconds)?;
+            self.sdcs[det].reexecuted_iterations += stats.iterations - iteration;
+            stats.iterations = iteration;
+            stats.per_iteration.truncate(iteration as usize);
+            *watchdog_seen = watchdog;
+            self.sdcs[det].rollbacks += 1;
+            self.cfg.base.trace.instant(
+                det as u32,
+                lanes::FAULT,
+                "sdc",
+                "rollback",
+                self.device_time(det),
+            );
+        } else if restarts < integ.max_full_restarts {
+            self.restore_global(init_values, init_src, crcs, time_marks, integrity_seconds)?;
+            self.sdcs[det].reexecuted_iterations += stats.iterations;
+            stats.iterations = 0;
+            stats.per_iteration.clear();
+            watchdog_seen.clear();
+            ckpts.clear();
+            ckpts.push(0, init_values.to_vec(), init_src.to_vec(), HashSet::new());
+            self.sdcs[det].full_restarts += 1;
+            self.cfg.base.trace.instant(
+                det as u32,
+                lanes::FAULT,
+                "sdc",
+                "full-restart",
+                self.device_time(det),
+            );
+        } else {
+            let victims: Vec<usize> = match detector {
+                Detector::Checksum => vec![det],
+                Detector::Invariant => (0..self.cfg.devices)
+                    .filter(|&d| matches!(self.modes[d], Mode::Resident(_)))
+                    .collect(),
+            };
+            if victims.is_empty() {
+                // Nothing left to degrade (the whole fleet already runs on
+                // host masters, which flips cannot reach): let the run
+                // proceed rather than rewinding without progress — the
+                // iteration cap still bounds the loop.
+                return Ok(());
+            }
+            let cp = ckpts.latest().expect("initial checkpoint always present");
+            let (iteration, watchdog) = (cp.iteration, cp.watchdog.clone());
+            let (values, src) = (cp.values.clone(), cp.src_value.clone());
+            self.restore_global(&values, &src, crcs, time_marks, integrity_seconds)?;
+            self.sdcs[det].reexecuted_iterations += stats.iterations - iteration;
+            stats.iterations = iteration;
+            stats.per_iteration.truncate(iteration as usize);
+            *watchdog_seen = watchdog;
+            for v in victims {
+                if matches!(self.modes[v], Mode::Resident(_) | Mode::Rebatched { .. }) {
+                    self.modes[v] = Mode::Fallback;
+                }
+                self.sdcs[v].host_fallbacks += 1;
+                self.cfg.base.trace.instant(
+                    v as u32,
+                    lanes::FAULT,
+                    "sdc",
+                    "host-fallback",
+                    self.device_time(v),
+                );
+            }
+        }
         Ok(())
     }
 
@@ -1371,6 +1575,7 @@ fn run_multi_inner<P: VertexProgram>(
         static_entries,
         edge_entries,
         faults: vec![FaultStats::default(); cfg.devices],
+        sdcs: vec![SdcStats::default(); cfg.devices],
         acc: vec![TimeAcc::default(); cfg.devices],
         profiles: vec![None; cfg.devices],
         desc_name,
@@ -1435,6 +1640,7 @@ fn run_multi_inner<P: VertexProgram>(
         per_device: Vec::new(),
         aggregate: KernelStats::default(),
         fault: FaultStats::default(),
+        sdc: SdcStats::default(),
         per_iteration: Vec::new(),
     };
     let mut sent_bytes_total = vec![0u64; cfg.devices];
@@ -1443,7 +1649,60 @@ fn run_multi_inner<P: VertexProgram>(
     let mut watchdog_seen: HashSet<u64> = HashSet::new();
     let mut watchdog_seconds = 0.0f64;
     let mut converged = false;
+
+    // ---- SDC defense state ------------------------------------------------
+    // The masters still hold the untouched initial state here (no iteration
+    // has run), so they seed both the checkpoint ring and the full-restart
+    // image for free. Fleet-global bookkeeping (checkpoints, invariant
+    // detections) is attributed to device 0.
+    let integ = cfg.base.integrity;
+    let mut ckpts: CheckpointManager<P::V> = CheckpointManager::new(integ.max_checkpoints);
+    let init_state = if integ.mode.enabled() {
+        ckpts.push(
+            0,
+            st.master_values.clone(),
+            st.master_src_value.clone(),
+            HashSet::new(),
+        );
+        st.sdcs[0].checkpoints += 1;
+        Some((st.master_values.clone(), st.master_src_value.clone()))
+    } else {
+        None
+    };
+    let mut crcs: Vec<(u64, u64)> = vec![(0, 0); cfg.devices];
+    if integ.mode.checksums() {
+        st.store_crcs(&mut crcs);
+    }
+    let mut integrity_seconds = 0.0f64;
+    let mut need_reverify = false;
+
     while stats.iterations < cfg.base.max_iterations {
+        // Flip points: every device's due silent bit flips land while the
+        // fleet is quiescent, and the scrubber verifies every resident
+        // device before any kernel consumes (or spill overwrites) the
+        // corrupted words.
+        st.apply_due_flips();
+        if integ.mode.checksums() {
+            if let Some(det) = st.scrub(&crcs) {
+                let (iv, is) = init_state.as_ref().expect("checksums imply enabled");
+                let (iv, is) = (iv.clone(), is.clone());
+                st.sdc_recover_fleet(
+                    det,
+                    Detector::Checksum,
+                    &mut ckpts,
+                    &mut crcs,
+                    &mut stats,
+                    &mut watchdog_seen,
+                    &iv,
+                    &is,
+                    &mut time_marks,
+                    &mut integrity_seconds,
+                )
+                .map_err(EngineError::from)?;
+                need_reverify = true;
+                continue;
+            }
+        }
         let mut iter_updated = 0u64;
         let mut max_wall = 0.0f64;
         let mut max_kernel = 0.0f64;
@@ -1484,6 +1743,12 @@ fn run_multi_inner<P: VertexProgram>(
             let now = st.device_time(d);
             max_wall = max_wall.max(now - time_marks[d]);
             time_marks[d] = now;
+        }
+        // Record the post-iteration checksums once every device's spills
+        // have landed — legitimate halo writes into a peer's `SrcValue`
+        // must be inside the reference, not flagged by the next scrub.
+        if integ.mode.checksums() {
+            st.store_crcs(&mut crcs);
         }
         stats.iterations += 1;
         stats.per_iteration.push(IterationStat {
@@ -1543,6 +1808,73 @@ fn run_multi_inner<P: VertexProgram>(
             converged = true;
             break;
         }
+        // Checkpoint boundary: assemble the global state (resident slices
+        // are real, charged D2H downloads), verify the algorithm invariant
+        // against the last verified snapshot, and store it as the new
+        // rollback target.
+        if integ.mode.enabled() && stats.iterations.is_multiple_of(integ.checkpoint_every) {
+            let mut vals = st.master_values.clone();
+            let mut srcs = st.master_src_value.clone();
+            for d in 0..cfg.devices {
+                if let Mode::Resident(dev) = &st.modes[d] {
+                    let before = st.device_time(d);
+                    let gpu = st.fleet.device_mut(d);
+                    let fault = &mut st.faults[d];
+                    let v = with_copy_retries(
+                        gpu,
+                        cfg.max_copy_retries,
+                        cfg.backoff_base_seconds,
+                        fault,
+                        |g| g.try_download(&dev.vertex_values),
+                    )
+                    .map_err(EngineError::from)?;
+                    vals[st.infos[d].vrange.clone()].copy_from_slice(&v);
+                    let sv = with_copy_retries(
+                        gpu,
+                        cfg.max_copy_retries,
+                        cfg.backoff_base_seconds,
+                        fault,
+                        |g| g.try_download(&dev.src_value),
+                    )
+                    .map_err(EngineError::from)?;
+                    srcs[st.infos[d].erange.clone()].copy_from_slice(&sv);
+                    let after = st.device_time(d);
+                    integrity_seconds += after - before;
+                    time_marks[d] = after;
+                }
+            }
+            let violated = integ.mode.invariants()
+                && prog
+                    .check_invariant(&ckpts.latest().expect("initial checkpoint").values, &vals)
+                    .is_err();
+            if violated {
+                let (iv, is) = init_state.as_ref().expect("enabled mode has init state");
+                let (iv, is) = (iv.clone(), is.clone());
+                st.sdc_recover_fleet(
+                    0,
+                    Detector::Invariant,
+                    &mut ckpts,
+                    &mut crcs,
+                    &mut stats,
+                    &mut watchdog_seen,
+                    &iv,
+                    &is,
+                    &mut time_marks,
+                    &mut integrity_seconds,
+                )
+                .map_err(EngineError::from)?;
+                need_reverify = true;
+                continue;
+            }
+            ckpts.push(stats.iterations, vals, srcs, watchdog_seen.clone());
+            st.sdcs[0].checkpoints += 1;
+            if need_reverify {
+                need_reverify = false;
+                cfg.base
+                    .trace
+                    .instant(fleet_pid, lanes::FAULT, "sdc", "reverify", fleet_clock);
+            }
+        }
         if let Some(w) = cfg.base.watchdog_interval {
             if stats.iterations.is_multiple_of(w) {
                 // Assemble the current global value vector (resident
@@ -1576,7 +1908,14 @@ fn run_multi_inner<P: VertexProgram>(
         }
     }
     stats.converged = converged;
-    stats.compute_seconds += watchdog_seconds;
+    stats.compute_seconds += watchdog_seconds + integrity_seconds;
+    if need_reverify {
+        // The recovered trajectory converged before the next checkpoint
+        // boundary re-verified it; the converged state itself is the proof.
+        cfg.base
+            .trace
+            .instant(fleet_pid, lanes::FAULT, "sdc", "reverify", fleet_clock);
+    }
 
     // ---- Download results (D2H) -------------------------------------------
     let mut values = st.master_values.clone();
@@ -1611,6 +1950,10 @@ fn run_multi_inner<P: VertexProgram>(
     // ---- Per-device breakdown ---------------------------------------------
     for d in 0..cfg.devices {
         let gpu = st.fleet.device(d);
+        st.sdcs[d].flips_injected = gpu
+            .fault_plan()
+            .map(|p| p.injected().bit_flips)
+            .unwrap_or(0);
         let a = st.acc[d];
         let part = &fp.parts()[d];
         let mut profile = st.profiles[d].take();
@@ -1635,6 +1978,7 @@ fn run_multi_inner<P: VertexProgram>(
             exchange_sent_bytes: sent_bytes_total[d],
             exchange_recv_bytes: recv_bytes_total[d],
             fault: st.faults[d],
+            sdc: st.sdcs[d],
             profile,
         });
         let f = &st.faults[d];
@@ -1643,6 +1987,7 @@ fn run_multi_inner<P: VertexProgram>(
         stats.fault.oom_rebatches += f.oom_rebatches;
         stats.fault.degradations += f.degradations;
         stats.fault.kernel_retries += f.kernel_retries;
+        stats.sdc.absorb(&st.sdcs[d]);
     }
     stats.aggregate = st.fleet.aggregate_stats();
     stats.aggregate.name = st.desc_name.clone();

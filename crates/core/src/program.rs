@@ -151,6 +151,22 @@ pub trait VertexProgram: Sync {
     /// Stage-3 hook: finalize `local` (may mutate) and decide whether it
     /// changed enough to publish and iterate again.
     fn update_condition(&self, local: &mut Self::V, old: &Self::V) -> bool;
+
+    /// Integrity hook: checks an algorithm-level invariant between the last
+    /// *verified* state `prev` and the candidate state `curr` (both indexed
+    /// by vertex id, with `curr` at least as converged as `prev`). Engines
+    /// running with invariant checking call this at checkpoint boundaries;
+    /// an `Err` names the violated law and is treated as detected silent
+    /// corruption (the state is rolled back, not published).
+    ///
+    /// Examples: BFS/SSSP levels are monotone non-increasing, CC labels are
+    /// monotone non-increasing, PageRank mass is conserved within
+    /// tolerance. The default accepts everything, so programs without a
+    /// cheap invariant still run under every integrity mode.
+    fn check_invariant(&self, prev: &[Self::V], curr: &[Self::V]) -> Result<(), String> {
+        let _ = (prev, curr);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

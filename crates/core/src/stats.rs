@@ -53,6 +53,84 @@ impl FaultStats {
     }
 }
 
+/// Counters of the silent-data-corruption defense's activity during one
+/// run. All zero for a fault-free run or with `IntegrityMode::Off`
+/// (except `flips_injected`, which counts regardless of detection so tests
+/// can prove the injector fired).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SdcStats {
+    /// Silent bit flips the fault plan actually fired.
+    pub flips_injected: u64,
+    /// Corruptions caught by the checksum scrubber.
+    pub checksum_detections: u32,
+    /// Corruptions caught by an algorithm invariant at a checkpoint.
+    pub invariant_detections: u32,
+    /// Rollbacks to a verified checkpoint.
+    pub rollbacks: u32,
+    /// Full restarts from the initial state (second recovery rung).
+    pub full_restarts: u32,
+    /// Escalations to the host fallback engine (last rung).
+    pub host_fallbacks: u32,
+    /// Verified checkpoints taken.
+    pub checkpoints: u32,
+    /// Iterations re-executed after rollbacks/restarts.
+    pub reexecuted_iterations: u32,
+}
+
+impl SdcStats {
+    /// Total corruption detections (both detectors).
+    pub fn detections(&self) -> u32 {
+        self.checksum_detections + self.invariant_detections
+    }
+
+    /// True when no corruption was detected and no recovery fired.
+    /// Checkpoints taken and flips that went *undetected* (integrity off)
+    /// do not make a run unclean — cleanliness is about recovery activity.
+    pub fn is_clean(&self) -> bool {
+        self.detections() == 0
+            && self.rollbacks == 0
+            && self.full_restarts == 0
+            && self.host_fallbacks == 0
+    }
+
+    /// Element-wise accumulation (fleet aggregate = sum of per-device).
+    pub fn absorb(&mut self, other: &SdcStats) {
+        self.flips_injected += other.flips_injected;
+        self.checksum_detections += other.checksum_detections;
+        self.invariant_detections += other.invariant_detections;
+        self.rollbacks += other.rollbacks;
+        self.full_restarts += other.full_restarts;
+        self.host_fallbacks += other.host_fallbacks;
+        self.checkpoints += other.checkpoints;
+        self.reexecuted_iterations += other.reexecuted_iterations;
+    }
+
+    /// Records the SDC counters into a metrics registry (new keys only —
+    /// existing series are untouched, keeping golden snapshots stable).
+    pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.add("sdc_flips_injected", labels, self.flips_injected);
+        reg.add(
+            "sdc_checksum_detections",
+            labels,
+            self.checksum_detections as u64,
+        );
+        reg.add(
+            "sdc_invariant_detections",
+            labels,
+            self.invariant_detections as u64,
+        );
+        reg.add("sdc_rollbacks", labels, self.rollbacks as u64);
+        reg.add("sdc_full_restarts", labels, self.full_restarts as u64);
+        reg.add("sdc_host_fallbacks", labels, self.host_fallbacks as u64);
+        reg.add("sdc_checkpoints", labels, self.checkpoints as u64);
+        reg.add(
+            "sdc_reexecuted_iterations",
+            labels,
+            self.reexecuted_iterations as u64,
+        );
+    }
+}
+
 /// Aggregate statistics of one full algorithm run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -81,6 +159,9 @@ pub struct RunStats {
     /// Recovery activity (retries, rebatches, degradations); all zero for
     /// fault-free runs.
     pub fault: FaultStats,
+    /// Silent-data-corruption defense activity (detections, rollbacks,
+    /// checkpoints); all zero for fault-free runs with integrity off.
+    pub sdc: SdcStats,
 }
 
 impl RunStats {
@@ -130,6 +211,7 @@ impl RunStats {
         }
         self.kernel.record_metrics(reg, labels);
         self.fault.record_metrics(reg, labels);
+        self.sdc.record_metrics(reg, labels);
     }
 }
 

@@ -45,12 +45,14 @@
 //! recovery activity is recorded in [`RunStats::fault`].
 
 use crate::cw::ConcatWindows;
+use crate::engine::Detector;
 use crate::engine::{CuShaConfig, CuShaOutput, Repr};
 use crate::error::EngineError;
 use crate::fallback::run_fallback;
+use crate::integrity::{apply_flips, checksum, CheckpointManager};
 use crate::program::{Value, VertexProgram};
 use crate::shards::GShards;
-use crate::stats::{FaultStats, IterationStat, RunStats};
+use crate::stats::{FaultStats, IterationStat, RunStats, SdcStats};
 use cusha_graph::Graph;
 use cusha_obs::trace::{lanes, ArgVal};
 use cusha_simt::{aligned_chunks, DevVec, DeviceFault, Gpu, KernelDesc, Mask, Pod, WARP};
@@ -152,6 +154,9 @@ enum AttemptError {
     Fault(DeviceFault),
     /// The watchdog saw the value vector revisit an earlier state.
     Watchdog { iterations: u32 },
+    /// Detected silent corruption outlived the rollback and restart
+    /// budgets; the caller escalates to the host fallback.
+    SdcExhausted,
 }
 
 impl From<DeviceFault> for AttemptError {
@@ -225,6 +230,7 @@ pub fn try_run_streamed<P: VertexProgram>(
     graph.validate()?;
 
     let mut fault = FaultStats::default();
+    let mut sdc = SdcStats::default();
     let mut plan = cfg.base.fault_plan.clone();
     let mut resident = cfg.resident_bytes;
     let mut repr = cfg.base.repr;
@@ -235,16 +241,20 @@ pub fn try_run_streamed<P: VertexProgram>(
         if let Some(p) = plan.take() {
             gpu.set_fault_plan(p);
         }
-        let result = stream_attempt(prog, graph, cfg, repr, resident, &mut gpu, &mut fault);
+        let result = stream_attempt(
+            prog, graph, cfg, repr, resident, &mut gpu, &mut fault, &mut sdc,
+        );
         // The plan's operation counters persist across restarts, so
-        // consumed one-shot faults never re-fire.
+        // consumed one-shot faults (and fired bit flips) never re-fire.
         plan = gpu.take_fault_plan();
+        sdc.flips_injected = plan.as_ref().map(|p| p.injected().bit_flips).unwrap_or(0);
         let attempt_end = gpu.total_seconds();
         drop(gpu);
 
         match result {
             Ok(mut out) => {
                 out.stats.fault = fault;
+                out.stats.sdc = sdc;
                 return if out.stats.converged {
                     Ok(out)
                 } else {
@@ -255,6 +265,30 @@ pub fn try_run_streamed<P: VertexProgram>(
             }
             Err(AttemptError::Watchdog { iterations }) => {
                 return Err(EngineError::Watchdog { iterations });
+            }
+            Err(AttemptError::SdcExhausted) => {
+                // Last rung of the SDC ladder: abandon the device for the
+                // host fallback, whose memory no device flip can reach.
+                sdc.host_fallbacks += 1;
+                cfg.base
+                    .trace
+                    .instant(0, lanes::FAULT, "sdc", "host-fallback", attempt_end);
+                let mut base = cfg.base.clone();
+                base.repr = Repr::GShards;
+                base.fault_plan = None;
+                return match run_fallback(prog, graph, &base) {
+                    Ok(mut out) => {
+                        out.stats.fault = fault;
+                        out.stats.sdc = sdc;
+                        Ok(out)
+                    }
+                    Err(EngineError::NonConverged { mut partial }) => {
+                        partial.stats.fault = fault;
+                        partial.stats.sdc = sdc;
+                        Err(EngineError::NonConverged { partial })
+                    }
+                    Err(e) => Err(e),
+                };
             }
             Err(AttemptError::Fault(DeviceFault::Oom {
                 requested_bytes,
@@ -306,10 +340,12 @@ pub fn try_run_streamed<P: VertexProgram>(
                         return match run_fallback(prog, graph, &base) {
                             Ok(mut out) => {
                                 out.stats.fault = fault;
+                                out.stats.sdc = sdc;
                                 Ok(out)
                             }
                             Err(EngineError::NonConverged { mut partial }) => {
                                 partial.stats.fault = fault;
+                                partial.stats.sdc = sdc;
                                 Err(EngineError::NonConverged { partial })
                             }
                             Err(e) => Err(e),
@@ -326,8 +362,9 @@ pub fn try_run_streamed<P: VertexProgram>(
 
 /// One from-scratch pass of the streamed convergence loop with the given
 /// representation and residency budget. Copy faults are retried inside;
-/// OOM and persistent kernel faults bubble up for the caller's
-/// coarser-grained recovery.
+/// OOM, persistent kernel faults and exhausted SDC-recovery budgets bubble
+/// up for the caller's coarser-grained recovery.
+#[allow(clippy::too_many_arguments)]
 fn stream_attempt<P: VertexProgram>(
     prog: &P,
     graph: &Graph,
@@ -336,6 +373,7 @@ fn stream_attempt<P: VertexProgram>(
     resident_bytes: u64,
     gpu: &mut Gpu,
     fault: &mut FaultStats,
+    sdc: &mut SdcStats,
 ) -> Result<CuShaOutput<P::V>, AttemptError> {
     let base = &cfg.base;
     let n_per = base.vertices_per_shard.unwrap_or_else(|| {
@@ -386,7 +424,90 @@ fn stream_attempt<P: VertexProgram>(
     let mut converged = false;
     let mut watchdog_seen: HashSet<u64> = HashSet::new();
 
-    while total.iterations < base.max_iterations {
+    // ---- SDC defense state ------------------------------------------------
+    // The resident `VertexValues` is scrubbed against the checksum recorded
+    // after the previous launch; each batch's freshly-uploaded `SrcValue`
+    // is scrubbed against its trusted host-master slice. A checkpoint is a
+    // downloaded value vector plus a clone of the master `SrcValue` column
+    // (the host side is authoritative between batches).
+    let integ = &base.integrity;
+    let mut ckpts: CheckpointManager<P::V> = CheckpointManager::new(integ.max_checkpoints);
+    if integ.mode.enabled() {
+        ckpts.push(0, init.clone(), master_src_value.clone(), HashSet::new());
+        sdc.checkpoints += 1;
+    }
+    let mut vv_crc = if integ.mode.checksums() {
+        checksum(&init)
+    } else {
+        0
+    };
+    let mut need_reverify = false;
+
+    // One rung of the recovery ladder; evaluates to `false` once the
+    // rollback and restart budgets are spent (caller escalates).
+    macro_rules! sdc_recover {
+        ($detector:expr) => {{
+            match $detector {
+                Detector::Checksum => sdc.checksum_detections += 1,
+                Detector::Invariant => sdc.invariant_detections += 1,
+            }
+            gpu.tracer().clone().instant(
+                gpu.trace_pid(),
+                lanes::FAULT,
+                "sdc",
+                "corruption-detected",
+                gpu.total_seconds(),
+            );
+            if sdc.rollbacks < integ.max_rollbacks {
+                let cp = ckpts.latest().expect("initial checkpoint always present");
+                with_copy_retries(gpu, cfg, fault, |g| {
+                    g.try_h2d(&mut vertex_values, &cp.values)
+                })?;
+                master_src_value.copy_from_slice(&cp.src_value);
+                vv_crc = cp.values_crc;
+                sdc.reexecuted_iterations += total.iterations - cp.iteration;
+                total.iterations = cp.iteration;
+                total.per_iteration.truncate(cp.iteration as usize);
+                watchdog_seen = cp.watchdog.clone();
+                sdc.rollbacks += 1;
+                need_reverify = true;
+                gpu.tracer().clone().instant(
+                    gpu.trace_pid(),
+                    lanes::FAULT,
+                    "sdc",
+                    "rollback",
+                    gpu.total_seconds(),
+                );
+                true
+            } else if sdc.full_restarts < integ.max_full_restarts {
+                with_copy_retries(gpu, cfg, fault, |g| g.try_h2d(&mut vertex_values, &init))?;
+                for (k, &s) in gs.src_index().iter().enumerate() {
+                    master_src_value[k] = init[s as usize];
+                }
+                vv_crc = checksum(&init);
+                sdc.reexecuted_iterations += total.iterations;
+                total.iterations = 0;
+                total.per_iteration.clear();
+                watchdog_seen.clear();
+                ckpts.clear();
+                ckpts.push(0, init.clone(), master_src_value.clone(), HashSet::new());
+                sdc.full_restarts += 1;
+                need_reverify = true;
+                gpu.tracer().clone().instant(
+                    gpu.trace_pid(),
+                    lanes::FAULT,
+                    "sdc",
+                    "full-restart",
+                    gpu.total_seconds(),
+                );
+                true
+            } else {
+                false
+            }
+        }};
+    }
+
+    'iter: while total.iterations < base.max_iterations {
         let iter_ts = gpu.total_seconds();
         with_copy_retries(gpu, cfg, fault, |g| g.try_h2d(&mut converged_flag, &[1u32]))?;
         extra_transfer_seconds += base.device.transfer_seconds(4);
@@ -440,6 +561,25 @@ fn stream_attempt<P: VertexProgram>(
                 ),
             };
             copy_times.push(gpu.h2d_seconds - h2d_before);
+
+            // Flip point: silent bit flips land while the batch sits in
+            // device DRAM, and the scrubber verifies both protected buffers
+            // before the kernel consumes them. The batch `SrcValue` was
+            // uploaded from the trusted host master, so the master slice's
+            // checksum is its reference.
+            let flips = gpu.take_due_bit_flips();
+            if !flips.is_empty() {
+                apply_flips(&flips, &mut vertex_values, &mut src_value);
+            }
+            if integ.mode.checksums()
+                && (checksum(vertex_values.host()) != vv_crc
+                    || checksum(src_value.host()) != checksum(&master_src_value[er_all.clone()]))
+            {
+                if sdc_recover!(Detector::Checksum) {
+                    continue 'iter;
+                }
+                return Err(AttemptError::SdcExhausted);
+            }
 
             // ---- Process the batch's shards. -----------------------------
             let desc = KernelDesc::new(
@@ -607,6 +747,11 @@ fn stream_attempt<P: VertexProgram>(
                 }
             };
             kernel_times.push(kstats.seconds);
+            // The launch legitimately rewrote the resident values; record
+            // the state the next scrub pass must find untouched.
+            if integ.mode.checksums() {
+                vv_crc = checksum(vertex_values.host());
+            }
             total.kernel.counters.add(&kstats.counters);
             total.kernel.blocks += kstats.blocks;
             total.kernel.threads_per_block = kstats.threads_per_block;
@@ -672,6 +817,39 @@ fn stream_attempt<P: VertexProgram>(
             converged = true;
             break;
         }
+        // Checkpoint boundary: download the resident values (real, charged
+        // D2H), verify the algorithm invariant against the last verified
+        // snapshot, and store it (with the master `SrcValue` column) as the
+        // new rollback target.
+        if integ.mode.enabled() && total.iterations.is_multiple_of(integ.checkpoint_every) {
+            let vals = with_copy_retries(gpu, cfg, fault, |g| g.try_download(&vertex_values))?;
+            if integ.mode.invariants() {
+                let prev = &ckpts.latest().expect("initial checkpoint").values;
+                if prog.check_invariant(prev, &vals).is_err() {
+                    if sdc_recover!(Detector::Invariant) {
+                        continue 'iter;
+                    }
+                    return Err(AttemptError::SdcExhausted);
+                }
+            }
+            ckpts.push(
+                total.iterations,
+                vals,
+                master_src_value.clone(),
+                watchdog_seen.clone(),
+            );
+            sdc.checkpoints += 1;
+            if need_reverify {
+                need_reverify = false;
+                gpu.tracer().clone().instant(
+                    gpu.trace_pid(),
+                    lanes::FAULT,
+                    "sdc",
+                    "reverify",
+                    gpu.total_seconds(),
+                );
+            }
+        }
         if let Some(w) = base.watchdog_interval {
             if total.iterations.is_multiple_of(w) {
                 let snapshot =
@@ -686,6 +864,17 @@ fn stream_attempt<P: VertexProgram>(
     }
 
     let values = with_copy_retries(gpu, cfg, fault, |g| g.try_download(&vertex_values))?;
+    if need_reverify {
+        // The recovered trajectory converged before the next checkpoint
+        // boundary re-verified it; the converged state itself is the proof.
+        gpu.tracer().clone().instant(
+            gpu.trace_pid(),
+            lanes::FAULT,
+            "sdc",
+            "reverify",
+            gpu.total_seconds(),
+        );
+    }
     total.converged = converged;
     total.kernel.name = format!("{}-streamed::{}", repr.label(), prog.name());
     total.h2d_seconds = h2d_resident;

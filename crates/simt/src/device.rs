@@ -122,6 +122,19 @@ impl Gpu {
             .and_then(|p| p.check(kind, kernel_name))
     }
 
+    /// Advances the installed plan's flip-point counter and returns the
+    /// silent bit flips due at it. Engines call this once per kernel
+    /// consumption boundary — immediately before a launch reads the
+    /// protected buffers — and apply the returned flips themselves (the
+    /// device has no global view of which `DevVec` plays which role). With
+    /// no plan installed this is free and returns nothing.
+    pub fn take_due_bit_flips(&mut self) -> Vec<crate::fault::BitFlip> {
+        self.fault_plan
+            .as_mut()
+            .map(|p| p.check_bitflips())
+            .unwrap_or_default()
+    }
+
     /// Enables (or disables) retention of every launch's [`KernelStats`]
     /// for [`crate::Profile::report`]-style summaries.
     pub fn set_profiling(&mut self, enabled: bool) {

@@ -20,7 +20,7 @@
 //! launch runs no blocks — mirroring a CUDA error return, after which the
 //! caller may retry.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Kinds of injectable device faults.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +44,56 @@ impl FaultKind {
             FaultKind::Kernel => 0x6b726e, // "krn"
         }
     }
+}
+
+/// Logical buffer class a silent bit flip lands in. The simulator has no
+/// global view of which `DevVec` plays which role, so the plan speaks in
+/// roles and the engine maps each role onto its own buffers: vertex values,
+/// the shard-entry value column (`SrcValue`), and the per-shard window
+/// slices of that column (`Window` — windows are views into the `SrcValue`
+/// array in both representations, so both roles corrupt it, through
+/// independent coordinate streams).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlipTarget {
+    /// The global vertex-value array.
+    VertexValues,
+    /// The shard-entry source-value column.
+    SrcValue,
+    /// A window slice of the source-value column.
+    Window,
+}
+
+impl FlipTarget {
+    fn tag(self) -> u64 {
+        match self {
+            FlipTarget::VertexValues => 0x7676, // "vv"
+            FlipTarget::SrcValue => 0x7376,     // "sv"
+            FlipTarget::Window => 0x77696e,     // "win"
+        }
+    }
+
+    /// Short CLI/display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlipTarget::VertexValues => "vv",
+            FlipTarget::SrcValue => "sv",
+            FlipTarget::Window => "win",
+        }
+    }
+}
+
+/// One silent bit flip due at a flip point: flip bit `bit` of word `word`
+/// in the buffer playing the `target` role. `word` is reduced modulo the
+/// buffer length and `bit` modulo the value width by whoever applies it, so
+/// a plan is valid for any graph size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Buffer role the flip lands in.
+    pub target: FlipTarget,
+    /// Word index (reduced mod buffer length at apply time).
+    pub word: u64,
+    /// Bit index within the word (reduced mod value width at apply time).
+    pub bit: u8,
 }
 
 /// A device-level failure surfaced by the fallible `Gpu` operations.
@@ -111,12 +161,14 @@ pub struct InjectionLog {
     pub alloc: u64,
     /// Kernel-launch faults fired.
     pub kernel: u64,
+    /// Silent bit flips fired.
+    pub bit_flips: u64,
 }
 
 impl InjectionLog {
-    /// Total faults fired.
+    /// Total faults fired (bit flips included).
     pub fn total(&self) -> u64 {
-        self.h2d + self.d2h + self.alloc + self.kernel
+        self.h2d + self.d2h + self.alloc + self.kernel + self.bit_flips
     }
 }
 
@@ -148,6 +200,13 @@ pub struct FaultPlan {
     d2h_rate: f64,
     alloc_rate: f64,
     kernel_rate: f64,
+    /// Flip-point counter (one flip point per kernel-consumption boundary;
+    /// monotonic across restarts like the operation counters).
+    flip_counter: u64,
+    /// Explicitly scheduled flips, keyed by flip-point index.
+    scheduled_flips: BTreeMap<u64, Vec<BitFlip>>,
+    /// Random bit-flip probability per (flip point, target) pair.
+    bitflip_rate: f64,
     injected: InjectionLog,
 }
 
@@ -165,6 +224,18 @@ impl FaultPlan {
             seed: Some(seed),
             ..Self::default()
         }
+    }
+
+    /// Sets the random-fault seed without clearing any scheduled faults —
+    /// the merge point for CLIs that collect specs from several flags.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The configured random-fault seed, if any.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
     }
 
     /// Fails host→device copies at the given zero-based operation indices.
@@ -223,6 +294,36 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a silent bit flip at flip point `op` (zero-based): bit
+    /// `bit` of word `word` of the buffer playing `target` is XOR-flipped
+    /// just before the kernel at that flip point consumes it. One-shot:
+    /// carried across restarts like every other coordinate, the flip fires
+    /// exactly once even if the engine rolls back or restarts.
+    pub fn flip_at(mut self, op: u64, target: FlipTarget, word: u64, bit: u8) -> Self {
+        self.scheduled_flips
+            .entry(op)
+            .or_default()
+            .push(BitFlip { target, word, bit });
+        self
+    }
+
+    /// Random bit-flip probability per (flip point, target) pair (seeded
+    /// mode). A firing draw also determines the word and bit.
+    pub fn with_bitflip_rate(mut self, rate: f64) -> Self {
+        self.bitflip_rate = rate;
+        self
+    }
+
+    /// True when this plan can ever produce a bit flip.
+    pub fn has_bitflips(&self) -> bool {
+        !self.scheduled_flips.is_empty() || (self.bitflip_rate > 0.0 && self.seed.is_some())
+    }
+
+    /// Current flip-point counter (number of flip points consumed so far).
+    pub fn flip_counter(&self) -> u64 {
+        self.flip_counter
+    }
+
     /// Counts of faults fired so far.
     pub fn injected(&self) -> InjectionLog {
         self.injected
@@ -247,12 +348,42 @@ impl FaultPlan {
         let Some(seed) = self.seed else { return false };
         // SplitMix64 over (seed, kind, index): a pure function, so the
         // schedule is identical for identical seeds regardless of timing.
-        let mut z = seed ^ kind.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index;
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        ((z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < rate
+        let z = splitmix(seed ^ kind.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index);
+        to_unit(z) < rate
+    }
+
+    /// Advances the flip-point counter and returns the bit flips due at it
+    /// (scheduled one-shots plus seeded-random draws, one independent draw
+    /// per target role). Fired flips are counted in the injection log.
+    pub(crate) fn check_bitflips(&mut self) -> Vec<BitFlip> {
+        let index = self.flip_counter;
+        self.flip_counter += 1;
+        let mut due = self.scheduled_flips.remove(&index).unwrap_or_default();
+        if self.bitflip_rate > 0.0 {
+            if let Some(seed) = self.seed {
+                const BITFLIP_TAG: u64 = 0x666c_6970; // "flip"
+                for target in [
+                    FlipTarget::VertexValues,
+                    FlipTarget::SrcValue,
+                    FlipTarget::Window,
+                ] {
+                    let d = splitmix(
+                        seed ^ BITFLIP_TAG.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ target.tag().wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                            ^ index,
+                    );
+                    if to_unit(d) < self.bitflip_rate {
+                        due.push(BitFlip {
+                            target,
+                            word: splitmix(d ^ 1),
+                            bit: (splitmix(d ^ 2) % 64) as u8,
+                        });
+                    }
+                }
+            }
+        }
+        self.injected.bit_flips += due.len() as u64;
+        due
     }
 
     /// Advances the counter for `kind` and reports whether this operation
@@ -300,6 +431,20 @@ impl FaultPlan {
             None
         }
     }
+}
+
+/// SplitMix64 finalizer — the deterministic randomness primitive of every
+/// seeded schedule in this module.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to the unit interval for rate comparisons.
+fn to_unit(z: u64) -> f64 {
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 #[cfg(test)]
@@ -367,6 +512,64 @@ mod tests {
         assert!(plan.check(FaultKind::Alloc, None).is_some()); // op 2 fires
         assert!(plan.check(FaultKind::Alloc, None).is_none());
         assert_eq!(plan.op_counters().2, 4);
+    }
+
+    #[test]
+    fn scheduled_bitflips_fire_once_at_their_flip_point() {
+        let mut plan = FaultPlan::new()
+            .flip_at(1, FlipTarget::VertexValues, 7, 3)
+            .flip_at(1, FlipTarget::SrcValue, 2, 31)
+            .flip_at(4, FlipTarget::Window, 0, 63);
+        assert!(plan.has_bitflips());
+        assert!(plan.check_bitflips().is_empty()); // flip point 0
+        let at1 = plan.check_bitflips();
+        assert_eq!(at1.len(), 2);
+        assert_eq!(at1[0].target, FlipTarget::VertexValues);
+        assert_eq!(at1[0].word, 7);
+        assert_eq!(at1[0].bit, 3);
+        assert!(plan.check_bitflips().is_empty());
+        assert!(plan.check_bitflips().is_empty());
+        assert_eq!(plan.check_bitflips().len(), 1); // flip point 4
+        assert!(plan.check_bitflips().is_empty());
+        assert_eq!(plan.injected().bit_flips, 3);
+        assert_eq!(plan.injected().total(), 3);
+        assert_eq!(plan.flip_counter(), 6);
+    }
+
+    #[test]
+    fn bitflip_coordinates_persist_across_restarts() {
+        // Replaying the first flip points after a rollback/restart does not
+        // re-fire a consumed flip: the counter lives in the plan.
+        let mut plan = FaultPlan::new().flip_at(0, FlipTarget::VertexValues, 1, 1);
+        assert_eq!(plan.check_bitflips().len(), 1);
+        // Engine rolls back and replays: the same logical point is a fresh
+        // (later) coordinate and stays clean.
+        assert!(plan.check_bitflips().is_empty());
+        assert_eq!(plan.injected().bit_flips, 1);
+    }
+
+    #[test]
+    fn seeded_bitflips_are_reproducible_and_fire() {
+        let run = |seed: u64| -> Vec<Vec<BitFlip>> {
+            let mut plan = FaultPlan::seeded(seed).with_bitflip_rate(0.2);
+            (0..64).map(|_| plan.check_bitflips()).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+        let fired: usize = run(9).iter().map(|v| v.len()).sum();
+        assert!(fired > 0, "rate 0.2 over 64 flip points fires");
+        for flips in run(9) {
+            for f in flips {
+                assert!(f.bit < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn unseeded_rate_never_flips() {
+        let mut plan = FaultPlan::new().with_bitflip_rate(1.0);
+        assert!(!plan.has_bitflips());
+        assert!(plan.check_bitflips().is_empty());
     }
 
     #[test]

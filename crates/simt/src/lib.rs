@@ -50,7 +50,7 @@ pub use config::DeviceConfig;
 pub use counters::{KernelStats, Mask, WARP};
 pub use device::{Gpu, KernelDesc};
 pub use fabric::{DeviceFleet, Interconnect};
-pub use fault::{DeviceFault, FaultKind, FaultPlan, InjectionLog};
+pub use fault::{BitFlip, DeviceFault, FaultKind, FaultPlan, FlipTarget, InjectionLog};
 pub use mem::DevVec;
 pub use pod::Pod;
 pub use profile::{KernelAggregate, Profile};

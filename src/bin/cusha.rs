@@ -22,13 +22,14 @@ use cusha::algos::{
 };
 use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
 use cusha::core::{
-    try_run, try_run_multi, try_run_streamed, CuShaConfig, CuShaOutput, EngineError, MultiConfig,
-    Repr, RunStats, StreamingConfig, Value, VertexProgram,
+    try_run, try_run_multi, try_run_streamed, CuShaConfig, CuShaOutput, EngineError,
+    IntegrityConfig, IntegrityMode, MultiConfig, Repr, RunStats, StreamingConfig, Value,
+    VertexProgram,
 };
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::{io, Graph};
 use cusha::obs::{chrome_trace_json, log, Level, MetricsRegistry, Tracer};
-use cusha::simt::{FaultPlan, Interconnect};
+use cusha::simt::{FaultPlan, FlipTarget, Interconnect};
 use std::io::Write;
 use std::process::exit;
 
@@ -48,6 +49,9 @@ struct Args {
     resident_bytes: u64,
     watchdog: Option<u32>,
     inject: Option<FaultPlan>,
+    bitflips: Option<String>,
+    integrity: IntegrityMode,
+    checkpoint_every: Option<u32>,
     devices: Option<usize>,
     interconnect: Option<Interconnect>,
     trace_out: Option<String>,
@@ -73,6 +77,9 @@ fn usage_text() -> &'static str {
          \x20      [--source <vertex>] [--shard-size <N>] [--max-iters <n>]\n\
          \x20      [--resident-bytes <bytes>] [--watchdog <interval>]\n\
          \x20      [--inject <spec>[,<spec>...]] [--output <path>]\n\
+         \x20      [--inject-bitflips <spec>[,<spec>...]]\n\
+         \x20      [--integrity <off|checksum|invariant|full>]\n\
+         \x20      [--checkpoint-every <iterations>]\n\
          \x20      [--devices <N>] [--interconnect <pcie|nvlink>]\n\
          \x20      [--trace-out <path>] [--metrics-out <path>]\n\
          \x20      [--log-level <error|warn|info|debug|trace>] [--profile]\n\
@@ -94,7 +101,19 @@ fn usage_text() -> &'static str {
          \x20 seed=<u64>      seed for rate-based faults\n\
          \x20 h2d@<i>  d2h@<i>  alloc@<i>  kernel@<i>   fail op #i of that kind\n\
          \x20 h2d%<rate> d2h%<rate> alloc%<rate> kernel%<rate>  seeded random faults\n\
-         \x20 kernel~<pattern>:<count>   fail next <count> launches matching <pattern>"
+         \x20 kernel~<pattern>:<count>   fail next <count> launches matching <pattern>\n\
+         \n\
+         bit-flip specs for --inject-bitflips (silent corruption; a seed\n\
+         may come from either flag):\n\
+         \x20 seed=<u64>      seed for rate-based flips\n\
+         \x20 rate=<p>        seeded random flip probability per flip point\n\
+         \x20 <vv|sv|win>@<i>:<word>:<bit>   flip that bit at flip point #i\n\
+         \x20                 (vv = vertex values, sv = src values, win = windows)\n\
+         \n\
+         --integrity arms the silent-data-corruption defense: checksum\n\
+         scrubs, per-algorithm invariant checks, or both (full), with\n\
+         checkpoint/rollback recovery every --checkpoint-every iterations\n\
+         (default 4)."
 }
 
 /// Reports a usage error naming the offending flag/value, then exits 2.
@@ -193,6 +212,72 @@ fn parse_inject(spec: &str) -> Result<FaultPlan, String> {
     Ok(plan)
 }
 
+/// Parses `--inject-bitflips` specs like `seed=3,rate=0.01,vv@2:0:20` onto
+/// an existing plan (so copy/kernel faults and bit flips share one seed).
+fn parse_bitflips(spec: &str, mut plan: FaultPlan) -> Result<FaultPlan, String> {
+    let mut rate_given = false;
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(v) = part.strip_prefix("seed=") {
+            let s: u64 = v
+                .parse()
+                .map_err(|e| format!("bad seed value {v:?} in --inject-bitflips: {e}"))?;
+            plan = plan.with_seed(s);
+        } else if let Some(v) = part.strip_prefix("rate=") {
+            let r: f64 = v
+                .parse()
+                .map_err(|e| format!("bad rate {v:?} in --inject-bitflips: {e}"))?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!(
+                    "bad rate {v:?} in --inject-bitflips: must be in [0, 1]"
+                ));
+            }
+            rate_given = true;
+            plan = plan.with_bitflip_rate(r);
+        } else if let Some((target, coords)) = part.split_once('@') {
+            let target = match target {
+                "vv" | "values" => FlipTarget::VertexValues,
+                "sv" | "src" => FlipTarget::SrcValue,
+                "win" | "window" => FlipTarget::Window,
+                other => {
+                    return Err(format!(
+                        "bad target {other:?} in --inject-bitflips (expected vv, sv, or win)"
+                    ))
+                }
+            };
+            let fields: Vec<&str> = coords.split(':').collect();
+            let [op, word, bit] = fields[..] else {
+                return Err(format!(
+                    "bad spec {part:?} in --inject-bitflips: expected <target>@<op>:<word>:<bit>"
+                ));
+            };
+            let op: u64 = op
+                .parse()
+                .map_err(|e| format!("bad flip point {op:?} in --inject-bitflips: {e}"))?;
+            let word: u64 = word
+                .parse()
+                .map_err(|e| format!("bad word index {word:?} in --inject-bitflips: {e}"))?;
+            let bit: u8 = bit
+                .parse()
+                .map_err(|e| format!("bad bit index {bit:?} in --inject-bitflips: {e}"))?;
+            plan = plan.flip_at(op, target, word, bit);
+        } else {
+            return Err(format!("unrecognized --inject-bitflips spec {part:?}"));
+        }
+    }
+    if rate_given && plan.seed().is_none() {
+        return Err(
+            "--inject-bitflips rate=<p> needs a seed=<u64> spec here or in --inject \
+             (rates are seeded)"
+                .into(),
+        );
+    }
+    Ok(plan)
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         algo: String::new(),
@@ -206,6 +291,9 @@ fn parse_args() -> Args {
         resident_bytes: 16 << 20,
         watchdog: None,
         inject: None,
+        bitflips: None,
+        integrity: IntegrityMode::Off,
+        checkpoint_every: None,
         devices: None,
         interconnect: None,
         trace_out: None,
@@ -260,6 +348,28 @@ fn parse_args() -> Args {
                 let spec = take(&argv, &mut i, "--inject");
                 args.inject = Some(parse_inject(&spec).unwrap_or_else(|e| usage_error(&e)));
             }
+            "--inject-bitflips" => {
+                args.bitflips = Some(take(&argv, &mut i, "--inject-bitflips"));
+            }
+            "--integrity" => {
+                let name = take(&argv, &mut i, "--integrity");
+                args.integrity = IntegrityMode::parse(&name).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "bad value {name:?} for --integrity (expected off, checksum, \
+                         invariant, or full)"
+                    ))
+                });
+            }
+            "--checkpoint-every" => {
+                let k: u32 = parsed(
+                    "--checkpoint-every",
+                    &take(&argv, &mut i, "--checkpoint-every"),
+                );
+                if k == 0 {
+                    usage_error("bad value 0 for --checkpoint-every: must be at least 1");
+                }
+                args.checkpoint_every = Some(k);
+            }
             "--devices" => {
                 let n: usize = parsed("--devices", &take(&argv, &mut i, "--devices"));
                 if n == 0 {
@@ -312,6 +422,12 @@ fn parse_args() -> Args {
     if args.interconnect.is_some() && args.devices.is_none() {
         usage_error("--interconnect needs --devices (it times the fleet's halo exchange)");
     }
+    // Bit flips merge into the --inject plan so a single seed drives both
+    // transient faults and silent corruption.
+    if let Some(spec) = args.bitflips.take() {
+        let base = args.inject.take().unwrap_or_default();
+        args.inject = Some(parse_bitflips(&spec, base).unwrap_or_else(|e| usage_error(&e)));
+    }
     args
 }
 
@@ -363,6 +479,10 @@ fn execute<P: VertexProgram>(
         cfg.vertices_per_shard = args.shard_size;
         cfg.max_iterations = args.max_iters;
         cfg.fault_plan = args.inject.clone();
+        cfg.integrity = IntegrityConfig::with_mode(args.integrity);
+        if let Some(k) = args.checkpoint_every {
+            cfg.integrity.checkpoint_every = k;
+        }
         cfg.watchdog_interval = args.watchdog;
         cfg.profile = args.profile;
         cfg.trace = tracer.clone();
@@ -614,6 +734,21 @@ fn main() {
             stats.fault.kernel_retries,
             stats.fault.oom_rebatches,
             stats.fault.degradations,
+        ));
+    }
+    if !stats.sdc.is_clean() || stats.sdc.flips_injected > 0 {
+        warn(&format!(
+            "silent-data-corruption: {} bit flips injected, {} detected \
+             ({} checksum, {} invariant); {} rollbacks, {} full restarts, \
+             {} host fallbacks, {} iterations re-executed",
+            stats.sdc.flips_injected,
+            stats.sdc.detections(),
+            stats.sdc.checksum_detections,
+            stats.sdc.invariant_detections,
+            stats.sdc.rollbacks,
+            stats.sdc.full_restarts,
+            stats.sdc.host_fallbacks,
+            stats.sdc.reexecuted_iterations,
         ));
     }
 

@@ -1,0 +1,271 @@
+//! Silent-data-corruption defense: seeded bit-flip injection must be (a)
+//! provably harmful with integrity checking off, and (b) fully masked with
+//! `IntegrityMode::Full` — recovered outputs bit-identical to a fault-free
+//! run, with the detection/rollback counters recording what happened.
+
+use cusha::algos::{
+    Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, MultiSourceBfs, NeuralNetwork,
+    PageRank, Sssp, Sswp,
+};
+use cusha::core::{
+    try_run, try_run_multi, try_run_streamed, CuShaConfig, IntegrityConfig, IntegrityMode,
+    MultiConfig, Repr, StreamingConfig,
+};
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::graph::Graph;
+use cusha::simt::{FaultPlan, FlipTarget};
+
+fn small_graph(seed: u64) -> Graph {
+    rmat(&RmatConfig::graph500(8, 3000, seed))
+}
+
+fn base_cfg(repr: Repr) -> CuShaConfig {
+    CuShaConfig::new(repr).with_vertices_per_shard(32)
+}
+
+fn full_integrity() -> IntegrityConfig {
+    IntegrityConfig::with_mode(IntegrityMode::Full)
+}
+
+/// A flip of the BFS source's level at kernel boundary 0 turns level 0 into
+/// `1 << bit`; min-folding over in-neighbors can pull it back down only to
+/// some positive level (every incoming edge contributes `level + 1 >= 1`),
+/// never to 0, so the final output provably differs. With integrity off the
+/// corruption escapes silently.
+#[test]
+fn integrity_off_lets_a_flip_reach_the_output() {
+    let g = small_graph(91);
+    let prog = Bfs::new(0);
+    let clean = try_run(&prog, &g, &base_cfg(Repr::GShards)).expect("clean run");
+    assert_eq!(clean.values[0], 0);
+
+    let plan = FaultPlan::new().flip_at(0, FlipTarget::VertexValues, 0, 20);
+    let cfg = base_cfg(Repr::GShards).with_fault_plan(plan);
+    let hit = try_run(&prog, &g, &cfg).expect("silently corrupted run");
+
+    assert_eq!(hit.stats.sdc.flips_injected, 1, "injector did not fire");
+    assert!(hit.stats.sdc.is_clean(), "nothing should detect it");
+    assert_ne!(hit.values[0], 0, "the source can never regain level 0");
+    assert_ne!(hit.values, clean.values, "flip must alter the output");
+}
+
+/// The same provably-harmful flip under `--integrity full`: the scrubber
+/// catches it before the kernel consumes the corrupted word, rolls back to
+/// the initial checkpoint, and the re-executed run is bit-identical.
+#[test]
+fn full_integrity_masks_the_same_flip() {
+    let g = small_graph(91);
+    let prog = Bfs::new(0);
+    let clean = try_run(&prog, &g, &base_cfg(Repr::GShards)).expect("clean run");
+
+    let plan = FaultPlan::new().flip_at(0, FlipTarget::VertexValues, 0, 20);
+    let cfg = base_cfg(Repr::GShards)
+        .with_fault_plan(plan)
+        .with_integrity(full_integrity());
+    let out = try_run(&prog, &g, &cfg).expect("recovered run");
+
+    assert_eq!(out.values, clean.values, "recovery must be bit-identical");
+    assert_eq!(out.stats.sdc.flips_injected, 1);
+    assert_eq!(out.stats.sdc.checksum_detections, 1);
+    assert_eq!(out.stats.sdc.rollbacks, 1);
+    assert_eq!(out.stats.sdc.full_restarts, 0);
+    assert_eq!(out.stats.sdc.host_fallbacks, 0);
+    assert!(out.stats.converged);
+}
+
+/// Chaos sweep over the single-device engine: seeded random flip schedules
+/// (different rates, targets drawn per boundary) × both representations ×
+/// an integer and a float algorithm. Every combination must recover to the
+/// fault-free output under full integrity.
+#[test]
+fn chaos_sweep_single_device_recovers_bit_identical() {
+    let g = small_graph(92);
+    for repr in [Repr::GShards, Repr::ConcatWindows] {
+        let bfs = Bfs::new(0);
+        let pr = PageRank::new();
+        let clean_bfs = try_run(&bfs, &g, &base_cfg(repr)).expect("clean bfs");
+        let clean_pr = try_run(&pr, &g, &base_cfg(repr)).expect("clean pr");
+        for seed in [1u64, 7, 23] {
+            let plan = FaultPlan::seeded(seed).with_bitflip_rate(0.6);
+            let cfg = base_cfg(repr)
+                .with_fault_plan(plan)
+                .with_integrity(full_integrity());
+
+            let out = try_run(&bfs, &g, &cfg).expect("recovered bfs");
+            assert_eq!(out.values, clean_bfs.values, "bfs {repr:?} seed {seed}");
+            if out.stats.sdc.flips_injected > 0 {
+                assert!(out.stats.sdc.detections() >= 1, "bfs {repr:?} seed {seed}");
+                assert!(out.stats.sdc.rollbacks >= 1, "bfs {repr:?} seed {seed}");
+            }
+
+            let out = try_run(&pr, &g, &cfg).expect("recovered pr");
+            assert_eq!(out.values, clean_pr.values, "pr {repr:?} seed {seed}");
+            if out.stats.sdc.flips_injected > 0 {
+                assert!(out.stats.sdc.detections() >= 1, "pr {repr:?} seed {seed}");
+            }
+        }
+    }
+}
+
+/// Every Table 3 algorithm (plus MS-BFS) recovers bit-identically from the
+/// same seeded flip schedule under full integrity — the invariant hooks and
+/// checksums cover all value types ((f32, f32) pairs, u64 bitsets, floats).
+#[test]
+fn all_algorithms_recover_bit_identical() {
+    let g = small_graph(98);
+    fn case<P: cusha::core::VertexProgram>(prog: &P, g: &Graph, label: &str) {
+        let clean = try_run(prog, g, &base_cfg(Repr::GShards)).expect("clean run");
+        let plan = FaultPlan::seeded(41).with_bitflip_rate(0.5);
+        let cfg = base_cfg(Repr::GShards)
+            .with_fault_plan(plan)
+            .with_integrity(full_integrity());
+        let out = try_run(prog, g, &cfg).expect("recovered run");
+        assert!(out.values == clean.values, "{label}: output differs");
+        if out.stats.sdc.flips_injected > 0 {
+            assert!(out.stats.sdc.detections() >= 1, "{label}: flip undetected");
+        }
+    }
+    case(&Bfs::new(0), &g, "bfs");
+    case(&Sssp::new(0), &g, "sssp");
+    case(&Sswp::new(0), &g, "sswp");
+    case(&ConnectedComponents::new(), &g, "cc");
+    case(&PageRank::new(), &g, "pr");
+    case(&NeuralNetwork::new(), &g, "nn");
+    case(&HeatSimulation::new(), &g, "hs");
+    case(&CircuitSimulation::new(0, 1), &g, "cs");
+    case(&MultiSourceBfs::new(vec![0, 5, 9]), &g, "msbfs");
+}
+
+/// Invariant-only mode (no checksums) still catches flips that break an
+/// algorithm law — here a flip that knocks the BFS source off level 0.
+#[test]
+fn invariant_mode_catches_law_breaking_flips() {
+    let g = small_graph(99);
+    let prog = Bfs::new(0);
+    let clean = try_run(&prog, &g, &base_cfg(Repr::GShards)).expect("clean run");
+
+    let plan = FaultPlan::new().flip_at(2, FlipTarget::VertexValues, 0, 20);
+    let mut integ = IntegrityConfig::with_mode(IntegrityMode::Invariant);
+    integ.checkpoint_every = 1;
+    let cfg = base_cfg(Repr::GShards)
+        .with_fault_plan(plan)
+        .with_integrity(integ);
+    let out = try_run(&prog, &g, &cfg).expect("recovered run");
+    assert_eq!(out.values, clean.values);
+    assert!(out.stats.sdc.invariant_detections >= 1);
+    assert_eq!(out.stats.sdc.checksum_detections, 0);
+}
+
+/// Mixed chaos: bit flips layered on top of the existing transient-fault
+/// machinery (copy retries) must still recover bit-identically — the two
+/// recovery ladders compose.
+#[test]
+fn chaos_flips_compose_with_transient_copy_faults() {
+    let g = small_graph(93);
+    let prog = Bfs::new(0);
+    let clean = try_run(&prog, &g, &base_cfg(Repr::ConcatWindows)).expect("clean run");
+
+    let plan = FaultPlan::seeded(5)
+        .with_bitflip_rate(0.4)
+        .flip_at(1, FlipTarget::Window, 17, 3);
+    let cfg = base_cfg(Repr::ConcatWindows)
+        .with_fault_plan(plan)
+        .with_integrity(full_integrity());
+    let out = try_run(&prog, &g, &cfg).expect("recovered run");
+    assert_eq!(out.values, clean.values);
+    assert!(out.stats.sdc.flips_injected >= 1);
+    assert!(out.stats.sdc.detections() >= 1);
+}
+
+/// Fault-free runs under `--integrity full` produce the same outputs as
+/// runs with integrity off: the defense is observation-only until a
+/// corruption is detected (checkpoint D2H time is charged, values are not
+/// altered).
+#[test]
+fn fault_free_full_integrity_changes_nothing() {
+    let g = small_graph(94);
+    let prog = PageRank::new();
+    for repr in [Repr::GShards, Repr::ConcatWindows] {
+        let off = try_run(&prog, &g, &base_cfg(repr)).expect("off");
+        let full =
+            try_run(&prog, &g, &base_cfg(repr).with_integrity(full_integrity())).expect("full");
+        assert_eq!(off.values, full.values, "{repr:?}");
+        assert_eq!(off.stats.iterations, full.stats.iterations, "{repr:?}");
+        assert!(full.stats.sdc.is_clean(), "{repr:?}");
+        assert!(full.stats.sdc.checkpoints >= 1, "{repr:?}");
+        assert_eq!(full.stats.sdc.flips_injected, 0, "{repr:?}");
+    }
+}
+
+/// The recovery ladder escalates: with a zero rollback and restart budget,
+/// a detected corruption goes straight to the host fallback, whose result
+/// is still bit-identical (host memory is immune to device flips).
+#[test]
+fn exhausted_budgets_escalate_to_host_fallback() {
+    let g = small_graph(95);
+    let prog = Bfs::new(0);
+    let clean = try_run(&prog, &g, &base_cfg(Repr::GShards)).expect("clean run");
+
+    let plan = FaultPlan::new().flip_at(0, FlipTarget::VertexValues, 0, 20);
+    let mut integ = full_integrity();
+    integ.max_rollbacks = 0;
+    integ.max_full_restarts = 0;
+    let cfg = base_cfg(Repr::GShards)
+        .with_fault_plan(plan)
+        .with_integrity(integ);
+    let out = try_run(&prog, &g, &cfg).expect("fallback run");
+    assert_eq!(out.values, clean.values);
+    assert_eq!(out.stats.sdc.host_fallbacks, 1);
+    assert_eq!(out.stats.sdc.rollbacks, 0);
+    assert_eq!(out.stats.engine, "host-fallback");
+}
+
+/// Streamed engine: same chaos discipline, batched residency.
+#[test]
+fn chaos_sweep_streamed_recovers_bit_identical() {
+    let g = small_graph(96);
+    let prog = PageRank::new();
+    let mk = || StreamingConfig::new(base_cfg(Repr::ConcatWindows), 1 << 16);
+    let clean = try_run_streamed(&prog, &g, &mk()).expect("clean run");
+    let mut total_flips = 0;
+    for seed in [3u64, 11] {
+        let mut cfg = mk();
+        cfg.base.fault_plan = Some(FaultPlan::seeded(seed).with_bitflip_rate(0.3));
+        cfg.base.integrity = full_integrity();
+        let out = try_run_streamed(&prog, &g, &cfg).expect("recovered run");
+        assert_eq!(out.values, clean.values, "seed {seed}");
+        if out.stats.sdc.flips_injected > 0 {
+            assert!(out.stats.sdc.detections() >= 1, "seed {seed}");
+        }
+        total_flips += out.stats.sdc.flips_injected;
+    }
+    assert!(total_flips >= 1, "no flip fired across the streamed sweep");
+}
+
+/// Multi-GPU fleet: per-device flip plans, global rollback. Outputs must
+/// stay bit-identical to the fault-free fleet run (which itself matches the
+/// single-device engine), and the aggregate SDC record must equal the sum
+/// of the per-device records.
+#[test]
+fn chaos_sweep_fleet_recovers_bit_identical() {
+    let g = small_graph(97);
+    let prog = Bfs::new(0);
+    let mk = |devices| MultiConfig::new(base_cfg(Repr::GShards), devices);
+    let clean = try_run_multi(&prog, &g, &mk(3)).expect("clean fleet run");
+
+    let mut cfg = mk(3);
+    cfg.base.integrity = full_integrity();
+    cfg = cfg.with_device_fault_plan(1, FaultPlan::seeded(13).with_bitflip_rate(0.5));
+    cfg = cfg.with_device_fault_plan(2, FaultPlan::new().flip_at(0, FlipTarget::SrcValue, 9, 12));
+    let out = try_run_multi(&prog, &g, &cfg).expect("recovered fleet run");
+    assert_eq!(out.values, clean.values);
+    assert!(out.stats.sdc.flips_injected >= 1);
+    assert!(out.stats.sdc.detections() >= 1);
+    assert!(out.stats.sdc.rollbacks >= 1);
+
+    let mut summed = cusha::core::SdcStats::default();
+    for dev in &out.stats.per_device {
+        summed.absorb(&dev.sdc);
+    }
+    assert_eq!(summed, out.stats.sdc, "aggregate must equal per-device sum");
+}

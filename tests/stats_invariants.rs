@@ -4,9 +4,13 @@
 
 use cusha::algos::{Bfs, PageRank};
 use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
-use cusha::core::{run, run_multi, CuShaConfig, MultiConfig, RunStats};
+use cusha::core::{
+    run, run_multi, try_run_multi, CuShaConfig, IntegrityConfig, IntegrityMode, MultiConfig,
+    RunStats, SdcStats,
+};
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::surrogates::Dataset;
+use cusha::simt::FaultPlan;
 
 fn check_common(s: &RunStats, is_gpu: bool) {
     assert!(s.iterations >= 1);
@@ -132,6 +136,66 @@ fn multi_stats_contract_and_aggregate_sums() {
             );
             assert!(s.modeled_seconds() > 0.0);
         }
+    }
+}
+
+/// Property test: for pseudo-random fleet shapes and per-device fault/flip
+/// plans, every per-device counter family sums exactly to its fleet
+/// aggregate — faults, SDC events, kernel tallies, exchange bytes.
+#[test]
+fn per_device_counters_sum_to_aggregate_under_random_fleets() {
+    let g = rmat(&RmatConfig::graph500(8, 3000, 73));
+    // Deterministic LCG so the sampled fleet shapes are reproducible.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for _case in 0..6 {
+        let devices = (next() % 4 + 1) as usize;
+        let mut cfg = MultiConfig::new(CuShaConfig::gs().with_vertices_per_shard(32), devices);
+        cfg.base.integrity = IntegrityConfig::with_mode(IntegrityMode::Full);
+        // Arm a random subset of devices with seeded flip plans (and one
+        // with transient copy faults) so the SDC counters are non-trivial.
+        for d in 0..devices {
+            if next() % 2 == 0 {
+                let plan = FaultPlan::seeded(next()).with_bitflip_rate(0.3);
+                cfg = cfg.with_device_fault_plan(d, plan);
+            }
+        }
+        let out = try_run_multi(&Bfs::new(0), &g, &cfg).expect("fleet run");
+        let s = &out.stats;
+        assert_eq!(s.per_device.len(), devices);
+
+        let mut sdc = SdcStats::default();
+        for d in &s.per_device {
+            sdc.absorb(&d.sdc);
+        }
+        assert_eq!(
+            sdc, s.sdc,
+            "sdc aggregate != per-device sum ({devices} devices)"
+        );
+
+        let retries: u32 = s.per_device.iter().map(|d| d.fault.copy_retries).sum();
+        assert_eq!(s.fault.copy_retries, retries);
+        let rebatches: u32 = s.per_device.iter().map(|d| d.fault.oom_rebatches).sum();
+        assert_eq!(s.fault.oom_rebatches, rebatches);
+        let kretries: u32 = s.per_device.iter().map(|d| d.fault.kernel_retries).sum();
+        assert_eq!(s.fault.kernel_retries, kretries);
+
+        let blocks: u32 = s.per_device.iter().map(|d| d.kernel.blocks).sum();
+        assert_eq!(s.aggregate.blocks, blocks);
+        let wi: u64 = s
+            .per_device
+            .iter()
+            .map(|d| d.kernel.counters.warp_instructions)
+            .sum();
+        assert_eq!(s.aggregate.counters.warp_instructions, wi);
+
+        let sent: u64 = s.per_device.iter().map(|d| d.exchange_sent_bytes).sum();
+        assert_eq!(s.exchange_bytes, sent);
     }
 }
 
