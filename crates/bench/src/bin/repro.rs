@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
-//!       [--out-dir DIR] [--verbose] [--log-level LEVEL]
+//!       [--jobs N] [--out-dir DIR] [--verbose] [--log-level LEVEL]
 //!
 //! ARTIFACT: all (default) | layouts | table1 | table2 | table4 | table5 |
 //!           table6 | table7 | fig1 | fig7 | fig8 | fig9 | fig10 | fig11 |
-//!           fig12 | fig13 | ablation
+//!           fig12 | fig13 | ablation | simwall (opt-in, not part of all)
 //!
 //! --scale N         dataset surrogate scale divisor (default 64;
 //!                   1 = full Table-1 sizes)
 //! --rmat-scale N    RMAT sweep scale divisor for fig11/12/13 (default 64)
 //! --max-iters N     convergence-loop cap (default 300)
+//! --jobs N          host worker threads for simulator cells and fleet
+//!                   devices (default: available parallelism; CUSHA_JOBS
+//!                   env is the fallback). Outputs are byte-identical for
+//!                   any value — only the host wall clock changes.
 //! --out-dir DIR     also write each artifact report and the raw matrix CSV
 //! --verbose         stream per-cell progress to stderr
 //! --log-level LEVEL error|warn|info|debug|trace (default info)
@@ -24,7 +28,8 @@
 use cusha_baselines::{MTCPU_THREADS, VIRTUAL_WARP_SIZES};
 use cusha_bench::bench_defs::{Benchmark, Engine};
 use cusha_bench::experiments::{self, Ctx};
-use cusha_bench::matrix::{run_matrix, MatrixResult};
+use cusha_bench::matrix::{run_matrix_jobs, MatrixResult};
+use cusha_bench::simwall;
 use cusha_graph::surrogates::Dataset;
 use cusha_obs::{log, Level};
 
@@ -71,6 +76,13 @@ fn main() {
                 i += 1;
                 ctx.max_iterations = parse(&args, i, "--max-iters") as u32;
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                ctx.jobs = parse(&args, i, "--jobs") as usize;
+                // The fleet engine and any nested run resolve through the
+                // environment, so one flag covers every simulator layer.
+                std::env::set_var("CUSHA_JOBS", ctx.jobs.to_string());
+            }
             "--verbose" | "-v" => ctx.verbose = true,
             "--log-level" => {
                 i += 1;
@@ -106,7 +118,9 @@ fn main() {
         artifacts = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
     }
     for a in &artifacts {
-        if !ALL_ARTIFACTS.contains(&a.as_str()) {
+        // simwall is valid but opt-in only: it exists to measure the host
+        // wall clock, so it must not ride along inside a bigger run.
+        if !ALL_ARTIFACTS.contains(&a.as_str()) && a != "simwall" {
             eprintln!("unknown artifact {a}\n{HELP}");
             std::process::exit(2);
         }
@@ -138,13 +152,14 @@ fn main() {
                 engines.len()
             ),
         );
-        run_matrix(
+        run_matrix_jobs(
             &Dataset::ALL,
             &Benchmark::ALL,
             &engines,
             ctx.scale,
             ctx.max_iterations,
             ctx.verbose,
+            ctx.jobs,
         )
     });
     if let (Some(dir), Some(m)) = (&out_dir, &matrix) {
@@ -172,6 +187,16 @@ fn main() {
             "fig12" => experiments::fig12::run(&ctx),
             "fig13" => experiments::fig13::run(&ctx),
             "ablation" => experiments::ablation::run_all(&ctx),
+            "simwall" => {
+                let res = simwall::run(ctx.scale, ctx.max_iterations, ctx.jobs);
+                if let Some(dir) = &out_dir {
+                    std::fs::create_dir_all(dir).expect("create --out-dir");
+                    let path = format!("{dir}/BENCH_simwall.json");
+                    std::fs::write(&path, res.to_json()).expect("write simwall json");
+                    log::write(Level::Info, &format!("repro: wrote {path}"));
+                }
+                res.report()
+            }
             "multi_gpu_scaling" => {
                 let res = experiments::multi_gpu_scaling::run(&ctx);
                 if let Some(dir) = &out_dir {
@@ -207,12 +232,19 @@ const HELP: &str = "\
 repro — regenerate the CuSha paper's tables and figures
 
 usage: repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
-             [--out-dir DIR] [--verbose] [--log-level LEVEL]
+             [--jobs N] [--out-dir DIR] [--verbose] [--log-level LEVEL]
 
 artifacts: all layouts table1 fig1 table2 table4 table5 table6 table7
            fig7 fig8 fig9 fig10 fig11 fig12 fig13 ablation
            multi_gpu_scaling (also writes multi_gpu_scaling.json and
            multi_gpu_scaling_metrics.json to --out-dir)
+           simwall (opt-in, not part of 'all': times the host wall clock
+           sequential vs parallel and writes BENCH_simwall.json to
+           --out-dir)
+
+--jobs N (or CUSHA_JOBS=N) sets the host worker-thread count for simulator
+matrix cells and fleet devices; any value produces byte-identical artifacts
+(default: the host's available parallelism).
 
 Progress goes to stderr via the leveled logger (--log-level error|warn|
 info|debug|trace, default info); stdout carries only artifact reports.

@@ -34,6 +34,10 @@ pub struct Ctx {
     pub max_iterations: u32,
     /// Stream per-cell progress to stderr.
     pub verbose: bool,
+    /// Host worker threads for simulator cells and fleet devices (`0` =
+    /// auto: `CUSHA_JOBS`, then available parallelism). Never changes a
+    /// result — only the host wall clock.
+    pub jobs: usize,
 }
 
 impl Default for Ctx {
@@ -46,6 +50,7 @@ impl Default for Ctx {
             rmat_scale: 64,
             max_iterations: 300,
             verbose: false,
+            jobs: 0,
         }
     }
 }

@@ -243,6 +243,7 @@ mod tests {
             rmat_scale: 4096,
             max_iterations: 50,
             verbose: false,
+            jobs: 0,
         };
         let res = run(&ctx);
         assert_eq!(res.rows.len(), Dataset::ALL.len());

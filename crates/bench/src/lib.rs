@@ -11,8 +11,9 @@
 pub mod bench_defs;
 pub mod experiments;
 pub mod matrix;
+pub mod simwall;
 pub mod table;
 
 pub use bench_defs::{default_source, Benchmark, Engine};
-pub use matrix::{run_cell, CellResult, MatrixResult};
+pub use matrix::{run_cell, run_matrix_jobs, CellResult, MatrixResult};
 pub use table::Table;

@@ -152,6 +152,32 @@ pub fn run_matrix(
     max_iterations: u32,
     verbose: bool,
 ) -> MatrixResult {
+    run_matrix_jobs(
+        datasets,
+        benchmarks,
+        engines,
+        scale,
+        max_iterations,
+        verbose,
+        0,
+    )
+}
+
+/// [`run_matrix`] with an explicit worker-thread count for the GPU cells
+/// (`0` = auto: `CUSHA_JOBS`, then the host's available parallelism). Every
+/// cell is a deterministic simulator run and the result vector is
+/// reassembled in work-item order, so any `jobs` value yields a
+/// byte-identical matrix — `jobs` only changes how the wall clock is spent.
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_jobs(
+    datasets: &[Dataset],
+    benchmarks: &[Benchmark],
+    engines: &[Engine],
+    scale: u64,
+    max_iterations: u32,
+    verbose: bool,
+    jobs: usize,
+) -> MatrixResult {
     let graphs: Vec<(Dataset, Graph)> = datasets
         .iter()
         .map(|&ds| (ds, ds.generate(scale)))
@@ -176,12 +202,14 @@ pub fn run_matrix(
         }
     }
 
-    let results = Mutex::new(Vec::with_capacity(gpu_items.len() + cpu_items.len()));
+    // Slot-indexed reassembly: workers claim items through the shared
+    // counter in whatever order the scheduler allows, but every result
+    // lands in its item's own slot, so the finished vector is in work-item
+    // order no matter how the race went.
+    let slots: Vec<Mutex<Option<CellResult>>> =
+        gpu_items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(gpu_items.len().max(1));
+    let workers = cusha_core::effective_jobs(jobs).min(gpu_items.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -206,11 +234,15 @@ pub fn run_matrix(
                         ),
                     );
                 }
-                results.lock().unwrap().push(cell);
+                *slots[i].lock().unwrap() = Some(cell);
             });
         }
     });
-    let mut cells = results.into_inner().unwrap();
+    let mut cells: Vec<CellResult> = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every GPU cell computed"))
+        .collect();
+    cells.reserve(cpu_items.len());
     for (gi, ds, b, e) in cpu_items {
         let cell = run_cell(&graphs[gi].1, ds, b, e, max_iterations);
         if verbose {
@@ -285,6 +317,28 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + m.cells.len());
         assert!(csv.starts_with("dataset,benchmark,engine"));
         assert!(csv.contains("Amazon0312,BFS,CuSha-GS,"));
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_matrix() {
+        // The slot-indexed reassembly must make the worker count
+        // observationally invisible: byte-identical CSV (every modeled
+        // time, counter and convergence flag) at 1 vs 4 workers. Simulated
+        // engines only — the MTCPU baseline reports real host wall clock,
+        // which is nondeterministic run-to-run regardless of jobs.
+        let run = |jobs| {
+            run_matrix_jobs(
+                &[Dataset::Amazon0312, Dataset::WebGoogle],
+                &[Benchmark::Bfs, Benchmark::Pr],
+                &[Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(32)],
+                SCALE,
+                200,
+                false,
+                jobs,
+            )
+            .to_csv()
+        };
+        assert_eq!(run(1), run(4), "matrix CSV diverged across job counts");
     }
 
     #[test]

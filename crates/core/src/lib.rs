@@ -44,7 +44,8 @@ pub use error::EngineError;
 pub use fallback::run_fallback;
 pub use integrity::{CheckpointManager, IntegrityConfig, IntegrityMode};
 pub use multi::{
-    run_multi, try_run_multi, DeviceRunStats, MultiConfig, MultiOutput, MultiRunStats,
+    effective_jobs, run_multi, try_run_multi, DeviceRunStats, MultiConfig, MultiOutput,
+    MultiRunStats,
 };
 pub use program::{Value, VertexProgram};
 pub use shards::GShards;

@@ -72,6 +72,12 @@ pub struct MultiConfig {
     pub max_kernel_retries: u32,
     /// Budget-halving cycles allowed per device on OOM before it degrades.
     pub max_rebatches: u32,
+    /// Host worker threads driving per-device kernel execution. `0` (the
+    /// default) resolves through the `CUSHA_JOBS` environment variable and
+    /// then the host's available parallelism. Any value produces bit-identical
+    /// outputs, modeled times, and counters: parallelism only changes how the
+    /// wall clock is spent (see DESIGN.md §4.9).
+    pub jobs: usize,
 }
 
 impl MultiConfig {
@@ -86,7 +92,15 @@ impl MultiConfig {
             backoff_base_seconds: 1e-3,
             max_kernel_retries: 1,
             max_rebatches: 8,
+            jobs: 0,
         }
+    }
+
+    /// Sets the host worker-thread count (`0` = auto; see
+    /// [`effective_jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Selects the interconnect preset.
@@ -120,6 +134,26 @@ impl MultiConfig {
         }
         Ok(())
     }
+}
+
+/// Resolves a requested job count to the worker-thread count actually used:
+/// an explicit `requested > 0` wins, else the `CUSHA_JOBS` environment
+/// variable (if set to a positive integer), else the host's available
+/// parallelism, else 1.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(j) = std::env::var("CUSHA_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+    {
+        return j;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Per-device breakdown inside a [`MultiRunStats`].
@@ -500,7 +534,7 @@ struct MultiState<'a, P: VertexProgram> {
     sdcs: Vec<SdcStats>,
     acc: Vec<TimeAcc>,
     profiles: Vec<Option<Profile>>,
-    desc_name: String,
+    desc_name: std::sync::Arc<str>,
     /// `devices + 1` prefix of global entry starts, for owner lookup.
     estarts: Vec<usize>,
 }
@@ -818,41 +852,6 @@ impl<P: VertexProgram> MultiState<'_, P> {
         })
     }
 
-    /// Degrades device `d` to host fallback: syncs its current state into
-    /// the masters (resident state is downloaded and charged) and runs the
-    /// whole partition slice on the host for this iteration.
-    fn degrade_to_fallback(
-        &mut self,
-        d: usize,
-        out: &mut DeviceIter<P>,
-    ) -> Result<(), DeviceFault> {
-        let info = self.infos[d].clone();
-        let (maxr, backoff) = (self.cfg.max_copy_retries, self.cfg.backoff_base_seconds);
-        if let Mode::Resident(dev) = &self.modes[d] {
-            let gpu = self.fleet.device_mut(d);
-            let fault = &mut self.faults[d];
-            let vals = with_copy_retries(gpu, maxr, backoff, fault, |g| {
-                g.try_download(&dev.vertex_values)
-            })?;
-            self.master_values[info.vrange.clone()].copy_from_slice(&vals);
-            let srcv = with_copy_retries(gpu, maxr, backoff, fault, |g| {
-                g.try_download(&dev.src_value)
-            })?;
-            self.master_src_value[info.erange.clone()].copy_from_slice(&srcv);
-        }
-        self.faults[d].degradations += 1;
-        self.cfg.base.trace.instant(
-            d as u32,
-            lanes::FAULT,
-            "fault",
-            "degrade-to-host",
-            self.device_time(d),
-        );
-        self.modes[d] = Mode::Fallback;
-        self.host_iterate(d, info.shards, out);
-        Ok(())
-    }
-
     /// Applies every resident device's due bit flips to its on-device
     /// buffers. Flips land while the data is at rest in device DRAM, before
     /// any device of the fleet launches — later writes into those buffers
@@ -1053,137 +1052,57 @@ impl<P: VertexProgram> MultiState<'_, P> {
     /// they still flow through the halo exchange accounting.
     fn host_iterate(&mut self, d: usize, shards: Range<u32>, out: &mut DeviceIter<P>) {
         let own_erange = self.infos[d].erange.clone();
-        let p = self.gs.num_shards();
-        for s in shards {
-            let vrange = self.gs.vertex_range(s);
-            let offset = vrange.start as usize;
-            let mut local: Vec<P::V> = vrange
-                .clone()
-                .map(|v| {
-                    let mut lv = P::V::default();
-                    self.prog
-                        .init_compute(&mut lv, &self.master_values[v as usize]);
-                    lv
-                })
-                .collect();
-            for e in self.gs.shard_entries(s) {
-                let statv = self
-                    .static_entries
-                    .as_ref()
-                    .map(|v| v[e])
-                    .unwrap_or_default();
-                let ev = self.edge_entries.as_ref().map(|v| v[e]).unwrap_or_default();
-                let slot = self.gs.dest_index()[e] as usize - offset;
-                self.prog
-                    .compute(&self.master_src_value[e], &statv, &ev, &mut local[slot]);
-            }
-            let mut block_updated = false;
-            for v in vrange.clone() {
-                let i = v as usize - offset;
-                let old = self.master_values[v as usize];
-                let mut newv = local[i];
-                let cond = self.prog.update_condition(&mut newv, &old);
-                local[i] = newv;
-                if cond {
-                    self.master_values[v as usize] = newv;
-                    block_updated = true;
-                    out.updated += 1;
-                }
-            }
-            if block_updated {
-                for j in 0..p {
-                    for e in self.gs.window(s, j) {
-                        let val = local[self.gs.src_index()[e] as usize - offset];
-                        self.master_src_value[e] = val;
-                        if !own_erange.contains(&e) {
-                            out.spills.push((e, val));
-                        }
-                    }
-                }
-            }
-        }
+        functional_sweep(
+            self.prog,
+            &self.gs,
+            self.static_entries.as_deref(),
+            self.edge_entries.as_deref(),
+            shards,
+            &own_erange,
+            &mut self.master_values,
+            0,
+            &mut self.master_src_value,
+            0,
+            true,
+            out,
+        );
     }
 
-    /// One iteration of a resident device: flag reset, launch (with
-    /// in-place retry; a second kernel fault degrades to host fallback),
-    /// flag readback.
-    fn iterate_resident(&mut self, d: usize) -> Result<DeviceIter<P>, DeviceFault> {
-        let info = self.infos[d].clone();
-        let desc = KernelDesc::new(
-            self.desc_name.clone(),
-            info.shards.len() as u32,
-            self.cfg.base.threads_per_block,
-        );
-        let (maxr, backoff) = (self.cfg.max_copy_retries, self.cfg.backoff_base_seconds);
+    /// Phase A of the host-parallel schedule: re-enacts resident device
+    /// `d`'s upcoming launch on scratch clones of its host mirrors, without
+    /// touching the device. The oracle yields the iteration's spills and
+    /// updated count at the serial point in the device order — so halo
+    /// visibility matches the sequential engine — while the real launch
+    /// (which recomputes the same values bit-for-bit) runs concurrently in
+    /// Phase B. The scratch is also the post-iteration device state, reused
+    /// as the master copy if the launch degrades to host fallback.
+    fn oracle_resident(&self, d: usize) -> (DeviceIter<P>, OracleState<P>) {
+        let info = &self.infos[d];
+        let Mode::Resident(dev) = &self.modes[d] else {
+            unreachable!("oracle runs only for resident devices")
+        };
+        let mut vv = dev.vertex_values.host().to_vec();
+        let mut sv = dev.src_value.host().to_vec();
         let mut out = DeviceIter {
             updated: 0,
             kernel_seconds: 0.0,
             spills: Vec::new(),
         };
-        let mut degrade = false;
-        {
-            let Mode::Resident(dev) = &mut self.modes[d] else {
-                unreachable!()
-            };
-            let gpu = self.fleet.device_mut(d);
-            let fault = &mut self.faults[d];
-            with_copy_retries(gpu, maxr, backoff, fault, |g| {
-                g.try_h2d(&mut dev.flag, &[1u32])
-            })?;
-            let mut attempts = 0u32;
-            let kstats = loop {
-                out.updated = 0;
-                out.spills.clear();
-                match Self::launch_shards(
-                    gpu,
-                    &desc,
-                    self.prog,
-                    &self.gs,
-                    self.cw.as_ref(),
-                    info.shards.start,
-                    info.vrange.start,
-                    info.erange.start,
-                    info.cwrange.start,
-                    &info.erange,
-                    &info.remote,
-                    dev,
-                    &mut out.spills,
-                    &mut out.updated,
-                ) {
-                    Ok(k) => break Some(k),
-                    Err(DeviceFault::Kernel { .. }) if attempts < self.cfg.max_kernel_retries => {
-                        fault.kernel_retries += 1;
-                        gpu.tracer().clone().instant(
-                            gpu.trace_pid(),
-                            lanes::FAULT,
-                            "fault",
-                            "kernel-retry",
-                            gpu.total_seconds(),
-                        );
-                        attempts += 1;
-                    }
-                    Err(DeviceFault::Kernel { .. }) => {
-                        degrade = true;
-                        break None;
-                    }
-                    Err(other) => return Err(other),
-                }
-            };
-            if let Some(k) = kstats {
-                out.kernel_seconds += k.seconds;
-                // Per-iteration is_converged readback, as in Figure 5.
-                let _ = with_copy_retries(gpu, maxr, backoff, fault, |g| {
-                    g.try_download_scalar(&dev.flag, 0)
-                })?;
-                self.fleet.record_launch(d, &k);
-                return Ok(out);
-            }
-        }
-        debug_assert!(degrade);
-        out.updated = 0;
-        out.spills.clear();
-        self.degrade_to_fallback(d, &mut out)?;
-        Ok(out)
+        functional_sweep(
+            self.prog,
+            &self.gs,
+            self.static_entries.as_deref(),
+            self.edge_entries.as_deref(),
+            info.shards.clone(),
+            &info.erange,
+            &mut vv,
+            info.vrange.start,
+            &mut sv,
+            info.erange.start,
+            false,
+            &mut out,
+        );
+        (out, OracleState { vv, sv })
     }
 
     /// One iteration of a rebatched device: its shards stream through a
@@ -1455,6 +1374,181 @@ impl<P: VertexProgram> MultiState<'_, P> {
     }
 }
 
+/// Post-iteration host mirror of one resident device, produced by the
+/// Phase A oracle: `vv` covers the device's vertex range, `sv` its entry
+/// range. Bit-identical to what the device holds after a successful Phase B
+/// launch — and to what the serial degrade path would download and
+/// re-enact, which is why it doubles as the master copy on degradation.
+struct OracleState<P: VertexProgram> {
+    vv: Vec<P::V>,
+    sv: Vec<P::V>,
+}
+
+/// What one resident device's Phase B worker brings back to the join point.
+struct ResidentOutcome<P: VertexProgram> {
+    /// `Some` for a completed launch; `None` when kernel retries were
+    /// exhausted and the device must degrade to host fallback.
+    kstats: Option<KernelStats>,
+    updated: u64,
+    spills: Vec<(usize, P::V)>,
+}
+
+/// The shared functional core of the CuSha iteration on host memory: the
+/// exact per-shard schedule of the device kernel (init, fold, update
+/// condition, window write-back), over caller-provided value slices.
+/// `vv`/`sv` hold vertex values and the `SrcValue` column starting at global
+/// offsets `voff`/`eoff`. Stage-4 writes inside `own_erange` land in `sv`;
+/// writes outside it are pushed as spills (and also written through when
+/// `sv_is_global`, i.e. the slices are the full master arrays).
+#[allow(clippy::too_many_arguments)]
+fn functional_sweep<P: VertexProgram>(
+    prog: &P,
+    gs: &GShards,
+    static_entries: Option<&[P::SV]>,
+    edge_entries: Option<&[P::E]>,
+    shards: Range<u32>,
+    own_erange: &Range<usize>,
+    vv: &mut [P::V],
+    voff: usize,
+    sv: &mut [P::V],
+    eoff: usize,
+    sv_is_global: bool,
+    out: &mut DeviceIter<P>,
+) {
+    let p = gs.num_shards();
+    for s in shards {
+        let vrange = gs.vertex_range(s);
+        let offset = vrange.start as usize;
+        let mut local: Vec<P::V> = vrange
+            .clone()
+            .map(|v| {
+                let mut lv = P::V::default();
+                prog.init_compute(&mut lv, &vv[v as usize - voff]);
+                lv
+            })
+            .collect();
+        for e in gs.shard_entries(s) {
+            let statv = static_entries.map(|v| v[e]).unwrap_or_default();
+            let ev = edge_entries.map(|v| v[e]).unwrap_or_default();
+            let slot = gs.dest_index()[e] as usize - offset;
+            prog.compute(&sv[e - eoff], &statv, &ev, &mut local[slot]);
+        }
+        let mut block_updated = false;
+        for v in vrange.clone() {
+            let i = v as usize - offset;
+            let old = vv[v as usize - voff];
+            let mut newv = local[i];
+            let cond = prog.update_condition(&mut newv, &old);
+            local[i] = newv;
+            if cond {
+                vv[v as usize - voff] = newv;
+                block_updated = true;
+                out.updated += 1;
+            }
+        }
+        if block_updated {
+            for j in 0..p {
+                for e in gs.window(s, j) {
+                    let val = local[gs.src_index()[e] as usize - offset];
+                    if own_erange.contains(&e) {
+                        sv[e - eoff] = val;
+                    } else {
+                        if sv_is_global {
+                            sv[e - eoff] = val;
+                        }
+                        out.spills.push((e, val));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase B body for one resident device, run on a worker thread against
+/// disjoint `&mut` borrows of the device's simulator, buffers, and fault
+/// counters: flag reset upload, kernel launch with in-place retries, and
+/// converged-flag readback — the same op sequence, in the same per-device
+/// order, as the serial engine, so every modeled charge and fault-plan
+/// consumption is identical. Exhausted kernel retries charge the degrade
+/// path's state downloads (the data itself is discarded — the Phase A
+/// oracle already holds those bytes) and report `kstats: None`; the join
+/// point performs the actual degradation serially.
+#[allow(clippy::too_many_arguments)]
+fn resident_iteration<P: VertexProgram>(
+    prog: &P,
+    cfg: &MultiConfig,
+    gs: &GShards,
+    cw: Option<&ConcatWindows>,
+    info: &DevInfo,
+    desc: &KernelDesc,
+    gpu: &mut Gpu,
+    dev: &mut ResidentDev<P>,
+    fault: &mut FaultStats,
+) -> Result<ResidentOutcome<P>, DeviceFault> {
+    let (maxr, backoff) = (cfg.max_copy_retries, cfg.backoff_base_seconds);
+    with_copy_retries(gpu, maxr, backoff, fault, |g| {
+        g.try_h2d(&mut dev.flag, &[1u32])
+    })?;
+    let mut attempts = 0u32;
+    loop {
+        let mut updated = 0u64;
+        let mut spills = Vec::new();
+        match MultiState::launch_shards(
+            gpu,
+            desc,
+            prog,
+            gs,
+            cw,
+            info.shards.start,
+            info.vrange.start,
+            info.erange.start,
+            info.cwrange.start,
+            &info.erange,
+            &info.remote,
+            dev,
+            &mut spills,
+            &mut updated,
+        ) {
+            Ok(k) => {
+                // Per-iteration is_converged readback, as in Figure 5.
+                let _ = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_download_scalar(&dev.flag, 0)
+                })?;
+                return Ok(ResidentOutcome {
+                    kstats: Some(k),
+                    updated,
+                    spills,
+                });
+            }
+            Err(DeviceFault::Kernel { .. }) if attempts < cfg.max_kernel_retries => {
+                fault.kernel_retries += 1;
+                gpu.tracer().clone().instant(
+                    gpu.trace_pid(),
+                    lanes::FAULT,
+                    "fault",
+                    "kernel-retry",
+                    gpu.total_seconds(),
+                );
+                attempts += 1;
+            }
+            Err(DeviceFault::Kernel { .. }) => {
+                let _ = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_download(&dev.vertex_values)
+                })?;
+                let _ = with_copy_retries(gpu, maxr, backoff, fault, |g| {
+                    g.try_download(&dev.src_value)
+                })?;
+                return Ok(ResidentOutcome {
+                    kstats: None,
+                    updated: 0,
+                    spills: Vec::new(),
+                });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
 /// Runs the fleet to completion. Returns the output whether or not it
 /// converged (the `converged` flag tells); hard failures are errors.
 fn run_multi_inner<P: VertexProgram>(
@@ -1555,7 +1649,8 @@ fn run_multi_inner<P: VertexProgram>(
     }
     estarts.push(gs.num_edges() as usize);
 
-    let desc_name = format!("{}::{}", cfg.base.repr.label(), prog.name());
+    let desc_name: std::sync::Arc<str> =
+        format!("{}::{}", cfg.base.repr.label(), prog.name()).into();
     let engine_label = if cfg.devices == 1 {
         cfg.base.repr.label().to_string()
     } else {
@@ -1708,10 +1803,27 @@ fn run_multi_inner<P: VertexProgram>(
         let mut max_kernel = 0.0f64;
         let mut sent_pairs: Vec<HashSet<(u32, usize)>> =
             (0..cfg.devices).map(|_| HashSet::new()).collect();
+        // ---- Phase A: serial functional oracle, in device order ----------
+        // Resident devices are re-enacted on host scratch without touching
+        // the device; rebatched and fallback devices, whose work is
+        // host-mastered and inherently order-dependent, run in full. Every
+        // spill therefore lands in the masters — and in later resident
+        // devices' `SrcValue` mirrors — at exactly the serial schedule's
+        // points, before any Phase B launch consumes it.
+        let mut iters: Vec<Option<DeviceIter<P>>> = (0..cfg.devices).map(|_| None).collect();
+        let mut oracle: Vec<Option<OracleState<P>>> = (0..cfg.devices).map(|_| None).collect();
+        // Spills whose resident owner precedes the writer in device order:
+        // the serial schedule lands them after the owner's launch, so the
+        // parallel one must hold them until every launch has joined.
+        let mut deferred: Vec<(usize, usize, P::V)> = Vec::new();
         for d in 0..cfg.devices {
             let res = match &st.modes[d] {
                 Mode::Idle => continue,
-                Mode::Resident(_) => st.iterate_resident(d).map_err(EngineError::from)?,
+                Mode::Resident(_) => {
+                    let (res, scratch) = st.oracle_resident(d);
+                    oracle[d] = Some(scratch);
+                    res
+                }
                 Mode::Rebatched { .. } => st.iterate_rebatched(d).map_err(EngineError::from)?,
                 Mode::Fallback => {
                     let shards = st.infos[d].shards.clone();
@@ -1724,20 +1836,172 @@ fn run_multi_inner<P: VertexProgram>(
                     out
                 }
             };
-            // Apply the device's halo updates synchronously, in write
-            // order, to their targets: later devices observe them this
-            // iteration, earlier ones next — exactly the single-buffer
-            // stage-4 visibility.
+            // Apply the device's halo updates in write order: later devices
+            // observe them this iteration, earlier ones next — exactly the
+            // single-buffer stage-4 visibility of the serial engine.
             for &(k, v) in &res.spills {
                 st.master_src_value[k] = v;
                 let t = st.owner_of_entry(k);
                 if t != d {
-                    if let Mode::Resident(dev) = &mut st.modes[t] {
-                        dev.src_value.host_mut()[k - st.infos[t].erange.start] = v;
+                    match &mut st.modes[t] {
+                        Mode::Resident(dev) if t > d => {
+                            dev.src_value.host_mut()[k - st.infos[t].erange.start] = v;
+                        }
+                        Mode::Resident(_) => deferred.push((t, k, v)),
+                        _ => {}
                     }
                     sent_pairs[d].insert((st.gs.src_index()[k], t));
                 }
             }
+            iters[d] = Some(res);
+        }
+
+        // ---- Phase B: the real resident launches, on worker threads ------
+        // Each worker owns disjoint `&mut` borrows of one device's
+        // simulator, buffers, and fault counters, plus a private fork of
+        // the tracer. All modeled time and every fault-plan draw is
+        // per-device, so the thread interleaving cannot change a single
+        // charge, counter, or value — only how fast the host gets through
+        // them.
+        let mut outcomes: Vec<Option<Result<ResidentOutcome<P>, DeviceFault>>> =
+            (0..cfg.devices).map(|_| None).collect();
+        {
+            let prog = st.prog;
+            let mcfg = st.cfg;
+            let gs = &st.gs;
+            let cw = st.cw.as_ref();
+            let infos = &st.infos;
+            let mut work: Vec<(
+                usize,
+                KernelDesc,
+                &mut Gpu,
+                &mut ResidentDev<P>,
+                &mut FaultStats,
+            )> = Vec::new();
+            for (d, ((gpu, mode), fault)) in st
+                .fleet
+                .devices_mut()
+                .iter_mut()
+                .zip(st.modes.iter_mut())
+                .zip(st.faults.iter_mut())
+                .enumerate()
+            {
+                if let Mode::Resident(dev) = mode {
+                    let desc = KernelDesc::new(
+                        st.desc_name.clone(),
+                        infos[d].shards.len() as u32,
+                        mcfg.base.threads_per_block,
+                    );
+                    work.push((d, desc, gpu, &mut **dev, fault));
+                }
+            }
+            let jobs = effective_jobs(mcfg.jobs).min(work.len()).max(1);
+            let mut buckets: Vec<Vec<_>> = (0..jobs).map(|_| Vec::new()).collect();
+            for (i, w) in work.into_iter().enumerate() {
+                buckets[i % jobs].push(w);
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(d, desc, gpu, dev, fault)| {
+                                    let pid = gpu.trace_pid();
+                                    let fork = gpu.tracer().fork();
+                                    gpu.set_tracer(fork, pid);
+                                    let r = resident_iteration(
+                                        prog, mcfg, gs, cw, &infos[d], &desc, gpu, dev, fault,
+                                    );
+                                    (d, r)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (d, r) in h.join().expect("phase B worker panicked") {
+                        outcomes[d] = Some(r);
+                    }
+                }
+            });
+        }
+
+        // ---- Join: fold Phase B back in, in device order -----------------
+        let mut first_err: Option<DeviceFault> = None;
+        for d in 0..cfg.devices {
+            let Some(outcome) = outcomes[d].take() else {
+                continue;
+            };
+            // Merge the worker's private trace lane and restore the shared
+            // tracer, so absorbed events sit in device order just as the
+            // serial engine emitted them.
+            {
+                let gpu = st.fleet.device_mut(d);
+                let fork = gpu.tracer().clone();
+                cfg.base.trace.absorb(&fork);
+                gpu.set_tracer(cfg.base.trace.clone(), d as u32);
+            }
+            let oc = match outcome {
+                Ok(oc) => oc,
+                Err(f) => {
+                    if first_err.is_none() {
+                        first_err = Some(f);
+                    }
+                    continue;
+                }
+            };
+            let it = iters[d].as_mut().expect("oracle ran for this device");
+            match oc.kstats {
+                Some(k) => {
+                    debug_assert_eq!(
+                        oc.updated, it.updated,
+                        "device {d}: launch diverged from the Phase A oracle"
+                    );
+                    debug_assert_eq!(oc.spills, it.spills);
+                    it.kernel_seconds = k.seconds;
+                    st.fleet.record_launch(d, &k);
+                }
+                None => {
+                    // Kernel retries exhausted: degrade to host fallback.
+                    // The worker already charged the serial path's state
+                    // downloads; the oracle scratch is bit-identical to
+                    // download-then-re-enact, so it becomes the master copy.
+                    let OracleState { vv, sv } = oracle[d].take().expect("oracle state");
+                    let info = &st.infos[d];
+                    st.master_values[info.vrange.clone()].copy_from_slice(&vv);
+                    st.master_src_value[info.erange.clone()].copy_from_slice(&sv);
+                    st.faults[d].degradations += 1;
+                    cfg.base.trace.instant(
+                        d as u32,
+                        lanes::FAULT,
+                        "fault",
+                        "degrade-to-host",
+                        st.device_time(d),
+                    );
+                    st.modes[d] = Mode::Fallback;
+                }
+            }
+        }
+        // Deferred spills land now that every launch has joined. An owner
+        // that just degraded takes them in its master slice instead (the
+        // scratch copy-in above rolled the slice back to the owner's own
+        // post-iteration state, which predates these writes).
+        for &(t, k, v) in &deferred {
+            if let Mode::Resident(dev) = &mut st.modes[t] {
+                dev.src_value.host_mut()[k - st.infos[t].erange.start] = v;
+            } else {
+                st.master_src_value[k] = v;
+            }
+        }
+        if let Some(f) = first_err {
+            return Err(EngineError::from(f));
+        }
+        // Per-device iteration accounting, in device order; all Phase B
+        // charges are in, so every modeled clock reads the serial value.
+        for d in 0..cfg.devices {
+            let Some(res) = &iters[d] else { continue };
             iter_updated += res.updated;
             max_kernel = max_kernel.max(res.kernel_seconds);
             let now = st.device_time(d);

@@ -876,7 +876,7 @@ fn stream_attempt<P: VertexProgram>(
         );
     }
     total.converged = converged;
-    total.kernel.name = format!("{}-streamed::{}", repr.label(), prog.name());
+    total.kernel.name = format!("{}-streamed::{}", repr.label(), prog.name()).into();
     total.h2d_seconds = h2d_resident;
     total.compute_seconds = kernel_seconds_pipelined + extra_transfer_seconds;
     total.d2h_seconds = base

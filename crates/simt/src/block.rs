@@ -15,7 +15,7 @@
 //! lanes plus per-lane closures (`|lane| index` / `|lane| value`), and
 //! returns a `[T; WARP]` with inactive lanes left at `T::default()`.
 
-use crate::coalesce::{bank_conflicts, coalesce};
+use crate::coalesce::CoalesceMemo;
 use crate::config::DeviceConfig;
 use crate::counters::{Counters, Mask, WARP};
 use crate::mem::DevVec;
@@ -27,6 +27,9 @@ pub struct Block<'cfg> {
     id: u32,
     threads: u32,
     cfg: &'cfg DeviceConfig,
+    /// Device-owned memo for coalescing/bank-conflict math; self-validating,
+    /// so replayed counters are byte-identical to recomputed ones.
+    memo: &'cfg mut CoalesceMemo,
     shared_cursor: u64,
     pub(crate) counters: Counters,
     /// Memory-pipe (LSU) issue slots consumed: one per memory warp
@@ -46,7 +49,12 @@ pub struct Block<'cfg> {
 }
 
 impl<'cfg> Block<'cfg> {
-    pub(crate) fn new(id: u32, threads: u32, cfg: &'cfg DeviceConfig) -> Self {
+    pub(crate) fn new(
+        id: u32,
+        threads: u32,
+        cfg: &'cfg DeviceConfig,
+        memo: &'cfg mut CoalesceMemo,
+    ) -> Self {
         assert!(
             threads > 0 && threads <= cfg.max_threads_per_block,
             "block of {threads} threads exceeds device limit {}",
@@ -56,6 +64,7 @@ impl<'cfg> Block<'cfg> {
             id,
             threads,
             cfg,
+            memo,
             shared_cursor: 0,
             counters: Counters::default(),
             mem_cycles: 0,
@@ -105,7 +114,7 @@ impl<'cfg> Block<'cfg> {
             self.shared_cursor,
             self.cfg.shared_mem_per_sm
         );
-        SharedVec::from_parts(vec![T::default(); len], base)
+        SharedVec::recycled(len, base)
     }
 
     fn issue_mem(&mut self, mask: Mask, extra_replays: u64) {
@@ -134,7 +143,7 @@ impl<'cfg> Block<'cfg> {
             out[lane] = buf.get(i);
             addrs[lane] = Some((buf.addr(i), T::SIZE));
         }
-        let c = coalesce(&addrs, self.cfg.segment_bytes, self.cfg.sector_bytes);
+        let c = self.memo.coalesce(&addrs);
         self.counters.gld_transactions += c.segments as u64;
         self.counters.gld_requested_bytes += c.requested_bytes as u64;
         self.counters.dram_sectors += c.sectors as u64;
@@ -158,7 +167,7 @@ impl<'cfg> Block<'cfg> {
             buf.set(i, val(lane));
             addrs[lane] = Some((buf.addr(i), T::SIZE));
         }
-        let c = coalesce(&addrs, self.cfg.segment_bytes, self.cfg.sector_bytes);
+        let c = self.memo.coalesce(&addrs);
         self.counters.gst_transactions += c.segments as u64;
         self.counters.gst_requested_bytes += c.requested_bytes as u64;
         self.counters.dram_sectors += c.sectors as u64;
@@ -179,7 +188,7 @@ impl<'cfg> Block<'cfg> {
             out[lane] = sh.get(i);
             addrs[lane] = Some(sh.addr(i));
         }
-        let replays = bank_conflicts(&addrs, self.cfg.shared_banks, self.cfg.bank_width_bytes);
+        let replays = self.memo.bank_conflicts(&addrs);
         self.counters.shared_accesses += 1;
         self.counters.bank_conflict_replays += replays as u64;
         self.issue_mem(mask, replays as u64);
@@ -200,7 +209,7 @@ impl<'cfg> Block<'cfg> {
             sh.set(i, val(lane));
             addrs[lane] = Some(sh.addr(i));
         }
-        let replays = bank_conflicts(&addrs, self.cfg.shared_banks, self.cfg.bank_width_bytes);
+        let replays = self.memo.bank_conflicts(&addrs);
         self.counters.shared_accesses += 1;
         self.counters.bank_conflict_replays += replays as u64;
         self.issue_mem(mask, replays as u64);
@@ -240,8 +249,7 @@ impl<'cfg> Block<'cfg> {
             }
             f(lane, sh.get_mut(t));
         }
-        let bank_replays =
-            bank_conflicts(&addrs, self.cfg.shared_banks, self.cfg.bank_width_bytes) as u64;
+        let bank_replays = self.memo.bank_conflicts(&addrs) as u64;
         self.counters.shared_accesses += 1;
         self.counters.atomic_replays += collisions;
         self.counters.bank_conflict_replays += bank_replays;
@@ -285,14 +293,24 @@ mod tests {
     use crate::config::DeviceConfig;
     use crate::mem::DevVec;
 
-    fn test_block(cfg: &DeviceConfig) -> Block<'_> {
-        Block::new(0, 128, cfg)
+    fn test_memo(cfg: &DeviceConfig) -> CoalesceMemo {
+        CoalesceMemo::new(
+            cfg.segment_bytes,
+            cfg.sector_bytes,
+            cfg.shared_banks,
+            cfg.bank_width_bytes,
+        )
+    }
+
+    fn test_block<'a>(cfg: &'a DeviceConfig, memo: &'a mut CoalesceMemo) -> Block<'a> {
+        Block::new(0, 128, cfg, memo)
     }
 
     #[test]
     fn gload_coalesced_vs_gather() {
         let cfg = DeviceConfig::gtx780();
-        let mut b = test_block(&cfg);
+        let mut memo = test_memo(&cfg);
+        let mut b = test_block(&cfg, &mut memo);
         let buf: DevVec<u32> = DevVec::from_parts((0..4096).collect(), 0);
         // Coalesced: 1 transaction.
         let out = b.gload(&buf, Mask::FULL, |l| l);
@@ -307,7 +325,8 @@ mod tests {
     #[test]
     fn gstore_writes_and_accounts() {
         let cfg = DeviceConfig::gtx780();
-        let mut b = test_block(&cfg);
+        let mut memo = test_memo(&cfg);
+        let mut b = test_block(&cfg, &mut memo);
         let mut buf: DevVec<u32> = DevVec::from_parts(vec![0; 64], 0);
         b.gstore(&mut buf, Mask::first(4), |l| l, |l| l as u32 * 10);
         assert_eq!(&buf.host()[..5], &[0, 10, 20, 30, 0]);
@@ -318,7 +337,8 @@ mod tests {
     #[test]
     fn supdate_serializes_same_target() {
         let cfg = DeviceConfig::gtx780();
-        let mut b = test_block(&cfg);
+        let mut memo = test_memo(&cfg);
+        let mut b = test_block(&cfg, &mut memo);
         let mut sh = b.shared_alloc::<u32>(4);
         // All 32 lanes add 1 to element 2: result 32, 31 collisions.
         b.supdate(&mut sh, Mask::FULL, |_| 2, |_, v| *v += 1);
@@ -335,7 +355,8 @@ mod tests {
     #[test]
     fn supdate_applies_in_lane_order() {
         let cfg = DeviceConfig::gtx780();
-        let mut b = test_block(&cfg);
+        let mut memo = test_memo(&cfg);
+        let mut b = test_block(&cfg, &mut memo);
         let mut sh = b.shared_alloc::<u32>(1);
         // min-style update: final value is the min over lanes.
         sh.set(0, 100);
@@ -351,7 +372,8 @@ mod tests {
     #[test]
     fn warp_efficiency_tracks_masks() {
         let cfg = DeviceConfig::gtx780();
-        let mut b = test_block(&cfg);
+        let mut memo = test_memo(&cfg);
+        let mut b = test_block(&cfg, &mut memo);
         b.exec(Mask::FULL, 1);
         b.exec(Mask::first(8), 1);
         assert_eq!(b.counters.warp_instructions, 2);
@@ -361,7 +383,8 @@ mod tests {
     #[test]
     fn shared_alloc_respects_quota() {
         let cfg = DeviceConfig::tiny_test(); // 1 KiB
-        let mut b = Block::new(0, 32, &cfg);
+        let mut memo = test_memo(&cfg);
+        let mut b = Block::new(0, 32, &cfg, &mut memo);
         let _a = b.shared_alloc::<u32>(128); // 512 B
         assert_eq!(b.shared_used(), 512);
         let _b = b.shared_alloc::<u32>(128); // 1024 B: exactly at limit
@@ -372,7 +395,8 @@ mod tests {
     #[test]
     fn sync_charges_per_warp() {
         let cfg = DeviceConfig::gtx780();
-        let mut b = test_block(&cfg); // 128 threads = 4 warps
+        let mut memo = test_memo(&cfg);
+        let mut b = test_block(&cfg, &mut memo); // 128 threads = 4 warps
         b.sync();
         assert_eq!(b.counters.warp_instructions, 4);
     }
@@ -381,13 +405,15 @@ mod tests {
     #[should_panic(expected = "exceeds device limit")]
     fn oversized_block_rejected() {
         let cfg = DeviceConfig::gtx780();
-        let _ = Block::new(0, 2048, &cfg);
+        let mut memo = test_memo(&cfg);
+        let _ = Block::new(0, 2048, &cfg, &mut memo);
     }
 
     #[test]
     fn sload_bank_conflict_replays() {
         let cfg = DeviceConfig::gtx780();
-        let mut b = test_block(&cfg);
+        let mut memo = test_memo(&cfg);
+        let mut b = test_block(&cfg, &mut memo);
         let mut sh = b.shared_alloc::<u32>(1024);
         for i in 0..1024 {
             sh.set(i, i as u32);

@@ -110,8 +110,9 @@ impl Counters {
 /// Statistics of one simulated kernel launch, in `nvprof` terms.
 #[derive(Clone, Debug, Default)]
 pub struct KernelStats {
-    /// Kernel name (for reports).
-    pub name: String,
+    /// Kernel name (for reports). Shared so the hot launch path clones a
+    /// refcount, not a heap string.
+    pub name: std::sync::Arc<str>,
     /// Number of blocks launched.
     pub blocks: u32,
     /// Threads per block.

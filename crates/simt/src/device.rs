@@ -1,18 +1,21 @@
 //! The simulated GPU: allocation, transfers, and kernel launches.
 
 use crate::block::Block;
+use crate::coalesce::CoalesceMemo;
 use crate::config::DeviceConfig;
 use crate::counters::KernelStats;
 use crate::fault::{DeviceFault, FaultKind, FaultPlan};
 use crate::mem::{DevVec, ALLOC_ALIGN};
 use crate::pod::Pod;
 use cusha_obs::trace::{lanes, ArgVal, Tracer};
+use std::sync::Arc;
 
 /// Launch geometry and identification of a kernel.
 #[derive(Clone, Debug)]
 pub struct KernelDesc {
-    /// Kernel name, surfaced in [`KernelStats`].
-    pub name: String,
+    /// Kernel name, surfaced in [`KernelStats`]. Shared (`Arc<str>`) so the
+    /// per-launch stats clone is a refcount bump, not a heap allocation.
+    pub name: Arc<str>,
     /// Number of blocks in the grid.
     pub grid_blocks: u32,
     /// Threads per block.
@@ -21,7 +24,7 @@ pub struct KernelDesc {
 
 impl KernelDesc {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, grid_blocks: u32, threads_per_block: u32) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, grid_blocks: u32, threads_per_block: u32) -> Self {
         KernelDesc {
             name: name.into(),
             grid_blocks,
@@ -56,11 +59,24 @@ pub struct Gpu {
     tracer: Tracer,
     /// Chrome-trace process lane of this device's spans (device index).
     trace_pid: u32,
+    /// Memo for per-warp coalescing/bank-conflict analysis. Self-validating
+    /// (full-key comparison), so replays are bit-identical to recomputes.
+    memo: CoalesceMemo,
+    /// Reusable per-SM cycle scratch for [`Gpu::launch_unchecked`] (one slot
+    /// per SM each), so steady-state launches allocate nothing.
+    launch_scratch: Vec<u64>,
 }
 
 impl Gpu {
     /// Creates a device with the given configuration.
     pub fn new(cfg: DeviceConfig) -> Self {
+        let memo = CoalesceMemo::new(
+            cfg.segment_bytes,
+            cfg.sector_bytes,
+            cfg.shared_banks,
+            cfg.bank_width_bytes,
+        );
+        let launch_scratch = vec![0u64; 2 * cfg.num_sms as usize];
         Gpu {
             cfg,
             next_addr: ALLOC_ALIGN, // address 0 reserved (null)
@@ -73,7 +89,14 @@ impl Gpu {
             fault_plan: None,
             tracer: Tracer::default(),
             trace_pid: 0,
+            memo,
+            launch_scratch,
         }
+    }
+
+    /// `(hits, misses)` of the device's coalescing-analysis memo.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        self.memo.hit_stats()
     }
 
     /// Installs a tracer and assigns this device's process lane (`pid`,
@@ -335,7 +358,7 @@ impl Gpu {
     ) -> Result<KernelStats, DeviceFault> {
         if let Some(op_index) = self.fault_fires(FaultKind::Kernel, Some(&desc.name)) {
             return Err(DeviceFault::Kernel {
-                name: desc.name.clone(),
+                name: desc.name.to_string(),
                 op_index,
             });
         }
@@ -366,12 +389,16 @@ impl Gpu {
             ..Default::default()
         };
         let tracing = self.tracer.is_enabled();
-        let mut sm_mem = vec![0u64; self.cfg.num_sms as usize];
-        let mut sm_alu = vec![0u64; self.cfg.num_sms as usize];
+        // Reuse the per-SM cycle scratch across launches: the steady-state
+        // launch path must not allocate (see tests/zero_alloc_launch.rs).
+        let num_sms = self.cfg.num_sms as usize;
+        let mut scratch = std::mem::take(&mut self.launch_scratch);
+        scratch.iter_mut().for_each(|c| *c = 0);
+        let (sm_mem, sm_alu) = scratch.split_at_mut(num_sms);
         // Per-phase cycles aggregated across blocks, in first-marked order.
         let mut phase_cycles: Vec<(&'static str, u64)> = Vec::new();
         for block_id in 0..desc.grid_blocks {
-            let mut block = Block::new(block_id, desc.threads_per_block, &self.cfg);
+            let mut block = Block::new(block_id, desc.threads_per_block, &self.cfg, &mut self.memo);
             block.trace_phases = tracing;
             body(&mut block);
             stats.counters.add(&block.counters);
@@ -398,7 +425,7 @@ impl Gpu {
         // while the schedulers retire `issue_width` ALU instructions; with
         // enough resident warps the two pipes overlap, so the SM is bound
         // by the slower pipe.
-        let max_cycles = (0..self.cfg.num_sms as usize)
+        let max_cycles = (0..num_sms)
             .map(|sm| sm_mem[sm].max(sm_alu[sm].div_ceil(self.cfg.issue_width as u64)))
             .max()
             .unwrap_or(0);
@@ -460,7 +487,7 @@ impl Gpu {
             }
             // Per-SM busy spans (occupancy lanes): each SM is busy for its
             // own bound pipe's cycles.
-            for sm in 0..self.cfg.num_sms as usize {
+            for sm in 0..num_sms {
                 let cycles = sm_mem[sm].max(sm_alu[sm].div_ceil(self.cfg.issue_width as u64));
                 if cycles > 0 {
                     let busy = cycles as f64 / (self.cfg.clock_ghz * 1e9);
@@ -476,6 +503,7 @@ impl Gpu {
                 }
             }
         }
+        self.launch_scratch = scratch;
         stats
     }
 }

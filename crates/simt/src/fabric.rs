@@ -116,7 +116,7 @@ impl DeviceFleet {
         let devices = (0..count).map(|_| Gpu::new(cfg.clone())).collect();
         let tallies = (0..count)
             .map(|d| KernelStats {
-                name: format!("device-{d}"),
+                name: format!("device-{d}").into(),
                 ..Default::default()
             })
             .collect();
@@ -150,6 +150,12 @@ impl DeviceFleet {
     /// Mutable access to device `d` (uploads, launches, fault plans).
     pub fn device_mut(&mut self, d: usize) -> &mut Gpu {
         &mut self.devices[d]
+    }
+
+    /// Mutable access to every device at once, so a host-parallel engine can
+    /// split the fleet into disjoint `&mut Gpu` borrows for scoped threads.
+    pub fn devices_mut(&mut self) -> &mut [Gpu] {
+        &mut self.devices
     }
 
     /// Swaps in a replacement device (an engine rebuilding a device after
@@ -308,7 +314,7 @@ mod tests {
         assert_eq!(agg.counters.warp_instructions, 22);
         assert_eq!(agg.blocks, 6);
         assert!((agg.seconds - 1.75).abs() < 1e-12);
-        assert_eq!(agg.name, "fleet-aggregate");
+        assert_eq!(&*agg.name, "fleet-aggregate");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod shared;
 pub mod warp;
 
 pub use block::Block;
+pub use coalesce::CoalesceMemo;
 pub use config::DeviceConfig;
 pub use counters::{KernelStats, Mask, WARP};
 pub use device::{Gpu, KernelDesc};

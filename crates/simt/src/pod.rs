@@ -1,5 +1,14 @@
 //! Plain-old-data marker for values that can live in simulated device memory.
 
+use std::cell::RefCell;
+use std::thread::LocalKey;
+
+/// Per-type thread-local free list of scratch buffers, recycled by
+/// [`crate::SharedVec`] on drop and reused by `shared_alloc`. A generic
+/// default method cannot own a `static` naming `Self`, so each `Pod` impl
+/// supplies its own via [`impl_pod!`].
+pub type ScratchPool<T> = LocalKey<RefCell<Vec<Vec<T>>>>;
+
 /// Types storable in device/shared memory.
 ///
 /// `SIZE` is the *device-side* size in bytes used for address math and
@@ -10,18 +19,36 @@
 pub trait Pod: Copy + Default + Send + Sync + 'static {
     /// Device-side size in bytes.
     const SIZE: u32 = std::mem::size_of::<Self>() as u32;
+
+    /// This type's thread-local shared-memory scratch pool.
+    fn scratch_pool() -> &'static ScratchPool<Self>;
 }
 
-impl Pod for u8 {}
-impl Pod for u16 {}
-impl Pod for u32 {}
-impl Pod for u64 {}
-impl Pod for i32 {}
-impl Pod for i64 {}
-impl Pod for f32 {}
-impl Pod for f64 {}
-impl Pod for (u32, u32) {}
-impl Pod for (f32, f32) {}
+macro_rules! impl_pod {
+    ($($t:ty),* $(,)?) => {$(
+        impl Pod for $t {
+            fn scratch_pool() -> &'static ScratchPool<Self> {
+                thread_local! {
+                    static POOL: RefCell<Vec<Vec<$t>>> = const { RefCell::new(Vec::new()) };
+                }
+                &POOL
+            }
+        }
+    )*};
+}
+
+impl_pod!(
+    u8,
+    u16,
+    u32,
+    u64,
+    i32,
+    i64,
+    f32,
+    f64,
+    (u32, u32),
+    (f32, f32)
+);
 
 #[cfg(test)]
 mod tests {

@@ -71,7 +71,7 @@ impl Profile {
     pub fn aggregates(&self) -> BTreeMap<String, KernelAggregate> {
         let mut map: BTreeMap<String, KernelAggregate> = BTreeMap::new();
         for s in &self.log {
-            map.entry(s.name.clone()).or_default().absorb(s);
+            map.entry(s.name.to_string()).or_default().absorb(s);
         }
         map
     }

@@ -14,8 +14,25 @@ pub struct SharedVec<T: Pod> {
     base: u64,
 }
 
+/// Upper bound on recycled buffers kept per type per thread; beyond this the
+/// dropped buffer is simply freed.
+const MAX_POOLED: usize = 64;
+
 impl<T: Pod> SharedVec<T> {
-    pub(crate) fn from_parts(data: Vec<T>, base: u64) -> Self {
+    /// Zero-initialized array of `len` elements, reusing a recycled buffer
+    /// from this thread's scratch pool when one is available — the per-block
+    /// `__shared__` churn of the kernel hot path must not hit the allocator.
+    pub(crate) fn recycled(len: usize, base: u64) -> Self {
+        let data = T::scratch_pool()
+            .try_with(|pool| pool.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .map(|mut v| {
+                v.clear();
+                v.resize(len, T::default());
+                v
+            })
+            .unwrap_or_else(|| vec![T::default(); len]);
         SharedVec { data, base }
     }
 
@@ -60,13 +77,29 @@ impl<T: Pod> SharedVec<T> {
     }
 }
 
+impl<T: Pod> Drop for SharedVec<T> {
+    fn drop(&mut self) {
+        let data = std::mem::take(&mut self.data);
+        if data.capacity() == 0 {
+            return;
+        }
+        // try_with: silently skip recycling during thread teardown.
+        let _ = T::scratch_pool().try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(data);
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn addressing() {
-        let s: SharedVec<f32> = SharedVec::from_parts(vec![0.0; 4], 128);
+        let s: SharedVec<f32> = SharedVec::recycled(4, 128);
         assert_eq!(s.addr(0), 128);
         assert_eq!(s.addr(2), 136);
         assert_eq!(s.len(), 4);
