@@ -21,6 +21,7 @@
 //! (queue BFS, Dijkstra, union-find, max-min Dijkstra) that do not share a
 //! line of code with the vertex programs.
 
+pub mod batch;
 pub mod bfs;
 pub mod cc;
 pub mod circuit;
@@ -32,6 +33,7 @@ pub mod reference;
 pub mod sssp;
 pub mod sswp;
 
+pub use batch::{extract_lane, plan_pairs, FusedPair, TraversalKind};
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
 pub use circuit::CircuitSimulation;

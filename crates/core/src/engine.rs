@@ -90,6 +90,13 @@ pub struct CuShaConfig {
     /// Silent-data-corruption defense: detection mode, checkpoint cadence
     /// and the recovery-escalation budgets. Off by default (zero cost).
     pub integrity: IntegrityConfig,
+    /// Modeled-time deadline: the run is cancelled with
+    /// [`EngineError::Deadline`] at the first iteration boundary whose
+    /// modeled clock exceeds this many seconds (the CLI's `--timeout-ms`).
+    /// Enforcement shares the watchdog's iteration-boundary discipline, so
+    /// the in-flight kernel always completes and cancellation never leaves
+    /// partial device writes. `None` disables the check.
+    pub deadline_seconds: Option<f64>,
 }
 
 impl CuShaConfig {
@@ -107,6 +114,7 @@ impl CuShaConfig {
             watchdog_interval: None,
             trace: Tracer::default(),
             integrity: IntegrityConfig::default(),
+            deadline_seconds: None,
         }
     }
 
@@ -150,6 +158,12 @@ impl CuShaConfig {
         self
     }
 
+    /// Sets a modeled-time deadline in seconds.
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        self.deadline_seconds = Some(seconds);
+        self
+    }
+
     /// Checks the configuration's invariants, returning a message naming
     /// the offending field on failure. Shared by every fallible engine
     /// entry point so no `assert!` is reachable from user-supplied
@@ -174,6 +188,13 @@ impl CuShaConfig {
         if self.watchdog_interval == Some(0) {
             return Err("watchdog_interval must be nonzero when set".into());
         }
+        if let Some(d) = self.deadline_seconds {
+            if d.is_nan() || d <= 0.0 {
+                return Err(format!(
+                    "deadline_seconds must be positive when set, got {d}"
+                ));
+            }
+        }
         self.integrity.validate()?;
         Ok(())
     }
@@ -186,6 +207,93 @@ pub struct CuShaOutput<V> {
     pub values: Vec<V>,
     /// Run statistics (times, iterations, profiler counters).
     pub stats: RunStats,
+}
+
+/// A host-side graph layout — G-Shards plus, in CW mode, the Concatenated
+/// Windows arrays — prepared once and reused across runs.
+///
+/// Building the shard layout is the expensive host-side part of a run; a
+/// resident service that answers many queries over one graph builds a
+/// `PreparedLayout` per (representation, shard size) and passes it to
+/// [`try_run_warm`], paying the construction cost once. The layout is
+/// immutable: faulty or cancelled runs cannot poison it.
+#[derive(Clone, Debug)]
+pub struct PreparedLayout {
+    repr: Repr,
+    n_per: u32,
+    num_vertices: u32,
+    gs: GShards,
+    cw: Option<ConcatWindows>,
+}
+
+impl PreparedLayout {
+    /// Builds the layout for `graph` with shard size `n_per` under `repr`.
+    pub fn build(graph: &Graph, repr: Repr, n_per: u32) -> Self {
+        let gs = GShards::from_graph(graph, n_per);
+        let cw = matches!(repr, Repr::ConcatWindows).then(|| ConcatWindows::from_gshards(&gs));
+        PreparedLayout {
+            repr,
+            n_per,
+            num_vertices: graph.num_vertices(),
+            gs,
+            cw,
+        }
+    }
+
+    /// The shard size the autotuner (or an explicit override in `cfg`)
+    /// selects for a program with `value_size`-byte vertex values — the
+    /// cache key a resident caller should build layouts under.
+    pub fn select_n_per(graph: &Graph, cfg: &CuShaConfig, value_size: u32) -> u32 {
+        cfg.vertices_per_shard.unwrap_or_else(|| {
+            select_vertices_per_shard(
+                graph.num_vertices() as u64,
+                graph.num_edges() as u64,
+                value_size,
+                &cfg.device,
+                cfg.resident_blocks,
+            )
+        })
+    }
+
+    /// The representation this layout was built for.
+    pub fn repr(&self) -> Repr {
+        self.repr
+    }
+
+    /// The shard size (`|N|`) this layout was built with.
+    pub fn n_per(&self) -> u32 {
+        self.n_per
+    }
+
+    /// Number of shards in the layout.
+    pub fn num_shards(&self) -> u32 {
+        self.gs.num_shards()
+    }
+}
+
+/// Iteration-boundary hook for resident callers.
+///
+/// [`try_run_warm`] invokes [`RunObserver::on_iteration`] after every
+/// non-converged iteration, at the same boundary the watchdog and deadline
+/// checks run. Returning `false` cancels the run with
+/// [`EngineError::Deadline`] — the mechanism a query service uses to
+/// enforce per-query deadlines on a fused multi-query launch (each expired
+/// lane is dropped by the observer; the run itself is cancelled only when
+/// every lane has expired, so batch-mates are unaffected).
+pub trait RunObserver {
+    /// Called after iteration `iteration` (1-based) completed with
+    /// `updated` published vertex values, `elapsed_seconds` on the modeled
+    /// clock. Return `false` to cancel the run at this boundary.
+    fn on_iteration(&mut self, iteration: u32, updated: u64, elapsed_seconds: f64) -> bool;
+}
+
+/// Observer that never cancels (the one-shot entry points' default).
+pub struct NoopObserver;
+
+impl RunObserver for NoopObserver {
+    fn on_iteration(&mut self, _iteration: u32, _updated: u64, _elapsed: f64) -> bool {
+        true
+    }
 }
 
 /// Executes `prog` over `graph` with the given configuration.
@@ -307,25 +415,89 @@ pub fn try_run<P: VertexProgram>(
 ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;
-    let n_per = cfg.vertices_per_shard.unwrap_or_else(|| {
-        select_vertices_per_shard(
-            graph.num_vertices() as u64,
-            graph.num_edges() as u64,
-            <P::V as cusha_simt::Pod>::SIZE,
-            &cfg.device,
-            cfg.resident_blocks,
-        )
-    });
-    let gs = GShards::from_graph(graph, n_per);
-    let cw = matches!(cfg.repr, Repr::ConcatWindows).then(|| ConcatWindows::from_gshards(&gs));
+    let n_per = PreparedLayout::select_n_per(graph, cfg, <P::V as cusha_simt::Pod>::SIZE);
+    let layout = PreparedLayout::build(graph, cfg.repr, n_per);
+    try_run_warm(prog, graph, &layout, cfg, None, &mut NoopObserver)
+}
+
+/// Executes `prog` over `graph` reusing a caller-held [`PreparedLayout`] —
+/// the resident-service entry point.
+///
+/// Beyond [`try_run`]'s behavior this entry:
+///
+/// * skips shard/window construction (the layout is warm),
+/// * threads the caller's [`FaultPlan`] through the run when `fault_plan`
+///   is `Some`: the plan is installed in place of
+///   [`CuShaConfig::fault_plan`] and its advanced state (operation and
+///   flip-point counters, injection log) is written back on **every** exit
+///   path, so consumed one-shot faults and bit flips never re-fire on the
+///   next run sharing the plan,
+/// * calls `observer` at every iteration boundary; an observer returning
+///   `false` cancels the run with [`EngineError::Deadline`].
+pub fn try_run_warm<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    layout: &PreparedLayout,
+    cfg: &CuShaConfig,
+    mut fault_plan: Option<&mut FaultPlan>,
+    observer: &mut dyn RunObserver,
+) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
+    cfg.validate().map_err(EngineError::InvalidConfig)?;
+    graph.validate()?;
+    if layout.num_vertices != graph.num_vertices() {
+        return Err(EngineError::InvalidConfig(format!(
+            "layout was built for {} vertices, graph has {}",
+            layout.num_vertices,
+            graph.num_vertices()
+        )));
+    }
+    if layout.repr != cfg.repr {
+        return Err(EngineError::InvalidConfig(format!(
+            "layout was built for {}, config asks for {}",
+            layout.repr.label(),
+            cfg.repr.label()
+        )));
+    }
     let mut gpu = Gpu::new(cfg.device.clone());
     gpu.set_profiling(cfg.profile);
     // Single-device runs occupy process lane 0 of the trace; a device
     // embedded in a fleet is instead wired by `DeviceFleet::set_tracer`.
     gpu.set_tracer(cfg.trace.clone(), 0);
-    if let Some(plan) = cfg.fault_plan.clone() {
+    if let Some(plan) = fault_plan.as_deref_mut() {
+        gpu.set_fault_plan(plan.clone());
+    } else if let Some(plan) = cfg.fault_plan.clone() {
         gpu.set_fault_plan(plan);
     }
+    let result = run_core(prog, graph, layout, cfg, &mut gpu, observer);
+    // Write the advanced plan back regardless of outcome: counters consumed
+    // by a failed or cancelled run are consumed for good.
+    if let Some(slot) = fault_plan {
+        if let Some(advanced) = gpu.take_fault_plan() {
+            *slot = advanced;
+        }
+    }
+    result
+}
+
+/// The convergence loop proper, over a prepared layout and caller-owned
+/// device. Split from [`try_run_warm`] so the fault-plan writeback wraps
+/// every early return (`?`, host fallback, cancellation) in one place.
+fn run_core<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    layout: &PreparedLayout,
+    cfg: &CuShaConfig,
+    gpu: &mut Gpu,
+    observer: &mut dyn RunObserver,
+) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
+    let gs = &layout.gs;
+    let cw = layout.cw.as_ref();
+    // Per-run injection accounting must difference against the plan's
+    // starting log: a warm plan arrives with earlier runs' fires recorded.
+    let flips_baseline = gpu
+        .fault_plan()
+        .map(|p| p.injected().bit_flips)
+        .unwrap_or(0);
 
     // ---- Host-side preparation and upload (H2D) --------------------------
     let n = graph.num_vertices() as usize;
@@ -362,11 +534,11 @@ pub fn try_run<P: VertexProgram>(
     };
 
     let dest_index = gpu.try_upload(gs.dest_index())?;
-    let src_index = match &cw {
+    let src_index = match cw {
         Some(cw) => gpu.try_upload(cw.src_index())?,
         None => gpu.try_upload(gs.src_index())?,
     };
-    let mapper_buf: Option<DevVec<u32>> = match cw.as_ref() {
+    let mapper_buf: Option<DevVec<u32>> = match cw {
         Some(cw) => Some(gpu.try_upload(cw.mapper())?),
         None => None,
     };
@@ -445,7 +617,8 @@ pub fn try_run<P: VertexProgram>(
             sdc.flips_injected = gpu
                 .fault_plan()
                 .map(|p| p.injected().bit_flips)
-                .unwrap_or(0);
+                .unwrap_or(0)
+                - flips_baseline;
             let mut out = run_fallback(prog, graph, cfg)?;
             out.stats.sdc = sdc;
             return Ok(out);
@@ -468,7 +641,7 @@ pub fn try_run<P: VertexProgram>(
                     || checksum(src_value.host()) != sv_crc)
             {
                 if sdc_recover(
-                    &mut gpu,
+                    gpu,
                     integ,
                     Detector::Checksum,
                     &mut sdc,
@@ -566,7 +739,7 @@ pub fn try_run<P: VertexProgram>(
                 // Stage 4: write-back to the windows in all shards.
                 b.phase("compact");
                 if block_updated {
-                    match &cw {
+                    match cw {
                         None => {
                             // G-Shards: one warp walks each window W_sj, first
                             // fetching its boundary from the offset table.
@@ -641,6 +814,25 @@ pub fn try_run<P: VertexProgram>(
                 converged = true;
                 break;
             }
+            // Iteration-boundary cancellation: the modeled-time deadline and
+            // the caller's observer share the watchdog's discipline — the
+            // in-flight kernel has completed, so aborting here never leaves
+            // partial device writes behind.
+            let elapsed = gpu.total_seconds();
+            if let Some(d) = cfg.deadline_seconds {
+                if elapsed >= d {
+                    return Err(EngineError::Deadline {
+                        iterations: total.iterations,
+                        elapsed_seconds: elapsed,
+                    });
+                }
+            }
+            if !observer.on_iteration(total.iterations, updated_this_iter, elapsed) {
+                return Err(EngineError::Deadline {
+                    iterations: total.iterations,
+                    elapsed_seconds: elapsed,
+                });
+            }
             // Checkpoint boundary: download the state (real, charged D2H),
             // verify the algorithm invariant against the last verified
             // snapshot, and store it as the new rollback target.
@@ -651,7 +843,7 @@ pub fn try_run<P: VertexProgram>(
                     let prev = &ckpts.latest().expect("initial checkpoint").values;
                     if prog.check_invariant(prev, &vals).is_err() {
                         if sdc_recover(
-                            &mut gpu,
+                            gpu,
                             integ,
                             Detector::Invariant,
                             &mut sdc,
@@ -714,7 +906,7 @@ pub fn try_run<P: VertexProgram>(
         // share of the next pass.)
         if integ.mode.checksums() && checksum(&values) != vv_crc {
             if sdc_recover(
-                &mut gpu,
+                gpu,
                 integ,
                 Detector::Checksum,
                 &mut sdc,
@@ -755,7 +947,8 @@ pub fn try_run<P: VertexProgram>(
     sdc.flips_injected = gpu
         .fault_plan()
         .map(|p| p.injected().bit_flips)
-        .unwrap_or(0);
+        .unwrap_or(0)
+        - flips_baseline;
     total.sdc = sdc;
     let output = CuShaOutput {
         values,

@@ -65,6 +65,19 @@ pub enum EngineError<V> {
         /// Iterations completed when the cycle was detected.
         iterations: u32,
     },
+    /// The run's modeled-time deadline expired before convergence. Like the
+    /// watchdog, the deadline is enforced at iteration boundaries — the
+    /// kernel in flight always completes — so a cancelled run leaves no
+    /// partially-written state behind. Raised by
+    /// [`CuShaConfig::deadline_seconds`](crate::CuShaConfig) (the CLI's
+    /// `--timeout-ms`) and by a resident caller's
+    /// [`RunObserver`](crate::engine::RunObserver) cancelling the run.
+    Deadline {
+        /// Iterations completed when the deadline was enforced.
+        iterations: u32,
+        /// Modeled seconds elapsed at the enforcing iteration boundary.
+        elapsed_seconds: f64,
+    },
 }
 
 impl<V> EngineError<V> {
@@ -78,6 +91,7 @@ impl<V> EngineError<V> {
             EngineError::KernelFault { .. } => "kernel-fault",
             EngineError::NonConverged { .. } => "non-converged",
             EngineError::Watchdog { .. } => "watchdog",
+            EngineError::Deadline { .. } => "deadline",
         }
     }
 }
@@ -144,6 +158,15 @@ impl<V> std::fmt::Display for EngineError<V> {
                 f,
                 "watchdog detected a livelock after {iterations} iterations: \
                  values revisit an earlier state without converging"
+            ),
+            EngineError::Deadline {
+                iterations,
+                elapsed_seconds,
+            } => write!(
+                f,
+                "deadline expired after {iterations} iterations \
+                 ({:.6} modeled ms elapsed)",
+                elapsed_seconds * 1e3
             ),
         }
     }

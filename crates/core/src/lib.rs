@@ -39,7 +39,10 @@ pub mod windows;
 
 pub use autotune::select_vertices_per_shard;
 pub use cw::ConcatWindows;
-pub use engine::{run, try_run, CuShaConfig, CuShaOutput, Repr};
+pub use engine::{
+    run, try_run, try_run_warm, CuShaConfig, CuShaOutput, NoopObserver, PreparedLayout, Repr,
+    RunObserver,
+};
 pub use error::EngineError;
 pub use fallback::run_fallback;
 pub use integrity::{CheckpointManager, IntegrityConfig, IntegrityMode};

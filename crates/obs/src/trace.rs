@@ -31,6 +31,8 @@ pub mod lanes {
     pub const KERNEL: u32 = 2;
     /// Fault-recovery instants (retries, rebatches, degradations).
     pub const FAULT: u32 = 3;
+    /// Query-service spans: admission, batch assembly, per-query lifecycle.
+    pub const SERVE: u32 = 4;
     /// Per-SM occupancy lanes start here: `SM_BASE + sm_index`.
     pub const SM_BASE: u32 = 16;
 }

@@ -1,0 +1,180 @@
+//! The service's LRU result cache.
+//!
+//! Keys are `(graph_rev, program, source_set, integrity_mode)` — every
+//! input that determines a query's answer bit-for-bit. `graph_rev` is the
+//! structural fingerprint of the loaded graph, so a reloaded or mutated
+//! graph can never serve stale answers; `integrity_mode` is in the key
+//! because a degraded mode is an observable contract, not an optimization
+//! detail. Values are stored as 64-bit patterns ([`cusha_core::Value`]
+//! bits), so one cache serves `u32`, `u64` and `f32` programs alike.
+
+use std::collections::HashMap;
+
+/// A cached, fully-converged query answer.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// Iterations the original run took.
+    pub iterations: u32,
+    /// Modeled GPU seconds the original run took.
+    pub modeled_seconds: f64,
+    /// FNV-1a checksum of the value vector.
+    pub checksum: u64,
+    /// The value vector, as [`cusha_core::Value::to_bits`] patterns.
+    pub value_bits: Vec<u64>,
+}
+
+/// Fixed-capacity LRU map from flat cache keys to results.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, (u64, CachedResult)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Builds the flat cache key.
+pub fn cache_key(graph_rev: u64, program: &str, sources: &[u32], integrity: &str) -> String {
+    let mut key = format!("{graph_rev:016x}/{program}/");
+    for (i, s) in sources.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(&s.to_string());
+    }
+    key.push('/');
+    key.push_str(integrity);
+    key
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<CachedResult> {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((stamp, result)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(result.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `result` under `key`, evicting the least-recently-used
+    /// entry when full.
+    pub fn put(&mut self, key: String, result: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, result));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops every entry (the scrub path's cache hygiene).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: u64) -> CachedResult {
+        CachedResult {
+            iterations: 1,
+            modeled_seconds: 0.0,
+            checksum: tag,
+            value_bits: vec![tag],
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_every_component() {
+        let base = cache_key(1, "bfs", &[5], "off");
+        assert_ne!(base, cache_key(2, "bfs", &[5], "off"));
+        assert_ne!(base, cache_key(1, "sssp", &[5], "off"));
+        assert_ne!(base, cache_key(1, "bfs", &[6], "off"));
+        assert_ne!(base, cache_key(1, "bfs", &[5], "full"));
+        // Source-set boundaries can't alias: [1, 23] vs [12, 3].
+        assert_ne!(
+            cache_key(1, "reach", &[1, 23], "off"),
+            cache_key(1, "reach", &[12, 3], "off")
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let mut c = ResultCache::new(2);
+        c.put("a".into(), result(1));
+        c.put("b".into(), result(2));
+        assert!(c.get("a").is_some()); // refresh "a"; "b" is now coldest
+        c.put("c".into(), result(3));
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.put("a".into(), result(1));
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.hit_miss(), (0, 1));
+    }
+
+    #[test]
+    fn hit_miss_counters_track() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get("a").is_none());
+        c.put("a".into(), result(1));
+        assert!(c.get("a").is_some());
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+}

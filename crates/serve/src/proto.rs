@@ -1,0 +1,526 @@
+//! The service wire protocol: line-delimited JSON plus a terse REPL form.
+//!
+//! One request per line, one typed response line per query — never zero,
+//! never two. Lines starting with `{` are JSON objects; anything else is
+//! the REPL shorthand (`bfs 5`, `reach 1 2 3`, `flush`, `quit`). Blank
+//! lines and `#` comments are ignored.
+//!
+//! The JSON layer is hand-rolled against the small subset the protocol
+//! needs (objects, arrays, strings, numbers, booleans, null) — the
+//! workspace builds without external crates.
+
+use cusha_graph::VertexId;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders the value back to compact JSON.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => cusha_obs::json::push_f64(out, *n),
+            Json::Str(s) => cusha_obs::json::push_str_lit(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    cusha_obs::json::push_str_lit(out, k);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses one JSON value from `s` (the whole string must be consumed).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key at offset {pos} is not a string")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                // Surrogate pairs are out of protocol scope.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            _ => return Err("bad escape".into()),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input came from &str).
+                        let rest = s_from(b, *pos);
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at offset {start}"))
+        }
+    }
+}
+
+fn s_from(b: &[u8], pos: usize) -> &str {
+    std::str::from_utf8(&b[pos..]).expect("input was a &str")
+}
+
+/// What one input line asks the service to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// A graph query to admit.
+    Query(Query),
+    /// Run everything queued.
+    Flush,
+    /// Report service counters.
+    Stats,
+    /// Flush, then stop reading.
+    Shutdown,
+    /// Nothing (blank line or comment).
+    Empty,
+}
+
+/// A single admitted-or-shed unit of work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// Client-chosen id echoed in the response (`Json::Null` = let the
+    /// service assign a sequence number).
+    pub id: Json,
+    /// The operation.
+    pub op: QueryOp,
+    /// Per-query modeled-time deadline, milliseconds.
+    pub deadline_ms: Option<f64>,
+    /// Whether the response should carry the full value vector.
+    pub want_values: bool,
+}
+
+/// The operations the service answers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOp {
+    /// A valued single-source traversal (fusable two-per-launch).
+    Traversal {
+        /// Which traversal.
+        kind: cusha_algos::TraversalKind,
+        /// Source vertex.
+        source: VertexId,
+    },
+    /// Multi-source reachability (up to 64 sources, bitset-packed with
+    /// other `reach` queries in the same batch).
+    Reach {
+        /// Source vertices.
+        sources: Vec<VertexId>,
+    },
+    /// Whole-graph PageRank refresh.
+    PageRank,
+    /// Whole-graph connected-components refresh.
+    ConnectedComponents,
+}
+
+impl QueryOp {
+    /// Wire label of the operation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryOp::Traversal { kind, .. } => kind.label(),
+            QueryOp::Reach { .. } => "reach",
+            QueryOp::PageRank => "pagerank",
+            QueryOp::ConnectedComponents => "cc",
+        }
+    }
+}
+
+/// Parses one input line (JSON or REPL shorthand) into a [`Request`].
+pub fn parse_line(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Request::Empty);
+    }
+    if line.starts_with('{') {
+        parse_json_request(line)
+    } else {
+        parse_repl_request(line)
+    }
+}
+
+fn parse_json_request(line: &str) -> Result<Request, String> {
+    let v = parse_json(line)?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing \"op\" field")?;
+    match op {
+        "flush" => return Ok(Request::Flush),
+        "stats" => return Ok(Request::Stats),
+        "shutdown" | "quit" => return Ok(Request::Shutdown),
+        _ => {}
+    }
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(d) => {
+            let d = d.as_f64().ok_or("\"deadline_ms\" must be a number")?;
+            if d.is_nan() || d <= 0.0 {
+                return Err("\"deadline_ms\" must be positive".into());
+            }
+            Some(d)
+        }
+    };
+    let want_values = v
+        .get("values")
+        .map(|b| b.as_bool().ok_or("\"values\" must be a boolean"))
+        .transpose()?
+        .unwrap_or(false);
+    let source = || -> Result<VertexId, String> {
+        v.get("source")
+            .and_then(Json::as_u64)
+            .filter(|&s| s <= u32::MAX as u64)
+            .map(|s| s as VertexId)
+            .ok_or_else(|| format!("op {op:?} needs a \"source\" vertex id"))
+    };
+    let op = if let Some(kind) = cusha_algos::TraversalKind::parse(op) {
+        QueryOp::Traversal {
+            kind,
+            source: source()?,
+        }
+    } else {
+        match op {
+            "reach" => {
+                let arr = match v.get("sources") {
+                    Some(Json::Arr(items)) => items,
+                    _ => return Err("op \"reach\" needs a \"sources\" array".into()),
+                };
+                let sources: Option<Vec<VertexId>> = arr
+                    .iter()
+                    .map(|x| {
+                        x.as_u64()
+                            .filter(|&s| s <= u32::MAX as u64)
+                            .map(|s| s as VertexId)
+                    })
+                    .collect();
+                QueryOp::Reach {
+                    sources: sources.ok_or("\"sources\" must be vertex ids")?,
+                }
+            }
+            "pagerank" | "pr" => QueryOp::PageRank,
+            "cc" => QueryOp::ConnectedComponents,
+            other => return Err(format!("unknown op {other:?}")),
+        }
+    };
+    Ok(Request::Query(Query {
+        id,
+        op,
+        deadline_ms,
+        want_values,
+    }))
+}
+
+fn parse_repl_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let head = words.next().expect("line is non-empty");
+    let rest: Vec<&str> = words.collect();
+    let sources = || -> Result<Vec<VertexId>, String> {
+        rest.iter()
+            .map(|w| w.parse::<u32>().map_err(|_| format!("bad vertex id {w:?}")))
+            .collect()
+    };
+    let one_source = || -> Result<VertexId, String> {
+        match sources()?.as_slice() {
+            [s] => Ok(*s),
+            _ => Err(format!("usage: {head} <source>")),
+        }
+    };
+    let q = |op: QueryOp| {
+        Ok(Request::Query(Query {
+            id: Json::Null,
+            op,
+            deadline_ms: None,
+            want_values: false,
+        }))
+    };
+    match head {
+        "flush" => Ok(Request::Flush),
+        "stats" => Ok(Request::Stats),
+        "quit" | "exit" | "shutdown" => Ok(Request::Shutdown),
+        "bfs" | "sssp" | "sswp" => q(QueryOp::Traversal {
+            kind: cusha_algos::TraversalKind::parse(head).expect("matched above"),
+            source: one_source()?,
+        }),
+        "reach" => q(QueryOp::Reach {
+            sources: sources()?,
+        }),
+        "pagerank" | "pr" => q(QueryOp::PageRank),
+        "cc" => q(QueryOp::ConnectedComponents),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_algos::TraversalKind;
+
+    #[test]
+    fn json_round_trips() {
+        let v = parse_json(r#"{"a":[1,2.5,-3],"b":"x\ny","c":true,"d":null}"#).unwrap();
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(true));
+        let mut out = String::new();
+        v.render(&mut out);
+        let again = parse_json(&out).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("12 34").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn query_lines_parse() {
+        let r = parse_line(r#"{"id":7,"op":"sssp","source":5,"deadline_ms":2.5}"#).unwrap();
+        match r {
+            Request::Query(q) => {
+                assert_eq!(q.id, Json::Num(7.0));
+                assert_eq!(q.deadline_ms, Some(2.5));
+                assert_eq!(
+                    q.op,
+                    QueryOp::Traversal {
+                        kind: TraversalKind::Sssp,
+                        source: 5
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_line("flush").unwrap(), Request::Flush);
+        assert_eq!(parse_line("  # comment").unwrap(), Request::Empty);
+        assert_eq!(parse_line("").unwrap(), Request::Empty);
+        assert_eq!(
+            parse_line(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn repl_lines_parse() {
+        match parse_line("bfs 12").unwrap() {
+            Request::Query(q) => assert_eq!(
+                q.op,
+                QueryOp::Traversal {
+                    kind: TraversalKind::Bfs,
+                    source: 12
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+        match parse_line("reach 1 2 3").unwrap() {
+            Request::Query(q) => assert_eq!(
+                q.op,
+                QueryOp::Reach {
+                    sources: vec![1, 2, 3]
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_line("bfs").is_err());
+        assert!(parse_line("warp 9").is_err());
+    }
+
+    #[test]
+    fn bad_deadlines_are_rejected() {
+        assert!(parse_line(r#"{"op":"bfs","source":1,"deadline_ms":0}"#).is_err());
+        assert!(parse_line(r#"{"op":"bfs","source":1,"deadline_ms":-4}"#).is_err());
+    }
+}

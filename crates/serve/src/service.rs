@@ -1,0 +1,977 @@
+//! The resident query service.
+//!
+//! Lifecycle of a query: **admission** (bounded queue; shed with a typed
+//! rejection when full) → **batching** at flush (same-kind traversals fuse
+//! two-per-launch, `reach` queries bitset-pack up to 64 sources per
+//! launch) → **launch** on warm shard layouts (built once per value size,
+//! never rebuilt unless scrubbed) → **settle** (exactly one typed response
+//! per admitted query, in arrival order).
+//!
+//! Isolation guarantees:
+//!
+//! * A query whose modeled-time **deadline** expires is cancelled at the
+//!   next iteration boundary and settles `deadline`; its batch-mates keep
+//!   running and settle normally. The whole launch is abandoned only when
+//!   every lane in it has expired.
+//! * A launch that trips the **fault** ladder is retried with modeled
+//!   backoff; when retries are exhausted a multi-query launch is split
+//!   into singletons so only the genuinely poisoned query settles
+//!   `failed` — and the warm state is scrubbed (layouts dropped and
+//!   rebuilt) so subsequent queries see a clean device.
+//! * **SDC** never surfaces as a failure: the engine's internal
+//!   checkpoint/rollback ladder recovers, and the service only forwards
+//!   the detection counters into its metrics.
+//! * The **result cache** key is `(graph_rev, program, source_set,
+//!   integrity_mode)` — every input that determines the answer — with LRU
+//!   eviction; hits settle at admission without touching the device.
+
+use crate::admission::{AdmissionQueue, Admitted, ShedReason};
+use crate::cache::{cache_key, CachedResult, ResultCache};
+use crate::proto::{parse_line, Json, Query, QueryOp, Request};
+use cusha_algos::{
+    extract_lane, Bfs, ConnectedComponents, FusedPair, MultiSourceBfs, PageRank, Sssp, Sswp,
+    TraversalKind,
+};
+use cusha_core::integrity::checksum;
+use cusha_core::{
+    try_run_warm, CuShaConfig, CuShaOutput, EngineError, IntegrityConfig, IntegrityMode,
+    PreparedLayout, Repr, RunObserver, RunStats, Value, VertexProgram,
+};
+use cusha_graph::Graph;
+use cusha_obs::json::{push_f64, push_str_lit};
+use cusha_obs::trace::lanes;
+use cusha_obs::{MetricsRegistry, Tracer};
+use cusha_simt::{DeviceConfig, FaultPlan};
+use std::collections::HashMap;
+
+/// Modeled seconds of backoff before retry attempt `n` (0-based):
+/// 0.1 ms, 0.2 ms, 0.4 ms, ... capped at attempt 10.
+fn backoff_seconds(attempt: u32) -> f64 {
+    1e-4 * f64::from(1u32 << attempt.min(10))
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// CuSha representation for every launch.
+    pub repr: Repr,
+    /// Explicit shard size; `None` = autotune per value size.
+    pub vertices_per_shard: Option<u32>,
+    /// Per-run iteration cap.
+    pub max_iterations: u32,
+    /// Simulated device.
+    pub device: DeviceConfig,
+    /// Admission queue capacity (queries between flushes).
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Fault retries per launch before splitting / failing.
+    pub max_retries: u32,
+    /// Default per-query deadline (ms of modeled time) when a query does
+    /// not carry one. `None` = no default deadline.
+    pub default_deadline_ms: Option<f64>,
+    /// Livelock watchdog interval forwarded to the engine.
+    pub watchdog_interval: Option<u32>,
+    /// SDC defense configuration forwarded to the engine.
+    pub integrity: IntegrityConfig,
+    /// Fault-injection schedule; lives with the service and advances
+    /// across queries (a consumed one-shot fault never re-fires).
+    pub fault_plan: Option<FaultPlan>,
+    /// Span sink (the service emits on [`lanes::SERVE`]).
+    pub trace: Tracer,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            repr: Repr::ConcatWindows,
+            vertices_per_shard: None,
+            max_iterations: 10_000,
+            device: DeviceConfig::gtx780(),
+            queue_capacity: 64,
+            cache_capacity: 128,
+            max_retries: 3,
+            default_deadline_ms: None,
+            watchdog_interval: None,
+            integrity: IntegrityConfig::default(),
+            fault_plan: None,
+            trace: Tracer::default(),
+        }
+    }
+}
+
+fn integrity_label(mode: IntegrityMode) -> &'static str {
+    match mode {
+        IntegrityMode::Off => "off",
+        IntegrityMode::Checksum => "checksum",
+        IntegrityMode::Invariant => "invariant",
+        IntegrityMode::Full => "full",
+    }
+}
+
+/// Structural fingerprint of the loaded graph (FNV-1a over the vertex
+/// count and every edge) — the `graph_rev` component of cache keys.
+pub fn graph_rev(graph: &Graph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    fold(graph.num_vertices() as u64);
+    for e in graph.edges() {
+        fold((e.src as u64) << 32 | e.dst as u64);
+        fold(e.weight as u64);
+    }
+    h
+}
+
+/// Per-lane deadline tracking at iteration boundaries.
+///
+/// Lane `l` expires at the first boundary whose modeled elapsed time
+/// reaches `deadline_s[l]`; the run is cancelled (observer returns
+/// `false` → [`EngineError::Deadline`]) only once *every* lane has
+/// expired, so batch-mates of an expired query are never aborted.
+struct DeadlineObserver {
+    deadline_s: Vec<Option<f64>>,
+    expired: Vec<Option<(u32, f64)>>,
+}
+
+impl DeadlineObserver {
+    fn new(deadline_s: Vec<Option<f64>>) -> Self {
+        let n = deadline_s.len();
+        DeadlineObserver {
+            deadline_s,
+            expired: vec![None; n],
+        }
+    }
+}
+
+impl RunObserver for DeadlineObserver {
+    fn on_iteration(&mut self, iteration: u32, _updated: u64, elapsed_seconds: f64) -> bool {
+        for (l, d) in self.deadline_s.iter().enumerate() {
+            if self.expired[l].is_none() {
+                if let Some(d) = d {
+                    if elapsed_seconds >= *d {
+                        self.expired[l] = Some((iteration, elapsed_seconds));
+                    }
+                }
+            }
+        }
+        !self.expired.iter().all(Option::is_some)
+    }
+}
+
+/// How one engine launch (with retries) ended, per lane.
+enum Outcome<V> {
+    /// The run finished; lanes that expired on the way carry their expiry.
+    Done {
+        out: Box<CuShaOutput<V>>,
+        expired: Vec<Option<(u32, f64)>>,
+    },
+    /// Every lane expired and the run was abandoned.
+    AllExpired { expired: Vec<(u32, f64)> },
+    /// A non-retryable engine error (watchdog, non-convergence, bad
+    /// config): every lane settles `failed` with this reason.
+    Typed { kind: &'static str, detail: String },
+    /// Device faults survived every retry.
+    FaultExhausted { detail: String },
+}
+
+/// One query's settled response, pre-rendering.
+enum Settled {
+    Ok {
+        iterations: u32,
+        modeled_seconds: f64,
+        checksum: u64,
+        cached: bool,
+        value_bits: Option<Vec<u64>>,
+    },
+    Deadline {
+        iterations: u32,
+        elapsed_seconds: f64,
+    },
+    Failed {
+        reason: &'static str,
+        detail: String,
+    },
+    Rejected {
+        reason: &'static str,
+    },
+}
+
+/// The resident service: one loaded graph, warm layouts, a stream of
+/// queries. Drive it with [`Service::handle_line`] (one input line →
+/// zero or more response lines) or [`run_session`].
+pub struct Service {
+    graph: Graph,
+    cfg: ServeConfig,
+    rev: u64,
+    layouts: HashMap<u32, PreparedLayout>,
+    plan: Option<FaultPlan>,
+    cache: ResultCache,
+    queue: AdmissionQueue,
+    metrics: MetricsRegistry,
+    assigned_ids: u64,
+    clock: f64,
+    shut_down: bool,
+}
+
+impl Service {
+    /// Builds a service over `graph`. The graph is validated once here;
+    /// layouts are built lazily on first use per value size.
+    pub fn new(graph: Graph, cfg: ServeConfig) -> Result<Self, String> {
+        graph.validate().map_err(|e| e.to_string())?;
+        Self::engine_cfg_for(&cfg).validate()?;
+        cfg.trace.name_lane(0, lanes::SERVE, "service");
+        let rev = graph_rev(&graph);
+        let plan = cfg.fault_plan.clone();
+        let cache = ResultCache::new(cfg.cache_capacity);
+        let queue = AdmissionQueue::new(cfg.queue_capacity);
+        Ok(Service {
+            graph,
+            cfg,
+            rev,
+            layouts: HashMap::new(),
+            plan,
+            cache,
+            queue,
+            metrics: MetricsRegistry::new(),
+            assigned_ids: 0,
+            clock: 0.0,
+            shut_down: false,
+        })
+    }
+
+    /// The loaded graph's structural fingerprint.
+    pub fn graph_rev(&self) -> u64 {
+        self.rev
+    }
+
+    /// Whether `shutdown` (or EOF handling) has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.shut_down
+    }
+
+    /// The service's metrics registry (`serve_*` series plus the
+    /// per-launch engine series).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn engine_cfg_for(cfg: &ServeConfig) -> CuShaConfig {
+        let mut c = CuShaConfig::new(cfg.repr);
+        c.vertices_per_shard = cfg.vertices_per_shard;
+        c.max_iterations = cfg.max_iterations;
+        c.device = cfg.device.clone();
+        c.watchdog_interval = cfg.watchdog_interval;
+        c.integrity = cfg.integrity;
+        c.trace = cfg.trace.clone();
+        c
+    }
+
+    /// Handles one input line, returning the response lines it settles
+    /// (possibly none: an admitted query settles at the next flush).
+    pub fn handle_line(&mut self, line: &str) -> Vec<String> {
+        match parse_line(line) {
+            Ok(Request::Empty) => Vec::new(),
+            Ok(Request::Query(q)) => self.admit(q).into_iter().collect(),
+            Ok(Request::Flush) => {
+                let mut out = self.flush();
+                out.push(format!(
+                    "{{\"status\":\"flushed\",\"settled\":{}}}",
+                    out.len()
+                ));
+                out
+            }
+            Ok(Request::Stats) => vec![self.render_stats()],
+            Ok(Request::Shutdown) => self.shutdown(),
+            Err(msg) => {
+                let mut out =
+                    String::from("{\"status\":\"error\",\"reason\":\"parse\",\"detail\":");
+                push_str_lit(&mut out, &msg);
+                out.push('}');
+                vec![out]
+            }
+        }
+    }
+
+    /// Flushes the queue and marks the service stopped. Idempotent.
+    pub fn shutdown(&mut self) -> Vec<String> {
+        if self.shut_down {
+            return vec!["{\"status\":\"shutdown\"}".to_string()];
+        }
+        let mut out = self.flush();
+        self.shut_down = true;
+        out.push("{\"status\":\"shutdown\"}".to_string());
+        out
+    }
+
+    /// Admits (or immediately settles) one query. Returns a response line
+    /// for cache hits, rejections and invalid sources; `None` when the
+    /// query is queued for the next flush.
+    fn admit(&mut self, mut q: Query) -> Option<String> {
+        self.metrics.add("serve_queries_total", &[], 1);
+        if q.id == Json::Null {
+            self.assigned_ids += 1;
+            q.id = Json::Num(self.assigned_ids as f64);
+        }
+        if let Some(reason) = self.validate_query(&q.op) {
+            return Some(self.shed(&q, reason));
+        }
+        if self.shut_down {
+            return Some(self.shed(&q, ShedReason::ShuttingDown));
+        }
+        // Cache pass: a hit settles at the door without queue or device.
+        let key = self.query_key(&q.op);
+        if let Some(hit) = self.cache.get(&key) {
+            self.metrics.add("serve_cache_hits_total", &[], 1);
+            let settled = Settled::Ok {
+                iterations: hit.iterations,
+                modeled_seconds: hit.modeled_seconds,
+                checksum: hit.checksum,
+                cached: true,
+                value_bits: q.want_values.then(|| hit.value_bits.clone()),
+            };
+            self.metrics
+                .add("serve_responses_total", &[("status", "ok")], 1);
+            return Some(render_response(&q, &settled));
+        }
+        self.metrics.add("serve_cache_misses_total", &[], 1);
+        match self.queue.admit(q.clone()) {
+            Ok(_) => {
+                self.metrics
+                    .set_gauge("serve_queue_depth", &[], self.queue.depth() as f64);
+                None
+            }
+            Err(reason) => Some(self.shed(&q, reason)),
+        }
+    }
+
+    fn shed(&mut self, q: &Query, reason: ShedReason) -> String {
+        self.metrics
+            .add("serve_shed_total", &[("reason", reason.label())], 1);
+        self.metrics
+            .add("serve_responses_total", &[("status", "rejected")], 1);
+        self.cfg
+            .trace
+            .instant(0, lanes::SERVE, "serve", "shed", self.clock);
+        render_response(
+            q,
+            &Settled::Rejected {
+                reason: reason.label(),
+            },
+        )
+    }
+
+    fn validate_query(&self, op: &QueryOp) -> Option<ShedReason> {
+        let n = self.graph.num_vertices();
+        match op {
+            QueryOp::Traversal { source, .. } => (*source >= n).then_some(ShedReason::BadSource),
+            QueryOp::Reach { sources } => {
+                if sources.is_empty() || sources.len() > 64 {
+                    Some(ShedReason::BadSourceSet)
+                } else if sources.iter().any(|&s| s >= n) {
+                    Some(ShedReason::BadSource)
+                } else {
+                    None
+                }
+            }
+            QueryOp::PageRank | QueryOp::ConnectedComponents => None,
+        }
+    }
+
+    fn query_key(&self, op: &QueryOp) -> String {
+        let integ = integrity_label(self.cfg.integrity.mode);
+        match op {
+            QueryOp::Traversal { kind, source } => {
+                cache_key(self.rev, kind.label(), &[*source], integ)
+            }
+            QueryOp::Reach { sources } => cache_key(self.rev, "reach", sources, integ),
+            QueryOp::PageRank => cache_key(self.rev, "pagerank", &[], integ),
+            QueryOp::ConnectedComponents => cache_key(self.rev, "cc", &[], integ),
+        }
+    }
+
+    /// Runs everything queued; responses come back in arrival order.
+    pub fn flush(&mut self) -> Vec<String> {
+        let admitted = self.queue.drain();
+        self.metrics.set_gauge("serve_queue_depth", &[], 0.0);
+        if admitted.is_empty() {
+            return Vec::new();
+        }
+        let flush_start = self.clock;
+        self.metrics.add("serve_flushes_total", &[], 1);
+        self.metrics
+            .set_gauge("serve_inflight", &[], admitted.len() as f64);
+        let mut settled: Vec<Option<Settled>> = admitted.iter().map(|_| None).collect();
+
+        // Valued traversals, fused two-per-launch per kind.
+        for kind in [TraversalKind::Bfs, TraversalKind::Sssp, TraversalKind::Sswp] {
+            let idxs: Vec<usize> = admitted
+                .iter()
+                .enumerate()
+                .filter(
+                    |(_, a)| matches!(a.query.op, QueryOp::Traversal { kind: k, .. } if k == kind),
+                )
+                .map(|(i, _)| i)
+                .collect();
+            for pair in idxs.chunks(2) {
+                self.run_traversal_pair(kind, pair, &admitted, &mut settled);
+            }
+        }
+
+        // Reach queries, bitset-packed greedily up to 64 sources per launch.
+        let reach_idxs: Vec<usize> = admitted
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a.query.op, QueryOp::Reach { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let mut group: Vec<usize> = Vec::new();
+        let mut group_bits = 0usize;
+        for &i in &reach_idxs {
+            let w = match &admitted[i].query.op {
+                QueryOp::Reach { sources } => sources.len(),
+                _ => unreachable!(),
+            };
+            if group_bits + w > 64 && !group.is_empty() {
+                self.run_reach_group(&group, &admitted, &mut settled);
+                group.clear();
+                group_bits = 0;
+            }
+            group.push(i);
+            group_bits += w;
+        }
+        if !group.is_empty() {
+            self.run_reach_group(&group, &admitted, &mut settled);
+        }
+
+        // Whole-graph refreshes, one launch each.
+        for (i, a) in admitted.iter().enumerate() {
+            match a.query.op {
+                QueryOp::PageRank => {
+                    let outcome = self.launch(&PageRank::new(), &[self.deadline_of(&a.query)]);
+                    self.settle_single(i, a, outcome, &mut settled);
+                }
+                QueryOp::ConnectedComponents => {
+                    let outcome =
+                        self.launch(&ConnectedComponents::new(), &[self.deadline_of(&a.query)]);
+                    self.settle_single(i, a, outcome, &mut settled);
+                }
+                _ => {}
+            }
+        }
+
+        self.metrics.set_gauge("serve_inflight", &[], 0.0);
+        self.metrics
+            .set_gauge("serve_clock_seconds", &[], self.clock);
+        self.cfg.trace.complete(
+            0,
+            lanes::SERVE,
+            "serve",
+            "flush",
+            flush_start,
+            self.clock - flush_start,
+        );
+        admitted
+            .iter()
+            .zip(settled)
+            .map(|(a, s)| {
+                let s = s.expect("every admitted query settles exactly once");
+                let status = match &s {
+                    Settled::Ok { .. } => "ok",
+                    Settled::Deadline { .. } => "deadline",
+                    Settled::Failed { .. } => "failed",
+                    Settled::Rejected { .. } => "rejected",
+                };
+                self.metrics
+                    .add("serve_responses_total", &[("status", status)], 1);
+                if matches!(s, Settled::Deadline { .. }) {
+                    self.metrics.add("serve_deadline_cancelled_total", &[], 1);
+                }
+                render_response(&a.query, &s)
+            })
+            .collect()
+    }
+
+    fn deadline_of(&self, q: &Query) -> Option<f64> {
+        q.deadline_ms
+            .or(self.cfg.default_deadline_ms)
+            .map(|ms| ms / 1e3)
+    }
+
+    /// One engine launch with the service's retry policy. `deadlines` has
+    /// one slot per lane; the observer state feeds per-lane settlement.
+    fn launch<P: VertexProgram>(&mut self, prog: &P, deadlines: &[Option<f64>]) -> Outcome<P::V> {
+        let ecfg = Self::engine_cfg_for(&self.cfg);
+        let n_per =
+            PreparedLayout::select_n_per(&self.graph, &ecfg, <P::V as cusha_simt::Pod>::SIZE);
+        if !self.layouts.contains_key(&n_per) {
+            self.layouts.insert(
+                n_per,
+                PreparedLayout::build(&self.graph, self.cfg.repr, n_per),
+            );
+        }
+        self.metrics.add("serve_batches_total", &[], 1);
+        self.metrics
+            .observe("serve_batch_width", &[], deadlines.len() as f64);
+        let mut attempt = 0u32;
+        loop {
+            let mut observer = DeadlineObserver::new(deadlines.to_vec());
+            let layout = self.layouts.get(&n_per).expect("inserted above");
+            let result = try_run_warm(
+                prog,
+                &self.graph,
+                layout,
+                &ecfg,
+                self.plan.as_mut(),
+                &mut observer,
+            );
+            match result {
+                Ok(out) => {
+                    self.account_run(&out.stats);
+                    return Outcome::Done {
+                        out: Box::new(out),
+                        expired: observer.expired,
+                    };
+                }
+                Err(EngineError::Deadline {
+                    iterations,
+                    elapsed_seconds,
+                }) => {
+                    self.clock += elapsed_seconds;
+                    return Outcome::AllExpired {
+                        expired: observer
+                            .expired
+                            .into_iter()
+                            .map(|e| e.unwrap_or((iterations, elapsed_seconds)))
+                            .collect(),
+                    };
+                }
+                Err(
+                    e @ (EngineError::CopyFault { .. }
+                    | EngineError::KernelFault { .. }
+                    | EngineError::DeviceOom { .. }),
+                ) => {
+                    if attempt >= self.cfg.max_retries {
+                        return Outcome::FaultExhausted {
+                            detail: e.to_string(),
+                        };
+                    }
+                    attempt += 1;
+                    let pause = backoff_seconds(attempt - 1);
+                    self.clock += pause;
+                    self.metrics.add("serve_batch_retries_total", &[], 1);
+                    self.metrics.observe("serve_backoff_seconds", &[], pause);
+                    self.cfg
+                        .trace
+                        .instant(0, lanes::SERVE, "serve", "retry", self.clock);
+                    cusha_obs::log::write(
+                        cusha_obs::log::Level::Warn,
+                        &format!("serve: retrying {} after fault: {e}", prog.name()),
+                    );
+                }
+                Err(e) => {
+                    return Outcome::Typed {
+                        kind: e.kind(),
+                        detail: e.to_string(),
+                    }
+                }
+            }
+        }
+    }
+
+    fn account_run(&mut self, stats: &RunStats) {
+        self.clock += stats.total_seconds();
+        self.metrics
+            .observe("serve_query_modeled_seconds", &[], stats.total_seconds());
+        stats
+            .fault
+            .record_metrics(&mut self.metrics, &[("scope", "serve")]);
+        stats
+            .sdc
+            .record_metrics(&mut self.metrics, &[("scope", "serve")]);
+    }
+
+    /// Drops warm state after an unrecoverable fault so later queries see
+    /// a clean slate: layouts are rebuilt on demand; verified cache
+    /// entries stay (their keys pin the graph revision and they were
+    /// settled before the fault).
+    fn scrub(&mut self) {
+        self.layouts.clear();
+        self.metrics.add("serve_scrubs_total", &[], 1);
+        self.cfg
+            .trace
+            .instant(0, lanes::SERVE, "serve", "scrub", self.clock);
+        cusha_obs::log::write(
+            cusha_obs::log::Level::Warn,
+            "serve: scrubbed warm layouts after exhausted fault retries",
+        );
+    }
+
+    fn cache_fill(&mut self, op: &QueryOp, out_iter: u32, seconds: f64, bits: Vec<u64>) -> u64 {
+        let crc = checksum(&bits);
+        let key = self.query_key(op);
+        self.cache.put(
+            key,
+            CachedResult {
+                iterations: out_iter,
+                modeled_seconds: seconds,
+                checksum: crc,
+                value_bits: bits,
+            },
+        );
+        crc
+    }
+
+    fn run_traversal_pair(
+        &mut self,
+        kind: TraversalKind,
+        pair: &[usize],
+        admitted: &[Admitted],
+        settled: &mut [Option<Settled>],
+    ) {
+        let sources: Vec<u32> = pair
+            .iter()
+            .map(|&i| match admitted[i].query.op {
+                QueryOp::Traversal { source, .. } => source,
+                _ => unreachable!(),
+            })
+            .collect();
+        let deadlines: Vec<Option<f64>> = pair
+            .iter()
+            .map(|&i| self.deadline_of(&admitted[i].query))
+            .collect();
+        let prog = FusedPair::new(kind, [Some(sources[0]), sources.get(1).copied()]);
+        match self.launch(&prog, &deadlines) {
+            Outcome::Done { out, expired } => {
+                let seconds = out.stats.total_seconds();
+                for (lane, &i) in pair.iter().enumerate() {
+                    settled[i] = Some(match expired[lane] {
+                        Some((iterations, elapsed_seconds)) => Settled::Deadline {
+                            iterations,
+                            elapsed_seconds,
+                        },
+                        None => {
+                            let values = extract_lane(&out.values, lane);
+                            let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+                            let crc = self.cache_fill(
+                                &admitted[i].query.op,
+                                out.stats.iterations,
+                                seconds,
+                                bits.clone(),
+                            );
+                            Settled::Ok {
+                                iterations: out.stats.iterations,
+                                modeled_seconds: seconds,
+                                checksum: crc,
+                                cached: false,
+                                value_bits: admitted[i].query.want_values.then_some(bits),
+                            }
+                        }
+                    });
+                }
+            }
+            Outcome::AllExpired { expired } => {
+                for (lane, &i) in pair.iter().enumerate() {
+                    settled[i] = Some(Settled::Deadline {
+                        iterations: expired[lane].0,
+                        elapsed_seconds: expired[lane].1,
+                    });
+                }
+            }
+            Outcome::Typed { kind, detail } => {
+                for &i in pair {
+                    settled[i] = Some(Settled::Failed {
+                        reason: kind,
+                        detail: detail.clone(),
+                    });
+                }
+            }
+            Outcome::FaultExhausted { detail } => {
+                if pair.len() > 1 {
+                    // Blast-radius isolation: re-run each query alone so
+                    // only the poisoned one fails.
+                    self.metrics.add("serve_splits_total", &[], 1);
+                    for &i in pair {
+                        self.run_traversal_single(kind, i, admitted, settled);
+                    }
+                } else {
+                    settled[pair[0]] = Some(Settled::Failed {
+                        reason: "fault-exhausted",
+                        detail,
+                    });
+                    self.scrub();
+                }
+            }
+        }
+    }
+
+    fn run_traversal_single(
+        &mut self,
+        kind: TraversalKind,
+        i: usize,
+        admitted: &[Admitted],
+        settled: &mut [Option<Settled>],
+    ) {
+        let source = match admitted[i].query.op {
+            QueryOp::Traversal { source, .. } => source,
+            _ => unreachable!(),
+        };
+        let deadlines = [self.deadline_of(&admitted[i].query)];
+        let outcome = match kind {
+            TraversalKind::Bfs => self.launch(&Bfs::new(source), &deadlines),
+            TraversalKind::Sssp => self.launch(&Sssp::new(source), &deadlines),
+            TraversalKind::Sswp => self.launch(&Sswp::new(source), &deadlines),
+        };
+        self.settle_single(i, &admitted[i], outcome, settled);
+    }
+
+    /// Settles one single-lane outcome (singleton traversal, PR, CC).
+    fn settle_single<V: Value>(
+        &mut self,
+        i: usize,
+        a: &Admitted,
+        outcome: Outcome<V>,
+        settled: &mut [Option<Settled>],
+    ) {
+        settled[i] = Some(match outcome {
+            Outcome::Done { out, expired } => match expired[0] {
+                Some((iterations, elapsed_seconds)) => Settled::Deadline {
+                    iterations,
+                    elapsed_seconds,
+                },
+                None => {
+                    let seconds = out.stats.total_seconds();
+                    let bits: Vec<u64> = out.values.iter().map(|v| v.to_bits()).collect();
+                    let crc =
+                        self.cache_fill(&a.query.op, out.stats.iterations, seconds, bits.clone());
+                    Settled::Ok {
+                        iterations: out.stats.iterations,
+                        modeled_seconds: seconds,
+                        checksum: crc,
+                        cached: false,
+                        value_bits: a.query.want_values.then_some(bits),
+                    }
+                }
+            },
+            Outcome::AllExpired { expired } => Settled::Deadline {
+                iterations: expired[0].0,
+                elapsed_seconds: expired[0].1,
+            },
+            Outcome::Typed { kind, detail } => Settled::Failed {
+                reason: kind,
+                detail,
+            },
+            Outcome::FaultExhausted { detail } => {
+                self.scrub();
+                Settled::Failed {
+                    reason: "fault-exhausted",
+                    detail,
+                }
+            }
+        });
+    }
+
+    fn run_reach_group(
+        &mut self,
+        group: &[usize],
+        admitted: &[Admitted],
+        settled: &mut [Option<Settled>],
+    ) {
+        let mut all_sources: Vec<u32> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::new(); // (lo bit, width)
+        for &i in group {
+            let sources = match &admitted[i].query.op {
+                QueryOp::Reach { sources } => sources,
+                _ => unreachable!(),
+            };
+            ranges.push((all_sources.len(), sources.len()));
+            all_sources.extend_from_slice(sources);
+        }
+        let deadlines: Vec<Option<f64>> = group
+            .iter()
+            .map(|&i| self.deadline_of(&admitted[i].query))
+            .collect();
+        let prog = MultiSourceBfs::new(all_sources);
+        match self.launch(&prog, &deadlines) {
+            Outcome::Done { out, expired } => {
+                let seconds = out.stats.total_seconds();
+                for (q, &i) in group.iter().enumerate() {
+                    settled[i] = Some(match expired[q] {
+                        Some((iterations, elapsed_seconds)) => Settled::Deadline {
+                            iterations,
+                            elapsed_seconds,
+                        },
+                        None => {
+                            let (lo, width) = ranges[q];
+                            let mask = if width == 64 {
+                                u64::MAX
+                            } else {
+                                (1u64 << width) - 1
+                            };
+                            let bits: Vec<u64> =
+                                out.values.iter().map(|v| (v >> lo) & mask).collect();
+                            let crc = self.cache_fill(
+                                &admitted[i].query.op,
+                                out.stats.iterations,
+                                seconds,
+                                bits.clone(),
+                            );
+                            Settled::Ok {
+                                iterations: out.stats.iterations,
+                                modeled_seconds: seconds,
+                                checksum: crc,
+                                cached: false,
+                                value_bits: admitted[i].query.want_values.then_some(bits),
+                            }
+                        }
+                    });
+                }
+            }
+            Outcome::AllExpired { expired } => {
+                for (q, &i) in group.iter().enumerate() {
+                    settled[i] = Some(Settled::Deadline {
+                        iterations: expired[q].0,
+                        elapsed_seconds: expired[q].1,
+                    });
+                }
+            }
+            Outcome::Typed { kind, detail } => {
+                for &i in group {
+                    settled[i] = Some(Settled::Failed {
+                        reason: kind,
+                        detail: detail.clone(),
+                    });
+                }
+            }
+            Outcome::FaultExhausted { detail } => {
+                if group.len() > 1 {
+                    self.metrics.add("serve_splits_total", &[], 1);
+                    for &i in group {
+                        self.run_reach_group(&[i], admitted, settled);
+                    }
+                } else {
+                    settled[group[0]] = Some(Settled::Failed {
+                        reason: "fault-exhausted",
+                        detail,
+                    });
+                    self.scrub();
+                }
+            }
+        }
+    }
+
+    fn render_stats(&mut self) -> String {
+        let (hits, misses) = self.cache.hit_miss();
+        let shed: u64 = [
+            "queue-full",
+            "bad-source",
+            "bad-source-set",
+            "shutting-down",
+        ]
+        .iter()
+        .filter_map(|r| self.metrics.counter("serve_shed_total", &[("reason", r)]))
+        .sum();
+        let mut out = String::from("{\"status\":\"stats\"");
+        out.push_str(&format!(",\"queue_depth\":{}", self.queue.depth()));
+        out.push_str(&format!(",\"admitted\":{}", self.queue.admitted_total()));
+        out.push_str(&format!(",\"shed\":{shed}"));
+        out.push_str(&format!(",\"cache_hits\":{hits}"));
+        out.push_str(&format!(",\"cache_misses\":{misses}"));
+        out.push_str(&format!(",\"cache_entries\":{}", self.cache.len()));
+        out.push_str(",\"clock_ms\":");
+        push_f64(&mut out, self.clock * 1e3);
+        out.push('}');
+        out
+    }
+}
+
+/// Renders one settled response line.
+fn render_response(q: &Query, settled: &Settled) -> String {
+    let mut out = String::from("{\"id\":");
+    q.id.render(&mut out);
+    out.push_str(",\"op\":");
+    push_str_lit(&mut out, q.op.label());
+    match settled {
+        Settled::Ok {
+            iterations,
+            modeled_seconds,
+            checksum,
+            cached,
+            value_bits,
+        } => {
+            out.push_str(",\"status\":\"ok\",\"iterations\":");
+            out.push_str(&iterations.to_string());
+            out.push_str(",\"modeled_ms\":");
+            push_f64(&mut out, modeled_seconds * 1e3);
+            out.push_str(",\"cached\":");
+            out.push_str(if *cached { "true" } else { "false" });
+            // Hex string, not a JSON number: u64 checksums overflow the
+            // 53-bit integer range f64-based JSON parsers round-trip.
+            out.push_str(",\"checksum\":");
+            push_str_lit(&mut out, &format!("{checksum:016x}"));
+            if let Some(bits) = value_bits {
+                out.push_str(",\"values\":[");
+                for (i, &b) in bits.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    match q.op {
+                        QueryOp::PageRank => push_f64(&mut out, f32::from_bits(b as u32) as f64),
+                        // Reach bitsets are u64 words; hex strings survive
+                        // f64-based JSON parsers (like the checksum).
+                        QueryOp::Reach { .. } => push_str_lit(&mut out, &format!("{b:x}")),
+                        _ => out.push_str(&(b as u32).to_string()),
+                    }
+                }
+                out.push(']');
+            }
+        }
+        Settled::Deadline {
+            iterations,
+            elapsed_seconds,
+        } => {
+            out.push_str(",\"status\":\"deadline\",\"iterations\":");
+            out.push_str(&iterations.to_string());
+            out.push_str(",\"modeled_ms\":");
+            push_f64(&mut out, elapsed_seconds * 1e3);
+        }
+        Settled::Failed { reason, detail } => {
+            out.push_str(",\"status\":\"failed\",\"reason\":");
+            push_str_lit(&mut out, reason);
+            out.push_str(",\"detail\":");
+            push_str_lit(&mut out, detail);
+        }
+        Settled::Rejected { reason } => {
+            out.push_str(",\"status\":\"rejected\",\"reason\":");
+            push_str_lit(&mut out, reason);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Drives a service over line-based input/output until EOF or shutdown.
+/// EOF without an explicit `shutdown` still flushes pending queries, so
+/// scripted sessions never lose admitted work.
+pub fn run_session<R: std::io::BufRead, W: std::io::Write>(
+    service: &mut Service,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        for response in service.handle_line(&line) {
+            writeln!(output, "{response}")?;
+        }
+        output.flush()?;
+        if service.is_shut_down() {
+            return Ok(());
+        }
+    }
+    for response in service.shutdown() {
+        writeln!(output, "{response}")?;
+    }
+    output.flush()
+}

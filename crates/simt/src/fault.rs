@@ -170,6 +170,21 @@ impl InjectionLog {
     pub fn total(&self) -> u64 {
         self.h2d + self.d2h + self.alloc + self.kernel + self.bit_flips
     }
+
+    /// Faults fired since `baseline` (an earlier snapshot of the same
+    /// plan's log). Resident services thread one [`FaultPlan`] through many
+    /// runs; per-run accounting must difference the cumulative log against
+    /// the run's starting snapshot or query N+1 would inherit query N's
+    /// counts.
+    pub fn since(&self, baseline: &InjectionLog) -> InjectionLog {
+        InjectionLog {
+            h2d: self.h2d - baseline.h2d,
+            d2h: self.d2h - baseline.d2h,
+            alloc: self.alloc - baseline.alloc,
+            kernel: self.kernel - baseline.kernel,
+            bit_flips: self.bit_flips - baseline.bit_flips,
+        }
+    }
 }
 
 #[derive(Clone, Debug, Default)]

@@ -13,8 +13,19 @@
 //!       --resident-bytes 65536 --inject seed=7,alloc@2,h2d@5,h2d@9
 //! ```
 //!
+//! `cusha serve` instead keeps the graph and shard layouts resident and
+//! answers a stream of queries over stdin/stdout (line-delimited JSON or
+//! REPL shorthand; see DESIGN.md §4.10):
+//!
+//! ```text
+//! cusha serve --rmat 12:100000 [--engine cw|gs] [--queue-capacity N]
+//!       [--cache-capacity N] [--retries N] [--deadline-ms MS]
+//!       [--inject ...] [--integrity full] [--metrics-out m.json]
+//! ```
+//!
 //! Exit codes: `0` success (including a capped, non-converged run), `1` IO
-//! failure, `2` usage error, `3` unrecovered engine error.
+//! failure, `2` usage error, `3` unrecovered engine error, `4` modeled-time
+//! deadline expired (`--timeout-ms`).
 
 use cusha::algos::{
     Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, NeuralNetwork, PageRank, Sssp,
@@ -29,6 +40,7 @@ use cusha::core::{
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::{io, Graph};
 use cusha::obs::{chrome_trace_json, log, Level, MetricsRegistry, Tracer};
+use cusha::serve::{run_session, ServeConfig, Service};
 use cusha::simt::{FaultPlan, FlipTarget, Interconnect};
 use std::io::Write;
 use std::process::exit;
@@ -36,8 +48,10 @@ use std::process::exit;
 const EXIT_IO: i32 = 1;
 const EXIT_USAGE: i32 = 2;
 const EXIT_ENGINE: i32 = 3;
+const EXIT_DEADLINE: i32 = 4;
 
 struct Args {
+    serve: bool,
     algo: String,
     input: Option<String>,
     rmat: Option<(u32, u64)>,
@@ -57,6 +71,12 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     profile: bool,
+    timeout_ms: Option<f64>,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    retries: u32,
+    deadline_ms: Option<f64>,
+    script: Option<String>,
 }
 
 /// Fleet-level counters the single-engine [`RunStats`] cannot carry; shown
@@ -76,13 +96,36 @@ fn usage_text() -> &'static str {
          \x20      [--engine <cw|gs|cw-streamed|gs-streamed|vwc:<2|4|8|16|32>|mtcpu:<threads>>]\n\
          \x20      [--source <vertex>] [--shard-size <N>] [--max-iters <n>]\n\
          \x20      [--resident-bytes <bytes>] [--watchdog <interval>]\n\
-         \x20      [--inject <spec>[,<spec>...]] [--output <path>]\n\
+         \x20      [--timeout-ms <ms>] [--inject <spec>[,<spec>...]]\n\
+         \x20      [--output <path>]\n\
          \x20      [--inject-bitflips <spec>[,<spec>...]]\n\
          \x20      [--integrity <off|checksum|invariant|full>]\n\
          \x20      [--checkpoint-every <iterations>]\n\
          \x20      [--devices <N>] [--interconnect <pcie|nvlink>]\n\
          \x20      [--trace-out <path>] [--metrics-out <path>]\n\
          \x20      [--log-level <error|warn|info|debug|trace>] [--profile]\n\
+         \x20  cusha serve (--input <path> | --rmat <scale>:<edges>)\n\
+         \x20      [--engine <cw|gs>] [--shard-size <N>] [--max-iters <n>]\n\
+         \x20      [--queue-capacity <N>] [--cache-capacity <N>]\n\
+         \x20      [--retries <N>] [--deadline-ms <ms>] [--watchdog <interval>]\n\
+         \x20      [--inject ...] [--inject-bitflips ...] [--integrity ...]\n\
+         \x20      [--script <path>] [--trace-out <path>] [--metrics-out <path>]\n\
+         \n\
+         serve keeps the graph and shard layouts resident and answers a\n\
+         stream of queries on stdin (or --script): one request per line,\n\
+         one typed JSON response per query. REPL shorthand: `bfs 5`,\n\
+         `sssp 9`, `sswp 3`, `reach 1 2 3`, `pagerank`, `cc`, `flush`,\n\
+         `stats`, `quit`; or JSON like\n\
+         \x20 {\"id\":1,\"op\":\"sssp\",\"source\":9,\"deadline_ms\":2.5}\n\
+         Queries queue at admission (shed with status \"rejected\" when\n\
+         --queue-capacity is exceeded) and run on `flush`. --deadline-ms\n\
+         sets the default per-query modeled-time deadline; --retries the\n\
+         fault-retry budget per launch; --cache-capacity the LRU result\n\
+         cache (0 disables).\n\
+         \n\
+         --timeout-ms (one-shot cw/gs only) cancels the run with a typed\n\
+         deadline error (exit code 4) at the first iteration boundary past\n\
+         that much modeled time.\n\
          \n\
          --trace-out writes a Chrome trace-event JSON of the run (load it\n\
          in chrome://tracing or https://ui.perfetto.dev): one process lane\n\
@@ -280,6 +323,7 @@ fn parse_bitflips(spec: &str, mut plan: FaultPlan) -> Result<FaultPlan, String> 
 
 fn parse_args() -> Args {
     let mut args = Args {
+        serve: false,
         algo: String::new(),
         input: None,
         rmat: None,
@@ -299,6 +343,12 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         profile: false,
+        timeout_ms: None,
+        queue_capacity: 64,
+        cache_capacity: 128,
+        retries: 3,
+        deadline_ms: None,
+        script: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -399,6 +449,38 @@ fn parse_args() -> Args {
                 log::set_level(level);
             }
             "--profile" => args.profile = true,
+            "--timeout-ms" => {
+                let ms: f64 = parsed("--timeout-ms", &take(&argv, &mut i, "--timeout-ms"));
+                if ms.is_nan() || ms <= 0.0 {
+                    usage_error(&format!(
+                        "bad value {ms} for --timeout-ms: must be positive"
+                    ));
+                }
+                args.timeout_ms = Some(ms);
+            }
+            "--queue-capacity" => {
+                let n: usize = parsed("--queue-capacity", &take(&argv, &mut i, "--queue-capacity"));
+                if n == 0 {
+                    usage_error("bad value 0 for --queue-capacity: must be at least 1");
+                }
+                args.queue_capacity = n;
+            }
+            "--cache-capacity" => {
+                args.cache_capacity =
+                    parsed("--cache-capacity", &take(&argv, &mut i, "--cache-capacity"));
+            }
+            "--retries" => args.retries = parsed("--retries", &take(&argv, &mut i, "--retries")),
+            "--deadline-ms" => {
+                let ms: f64 = parsed("--deadline-ms", &take(&argv, &mut i, "--deadline-ms"));
+                if ms.is_nan() || ms <= 0.0 {
+                    usage_error(&format!(
+                        "bad value {ms} for --deadline-ms: must be positive"
+                    ));
+                }
+                args.deadline_ms = Some(ms);
+            }
+            "--script" => args.script = Some(take(&argv, &mut i, "--script")),
+            "serve" if !args.serve => args.serve = true,
             "--help" | "-h" => {
                 println!("{}", usage_text());
                 exit(0)
@@ -407,11 +489,25 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    if args.algo.is_empty() {
+    if args.algo.is_empty() && !args.serve {
         usage_error("--algo is required");
     }
     if args.input.is_none() && args.rmat.is_none() {
         usage_error("one of --input or --rmat is required");
+    }
+    if args.serve && !matches!(args.engine.as_str(), "cw" | "gs") {
+        usage_error(&format!(
+            "cusha serve keeps shard layouts warm, so it only runs the cw/gs engines, not {:?}",
+            args.engine
+        ));
+    }
+    if args.timeout_ms.is_some()
+        && (args.serve || args.devices.is_some() || !matches!(args.engine.as_str(), "cw" | "gs"))
+    {
+        usage_error(
+            "--timeout-ms applies to one-shot cw/gs runs only \
+             (use --deadline-ms for per-query deadlines under serve)",
+        );
     }
     if args.devices.is_some() && !matches!(args.engine.as_str(), "cw" | "gs") {
         usage_error(&format!(
@@ -454,6 +550,10 @@ fn engine_result<V: Value>(r: Result<CuShaOutput<V>, EngineError<V>>) -> CuShaOu
     match r {
         Ok(out) => out,
         Err(EngineError::NonConverged { partial }) => *partial,
+        Err(e @ EngineError::Deadline { .. }) => {
+            eprintln!("cusha: engine error [{}]: {e}", e.kind());
+            exit(EXIT_DEADLINE)
+        }
         Err(e) => {
             eprintln!("cusha: engine error [{}]: {e}", e.kind());
             exit(EXIT_ENGINE)
@@ -484,6 +584,7 @@ fn execute<P: VertexProgram>(
             cfg.integrity.checkpoint_every = k;
         }
         cfg.watchdog_interval = args.watchdog;
+        cfg.deadline_seconds = args.timeout_ms.map(|ms| ms / 1e3);
         cfg.profile = args.profile;
         cfg.trace = tracer.clone();
         cfg
@@ -591,8 +692,101 @@ fn parsed_engine_num(engine: &str, val: &str) -> usize {
     n
 }
 
+/// The `cusha serve` entry point: loads the graph once, then runs the
+/// resident service loop over stdin/stdout (or `--script`), writing the
+/// metrics snapshot and trace on exit.
+fn serve_main(args: Args) -> ! {
+    let g = load_graph(&args);
+    info(&format!(
+        "{} vertices, {} edges; serving queries on {} (queue {}, cache {}, {} retries)",
+        g.num_vertices(),
+        g.num_edges(),
+        args.engine,
+        args.queue_capacity,
+        args.cache_capacity,
+        args.retries,
+    ));
+    let tracer = if args.trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let mut cfg = ServeConfig {
+        repr: if args.engine == "gs" {
+            Repr::GShards
+        } else {
+            Repr::ConcatWindows
+        },
+        vertices_per_shard: args.shard_size,
+        max_iterations: args.max_iters,
+        queue_capacity: args.queue_capacity,
+        cache_capacity: args.cache_capacity,
+        max_retries: args.retries,
+        default_deadline_ms: args.deadline_ms,
+        watchdog_interval: args.watchdog,
+        integrity: IntegrityConfig::with_mode(args.integrity),
+        fault_plan: args.inject.clone(),
+        trace: tracer.clone(),
+        ..ServeConfig::default()
+    };
+    if let Some(k) = args.checkpoint_every {
+        cfg.integrity.checkpoint_every = k;
+    }
+    let mut svc = Service::new(g, cfg).unwrap_or_else(|e| {
+        eprintln!("cusha: cannot start service: {e}");
+        exit(EXIT_USAGE)
+    });
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let session = match &args.script {
+        Some(path) => {
+            let f = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cusha: cannot open {path}: {e}");
+                exit(EXIT_IO)
+            });
+            run_session(&mut svc, std::io::BufReader::new(f), &mut out)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            run_session(&mut svc, stdin.lock(), &mut out)
+        }
+    };
+    drop(out);
+    session.unwrap_or_else(|e| {
+        eprintln!("cusha: session IO error: {e}");
+        exit(EXIT_IO)
+    });
+
+    if let Some(path) = &args.trace_out {
+        let doc = chrome_trace_json(&tracer);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("cusha: cannot write {path}: {e}");
+            exit(EXIT_IO)
+        });
+        info(&format!(
+            "wrote {} trace events to {path} (load in chrome://tracing)",
+            tracer.event_count()
+        ));
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, svc.metrics().to_json()).unwrap_or_else(|e| {
+            eprintln!("cusha: cannot write {path}: {e}");
+            exit(EXIT_IO)
+        });
+        info(&format!(
+            "wrote {} metric series to {path}",
+            svc.metrics().len()
+        ));
+    }
+    exit(0)
+}
+
 fn main() {
     let args = parse_args();
+    if args.serve {
+        serve_main(args)
+    }
     let g = load_graph(&args);
     info(&format!(
         "{} vertices, {} edges; running {} on {}",

@@ -22,6 +22,7 @@
 //! * [`algos`] — the eight benchmarks of the paper ([`cusha_algos`])
 //! * [`baselines`] — VWC-CSR and MTCPU-CSR ([`cusha_baselines`])
 //! * [`obs`] — tracing, metrics and exporters ([`cusha_obs`])
+//! * [`serve`] — the resident query service ([`cusha_serve`])
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use cusha_baselines as baselines;
 pub use cusha_core as core;
 pub use cusha_graph as graph;
 pub use cusha_obs as obs;
+pub use cusha_serve as serve;
 pub use cusha_simt as simt;
 
 /// One-stop imports for application code.

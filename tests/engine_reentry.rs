@@ -1,0 +1,128 @@
+//! Tests of the engine's warm re-entry surface: prepared layouts,
+//! iteration-boundary deadlines, and fault-plan threading across runs.
+
+use cusha::algos::{Bfs, Sssp};
+use cusha::core::{
+    try_run, try_run_warm, CuShaConfig, EngineError, NoopObserver, PreparedLayout, Repr,
+    RunObserver,
+};
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::graph::Graph;
+use cusha::simt::FaultPlan;
+
+fn graph() -> Graph {
+    rmat(&RmatConfig::graph500(9, 3_000, 7))
+}
+
+/// Builds the layout the engine's autotuner would pick for 4-byte values.
+fn layout_for(g: &Graph, cfg: &CuShaConfig) -> PreparedLayout {
+    let n_per = PreparedLayout::select_n_per(g, cfg, 4);
+    PreparedLayout::build(g, Repr::ConcatWindows, n_per)
+}
+
+#[test]
+fn warm_runs_are_bit_identical_to_cold_runs() {
+    let g = graph();
+    let cfg = CuShaConfig::cw();
+    let cold = try_run(&Sssp::new(4), &g, &cfg).unwrap();
+
+    let layout = layout_for(&g, &cfg);
+    let mut first = None;
+    for _ in 0..2 {
+        let warm = try_run_warm(&Sssp::new(4), &g, &layout, &cfg, None, &mut NoopObserver).unwrap();
+        assert_eq!(warm.values, cold.values, "warm layout changed the answer");
+        assert_eq!(warm.stats.iterations, cold.stats.iterations);
+        if let Some(prev) = first.replace(warm.values.clone()) {
+            assert_eq!(prev, warm.values, "layout reuse is not idempotent");
+        }
+    }
+}
+
+#[test]
+fn deadline_cancels_at_an_iteration_boundary() {
+    let g = graph();
+    let cfg = CuShaConfig::cw().with_deadline(1e-9);
+    match try_run(&Bfs::new(0), &g, &cfg) {
+        Err(EngineError::Deadline {
+            iterations,
+            elapsed_seconds,
+        }) => {
+            assert!(iterations >= 1, "at least one full iteration completes");
+            assert!(elapsed_seconds >= 1e-9);
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    // The same error carries the taxonomy tag the CLI maps to exit 4.
+    let err = try_run(&Bfs::new(0), &g, &cfg).unwrap_err();
+    assert_eq!(err.kind(), "deadline");
+}
+
+#[test]
+fn generous_deadline_does_not_interfere() {
+    let g = graph();
+    let out = try_run(&Bfs::new(0), &g, &CuShaConfig::cw().with_deadline(3600.0)).unwrap();
+    let plain = try_run(&Bfs::new(0), &g, &CuShaConfig::cw()).unwrap();
+    assert_eq!(out.values, plain.values);
+}
+
+#[test]
+fn observer_cancellation_is_a_typed_deadline() {
+    // An observer that gives up after two iterations produces the same
+    // typed error as a config deadline.
+    struct StopAfter(u32);
+    impl RunObserver for StopAfter {
+        fn on_iteration(&mut self, iteration: u32, _updated: u64, _elapsed: f64) -> bool {
+            iteration < self.0
+        }
+    }
+    let g = graph();
+    let cfg = CuShaConfig::cw();
+    let layout = layout_for(&g, &cfg);
+    match try_run_warm(&Bfs::new(0), &g, &layout, &cfg, None, &mut StopAfter(2)) {
+        Err(EngineError::Deadline { iterations, .. }) => assert_eq!(iterations, 2),
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_plan_advances_across_warm_runs() {
+    // One-shot kernel fault at op 0: the first warm run consumes it and
+    // fails (the engine surfaces kernel faults; a resident caller
+    // retries). The plan written back must not replay the fault, so the
+    // retry succeeds cleanly — this is what lets the service's retry
+    // loop make progress instead of hitting the same fault forever.
+    let g = graph();
+    let cfg = CuShaConfig::cw();
+    let layout = layout_for(&g, &cfg);
+    let mut plan = FaultPlan::seeded(2).fail_kernel_at(&[0]);
+
+    let r1 = try_run_warm(
+        &Bfs::new(0),
+        &g,
+        &layout,
+        &cfg,
+        Some(&mut plan),
+        &mut NoopObserver,
+    );
+    match r1 {
+        Err(EngineError::KernelFault { op_index, .. }) => assert_eq!(op_index, 0),
+        other => panic!("expected the injected kernel fault, got {other:?}"),
+    }
+
+    let r2 = try_run_warm(
+        &Bfs::new(0),
+        &g,
+        &layout,
+        &cfg,
+        Some(&mut plan),
+        &mut NoopObserver,
+    )
+    .unwrap();
+    assert!(
+        r2.stats.fault.is_clean(),
+        "consumed fault re-fired on a warm run: {:?}",
+        r2.stats.fault
+    );
+    let cold = try_run(&Bfs::new(0), &g, &cfg).unwrap();
+    assert_eq!(r2.values, cold.values);
+}

@@ -1,0 +1,345 @@
+//! Integration tests of the resident query service: warm-state
+//! independence, fused-batch bit-identity, deadlines, admission shedding,
+//! blast-radius isolation, caching, and a mixed-load soak.
+
+use cusha::algos::{Bfs, Sssp, Sswp};
+use cusha::core::integrity::checksum;
+use cusha::core::{try_run, CuShaConfig, IntegrityConfig, IntegrityMode, Value, VertexProgram};
+use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::graph::Graph;
+use cusha::serve::{parse_json, run_session, Json, ServeConfig, Service};
+use cusha::simt::{FaultPlan, FlipTarget};
+use proptest::prelude::*;
+
+fn graph() -> Graph {
+    rmat(&RmatConfig::graph500(8, 1_200, 42))
+}
+
+/// A config with caching off, so every query really re-enters the warm
+/// engine (the default config would answer repeats from the cache).
+fn no_cache() -> ServeConfig {
+    ServeConfig {
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs `script` against a fresh service over [`graph`], returning every
+/// response line parsed back from JSON plus the service for metric
+/// inspection.
+fn run_script(cfg: ServeConfig, script: &str) -> (Vec<Json>, Service) {
+    let mut svc = Service::new(graph(), cfg).expect("service construction");
+    let mut out = Vec::new();
+    run_session(&mut svc, script.as_bytes(), &mut out).expect("session IO");
+    let text = String::from_utf8(out).expect("utf8 output");
+    let lines = text
+        .lines()
+        .map(|l| parse_json(l).unwrap_or_else(|e| panic!("bad response line {l:?}: {e}")))
+        .collect();
+    (lines, svc)
+}
+
+/// The responses that settle queries (every line carrying an "id").
+fn query_responses(lines: &[Json]) -> Vec<&Json> {
+    lines.iter().filter(|l| l.get("id").is_some()).collect()
+}
+
+fn status(r: &Json) -> &str {
+    r.get("status")
+        .and_then(Json::as_str)
+        .expect("status field")
+}
+
+fn crc(r: &Json) -> String {
+    r.get("checksum")
+        .and_then(Json::as_str)
+        .expect("checksum field")
+        .to_string()
+}
+
+/// The checksum a cold, one-shot engine run produces for `prog`, in the
+/// protocol's hex rendering.
+fn cold_crc<P: VertexProgram>(prog: &P) -> String {
+    let out = try_run(prog, &graph(), &CuShaConfig::cw()).expect("cold run");
+    let bits: Vec<u64> = out.values.iter().map(|v| v.to_bits()).collect();
+    format!("{:016x}", checksum(&bits))
+}
+
+#[test]
+fn warm_queries_match_cold_runs() {
+    // Two identical queries in separate flushes: the second runs on the
+    // warm layout the first built. Both must equal a cold one-shot run.
+    let (lines, _) = run_script(no_cache(), "sssp 3\nflush\nsssp 3\nflush\n");
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 2);
+    let cold = cold_crc(&Sssp::new(3));
+    for r in &rs {
+        assert_eq!(status(r), "ok");
+        assert_eq!(crc(r), cold, "warm run diverged from cold run");
+    }
+}
+
+#[test]
+fn consumed_fault_does_not_refire_on_later_queries() {
+    // A one-shot kernel fault consumed (and recovered) by the first
+    // query's launch must not replay against the second: the fault plan
+    // advances with the service, not per launch.
+    let cfg = ServeConfig {
+        fault_plan: Some(FaultPlan::seeded(1).fail_kernel_at(&[0])),
+        ..no_cache()
+    };
+    let (lines, svc) = run_script(cfg, "bfs 0\nflush\nbfs 0\nflush\n");
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 2);
+    let cold = cold_crc(&Bfs::new(0));
+    for r in &rs {
+        assert_eq!(status(r), "ok");
+        assert_eq!(crc(r), cold);
+    }
+    // Exactly one launch saw the kernel fault (one service-level retry);
+    // had the plan replayed it, every retry would have failed too.
+    let retries = svc.metrics().counter("serve_batch_retries_total", &[]);
+    assert_eq!(retries, Some(1));
+}
+
+#[test]
+fn sdc_recovery_stays_per_query() {
+    // Query 1 absorbs an injected bit flip (checkpoint/rollback recovers
+    // it); query 2 must start from clean warm state and report clean SDC
+    // stats. Both answers equal the cold, fault-free run.
+    let cfg = ServeConfig {
+        fault_plan: Some(FaultPlan::seeded(9).flip_at(0, FlipTarget::VertexValues, 0, 7)),
+        integrity: IntegrityConfig::with_mode(IntegrityMode::Full),
+        ..no_cache()
+    };
+    let (lines, svc) = run_script(cfg, "sssp 5\nflush\nsssp 5\nflush\n");
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 2);
+    let cold = cold_crc(&Sssp::new(5));
+    for r in &rs {
+        assert_eq!(status(r), "ok");
+        assert_eq!(crc(r), cold, "SDC recovery leaked into a later query");
+    }
+    // Exactly one flip was injected service-wide (op counter advanced).
+    let flips = svc
+        .metrics()
+        .counter("sdc_flips_injected", &[("scope", "serve")]);
+    assert_eq!(flips, Some(1));
+}
+
+#[test]
+fn one_lane_deadline_leaves_batchmate_bit_identical() {
+    // Two SSSP queries fuse into one launch; the first carries an
+    // impossible deadline. It settles "deadline" at an iteration
+    // boundary while its batch-mate runs to convergence bit-identically.
+    let script = "{\"id\":1,\"op\":\"sssp\",\"source\":3,\"deadline_ms\":0.000001}\n\
+                  {\"id\":2,\"op\":\"sssp\",\"source\":7}\n\
+                  flush\n";
+    let (lines, _) = run_script(no_cache(), script);
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 2);
+    assert_eq!(status(rs[0]), "deadline");
+    assert!(rs[0].get("iterations").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(status(rs[1]), "ok");
+    assert_eq!(crc(rs[1]), cold_crc(&Sssp::new(7)));
+}
+
+#[test]
+fn poisoned_fused_kernel_splits_and_isolates() {
+    // Every "BFSx2" launch faults, exhausting retries; the service must
+    // split the pair and finish both queries on singleton launches whose
+    // kernels carry a different name.
+    let cfg = ServeConfig {
+        fault_plan: Some(FaultPlan::seeded(3).fail_kernels_named("BFSx2", u64::MAX)),
+        max_retries: 1,
+        ..no_cache()
+    };
+    let (lines, svc) = run_script(cfg, "bfs 0\nbfs 5\nflush\n");
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 2);
+    for (r, src) in rs.iter().zip([0u32, 5]) {
+        assert_eq!(status(r), "ok", "split lane failed: {r:?}");
+        assert_eq!(crc(r), cold_crc(&Bfs::new(src)));
+    }
+    assert_eq!(svc.metrics().counter("serve_splits_total", &[]), Some(1));
+}
+
+#[test]
+fn oversubscribed_queue_sheds_typed_rejections() {
+    let cfg = ServeConfig {
+        queue_capacity: 2,
+        ..no_cache()
+    };
+    let script = "bfs 0\nbfs 1\nbfs 2\nbfs 3\nbfs 4\nflush\n";
+    let (lines, svc) = run_script(cfg, script);
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 5, "every query settles exactly once");
+    let rejected: Vec<_> = rs.iter().filter(|r| status(r) == "rejected").collect();
+    assert_eq!(rejected.len(), 3);
+    for r in &rejected {
+        assert_eq!(
+            r.get("reason").and_then(Json::as_str),
+            Some("queue-full"),
+            "shedding must name its reason"
+        );
+    }
+    assert_eq!(rs.iter().filter(|r| status(r) == "ok").count(), 2);
+    assert_eq!(
+        svc.metrics()
+            .counter("serve_shed_total", &[("reason", "queue-full")]),
+        Some(3)
+    );
+}
+
+#[test]
+fn repeat_query_hits_the_cache() {
+    let (lines, svc) = run_script(ServeConfig::default(), "bfs 0\nflush\nbfs 0\nflush\n");
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs[0].get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(rs[1].get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(crc(rs[0]), crc(rs[1]));
+    let (hits, misses) = (
+        svc.metrics().counter("serve_cache_hits_total", &[]),
+        svc.metrics().counter("serve_cache_misses_total", &[]),
+    );
+    assert_eq!((hits, misses), (Some(1), Some(1)));
+}
+
+#[test]
+fn reach_queries_pack_into_one_launch_with_exact_answers() {
+    // Three reach queries (1+2+3 sources) fit one 64-lane MSBFS launch;
+    // each must get exactly its own bitset slice back.
+    let script = "{\"id\":1,\"op\":\"reach\",\"sources\":[0],\"values\":true}\n\
+                  {\"id\":2,\"op\":\"reach\",\"sources\":[3,9],\"values\":true}\n\
+                  {\"id\":3,\"op\":\"reach\",\"sources\":[1,4,7],\"values\":true}\n\
+                  flush\n";
+    let (lines, _) = run_script(no_cache(), script);
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 3);
+    let g = graph();
+    for (r, sources) in rs.iter().zip([vec![0u32], vec![3, 9], vec![1, 4, 7]]) {
+        assert_eq!(status(r), "ok");
+        let got: Vec<u64> = match r.get("values") {
+            Some(Json::Arr(vs)) => vs
+                .iter()
+                .map(|v| u64::from_str_radix(v.as_str().unwrap(), 16).unwrap())
+                .collect(),
+            other => panic!("expected values array, got {other:?}"),
+        };
+        // Serial ground truth: one single-source BFS per bit.
+        for (bit, &s) in sources.iter().enumerate() {
+            let cold = try_run(&Bfs::new(s), &g, &CuShaConfig::cw()).unwrap();
+            for (v, &word) in got.iter().enumerate() {
+                let reached = (word >> bit) & 1 == 1;
+                assert_eq!(
+                    reached,
+                    cold.values[v] != u32::MAX,
+                    "query bit {bit} (source {s}) wrong at vertex {v}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A fused N-source batch is bit-identical to N serial one-shot runs,
+    /// for every traversal kind.
+    #[test]
+    fn fused_batches_are_bit_identical_to_serial(
+        sources in proptest::collection::vec(0u32..256, 1..6),
+        kind in 0usize..3,
+    ) {
+        let (name, colds): (&str, Vec<String>) = match kind {
+            0 => ("bfs", sources.iter().map(|&s| cold_crc(&Bfs::new(s))).collect()),
+            1 => ("sssp", sources.iter().map(|&s| cold_crc(&Sssp::new(s))).collect()),
+            _ => ("sswp", sources.iter().map(|&s| cold_crc(&Sswp::new(s))).collect()),
+        };
+        let mut script = String::new();
+        for s in &sources {
+            script.push_str(&format!("{name} {s}\n"));
+        }
+        script.push_str("flush\n");
+        let (lines, _) = run_script(no_cache(), &script);
+        let rs = query_responses(&lines);
+        prop_assert_eq!(rs.len(), sources.len());
+        for (r, cold) in rs.iter().zip(colds) {
+            prop_assert_eq!(status(r), "ok");
+            prop_assert_eq!(crc(r), cold, "fused lane diverged from serial run");
+        }
+    }
+}
+
+#[test]
+fn soak_mixed_load_under_faults_settles_every_query() {
+    // ~100 mixed queries under seeded transient faults, bit flips, full
+    // integrity and an oversubscribed queue: no panic, exactly one typed
+    // response per query.
+    let cfg = ServeConfig {
+        queue_capacity: 12,
+        cache_capacity: 16,
+        fault_plan: Some(
+            FaultPlan::seeded(1234)
+                .with_kernel_rate(0.02)
+                .with_h2d_rate(0.01)
+                .with_bitflip_rate(0.002),
+        ),
+        integrity: IntegrityConfig::with_mode(IntegrityMode::Full),
+        ..ServeConfig::default()
+    };
+    let mut script = String::new();
+    let mut expected = 0u64;
+    for i in 0..100u32 {
+        match i % 7 {
+            0 => script.push_str(&format!("bfs {}\n", i % 256)),
+            1 => script.push_str(&format!("sssp {}\n", (i * 3) % 256)),
+            2 => script.push_str(&format!("sswp {}\n", (i * 5) % 256)),
+            3 => script.push_str(&format!("reach {} {}\n", i % 256, (i * 7) % 256)),
+            4 => script.push_str("pagerank\n"),
+            5 => script.push_str("cc\n"),
+            _ => script.push_str(&format!(
+                "{{\"id\":\"q{i}\",\"op\":\"bfs\",\"source\":{},\"deadline_ms\":0.05}}\n",
+                i % 256
+            )),
+        }
+        expected += 1;
+        if i % 20 == 19 {
+            script.push_str("flush\n");
+        }
+    }
+    script.push_str("flush\nstats\n");
+    let (lines, svc) = run_script(cfg, &script);
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len() as u64, expected, "exactly one response per query");
+    let mut by_status = std::collections::BTreeMap::new();
+    for r in &rs {
+        *by_status.entry(status(r).to_string()).or_insert(0u64) += 1;
+    }
+    // Every status is one of the typed four; the load was heavy enough
+    // that admission shedding actually triggered.
+    for s in by_status.keys() {
+        assert!(
+            matches!(s.as_str(), "ok" | "deadline" | "failed" | "rejected"),
+            "unexpected status {s}"
+        );
+    }
+    assert!(
+        by_status.get("rejected").copied().unwrap_or(0) > 0,
+        "soak should oversubscribe the queue: {by_status:?}"
+    );
+    assert!(
+        by_status.get("ok").copied().unwrap_or(0) >= expected / 2,
+        "most queries should still succeed: {by_status:?}"
+    );
+    // The metrics snapshot carries the serve_* series for the artifact.
+    let json = svc.metrics().to_json();
+    for key in [
+        "serve_queries_total",
+        "serve_responses_total",
+        "serve_cache_hits_total",
+    ] {
+        assert!(json.contains(key), "metrics JSON missing {key}");
+    }
+}
