@@ -5,7 +5,7 @@
 
 use crate::INF;
 use cusha_core::VertexProgram;
-use cusha_graph::VertexId;
+use cusha_graph::{Graph, VertexId};
 
 /// BFS from a single source.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +31,7 @@ impl VertexProgram for Bfs {
     type SV = u32;
     const HAS_EDGE_VALUES: bool = false;
     const HAS_STATIC_VALUES: bool = false;
+    const FRONTIER_SAFE: bool = true; // idempotent min-fold over level + 1
 
     fn name(&self) -> &'static str {
         "BFS"
@@ -77,6 +78,10 @@ impl VertexProgram for Bfs {
             }
         }
         Ok(())
+    }
+
+    fn seed_frontier(&self, _g: &Graph) -> Option<Vec<VertexId>> {
+        Some(vec![self.source])
     }
 }
 

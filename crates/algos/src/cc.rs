@@ -27,6 +27,7 @@ impl VertexProgram for ConnectedComponents {
     const HAS_EDGE_VALUES: bool = false;
     const HAS_STATIC_VALUES: bool = false;
     const COMPUTE_COST: u64 = 1;
+    const FRONTIER_SAFE: bool = true; // idempotent min-label fold
 
     fn name(&self) -> &'static str {
         "CC"

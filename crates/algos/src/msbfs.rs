@@ -45,6 +45,7 @@ impl VertexProgram for MultiSourceBfs {
     const HAS_EDGE_VALUES: bool = false;
     const HAS_STATIC_VALUES: bool = false;
     const COMPUTE_COST: u64 = 1;
+    const FRONTIER_SAFE: bool = true; // idempotent bitset-OR fold
 
     fn name(&self) -> &'static str {
         "MSBFS"
@@ -93,6 +94,13 @@ impl VertexProgram for MultiSourceBfs {
             }
         }
         Ok(())
+    }
+
+    fn seed_frontier(&self, _g: &Graph) -> Option<Vec<VertexId>> {
+        let mut s = self.sources.clone();
+        s.sort_unstable();
+        s.dedup();
+        Some(s)
     }
 }
 

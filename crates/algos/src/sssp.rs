@@ -6,7 +6,7 @@
 
 use crate::INF;
 use cusha_core::VertexProgram;
-use cusha_graph::VertexId;
+use cusha_graph::{Graph, VertexId};
 
 /// SSSP from a single source over non-negative integer weights.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +27,7 @@ impl VertexProgram for Sssp {
     type SV = u32;
     const HAS_EDGE_VALUES: bool = true;
     const HAS_STATIC_VALUES: bool = false;
+    const FRONTIER_SAFE: bool = true; // idempotent min-fold over dist + w
 
     fn name(&self) -> &'static str {
         "SSSP"
@@ -73,6 +74,10 @@ impl VertexProgram for Sssp {
             }
         }
         Ok(())
+    }
+
+    fn seed_frontier(&self, _g: &Graph) -> Option<Vec<VertexId>> {
+        Some(vec![self.source])
     }
 }
 

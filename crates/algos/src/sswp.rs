@@ -5,7 +5,7 @@
 
 use crate::INF;
 use cusha_core::VertexProgram;
-use cusha_graph::VertexId;
+use cusha_graph::{Graph, VertexId};
 
 /// Widest path from a single source over positive integer capacities.
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +26,7 @@ impl VertexProgram for Sswp {
     type SV = u32;
     const HAS_EDGE_VALUES: bool = true;
     const HAS_STATIC_VALUES: bool = false;
+    const FRONTIER_SAFE: bool = true; // idempotent max-of-min-capacity fold
 
     fn name(&self) -> &'static str {
         "SSWP"
@@ -71,6 +72,10 @@ impl VertexProgram for Sswp {
             }
         }
         Ok(())
+    }
+
+    fn seed_frontier(&self, _g: &Graph) -> Option<Vec<VertexId>> {
+        Some(vec![self.source])
     }
 }
 

@@ -1,0 +1,132 @@
+//! [`Engine`] middleware adapters for the baselines, so
+//! [`cusha_core::run_engine`] drives VWC-CSR and MTCPU-CSR through the same
+//! validation / deadline / retry / final-scrub stack as the CuSha engines.
+
+use crate::mtcpu::{try_run_mtcpu, MtcpuConfig};
+use crate::vwc::{try_run_vwc, VwcConfig};
+use cusha_core::{CuShaOutput, Engine, EngineCtx, EngineError, VertexProgram};
+use cusha_graph::Graph;
+
+/// Adapter for the VWC-CSR baseline. Maps the generic config onto
+/// [`VwcConfig`] (threads per block, iteration cap, profiling, device and
+/// tracer carry over) and threads the middleware's fault plan and observer
+/// through [`try_run_vwc`].
+pub struct VwcEngine {
+    /// Virtual warp width (2, 4, 8, 16 or 32).
+    pub virtual_warp: usize,
+    /// Outlier-deferral degree threshold (`None` disables deferral).
+    pub defer_outliers: Option<u32>,
+}
+
+impl VwcEngine {
+    /// Adapter with the given virtual warp width, no deferral.
+    pub fn new(virtual_warp: usize) -> Self {
+        VwcEngine {
+            virtual_warp,
+            defer_outliers: None,
+        }
+    }
+}
+
+impl<P: VertexProgram> Engine<P> for VwcEngine {
+    fn label(&self) -> String {
+        format!("VWC-CSR/{}", self.virtual_warp)
+    }
+
+    fn execute(
+        &mut self,
+        prog: &P,
+        graph: &Graph,
+        ctx: EngineCtx<'_>,
+    ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
+        let mut cfg = VwcConfig::new(self.virtual_warp);
+        cfg.threads_per_block = ctx.cfg.threads_per_block;
+        cfg.max_iterations = ctx.cfg.max_iterations;
+        cfg.defer_outliers = self.defer_outliers;
+        cfg.profile = ctx.cfg.profile;
+        cfg.device = ctx.cfg.device.clone();
+        cfg.trace = ctx.cfg.trace.clone();
+        let out = try_run_vwc(prog, graph, &cfg, ctx.fault_plan, ctx.observer)?;
+        Ok(CuShaOutput {
+            values: out.values,
+            stats: out.stats,
+        })
+    }
+}
+
+/// Adapter for the MTCPU-CSR baseline. The CPU engine runs on host memory
+/// — outside the device fault domain — so the middleware's fault plan is
+/// ignored; deadlines apply against real wall-clock time.
+pub struct MtcpuEngine {
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl MtcpuEngine {
+    /// Adapter with the given thread count.
+    pub fn new(threads: usize) -> Self {
+        MtcpuEngine { threads }
+    }
+}
+
+impl<P: VertexProgram> Engine<P> for MtcpuEngine {
+    fn label(&self) -> String {
+        format!("MTCPU-CSR/{}", self.threads)
+    }
+
+    fn execute(
+        &mut self,
+        prog: &P,
+        graph: &Graph,
+        ctx: EngineCtx<'_>,
+    ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
+        let mut cfg = MtcpuConfig::new(self.threads);
+        cfg.max_iterations = ctx.cfg.max_iterations;
+        cfg.trace = ctx.cfg.trace.clone();
+        let out = try_run_mtcpu(prog, graph, &cfg, ctx.observer)?;
+        Ok(CuShaOutput {
+            values: out.values,
+            stats: out.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_algos::bfs::{bfs_levels, Bfs};
+    use cusha_core::{run_engine, CuShaConfig, NoopObserver, Repr};
+    use cusha_graph::generators::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn middleware_drives_both_baselines() {
+        let g = rmat(&RmatConfig::graph500(7, 700, 50));
+        let oracle = bfs_levels(&g, 0);
+        let cfg = CuShaConfig::new(Repr::GShards);
+        for engine in [
+            &mut VwcEngine::new(8) as &mut dyn Engine<Bfs>,
+            &mut MtcpuEngine::new(4),
+        ] {
+            let out = run_engine(engine, &Bfs::new(0), &g, &cfg, None, &mut NoopObserver)
+                .expect("baseline under middleware");
+            assert_eq!(out.values, oracle, "{}", engine.label());
+        }
+    }
+
+    #[test]
+    fn deadline_cancels_vwc() {
+        let g = rmat(&RmatConfig::graph500(8, 3000, 51));
+        let mut cfg = CuShaConfig::new(Repr::GShards);
+        cfg.deadline_seconds = Some(1e-9);
+        let err = run_engine(
+            &mut VwcEngine::new(8),
+            &Bfs::new(0),
+            &g,
+            &cfg,
+            None,
+            &mut NoopObserver,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Deadline { .. }), "{err}");
+    }
+}

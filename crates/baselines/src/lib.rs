@@ -14,11 +14,13 @@
 //! CuSha engine, so all engines compute the same function and can be
 //! cross-checked in tests.
 
+pub mod engines;
 pub mod mtcpu;
 pub mod vwc;
 
-pub use mtcpu::{run_mtcpu, MtcpuConfig};
-pub use vwc::{run_vwc, VwcConfig};
+pub use engines::{MtcpuEngine, VwcEngine};
+pub use mtcpu::{run_mtcpu, try_run_mtcpu, MtcpuConfig};
+pub use vwc::{run_vwc, try_run_vwc, VwcConfig};
 
 /// The virtual warp sizes the paper sweeps for VWC-CSR.
 pub const VIRTUAL_WARP_SIZES: [usize; 5] = [2, 4, 8, 16, 32];

@@ -14,7 +14,10 @@
 //! argument, and exactly what the racy pthreads original does — minus the
 //! undefined behaviour).
 
-use cusha_core::{IterationStat, RunStats, Value, VertexProgram};
+use cusha_core::{
+    CuShaOutput, EngineError, IterationStat, NoopObserver, RunObserver, RunStats, Value,
+    VertexProgram,
+};
 use cusha_graph::{Csr, Graph};
 use cusha_obs::trace::{lanes, ArgVal, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -67,6 +70,37 @@ pub fn run_mtcpu<P: VertexProgram>(
     cfg: &MtcpuConfig,
 ) -> MtcpuOutput<P::V> {
     assert!(cfg.threads > 0, "need at least one thread");
+    match try_run_mtcpu(prog, graph, cfg, &mut NoopObserver) {
+        Ok(out) => out,
+        Err(EngineError::NonConverged { partial }) => MtcpuOutput {
+            values: partial.values,
+            stats: partial.stats,
+        },
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_mtcpu`] with a [`RunObserver`] consulted after every non-converged
+/// sweep and every failure surfaced as an [`EngineError`].
+///
+/// The observer is `!Send`, so the calling thread runs worker 0 — the
+/// convergence coordinator — inline instead of spawning it: after each
+/// barrier it evaluates the stop condition and, when continuing, consults
+/// the observer with real wall-clock elapsed time. A `false` return halts
+/// every worker at the next barrier and surfaces as
+/// [`EngineError::Deadline`]. This engine runs on host memory, outside the
+/// device fault domain, so there is no fault plan to thread.
+pub fn try_run_mtcpu<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &MtcpuConfig,
+    observer: &mut dyn RunObserver,
+) -> Result<MtcpuOutput<P::V>, EngineError<P::V>> {
+    if cfg.threads == 0 {
+        return Err(EngineError::InvalidConfig(
+            "need at least one thread".into(),
+        ));
+    }
     let csr = Csr::from_graph(graph);
     let statics = prog.static_values(graph);
     let edge_values: Vec<P::E> = {
@@ -94,54 +128,51 @@ pub fn run_mtcpu<P: VertexProgram>(
     let barrier = Barrier::new(t);
     let changed = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
+    let cancelled = AtomicBool::new(false);
     let iterations = AtomicU64::new(0);
     let updated_counts: Vec<AtomicU64> = (0..cfg.max_iterations as usize)
         .map(|_| AtomicU64::new(0))
         .collect();
 
+    // One sweep of a worker's vertex range; returns its update count.
+    let sweep = |range: std::ops::Range<usize>| -> u64 {
+        let mut local_updates = 0u64;
+        for v in range {
+            let old = P::V::from_bits(values[v].load(Ordering::Relaxed));
+            let mut local = P::V::default();
+            prog.init_compute(&mut local, &old);
+            for slot in csr.in_range(v as u32) {
+                let src = csr.src_indxs()[slot] as usize;
+                let src_val = P::V::from_bits(values[src].load(Ordering::Relaxed));
+                prog.compute(&src_val, &statics[src], &edge_values[slot], &mut local);
+            }
+            if prog.update_condition(&mut local, &old) {
+                values[v].store(local.to_bits(), Ordering::Relaxed);
+                local_updates += 1;
+            }
+        }
+        local_updates
+    };
+
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for i in 0..t {
+        for i in 1..t {
             let range = range_of(i);
-            let csr = &csr;
-            let statics = &statics;
-            let edge_values = &edge_values;
-            let values = &values;
+            let sweep = &sweep;
             let barrier = &barrier;
             let changed = &changed;
             let stop = &stop;
-            let iterations = &iterations;
             let updated_counts = &updated_counts;
             scope.spawn(move || {
                 let mut iter = 0usize;
                 loop {
-                    let mut local_updates = 0u64;
-                    for v in range.clone() {
-                        let old = P::V::from_bits(values[v].load(Ordering::Relaxed));
-                        let mut local = P::V::default();
-                        prog.init_compute(&mut local, &old);
-                        for slot in csr.in_range(v as u32) {
-                            let src = csr.src_indxs()[slot] as usize;
-                            let src_val = P::V::from_bits(values[src].load(Ordering::Relaxed));
-                            prog.compute(&src_val, &statics[src], &edge_values[slot], &mut local);
-                        }
-                        if prog.update_condition(&mut local, &old) {
-                            values[v].store(local.to_bits(), Ordering::Relaxed);
-                            local_updates += 1;
-                        }
-                    }
+                    let local_updates = sweep(range.clone());
                     if local_updates > 0 {
                         changed.store(true, Ordering::Relaxed);
                         updated_counts[iter].fetch_add(local_updates, Ordering::Relaxed);
                     }
                     barrier.wait();
-                    // One thread evaluates the stop condition for all.
-                    if i == 0 {
-                        iterations.fetch_add(1, Ordering::Relaxed);
-                        let any = changed.swap(false, Ordering::Relaxed);
-                        let cap = iter + 1 >= cfg.max_iterations as usize;
-                        stop.store(!any || cap, Ordering::Relaxed);
-                    }
+                    // Worker 0 evaluates the stop condition between barriers.
                     barrier.wait();
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -150,10 +181,46 @@ pub fn run_mtcpu<P: VertexProgram>(
                 }
             });
         }
+        // Worker 0 — the convergence coordinator — runs on the calling
+        // thread so it can consult the (thread-bound) observer.
+        let range = range_of(0);
+        let mut iter = 0usize;
+        loop {
+            let local_updates = sweep(range.clone());
+            if local_updates > 0 {
+                changed.store(true, Ordering::Relaxed);
+                updated_counts[iter].fetch_add(local_updates, Ordering::Relaxed);
+            }
+            barrier.wait();
+            iterations.fetch_add(1, Ordering::Relaxed);
+            let any = changed.swap(false, Ordering::Relaxed);
+            let cap = iter + 1 >= cfg.max_iterations as usize;
+            let mut halt = !any || cap;
+            if !halt {
+                let updated = updated_counts[iter].load(Ordering::Relaxed);
+                let elapsed = start.elapsed().as_secs_f64();
+                if !observer.on_iteration((iter + 1) as u32, updated, elapsed) {
+                    cancelled.store(true, Ordering::Relaxed);
+                    halt = true;
+                }
+            }
+            stop.store(halt, Ordering::Relaxed);
+            barrier.wait();
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            iter += 1;
+        }
     });
     let elapsed = start.elapsed().as_secs_f64();
 
     let iters = iterations.load(Ordering::Relaxed) as u32;
+    if cancelled.load(Ordering::Relaxed) {
+        return Err(EngineError::Deadline {
+            iterations: iters,
+            elapsed_seconds: elapsed,
+        });
+    }
     let per_iteration: Vec<IterationStat> = (0..iters as usize)
         .map(|k| IterationStat {
             seconds: elapsed / iters.max(1) as f64,
@@ -198,17 +265,26 @@ pub fn run_mtcpu<P: VertexProgram>(
             );
         }
     }
-    MtcpuOutput {
-        values: out_values,
-        stats: RunStats {
-            engine: format!("MTCPU-CSR/{}", cfg.threads),
-            iterations: iters,
-            converged,
-            compute_seconds: elapsed,
-            per_iteration,
-            ..Default::default()
-        },
+    let stats = RunStats {
+        engine: format!("MTCPU-CSR/{}", cfg.threads),
+        iterations: iters,
+        converged,
+        compute_seconds: elapsed,
+        per_iteration,
+        ..Default::default()
+    };
+    if !converged {
+        return Err(EngineError::NonConverged {
+            partial: Box::new(CuShaOutput {
+                values: out_values,
+                stats,
+            }),
+        });
     }
+    Ok(MtcpuOutput {
+        values: out_values,
+        stats,
+    })
 }
 
 #[cfg(test)]

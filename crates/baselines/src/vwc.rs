@@ -15,10 +15,13 @@
 //! simulator for accounting, so efficiency metrics and timing reflect the
 //! real access pattern.
 
-use cusha_core::{IterationStat, RunStats, VertexProgram};
+use cusha_core::integrity::apply_flip;
+use cusha_core::{
+    CuShaOutput, EngineError, IterationStat, NoopObserver, RunObserver, RunStats, VertexProgram,
+};
 use cusha_graph::{Csr, Graph};
 use cusha_obs::trace::{lanes, ArgVal, Tracer};
-use cusha_simt::{DevVec, DeviceConfig, Gpu, KernelDesc, Mask, VirtualWarps, WARP};
+use cusha_simt::{DevVec, DeviceConfig, FaultPlan, Gpu, KernelDesc, Mask, VirtualWarps, WARP};
 
 /// VWC-CSR configuration.
 #[derive(Clone, Debug)]
@@ -80,33 +83,83 @@ pub struct VwcOutput<V> {
 }
 
 /// Executes `prog` over `graph` with the virtual warp-centric method.
+///
+/// # Panics
+/// Panics on device faults; see [`try_run_vwc`]. A capped (non-converged)
+/// run is returned with `stats.converged == false`, as before.
 pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> VwcOutput<P::V> {
-    let vws = VirtualWarps::new(cfg.virtual_warp);
-    let csr = Csr::from_graph(graph);
+    match try_run_vwc(prog, graph, cfg, None, &mut NoopObserver) {
+        Ok(out) => out,
+        Err(EngineError::NonConverged { partial }) => VwcOutput {
+            values: partial.values,
+            stats: partial.stats,
+        },
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_vwc`] with every failure surfaced as an [`EngineError`], a
+/// [`FaultPlan`] threaded through the middleware contract (installed before
+/// the run, advanced state written back on every exit), and a
+/// [`RunObserver`] consulted after each non-converged iteration (`false`
+/// aborts with [`EngineError::Deadline`]). Silent bit flips due at a kernel
+/// boundary land in the vertex-value buffer — the only resident value state
+/// this engine keeps — whatever their nominal target.
+pub fn try_run_vwc<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &VwcConfig,
+    fault_plan: Option<&mut FaultPlan>,
+    observer: &mut dyn RunObserver,
+) -> Result<VwcOutput<P::V>, EngineError<P::V>> {
     let mut gpu = Gpu::new(cfg.device.clone());
     gpu.set_profiling(cfg.profile);
     gpu.set_tracer(cfg.trace.clone(), 0);
+    if let Some(p) = fault_plan.as_deref() {
+        gpu.set_fault_plan(p.clone());
+    }
+    let result = vwc_attempt(prog, graph, cfg, &mut gpu, observer);
+    if let (Some(slot), Some(p)) = (fault_plan, gpu.take_fault_plan()) {
+        *slot = p;
+    }
+    result
+}
+
+fn vwc_attempt<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &VwcConfig,
+    gpu: &mut Gpu,
+    observer: &mut dyn RunObserver,
+) -> Result<VwcOutput<P::V>, EngineError<P::V>> {
+    let vws = VirtualWarps::new(cfg.virtual_warp);
+    let csr = Csr::from_graph(graph);
     let n = graph.num_vertices() as usize;
 
     // ---- Upload CSR (H2D) --------------------------------------------------
     let init: Vec<P::V> = (0..graph.num_vertices())
         .map(|v| prog.initial_value(v))
         .collect();
-    let mut vertex_values = gpu.upload(&init);
-    let in_edge_idxs = gpu.upload(csr.in_edge_idxs());
-    let src_indxs = gpu.upload(csr.src_indxs());
-    let static_buf: Option<DevVec<P::SV>> =
-        P::HAS_STATIC_VALUES.then(|| gpu.upload(&prog.static_values(graph)));
-    let edge_buf: Option<DevVec<P::E>> = P::HAS_EDGE_VALUES.then(|| {
-        let by_edge_id = prog.edge_values(graph);
-        let vals: Vec<P::E> = csr
-            .edge_ids()
-            .iter()
-            .map(|&id| by_edge_id[id as usize])
-            .collect();
-        gpu.upload(&vals)
-    });
-    let mut converged_flag = gpu.upload(&[1u32]);
+    let mut vertex_values = gpu.try_upload(&init)?;
+    let in_edge_idxs = gpu.try_upload(csr.in_edge_idxs())?;
+    let src_indxs = gpu.try_upload(csr.src_indxs())?;
+    let static_buf: Option<DevVec<P::SV>> = match P::HAS_STATIC_VALUES {
+        true => Some(gpu.try_upload(&prog.static_values(graph))?),
+        false => None,
+    };
+    let edge_buf: Option<DevVec<P::E>> = match P::HAS_EDGE_VALUES {
+        true => {
+            let by_edge_id = prog.edge_values(graph);
+            let vals: Vec<P::E> = csr
+                .edge_ids()
+                .iter()
+                .map(|&id| by_edge_id[id as usize])
+                .collect();
+            Some(gpu.try_upload(&vals)?)
+        }
+        false => None,
+    };
+    let mut converged_flag = gpu.try_upload(&[1u32])?;
     let h2d_initial = gpu.h2d_seconds;
     cfg.trace.complete(
         0,
@@ -133,9 +186,17 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
     let mut converged = false;
     while total.iterations < cfg.max_iterations {
         let iter_ts = gpu.total_seconds();
-        gpu.h2d(&mut converged_flag, &[1u32]);
+        gpu.try_h2d(&mut converged_flag, &[1u32])?;
+        // Silent bit flips scheduled at this kernel boundary land while the
+        // data sits at rest in device DRAM. VWC keeps no SrcValue or window
+        // state, so every flip corrupts the vertex-value buffer.
+        let flips = gpu.take_due_bit_flips();
+        for flip in &flips {
+            apply_flip(&mut vertex_values, flip);
+        }
+        total.sdc.flips_injected += flips.len() as u64;
         let mut updated_this_iter = 0u64;
-        let kstats = gpu.launch(&desc, |b| {
+        let kstats = gpu.try_launch(&desc, |b| {
             let block_vertex_base = b.id() as usize * vertices_per_block;
             // `outcome` shared array (paper Appendix A line 7) used by the
             // per-step stores and the reduction ladder.
@@ -326,7 +387,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
             if block_updated {
                 b.gstore(&mut converged_flag, Mask::first(1), |_| 0, |_| 0u32);
             }
-        });
+        })?;
         total.iterations += 1;
         total.per_iteration.push(IterationStat {
             seconds: kstats.seconds,
@@ -335,7 +396,7 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
         total.kernel.counters.add(&kstats.counters);
         total.kernel.blocks = kstats.blocks;
         total.kernel.threads_per_block = kstats.threads_per_block;
-        let flag = gpu.download_scalar(&converged_flag, 0);
+        let flag = gpu.try_download_scalar(&converged_flag, 0)?;
         let iter = total.iterations as u64 - 1;
         cfg.trace.complete_with(
             0,
@@ -362,12 +423,18 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
             converged = true;
             break;
         }
+        if !observer.on_iteration(total.iterations, updated_this_iter, gpu.total_seconds()) {
+            return Err(EngineError::Deadline {
+                iterations: total.iterations,
+                elapsed_seconds: gpu.total_seconds(),
+            });
+        }
     }
 
     // ---- Download results (D2H) --------------------------------------------
     let d2h_before_results = gpu.d2h_seconds;
     let dl_ts = gpu.total_seconds();
-    let values = gpu.download(&vertex_values);
+    let values = gpu.try_download(&vertex_values)?;
     cfg.trace.complete(
         0,
         lanes::ENGINE,
@@ -383,10 +450,18 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
     total.profile = gpu.profile.take();
-    VwcOutput {
+    if !converged {
+        return Err(EngineError::NonConverged {
+            partial: Box::new(CuShaOutput {
+                values,
+                stats: total,
+            }),
+        });
+    }
+    Ok(VwcOutput {
         values,
         stats: total,
-    }
+    })
 }
 
 #[cfg(test)]

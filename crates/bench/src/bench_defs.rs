@@ -6,6 +6,7 @@ use cusha_algos::{
 };
 use cusha_baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
 use cusha_core::{run as run_cusha, CuShaConfig, Repr, RunStats, VertexProgram};
+use cusha_frontier::{run_frontier, FrontierConfig};
 use cusha_graph::{Graph, VertexId};
 
 /// The eight benchmarks of Table 3, in the paper's column order.
@@ -131,6 +132,8 @@ pub enum Engine {
     Vwc(usize),
     /// Multithreaded CPU CSR with the given thread count.
     Mtcpu(usize),
+    /// Frontier engine with push/pull direction switching.
+    Frontier,
 }
 
 impl Engine {
@@ -141,6 +144,7 @@ impl Engine {
             Engine::CuShaCw => "CuSha-CW".into(),
             Engine::Vwc(vw) => format!("VWC-CSR/{vw}"),
             Engine::Mtcpu(t) => format!("MTCPU-CSR/{t}"),
+            Engine::Frontier => "Frontier".into(),
         }
     }
 
@@ -148,6 +152,26 @@ impl Engine {
     /// rather than measured).
     pub fn is_gpu(self) -> bool {
         !matches!(self, Engine::Mtcpu(_))
+    }
+
+    /// Parses one `--engines` list element: `gs`, `cw`, `frontier`,
+    /// `vwc:<width>`, `mtcpu:<threads>`.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "gs" => Some(Engine::CuShaGs),
+            "cw" => Some(Engine::CuShaCw),
+            "frontier" => Some(Engine::Frontier),
+            _ => {
+                let (kind, n) = s.split_once(':')?;
+                let n: usize = n.parse().ok()?;
+                match (kind, n) {
+                    (_, 0) => None,
+                    ("vwc", _) => Some(Engine::Vwc(n)),
+                    ("mtcpu", _) => Some(Engine::Mtcpu(n)),
+                    _ => None,
+                }
+            }
+        }
     }
 }
 
@@ -178,6 +202,11 @@ fn dispatch<P: VertexProgram>(
             cfg.max_iterations = max_iterations;
             run_mtcpu(prog, g, &cfg).stats
         }
+        Engine::Frontier => {
+            let mut cfg = FrontierConfig::new();
+            cfg.max_iterations = max_iterations;
+            run_frontier(prog, g, &cfg).stats
+        }
     }
 }
 
@@ -206,6 +235,7 @@ mod tests {
                 Engine::CuShaCw,
                 Engine::Vwc(8),
                 Engine::Mtcpu(2),
+                Engine::Frontier,
             ] {
                 let stats = b.run(&g, e, 2000);
                 assert!(stats.iterations > 0, "{b} on {}", e.label());
@@ -228,5 +258,19 @@ mod tests {
         assert_eq!(Engine::CuShaCw.label(), "CuSha-CW");
         assert!(Engine::CuShaGs.is_gpu());
         assert!(!Engine::Mtcpu(4).is_gpu());
+        assert!(Engine::Frontier.is_gpu());
+        assert_eq!(Engine::Frontier.label(), "Frontier");
+    }
+
+    #[test]
+    fn engine_list_elements_parse() {
+        assert_eq!(Engine::parse("gs"), Some(Engine::CuShaGs));
+        assert_eq!(Engine::parse("cw"), Some(Engine::CuShaCw));
+        assert_eq!(Engine::parse("frontier"), Some(Engine::Frontier));
+        assert_eq!(Engine::parse("vwc:8"), Some(Engine::Vwc(8)));
+        assert_eq!(Engine::parse("mtcpu:4"), Some(Engine::Mtcpu(4)));
+        for bad in ["", "vwc", "vwc:0", "vwc:x", "mtcpu:", "warp:8", "GS"] {
+            assert_eq!(Engine::parse(bad), None, "{bad:?} should not parse");
+        }
     }
 }

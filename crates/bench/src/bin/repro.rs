@@ -2,16 +2,22 @@
 //!
 //! ```text
 //! repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
-//!       [--jobs N] [--out-dir DIR] [--verbose] [--log-level LEVEL]
+//!       [--jobs N] [--engines LIST] [--out-dir DIR] [--verbose]
+//!       [--log-level LEVEL]
 //!
 //! ARTIFACT: all (default) | layouts | table1 | table2 | table4 | table5 |
 //!           table6 | table7 | fig1 | fig7 | fig8 | fig9 | fig10 | fig11 |
-//!           fig12 | fig13 | ablation | simwall (opt-in, not part of all)
+//!           fig12 | fig13 | ablation | frontier_matrix |
+//!           simwall (opt-in, not part of all)
 //!
 //! --scale N         dataset surrogate scale divisor (default 64;
 //!                   1 = full Table-1 sizes)
 //! --rmat-scale N    RMAT sweep scale divisor for fig11/12/13 (default 64)
 //! --max-iters N     convergence-loop cap (default 300)
+//! --engines LIST    comma-separated engine filter for the result matrix
+//!                   and frontier_matrix (gs|cw|frontier|vwc:<w>|mtcpu:<t>),
+//!                   e.g. `--engines gs,frontier` for a head-to-head
+//!                   without the full matrix
 //! --jobs N          host worker threads for simulator cells and fleet
 //!                   devices (default: available parallelism; CUSHA_JOBS
 //!                   env is the fallback). Outputs are byte-identical for
@@ -36,7 +42,7 @@ use cusha_obs::{log, Level};
 const MATRIX_ARTIFACTS: [&str; 7] = [
     "table2", "table4", "table5", "table6", "table7", "fig7", "fig8",
 ];
-const ALL_ARTIFACTS: [&str; 17] = [
+const ALL_ARTIFACTS: [&str; 18] = [
     "layouts",
     "table1",
     "fig1",
@@ -54,6 +60,7 @@ const ALL_ARTIFACTS: [&str; 17] = [
     "fig13",
     "ablation",
     "multi_gpu_scaling",
+    "frontier_matrix",
 ];
 
 fn main() {
@@ -61,6 +68,7 @@ fn main() {
     let mut ctx = Ctx::default();
     let mut artifacts: Vec<String> = Vec::new();
     let mut out_dir: Option<String> = None;
+    let mut engines_filter: Option<Vec<Engine>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -91,6 +99,21 @@ fn main() {
                     Some(level) => log::set_level(level),
                     None => {
                         eprintln!("--log-level needs one of error|warn|info|debug|trace");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--engines" => {
+                i += 1;
+                let list = args.get(i).cloned().unwrap_or_default();
+                let parsed: Option<Vec<Engine>> = list.split(',').map(Engine::parse).collect();
+                match parsed {
+                    Some(es) if !es.is_empty() => engines_filter = Some(es),
+                    _ => {
+                        eprintln!(
+                            "--engines needs a comma-separated list of \
+                             gs|cw|frontier|vwc:<width>|mtcpu:<threads>, got {list:?}"
+                        );
                         std::process::exit(2);
                     }
                 }
@@ -138,11 +161,14 @@ fn main() {
         ),
     );
     let matrix: Option<MatrixResult> = needs_matrix.then(|| {
-        let mut engines = vec![Engine::CuShaGs, Engine::CuShaCw];
-        engines.extend(VIRTUAL_WARP_SIZES.iter().map(|&vw| Engine::Vwc(vw)));
-        if needs_mtcpu {
-            engines.extend(MTCPU_THREADS.iter().map(|&t| Engine::Mtcpu(t)));
-        }
+        let engines = engines_filter.clone().unwrap_or_else(|| {
+            let mut engines = vec![Engine::CuShaGs, Engine::CuShaCw];
+            engines.extend(VIRTUAL_WARP_SIZES.iter().map(|&vw| Engine::Vwc(vw)));
+            if needs_mtcpu {
+                engines.extend(MTCPU_THREADS.iter().map(|&t| Engine::Mtcpu(t)));
+            }
+            engines
+        });
         log::write(
             Level::Info,
             &format!(
@@ -197,6 +223,19 @@ fn main() {
                 }
                 res.report()
             }
+            "frontier_matrix" => {
+                let res = experiments::frontier_matrix::run_with_engines(
+                    &ctx,
+                    engines_filter.as_deref().unwrap_or(&[]),
+                );
+                if let Some(dir) = &out_dir {
+                    std::fs::create_dir_all(dir).expect("create --out-dir");
+                    let path = format!("{dir}/frontier_matrix.json");
+                    std::fs::write(&path, res.to_json()).expect("write frontier matrix json");
+                    log::write(Level::Info, &format!("repro: wrote {path}"));
+                }
+                res.report()
+            }
             "multi_gpu_scaling" => {
                 let res = experiments::multi_gpu_scaling::run(&ctx);
                 if let Some(dir) = &out_dir {
@@ -232,15 +271,22 @@ const HELP: &str = "\
 repro — regenerate the CuSha paper's tables and figures
 
 usage: repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
-             [--jobs N] [--out-dir DIR] [--verbose] [--log-level LEVEL]
+             [--jobs N] [--engines LIST] [--out-dir DIR] [--verbose]
+             [--log-level LEVEL]
 
 artifacts: all layouts table1 fig1 table2 table4 table5 table6 table7
            fig7 fig8 fig9 fig10 fig11 fig12 fig13 ablation
            multi_gpu_scaling (also writes multi_gpu_scaling.json and
            multi_gpu_scaling_metrics.json to --out-dir)
+           frontier_matrix (frontier-vs-shard head-to-head; also writes
+           frontier_matrix.json to --out-dir)
            simwall (opt-in, not part of 'all': times the host wall clock
            sequential vs parallel and writes BENCH_simwall.json to
            --out-dir)
+
+--engines LIST narrows the engine set of the shared result matrix and of
+frontier_matrix to a comma-separated subset (gs|cw|frontier|vwc:<width>|
+mtcpu:<threads>), e.g. `--engines gs,frontier`.
 
 --jobs N (or CUSHA_JOBS=N) sets the host worker-thread count for simulator
 matrix cells and fleet devices; any value produces byte-identical artifacts

@@ -1,0 +1,245 @@
+//! Frontier-vs-shard head-to-head over the dataset surrogates.
+//!
+//! The frontier engine only touches active edges, so its modeled time
+//! scales with total frontier work; the shard engines sweep every shard
+//! every iteration. On the scale-free surrogates (small diameter, a few
+//! mostly-dense iterations) the shard engines' coalesced sweeps win; on
+//! the road-network surrogate (uniform degree, huge diameter, thousands
+//! of needle-thin frontiers) the winner flips to the frontier engine.
+//! This artifact records that flip as data: the four frontier-expressible
+//! traversals × every Table-1 surrogate × {GS, CW, Frontier}, with the
+//! per-cell winner and the road-network flip summarized in
+//! `results/frontier_matrix.json`.
+
+use crate::bench_defs::{Benchmark, Engine};
+use crate::experiments::Ctx;
+use crate::matrix::{run_matrix_jobs, MatrixResult};
+use crate::table::{fmt_ms, Table};
+use cusha_graph::surrogates::Dataset;
+
+/// The traversals both engine families express exactly (bit-identical
+/// outputs, so the comparison is pure timing).
+pub const TRAVERSALS: [Benchmark; 4] = [
+    Benchmark::Bfs,
+    Benchmark::Sssp,
+    Benchmark::Cc,
+    Benchmark::Sswp,
+];
+
+/// Default head-to-head engine list (overridable via `--engines`).
+pub const DEFAULT_ENGINES: [Engine; 3] = [Engine::CuShaGs, Engine::CuShaCw, Engine::Frontier];
+
+/// One (dataset, benchmark) comparison row.
+#[derive(Clone, Debug)]
+pub struct FlipRow {
+    /// Input surrogate.
+    pub dataset: Dataset,
+    /// Traversal benchmark.
+    pub benchmark: Benchmark,
+    /// `(engine label, total ms, iterations, converged)` per engine.
+    pub cells: Vec<(String, f64, u32, bool)>,
+    /// Label of the fastest engine.
+    pub winner: String,
+}
+
+/// The full head-to-head result.
+pub struct FrontierMatrixResult {
+    /// Scale divisor the surrogates were generated at.
+    pub scale: u64,
+    /// Iteration cap used (high enough that every traversal converges,
+    /// including on the huge-diameter road network).
+    pub max_iterations: u32,
+    /// One row per (dataset, traversal).
+    pub rows: Vec<FlipRow>,
+    /// Whether the road-network surrogate's winner differs from the winner
+    /// on every scale-free surrogate for the same benchmark, for at least
+    /// one benchmark — the headline claim.
+    pub road_network_winner_flips: bool,
+}
+
+/// Traversals need to reach the fixpoint for the timing comparison to be
+/// fair; the road-network surrogate's diameter dwarfs the default matrix
+/// cap, so this experiment enforces its own floor.
+fn iteration_cap(ctx: &Ctx) -> u32 {
+    ctx.max_iterations.max(10_000)
+}
+
+/// Runs the head-to-head on `engines` (falling back to
+/// [`DEFAULT_ENGINES`] when empty).
+pub fn run_with_engines(ctx: &Ctx, engines: &[Engine]) -> FrontierMatrixResult {
+    let engines = if engines.is_empty() {
+        &DEFAULT_ENGINES[..]
+    } else {
+        engines
+    };
+    let cap = iteration_cap(ctx);
+    let m: MatrixResult = run_matrix_jobs(
+        &Dataset::ALL,
+        &TRAVERSALS,
+        engines,
+        ctx.scale,
+        cap,
+        ctx.verbose,
+        ctx.jobs,
+    );
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        for b in TRAVERSALS {
+            let cells: Vec<(String, f64, u32, bool)> = engines
+                .iter()
+                .filter_map(|&e| m.get(ds, b, e))
+                .map(|c| {
+                    (
+                        c.engine.label(),
+                        c.stats.total_ms(),
+                        c.stats.iterations,
+                        c.stats.converged,
+                    )
+                })
+                .collect();
+            let winner = cells
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|c| c.0.clone())
+                .expect("at least one engine per cell");
+            rows.push(FlipRow {
+                dataset: ds,
+                benchmark: b,
+                cells,
+                winner,
+            });
+        }
+    }
+    let road_network_winner_flips = TRAVERSALS.iter().any(|&b| {
+        let winner_of = |ds: Dataset| {
+            rows.iter()
+                .find(|r| r.dataset == ds && r.benchmark == b)
+                .map(|r| r.winner.clone())
+        };
+        let Some(road) = winner_of(Dataset::RoadNetCA) else {
+            return false;
+        };
+        Dataset::ALL
+            .iter()
+            .filter(|&&ds| ds != Dataset::RoadNetCA)
+            .all(|&ds| winner_of(ds).is_some_and(|w| w != road))
+    });
+    FrontierMatrixResult {
+        scale: ctx.scale,
+        max_iterations: cap,
+        rows,
+        road_network_winner_flips,
+    }
+}
+
+/// Runs the head-to-head with the default engine list.
+pub fn run(ctx: &Ctx) -> FrontierMatrixResult {
+    run_with_engines(ctx, &[])
+}
+
+impl FrontierMatrixResult {
+    /// Paper-style report table: one row per (dataset, traversal), one
+    /// column per engine, winner flagged.
+    pub fn report(&self) -> String {
+        let engine_labels: Vec<String> = self
+            .rows
+            .first()
+            .map(|r| r.cells.iter().map(|c| c.0.clone()).collect())
+            .unwrap_or_default();
+        let mut header = vec!["Graph".to_string(), "Bench".to_string()];
+        header.extend(engine_labels.iter().cloned());
+        header.push("Winner".to_string());
+        let mut t = Table::new(format!(
+            "Frontier vs shard engines (scale 1/{}, total modeled ms; \
+             road-network winner flip: {})",
+            self.scale, self.road_network_winner_flips
+        ))
+        .header(header);
+        for row in &self.rows {
+            let mut cols = vec![row.dataset.to_string(), row.benchmark.to_string()];
+            for (_, ms, iters, converged) in &row.cells {
+                let mark = if *converged { "" } else { "*" };
+                cols.push(format!("{}{mark} ({iters} it)", fmt_ms(*ms)));
+            }
+            cols.push(row.winner.clone());
+            t.row(cols);
+        }
+        t.render()
+    }
+
+    /// Hand-rolled JSON for `results/frontier_matrix.json` (the workspace
+    /// takes no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"experiment\": \"frontier_matrix\",\n");
+        s.push_str(&format!("  \"scale_divisor\": {},\n", self.scale));
+        s.push_str(&format!("  \"max_iterations\": {},\n", self.max_iterations));
+        s.push_str(&format!(
+            "  \"road_network_winner_flips\": {},\n",
+            self.road_network_winner_flips
+        ));
+        s.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"benchmark\": \"{}\", \"winner\": \"{}\", \
+                 \"engines\": [",
+                row.dataset, row.benchmark, row.winner
+            ));
+            for (j, (label, ms, iters, converged)) in row.cells.iter().enumerate() {
+                s.push_str(&format!(
+                    "{{\"engine\": \"{label}\", \"total_ms\": {ms:.6}, \
+                     \"iterations\": {iters}, \"converged\": {converged}}}{}",
+                    if j + 1 < row.cells.len() { ", " } else { "" },
+                ));
+            }
+            s.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_to_head_reports_and_serializes() {
+        let ctx = Ctx {
+            scale: 4096,
+            rmat_scale: 4096,
+            max_iterations: 300,
+            verbose: false,
+            jobs: 0,
+        };
+        let res = run(&ctx);
+        assert_eq!(res.rows.len(), Dataset::ALL.len() * TRAVERSALS.len());
+        for row in &res.rows {
+            assert_eq!(row.cells.len(), DEFAULT_ENGINES.len());
+            assert!(row.cells.iter().all(|c| c.3), "{row:?} did not converge",);
+            assert!(row.cells.iter().any(|c| c.0 == row.winner));
+        }
+        let json = res.to_json();
+        assert!(json.contains("\"experiment\": \"frontier_matrix\""));
+        assert!(json.contains("\"road_network_winner_flips\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(res.report().contains("Frontier vs shard"));
+    }
+
+    #[test]
+    fn engines_filter_narrows_the_comparison() {
+        let ctx = Ctx {
+            scale: 8192,
+            rmat_scale: 8192,
+            max_iterations: 300,
+            verbose: false,
+            jobs: 0,
+        };
+        let res = run_with_engines(&ctx, &[Engine::CuShaGs, Engine::Frontier]);
+        assert!(res.rows.iter().all(|r| r.cells.len() == 2));
+    }
+}

@@ -14,6 +14,7 @@ pub mod fig13;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod frontier_matrix;
 pub mod layouts;
 pub mod multi_gpu_scaling;
 pub mod table1;

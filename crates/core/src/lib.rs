@@ -30,6 +30,7 @@ pub mod error;
 pub mod fallback;
 pub mod integrity;
 pub mod memsize;
+pub mod middleware;
 pub mod multi;
 pub mod program;
 pub mod shards;
@@ -46,11 +47,14 @@ pub use engine::{
 pub use error::EngineError;
 pub use fallback::run_fallback;
 pub use integrity::{CheckpointManager, IntegrityConfig, IntegrityMode};
+pub use middleware::{
+    run_engine, DeadlineObserver, Engine, EngineCtx, FleetEngine, ShardEngine, StreamedEngine,
+};
 pub use multi::{
-    effective_jobs, run_multi, try_run_multi, DeviceRunStats, MultiConfig, MultiOutput,
-    MultiRunStats,
+    effective_jobs, run_multi, try_run_multi, try_run_multi_observed, DeviceRunStats, MultiConfig,
+    MultiOutput, MultiRunStats,
 };
 pub use program::{Value, VertexProgram};
 pub use shards::GShards;
-pub use stats::{FaultStats, IterationStat, RunStats, SdcStats};
-pub use streaming::{run_streamed, try_run_streamed, StreamingConfig};
+pub use stats::{Direction, FaultStats, FrontierStats, IterationStat, RunStats, SdcStats};
+pub use streaming::{run_streamed, try_run_streamed, try_run_streamed_observed, StreamingConfig};

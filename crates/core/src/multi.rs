@@ -34,7 +34,7 @@
 use crate::autotune::select_vertices_per_shard;
 use crate::cw::ConcatWindows;
 use crate::engine::Detector;
-use crate::engine::{CuShaConfig, CuShaOutput, Repr};
+use crate::engine::{CuShaConfig, CuShaOutput, NoopObserver, Repr, RunObserver};
 use crate::error::EngineError;
 use crate::fallback::FALLBACK_LABEL;
 use crate::integrity::{apply_flips, checksum, CheckpointManager};
@@ -257,6 +257,7 @@ impl MultiRunStats {
             profile: None,
             fault: self.fault,
             sdc: self.sdc,
+            frontier: None,
         }
     }
 
@@ -332,7 +333,7 @@ pub fn run_multi<P: VertexProgram>(
     graph: &Graph,
     cfg: &MultiConfig,
 ) -> MultiOutput<P::V> {
-    match run_multi_inner(prog, graph, cfg) {
+    match run_multi_inner(prog, graph, cfg, &mut NoopObserver) {
         Ok(out) => out,
         Err(e) => panic!("{e}"),
     }
@@ -346,7 +347,20 @@ pub fn try_run_multi<P: VertexProgram>(
     graph: &Graph,
     cfg: &MultiConfig,
 ) -> Result<MultiOutput<P::V>, EngineError<P::V>> {
-    let out = run_multi_inner(prog, graph, cfg)?;
+    try_run_multi_observed(prog, graph, cfg, &mut NoopObserver)
+}
+
+/// [`try_run_multi`] with a [`RunObserver`] consulted after every fleet
+/// iteration (elapsed is the modeled fleet clock: per-iteration critical
+/// path plus halo exchange). The observer returning `false` aborts with
+/// [`EngineError::Deadline`].
+pub fn try_run_multi_observed<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &MultiConfig,
+    observer: &mut dyn RunObserver,
+) -> Result<MultiOutput<P::V>, EngineError<P::V>> {
+    let out = run_multi_inner(prog, graph, cfg, observer)?;
     if out.stats.converged {
         Ok(out)
     } else {
@@ -1555,6 +1569,7 @@ fn run_multi_inner<P: VertexProgram>(
     prog: &P,
     graph: &Graph,
     cfg: &MultiConfig,
+    observer: &mut dyn RunObserver,
 ) -> Result<MultiOutput<P::V>, EngineError<P::V>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;
@@ -2071,6 +2086,12 @@ fn run_multi_inner<P: VertexProgram>(
         if iter_updated == 0 {
             converged = true;
             break;
+        }
+        if !observer.on_iteration(stats.iterations, iter_updated, fleet_clock) {
+            return Err(EngineError::Deadline {
+                iterations: stats.iterations,
+                elapsed_seconds: fleet_clock,
+            });
         }
         // Checkpoint boundary: assemble the global state (resident slices
         // are real, charged D2H downloads), verify the algorithm invariant

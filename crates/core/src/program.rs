@@ -108,6 +108,16 @@ pub trait VertexProgram: Sync {
     /// Modeled ALU instructions per `compute` invocation (issue-time
     /// accounting only; 2 covers the min/add-style updates of Table 3).
     const COMPUTE_COST: u64 = 2;
+    /// Whether the program is safe to run frontier-driven: skipping vertices
+    /// whose sources did not change since the last iteration preserves the
+    /// fixed point. True for the idempotent monotone folds (BFS, SSSP, CC,
+    /// SSWP), where `init_compute` copies the global value, `compute` is an
+    /// idempotent min/max-style fold, and `update_condition` compares
+    /// without mutating. Additive programs (PageRank's rank sum, HS/CS
+    /// accumulations) must leave this `false`: they need the full in-edge
+    /// fold every iteration, so the frontier engine runs them in dense pull
+    /// mode only.
+    const FRONTIER_SAFE: bool = false;
 
     /// Short name for reports ("BFS", "SSSP", ...).
     fn name(&self) -> &'static str;
@@ -166,6 +176,17 @@ pub trait VertexProgram: Sync {
     fn check_invariant(&self, prev: &[Self::V], curr: &[Self::V]) -> Result<(), String> {
         let _ = (prev, curr);
         Ok(())
+    }
+
+    /// Initial frontier for frontier-driven engines: the vertices whose
+    /// values differ from the "rest state" at iteration 0 (e.g. the source
+    /// of a traversal). `None` — the default — means every vertex starts
+    /// active, which is always correct (CC's distinct labels, PageRank's
+    /// uniform mass). Single-source programs override this with their
+    /// source so the frontier engine starts from a one-vertex frontier.
+    fn seed_frontier(&self, g: &Graph) -> Option<Vec<VertexId>> {
+        let _ = g;
+        None
     }
 }
 

@@ -131,6 +131,70 @@ impl SdcStats {
     }
 }
 
+/// Direction a frontier-engine iteration ran in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Frontier-driven: expand the compacted frontier over out-edges.
+    Push,
+    /// Dense: every vertex folds all of its in-edges.
+    Pull,
+}
+
+impl Direction {
+    /// Label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+        }
+    }
+}
+
+/// Per-iteration frontier telemetry recorded by the frontier engine
+/// (`None` on the topology-driven engines).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Frontier size entering each iteration.
+    pub sizes: Vec<u64>,
+    /// Direction each iteration ran in (same length as `sizes`).
+    pub directions: Vec<Direction>,
+    /// Push↔pull direction switches taken across the run.
+    pub switches: u32,
+}
+
+impl FrontierStats {
+    /// Largest frontier observed.
+    pub fn peak(&self) -> u64 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterations that ran in the given direction.
+    pub fn count(&self, d: Direction) -> u64 {
+        self.directions.iter().filter(|&&x| x == d).count() as u64
+    }
+
+    /// Records the frontier counters into a metrics registry. All keys are
+    /// new `frontier_*` series — additive under `cusha-metrics/v1`, so
+    /// existing golden snapshots are untouched.
+    pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.add("frontier_switches", labels, self.switches as u64);
+        reg.add(
+            "frontier_push_iterations",
+            labels,
+            self.count(Direction::Push),
+        );
+        reg.add(
+            "frontier_pull_iterations",
+            labels,
+            self.count(Direction::Pull),
+        );
+        reg.set_gauge("frontier_peak_size", labels, self.peak() as f64);
+        for &s in &self.sizes {
+            reg.observe("frontier_size", labels, s as f64);
+        }
+    }
+}
+
 /// Aggregate statistics of one full algorithm run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -162,6 +226,9 @@ pub struct RunStats {
     /// Silent-data-corruption defense activity (detections, rollbacks,
     /// checkpoints); all zero for fault-free runs with integrity off.
     pub sdc: SdcStats,
+    /// Frontier telemetry (sizes, directions, switches); `None` on the
+    /// topology-driven engines.
+    pub frontier: Option<FrontierStats>,
 }
 
 impl RunStats {
@@ -212,6 +279,9 @@ impl RunStats {
         self.kernel.record_metrics(reg, labels);
         self.fault.record_metrics(reg, labels);
         self.sdc.record_metrics(reg, labels);
+        if let Some(f) = &self.frontier {
+            f.record_metrics(reg, labels);
+        }
     }
 }
 

@@ -46,7 +46,7 @@
 
 use crate::cw::ConcatWindows;
 use crate::engine::Detector;
-use crate::engine::{CuShaConfig, CuShaOutput, Repr};
+use crate::engine::{CuShaConfig, CuShaOutput, Repr, RunObserver};
 use crate::error::EngineError;
 use crate::fallback::run_fallback;
 use crate::integrity::{apply_flips, checksum, CheckpointManager};
@@ -55,7 +55,9 @@ use crate::shards::GShards;
 use crate::stats::{FaultStats, IterationStat, RunStats, SdcStats};
 use cusha_graph::Graph;
 use cusha_obs::trace::{lanes, ArgVal};
-use cusha_simt::{aligned_chunks, DevVec, DeviceFault, Gpu, KernelDesc, Mask, Pod, WARP};
+use cusha_simt::{
+    aligned_chunks, DevVec, DeviceFault, FaultPlan, Gpu, KernelDesc, Mask, Pod, WARP,
+};
 use std::collections::HashSet;
 
 /// Configuration of the streamed engine.
@@ -157,6 +159,12 @@ enum AttemptError {
     /// Detected silent corruption outlived the rollback and restart
     /// budgets; the caller escalates to the host fallback.
     SdcExhausted,
+    /// The caller's observer cancelled the run at an iteration boundary
+    /// (deadline enforcement).
+    Cancelled {
+        iterations: u32,
+        elapsed_seconds: f64,
+    },
 }
 
 impl From<DeviceFault> for AttemptError {
@@ -226,14 +234,35 @@ pub fn try_run_streamed<P: VertexProgram>(
     graph: &Graph,
     cfg: &StreamingConfig,
 ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
+    try_run_streamed_observed(prog, graph, cfg, None, &mut crate::engine::NoopObserver)
+}
+
+/// [`try_run_streamed`] with the resident-caller extras of
+/// [`try_run_warm`](crate::try_run_warm): a caller-owned [`FaultPlan`]
+/// (installed in place of `cfg.base.fault_plan`, advanced state written
+/// back on every exit) and an iteration-boundary observer. The observer's
+/// elapsed clock accumulates across the engine's internal restarts
+/// (rebatches, degradations), so deadlines measure the whole recovery
+/// trajectory, not just the final attempt.
+pub fn try_run_streamed_observed<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &StreamingConfig,
+    mut fault_plan: Option<&mut FaultPlan>,
+    observer: &mut dyn RunObserver,
+) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;
 
     let mut fault = FaultStats::default();
     let mut sdc = SdcStats::default();
-    let mut plan = cfg.base.fault_plan.clone();
+    let mut plan = fault_plan
+        .as_deref()
+        .cloned()
+        .or_else(|| cfg.base.fault_plan.clone());
     let mut resident = cfg.resident_bytes;
     let mut repr = cfg.base.repr;
+    let mut elapsed_base = 0.0f64;
 
     loop {
         let mut gpu = Gpu::new(cfg.base.device.clone());
@@ -242,13 +271,26 @@ pub fn try_run_streamed<P: VertexProgram>(
             gpu.set_fault_plan(p);
         }
         let result = stream_attempt(
-            prog, graph, cfg, repr, resident, &mut gpu, &mut fault, &mut sdc,
+            prog,
+            graph,
+            cfg,
+            repr,
+            resident,
+            &mut gpu,
+            &mut fault,
+            &mut sdc,
+            observer,
+            elapsed_base,
         );
         // The plan's operation counters persist across restarts, so
         // consumed one-shot faults (and fired bit flips) never re-fire.
         plan = gpu.take_fault_plan();
+        if let (Some(slot), Some(p)) = (fault_plan.as_deref_mut(), plan.as_ref()) {
+            *slot = p.clone();
+        }
         sdc.flips_injected = plan.as_ref().map(|p| p.injected().bit_flips).unwrap_or(0);
         let attempt_end = gpu.total_seconds();
+        elapsed_base += attempt_end;
         drop(gpu);
 
         match result {
@@ -265,6 +307,15 @@ pub fn try_run_streamed<P: VertexProgram>(
             }
             Err(AttemptError::Watchdog { iterations }) => {
                 return Err(EngineError::Watchdog { iterations });
+            }
+            Err(AttemptError::Cancelled {
+                iterations,
+                elapsed_seconds,
+            }) => {
+                return Err(EngineError::Deadline {
+                    iterations,
+                    elapsed_seconds,
+                });
             }
             Err(AttemptError::SdcExhausted) => {
                 // Last rung of the SDC ladder: abandon the device for the
@@ -374,6 +425,8 @@ fn stream_attempt<P: VertexProgram>(
     gpu: &mut Gpu,
     fault: &mut FaultStats,
     sdc: &mut SdcStats,
+    observer: &mut dyn RunObserver,
+    elapsed_base: f64,
 ) -> Result<CuShaOutput<P::V>, AttemptError> {
     let base = &cfg.base;
     let n_per = base.vertices_per_shard.unwrap_or_else(|| {
@@ -816,6 +869,19 @@ fn stream_attempt<P: VertexProgram>(
         if flag == 1 {
             converged = true;
             break;
+        }
+        // Iteration-boundary cancellation: deadlines and resident callers'
+        // observers share the watchdog's discipline (the in-flight batch
+        // has completed). The elapsed clock spans the engine's earlier
+        // restarts, so a deadline bounds the whole recovery trajectory.
+        {
+            let elapsed = elapsed_base + gpu.total_seconds();
+            if !observer.on_iteration(total.iterations, updated_this_iter, elapsed) {
+                return Err(AttemptError::Cancelled {
+                    iterations: total.iterations,
+                    elapsed_seconds: elapsed,
+                });
+            }
         }
         // Checkpoint boundary: download the resident values (real, charged
         // D2H), verify the algorithm invariant against the last verified

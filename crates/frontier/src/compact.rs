@@ -1,0 +1,87 @@
+//! Single-pass stream compaction — the **filter** operator's kernel.
+//!
+//! Turns the per-vertex activation flags written by an advance pass into a
+//! sorted-unique frontier list in one kernel: each block loads the running
+//! cursor, scans its flag tile once, writes every set vertex id to
+//! `cursor + in-block rank` (clearing the flags behind itself), and
+//! advances the cursor by its count. The simulated device executes blocks
+//! serially in id order — the modeled equivalent of a device-side
+//! atomic-scan compaction — so the single cursor cell is exact and the
+//! output list is sorted and duplicate-free by construction: no host
+//! round-trip, no post-sort. The last block parks the final length in
+//! `ctrl[1]` and re-zeroes the cursor, so the host pays exactly one
+//! scalar readback per iteration (the same modeled PCIe latency as the
+//! shard engines' `is_converged` readback).
+//!
+//! The generic frontier engine fuses its filter into the advance kernel
+//! (activations append directly to the next frontier), so this standalone
+//! kernel serves the peel-style workloads — k-core flags vertices in a
+//! scan kernel and compacts the peel set here.
+
+use cusha_simt::{DevVec, DeviceFault, Gpu, KernelDesc, KernelStats, Mask, WARP};
+
+/// Compacts `active` (0/1 per vertex) into `frontier_buf`, returning the
+/// frontier length and the kernel's stats. Clears the flags it consumed.
+/// `ctrl` is a two-cell scratch buffer `[cursor, length]` that must be
+/// zero-initialized once; the kernel leaves the cursor re-zeroed for the
+/// next iteration.
+pub(crate) fn compact_flags(
+    gpu: &mut Gpu,
+    active: &mut DevVec<u32>,
+    frontier_buf: &mut DevVec<u32>,
+    ctrl: &mut DevVec<u32>,
+    n: usize,
+    tpb: usize,
+    name: &str,
+) -> Result<(usize, KernelStats), DeviceFault> {
+    let grid = n.div_ceil(tpb).max(1) as u32;
+    let desc = KernelDesc::new(format!("frontier-filter::{name}"), grid, tpb as u32);
+    let ks = gpu.try_launch(&desc, |b| {
+        let bid = b.id() as usize;
+        let block_base = bid * tpb;
+        let warps = tpb / WARP;
+        b.phase("filter");
+        let mut cursor = b.gload(&*ctrl, Mask::first(1), |_| 0)[0] as usize;
+        for w in 0..warps {
+            let warp_base = block_base + w * WARP;
+            if warp_base >= n {
+                break;
+            }
+            let mask = Mask::from_fn(|l| warp_base + l < n);
+            let flags = b.gload(active, mask, |l| warp_base + l);
+            let set = Mask::from_fn(|l| mask.lane(l) && flags[l] != 0);
+            b.exec(mask, 1);
+            if set.is_empty() {
+                continue;
+            }
+            // In-warp ranks assign positions in vertex order: together with
+            // the serial block schedule the compacted list comes out sorted
+            // and unique.
+            let mut pos = [0usize; WARP];
+            let mut rank = 0usize;
+            for l in set.iter() {
+                pos[l] = cursor + rank;
+                rank += 1;
+            }
+            b.exec(set, 1);
+            b.gstore(frontier_buf, set, |l| pos[l], |l| (warp_base + l) as u32);
+            b.gstore(active, set, |l| warp_base + l, |_| 0u32);
+            cursor += rank;
+        }
+        if bid + 1 == grid as usize {
+            // Publish the total and reset the cursor for the next pass.
+            let cur = cursor as u32;
+            b.gstore(
+                ctrl,
+                Mask::first(2),
+                |l| l,
+                move |l| if l == 0 { 0 } else { cur },
+            );
+        } else {
+            let cur = cursor as u32;
+            b.gstore(ctrl, Mask::first(1), |_| 0, move |_| cur);
+        }
+    })?;
+    let len = gpu.try_download_scalar(&*ctrl, 1)?;
+    Ok((len as usize, ks))
+}

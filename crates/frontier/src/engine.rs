@@ -1,0 +1,874 @@
+//! The frontier-operator engine.
+//!
+//! Each iteration is one kernel fusing the three operators over the
+//! simulated device:
+//!
+//! 1. **advance** — propagate values along edges, in one of two directions:
+//!    *push* (one thread per frontier entry expands its out-edges and
+//!    relaxes destinations in place) or *pull* (one thread per vertex folds
+//!    its full in-edge list, the dense direction every topology-driven
+//!    engine in this workspace runs unconditionally);
+//! 2. **compute** — apply `update_condition` and write back changed values;
+//! 3. **filter** — fused into the same kernel: every first-time activation
+//!    is appended to the next-frontier list through a device-side running
+//!    cursor (exact under the simulator's serial block schedule — the
+//!    modeled equivalent of the atomic-append worklists of Gunrock and
+//!    Enterprise), deduplicated by per-vertex admission tags, with the
+//!    activation's out-degree accumulated alongside. The host then pays a
+//!    single 16-byte control readback per iteration for frontier length,
+//!    direction input, and convergence combined — the same per-iteration
+//!    PCIe bill as the shard engines' converged-flag readback. The
+//!    standalone compaction kernel ([`crate::compact`]) remains the filter
+//!    operator for peel-style workloads (k-core) that flag vertices in one
+//!    kernel and consume the compacted set in another.
+//!
+//! Direction is chosen per iteration from frontier *edge* density
+//! (Ligra/SIMD-X style): a frontier whose out-edges cover at least
+//! `density_threshold` of all edges runs pull, otherwise push. Counting
+//! edges keeps the heuristic degree-aware — hub-heavy frontiers on
+//! scale-free graphs go dense while holding few vertices; road-network
+//! frontiers never do. Programs that are not
+//! [`FRONTIER_SAFE`](VertexProgram::FRONTIER_SAFE) (additive folds such as
+//! PageRank) always run pull — skipping quiescent sources is only sound for
+//! idempotent monotone folds.
+//!
+//! The engine runs on the same simulated device as every other GPU engine:
+//! coalescing, bank-conflict and occupancy counters accumulate as usual, a
+//! [`FaultPlan`] injects copy/kernel faults and silent bit flips (vertex
+//! values and the activation flags are both in the blast radius), and the
+//! same checksum/invariant → rollback → restart → host-fallback ladder
+//! defends against silent corruption.
+
+use crate::config::FrontierConfig;
+use crate::prepared::PreparedFrontier;
+use cusha_core::integrity::{apply_flip, checksum};
+use cusha_core::{
+    CuShaOutput, Direction, Engine, EngineCtx, EngineError, FrontierStats, IterationStat,
+    NoopObserver, RunObserver, RunStats, VertexProgram,
+};
+use cusha_graph::{Graph, VertexId};
+use cusha_obs::trace::{lanes, ArgVal};
+use cusha_simt::{DevVec, FaultPlan, FlipTarget, Gpu, KernelDesc, Mask, WARP};
+
+/// Per-program edge values permuted into the out-CSR and in-CSR edge orders
+/// (`None` when the program has no edge values).
+type EdgeValuePair<E> = (Option<Vec<E>>, Option<Vec<E>>);
+
+/// Engine label reported in [`RunStats::engine`].
+pub const FRONTIER_LABEL: &str = "Frontier";
+
+/// Output of a frontier run.
+#[derive(Clone, Debug)]
+pub struct FrontierOutput<V> {
+    /// Final vertex values.
+    pub values: Vec<V>,
+    /// Run statistics, with [`RunStats::frontier`] populated.
+    pub stats: RunStats,
+}
+
+/// Executes `prog` over `graph` with the frontier engine.
+///
+/// # Panics
+/// Panics on device faults; see [`try_run_frontier`].
+pub fn run_frontier<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &FrontierConfig,
+) -> FrontierOutput<P::V> {
+    match try_run_frontier(prog, graph, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Builds the two-direction topology and runs to convergence, surfacing
+/// every failure as an [`EngineError`].
+pub fn try_run_frontier<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    cfg: &FrontierConfig,
+) -> Result<FrontierOutput<P::V>, EngineError<P::V>> {
+    let pf = PreparedFrontier::build(graph);
+    try_run_frontier_warm(prog, graph, &pf, cfg, None, &mut NoopObserver)
+}
+
+/// Warm entry point: runs over a pre-built [`PreparedFrontier`] (the
+/// `cusha serve` re-entry path), threading the middleware's fault plan
+/// (installed before the run, advanced state written back on every exit)
+/// and consulting `observer` after every non-converged iteration (`false`
+/// aborts with [`EngineError::Deadline`]).
+pub fn try_run_frontier_warm<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    pf: &PreparedFrontier,
+    cfg: &FrontierConfig,
+    fault_plan: Option<&mut FaultPlan>,
+    observer: &mut dyn RunObserver,
+) -> Result<FrontierOutput<P::V>, EngineError<P::V>> {
+    cfg.validate().map_err(EngineError::InvalidConfig)?;
+    graph.validate()?;
+    let mut gpu = Gpu::new(cfg.device.clone());
+    gpu.set_profiling(cfg.profile);
+    gpu.set_tracer(cfg.trace.clone(), 0);
+    if let Some(p) = fault_plan.as_deref().or(cfg.fault_plan.as_ref()) {
+        gpu.set_fault_plan(p.clone());
+    }
+    let result = frontier_attempt(prog, graph, pf, cfg, &mut gpu, observer);
+    if let (Some(slot), Some(p)) = (fault_plan, gpu.take_fault_plan()) {
+        *slot = p;
+    }
+    result
+}
+
+/// Initial frontier: the program's seed (sorted, deduplicated) or, by
+/// default, every vertex.
+fn seed_list<P: VertexProgram>(prog: &P, graph: &Graph) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    match prog.seed_frontier(graph) {
+        Some(mut s) => {
+            s.retain(|&v| v < n);
+            s.sort_unstable();
+            s.dedup();
+            s
+        }
+        None => (0..n).collect(),
+    }
+}
+
+/// One verified snapshot of the loop state at an iteration boundary:
+/// values, the admission tags (which encode frontier membership per
+/// iteration, so they must rewind with the iteration counter), and the
+/// pending frontier with its out-edge count (the direction heuristic's
+/// input).
+struct Snapshot<V> {
+    iteration: u32,
+    values: Vec<V>,
+    active: Vec<u32>,
+    frontier: Vec<u32>,
+    frontier_len: usize,
+    frontier_edges: u64,
+}
+
+#[allow(clippy::too_many_lines)]
+fn frontier_attempt<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    pf: &PreparedFrontier,
+    cfg: &FrontierConfig,
+    gpu: &mut Gpu,
+    observer: &mut dyn RunObserver,
+) -> Result<FrontierOutput<P::V>, EngineError<P::V>> {
+    let n = pf.num_vertices() as usize;
+    let tpb = cfg.threads_per_block as usize;
+    let frontier_safe = P::FRONTIER_SAFE;
+    let integ = cfg.integrity;
+
+    // ---- Host-side constants ----------------------------------------------
+    let init: Vec<P::V> = (0..graph.num_vertices())
+        .map(|v| prog.initial_value(v))
+        .collect();
+    let statics_host: Option<Vec<P::SV>> = P::HAS_STATIC_VALUES.then(|| prog.static_values(graph));
+    let (out_evals_host, in_evals_host): EdgeValuePair<P::E> =
+        if P::HAS_EDGE_VALUES {
+            let by_id = prog.edge_values(graph);
+            let out: Vec<P::E> = pf.out_eids().iter().map(|&id| by_id[id as usize]).collect();
+            let inn: Vec<P::E> = pf
+                .csr()
+                .edge_ids()
+                .iter()
+                .map(|&id| by_id[id as usize])
+                .collect();
+            (Some(out), Some(inn))
+        } else {
+            (None, None)
+        };
+    let seed = seed_list(prog, graph);
+
+    // ---- Upload (H2D) ------------------------------------------------------
+    let mut values = gpu.try_upload(&init)?;
+    let out_idxs = gpu.try_upload(pf.out_idxs())?;
+    let out_dsts = gpu.try_upload(pf.out_dsts())?;
+    let in_idxs = gpu.try_upload(pf.csr().in_edge_idxs())?;
+    let in_srcs = gpu.try_upload(pf.csr().src_indxs())?;
+    let static_buf: Option<DevVec<P::SV>> = match &statics_host {
+        Some(s) => Some(gpu.try_upload(s)?),
+        None => None,
+    };
+    let out_evals: Option<DevVec<P::E>> = match &out_evals_host {
+        Some(s) => Some(gpu.try_upload(s)?),
+        None => None,
+    };
+    let in_evals: Option<DevVec<P::E>> = match &in_evals_host {
+        Some(s) => Some(gpu.try_upload(s)?),
+        None => None,
+    };
+    // Per-vertex admission tags (`active[v] == k+1` ⟺ v is in the frontier
+    // of iteration k — tags replace clearable flags so re-activation across
+    // iterations needs no sweep), the ping-pong frontier lists, and the
+    // filter control cells.
+    let mut active_init = vec![0u32; n.max(1)];
+    for &v in &seed {
+        active_init[v as usize] = 1;
+    }
+    let mut active = gpu.try_upload(&active_init)?;
+    let mut frontier_host = vec![0u32; n.max(1)];
+    for (slot, &v) in seed.iter().enumerate() {
+        frontier_host[slot] = v;
+    }
+    let mut frontier_cur = gpu.try_upload(&frontier_host)?;
+    let mut frontier_next = gpu.try_upload(&vec![0u32; n.max(1)])?;
+    let mut frontier_len = seed.len();
+    let seed_edges: u64 = seed.iter().map(|&v| pf.out_range(v).len() as u64).sum();
+    let mut frontier_edges = seed_edges;
+    let m_total = pf.out_dsts().len().max(1) as f64;
+    let grid_dense = n.div_ceil(tpb).max(1) as u32;
+    // Fused-filter scratch: `[cursor, length out, edge-sum accumulator,
+    // edge-sum out]`. The advance kernel appends activations through the
+    // cursor and accumulates their out-degrees; its last block publishes
+    // the output cells and re-zeroes the accumulators, so the host pays one
+    // 16-byte readback per iteration for length, direction input, and
+    // convergence combined.
+    let mut filter_ctrl = gpu.try_upload(&[0u32; 4])?;
+    let h2d_initial = gpu.h2d_seconds;
+    cfg.trace.complete(
+        0,
+        lanes::ENGINE,
+        "engine",
+        "setup",
+        0.0,
+        gpu.total_seconds(),
+    );
+
+    // ---- Integrity state ---------------------------------------------------
+    let mut vv_crc = checksum(values.host());
+    let mut af_crc = checksum(active.host());
+    let mut snaps: Vec<Snapshot<P::V>> = Vec::new();
+    let mut verified_values: Vec<P::V> = init.clone();
+
+    let mut total = RunStats {
+        engine: FRONTIER_LABEL.to_string(),
+        ..Default::default()
+    };
+    let mut fstats = FrontierStats::default();
+    let mut last_dir: Option<Direction> = None;
+    let mut converged = false;
+
+    // Recovery macro: roll back to the newest verified snapshot, else
+    // restart from the initial state, else escalate to the host fallback.
+    macro_rules! recover {
+        () => {{
+            if total.sdc.rollbacks < integ.max_rollbacks {
+                if let Some(cp) = snaps.last() {
+                    total.sdc.rollbacks += 1;
+                    total.sdc.reexecuted_iterations += total.iterations - cp.iteration;
+                    gpu.try_h2d(&mut values, &cp.values)?;
+                    gpu.try_h2d(&mut active, &cp.active)?;
+                    gpu.try_h2d(&mut frontier_cur, &cp.frontier)?;
+                    frontier_len = cp.frontier_len;
+                    frontier_edges = cp.frontier_edges;
+                    total.iterations = cp.iteration;
+                    vv_crc = checksum(values.host());
+                    af_crc = checksum(active.host());
+                    cfg.trace
+                        .instant(0, lanes::FAULT, "sdc", "rollback", gpu.total_seconds());
+                    continue;
+                }
+            }
+            if total.sdc.full_restarts < integ.max_full_restarts {
+                total.sdc.full_restarts += 1;
+                total.sdc.reexecuted_iterations += total.iterations;
+                gpu.try_h2d(&mut values, &init)?;
+                gpu.try_h2d(&mut active, &active_init)?;
+                gpu.try_h2d(&mut frontier_cur, &frontier_host)?;
+                frontier_len = seed.len();
+                frontier_edges = seed_edges;
+                total.iterations = 0;
+                snaps.clear();
+                verified_values = init.clone();
+                vv_crc = checksum(values.host());
+                af_crc = checksum(active.host());
+                cfg.trace
+                    .instant(0, lanes::FAULT, "sdc", "restart", gpu.total_seconds());
+                continue;
+            }
+            // Ladder exhausted: finish on the host (outside the device
+            // flip model, so the result is trusted).
+            let values = host_fallback(prog, graph, pf, cfg.max_iterations);
+            total.sdc.host_fallbacks += 1;
+            total.converged = true;
+            total.frontier = Some(fstats);
+            cfg.trace
+                .instant(0, lanes::FAULT, "sdc", "host-fallback", gpu.total_seconds());
+            return Ok(FrontierOutput {
+                values,
+                stats: total,
+            });
+        }};
+    }
+
+    // ---- Convergence loop --------------------------------------------------
+    while total.iterations < cfg.max_iterations {
+        if frontier_len == 0 {
+            converged = true;
+            break;
+        }
+        let iter_ts = gpu.total_seconds();
+
+        // Silent bit flips scheduled at this kernel boundary land while the
+        // data is at rest in device DRAM: vertex values take `vv` flips,
+        // the activation flags take `sv`/`win` flips (the frontier engine's
+        // second protected buffer).
+        let flips = gpu.take_due_bit_flips();
+        for flip in &flips {
+            match flip.target {
+                FlipTarget::VertexValues => apply_flip(&mut values, flip),
+                FlipTarget::SrcValue | FlipTarget::Window => apply_flip(&mut active, flip),
+            }
+        }
+        total.sdc.flips_injected += flips.len() as u64;
+        if integ.mode.checksums()
+            && (checksum(values.host()) != vv_crc || checksum(active.host()) != af_crc)
+        {
+            total.sdc.checksum_detections += 1;
+            recover!();
+        }
+
+        // Direction choice: edge-density heuristic (how many edges the
+        // frontier can touch, as a fraction of all edges), pinned to pull
+        // for programs that need the full fold.
+        let density = frontier_edges as f64 / m_total;
+        let dir = if !frontier_safe || density >= cfg.density_threshold {
+            Direction::Pull
+        } else {
+            Direction::Push
+        };
+        // Admission tag for the frontier this iteration produces.
+        let next_tag = total.iterations + 2;
+        if let Some(prev) = last_dir {
+            if prev != dir {
+                fstats.switches += 1;
+                let name = format!("direction-switch:{}->{}", prev.label(), dir.label());
+                cfg.trace
+                    .instant(0, lanes::ENGINE, "frontier", &name, iter_ts);
+            }
+        }
+        last_dir = Some(dir);
+        fstats.sizes.push(frontier_len as u64);
+        fstats.directions.push(dir);
+        cfg.trace.counter(
+            0,
+            lanes::ENGINE,
+            "frontier_size",
+            iter_ts,
+            frontier_len as f64,
+        );
+
+        // ---- advance (+ fused compute) ------------------------------------
+        let mut updated_this_iter = 0u64;
+        let kstats = match dir {
+            Direction::Push => {
+                let grid = frontier_len.div_ceil(tpb).max(1) as u32;
+                let desc = KernelDesc::new(
+                    format!("frontier-advance-push::{}", prog.name()),
+                    grid,
+                    cfg.threads_per_block,
+                );
+                gpu.try_launch(&desc, |b| {
+                    let bid = b.id() as usize;
+                    let block_base = bid * tpb;
+                    let warps = tpb / WARP;
+                    // Fused filter: each serially-executed block continues
+                    // the running append cursor and out-edge accumulator.
+                    b.phase("filter");
+                    let c = b.gload(&filter_ctrl, Mask::first(4), |l| l);
+                    let mut cursor = c[0] as usize;
+                    let mut edge_acc = c[2];
+                    for w in 0..warps {
+                        let warp_base = block_base + w * WARP;
+                        if warp_base >= frontier_len {
+                            break;
+                        }
+                        b.phase("advance");
+                        let mask = Mask::from_fn(|l| warp_base + l < frontier_len);
+                        // Coalesced frontier read, gathered source values.
+                        let us = b.gload(&frontier_cur, mask, |l| warp_base + l);
+                        let uvals = b.gload(&values, mask, |l| us[l] as usize);
+                        let ustat = match &static_buf {
+                            Some(buf) => b.gload(buf, mask, |l| us[l] as usize),
+                            None => [P::SV::default(); WARP],
+                        };
+                        let starts = b.gload(&out_idxs, mask, |l| us[l] as usize);
+                        let ends = b.gload(&out_idxs, mask, |l| us[l] as usize + 1);
+                        b.exec(mask, 1);
+                        let mut deg = [0u32; WARP];
+                        for l in mask.iter() {
+                            deg[l] = ends[l] - starts[l];
+                        }
+                        let max_deg = (0..WARP).map(|l| deg[l]).max().unwrap_or(0);
+                        for step in 0..max_deg {
+                            let smask = Mask::from_fn(|l| mask.lane(l) && step < deg[l]);
+                            if smask.is_empty() {
+                                continue;
+                            }
+                            let eidx = |l: usize| (starts[l] + step) as usize;
+                            let dsts = b.gload(&out_dsts, smask, eidx);
+                            let evals = match &out_evals {
+                                Some(buf) => b.gload(buf, smask, eidx),
+                                None => [P::E::default(); WARP],
+                            };
+                            // THE scattered access of push mode: destination
+                            // values, read-modify-written in place.
+                            let dvals = b.gload(&values, smask, |l| dsts[l] as usize);
+                            b.phase("compute");
+                            // Lane-serial relaxation with intra-op
+                            // visibility: a later lane hitting the same
+                            // destination sees the earlier lane's update, so
+                            // the lane-order store (last writer wins) always
+                            // publishes the most-relaxed value.
+                            let mut pending: Vec<(usize, P::V)> = Vec::new();
+                            let mut changed = [false; WARP];
+                            let mut outv = [P::V::default(); WARP];
+                            for l in smask.iter() {
+                                let d = dsts[l] as usize;
+                                let cur = pending
+                                    .iter()
+                                    .rev()
+                                    .find(|&&(t, _)| t == d)
+                                    .map(|&(_, v)| v)
+                                    .unwrap_or(dvals[l]);
+                                let mut local = P::V::default();
+                                prog.init_compute(&mut local, &cur);
+                                prog.compute(&uvals[l], &ustat[l], &evals[l], &mut local);
+                                if prog.update_condition(&mut local, &cur) {
+                                    pending.push((d, local));
+                                    changed[l] = true;
+                                    outv[l] = local;
+                                }
+                            }
+                            b.exec(smask, P::COMPUTE_COST + 1);
+                            let st = Mask::from_fn(|l| changed[l]);
+                            if !st.is_empty() {
+                                b.gstore(&mut values, st, |l| dsts[l] as usize, |l| outv[l]);
+                                updated_this_iter += st.count() as u64;
+                                // Fused filter: enqueue first-time
+                                // activations. The admission tag dedups —
+                                // lane-serially within the batch, through
+                                // device memory across warps and blocks.
+                                b.phase("filter");
+                                let tags = b.gload(&active, st, |l| dsts[l] as usize);
+                                let mut fresh = [false; WARP];
+                                let mut batch = [0u32; WARP];
+                                let mut seen = 0usize;
+                                for l in st.iter() {
+                                    if tags[l] != next_tag && !batch[..seen].contains(&dsts[l]) {
+                                        fresh[l] = true;
+                                        batch[seen] = dsts[l];
+                                        seen += 1;
+                                    }
+                                }
+                                b.exec(st, 1);
+                                let fm = Mask::from_fn(|l| fresh[l]);
+                                if !fm.is_empty() {
+                                    b.gstore(
+                                        &mut active,
+                                        fm,
+                                        |l| dsts[l] as usize,
+                                        move |_| next_tag,
+                                    );
+                                    let d0 = b.gload(&out_idxs, fm, |l| dsts[l] as usize);
+                                    let d1 = b.gload(&out_idxs, fm, |l| dsts[l] as usize + 1);
+                                    let mut pos = [0usize; WARP];
+                                    for l in fm.iter() {
+                                        pos[l] = cursor;
+                                        cursor += 1;
+                                        edge_acc += d1[l] - d0[l];
+                                    }
+                                    b.gstore(&mut frontier_next, fm, |l| pos[l], |l| dsts[l]);
+                                }
+                            }
+                            b.phase("advance");
+                        }
+                    }
+                    // Publish the running totals; the last block also parks
+                    // the outputs and re-zeroes the accumulators.
+                    b.phase("filter");
+                    let (cur, es) = (cursor as u32, edge_acc);
+                    if bid + 1 == grid as usize {
+                        b.gstore(
+                            &mut filter_ctrl,
+                            Mask::first(4),
+                            |l| l,
+                            move |l| match l {
+                                1 => cur,
+                                3 => es,
+                                _ => 0,
+                            },
+                        );
+                    } else {
+                        let m2 = Mask::from_fn(|l| l == 0 || l == 2);
+                        b.gstore(
+                            &mut filter_ctrl,
+                            m2,
+                            |l| l,
+                            move |l| {
+                                if l == 0 {
+                                    cur
+                                } else {
+                                    es
+                                }
+                            },
+                        );
+                    }
+                })?
+            }
+            Direction::Pull => {
+                let desc = KernelDesc::new(
+                    format!("frontier-advance-pull::{}", prog.name()),
+                    grid_dense,
+                    cfg.threads_per_block,
+                );
+                gpu.try_launch(&desc, |b| {
+                    let bid = b.id() as usize;
+                    let block_base = bid * tpb;
+                    let warps = tpb / WARP;
+                    b.phase("filter");
+                    let c = b.gload(&filter_ctrl, Mask::first(4), |l| l);
+                    let mut cursor = c[0] as usize;
+                    let mut edge_acc = c[2];
+                    for w in 0..warps {
+                        let warp_base = block_base + w * WARP;
+                        if warp_base >= n {
+                            break;
+                        }
+                        b.phase("advance");
+                        let mask = Mask::from_fn(|l| warp_base + l < n);
+                        let vidx = |l: usize| warp_base + l;
+                        let olds = b.gload(&values, mask, vidx);
+                        let starts = b.gload(&in_idxs, mask, vidx);
+                        let ends = b.gload(&in_idxs, mask, |l| vidx(l) + 1);
+                        b.exec(mask, 1);
+                        let mut deg = [0u32; WARP];
+                        let mut local = [P::V::default(); WARP];
+                        for l in mask.iter() {
+                            deg[l] = ends[l] - starts[l];
+                            prog.init_compute(&mut local[l], &olds[l]);
+                        }
+                        let max_deg = (0..WARP).map(|l| deg[l]).max().unwrap_or(0);
+                        for step in 0..max_deg {
+                            let smask = Mask::from_fn(|l| mask.lane(l) && step < deg[l]);
+                            if smask.is_empty() {
+                                continue;
+                            }
+                            let eidx = |l: usize| (starts[l] + step) as usize;
+                            let srcs = b.gload(&in_srcs, smask, eidx);
+                            let svals = b.gload(&values, smask, |l| srcs[l] as usize);
+                            let sstat = match &static_buf {
+                                Some(buf) => b.gload(buf, smask, |l| srcs[l] as usize),
+                                None => [P::SV::default(); WARP],
+                            };
+                            let evals = match &in_evals {
+                                Some(buf) => b.gload(buf, smask, eidx),
+                                None => [P::E::default(); WARP],
+                            };
+                            for l in smask.iter() {
+                                prog.compute(&svals[l], &sstat[l], &evals[l], &mut local[l]);
+                            }
+                            b.exec(smask, P::COMPUTE_COST);
+                        }
+                        // compute: publish values passing the condition.
+                        b.phase("compute");
+                        let mut changed = [false; WARP];
+                        let mut outv = [P::V::default(); WARP];
+                        for l in mask.iter() {
+                            let mut lv = local[l];
+                            changed[l] = prog.update_condition(&mut lv, &olds[l]);
+                            outv[l] = lv;
+                        }
+                        b.exec(mask, 1);
+                        let st = Mask::from_fn(|l| changed[l]);
+                        if !st.is_empty() {
+                            b.gstore(&mut values, st, vidx, |l| outv[l]);
+                            updated_this_iter += st.count() as u64;
+                            // Fused filter: activation is tile-local in
+                            // pull (a vertex admits itself), so the append
+                            // needs no dedup and lands in vertex order.
+                            b.phase("filter");
+                            b.gstore(&mut active, st, vidx, move |_| next_tag);
+                            let d0 = b.gload(&out_idxs, st, vidx);
+                            let d1 = b.gload(&out_idxs, st, |l| vidx(l) + 1);
+                            let mut pos = [0usize; WARP];
+                            for l in st.iter() {
+                                pos[l] = cursor;
+                                cursor += 1;
+                                edge_acc += d1[l] - d0[l];
+                            }
+                            b.exec(st, 1);
+                            b.gstore(&mut frontier_next, st, |l| pos[l], |l| vidx(l) as u32);
+                        }
+                    }
+                    b.phase("filter");
+                    let (cur, es) = (cursor as u32, edge_acc);
+                    if bid + 1 == grid_dense as usize {
+                        b.gstore(
+                            &mut filter_ctrl,
+                            Mask::first(4),
+                            |l| l,
+                            move |l| match l {
+                                1 => cur,
+                                3 => es,
+                                _ => 0,
+                            },
+                        );
+                    } else {
+                        let m2 = Mask::from_fn(|l| l == 0 || l == 2);
+                        b.gstore(
+                            &mut filter_ctrl,
+                            m2,
+                            |l| l,
+                            move |l| {
+                                if l == 0 {
+                                    cur
+                                } else {
+                                    es
+                                }
+                            },
+                        );
+                    }
+                })?
+            }
+        };
+        total.kernel.counters.add(&kstats.counters);
+        total.kernel.blocks = kstats.blocks;
+        total.kernel.threads_per_block = kstats.threads_per_block;
+
+        // ---- filter readback: one 16-byte transfer per iteration -----------
+        // Length, direction input, and convergence all ride the same
+        // readback (the push/pull grids and the empty-frontier exit need
+        // the length host-side, exactly like the shard engines' converged
+        // flag).
+        let ctrl_host = gpu.try_download(&filter_ctrl)?;
+        frontier_len = ctrl_host[1] as usize;
+        frontier_edges = u64::from(ctrl_host[3]);
+        std::mem::swap(&mut frontier_cur, &mut frontier_next);
+
+        // New verified reference state for the next boundary's scrub.
+        vv_crc = checksum(values.host());
+        af_crc = checksum(active.host());
+
+        total.iterations += 1;
+        total.per_iteration.push(IterationStat {
+            seconds: gpu.total_seconds() - iter_ts,
+            updated_vertices: updated_this_iter,
+        });
+        let iter = total.iterations as u64 - 1;
+        cfg.trace.complete_with(
+            0,
+            lanes::ENGINE,
+            "engine",
+            "iteration",
+            iter_ts,
+            gpu.total_seconds() - iter_ts,
+            || {
+                vec![
+                    ("iteration", ArgVal::U64(iter)),
+                    ("updated_vertices", ArgVal::U64(updated_this_iter)),
+                    ("direction", ArgVal::Str(dir.label().to_string())),
+                    ("frontier_out_edges", ArgVal::U64(frontier_edges)),
+                ]
+            },
+        );
+
+        // Checkpoint boundary: verify the algorithm invariant against the
+        // last verified snapshot, then store this state as the new rollback
+        // target.
+        if integ.mode.enabled() && total.iterations.is_multiple_of(integ.checkpoint_every) {
+            let cur = values.host().to_vec();
+            if integ.mode.invariants() {
+                if let Err(_law) = prog.check_invariant(&verified_values, &cur) {
+                    total.sdc.invariant_detections += 1;
+                    recover!();
+                }
+            }
+            verified_values = cur.clone();
+            snaps.push(Snapshot {
+                iteration: total.iterations,
+                values: cur,
+                active: active.host().to_vec(),
+                frontier: frontier_cur.host().to_vec(),
+                frontier_len,
+                frontier_edges,
+            });
+            if snaps.len() > integ.max_checkpoints {
+                snaps.remove(0);
+            }
+            total.sdc.checkpoints += 1;
+        }
+
+        if frontier_len != 0
+            && !observer.on_iteration(total.iterations, updated_this_iter, gpu.total_seconds())
+        {
+            return Err(EngineError::Deadline {
+                iterations: total.iterations,
+                elapsed_seconds: gpu.total_seconds(),
+            });
+        }
+    }
+
+    // ---- Download results (D2H) --------------------------------------------
+    let d2h_before_results = gpu.d2h_seconds;
+    let dl_ts = gpu.total_seconds();
+    let values = gpu.try_download(&values)?;
+    cfg.trace.complete(
+        0,
+        lanes::ENGINE,
+        "engine",
+        "download",
+        dl_ts,
+        gpu.total_seconds() - dl_ts,
+    );
+    total.converged = converged;
+    total.kernel.name = format!("{}::{}", FRONTIER_LABEL, prog.name()).into();
+    total.h2d_seconds = h2d_initial;
+    total.compute_seconds =
+        gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
+    total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
+    total.profile = gpu.profile.take();
+    total.frontier = Some(fstats);
+    if !converged {
+        return Err(EngineError::NonConverged {
+            partial: Box::new(CuShaOutput {
+                values,
+                stats: total,
+            }),
+        });
+    }
+    Ok(FrontierOutput {
+        values,
+        stats: total,
+    })
+}
+
+/// Trusted host re-execution — the bottom rung of the SDC ladder. Runs the
+/// same frontier schedule sequentially in host memory (push for
+/// frontier-safe programs, dense pull otherwise), which no device fault can
+/// reach.
+fn host_fallback<P: VertexProgram>(
+    prog: &P,
+    graph: &Graph,
+    pf: &PreparedFrontier,
+    max_iterations: u32,
+) -> Vec<P::V> {
+    let n = pf.num_vertices() as usize;
+    let mut values: Vec<P::V> = (0..graph.num_vertices())
+        .map(|v| prog.initial_value(v))
+        .collect();
+    let statics: Option<Vec<P::SV>> = P::HAS_STATIC_VALUES.then(|| prog.static_values(graph));
+    let by_id: Option<Vec<P::E>> = P::HAS_EDGE_VALUES.then(|| prog.edge_values(graph));
+    let stat_of = |v: usize| statics.as_ref().map(|s| s[v]).unwrap_or_default();
+    if P::FRONTIER_SAFE {
+        let mut frontier = seed_list(prog, graph);
+        let mut iters = 0u32;
+        while !frontier.is_empty() && iters < max_iterations {
+            let mut flags = vec![false; n];
+            for &u in &frontier {
+                for slot in pf.out_range(u) {
+                    let d = pf.out_dsts()[slot] as usize;
+                    let ev = by_id
+                        .as_ref()
+                        .map(|b| b[pf.out_eids()[slot] as usize])
+                        .unwrap_or_default();
+                    let old = values[d];
+                    let mut local = P::V::default();
+                    prog.init_compute(&mut local, &old);
+                    prog.compute(&values[u as usize], &stat_of(u as usize), &ev, &mut local);
+                    if prog.update_condition(&mut local, &old) {
+                        values[d] = local;
+                        flags[d] = true;
+                    }
+                }
+            }
+            frontier = (0..n as u32).filter(|&v| flags[v as usize]).collect();
+            iters += 1;
+        }
+    } else {
+        let csr = pf.csr();
+        let mut iters = 0u32;
+        loop {
+            let mut any = false;
+            for v in 0..n {
+                let old = values[v];
+                let mut local = P::V::default();
+                prog.init_compute(&mut local, &old);
+                for slot in csr.in_range(v as u32) {
+                    let s = csr.src_indxs()[slot] as usize;
+                    let ev = by_id
+                        .as_ref()
+                        .map(|b| b[csr.edge_ids()[slot] as usize])
+                        .unwrap_or_default();
+                    prog.compute(&values[s], &stat_of(s), &ev, &mut local);
+                }
+                if prog.update_condition(&mut local, &old) {
+                    values[v] = local;
+                    any = true;
+                }
+            }
+            iters += 1;
+            if !any || iters >= max_iterations {
+                break;
+            }
+        }
+    }
+    values
+}
+
+/// [`Engine`] middleware adapter: builds the two-direction topology per
+/// call, maps the generic config through [`FrontierConfig::from_cusha`] and
+/// enters [`try_run_frontier_warm`].
+pub struct FrontierEngine {
+    /// Push/pull density threshold (see [`FrontierConfig::density_threshold`]).
+    pub density_threshold: f64,
+}
+
+impl Default for FrontierEngine {
+    fn default() -> Self {
+        FrontierEngine::new()
+    }
+}
+
+impl FrontierEngine {
+    /// Adapter with the default density threshold.
+    pub fn new() -> Self {
+        FrontierEngine {
+            density_threshold: crate::config::DEFAULT_DENSITY_THRESHOLD,
+        }
+    }
+}
+
+impl<P: VertexProgram> Engine<P> for FrontierEngine {
+    fn label(&self) -> String {
+        FRONTIER_LABEL.into()
+    }
+
+    fn recovers_faults(&self) -> bool {
+        // The rollback/restart/fallback ladder recovers silent corruption,
+        // but transient copy/kernel faults surface — the middleware retries
+        // them with the usual backoff.
+        false
+    }
+
+    fn execute(
+        &mut self,
+        prog: &P,
+        graph: &Graph,
+        ctx: EngineCtx<'_>,
+    ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
+        let pf = PreparedFrontier::build(graph);
+        let mut cfg = FrontierConfig::from_cusha(ctx.cfg);
+        cfg.density_threshold = self.density_threshold;
+        let out = try_run_frontier_warm(prog, graph, &pf, &cfg, ctx.fault_plan, ctx.observer)?;
+        Ok(CuShaOutput {
+            values: out.values,
+            stats: out.stats,
+        })
+    }
+}

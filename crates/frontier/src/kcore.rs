@@ -1,0 +1,463 @@
+//! k-core decomposition — a frontier-native workload.
+//!
+//! No shard engine expresses peeling: the unit of work is "remove this
+//! vertex and damage its neighborhood", exactly the shape the frontier
+//! operators model. Each round **filter**s the alive vertices whose current
+//! degree has dropped below `k` into a compacted peel set, then a peel
+//! kernel (**compute**) assigns their core number (`k - 1`), marks them
+//! dead, and decrements surviving neighbors' degrees; when a round peels
+//! nothing, `k` advances. The graph is treated as undirected: edges are
+//! symmetrized, self-loops dropped and parallel edges deduplicated before
+//! upload.
+//!
+//! Duplicate-decrement hazard: several peeled vertices in one warp
+//! operation may share a surviving neighbor, and a plain `gstore` keeps a
+//! single winner. The peel kernel therefore merges decrements lane-serially
+//! (a later lane sees the earlier lane's subtraction) before storing, the
+//! same intra-op overlay the generic push kernel uses for value relaxation.
+
+use crate::compact::compact_flags;
+use crate::config::FrontierConfig;
+use cusha_core::integrity::{apply_flip, checksum};
+use cusha_core::{
+    CuShaOutput, Direction, EngineError, FrontierStats, IterationStat, NoopObserver, RunObserver,
+    RunStats,
+};
+use cusha_graph::Graph;
+use cusha_obs::trace::lanes;
+use cusha_simt::{FaultPlan, FlipTarget, Gpu, KernelDesc, Mask, WARP};
+
+/// k-core reuses the frontier configuration (`max_iterations` caps peel
+/// rounds; the density threshold is unused — peeling is always push-shaped).
+pub type KcoreConfig = FrontierConfig;
+
+/// Result of a k-core decomposition.
+#[derive(Clone, Debug)]
+pub struct KcoreOutput {
+    /// Core number (coreness) of every vertex.
+    pub core: Vec<u32>,
+    /// Largest core number present (the graph's degeneracy).
+    pub degeneracy: u32,
+    /// Run statistics; `frontier` records each round's peel-set size.
+    pub stats: RunStats,
+}
+
+/// Symmetrized, deduplicated, loop-free adjacency in CSR form.
+fn undirected_adjacency(g: &Graph) -> (Vec<u32>, Vec<u32>) {
+    let n = g.num_vertices() as usize;
+    let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        if e.src != e.dst {
+            nbrs[e.src as usize].push(e.dst);
+            nbrs[e.dst as usize].push(e.src);
+        }
+    }
+    let mut idxs = vec![0u32; n + 1];
+    let mut flat = Vec::new();
+    for (v, list) in nbrs.iter_mut().enumerate() {
+        list.sort_unstable();
+        list.dedup();
+        flat.extend_from_slice(list);
+        idxs[v + 1] = flat.len() as u32;
+    }
+    (idxs, flat)
+}
+
+/// Runs the decomposition, panicking on device faults.
+pub fn run_kcore(graph: &Graph, cfg: &KcoreConfig) -> KcoreOutput {
+    match try_run_kcore(graph, cfg, None, &mut NoopObserver) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs the decomposition on the simulated device. The observer is
+/// consulted after every peel round (`false` aborts with
+/// [`EngineError::Deadline`]); the fault plan, if given, is installed on
+/// the device and its advanced state written back on exit.
+#[allow(clippy::too_many_lines)]
+pub fn try_run_kcore(
+    graph: &Graph,
+    cfg: &KcoreConfig,
+    fault_plan: Option<&mut FaultPlan>,
+    observer: &mut dyn RunObserver,
+) -> Result<KcoreOutput, EngineError<u32>> {
+    cfg.validate().map_err(EngineError::InvalidConfig)?;
+    graph.validate()?;
+    let n = graph.num_vertices() as usize;
+    let (idxs_host, nbrs_host) = undirected_adjacency(graph);
+    let deg_host: Vec<u32> = (0..n).map(|v| idxs_host[v + 1] - idxs_host[v]).collect();
+
+    let mut gpu = Gpu::new(cfg.device.clone());
+    gpu.set_profiling(cfg.profile);
+    gpu.set_tracer(cfg.trace.clone(), 0);
+    if let Some(p) = fault_plan.as_deref().or(cfg.fault_plan.as_ref()) {
+        gpu.set_fault_plan(p.clone());
+    }
+    let result = kcore_attempt(
+        graph, cfg, &mut gpu, observer, &idxs_host, &nbrs_host, &deg_host,
+    );
+    if let (Some(slot), Some(p)) = (fault_plan, gpu.take_fault_plan()) {
+        *slot = p;
+    }
+    result
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn kcore_attempt(
+    graph: &Graph,
+    cfg: &KcoreConfig,
+    gpu: &mut Gpu,
+    observer: &mut dyn RunObserver,
+    idxs_host: &[u32],
+    nbrs_host: &[u32],
+    deg_host: &[u32],
+) -> Result<KcoreOutput, EngineError<u32>> {
+    let n = graph.num_vertices() as usize;
+    let tpb = cfg.threads_per_block as usize;
+    let integ = cfg.integrity;
+    let grid_dense = n.div_ceil(tpb).max(1) as u32;
+
+    let adj_idxs = gpu.try_upload(idxs_host)?;
+    let adj_nbrs = gpu.try_upload(nbrs_host)?;
+    let mut deg = gpu.try_upload(deg_host)?;
+    let mut core = gpu.try_upload(&vec![0u32; n.max(1)])?;
+    let mut alive = gpu.try_upload(&vec![1u32; n.max(1)])?;
+    let mut active = gpu.try_upload(&vec![0u32; n.max(1)])?;
+    let mut frontier_buf = gpu.try_upload(&vec![0u32; n.max(1)])?;
+    // Two-cell filter scratch: `[cursor, length]` for the fused compaction.
+    let mut filter_ctrl = gpu.try_upload(&[0u32, 0u32])?;
+    let h2d_initial = gpu.h2d_seconds;
+
+    let mut state_crc = checksum(core.host()) ^ checksum(deg.host()) ^ checksum(alive.host());
+    let mut total = RunStats {
+        engine: "Frontier/kcore".to_string(),
+        ..Default::default()
+    };
+    let mut fstats = FrontierStats::default();
+    let mut k = 1u32;
+    let mut alive_count = n;
+    let mut rounds = 0u32;
+
+    'outer: while alive_count > 0 && rounds < cfg.max_iterations {
+        let round_ts = gpu.total_seconds();
+
+        // Bit flips at rest: core numbers take `vv` flips, the degree/alive
+        // working state takes `sv`/`win` flips.
+        let flips = gpu.take_due_bit_flips();
+        for flip in &flips {
+            match flip.target {
+                FlipTarget::VertexValues => apply_flip(&mut core, flip),
+                FlipTarget::SrcValue => apply_flip(&mut deg, flip),
+                FlipTarget::Window => apply_flip(&mut alive, flip),
+            }
+        }
+        total.sdc.flips_injected += flips.len() as u64;
+        if integ.mode.checksums() {
+            let crc = checksum(core.host()) ^ checksum(deg.host()) ^ checksum(alive.host());
+            if crc != state_crc {
+                total.sdc.checksum_detections += 1;
+                // Peeling keeps no cheap checkpoint (the damage is spread
+                // across four buffers), so the ladder is restart → host.
+                if total.sdc.full_restarts < integ.max_full_restarts {
+                    total.sdc.full_restarts += 1;
+                    total.sdc.reexecuted_iterations += rounds;
+                    gpu.try_h2d(&mut deg, deg_host)?;
+                    gpu.try_h2d(&mut core, &vec![0u32; n.max(1)])?;
+                    gpu.try_h2d(&mut alive, &vec![1u32; n.max(1)])?;
+                    gpu.try_h2d(&mut active, &vec![0u32; n.max(1)])?;
+                    k = 1;
+                    alive_count = n;
+                    rounds = 0;
+                    total.iterations = 0;
+                    state_crc =
+                        checksum(core.host()) ^ checksum(deg.host()) ^ checksum(alive.host());
+                    cfg.trace
+                        .instant(0, lanes::FAULT, "sdc", "restart", gpu.total_seconds());
+                    continue 'outer;
+                }
+                let core = host_kcore(graph);
+                let degeneracy = core.iter().copied().max().unwrap_or(0);
+                total.sdc.host_fallbacks += 1;
+                total.converged = true;
+                total.frontier = Some(fstats);
+                cfg.trace
+                    .instant(0, lanes::FAULT, "sdc", "host-fallback", gpu.total_seconds());
+                return Ok(KcoreOutput {
+                    core,
+                    degeneracy,
+                    stats: total,
+                });
+            }
+        }
+
+        // filter: flag alive vertices whose degree fell below k …
+        let desc_scan = KernelDesc::new(format!("kcore-scan::k{k}"), grid_dense, tpb as u32);
+        let ksc = gpu.try_launch(&desc_scan, |b| {
+            let block_base = b.id() as usize * tpb;
+            for w in 0..tpb / WARP {
+                let warp_base = block_base + w * WARP;
+                if warp_base >= n {
+                    break;
+                }
+                b.phase("filter");
+                let mask = Mask::from_fn(|l| warp_base + l < n);
+                let vidx = |l: usize| warp_base + l;
+                let al = b.gload(&alive, mask, vidx);
+                let dg = b.gload(&deg, mask, vidx);
+                let set = Mask::from_fn(|l| mask.lane(l) && al[l] != 0 && dg[l] < k);
+                b.exec(mask, 1);
+                if !set.is_empty() {
+                    b.gstore(&mut active, set, vidx, |_| 1u32);
+                }
+            }
+        })?;
+        total.kernel.counters.add(&ksc.counters);
+        // … and compact them into this round's peel set.
+        let (peel_len, kf) = compact_flags(
+            gpu,
+            &mut active,
+            &mut frontier_buf,
+            &mut filter_ctrl,
+            n,
+            tpb,
+            "kcore",
+        )?;
+        total.kernel.counters.add(&kf.counters);
+        if peel_len == 0 {
+            // Nothing below k: the k-core is stable, advance the threshold.
+            k += 1;
+            state_crc = checksum(core.host()) ^ checksum(deg.host()) ^ checksum(alive.host());
+            continue;
+        }
+
+        // compute: peel the set — assign core numbers, kill the vertices,
+        // damage surviving neighbors' degrees.
+        let grid_peel = peel_len.div_ceil(tpb).max(1) as u32;
+        let desc_peel = KernelDesc::new(format!("kcore-peel::k{k}"), grid_peel, tpb as u32);
+        let kp = gpu.try_launch(&desc_peel, |b| {
+            let block_base = b.id() as usize * tpb;
+            for w in 0..tpb / WARP {
+                let warp_base = block_base + w * WARP;
+                if warp_base >= peel_len {
+                    break;
+                }
+                b.phase("compute");
+                let mask = Mask::from_fn(|l| warp_base + l < peel_len);
+                let vs = b.gload(&frontier_buf, mask, |l| warp_base + l);
+                b.gstore(&mut core, mask, |l| vs[l] as usize, |_| k - 1);
+                b.gstore(&mut alive, mask, |l| vs[l] as usize, |_| 0u32);
+                let starts = b.gload(&adj_idxs, mask, |l| vs[l] as usize);
+                let ends = b.gload(&adj_idxs, mask, |l| vs[l] as usize + 1);
+                b.exec(mask, 1);
+                let mut dgs = [0u32; WARP];
+                for l in mask.iter() {
+                    dgs[l] = ends[l] - starts[l];
+                }
+                let max_deg = (0..WARP).map(|l| dgs[l]).max().unwrap_or(0);
+                for step in 0..max_deg {
+                    let smask = Mask::from_fn(|l| mask.lane(l) && step < dgs[l]);
+                    if smask.is_empty() {
+                        continue;
+                    }
+                    let eidx = |l: usize| (starts[l] + step) as usize;
+                    let us = b.gload(&adj_nbrs, smask, eidx);
+                    let al = b.gload(&alive, smask, |l| us[l] as usize);
+                    let cur = b.gload(&deg, smask, |l| us[l] as usize);
+                    // Lane-serial merged decrement (see module docs).
+                    let mut pending: Vec<(u32, u32)> = Vec::new();
+                    let mut hit = [false; WARP];
+                    let mut newv = [0u32; WARP];
+                    for l in smask.iter() {
+                        if al[l] == 0 {
+                            continue;
+                        }
+                        let base = pending
+                            .iter()
+                            .rev()
+                            .find(|&&(t, _)| t == us[l])
+                            .map(|&(_, v)| v)
+                            .unwrap_or(cur[l]);
+                        let v = base.saturating_sub(1);
+                        pending.push((us[l], v));
+                        hit[l] = true;
+                        newv[l] = v;
+                    }
+                    b.exec(smask, 2);
+                    let st = Mask::from_fn(|l| hit[l]);
+                    if !st.is_empty() {
+                        b.gstore(&mut deg, st, |l| us[l] as usize, |l| newv[l]);
+                    }
+                }
+            }
+        })?;
+        total.kernel.counters.add(&kp.counters);
+        total.kernel.blocks = kp.blocks;
+        total.kernel.threads_per_block = kp.threads_per_block;
+        alive_count -= peel_len;
+        rounds += 1;
+        total.iterations = rounds;
+        state_crc = checksum(core.host()) ^ checksum(deg.host()) ^ checksum(alive.host());
+
+        fstats.sizes.push(peel_len as u64);
+        fstats.directions.push(Direction::Push);
+        cfg.trace
+            .counter(0, lanes::ENGINE, "frontier_size", round_ts, peel_len as f64);
+        total.per_iteration.push(IterationStat {
+            seconds: gpu.total_seconds() - round_ts,
+            updated_vertices: peel_len as u64,
+        });
+        if alive_count > 0 && !observer.on_iteration(rounds, peel_len as u64, gpu.total_seconds()) {
+            return Err(EngineError::Deadline {
+                iterations: rounds,
+                elapsed_seconds: gpu.total_seconds(),
+            });
+        }
+    }
+
+    let d2h_before_results = gpu.d2h_seconds;
+    let core = gpu.try_download(&core)?;
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    total.converged = alive_count == 0;
+    total.kernel.name = "Frontier::kcore".into();
+    total.h2d_seconds = h2d_initial;
+    total.compute_seconds =
+        gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
+    total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
+    total.profile = gpu.profile.take();
+    total.frontier = Some(fstats);
+    if !total.converged {
+        return Err(EngineError::NonConverged {
+            partial: Box::new(CuShaOutput {
+                values: core,
+                stats: total,
+            }),
+        });
+    }
+    Ok(KcoreOutput {
+        core,
+        degeneracy,
+        stats: total,
+    })
+}
+
+/// Host oracle: Batagelj–Zaveršnik bin-sort peeling, O(n + m), fully
+/// independent of the device schedule.
+pub fn host_kcore(graph: &Graph) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let (idxs, nbrs) = undirected_adjacency(graph);
+    let mut core: Vec<u32> = (0..n).map(|v| idxs[v + 1] - idxs[v]).collect();
+    let md = core.iter().copied().max().unwrap_or(0) as usize;
+    let mut bin = vec![0usize; md + 2];
+    for &d in &core {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let c = *b;
+        *b = start;
+        start += c;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = core[v] as usize;
+            pos[v] = cursor[d];
+            vert[cursor[d]] = v;
+            cursor[d] += 1;
+        }
+    }
+    for i in 0..n {
+        let v = vert[i];
+        for &nb in &nbrs[idxs[v] as usize..idxs[v + 1] as usize] {
+            let u = nb as usize;
+            if core[u] > core[v] {
+                let du = core[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                core[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Coreness invariant: every vertex `v` must have at least `core[v]`
+/// neighbors whose core number is `>= core[v]` (the defining property of
+/// membership in its own core). Returns the first violating vertex.
+pub fn kcore_invariant(graph: &Graph, core: &[u32]) -> Result<(), String> {
+    let n = graph.num_vertices() as usize;
+    if core.len() != n {
+        return Err(format!(
+            "core has {} entries for {} vertices",
+            core.len(),
+            n
+        ));
+    }
+    let (idxs, nbrs) = undirected_adjacency(graph);
+    for v in 0..n {
+        let need = core[v];
+        let have = (idxs[v] as usize..idxs[v + 1] as usize)
+            .filter(|&s| core[nbrs[s] as usize] >= need)
+            .count() as u32;
+        if have < need {
+            return Err(format!(
+                "vertex {v} claims core {need} but only {have} neighbors reach it"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusha_graph::Edge;
+
+    fn clique_plus_tail() -> Graph {
+        // 4-clique {0,1,2,3} (core 3) with a path 3-4-5 hanging off
+        // (cores 1, 1) and an isolated vertex 6 (core 0).
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                edges.push(Edge::new(a, b, 1));
+            }
+        }
+        edges.push(Edge::new(3, 4, 1));
+        edges.push(Edge::new(4, 5, 1));
+        Graph::new(7, edges)
+    }
+
+    #[test]
+    fn oracle_matches_known_cores() {
+        let g = clique_plus_tail();
+        let core = host_kcore(&g);
+        assert_eq!(core, vec![3, 3, 3, 3, 1, 1, 0]);
+        kcore_invariant(&g, &core).unwrap();
+    }
+
+    #[test]
+    fn device_matches_oracle() {
+        let g = clique_plus_tail();
+        let out = run_kcore(&g, &KcoreConfig::new());
+        assert_eq!(out.core, host_kcore(&g));
+        assert_eq!(out.degeneracy, 3);
+        assert!(out.stats.converged);
+        kcore_invariant(&g, &out.core).unwrap();
+        let f = out.stats.frontier.expect("frontier stats");
+        assert!(!f.sizes.is_empty());
+    }
+}

@@ -40,4 +40,4 @@ pub mod service;
 pub use admission::{AdmissionQueue, ShedReason};
 pub use cache::{cache_key, CachedResult, ResultCache};
 pub use proto::{parse_json, parse_line, Json, Query, QueryOp, Request};
-pub use service::{graph_rev, run_session, ServeConfig, Service};
+pub use service::{graph_rev, run_session, ServeConfig, ServeEngine, Service};

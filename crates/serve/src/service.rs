@@ -3,9 +3,10 @@
 //! Lifecycle of a query: **admission** (bounded queue; shed with a typed
 //! rejection when full) → **batching** at flush (same-kind traversals fuse
 //! two-per-launch, `reach` queries bitset-pack up to 64 sources per
-//! launch) → **launch** on warm shard layouts (built once per value size,
-//! never rebuilt unless scrubbed) → **settle** (exactly one typed response
-//! per admitted query, in arrival order).
+//! launch) → **launch** on warm prepared state (shard layouts built once
+//! per value size, or one shared [`PreparedFrontier`] topology under
+//! [`ServeEngine::Frontier`]; never rebuilt unless scrubbed) → **settle**
+//! (exactly one typed response per admitted query, in arrival order).
 //!
 //! Isolation guarantees:
 //!
@@ -37,6 +38,7 @@ use cusha_core::{
     try_run_warm, CuShaConfig, CuShaOutput, EngineError, IntegrityConfig, IntegrityMode,
     PreparedLayout, Repr, RunObserver, RunStats, Value, VertexProgram,
 };
+use cusha_frontier::{try_run_frontier_warm, FrontierConfig, PreparedFrontier};
 use cusha_graph::Graph;
 use cusha_obs::json::{push_f64, push_str_lit};
 use cusha_obs::trace::lanes;
@@ -50,10 +52,23 @@ fn backoff_seconds(attempt: u32) -> f64 {
     1e-4 * f64::from(1u32 << attempt.min(10))
 }
 
+/// Which warm engine the service launches queries on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeEngine {
+    /// CuSha shard engine over warm [`PreparedLayout`]s; [`ServeConfig::repr`]
+    /// selects G-Shards or Concatenated Windows.
+    Shard,
+    /// Frontier engine over a warm [`PreparedFrontier`] (push/pull direction
+    /// switching); `repr` is ignored.
+    Frontier,
+}
+
 /// Service configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// CuSha representation for every launch.
+    /// Warm engine family every launch runs on.
+    pub engine: ServeEngine,
+    /// CuSha representation for every launch (shard engine only).
     pub repr: Repr,
     /// Explicit shard size; `None` = autotune per value size.
     pub vertices_per_shard: Option<u32>,
@@ -84,6 +99,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            engine: ServeEngine::Shard,
             repr: Repr::ConcatWindows,
             vertices_per_shard: None,
             max_iterations: 10_000,
@@ -207,6 +223,7 @@ pub struct Service {
     cfg: ServeConfig,
     rev: u64,
     layouts: HashMap<u32, PreparedLayout>,
+    frontier: Option<PreparedFrontier>,
     plan: Option<FaultPlan>,
     cache: ResultCache,
     queue: AdmissionQueue,
@@ -232,6 +249,7 @@ impl Service {
             cfg,
             rev,
             layouts: HashMap::new(),
+            frontier: None,
             plan,
             cache,
             queue,
@@ -504,13 +522,23 @@ impl Service {
     /// one slot per lane; the observer state feeds per-lane settlement.
     fn launch<P: VertexProgram>(&mut self, prog: &P, deadlines: &[Option<f64>]) -> Outcome<P::V> {
         let ecfg = Self::engine_cfg_for(&self.cfg);
+        let fcfg = FrontierConfig::from_cusha(&ecfg);
         let n_per =
             PreparedLayout::select_n_per(&self.graph, &ecfg, <P::V as cusha_simt::Pod>::SIZE);
-        if !self.layouts.contains_key(&n_per) {
-            self.layouts.insert(
-                n_per,
-                PreparedLayout::build(&self.graph, self.cfg.repr, n_per),
-            );
+        match self.cfg.engine {
+            ServeEngine::Shard => {
+                if !self.layouts.contains_key(&n_per) {
+                    self.layouts.insert(
+                        n_per,
+                        PreparedLayout::build(&self.graph, self.cfg.repr, n_per),
+                    );
+                }
+            }
+            ServeEngine::Frontier => {
+                if self.frontier.is_none() {
+                    self.frontier = Some(PreparedFrontier::build(&self.graph));
+                }
+            }
         }
         self.metrics.add("serve_batches_total", &[], 1);
         self.metrics
@@ -518,15 +546,34 @@ impl Service {
         let mut attempt = 0u32;
         loop {
             let mut observer = DeadlineObserver::new(deadlines.to_vec());
-            let layout = self.layouts.get(&n_per).expect("inserted above");
-            let result = try_run_warm(
-                prog,
-                &self.graph,
-                layout,
-                &ecfg,
-                self.plan.as_mut(),
-                &mut observer,
-            );
+            let result = match self.cfg.engine {
+                ServeEngine::Shard => {
+                    let layout = self.layouts.get(&n_per).expect("inserted above");
+                    try_run_warm(
+                        prog,
+                        &self.graph,
+                        layout,
+                        &ecfg,
+                        self.plan.as_mut(),
+                        &mut observer,
+                    )
+                }
+                ServeEngine::Frontier => {
+                    let pf = self.frontier.as_ref().expect("built above");
+                    try_run_frontier_warm(
+                        prog,
+                        &self.graph,
+                        pf,
+                        &fcfg,
+                        self.plan.as_mut(),
+                        &mut observer,
+                    )
+                    .map(|o| CuShaOutput {
+                        values: o.values,
+                        stats: o.stats,
+                    })
+                }
+            };
             match result {
                 Ok(out) => {
                     self.account_run(&out.stats);
@@ -599,6 +646,7 @@ impl Service {
     /// settled before the fault).
     fn scrub(&mut self) {
         self.layouts.clear();
+        self.frontier = None;
         self.metrics.add("serve_scrubs_total", &[], 1);
         self.cfg
             .trace

@@ -31,16 +31,16 @@ use cusha::algos::{
     Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation, NeuralNetwork, PageRank, Sssp,
     Sswp,
 };
-use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
+use cusha::baselines::{MtcpuEngine, VwcEngine};
 use cusha::core::{
-    try_run, try_run_multi, try_run_streamed, CuShaConfig, CuShaOutput, EngineError,
-    IntegrityConfig, IntegrityMode, MultiConfig, Repr, RunStats, StreamingConfig, Value,
-    VertexProgram,
+    run_engine, CuShaConfig, CuShaOutput, Engine, EngineError, FleetEngine, IntegrityConfig,
+    IntegrityMode, NoopObserver, Repr, RunStats, ShardEngine, StreamedEngine, Value, VertexProgram,
 };
+use cusha::frontier::{try_run_kcore, try_run_triangles, FrontierConfig, FrontierEngine};
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::{io, Graph};
 use cusha::obs::{chrome_trace_json, log, Level, MetricsRegistry, Tracer};
-use cusha::serve::{run_session, ServeConfig, Service};
+use cusha::serve::{run_session, ServeConfig, ServeEngine, Service};
 use cusha::simt::{FaultPlan, FlipTarget, Interconnect};
 use std::io::Write;
 use std::process::exit;
@@ -77,6 +77,7 @@ struct Args {
     retries: u32,
     deadline_ms: Option<f64>,
     script: Option<String>,
+    density_threshold: Option<f64>,
 }
 
 /// Fleet-level counters the single-engine [`RunStats`] cannot carry; shown
@@ -91,13 +92,13 @@ struct FleetSummary {
 }
 
 fn usage_text() -> &'static str {
-    "usage: cusha --algo <bfs|sssp|pagerank|cc|sswp|nn|hs|cs>\n\
+    "usage: cusha --algo <bfs|sssp|pagerank|cc|sswp|nn|hs|cs|kcore|tc>\n\
          \x20      (--input <edge-list-or-.bin> | --rmat <scale>:<edges>)\n\
-         \x20      [--engine <cw|gs|cw-streamed|gs-streamed|vwc:<2|4|8|16|32>|mtcpu:<threads>>]\n\
+         \x20      [--engine <cw|gs|cw-streamed|gs-streamed|frontier|vwc:<2|4|8|16|32>|mtcpu:<threads>>]\n\
          \x20      [--source <vertex>] [--shard-size <N>] [--max-iters <n>]\n\
          \x20      [--resident-bytes <bytes>] [--watchdog <interval>]\n\
          \x20      [--timeout-ms <ms>] [--inject <spec>[,<spec>...]]\n\
-         \x20      [--output <path>]\n\
+         \x20      [--density-threshold <d>] [--output <path>]\n\
          \x20      [--inject-bitflips <spec>[,<spec>...]]\n\
          \x20      [--integrity <off|checksum|invariant|full>]\n\
          \x20      [--checkpoint-every <iterations>]\n\
@@ -105,13 +106,14 @@ fn usage_text() -> &'static str {
          \x20      [--trace-out <path>] [--metrics-out <path>]\n\
          \x20      [--log-level <error|warn|info|debug|trace>] [--profile]\n\
          \x20  cusha serve (--input <path> | --rmat <scale>:<edges>)\n\
-         \x20      [--engine <cw|gs>] [--shard-size <N>] [--max-iters <n>]\n\
+         \x20      [--engine <cw|gs|frontier>] [--shard-size <N>] [--max-iters <n>]\n\
          \x20      [--queue-capacity <N>] [--cache-capacity <N>]\n\
          \x20      [--retries <N>] [--deadline-ms <ms>] [--watchdog <interval>]\n\
          \x20      [--inject ...] [--inject-bitflips ...] [--integrity ...]\n\
          \x20      [--script <path>] [--trace-out <path>] [--metrics-out <path>]\n\
          \n\
-         serve keeps the graph and shard layouts resident and answers a\n\
+         serve keeps the graph and prepared engine state resident (shard\n\
+         layouts, or the frontier topology under --engine frontier) and answers a\n\
          stream of queries on stdin (or --script): one request per line,\n\
          one typed JSON response per query. REPL shorthand: `bfs 5`,\n\
          `sssp 9`, `sswp 3`, `reach 1 2 3`, `pagerank`, `cc`, `flush`,\n\
@@ -123,9 +125,18 @@ fn usage_text() -> &'static str {
          fault-retry budget per launch; --cache-capacity the LRU result\n\
          cache (0 disables).\n\
          \n\
-         --timeout-ms (one-shot cw/gs only) cancels the run with a typed\n\
+         --timeout-ms (any one-shot engine) cancels the run with a typed\n\
          deadline error (exit code 4) at the first iteration boundary past\n\
-         that much modeled time.\n\
+         that much modeled time (wall-clock time for mtcpu).\n\
+         \n\
+         --engine frontier runs the frontier-operator engine: advance /\n\
+         filter / compute over an explicit frontier with automatic push-pull\n\
+         direction switching on frontier edge density (--density-threshold,\n\
+         default 0.35: pull when the frontier's out-edges cover that\n\
+         fraction of all edges; 0 pins pull, >1 pins push). --algo kcore\n\
+         (core numbers via iterative peeling) and --algo tc (triangle\n\
+         counting by oriented intersection) are frontier-native and imply\n\
+         it.\n\
          \n\
          --trace-out writes a Chrome trace-event JSON of the run (load it\n\
          in chrome://tracing or https://ui.perfetto.dev): one process lane\n\
@@ -349,6 +360,7 @@ fn parse_args() -> Args {
         retries: 3,
         deadline_ms: None,
         script: None,
+        density_threshold: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -458,6 +470,18 @@ fn parse_args() -> Args {
                 }
                 args.timeout_ms = Some(ms);
             }
+            "--density-threshold" => {
+                let t: f64 = parsed(
+                    "--density-threshold",
+                    &take(&argv, &mut i, "--density-threshold"),
+                );
+                if !t.is_finite() || t < 0.0 {
+                    usage_error(&format!(
+                        "bad value {t} for --density-threshold: must be finite and non-negative"
+                    ));
+                }
+                args.density_threshold = Some(t);
+            }
             "--queue-capacity" => {
                 let n: usize = parsed("--queue-capacity", &take(&argv, &mut i, "--queue-capacity"));
                 if n == 0 {
@@ -495,19 +519,30 @@ fn parse_args() -> Args {
     if args.input.is_none() && args.rmat.is_none() {
         usage_error("one of --input or --rmat is required");
     }
-    if args.serve && !matches!(args.engine.as_str(), "cw" | "gs") {
+    if args.serve && !matches!(args.engine.as_str(), "cw" | "gs" | "frontier") {
         usage_error(&format!(
-            "cusha serve keeps shard layouts warm, so it only runs the cw/gs engines, not {:?}",
+            "cusha serve keeps prepared engine state warm, so it only runs the \
+             cw/gs/frontier engines, not {:?}",
             args.engine
         ));
     }
-    if args.timeout_ms.is_some()
-        && (args.serve || args.devices.is_some() || !matches!(args.engine.as_str(), "cw" | "gs"))
-    {
+    if args.timeout_ms.is_some() && args.serve {
         usage_error(
-            "--timeout-ms applies to one-shot cw/gs runs only \
+            "--timeout-ms applies to one-shot runs only \
              (use --deadline-ms for per-query deadlines under serve)",
         );
+    }
+    // The frontier-native workloads only exist on the frontier engine;
+    // typing `--algo kcore` alone should just work.
+    if matches!(args.algo.as_str(), "kcore" | "tc" | "triangles") {
+        if args.engine == "cw" {
+            args.engine = "frontier".into();
+        } else if args.engine != "frontier" {
+            usage_error(&format!(
+                "--algo {} is frontier-native; it cannot run on engine {:?}",
+                args.algo, args.engine
+            ));
+        }
     }
     if args.devices.is_some() && !matches!(args.engine.as_str(), "cw" | "gs") {
         usage_error(&format!(
@@ -591,6 +626,20 @@ fn execute<P: VertexProgram>(
     };
     let mut fleet = None;
     let mut metrics_recorded = false;
+    // Every engine funnels through the same middleware entry point
+    // (`run_engine`): validation, deadline enforcement, copy/kernel fault
+    // retries and the final integrity scrub are applied in one place
+    // regardless of which engine runs underneath.
+    let mw = |engine: &mut dyn Engine<P>, repr: Repr| {
+        engine_result(run_engine(
+            engine,
+            prog,
+            g,
+            &cusha_cfg(repr),
+            None,
+            &mut NoopObserver,
+        ))
+    };
     let (stats, values): (RunStats, Vec<P::V>) = match args.engine.as_str() {
         "cw" | "gs" if args.devices.is_some() => {
             let repr = if args.engine == "gs" {
@@ -598,40 +647,38 @@ fn execute<P: VertexProgram>(
             } else {
                 Repr::ConcatWindows
             };
-            let mut mcfg = MultiConfig::new(cusha_cfg(repr), args.devices.unwrap());
+            let mut fe = FleetEngine::new(args.devices.unwrap());
             if let Some(ic) = &args.interconnect {
-                mcfg = mcfg.with_interconnect(ic.clone());
+                fe.interconnect = ic.clone();
             }
-            match try_run_multi(prog, g, &mcfg) {
-                Ok(out) => {
-                    let s = &out.stats;
-                    // Full fleet stats (per-device breakdown included) go
-                    // through MultiRunStats' own recorder, not the
-                    // flattened RunStats.
-                    s.record_metrics(metrics, labels);
-                    metrics_recorded = true;
-                    fleet = Some(FleetSummary {
-                        devices: s.devices,
-                        interconnect: s.interconnect.clone(),
-                        exchange_bytes: s.exchange_bytes,
-                        exchange_seconds: s.exchange_seconds,
-                        load_imbalance: s.load_imbalance,
-                        degraded: s
-                            .per_device
-                            .iter()
-                            .filter(|d| d.mode != "resident" && d.mode != "idle")
-                            .count(),
-                    });
-                    (s.as_run_stats(), out.values)
-                }
-                // A capped run degrades to its flattened partial output,
-                // matching the single-engine CLI convention.
-                Err(EngineError::NonConverged { partial }) => (partial.stats, partial.values),
-                Err(e) => {
-                    eprintln!("cusha: engine error [{}]: {e}", e.kind());
-                    exit(EXIT_ENGINE)
-                }
+            let out = engine_result(run_engine(
+                &mut fe,
+                prog,
+                g,
+                &cusha_cfg(repr),
+                None,
+                &mut NoopObserver,
+            ));
+            if let Some(s) = &fe.last {
+                // Full fleet stats (per-device breakdown included) go
+                // through MultiRunStats' own recorder, not the flattened
+                // RunStats.
+                s.record_metrics(metrics, labels);
+                metrics_recorded = true;
+                fleet = Some(FleetSummary {
+                    devices: s.devices,
+                    interconnect: s.interconnect.clone(),
+                    exchange_bytes: s.exchange_bytes,
+                    exchange_seconds: s.exchange_seconds,
+                    load_imbalance: s.load_imbalance,
+                    degraded: s
+                        .per_device
+                        .iter()
+                        .filter(|d| d.mode != "resident" && d.mode != "idle")
+                        .count(),
+                });
             }
+            (out.stats, out.values)
         }
         "cw" | "gs" => {
             let repr = if args.engine == "gs" {
@@ -639,7 +686,7 @@ fn execute<P: VertexProgram>(
             } else {
                 Repr::ConcatWindows
             };
-            let out = engine_result(try_run(prog, g, &cusha_cfg(repr)));
+            let out = mw(&mut ShardEngine::new(repr), repr);
             (out.stats, out.values)
         }
         "cw-streamed" | "gs-streamed" => {
@@ -648,30 +695,30 @@ fn execute<P: VertexProgram>(
             } else {
                 Repr::ConcatWindows
             };
-            let cfg = StreamingConfig::new(cusha_cfg(repr), args.resident_bytes);
-            let out = engine_result(try_run_streamed(prog, g, &cfg));
+            let out = mw(&mut StreamedEngine::new(args.resident_bytes), repr);
+            (out.stats, out.values)
+        }
+        "frontier" => {
+            let mut fe = FrontierEngine::new();
+            if let Some(t) = args.density_threshold {
+                fe.density_threshold = t;
+            }
+            let out = mw(&mut fe, Repr::GShards);
             (out.stats, out.values)
         }
         e if e.starts_with("vwc:") => {
             let vw = parsed_engine_num("vwc", &e[4..]);
-            let mut cfg = VwcConfig::new(vw);
-            cfg.max_iterations = args.max_iters;
-            cfg.profile = args.profile;
-            cfg.trace = tracer.clone();
-            let out = run_vwc(prog, g, &cfg);
+            let out = mw(&mut VwcEngine::new(vw), Repr::GShards);
             (out.stats, out.values)
         }
         e if e.starts_with("mtcpu:") => {
             let t = parsed_engine_num("mtcpu", &e[6..]);
-            let mut cfg = MtcpuConfig::new(t);
-            cfg.max_iterations = args.max_iters;
-            cfg.trace = tracer.clone();
-            let out = run_mtcpu(prog, g, &cfg);
+            let out = mw(&mut MtcpuEngine::new(t), Repr::GShards);
             (out.stats, out.values)
         }
         other => usage_error(&format!(
             "unknown engine {other:?} (expected cw, gs, cw-streamed, gs-streamed, \
-             vwc:<width>, or mtcpu:<threads>)"
+             frontier, vwc:<width>, or mtcpu:<threads>)"
         )),
     };
     if !metrics_recorded {
@@ -679,6 +726,25 @@ fn execute<P: VertexProgram>(
     }
     let lines = values.iter().map(show).collect();
     (stats, lines, fleet)
+}
+
+/// Maps the CLI flags onto the frontier crate's configuration (the
+/// frontier-native workloads kcore/tc bypass `CuShaConfig`).
+fn frontier_cfg(args: &Args, tracer: &Tracer) -> FrontierConfig {
+    let mut cfg = FrontierConfig::new();
+    cfg.max_iterations = args.max_iters;
+    cfg.profile = args.profile;
+    cfg.fault_plan = args.inject.clone();
+    cfg.integrity = IntegrityConfig::with_mode(args.integrity);
+    if let Some(k) = args.checkpoint_every {
+        cfg.integrity.checkpoint_every = k;
+    }
+    cfg.deadline_seconds = args.timeout_ms.map(|ms| ms / 1e3);
+    if let Some(t) = args.density_threshold {
+        cfg.density_threshold = t;
+    }
+    cfg.trace = tracer.clone();
+    cfg
 }
 
 /// Parses the numeric suffix of `vwc:<n>` / `mtcpu:<n>`, rejecting zero.
@@ -712,6 +778,11 @@ fn serve_main(args: Args) -> ! {
         Tracer::disabled()
     };
     let mut cfg = ServeConfig {
+        engine: if args.engine == "frontier" {
+            ServeEngine::Frontier
+        } else {
+            ServeEngine::Shard
+        },
         repr: if args.engine == "gs" {
             Repr::GShards
         } else {
@@ -886,6 +957,40 @@ fn main() {
                 &mut metrics,
                 |v: &(f32, f32)| format!("{:.6}", v.0),
             )
+        }
+        // Frontier-native workloads: no VertexProgram, so they bypass
+        // `execute` and drive the frontier crate directly (the same
+        // engine_result unwrapping keeps the exit-code taxonomy, including
+        // exit 4 on --timeout-ms).
+        "kcore" => {
+            let cfg = frontier_cfg(&args, &tracer);
+            let mut noop = NoopObserver;
+            let mut observer = cusha::core::DeadlineObserver::new(cfg.deadline_seconds, &mut noop);
+            let out =
+                engine_result(
+                    try_run_kcore(&g, &cfg, None, &mut observer).map(|o| CuShaOutput {
+                        values: o.core,
+                        stats: o.stats,
+                    }),
+                );
+            let labels: &[(&str, &str)] = &[("algo", "kcore"), ("engine", "frontier")];
+            out.stats.record_metrics(&mut metrics, labels);
+            let lines = out.values.iter().map(|v| v.to_string()).collect();
+            (out.stats, lines, None)
+        }
+        "tc" | "triangles" => {
+            let cfg = frontier_cfg(&args, &tracer);
+            let out = match try_run_triangles(&g, &cfg) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("cusha: engine error [{}]: {e}", e.kind());
+                    exit(EXIT_ENGINE)
+                }
+            };
+            let labels: &[(&str, &str)] = &[("algo", "tc"), ("engine", "frontier")];
+            out.stats.record_metrics(&mut metrics, labels);
+            info(&format!("triangles: {}", out.triangles));
+            (out.stats, vec![format!("{}", out.triangles)], None)
         }
         other => usage_error(&format!("unknown algorithm {other:?}")),
     };

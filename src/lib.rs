@@ -21,6 +21,8 @@
 //! * [`core`] — G-Shards, CW, and the CuSha engine ([`cusha_core`])
 //! * [`algos`] — the eight benchmarks of the paper ([`cusha_algos`])
 //! * [`baselines`] — VWC-CSR and MTCPU-CSR ([`cusha_baselines`])
+//! * [`frontier`] — the frontier-operator engine with push/pull direction
+//!   switching, plus k-core and triangle counting ([`cusha_frontier`])
 //! * [`obs`] — tracing, metrics and exporters ([`cusha_obs`])
 //! * [`serve`] — the resident query service ([`cusha_serve`])
 //!
@@ -55,6 +57,7 @@
 pub use cusha_algos as algos;
 pub use cusha_baselines as baselines;
 pub use cusha_core as core;
+pub use cusha_frontier as frontier;
 pub use cusha_graph as graph;
 pub use cusha_obs as obs;
 pub use cusha_serve as serve;
@@ -76,9 +79,10 @@ pub mod prelude {
     };
     pub use cusha_baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
     pub use cusha_core::{
-        run, run_streamed, try_run, try_run_streamed, CuShaConfig, EngineError, FaultStats, Repr,
-        RunStats, StreamingConfig, VertexProgram,
+        run, run_engine, run_streamed, try_run, try_run_streamed, CuShaConfig, Engine, EngineError,
+        FaultStats, Repr, RunStats, StreamingConfig, VertexProgram,
     };
+    pub use cusha_frontier::{run_frontier, FrontierConfig, FrontierEngine};
     pub use cusha_graph::generators::rmat::{rmat, RmatConfig};
     pub use cusha_graph::generators::{barabasi_albert, erdos_renyi, lattice2d, watts_strogatz};
     pub use cusha_graph::surrogates::Dataset;

@@ -1,6 +1,7 @@
-//! The central correctness property of the reproduction: all four engines
-//! (CuSha-GS, CuSha-CW, VWC-CSR, MTCPU-CSR) and the sequential oracle
-//! compute the same function for every benchmark of Table 3.
+//! The central correctness property of the reproduction: all engines
+//! (CuSha-GS, CuSha-CW, VWC-CSR, MTCPU-CSR, and the frontier engine) and
+//! the sequential oracle compute the same function for every benchmark of
+//! Table 3.
 //!
 //! The monotone integer algorithms (BFS, SSSP, CC, SSWP) must agree
 //! *exactly* — their fixed point is unique and execution-order-independent.
@@ -12,11 +13,18 @@ use cusha::algos::{
     assert_approx_eq, run_sequential, Bfs, CircuitSimulation, ConnectedComponents, HeatSimulation,
     NeuralNetwork, PageRank, Sssp, Sswp,
 };
-use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, VwcConfig};
-use cusha::core::{run, CuShaConfig, Value, VertexProgram};
+use cusha::baselines::{run_mtcpu, run_vwc, MtcpuConfig, MtcpuEngine, VwcConfig, VwcEngine};
+use cusha::core::{
+    run, run_engine, CuShaConfig, Engine, IntegrityConfig, IntegrityMode, NoopObserver, Repr,
+    ShardEngine, StreamedEngine, Value, VertexProgram,
+};
+use cusha::frontier::{run_frontier, FrontierConfig, FrontierEngine};
 use cusha::graph::generators::lattice2d;
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
+use cusha::graph::surrogates::Dataset;
 use cusha::graph::Graph;
+use cusha::simt::{FaultPlan, FlipTarget};
+use cusha_bench::{run_matrix_jobs, Benchmark, Engine as BenchEngine};
 
 const MAX_ITERS: u32 = 5_000;
 
@@ -48,13 +56,38 @@ fn run_everywhere<P: VertexProgram>(prog: &P, g: &Graph) -> Vec<(String, Vec<P::
     out
 }
 
+/// The frontier engine across its direction spectrum: the density
+/// heuristic, pinned pull (threshold 0), and pinned push (threshold > 1).
+fn run_frontier_everywhere<P: VertexProgram>(prog: &P, g: &Graph) -> Vec<(String, Vec<P::V>)> {
+    [
+        ("Frontier/auto", FrontierConfig::new()),
+        (
+            "Frontier/pull",
+            FrontierConfig::new().with_density_threshold(0.0),
+        ),
+        (
+            "Frontier/push",
+            FrontierConfig::new().with_density_threshold(1.5),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, mut cfg)| {
+        cfg.max_iterations = MAX_ITERS;
+        (label.to_string(), run_frontier(prog, g, &cfg).values)
+    })
+    .collect()
+}
+
 fn assert_exact<P: VertexProgram>(prog: &P, g: &Graph)
 where
     P::V: PartialEq,
 {
     let oracle = run_sequential(prog, g, MAX_ITERS);
     assert!(oracle.converged, "oracle did not converge");
-    for (label, values) in run_everywhere(prog, g) {
+    for (label, values) in run_everywhere(prog, g)
+        .into_iter()
+        .chain(run_frontier_everywhere(prog, g))
+    {
         assert_eq!(values, oracle.values, "{label} disagrees with oracle");
     }
 }
@@ -135,6 +168,103 @@ fn cs_everywhere() {
     let ov = volt(&oracle.values);
     for (_, values) in run_everywhere(&prog, &g) {
         assert_approx_eq(&volt(&values), &ov, 5e-2);
+    }
+}
+
+#[test]
+fn frontier_switch_sequence_deterministic_across_jobs() {
+    // The bench matrix's `--jobs` knob parallelizes cells across host
+    // threads; the frontier engine's per-iteration push↔pull decisions are
+    // pure functions of modeled state, so the direction sequence of every
+    // cell must be identical at 1 and 4 workers.
+    let run = |jobs: usize| {
+        run_matrix_jobs(
+            &[Dataset::HiggsTwitter, Dataset::RoadNetCA],
+            &[Benchmark::Bfs, Benchmark::Sssp],
+            &[BenchEngine::Frontier],
+            512,
+            MAX_ITERS,
+            false,
+            jobs,
+        )
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        let fa = ca.stats.frontier.as_ref().expect("frontier stats");
+        let fb = cb.stats.frontier.as_ref().expect("frontier stats");
+        let tag = format!("{} {}", ca.dataset, ca.benchmark);
+        assert_eq!(fa.directions, fb.directions, "{tag}: direction sequence");
+        assert_eq!(fa.sizes, fb.sizes, "{tag}: frontier sizes");
+        assert_eq!(fa.switches, fb.switches, "{tag}: switch count");
+        assert_eq!(ca.stats.iterations, cb.stats.iterations, "{tag}");
+    }
+    // The property is only interesting if some cell actually switched.
+    assert!(
+        a.cells
+            .iter()
+            .any(|c| c.stats.frontier.as_ref().unwrap().switches >= 1),
+        "no cell switched direction; sequences: {:?}",
+        a.cells
+            .iter()
+            .map(|c| c.stats.frontier.as_ref().unwrap().directions.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn chaos_faultplan_and_bitflip_through_one_middleware_path() {
+    // The acceptance chaos case: the same config and the same fault plan
+    // (a transient h2d fault plus bit flips into two device buffers) flow
+    // through `run_engine` for all six engine families — no per-engine
+    // re-wiring — and every engine still lands on the exact BFS fixpoint.
+    let g = test_graph(69);
+    let oracle = run_sequential(&Bfs::new(0), &g, MAX_ITERS);
+    assert!(oracle.converged);
+    let plan = || {
+        FaultPlan::new()
+            .fail_h2d_at(&[1])
+            .flip_at(2, FlipTarget::VertexValues, 3, 7)
+            .flip_at(4, FlipTarget::SrcValue, 1, 11)
+    };
+    let mut cfg = CuShaConfig::gs();
+    cfg.max_iterations = MAX_ITERS;
+    cfg.integrity = IntegrityConfig {
+        mode: IntegrityMode::Full,
+        ..IntegrityConfig::default()
+    };
+    let engines: Vec<Box<dyn Engine<Bfs>>> = vec![
+        Box::new(ShardEngine::new(Repr::GShards)),
+        Box::new(ShardEngine::new(Repr::ConcatWindows)),
+        Box::new(StreamedEngine::new(64 << 20)),
+        Box::new(VwcEngine::new(8)),
+        Box::new(MtcpuEngine::new(2)),
+        Box::new(FrontierEngine::new()),
+    ];
+    for mut engine in engines {
+        let label = engine.label();
+        let out = run_engine(
+            engine.as_mut(),
+            &Bfs::new(0),
+            &g,
+            &cfg,
+            Some(plan()),
+            &mut NoopObserver,
+        )
+        .unwrap_or_else(|e| panic!("{label} under chaos: {e}"));
+        assert_eq!(out.values, oracle.values, "{label} disagrees under chaos");
+        // Every device engine must show evidence the copy fault was hit and
+        // retried (internally or by the middleware). MTCPU runs on host
+        // memory, outside the device fault domain, so the plan is inert
+        // there by design.
+        if label != "MTCPU-CSR/2" {
+            assert!(
+                out.stats.fault.copy_retries >= 1,
+                "{label}: copy fault never retried ({:?})",
+                out.stats.fault
+            );
+        }
     }
 }
 

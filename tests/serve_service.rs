@@ -7,7 +7,7 @@ use cusha::core::integrity::checksum;
 use cusha::core::{try_run, CuShaConfig, IntegrityConfig, IntegrityMode, Value, VertexProgram};
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::Graph;
-use cusha::serve::{parse_json, run_session, Json, ServeConfig, Service};
+use cusha::serve::{parse_json, run_session, Json, ServeConfig, ServeEngine, Service};
 use cusha::simt::{FaultPlan, FlipTarget};
 use proptest::prelude::*;
 
@@ -342,4 +342,52 @@ fn soak_mixed_load_under_faults_settles_every_query() {
     ] {
         assert!(json.contains(key), "metrics JSON missing {key}");
     }
+}
+
+#[test]
+fn frontier_engine_serves_warm_queries() {
+    // serve with --engine frontier: one PreparedFrontier topology stays
+    // warm across flushes, and every query kind settles with the same
+    // checksum the shard service produces for the identical script.
+    let script = "bfs 0\nsssp 3\nflush\ncc\nreach 1 4\npagerank\nflush\n";
+    let frontier_cfg = ServeConfig {
+        engine: ServeEngine::Frontier,
+        ..no_cache()
+    };
+    let (flines, _) = run_script(frontier_cfg, script);
+    let (slines, _) = run_script(no_cache(), script);
+    let frs = query_responses(&flines);
+    let srs = query_responses(&slines);
+    assert_eq!(frs.len(), 5);
+    assert_eq!(frs.len(), srs.len());
+    for (f, s) in frs.iter().zip(&srs) {
+        assert_eq!(status(f), "ok");
+        assert_eq!(f.get("op"), s.get("op"), "settlement order diverged");
+        if f.get("op").and_then(Json::as_str) == Some("pagerank") {
+            // Float fixpoint: engines stop at slightly different residuals,
+            // so only the traversal/bitset answers are bit-compared.
+            continue;
+        }
+        assert_eq!(crc(f), crc(s), "frontier answer diverged from shard");
+    }
+}
+
+#[test]
+fn frontier_launch_retries_faults_under_serve() {
+    // A one-shot kernel fault against the frontier engine takes the same
+    // service-level retry path as the shard engines (one middleware).
+    let cfg = ServeConfig {
+        engine: ServeEngine::Frontier,
+        fault_plan: Some(FaultPlan::seeded(3).fail_kernel_at(&[0])),
+        ..no_cache()
+    };
+    let (lines, svc) = run_script(cfg, "bfs 0\nflush\n");
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 1);
+    assert_eq!(status(rs[0]), "ok");
+    assert_eq!(crc(rs[0]), cold_crc(&Bfs::new(0)));
+    assert_eq!(
+        svc.metrics().counter("serve_batch_retries_total", &[]),
+        Some(1)
+    );
 }
