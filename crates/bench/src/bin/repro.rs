@@ -4,6 +4,7 @@
 //! repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
 //!       [--jobs N] [--engines LIST] [--out-dir DIR] [--verbose]
 //!       [--log-level LEVEL]
+//! repro --check BASELINE.json [--tolerance R]
 //!
 //! ARTIFACT: all (default) | layouts | table1 | table2 | table4 | table5 |
 //!           table6 | table7 | fig1 | fig7 | fig8 | fig9 | fig10 | fig11 |
@@ -69,9 +70,26 @@ fn main() {
     let mut artifacts: Vec<String> = Vec::new();
     let mut out_dir: Option<String> = None;
     let mut engines_filter: Option<Vec<Engine>> = None;
+    let mut check_path: Option<String> = None;
+    let mut check_tolerance: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--check needs a baseline JSON path");
+                    std::process::exit(2);
+                }));
+            }
+            "--tolerance" => {
+                i += 1;
+                check_tolerance =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--tolerance needs a relative fraction, e.g. 0.1");
+                        std::process::exit(2);
+                    }));
+            }
             "--scale" => {
                 i += 1;
                 ctx.scale = parse(&args, i, "--scale");
@@ -136,6 +154,26 @@ fn main() {
             a => artifacts.push(a.to_string()),
         }
         i += 1;
+    }
+    // Perf-regression gate: rerun the baseline's experiment at its own
+    // recorded configuration, compare within tolerance bands, and exit
+    // non-zero on any regression. No artifact generation happens.
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("--check: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        log::write(Level::Info, &format!("repro: checking against {path}"));
+        match cusha_bench::check::check_baseline(&text, check_tolerance, &ctx) {
+            Ok(rep) => {
+                print!("{}", rep.render());
+                std::process::exit(if rep.passed() { 0 } else { 3 });
+            }
+            Err(e) => {
+                eprintln!("--check: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if artifacts.is_empty() || artifacts.iter().any(|a| a == "all") {
         artifacts = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
@@ -273,6 +311,14 @@ repro — regenerate the CuSha paper's tables and figures
 usage: repro [ARTIFACT ...] [--scale N] [--rmat-scale N] [--max-iters N]
              [--jobs N] [--engines LIST] [--out-dir DIR] [--verbose]
              [--log-level LEVEL]
+       repro --check BASELINE.json [--tolerance R]
+
+--check BASELINE.json  perf-regression gate: rerun the baseline artifact's
+                       experiment (frontier_matrix or cusha-simwall/v1) at
+                       its recorded configuration and compare every metric
+                       within a tolerance band (deterministic modeled ms:
+                       10%; host wall-clock: 75%; override with
+                       --tolerance R). Exits 3 on any regression.
 
 artifacts: all layouts table1 fig1 table2 table4 table5 table6 table7
            fig7 fig8 fig9 fig10 fig11 fig12 fig13 ablation

@@ -224,7 +224,7 @@ impl ScalingResult {
         s
     }
 
-    /// Byte-stable metrics snapshot (`cusha-metrics/v1`) of every run in
+    /// Byte-stable metrics snapshot (`cusha-metrics/v2`) of every run in
     /// the sweep, written next to `multi_gpu_scaling.json` by `repro`.
     pub fn metrics_json(&self) -> String {
         self.metrics.to_json()
@@ -261,7 +261,7 @@ mod tests {
         let report = res.report();
         assert!(report.contains("Multi-GPU scaling"));
         let metrics = res.metrics_json();
-        assert!(metrics.starts_with("{\"schema\":\"cusha-metrics/v1\""));
+        assert!(metrics.starts_with("{\"schema\":\"cusha-metrics/v2\""));
         assert!(metrics.contains("multi_devices{dataset=LiveJournal,devices=8}"));
         assert!(metrics.contains("device_kernel_seconds{"));
     }

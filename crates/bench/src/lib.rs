@@ -9,11 +9,13 @@
 //! and the expected-vs-measured record lives in `EXPERIMENTS.md`.
 
 pub mod bench_defs;
+pub mod check;
 pub mod experiments;
 pub mod matrix;
 pub mod simwall;
 pub mod table;
 
 pub use bench_defs::{default_source, Benchmark, Engine};
+pub use check::{check_baseline, CheckReport};
 pub use matrix::{run_cell, run_matrix_jobs, CellResult, MatrixResult};
 pub use table::Table;

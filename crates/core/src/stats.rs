@@ -174,7 +174,7 @@ impl FrontierStats {
     }
 
     /// Records the frontier counters into a metrics registry. All keys are
-    /// new `frontier_*` series — additive under `cusha-metrics/v1`, so
+    /// new `frontier_*` series — additive under the `cusha-metrics` schema, so
     /// existing golden snapshots are untouched.
     pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
         reg.add("frontier_switches", labels, self.switches as u64);
@@ -281,6 +281,11 @@ impl RunStats {
         self.sdc.record_metrics(reg, labels);
         if let Some(f) = &self.frontier {
             f.record_metrics(reg, labels);
+        }
+        // With profiling on, break the run out per kernel as well: one
+        // series group per kernel name, uniform across all six engines.
+        if let Some(p) = &self.profile {
+            p.record_metrics(reg, labels);
         }
     }
 }

@@ -263,10 +263,14 @@ pub fn try_run_streamed_observed<P: VertexProgram>(
     let mut resident = cfg.resident_bytes;
     let mut repr = cfg.base.repr;
     let mut elapsed_base = 0.0f64;
+    // Per-launch profile history accumulated across restarts/rebatches, so
+    // the streamed engine reports through `--profile` like every other.
+    let mut run_profile: Option<cusha_simt::Profile> = None;
 
     loop {
         let mut gpu = Gpu::new(cfg.base.device.clone());
         gpu.set_tracer(cfg.base.trace.clone(), 0);
+        gpu.set_profiling(cfg.base.profile);
         if let Some(p) = plan.take() {
             gpu.set_fault_plan(p);
         }
@@ -291,12 +295,18 @@ pub fn try_run_streamed_observed<P: VertexProgram>(
         sdc.flips_injected = plan.as_ref().map(|p| p.injected().bit_flips).unwrap_or(0);
         let attempt_end = gpu.total_seconds();
         elapsed_base += attempt_end;
+        if let Some(p) = gpu.profile.take() {
+            run_profile
+                .get_or_insert_with(cusha_simt::Profile::default)
+                .absorb(&p);
+        }
         drop(gpu);
 
         match result {
             Ok(mut out) => {
                 out.stats.fault = fault;
                 out.stats.sdc = sdc;
+                out.stats.profile = run_profile.take();
                 return if out.stats.converged {
                     Ok(out)
                 } else {
@@ -331,6 +341,12 @@ pub fn try_run_streamed_observed<P: VertexProgram>(
                     Ok(mut out) => {
                         out.stats.fault = fault;
                         out.stats.sdc = sdc;
+                        if let Some(p) = out.stats.profile.take() {
+                            run_profile
+                                .get_or_insert_with(cusha_simt::Profile::default)
+                                .absorb(&p);
+                        }
+                        out.stats.profile = run_profile.take();
                         Ok(out)
                     }
                     Err(EngineError::NonConverged { mut partial }) => {

@@ -168,20 +168,19 @@ fn frontier_attempt<P: VertexProgram>(
         .map(|v| prog.initial_value(v))
         .collect();
     let statics_host: Option<Vec<P::SV>> = P::HAS_STATIC_VALUES.then(|| prog.static_values(graph));
-    let (out_evals_host, in_evals_host): EdgeValuePair<P::E> =
-        if P::HAS_EDGE_VALUES {
-            let by_id = prog.edge_values(graph);
-            let out: Vec<P::E> = pf.out_eids().iter().map(|&id| by_id[id as usize]).collect();
-            let inn: Vec<P::E> = pf
-                .csr()
-                .edge_ids()
-                .iter()
-                .map(|&id| by_id[id as usize])
-                .collect();
-            (Some(out), Some(inn))
-        } else {
-            (None, None)
-        };
+    let (out_evals_host, in_evals_host): EdgeValuePair<P::E> = if P::HAS_EDGE_VALUES {
+        let by_id = prog.edge_values(graph);
+        let out: Vec<P::E> = pf.out_eids().iter().map(|&id| by_id[id as usize]).collect();
+        let inn: Vec<P::E> = pf
+            .csr()
+            .edge_ids()
+            .iter()
+            .map(|&id| by_id[id as usize])
+            .collect();
+        (Some(out), Some(inn))
+    } else {
+        (None, None)
+    };
     let seed = seed_list(prog, graph);
 
     // ---- Upload (H2D) ------------------------------------------------------

@@ -39,6 +39,9 @@ impl ShedReason {
 pub struct Admitted {
     /// Arrival sequence number, unique per service lifetime.
     pub seq: u64,
+    /// Service clock (modeled seconds) at admission — the anchor for
+    /// queue-wait and latency telemetry.
+    pub admit_clock: f64,
     /// The query.
     pub query: Query,
 }
@@ -61,14 +64,19 @@ impl AdmissionQueue {
         }
     }
 
-    /// Admits `query` or sheds it with a reason.
-    pub fn admit(&mut self, query: Query) -> Result<u64, ShedReason> {
+    /// Admits `query` (stamped with the service clock) or sheds it with a
+    /// reason.
+    pub fn admit(&mut self, query: Query, admit_clock: f64) -> Result<u64, ShedReason> {
         if self.pending.len() >= self.capacity {
             return Err(ShedReason::QueueFull);
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push(Admitted { seq, query });
+        self.pending.push(Admitted {
+            seq,
+            admit_clock,
+            query,
+        });
         Ok(seq)
     }
 
@@ -109,16 +117,17 @@ mod tests {
     #[test]
     fn oversubscription_sheds_the_newcomer() {
         let mut q = AdmissionQueue::new(2);
-        assert!(q.admit(bfs(0)).is_ok());
-        assert!(q.admit(bfs(1)).is_ok());
-        assert_eq!(q.admit(bfs(2)), Err(ShedReason::QueueFull));
+        assert!(q.admit(bfs(0), 0.0).is_ok());
+        assert!(q.admit(bfs(1), 0.5).is_ok());
+        assert_eq!(q.admit(bfs(2), 1.0), Err(ShedReason::QueueFull));
         // The admitted two are intact and in order.
         let drained = q.drain();
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[0].seq, 0);
         assert_eq!(drained[1].seq, 1);
+        assert_eq!(drained[1].admit_clock, 0.5);
         // Draining frees capacity.
-        assert!(q.admit(bfs(2)).is_ok());
+        assert!(q.admit(bfs(2), 1.0).is_ok());
         assert_eq!(q.depth(), 1);
         assert_eq!(q.admitted_total(), 3);
     }

@@ -19,6 +19,9 @@
 //!   per-query deadlines enforced at iteration boundaries, fault retry
 //!   with modeled backoff, blast-radius isolation by batch splitting,
 //!   and warm-state scrubbing.
+//! * [`telemetry`] — per-query serving records (queue wait, batch shape,
+//!   warm/cold, retries, deadline slack), the sliding-window SLO tracker
+//!   with burn rates, and the slow-query log behind `stats`/`--slow-log`.
 //!
 //! ```
 //! use cusha_graph::generators::rmat::{rmat, RmatConfig};
@@ -36,8 +39,12 @@ pub mod admission;
 pub mod cache;
 pub mod proto;
 pub mod service;
+pub mod telemetry;
 
 pub use admission::{AdmissionQueue, ShedReason};
 pub use cache::{cache_key, CachedResult, ResultCache};
 pub use proto::{parse_json, parse_line, Json, Query, QueryOp, Request};
 pub use service::{graph_rev, run_session, ServeConfig, ServeEngine, Service};
+pub use telemetry::{
+    QueryLog, QueryOutcome, QueryRecord, SloConfig, SloTracker, SlowQueryLog, Telemetry,
+};

@@ -29,6 +29,7 @@
 use crate::admission::{AdmissionQueue, Admitted, ShedReason};
 use crate::cache::{cache_key, CachedResult, ResultCache};
 use crate::proto::{parse_line, Json, Query, QueryOp, Request};
+use crate::telemetry::{QueryOutcome, QueryRecord, SloConfig, Telemetry};
 use cusha_algos::{
     extract_lane, Bfs, ConnectedComponents, FusedPair, MultiSourceBfs, PageRank, Sssp, Sswp,
     TraversalKind,
@@ -94,6 +95,12 @@ pub struct ServeConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Span sink (the service emits on [`lanes::SERVE`]).
     pub trace: Tracer,
+    /// Service-level objectives the telemetry layer burns budget against.
+    pub slo: SloConfig,
+    /// Query-record ring-buffer capacity (overflow is counted).
+    pub query_log_capacity: usize,
+    /// Slow-query log capacity (top-N by latency).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +119,9 @@ impl Default for ServeConfig {
             integrity: IntegrityConfig::default(),
             fault_plan: None,
             trace: Tracer::default(),
+            slo: SloConfig::default(),
+            query_log_capacity: 1024,
+            slow_log_capacity: 16,
         }
     }
 }
@@ -215,6 +225,24 @@ enum Settled {
     },
 }
 
+/// Serving facts about the launch a lane rode in, captured when the
+/// launch settles and joined back to each query at flush end.
+#[derive(Clone, Debug)]
+struct LaneMeta {
+    /// Monotonic launch id (the `serve_batches_total` counter value).
+    batch_id: u64,
+    /// Queries fused into the launch.
+    batch_width: u32,
+    /// Fault retries the launch took.
+    retries: u32,
+    /// Whether warm prepared state already existed before the launch.
+    warm: bool,
+    /// Service clock when the launch started (queue-wait anchor).
+    launch_start: f64,
+    /// Service clock when the launch settled (latency anchor).
+    settle_clock: f64,
+}
+
 /// The resident service: one loaded graph, warm layouts, a stream of
 /// queries. Drive it with [`Service::handle_line`] (one input line →
 /// zero or more response lines) or [`run_session`].
@@ -228,6 +256,13 @@ pub struct Service {
     cache: ResultCache,
     queue: AdmissionQueue,
     metrics: MetricsRegistry,
+    telemetry: Telemetry,
+    /// Per-lane launch facts for the flush in progress (index-aligned
+    /// with the drained queue; split retries overwrite with singleton
+    /// launch facts).
+    flush_meta: Vec<Option<LaneMeta>>,
+    /// Facts of the most recent launch, stamped onto its lanes.
+    last_launch: Option<LaneMeta>,
     assigned_ids: u64,
     clock: f64,
     shut_down: bool,
@@ -244,6 +279,7 @@ impl Service {
         let plan = cfg.fault_plan.clone();
         let cache = ResultCache::new(cfg.cache_capacity);
         let queue = AdmissionQueue::new(cfg.queue_capacity);
+        let telemetry = Telemetry::new(cfg.query_log_capacity, cfg.slow_log_capacity, cfg.slo);
         Ok(Service {
             graph,
             cfg,
@@ -254,6 +290,9 @@ impl Service {
             cache,
             queue,
             metrics: MetricsRegistry::new(),
+            telemetry,
+            flush_meta: Vec::new(),
+            last_launch: None,
             assigned_ids: 0,
             clock: 0.0,
             shut_down: false,
@@ -274,6 +313,22 @@ impl Service {
     /// per-launch engine series).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The service's telemetry bundle (query records, SLO window, slow
+    /// log).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Folds the tracer's drop counter into the metrics registry as the
+    /// `obs_trace_dropped` counter. Call once before snapshotting — a
+    /// saturated span ring is data loss the snapshot must show.
+    pub fn sync_trace_drops(&mut self) {
+        let dropped = self.cfg.trace.dropped_count();
+        if dropped > 0 {
+            self.metrics.add("obs_trace_dropped", &[], dropped);
+        }
     }
 
     fn engine_cfg_for(cfg: &ServeConfig) -> CuShaConfig {
@@ -352,10 +407,24 @@ impl Service {
             };
             self.metrics
                 .add("serve_responses_total", &[("status", "ok")], 1);
+            // A hit settles in zero modeled time with no launch.
+            self.record_query(QueryRecord {
+                seq: 0,
+                op: q.op.label(),
+                queue_wait_s: 0.0,
+                batch_id: 0,
+                batch_width: 0,
+                warm: false,
+                cache_hit: true,
+                retries: 0,
+                latency_s: 0.0,
+                deadline_slack_s: self.deadline_of(&q),
+                outcome: QueryOutcome::Ok,
+            });
             return Some(render_response(&q, &settled));
         }
         self.metrics.add("serve_cache_misses_total", &[], 1);
-        match self.queue.admit(q.clone()) {
+        match self.queue.admit(q.clone(), self.clock) {
             Ok(_) => {
                 self.metrics
                     .set_gauge("serve_queue_depth", &[], self.queue.depth() as f64);
@@ -370,6 +439,19 @@ impl Service {
             .add("serve_shed_total", &[("reason", reason.label())], 1);
         self.metrics
             .add("serve_responses_total", &[("status", "rejected")], 1);
+        self.record_query(QueryRecord {
+            seq: 0,
+            op: q.op.label(),
+            queue_wait_s: 0.0,
+            batch_id: 0,
+            batch_width: 0,
+            warm: false,
+            cache_hit: false,
+            retries: 0,
+            latency_s: 0.0,
+            deadline_slack_s: None,
+            outcome: QueryOutcome::Rejected,
+        });
         self.cfg
             .trace
             .instant(0, lanes::SERVE, "serve", "shed", self.clock);
@@ -422,6 +504,8 @@ impl Service {
         self.metrics
             .set_gauge("serve_inflight", &[], admitted.len() as f64);
         let mut settled: Vec<Option<Settled>> = admitted.iter().map(|_| None).collect();
+        self.flush_meta = admitted.iter().map(|_| None).collect();
+        self.last_launch = None;
 
         // Valued traversals, fused two-per-launch per kind.
         for kind in [TraversalKind::Bfs, TraversalKind::Sssp, TraversalKind::Sswp] {
@@ -469,11 +553,13 @@ impl Service {
             match a.query.op {
                 QueryOp::PageRank => {
                     let outcome = self.launch(&PageRank::new(), &[self.deadline_of(&a.query)]);
+                    self.stamp(&[i]);
                     self.settle_single(i, a, outcome, &mut settled);
                 }
                 QueryOp::ConnectedComponents => {
                     let outcome =
                         self.launch(&ConnectedComponents::new(), &[self.deadline_of(&a.query)]);
+                    self.stamp(&[i]);
                     self.settle_single(i, a, outcome, &mut settled);
                 }
                 _ => {}
@@ -491,25 +577,51 @@ impl Service {
             flush_start,
             self.clock - flush_start,
         );
-        admitted
-            .iter()
-            .zip(settled)
-            .map(|(a, s)| {
-                let s = s.expect("every admitted query settles exactly once");
-                let status = match &s {
-                    Settled::Ok { .. } => "ok",
-                    Settled::Deadline { .. } => "deadline",
-                    Settled::Failed { .. } => "failed",
-                    Settled::Rejected { .. } => "rejected",
-                };
-                self.metrics
-                    .add("serve_responses_total", &[("status", status)], 1);
-                if matches!(s, Settled::Deadline { .. }) {
-                    self.metrics.add("serve_deadline_cancelled_total", &[], 1);
-                }
-                render_response(&a.query, &s)
-            })
-            .collect()
+        let flush_meta = std::mem::take(&mut self.flush_meta);
+        let mut responses = Vec::with_capacity(admitted.len());
+        for ((a, s), meta) in admitted.iter().zip(settled).zip(flush_meta) {
+            let s = s.expect("every admitted query settles exactly once");
+            let status = match &s {
+                Settled::Ok { .. } => "ok",
+                Settled::Deadline { .. } => "deadline",
+                Settled::Failed { .. } => "failed",
+                Settled::Rejected { .. } => "rejected",
+            };
+            self.metrics
+                .add("serve_responses_total", &[("status", status)], 1);
+            if matches!(s, Settled::Deadline { .. }) {
+                self.metrics.add("serve_deadline_cancelled_total", &[], 1);
+            }
+            let outcome = match &s {
+                Settled::Ok { .. } => QueryOutcome::Ok,
+                Settled::Deadline { .. } => QueryOutcome::Deadline,
+                Settled::Failed { .. } => QueryOutcome::Failed,
+                Settled::Rejected { .. } => QueryOutcome::Rejected,
+            };
+            // Latency spans admission to the settling launch's end;
+            // queue wait spans admission to that launch's start (both in
+            // modeled seconds, so later lanes in a flush accrue the time
+            // earlier launches spent running).
+            let settle_clock = meta.as_ref().map_or(self.clock, |m| m.settle_clock);
+            let launch_start = meta.as_ref().map_or(flush_start, |m| m.launch_start);
+            let latency_s = (settle_clock - a.admit_clock).max(0.0);
+            let rec = QueryRecord {
+                seq: a.seq,
+                op: a.query.op.label(),
+                queue_wait_s: (launch_start - a.admit_clock).max(0.0),
+                batch_id: meta.as_ref().map_or(0, |m| m.batch_id),
+                batch_width: meta.as_ref().map_or(0, |m| m.batch_width),
+                warm: meta.as_ref().is_some_and(|m| m.warm),
+                cache_hit: false,
+                retries: meta.as_ref().map_or(0, |m| m.retries),
+                latency_s,
+                deadline_slack_s: self.deadline_of(&a.query).map(|d| d - latency_s),
+                outcome,
+            };
+            self.record_query(rec);
+            responses.push(render_response(&a.query, &s));
+        }
+        responses
     }
 
     fn deadline_of(&self, q: &Query) -> Option<f64> {
@@ -525,6 +637,11 @@ impl Service {
         let fcfg = FrontierConfig::from_cusha(&ecfg);
         let n_per =
             PreparedLayout::select_n_per(&self.graph, &ecfg, <P::V as cusha_simt::Pod>::SIZE);
+        let launch_start = self.clock;
+        let warm = match self.cfg.engine {
+            ServeEngine::Shard => self.layouts.contains_key(&n_per),
+            ServeEngine::Frontier => self.frontier.is_some(),
+        };
         match self.cfg.engine {
             ServeEngine::Shard => {
                 if !self.layouts.contains_key(&n_per) {
@@ -541,10 +658,17 @@ impl Service {
             }
         }
         self.metrics.add("serve_batches_total", &[], 1);
+        let batch_id = self
+            .metrics
+            .counter("serve_batches_total", &[])
+            .unwrap_or(1);
         self.metrics
             .observe("serve_batch_width", &[], deadlines.len() as f64);
+        if !warm {
+            self.metrics.add("serve_cold_launches_total", &[], 1);
+        }
         let mut attempt = 0u32;
-        loop {
+        let outcome = 'run: loop {
             let mut observer = DeadlineObserver::new(deadlines.to_vec());
             let result = match self.cfg.engine {
                 ServeEngine::Shard => {
@@ -577,7 +701,7 @@ impl Service {
             match result {
                 Ok(out) => {
                     self.account_run(&out.stats);
-                    return Outcome::Done {
+                    break 'run Outcome::Done {
                         out: Box::new(out),
                         expired: observer.expired,
                     };
@@ -587,7 +711,7 @@ impl Service {
                     elapsed_seconds,
                 }) => {
                     self.clock += elapsed_seconds;
-                    return Outcome::AllExpired {
+                    break 'run Outcome::AllExpired {
                         expired: observer
                             .expired
                             .into_iter()
@@ -601,7 +725,7 @@ impl Service {
                     | EngineError::DeviceOom { .. }),
                 ) => {
                     if attempt >= self.cfg.max_retries {
-                        return Outcome::FaultExhausted {
+                        break 'run Outcome::FaultExhausted {
                             detail: e.to_string(),
                         };
                     }
@@ -619,13 +743,49 @@ impl Service {
                     );
                 }
                 Err(e) => {
-                    return Outcome::Typed {
+                    break 'run Outcome::Typed {
                         kind: e.kind(),
                         detail: e.to_string(),
                     }
                 }
             }
+        };
+        self.last_launch = Some(LaneMeta {
+            batch_id,
+            batch_width: deadlines.len() as u32,
+            retries: attempt,
+            warm,
+            launch_start,
+            settle_clock: self.clock,
+        });
+        outcome
+    }
+
+    /// Copies the most recent launch's facts onto each of its lanes.
+    /// Split retries call back through [`Service::launch`] per lane, so
+    /// the overwrite leaves each query tagged with the launch that
+    /// actually settled it.
+    fn stamp(&mut self, idxs: &[usize]) {
+        if let Some(meta) = self.last_launch.clone() {
+            for &i in idxs {
+                if let Some(slot) = self.flush_meta.get_mut(i) {
+                    *slot = Some(meta.clone());
+                }
+            }
         }
+    }
+
+    /// Routes one terminal query record into metrics and the telemetry
+    /// bundle. Rejections carry no meaningful latency and skip the
+    /// histograms.
+    fn record_query(&mut self, rec: QueryRecord) {
+        if rec.outcome != QueryOutcome::Rejected {
+            self.metrics
+                .observe("serve_query_latency_seconds", &[], rec.latency_s);
+            self.metrics
+                .observe("serve_queue_wait_seconds", &[], rec.queue_wait_s);
+        }
+        self.telemetry.record(rec);
     }
 
     fn account_run(&mut self, stats: &RunStats) {
@@ -691,7 +851,9 @@ impl Service {
             .map(|&i| self.deadline_of(&admitted[i].query))
             .collect();
         let prog = FusedPair::new(kind, [Some(sources[0]), sources.get(1).copied()]);
-        match self.launch(&prog, &deadlines) {
+        let outcome = self.launch(&prog, &deadlines);
+        self.stamp(pair);
+        match outcome {
             Outcome::Done { out, expired } => {
                 let seconds = out.stats.total_seconds();
                 for (lane, &i) in pair.iter().enumerate() {
@@ -772,6 +934,7 @@ impl Service {
             TraversalKind::Sssp => self.launch(&Sssp::new(source), &deadlines),
             TraversalKind::Sswp => self.launch(&Sswp::new(source), &deadlines),
         };
+        self.stamp(&[i]);
         self.settle_single(i, &admitted[i], outcome, settled);
     }
 
@@ -842,7 +1005,9 @@ impl Service {
             .map(|&i| self.deadline_of(&admitted[i].query))
             .collect();
         let prog = MultiSourceBfs::new(all_sources);
-        match self.launch(&prog, &deadlines) {
+        let outcome = self.launch(&prog, &deadlines);
+        self.stamp(group);
+        match outcome {
             Outcome::Done { out, expired } => {
                 let seconds = out.stats.total_seconds();
                 for (q, &i) in group.iter().enumerate() {
@@ -928,6 +1093,51 @@ impl Service {
         out.push_str(&format!(",\"cache_hits\":{hits}"));
         out.push_str(&format!(",\"cache_misses\":{misses}"));
         out.push_str(&format!(",\"cache_entries\":{}", self.cache.len()));
+        out.push_str(",\"cache_hit_rate\":");
+        let looked_up = hits + misses;
+        push_f64(
+            &mut out,
+            if looked_up == 0 {
+                0.0
+            } else {
+                hits as f64 / looked_up as f64
+            },
+        );
+        // Live latency quantiles out of the log-bucketed histogram.
+        let (p50, p99) = self
+            .metrics
+            .histogram("serve_query_latency_seconds", &[])
+            .map_or((0.0, 0.0), |h| (h.quantile(0.5), h.quantile(0.99)));
+        out.push_str(",\"latency_p50_ms\":");
+        push_f64(&mut out, p50 * 1e3);
+        out.push_str(",\"latency_p99_ms\":");
+        push_f64(&mut out, p99 * 1e3);
+        let slo = self.telemetry.slo.config();
+        out.push_str(",\"slo\":{\"latency_objective_ms\":");
+        push_f64(&mut out, slo.latency_objective_s * 1e3);
+        out.push_str(",\"latency_target\":");
+        push_f64(&mut out, slo.latency_target);
+        out.push_str(",\"availability_target\":");
+        push_f64(&mut out, slo.availability_target);
+        out.push_str(&format!(",\"window\":{}", self.telemetry.slo.window_len()));
+        out.push_str(",\"latency_burn_rate\":");
+        push_f64(&mut out, self.telemetry.slo.latency_burn_rate());
+        out.push_str(",\"error_burn_rate\":");
+        push_f64(&mut out, self.telemetry.slo.error_burn_rate());
+        out.push('}');
+        out.push_str(",\"slowest_ms\":");
+        push_f64(
+            &mut out,
+            self.telemetry
+                .slow
+                .entries()
+                .first()
+                .map_or(0.0, |r| r.latency_s * 1e3),
+        );
+        out.push_str(&format!(
+            ",\"query_log_dropped\":{}",
+            self.telemetry.log.dropped()
+        ));
         out.push_str(",\"clock_ms\":");
         push_f64(&mut out, self.clock * 1e3);
         out.push('}');

@@ -107,6 +107,26 @@ impl Counters {
     }
 }
 
+/// Which side of the roofline a kernel's modeled time sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// DRAM time dominates: the kernel saturates modeled memory bandwidth.
+    Memory,
+    /// Issue time dominates: the kernel waits on instruction issue, not
+    /// bandwidth.
+    Latency,
+}
+
+impl Bound {
+    /// Stable lower-case label (used in reports and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            Bound::Memory => "memory",
+            Bound::Latency => "latency",
+        }
+    }
+}
+
 /// Statistics of one simulated kernel launch, in `nvprof` terms.
 #[derive(Clone, Debug, Default)]
 pub struct KernelStats {
@@ -117,6 +137,9 @@ pub struct KernelStats {
     pub blocks: u32,
     /// Threads per block.
     pub threads_per_block: u32,
+    /// SM count of the device that ran the launch (0 when synthesized
+    /// outside a device, e.g. in unit tests).
+    pub sm_count: u32,
     /// Accumulated raw counters.
     pub counters: Counters,
     /// Modeled issue-limited time in seconds (max over SMs).
@@ -164,9 +187,54 @@ impl KernelStats {
         )
     }
 
+    /// Minimum transactions the issued requests could have produced if
+    /// perfectly coalesced: one full 128 B segment per 128 requested bytes.
+    pub fn ideal_transactions(&self) -> u64 {
+        self.counters.gld_requested_bytes.div_ceil(128)
+            + self.counters.gst_requested_bytes.div_ceil(128)
+    }
+
+    /// Transactions replayed beyond the coalesced ideal — the cost of
+    /// scattered access the paper's shard layout exists to remove.
+    pub fn replayed_transactions(&self) -> u64 {
+        (self.counters.gld_transactions + self.counters.gst_transactions)
+            .saturating_sub(self.ideal_transactions())
+    }
+
+    /// Achieved SM occupancy under the round-robin block scheduler: the
+    /// fraction of SMs that received at least one block (1.0 when the SM
+    /// count is unknown).
+    pub fn occupancy(&self) -> f64 {
+        if self.sm_count == 0 {
+            1.0
+        } else {
+            (self.blocks.min(self.sm_count)) as f64 / self.sm_count as f64
+        }
+    }
+
+    /// Arithmetic intensity of the roofline: warp instructions issued per
+    /// byte moved over DRAM (0 when the kernel touched no global memory).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = (self.counters.gld_transactions + self.counters.gst_transactions) * 128;
+        if bytes == 0 {
+            0.0
+        } else {
+            self.counters.warp_instructions as f64 / bytes as f64
+        }
+    }
+
+    /// Roofline classification of the modeled time.
+    pub fn bound(&self) -> Bound {
+        if self.dram_seconds >= self.issue_seconds && self.dram_seconds > 0.0 {
+            Bound::Memory
+        } else {
+            Bound::Latency
+        }
+    }
+
     /// Records this launch (or aggregate) into a metrics registry under the
-    /// unified `cusha-metrics/v1` schema: raw event counts as counters,
-    /// derived efficiencies and modeled times as gauges.
+    /// unified metrics schema: raw event counts as counters, derived
+    /// efficiencies and modeled times as gauges.
     pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
         let c = &self.counters;
         reg.add("gpu_blocks", labels, self.blocks as u64);
@@ -187,6 +255,17 @@ impl KernelStats {
             "gpu_warp_execution_efficiency",
             labels,
             self.warp_execution_efficiency(),
+        );
+        reg.add(
+            "gpu_replayed_transactions",
+            labels,
+            self.replayed_transactions(),
+        );
+        reg.set_gauge("gpu_occupancy", labels, self.occupancy());
+        reg.set_gauge(
+            "gpu_arithmetic_intensity",
+            labels,
+            self.arithmetic_intensity(),
         );
         reg.set_gauge("gpu_kernel_seconds", labels, self.seconds);
         reg.set_gauge("gpu_issue_seconds", labels, self.issue_seconds);

@@ -386,6 +386,7 @@ impl Gpu {
             name: desc.name.clone(),
             blocks: desc.grid_blocks,
             threads_per_block: desc.threads_per_block,
+            sm_count: self.cfg.num_sms,
             ..Default::default()
         };
         let tracing = self.tracer.is_enabled();

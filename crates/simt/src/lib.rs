@@ -48,12 +48,12 @@ pub mod warp;
 pub use block::Block;
 pub use coalesce::CoalesceMemo;
 pub use config::DeviceConfig;
-pub use counters::{KernelStats, Mask, WARP};
+pub use counters::{Bound, KernelStats, Mask, WARP};
 pub use device::{Gpu, KernelDesc};
 pub use fabric::{DeviceFleet, Interconnect};
 pub use fault::{BitFlip, DeviceFault, FaultKind, FaultPlan, FlipTarget, InjectionLog};
 pub use mem::DevVec;
 pub use pod::Pod;
-pub use profile::{KernelAggregate, Profile};
+pub use profile::{KernelAggregate, Profile, PROFILE_SCHEMA};
 pub use shared::SharedVec;
 pub use warp::{aligned_chunks, warp_chunks, VirtualWarps};

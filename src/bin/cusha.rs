@@ -71,6 +71,7 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     profile: bool,
+    profile_json: Option<String>,
     timeout_ms: Option<f64>,
     queue_capacity: usize,
     cache_capacity: usize,
@@ -78,6 +79,9 @@ struct Args {
     deadline_ms: Option<f64>,
     script: Option<String>,
     density_threshold: Option<f64>,
+    slow_log: Option<String>,
+    slo_latency_ms: Option<f64>,
+    slo_window: Option<usize>,
 }
 
 /// Fleet-level counters the single-engine [`RunStats`] cannot carry; shown
@@ -105,12 +109,14 @@ fn usage_text() -> &'static str {
          \x20      [--devices <N>] [--interconnect <pcie|nvlink>]\n\
          \x20      [--trace-out <path>] [--metrics-out <path>]\n\
          \x20      [--log-level <error|warn|info|debug|trace>] [--profile]\n\
+         \x20      [--profile-json <path>]\n\
          \x20  cusha serve (--input <path> | --rmat <scale>:<edges>)\n\
          \x20      [--engine <cw|gs|frontier>] [--shard-size <N>] [--max-iters <n>]\n\
          \x20      [--queue-capacity <N>] [--cache-capacity <N>]\n\
          \x20      [--retries <N>] [--deadline-ms <ms>] [--watchdog <interval>]\n\
          \x20      [--inject ...] [--inject-bitflips ...] [--integrity ...]\n\
          \x20      [--script <path>] [--trace-out <path>] [--metrics-out <path>]\n\
+         \x20      [--slow-log <path>] [--slo-latency-ms <ms>] [--slo-window <N>]\n\
          \n\
          serve keeps the graph and prepared engine state resident (shard\n\
          layouts, or the frontier topology under --engine frontier) and answers a\n\
@@ -143,9 +149,19 @@ fn usage_text() -> &'static str {
          per device plus per-SM rows, with iteration, kernel-phase, copy,\n\
          halo-exchange and fault-recovery spans on the modeled clock.\n\
          --metrics-out writes a flat versioned metrics JSON snapshot\n\
-         (efficiencies, timings, fault counters, per-device breakdown).\n\
-         --profile prints an nvprof-style per-kernel report plus the\n\
-         metrics snapshot to stderr.\n\
+         (efficiencies, timings, fault counters, per-device breakdown;\n\
+         cusha-metrics/v2 with log-bucketed quantile histograms).\n\
+         --profile prints an nvprof-style per-kernel report (occupancy,\n\
+         replayed transactions, arithmetic intensity, memory-/latency-bound\n\
+         roofline classification) plus the metrics snapshot to stderr;\n\
+         --profile-json also writes the cusha-profile/v1 JSON (implies\n\
+         --profile).\n\
+         \n\
+         Under serve, `stats` returns live p50/p99 latency, cache hit\n\
+         rate, shed count and SLO burn rates over a sliding window\n\
+         (--slo-latency-ms sets the latency objective, default 50 ms of\n\
+         modeled time; --slo-window the window size, default 256);\n\
+         --slow-log writes the slowest queries as JSON lines on exit.\n\
          \n\
          --devices runs the cw/gs engine over a fleet of N simulated GPUs\n\
          (edge-balanced shard partitions, per-iteration halo exchange over\n\
@@ -354,6 +370,7 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         profile: false,
+        profile_json: None,
         timeout_ms: None,
         queue_capacity: 64,
         cache_capacity: 128,
@@ -361,6 +378,9 @@ fn parse_args() -> Args {
         deadline_ms: None,
         script: None,
         density_threshold: None,
+        slow_log: None,
+        slo_latency_ms: None,
+        slo_window: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -461,6 +481,27 @@ fn parse_args() -> Args {
                 log::set_level(level);
             }
             "--profile" => args.profile = true,
+            "--profile-json" => {
+                args.profile_json = Some(take(&argv, &mut i, "--profile-json"));
+                args.profile = true;
+            }
+            "--slow-log" => args.slow_log = Some(take(&argv, &mut i, "--slow-log")),
+            "--slo-latency-ms" => {
+                let ms: f64 = parsed("--slo-latency-ms", &take(&argv, &mut i, "--slo-latency-ms"));
+                if ms.is_nan() || ms <= 0.0 {
+                    usage_error(&format!(
+                        "bad value {ms} for --slo-latency-ms: must be positive"
+                    ));
+                }
+                args.slo_latency_ms = Some(ms);
+            }
+            "--slo-window" => {
+                let w: usize = parsed("--slo-window", &take(&argv, &mut i, "--slo-window"));
+                if w == 0 {
+                    usage_error("bad value 0 for --slo-window: must be at least 1");
+                }
+                args.slo_window = Some(w);
+            }
             "--timeout-ms" => {
                 let ms: f64 = parsed("--timeout-ms", &take(&argv, &mut i, "--timeout-ms"));
                 if ms.is_nan() || ms <= 0.0 {
@@ -531,6 +572,14 @@ fn parse_args() -> Args {
             "--timeout-ms applies to one-shot runs only \
              (use --deadline-ms for per-query deadlines under serve)",
         );
+    }
+    if args.profile_json.is_some() && args.serve {
+        usage_error("--profile-json applies to one-shot runs only");
+    }
+    if !args.serve
+        && (args.slow_log.is_some() || args.slo_latency_ms.is_some() || args.slo_window.is_some())
+    {
+        usage_error("--slow-log / --slo-latency-ms / --slo-window apply to cusha serve only");
     }
     // The frontier-native workloads only exist on the frontier engine;
     // typing `--algo kcore` alone should just work.
@@ -803,6 +852,12 @@ fn serve_main(args: Args) -> ! {
     if let Some(k) = args.checkpoint_every {
         cfg.integrity.checkpoint_every = k;
     }
+    if let Some(ms) = args.slo_latency_ms {
+        cfg.slo.latency_objective_s = ms / 1e3;
+    }
+    if let Some(w) = args.slo_window {
+        cfg.slo.window = w;
+    }
     let mut svc = Service::new(g, cfg).unwrap_or_else(|e| {
         eprintln!("cusha: cannot start service: {e}");
         exit(EXIT_USAGE)
@@ -840,7 +895,18 @@ fn serve_main(args: Args) -> ! {
             tracer.event_count()
         ));
     }
+    if let Some(path) = &args.slow_log {
+        std::fs::write(path, svc.telemetry().slow.render()).unwrap_or_else(|e| {
+            eprintln!("cusha: cannot write {path}: {e}");
+            exit(EXIT_IO)
+        });
+        info(&format!(
+            "wrote {} slow-query records to {path}",
+            svc.telemetry().slow.entries().len()
+        ));
+    }
     if let Some(path) = &args.metrics_out {
+        svc.sync_trace_drops();
         std::fs::write(path, svc.metrics().to_json()).unwrap_or_else(|e| {
             eprintln!("cusha: cannot write {path}: {e}");
             exit(EXIT_IO)
@@ -1051,6 +1117,12 @@ fn main() {
         ));
     }
 
+    // A saturated trace ring is silent data loss for the observer; make
+    // it loud in the metrics snapshot and the profile report.
+    let trace_dropped = tracer.dropped_count();
+    if trace_dropped > 0 {
+        metrics.add("obs_trace_dropped", &[], trace_dropped);
+    }
     if args.profile {
         // Unified profile report on stderr: nvprof-style per-kernel lines
         // (when the engine retained a launch history) plus the metrics
@@ -1058,7 +1130,24 @@ fn main() {
         if let Some(p) = &stats.profile {
             eprint!("{}", p.report());
         }
+        if trace_dropped > 0 {
+            warn(&format!(
+                "tracer dropped {trace_dropped} events (ring full) — the trace \
+                 and span-derived numbers undercount"
+            ));
+        }
         eprint!("{}", metrics.render_text());
+    }
+    if let Some(path) = &args.profile_json {
+        let doc = stats.profile.as_ref().map_or_else(
+            || cusha::simt::Profile::default().to_json(),
+            |p| p.to_json(),
+        );
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("cusha: cannot write {path}: {e}");
+            exit(EXIT_IO)
+        });
+        info(&format!("wrote kernel profile to {path}"));
     }
     if let Some(path) = &args.trace_out {
         let doc = chrome_trace_json(&tracer);

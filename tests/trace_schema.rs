@@ -1,7 +1,7 @@
 //! Schema-stability and golden-file tests for the observability layer.
 //!
 //! A seeded BFS run on an RMAT surrogate must emit a byte-stable
-//! `cusha-metrics/v1` snapshot (checked against `tests/golden/`) and a
+//! `cusha-metrics/v2` snapshot (checked against `tests/golden/`) and a
 //! Chrome trace whose every event carries the required keys
 //! `ph`/`ts`/`pid`/`tid`/`name`. Regenerate the golden file after an
 //! intentional schema change with:
@@ -55,7 +55,7 @@ fn metrics_snapshot_matches_golden_file() {
 #[test]
 fn metrics_snapshot_has_versioned_schema_and_profile_counters() {
     let (_, metrics) = traced_bfs();
-    assert!(metrics.starts_with("{\"schema\":\"cusha-metrics/v1\""));
+    assert!(metrics.starts_with("{\"schema\":\"cusha-metrics/v2\""));
     assert!(metrics.ends_with("}}\n"));
     for key in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
         assert!(metrics.contains(key), "missing {key}");
