@@ -222,6 +222,7 @@ pub struct PreparedLayout {
     repr: Repr,
     n_per: u32,
     num_vertices: u32,
+    rev: Option<u64>,
     gs: GShards,
     cw: Option<ConcatWindows>,
 }
@@ -235,9 +236,34 @@ impl PreparedLayout {
             repr,
             n_per,
             num_vertices: graph.num_vertices(),
+            rev: None,
             gs,
             cw,
         }
+    }
+
+    /// Stamps the layout with the revision of the graph it was built from.
+    ///
+    /// Layouts are immutable snapshots of one graph revision; a caller
+    /// that mutates its graph (the resident service's live-mutation path)
+    /// stamps each layout at build time and checks
+    /// [`PreparedLayout::valid_for`] before every warm launch, so a layout
+    /// that outlived its revision is caught as a typed internal error
+    /// instead of silently answering from a superseded epoch.
+    pub fn stamp_rev(&mut self, rev: u64) {
+        self.rev = Some(rev);
+    }
+
+    /// The revision stamped at build time, when the caller revisioned it.
+    pub fn stamped_rev(&self) -> Option<u64> {
+        self.rev
+    }
+
+    /// Whether this layout may serve a graph at revision `rev`. Unstamped
+    /// layouts (one-shot engine paths that never mutate) accept any
+    /// revision.
+    pub fn valid_for(&self, rev: u64) -> bool {
+        self.rev.is_none_or(|r| r == rev)
     }
 
     /// The shard size the autotuner (or an explicit override in `cfg`)

@@ -7,7 +7,11 @@
 //!   ignored. A missing weight defaults to 1.
 //! * **Binary** — a compact little-endian format (`CUSH` magic, version,
 //!   counts, then packed `(src, dst, weight)` triples) for fast reloads of
-//!   generated surrogates.
+//!   generated surrogates. Version 2 (the write format) appends an FNV-1a
+//!   checksum to the header section and to the edge payload and requires
+//!   the file to end exactly after the payload checksum, so truncated or
+//!   bit-rotted files fail with a typed [`IoError::Corrupt`] instead of
+//!   silently building a wrong graph. Version 1 files remain readable.
 
 use crate::builder::GraphBuilder;
 use crate::types::{Edge, Graph};
@@ -15,7 +19,9 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CUSH";
-const VERSION: u32 = 1;
+/// The version written by [`write_binary`]. [`read_binary`] also accepts
+/// the checksum-less v1.
+const VERSION: u32 = 2;
 
 /// Errors produced by graph IO.
 #[derive(Debug)]
@@ -24,6 +30,9 @@ pub enum IoError {
     Io(io::Error),
     /// Malformed input; the string describes line/offset and cause.
     Parse(String),
+    /// A binary v2 file failed a section checksum, ended early, or carries
+    /// trailing bytes — the payload does not match what was written.
+    Corrupt(String),
 }
 
 impl From<io::Error> for IoError {
@@ -37,11 +46,22 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Parse(m) => write!(f, "parse error: {m}"),
+            IoError::Corrupt(m) => write!(f, "corrupt input: {m}"),
         }
     }
 }
 
 impl std::error::Error for IoError {}
+
+/// FNV-1a over raw bytes — the per-section digest of the binary v2 format
+/// (the same constants the engine's integrity scrubber uses).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// Parses a text edge list from a reader.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
@@ -104,18 +124,33 @@ pub fn save_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> 
     write_edge_list(g, std::fs::File::create(path)?)
 }
 
-/// Writes the compact binary format.
+/// Writes the compact binary format (v2: checksummed sections).
+///
+/// Layout: `CUSH` magic, version, then the header section (`n`, `m`,
+/// FNV-1a of those 8 bytes) and the payload section (`m` packed
+/// `(src, dst, weight)` records, FNV-1a of all payload bytes). Nothing
+/// may follow the payload checksum.
 pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&g.num_vertices().to_le_bytes())?;
-    w.write_all(&g.num_edges().to_le_bytes())?;
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&g.num_vertices().to_le_bytes());
+    header[4..].copy_from_slice(&g.num_edges().to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&fnv1a(&header).to_le_bytes())?;
+    let mut crc = 0xcbf2_9ce4_8422_2325u64;
     for e in g.edges() {
-        w.write_all(&e.src.to_le_bytes())?;
-        w.write_all(&e.dst.to_le_bytes())?;
-        w.write_all(&e.weight.to_le_bytes())?;
+        let mut record = [0u8; EDGE_RECORD_BYTES];
+        record[..4].copy_from_slice(&e.src.to_le_bytes());
+        record[4..8].copy_from_slice(&e.dst.to_le_bytes());
+        record[8..].copy_from_slice(&e.weight.to_le_bytes());
+        for &b in &record {
+            crc = (crc ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        w.write_all(&record)?;
     }
+    w.write_all(&crc.to_le_bytes())?;
     w.flush()?;
     Ok(())
 }
@@ -130,13 +165,17 @@ const EDGE_RECORD_BYTES: usize = 12;
 /// actually that long.
 const MAX_TRUSTED_CAPACITY: usize = (16 << 20) / EDGE_RECORD_BYTES;
 
-/// Reads the compact binary format.
+/// Reads the compact binary format (v1 or v2).
 ///
 /// The header's claimed counts are treated as untrusted: the edge vector's
 /// up-front reservation is capped (a corrupt `m` cannot trigger an
 /// allocation the payload never backs), and a payload shorter than `m`
-/// records yields [`IoError::Parse`] naming the truncation point rather
-/// than a bare EOF.
+/// records yields a typed error naming the truncation point rather than a
+/// bare EOF. For v2 files the header and payload checksums are verified
+/// and the file must end exactly after the payload checksum; any mismatch,
+/// short section, or trailing byte is [`IoError::Corrupt`]. v1 files carry
+/// no checksums, so only structural defects are detectable there
+/// ([`IoError::Parse`], the historical behavior).
 pub fn read_binary<R: Read>(reader: R) -> Result<Graph, IoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
@@ -151,24 +190,79 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, IoError> {
         Ok(u32::from_le_bytes(buf4))
     };
     let version = read_u32(&mut r, "version")?;
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(IoError::Parse(format!("unsupported version {version}")));
     }
-    let n = read_u32(&mut r, "vertex count")?;
-    let m = read_u32(&mut r, "edge count")?;
+    let checked = version >= 2;
+    // In a checksummed file a short read means the file was cut after the
+    // writer started — corruption, not a parse-shaped input.
+    let short = |what: &str, e: io::Error| -> IoError {
+        if checked && e.kind() == io::ErrorKind::UnexpectedEof {
+            IoError::Corrupt(format!("truncated input while reading {what}"))
+        } else {
+            truncated(what, e)
+        }
+    };
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)
+        .map_err(|e| short("header counts", e))?;
+    let n = u32::from_le_bytes(header[..4].try_into().unwrap());
+    let m = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if checked {
+        let mut crc = [0u8; 8];
+        r.read_exact(&mut crc)
+            .map_err(|e| short("header checksum", e))?;
+        if u64::from_le_bytes(crc) != fnv1a(&header) {
+            return Err(IoError::Corrupt(
+                "header checksum mismatch (vertex/edge counts are damaged)".into(),
+            ));
+        }
+    }
     let mut edges = Vec::with_capacity((m as usize).min(MAX_TRUSTED_CAPACITY));
+    let mut payload_crc = 0xcbf2_9ce4_8422_2325u64;
     for i in 0..m {
         let mut record = [0u8; EDGE_RECORD_BYTES];
         r.read_exact(&mut record)
-            .map_err(|e| truncated(&format!("edge #{i} of {m} claimed by the header"), e))?;
+            .map_err(|e| short(&format!("edge #{i} of {m} claimed by the header"), e))?;
+        for &b in &record {
+            payload_crc = (payload_crc ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
         let word = |k: usize| u32::from_le_bytes(record[4 * k..4 * k + 4].try_into().unwrap());
         let (src, dst, weight) = (word(0), word(1), word(2));
         if src >= n || dst >= n {
-            return Err(IoError::Parse(format!(
-                "edge #{i} ({src} -> {dst}) out of range for {n} vertices"
-            )));
+            let msg = format!("edge #{i} ({src} -> {dst}) out of range for {n} vertices");
+            // Under v2 an out-of-range edge is indistinguishable from bit
+            // rot until the payload checksum settles it; report it as the
+            // corruption it almost certainly is.
+            return Err(if checked {
+                IoError::Corrupt(msg)
+            } else {
+                IoError::Parse(msg)
+            });
         }
         edges.push(Edge::new(src, dst, weight));
+    }
+    if checked {
+        let mut crc = [0u8; 8];
+        r.read_exact(&mut crc)
+            .map_err(|e| short("payload checksum", e))?;
+        if u64::from_le_bytes(crc) != payload_crc {
+            return Err(IoError::Corrupt(format!(
+                "payload checksum mismatch over {m} edge records"
+            )));
+        }
+        // Explicit end-of-file length check: a well-formed v2 file ends
+        // here; trailing bytes mean the header undercounts the payload.
+        let mut one = [0u8; 1];
+        match r.read_exact(&mut one) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {}
+            Ok(()) => {
+                return Err(IoError::Corrupt(
+                    "trailing bytes after payload checksum (header undercounts the file)".into(),
+                ))
+            }
+            Err(e) => return Err(IoError::Io(e)),
+        }
     }
     Graph::try_new(n, edges).map_err(|e| IoError::Parse(e.to_string()))
 }
@@ -249,22 +343,79 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf[0] = b'X';
         assert!(matches!(read_binary(&buf[..]), Err(IoError::Parse(_))));
-        // A truncated payload is malformed input, not an IO failure.
+        // A truncated v2 payload is typed corruption, not an IO failure.
         let mut buf2 = Vec::new();
         write_binary(&g, &mut buf2).unwrap();
-        buf2.truncate(buf2.len() - 2);
+        buf2.truncate(buf2.len() - 10);
         match read_binary(&buf2[..]) {
-            Err(IoError::Parse(msg)) => {
+            Err(IoError::Corrupt(msg)) => {
                 assert!(msg.contains("truncated"), "{msg}");
                 assert!(msg.contains("edge #9"), "{msg}");
             }
-            other => panic!("expected Parse(truncated), got {other:?}"),
+            other => panic!("expected Corrupt(truncated), got {other:?}"),
         }
-        // Truncation inside the header is also a parse error.
+        // Truncation inside the header is also typed corruption.
         let mut buf3 = Vec::new();
         write_binary(&g, &mut buf3).unwrap();
         buf3.truncate(10);
-        assert!(matches!(read_binary(&buf3[..]), Err(IoError::Parse(_))));
+        assert!(matches!(read_binary(&buf3[..]), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn binary_v2_catches_single_bit_rot_everywhere() {
+        let g = erdos_renyi(16, 40, 9);
+        let mut clean = Vec::new();
+        write_binary(&g, &mut clean).unwrap();
+        // Flip one bit at every byte position past the magic; every flip
+        // must surface as a typed error (version/corrupt), never a wrong
+        // graph. (Magic flips are covered by the bad-magic case above.)
+        for pos in 4..clean.len() {
+            let mut buf = clean.clone();
+            buf[pos] ^= 1 << (pos % 8);
+            assert!(
+                read_binary(&buf[..]).is_err(),
+                "bit flip at byte {pos} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_v2_rejects_trailing_bytes() {
+        let g = erdos_renyi(8, 10, 5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.push(0);
+        match read_binary(&buf[..]) {
+            Err(IoError::Corrupt(msg)) => assert!(msg.contains("trailing"), "{msg}"),
+            other => panic!("expected Corrupt(trailing), got {other:?}"),
+        }
+    }
+
+    /// Serializes `g` in the checksum-less v1 layout (what pre-v2 builds
+    /// wrote) so compatibility stays under test without a fixture file.
+    fn write_binary_v1(g: &Graph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CUSH");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&g.num_vertices().to_le_bytes());
+        buf.extend_from_slice(&g.num_edges().to_le_bytes());
+        for e in g.edges() {
+            buf.extend_from_slice(&e.src.to_le_bytes());
+            buf.extend_from_slice(&e.dst.to_le_bytes());
+            buf.extend_from_slice(&e.weight.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn binary_v1_files_remain_readable() {
+        let g = erdos_renyi(32, 100, 11);
+        let buf = write_binary_v1(&g);
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+        // v1 keeps its historical truncation behavior: Parse, not Corrupt.
+        let mut cut = write_binary_v1(&g);
+        cut.truncate(cut.len() - 2);
+        assert!(matches!(read_binary(&cut[..]), Err(IoError::Parse(_))));
     }
 
     #[test]
@@ -315,10 +466,14 @@ mod tests {
     #[test]
     fn binary_rejects_out_of_range_edge() {
         let g = Graph::new(4, vec![Edge::new(0, 3, 1)]);
+        // v2: patching the vertex count trips the header checksum first.
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
-        // Patch the vertex count down to 2 so the edge becomes invalid.
         buf[8..12].copy_from_slice(&2u32.to_le_bytes());
-        assert!(matches!(read_binary(&buf[..]), Err(IoError::Parse(_))));
+        assert!(matches!(read_binary(&buf[..]), Err(IoError::Corrupt(_))));
+        // v1 has no checksum, so the range check itself must catch it.
+        let mut v1 = write_binary_v1(&g);
+        v1[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(read_binary(&v1[..]), Err(IoError::Parse(_))));
     }
 }

@@ -16,7 +16,10 @@
 //! * [`partition`] — edge-balanced fleet partitioning with per-device halo
 //!   sets, feeding the engine's multi-GPU mode,
 //! * [`degree`] — degree-distribution analysis used by Figure 1,
-//! * [`io`] — text edge-list and compact binary de/serialization,
+//! * [`io`] — text edge-list and compact binary de/serialization (binary v2
+//!   carries per-section checksums so corrupt files fail typed, not silent),
+//! * [`mutate`] — validated edge insert/delete batches applied as deltas,
+//!   plus the structural [`fingerprint`] revision the service keys caches on,
 //! * [`analysis`] — structural utilities (union-find components, etc.).
 
 pub mod analysis;
@@ -25,6 +28,7 @@ pub mod csr;
 pub mod degree;
 pub mod generators;
 pub mod io;
+pub mod mutate;
 pub mod partition;
 pub mod reorder;
 pub mod surrogates;
@@ -32,5 +36,6 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use mutate::{fingerprint, Mutation, MutationBatch, MutationDelta, MutationError};
 pub use partition::{edge_balanced_ranges, DevicePartition, FleetPartition};
 pub use types::{Edge, EdgeId, Graph, GraphError, VertexId};

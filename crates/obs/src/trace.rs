@@ -33,6 +33,8 @@ pub mod lanes {
     pub const FAULT: u32 = 3;
     /// Query-service spans: admission, batch assembly, per-query lifecycle.
     pub const SERVE: u32 = 4;
+    /// Live-mutation spans: WAL commits, batch application, epoch rebuilds.
+    pub const MUTATE: u32 = 5;
     /// Per-SM occupancy lanes start here: `SM_BASE + sm_index`.
     pub const SM_BASE: u32 = 16;
 }

@@ -19,6 +19,9 @@ pub enum ShedReason {
     BadSourceSet,
     /// The service is draining after shutdown.
     ShuttingDown,
+    /// A committed mutation is rebuilding warm layouts and the service's
+    /// rebuild policy sheds rather than serving the previous epoch.
+    Rebuilding,
 }
 
 impl ShedReason {
@@ -29,6 +32,7 @@ impl ShedReason {
             ShedReason::BadSource => "bad-source",
             ShedReason::BadSourceSet => "bad-source-set",
             ShedReason::ShuttingDown => "shutting-down",
+            ShedReason::Rebuilding => "rebuilding",
         }
     }
 }

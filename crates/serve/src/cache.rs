@@ -118,6 +118,19 @@ impl ResultCache {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Drops exactly the entries keyed on graph revision `rev`, returning
+    /// how many went. This is the live-mutation invalidation path: a
+    /// committed batch supersedes one revision, and only answers computed
+    /// against that revision are stale — entries for the new revision
+    /// (or, during a serve-previous window, the still-live old one) keep
+    /// serving hits.
+    pub fn invalidate_rev(&mut self, rev: u64) -> usize {
+        let prefix = format!("{rev:016x}/");
+        let before = self.entries.len();
+        self.entries.retain(|k, _| !k.starts_with(&prefix));
+        before - self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +180,18 @@ mod tests {
         assert!(c.get("a").is_none());
         assert!(c.is_empty());
         assert_eq!(c.hit_miss(), (0, 1));
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_one_revision() {
+        let mut c = ResultCache::new(8);
+        c.put(cache_key(1, "bfs", &[0], "off"), result(1));
+        c.put(cache_key(1, "cc", &[], "off"), result(2));
+        c.put(cache_key(2, "bfs", &[0], "off"), result(3));
+        assert_eq!(c.invalidate_rev(1), 2);
+        assert!(c.get(&cache_key(1, "bfs", &[0], "off")).is_none());
+        assert!(c.get(&cache_key(2, "bfs", &[0], "off")).is_some());
+        assert_eq!(c.invalidate_rev(1), 0);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`telemetry`] — per-query serving records (queue wait, batch shape,
 //!   warm/cold, retries, deadline slack), the sliding-window SLO tracker
 //!   with burn rates, and the slow-query log behind `stats`/`--slow-log`.
+//! * [`wal`] — the durable write-ahead mutation log: checksummed
+//!   length-prefixed records, fsync-modeled commit points, snapshot
+//!   compaction, torn-tail-truncating recovery, and deterministic
+//!   crash-injection points for the recovery harness.
 //!
 //! ```
 //! use cusha_graph::generators::rmat::{rmat, RmatConfig};
@@ -40,11 +44,15 @@ pub mod cache;
 pub mod proto;
 pub mod service;
 pub mod telemetry;
+pub mod wal;
 
 pub use admission::{AdmissionQueue, ShedReason};
 pub use cache::{cache_key, CachedResult, ResultCache};
-pub use proto::{parse_json, parse_line, Json, Query, QueryOp, Request};
-pub use service::{graph_rev, run_session, ServeConfig, ServeEngine, Service};
+pub use proto::{parse_json, parse_line, Json, MutateRequest, Query, QueryOp, Request};
+pub use service::{
+    graph_rev, run_session, RebuildPolicy, ServeConfig, ServeEngine, Service, WalConfig,
+};
 pub use telemetry::{
     QueryLog, QueryOutcome, QueryRecord, SloConfig, SloTracker, SlowQueryLog, Telemetry,
 };
+pub use wal::{CrashPoint, CrashSpec, RecoverySource, RecoveryStats, Wal, WalError, WalStats};

@@ -9,7 +9,7 @@
 //! (objects, arrays, strings, numbers, booleans, null — the workspace
 //! builds without external crates), re-exported here for protocol users.
 
-use cusha_graph::VertexId;
+use cusha_graph::{MutationBatch, VertexId};
 
 pub use cusha_obs::json::{parse_json, Json};
 
@@ -18,6 +18,8 @@ pub use cusha_obs::json::{parse_json, Json};
 pub enum Request {
     /// A graph query to admit.
     Query(Query),
+    /// A live edge-mutation batch to commit.
+    Mutate(MutateRequest),
     /// Run everything queued.
     Flush,
     /// Report service counters.
@@ -26,6 +28,18 @@ pub enum Request {
     Shutdown,
     /// Nothing (blank line or comment).
     Empty,
+}
+
+/// A live-mutation request: an all-or-nothing batch of edge inserts and
+/// deletes, committed through the WAL (when one is configured) before it
+/// touches the in-memory graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MutateRequest {
+    /// Client-chosen id echoed in the response (`Json::Null` = let the
+    /// service assign a sequence number).
+    pub id: Json,
+    /// The ordered batch.
+    pub batch: MutationBatch,
 }
 
 /// A single admitted-or-shed unit of work.
@@ -99,6 +113,7 @@ fn parse_json_request(line: &str) -> Result<Request, String> {
         "flush" => return Ok(Request::Flush),
         "stats" => return Ok(Request::Stats),
         "shutdown" | "quit" => return Ok(Request::Shutdown),
+        "mutate" => return parse_mutate(&v),
         _ => {}
     }
     let id = v.get("id").cloned().unwrap_or(Json::Null);
@@ -161,6 +176,61 @@ fn parse_json_request(line: &str) -> Result<Request, String> {
     }))
 }
 
+/// Parses `{"op":"mutate","insert":[[src,dst,weight],...],"delete":[[src,dst],...]}`.
+/// Insert triples may omit the weight (defaults to 1); ops apply inserts
+/// before deletes, each array in order.
+fn parse_mutate(v: &Json) -> Result<Request, String> {
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    let vertex = |x: &Json, what: &str| -> Result<VertexId, String> {
+        x.as_u64()
+            .filter(|&s| s <= u32::MAX as u64)
+            .map(|s| s as VertexId)
+            .ok_or_else(|| format!("{what} must be a vertex id"))
+    };
+    let mut batch = MutationBatch::new();
+    if let Some(arr) = v.get("insert") {
+        let items = match arr {
+            Json::Arr(items) => items,
+            _ => return Err("\"insert\" must be an array of [src, dst, weight?]".into()),
+        };
+        for item in items {
+            let t = match item {
+                Json::Arr(t) if t.len() == 2 || t.len() == 3 => t,
+                _ => return Err("each insert must be [src, dst] or [src, dst, weight]".into()),
+            };
+            let weight = match t.get(2) {
+                None => 1,
+                Some(w) => w
+                    .as_u64()
+                    .filter(|&w| w <= u32::MAX as u64)
+                    .ok_or("insert weight must be a u32")? as u32,
+            };
+            batch = batch.insert(
+                vertex(&t[0], "insert src")?,
+                vertex(&t[1], "insert dst")?,
+                weight,
+            );
+        }
+    }
+    if let Some(arr) = v.get("delete") {
+        let items = match arr {
+            Json::Arr(items) => items,
+            _ => return Err("\"delete\" must be an array of [src, dst]".into()),
+        };
+        for item in items {
+            let t = match item {
+                Json::Arr(t) if t.len() == 2 => t,
+                _ => return Err("each delete must be [src, dst]".into()),
+            };
+            batch = batch.delete(vertex(&t[0], "delete src")?, vertex(&t[1], "delete dst")?);
+        }
+    }
+    if batch.ops.is_empty() {
+        return Err("op \"mutate\" needs a non-empty \"insert\" and/or \"delete\" array".into());
+    }
+    Ok(Request::Mutate(MutateRequest { id, batch }))
+}
+
 fn parse_repl_request(line: &str) -> Result<Request, String> {
     let mut words = line.split_whitespace();
     let head = words.next().expect("line is non-empty");
@@ -188,6 +258,24 @@ fn parse_repl_request(line: &str) -> Result<Request, String> {
         "flush" => Ok(Request::Flush),
         "stats" => Ok(Request::Stats),
         "quit" | "exit" | "shutdown" => Ok(Request::Shutdown),
+        "insert" => {
+            let (src, dst, weight) = match sources()?.as_slice() {
+                [s, d] => (*s, *d, 1),
+                [s, d, w] => (*s, *d, *w),
+                _ => return Err("usage: insert <src> <dst> [weight]".into()),
+            };
+            Ok(Request::Mutate(MutateRequest {
+                id: Json::Null,
+                batch: MutationBatch::new().insert(src, dst, weight),
+            }))
+        }
+        "delete" => match sources()?.as_slice() {
+            [s, d] => Ok(Request::Mutate(MutateRequest {
+                id: Json::Null,
+                batch: MutationBatch::new().delete(*s, *d),
+            })),
+            _ => Err("usage: delete <src> <dst>".into()),
+        },
         "bfs" | "sssp" | "sswp" => q(QueryOp::Traversal {
             kind: cusha_algos::TraversalKind::parse(head).expect("matched above"),
             source: one_source()?,
@@ -255,6 +343,43 @@ mod tests {
         }
         assert!(parse_line("bfs").is_err());
         assert!(parse_line("warp 9").is_err());
+    }
+
+    #[test]
+    fn mutate_lines_parse() {
+        let r = parse_line(r#"{"id":3,"op":"mutate","insert":[[1,2,9],[4,5]],"delete":[[0,1]]}"#)
+            .unwrap();
+        match r {
+            Request::Mutate(m) => {
+                assert_eq!(m.id, Json::Num(3.0));
+                assert_eq!(
+                    m.batch,
+                    MutationBatch::new()
+                        .insert(1, 2, 9)
+                        .insert(4, 5, 1)
+                        .delete(0, 1)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_line("insert 7 8").unwrap(),
+            Request::Mutate(MutateRequest {
+                id: Json::Null,
+                batch: MutationBatch::new().insert(7, 8, 1),
+            })
+        );
+        assert_eq!(
+            parse_line("delete 7 8").unwrap(),
+            Request::Mutate(MutateRequest {
+                id: Json::Null,
+                batch: MutationBatch::new().delete(7, 8),
+            })
+        );
+        assert!(parse_line(r#"{"op":"mutate"}"#).is_err());
+        assert!(parse_line(r#"{"op":"mutate","insert":[[1]]}"#).is_err());
+        assert!(parse_line("insert 7").is_err());
+        assert!(parse_line("delete 7 8 9").is_err());
     }
 
     #[test]

@@ -28,8 +28,9 @@
 
 use crate::admission::{AdmissionQueue, Admitted, ShedReason};
 use crate::cache::{cache_key, CachedResult, ResultCache};
-use crate::proto::{parse_line, Json, Query, QueryOp, Request};
+use crate::proto::{parse_line, Json, MutateRequest, Query, QueryOp, Request};
 use crate::telemetry::{QueryOutcome, QueryRecord, SloConfig, Telemetry};
+use crate::wal::{CrashPoint, CrashSpec, RecoveryStats, Wal, WalError, MODELED_FSYNC_S};
 use cusha_algos::{
     extract_lane, Bfs, ConnectedComponents, FusedPair, MultiSourceBfs, PageRank, Sssp, Sswp,
     TraversalKind,
@@ -51,6 +52,45 @@ use std::collections::HashMap;
 /// 0.1 ms, 0.2 ms, 0.4 ms, ... capped at attempt 10.
 fn backoff_seconds(attempt: u32) -> f64 {
     1e-4 * f64::from(1u32 << attempt.min(10))
+}
+
+/// What happens to queries that arrive between a committed mutation and
+/// the warm-layout rebuild that follows it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RebuildPolicy {
+    /// Shed them with the typed `rebuilding` rejection: strict freshness,
+    /// bounded work.
+    #[default]
+    Shed,
+    /// Serve them from the previous epoch's still-valid prepared state
+    /// (graph, layouts, cache entries under the previous revision):
+    /// bounded staleness, no availability dip. The window closes at the
+    /// end of the next flush, when the new epoch's layouts are rebuilt
+    /// warm and every superseded revision is invalidated from the cache.
+    ServePrevious,
+}
+
+impl RebuildPolicy {
+    /// Parses the CLI form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "shed" => Some(RebuildPolicy::Shed),
+            "serve-previous" => Some(RebuildPolicy::ServePrevious),
+            _ => None,
+        }
+    }
+}
+
+/// Durable-mutation configuration: where the WAL lives and how it
+/// compacts.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// WAL file path (`<path>.snap` holds the compaction snapshot).
+    pub path: std::path::PathBuf,
+    /// Snapshot-compact every N applied batches (0 = never).
+    pub snapshot_every: u32,
+    /// Deterministic kill point for the crash-injection harness.
+    pub crash: Option<CrashSpec>,
 }
 
 /// Which warm engine the service launches queries on.
@@ -101,6 +141,11 @@ pub struct ServeConfig {
     pub query_log_capacity: usize,
     /// Slow-query log capacity (top-N by latency).
     pub slow_log_capacity: usize,
+    /// What queries see between a committed mutation and the rebuild.
+    pub rebuild_policy: RebuildPolicy,
+    /// Durable write-ahead mutation log; `None` = mutations are
+    /// in-memory only.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +167,8 @@ impl Default for ServeConfig {
             slo: SloConfig::default(),
             query_log_capacity: 1024,
             slow_log_capacity: 16,
+            rebuild_policy: RebuildPolicy::default(),
+            wal: None,
         }
     }
 }
@@ -135,20 +182,12 @@ fn integrity_label(mode: IntegrityMode) -> &'static str {
     }
 }
 
-/// Structural fingerprint of the loaded graph (FNV-1a over the vertex
-/// count and every edge) — the `graph_rev` component of cache keys.
+/// Structural fingerprint of the loaded graph — the `graph_rev`
+/// component of cache keys. Delegates to [`cusha_graph::fingerprint`] so
+/// the service, the mutation layer and WAL recovery all revision a graph
+/// identically.
 pub fn graph_rev(graph: &Graph) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut fold = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    fold(graph.num_vertices() as u64);
-    for e in graph.edges() {
-        fold((e.src as u64) << 32 | e.dst as u64);
-        fold(e.weight as u64);
-    }
-    h
+    cusha_graph::fingerprint(graph)
 }
 
 /// Per-lane deadline tracking at iteration boundaries.
@@ -243,6 +282,16 @@ struct LaneMeta {
     settle_clock: f64,
 }
 
+/// The previous epoch's prepared state, kept alive through a
+/// serve-previous rebuild window so in-window queries run on a complete,
+/// consistent snapshot.
+struct PrevEpoch {
+    graph: Graph,
+    rev: u64,
+    layouts: HashMap<u32, PreparedLayout>,
+    frontier: Option<PreparedFrontier>,
+}
+
 /// The resident service: one loaded graph, warm layouts, a stream of
 /// queries. Drive it with [`Service::handle_line`] (one input line →
 /// zero or more response lines) or [`run_session`].
@@ -250,8 +299,32 @@ pub struct Service {
     graph: Graph,
     cfg: ServeConfig,
     rev: u64,
+    /// Mutation epoch: 0 at load (or the recovered epoch when a WAL
+    /// replayed), +1 per committed batch.
+    epoch: u64,
     layouts: HashMap<u32, PreparedLayout>,
     frontier: Option<PreparedFrontier>,
+    /// The pre-mutation epoch a serve-previous rebuild window serves
+    /// from; `None` outside a window (and always under `Shed`).
+    prev: Option<PrevEpoch>,
+    /// True from a committed mutation until the next flush closes the
+    /// rebuild window.
+    rebuilding: bool,
+    /// Superseded revisions whose cache entries are invalidated when the
+    /// window closes (immediately, under `Shed`).
+    stale_revs: Vec<u64>,
+    /// Shard sizes that were warm before the window opened; the window
+    /// close rebuilds exactly these, once, however many batches the
+    /// window covered.
+    warm_sizes: std::collections::BTreeSet<u32>,
+    /// Whether the frontier topology was warm before the window opened.
+    warm_frontier: bool,
+    wal: Option<Wal>,
+    /// What WAL recovery found at startup, when a WAL is configured.
+    recovery: Option<RecoveryStats>,
+    /// Set when an injected WAL crash point fired; the session stops
+    /// cold, as a real crash would.
+    crashed: Option<CrashPoint>,
     plan: Option<FaultPlan>,
     cache: ResultCache,
     queue: AdmissionQueue,
@@ -271,25 +344,68 @@ pub struct Service {
 impl Service {
     /// Builds a service over `graph`. The graph is validated once here;
     /// layouts are built lazily on first use per value size.
+    ///
+    /// When [`ServeConfig::wal`] is set, the log is opened (created
+    /// fresh, or recovered: committed batches replayed on top of `graph`
+    /// or the compaction snapshot, torn tails truncated) and the service
+    /// starts at the recovered epoch — see [`Service::recovery`].
     pub fn new(graph: Graph, cfg: ServeConfig) -> Result<Self, String> {
         graph.validate().map_err(|e| e.to_string())?;
         Self::engine_cfg_for(&cfg).validate()?;
         cfg.trace.name_lane(0, lanes::SERVE, "service");
+        cfg.trace.name_lane(0, lanes::MUTATE, "mutate");
+        let (graph, epoch, wal, recovery) = match &cfg.wal {
+            None => (graph, 0, None, None),
+            Some(wc) => {
+                let (wal, recovered, epoch, rs) =
+                    Wal::open(&wc.path, &graph, wc.snapshot_every, wc.crash)
+                        .map_err(|e| e.to_string())?;
+                cusha_obs::log::write(
+                    cusha_obs::log::Level::Info,
+                    &format!(
+                        "serve: wal recovery source={} replayed={} truncated_bytes={} \
+                         discarded_uncommitted={} epoch={} rev={:016x}",
+                        rs.source.label(),
+                        rs.replayed_batches,
+                        rs.truncated_bytes,
+                        rs.discarded_uncommitted,
+                        rs.epoch,
+                        rs.rev
+                    ),
+                );
+                (recovered, epoch, Some(wal), Some(rs))
+            }
+        };
         let rev = graph_rev(&graph);
         let plan = cfg.fault_plan.clone();
         let cache = ResultCache::new(cfg.cache_capacity);
         let queue = AdmissionQueue::new(cfg.queue_capacity);
         let telemetry = Telemetry::new(cfg.query_log_capacity, cfg.slow_log_capacity, cfg.slo);
+        let mut metrics = MetricsRegistry::new();
+        metrics.set_gauge("serve_epoch", &[], epoch as f64);
+        if let Some(rs) = &recovery {
+            metrics.add("serve_wal_replayed_batches_total", &[], rs.replayed_batches);
+            metrics.add("serve_wal_truncated_bytes_total", &[], rs.truncated_bytes);
+        }
         Ok(Service {
             graph,
             cfg,
             rev,
+            epoch,
             layouts: HashMap::new(),
             frontier: None,
+            prev: None,
+            rebuilding: false,
+            stale_revs: Vec::new(),
+            warm_sizes: std::collections::BTreeSet::new(),
+            warm_frontier: false,
+            wal,
+            recovery,
+            crashed: None,
             plan,
             cache,
             queue,
-            metrics: MetricsRegistry::new(),
+            metrics,
             telemetry,
             flush_meta: Vec::new(),
             last_launch: None,
@@ -302,6 +418,23 @@ impl Service {
     /// The loaded graph's structural fingerprint.
     pub fn graph_rev(&self) -> u64 {
         self.rev
+    }
+
+    /// The mutation epoch (0 at load, +1 per committed batch; recovered
+    /// from the WAL on restart).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// What WAL recovery found and did at startup (`None` without a WAL).
+    pub fn recovery(&self) -> Option<RecoveryStats> {
+        self.recovery
+    }
+
+    /// The injected crash point that fired, if any. A crashed service
+    /// stops processing input, exactly like a killed process.
+    pub fn injected_crash(&self) -> Option<CrashPoint> {
+        self.crashed
     }
 
     /// Whether `shutdown` (or EOF handling) has run.
@@ -348,6 +481,7 @@ impl Service {
         match parse_line(line) {
             Ok(Request::Empty) => Vec::new(),
             Ok(Request::Query(q)) => self.admit(q).into_iter().collect(),
+            Ok(Request::Mutate(m)) => self.mutate(m),
             Ok(Request::Flush) => {
                 let mut out = self.flush();
                 out.push(format!(
@@ -379,6 +513,166 @@ impl Service {
         out
     }
 
+    /// Commits one mutation batch: implicit query flush (a clean epoch
+    /// boundary — everything admitted settles under the epoch it was
+    /// admitted to) → validate → WAL commit (the durable point, fsync
+    /// cost charged to the modeled clock) → apply in memory → epoch +1,
+    /// revision re-fingerprinted, rebuild window opened.
+    fn mutate(&mut self, m: MutateRequest) -> Vec<String> {
+        let mut id = m.id;
+        if id == Json::Null {
+            self.assigned_ids += 1;
+            id = Json::Num(self.assigned_ids as f64);
+        }
+        if self.shut_down {
+            self.metrics
+                .add("serve_mutations_total", &[("status", "rejected")], 1);
+            return vec![render_mutate_error(&id, "rejected", "shutting-down")];
+        }
+        let mut out = self.flush_queries();
+        let start = self.clock;
+        // Validate against the live graph — mutations always land on the
+        // newest epoch, even mid-window.
+        if let Err(e) = m.batch.validate(&self.graph) {
+            self.metrics
+                .add("serve_mutations_total", &[("status", "invalid")], 1);
+            out.push(render_mutate_error(&id, "invalid", &e.to_string()));
+            return out;
+        }
+        let next_epoch = self.epoch + 1;
+        if let Some(wal) = self.wal.as_mut() {
+            let syncs_before = wal.stats().syncs;
+            let committed = wal.commit_batch(next_epoch, &m.batch);
+            self.clock += (wal.stats().syncs - syncs_before) as f64 * MODELED_FSYNC_S;
+            match committed {
+                Ok(()) => {}
+                Err(WalError::InjectedCrash(p)) => {
+                    self.crashed = Some(p);
+                    self.metrics
+                        .add("serve_mutations_total", &[("status", "crashed")], 1);
+                    self.cfg
+                        .trace
+                        .instant(0, lanes::MUTATE, "serve", "injected-crash", self.clock);
+                    // A killed process answers nothing; already-settled
+                    // flush responses stand (they left before the crash).
+                    return out;
+                }
+                Err(e) => {
+                    self.metrics
+                        .add("serve_mutations_total", &[("status", "wal-error")], 1);
+                    out.push(render_mutate_error(&id, "wal-error", &e.to_string()));
+                    return out;
+                }
+            }
+        }
+        // Committed. Remember which prepared state was warm so the window
+        // close can rebuild exactly that, once, however many batches the
+        // window covers.
+        for &k in self.layouts.keys() {
+            self.warm_sizes.insert(k);
+        }
+        if let Some(p) = &self.prev {
+            for &k in p.layouts.keys() {
+                self.warm_sizes.insert(k);
+            }
+            self.warm_frontier |= p.frontier.is_some();
+        }
+        self.warm_frontier |= self.frontier.is_some();
+        let old_rev = self.rev;
+        let took_prev =
+            self.cfg.rebuild_policy == RebuildPolicy::ServePrevious && self.prev.is_none();
+        if took_prev {
+            // The window serves the oldest pre-window epoch; later batches
+            // in the same window keep the same serving snapshot.
+            self.prev = Some(PrevEpoch {
+                graph: self.graph.clone(),
+                rev: old_rev,
+                layouts: std::mem::take(&mut self.layouts),
+                frontier: self.frontier.take(),
+            });
+        }
+        let delta = match m.batch.apply(&mut self.graph) {
+            Ok(d) => d,
+            Err(e) => {
+                // Unreachable (validated above) — but restore and report
+                // as a typed internal error rather than trust an
+                // impossible state.
+                if took_prev {
+                    if let Some(p) = self.prev.take() {
+                        self.graph = p.graph;
+                        self.layouts = p.layouts;
+                        self.frontier = p.frontier;
+                    }
+                }
+                self.metrics.add("serve_internal_errors_total", &[], 1);
+                out.push(render_mutate_error(&id, "internal", &e.to_string()));
+                return out;
+            }
+        };
+        self.layouts.clear();
+        self.frontier = None;
+        self.epoch = next_epoch;
+        self.rev = graph_rev(&self.graph);
+        self.stale_revs.push(old_rev);
+        self.rebuilding = true;
+        if let Some(wal) = self.wal.as_mut() {
+            let syncs_before = wal.stats().syncs;
+            match wal.note_applied(&self.graph, self.epoch) {
+                Ok(compacted) => {
+                    self.clock += (wal.stats().syncs - syncs_before) as f64 * MODELED_FSYNC_S;
+                    if compacted {
+                        self.metrics.add("serve_wal_snapshots_total", &[], 1);
+                    }
+                }
+                Err(e) => {
+                    // The batch is committed and applied; a failed
+                    // compaction costs replay time on restart, not
+                    // correctness.
+                    self.clock += (wal.stats().syncs - syncs_before) as f64 * MODELED_FSYNC_S;
+                    cusha_obs::log::write(
+                        cusha_obs::log::Level::Warn,
+                        &format!("serve: wal compaction failed, continuing on full log: {e}"),
+                    );
+                }
+            }
+        }
+        // Shed has no serving window: superseded revisions are stale the
+        // moment the batch applies.
+        if self.cfg.rebuild_policy == RebuildPolicy::Shed {
+            self.invalidate_stale();
+        }
+        self.metrics
+            .add("serve_mutations_total", &[("status", "ok")], 1);
+        self.metrics
+            .add("serve_mutation_inserted_total", &[], delta.inserted as u64);
+        self.metrics
+            .add("serve_mutation_deleted_total", &[], delta.deleted as u64);
+        self.metrics
+            .set_gauge("serve_epoch", &[], self.epoch as f64);
+        self.cfg.trace.complete(
+            0,
+            lanes::MUTATE,
+            "serve",
+            "mutate",
+            start,
+            self.clock - start,
+        );
+        out.push(render_mutate_ok(&id, self.epoch, self.rev, &delta));
+        out
+    }
+
+    /// Drops every cache entry keyed on a superseded revision.
+    fn invalidate_stale(&mut self) {
+        let mut dropped = 0;
+        for rev in std::mem::take(&mut self.stale_revs) {
+            dropped += self.cache.invalidate_rev(rev);
+        }
+        if dropped > 0 {
+            self.metrics
+                .add("serve_cache_invalidated_total", &[], dropped as u64);
+        }
+    }
+
     /// Admits (or immediately settles) one query. Returns a response line
     /// for cache hits, rejections and invalid sources; `None` when the
     /// query is queued for the next flush.
@@ -393,6 +687,9 @@ impl Service {
         }
         if self.shut_down {
             return Some(self.shed(&q, ShedReason::ShuttingDown));
+        }
+        if self.rebuilding && self.cfg.rebuild_policy == RebuildPolicy::Shed {
+            return Some(self.shed(&q, ShedReason::Rebuilding));
         }
         // Cache pass: a hit settles at the door without queue or device.
         let key = self.query_key(&q.op);
@@ -463,8 +760,26 @@ impl Service {
         )
     }
 
+    /// The revision in-window queries are served (and cache-keyed)
+    /// against: the previous epoch's during a serve-previous rebuild
+    /// window, the live one otherwise.
+    fn active_rev(&self) -> u64 {
+        match &self.prev {
+            Some(p) if self.rebuilding => p.rev,
+            _ => self.rev,
+        }
+    }
+
+    /// The graph matching [`Service::active_rev`].
+    fn active_graph(&self) -> &Graph {
+        match &self.prev {
+            Some(p) if self.rebuilding => &p.graph,
+            _ => &self.graph,
+        }
+    }
+
     fn validate_query(&self, op: &QueryOp) -> Option<ShedReason> {
-        let n = self.graph.num_vertices();
+        let n = self.active_graph().num_vertices();
         match op {
             QueryOp::Traversal { source, .. } => (*source >= n).then_some(ShedReason::BadSource),
             QueryOp::Reach { sources } => {
@@ -481,19 +796,88 @@ impl Service {
     }
 
     fn query_key(&self, op: &QueryOp) -> String {
+        let rev = self.active_rev();
         let integ = integrity_label(self.cfg.integrity.mode);
         match op {
-            QueryOp::Traversal { kind, source } => {
-                cache_key(self.rev, kind.label(), &[*source], integ)
-            }
-            QueryOp::Reach { sources } => cache_key(self.rev, "reach", sources, integ),
-            QueryOp::PageRank => cache_key(self.rev, "pagerank", &[], integ),
-            QueryOp::ConnectedComponents => cache_key(self.rev, "cc", &[], integ),
+            QueryOp::Traversal { kind, source } => cache_key(rev, kind.label(), &[*source], integ),
+            QueryOp::Reach { sources } => cache_key(rev, "reach", sources, integ),
+            QueryOp::PageRank => cache_key(rev, "pagerank", &[], integ),
+            QueryOp::ConnectedComponents => cache_key(rev, "cc", &[], integ),
         }
     }
 
-    /// Runs everything queued; responses come back in arrival order.
+    /// Runs everything queued (responses in arrival order), then closes
+    /// any open rebuild window: the new epoch's layouts are rebuilt warm,
+    /// the previous epoch is dropped, and every superseded revision is
+    /// invalidated from the cache.
     pub fn flush(&mut self) -> Vec<String> {
+        let responses = self.flush_queries();
+        self.close_window();
+        responses
+    }
+
+    /// Settles everything queued without closing the rebuild window, so
+    /// consecutive mutation batches amortize a single rebuild. During a
+    /// serve-previous window the launches run on the previous epoch's
+    /// state — the snapshot in-window queries were admitted and
+    /// cache-keyed against.
+    fn flush_queries(&mut self) -> Vec<String> {
+        let swap = self.rebuilding && self.prev.is_some();
+        if swap {
+            self.swap_prev();
+        }
+        let responses = self.run_flush_body();
+        if swap {
+            self.swap_prev();
+        }
+        responses
+    }
+
+    /// Swaps the live epoch's serving state with the previous epoch's.
+    fn swap_prev(&mut self) {
+        if let Some(p) = self.prev.as_mut() {
+            std::mem::swap(&mut self.graph, &mut p.graph);
+            std::mem::swap(&mut self.rev, &mut p.rev);
+            std::mem::swap(&mut self.layouts, &mut p.layouts);
+            std::mem::swap(&mut self.frontier, &mut p.frontier);
+        }
+    }
+
+    /// Ends the rebuild window opened by a committed mutation: rebuilds
+    /// (warm) exactly the prepared state that was warm before the window,
+    /// drops the previous epoch, and invalidates superseded revisions.
+    fn close_window(&mut self) {
+        if !self.rebuilding {
+            return;
+        }
+        self.prev = None;
+        let warm_sizes = std::mem::take(&mut self.warm_sizes);
+        let warm_frontier = std::mem::replace(&mut self.warm_frontier, false);
+        let mut rebuilt = 0u64;
+        if self.cfg.engine == ServeEngine::Shard {
+            for n_per in warm_sizes {
+                let mut l = PreparedLayout::build(&self.graph, self.cfg.repr, n_per);
+                l.stamp_rev(self.rev);
+                self.layouts.insert(n_per, l);
+                rebuilt += 1;
+            }
+        }
+        if self.cfg.engine == ServeEngine::Frontier && warm_frontier {
+            self.frontier = Some(PreparedFrontier::build(&self.graph));
+            rebuilt += 1;
+        }
+        if rebuilt > 0 {
+            self.metrics.add("serve_rebuilds_total", &[], rebuilt);
+        }
+        self.rebuilding = false;
+        self.invalidate_stale();
+        self.cfg
+            .trace
+            .instant(0, lanes::MUTATE, "serve", "window-close", self.clock);
+    }
+
+    /// The flush body proper: drain, batch, launch, settle.
+    fn run_flush_body(&mut self) -> Vec<String> {
         let admitted = self.queue.drain();
         self.metrics.set_gauge("serve_queue_depth", &[], 0.0);
         if admitted.is_empty() {
@@ -580,7 +964,16 @@ impl Service {
         let flush_meta = std::mem::take(&mut self.flush_meta);
         let mut responses = Vec::with_capacity(admitted.len());
         for ((a, s), meta) in admitted.iter().zip(settled).zip(flush_meta) {
-            let s = s.expect("every admitted query settles exactly once");
+            // Every admitted query settles exactly once; a lane no batcher
+            // claimed is an internal bug that must shed that one query
+            // with a typed response, not take the service down.
+            let s = s.unwrap_or_else(|| {
+                self.metrics.add("serve_internal_errors_total", &[], 1);
+                Settled::Failed {
+                    reason: "internal",
+                    detail: "admitted query was never settled by any launch".into(),
+                }
+            });
             let status = match &s {
                 Settled::Ok { .. } => "ok",
                 Settled::Deadline { .. } => "deadline",
@@ -645,10 +1038,9 @@ impl Service {
         match self.cfg.engine {
             ServeEngine::Shard => {
                 if !self.layouts.contains_key(&n_per) {
-                    self.layouts.insert(
-                        n_per,
-                        PreparedLayout::build(&self.graph, self.cfg.repr, n_per),
-                    );
+                    let mut l = PreparedLayout::build(&self.graph, self.cfg.repr, n_per);
+                    l.stamp_rev(self.rev);
+                    self.layouts.insert(n_per, l);
                 }
             }
             ServeEngine::Frontier => {
@@ -670,21 +1062,37 @@ impl Service {
         let mut attempt = 0u32;
         let outcome = 'run: loop {
             let mut observer = DeadlineObserver::new(deadlines.to_vec());
+            // Missing or wrong-revision prepared state here is an internal
+            // bug (it was built and stamped above): shed this one launch
+            // with a typed failure instead of panicking the service.
             let result = match self.cfg.engine {
-                ServeEngine::Shard => {
-                    let layout = self.layouts.get(&n_per).expect("inserted above");
-                    try_run_warm(
+                ServeEngine::Shard => match self.layouts.get(&n_per) {
+                    Some(layout) if layout.valid_for(self.rev) => try_run_warm(
                         prog,
                         &self.graph,
                         layout,
                         &ecfg,
                         self.plan.as_mut(),
                         &mut observer,
-                    )
-                }
-                ServeEngine::Frontier => {
-                    let pf = self.frontier.as_ref().expect("built above");
-                    try_run_frontier_warm(
+                    ),
+                    stale => {
+                        self.metrics.add("serve_internal_errors_total", &[], 1);
+                        let detail = if stale.is_some() {
+                            format!(
+                                "prepared layout for shard size {n_per} is stamped for a \
+                                 superseded graph revision"
+                            )
+                        } else {
+                            format!("prepared layout for shard size {n_per} missing after build")
+                        };
+                        break 'run Outcome::Typed {
+                            kind: "internal",
+                            detail,
+                        };
+                    }
+                },
+                ServeEngine::Frontier => match self.frontier.as_ref() {
+                    Some(pf) => try_run_frontier_warm(
                         prog,
                         &self.graph,
                         pf,
@@ -695,8 +1103,15 @@ impl Service {
                     .map(|o| CuShaOutput {
                         values: o.values,
                         stats: o.stats,
-                    })
-                }
+                    }),
+                    None => {
+                        self.metrics.add("serve_internal_errors_total", &[], 1);
+                        break 'run Outcome::Typed {
+                            kind: "internal",
+                            detail: "prepared frontier topology missing after build".into(),
+                        };
+                    }
+                },
             };
             match result {
                 Ok(out) => {
@@ -1082,11 +1497,16 @@ impl Service {
             "bad-source",
             "bad-source-set",
             "shutting-down",
+            "rebuilding",
         ]
         .iter()
         .filter_map(|r| self.metrics.counter("serve_shed_total", &[("reason", r)]))
         .sum();
         let mut out = String::from("{\"status\":\"stats\"");
+        out.push_str(&format!(",\"epoch\":{}", self.epoch));
+        out.push_str(",\"graph_rev\":");
+        push_str_lit(&mut out, &format!("{:016x}", self.rev));
+        out.push_str(&format!(",\"rebuilding\":{}", self.rebuilding));
         out.push_str(&format!(",\"queue_depth\":{}", self.queue.depth()));
         out.push_str(&format!(",\"admitted\":{}", self.queue.admitted_total()));
         out.push_str(&format!(",\"shed\":{shed}"));
@@ -1143,6 +1563,35 @@ impl Service {
         out.push('}');
         out
     }
+}
+
+/// Renders a committed mutation's response line.
+fn render_mutate_ok(id: &Json, epoch: u64, rev: u64, delta: &cusha_graph::MutationDelta) -> String {
+    let mut out = String::from("{\"id\":");
+    id.render(&mut out);
+    out.push_str(",\"op\":\"mutate\",\"status\":\"ok\"");
+    out.push_str(&format!(",\"epoch\":{epoch}"));
+    // Hex string like the result checksums: u64 revisions overflow the
+    // 53-bit integer range f64-based JSON parsers round-trip.
+    out.push_str(",\"graph_rev\":");
+    push_str_lit(&mut out, &format!("{rev:016x}"));
+    out.push_str(&format!(
+        ",\"inserted\":{},\"deleted\":{},\"grew_vertices\":{}}}",
+        delta.inserted, delta.deleted, delta.grew_vertices
+    ));
+    out
+}
+
+/// Renders a refused mutation's response line.
+fn render_mutate_error(id: &Json, reason: &str, detail: &str) -> String {
+    let mut out = String::from("{\"id\":");
+    id.render(&mut out);
+    out.push_str(",\"op\":\"mutate\",\"status\":\"error\",\"reason\":");
+    push_str_lit(&mut out, reason);
+    out.push_str(",\"detail\":");
+    push_str_lit(&mut out, detail);
+    out.push('}');
+    out
 }
 
 /// Renders one settled response line.
@@ -1210,9 +1659,11 @@ fn render_response(q: &Query, settled: &Settled) -> String {
     out
 }
 
-/// Drives a service over line-based input/output until EOF or shutdown.
-/// EOF without an explicit `shutdown` still flushes pending queries, so
-/// scripted sessions never lose admitted work.
+/// Drives a service over line-based input/output until EOF, shutdown, or
+/// an injected crash. EOF without an explicit `shutdown` still flushes
+/// pending queries, so scripted sessions never lose admitted work — but
+/// an injected crash stops the session cold with no drain and no
+/// shutdown line, exactly like a killed process.
 pub fn run_session<R: std::io::BufRead, W: std::io::Write>(
     service: &mut Service,
     input: R,
@@ -1224,7 +1675,7 @@ pub fn run_session<R: std::io::BufRead, W: std::io::Write>(
             writeln!(output, "{response}")?;
         }
         output.flush()?;
-        if service.is_shut_down() {
+        if service.is_shut_down() || service.injected_crash().is_some() {
             return Ok(());
         }
     }

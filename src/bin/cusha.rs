@@ -40,7 +40,9 @@ use cusha::frontier::{try_run_kcore, try_run_triangles, FrontierConfig, Frontier
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::{io, Graph};
 use cusha::obs::{chrome_trace_json, log, Level, MetricsRegistry, Tracer};
-use cusha::serve::{run_session, ServeConfig, ServeEngine, Service};
+use cusha::serve::{
+    run_session, CrashSpec, RebuildPolicy, ServeConfig, ServeEngine, Service, WalConfig,
+};
 use cusha::simt::{FaultPlan, FlipTarget, Interconnect};
 use std::io::Write;
 use std::process::exit;
@@ -49,6 +51,10 @@ const EXIT_IO: i32 = 1;
 const EXIT_USAGE: i32 = 2;
 const EXIT_ENGINE: i32 = 3;
 const EXIT_DEADLINE: i32 = 4;
+/// An injected WAL crash point fired (`--crash-at`): the process stops
+/// cold, leaving the log exactly as a kill would, so recovery harnesses
+/// can restart and assert the invariants.
+const EXIT_CRASH: i32 = 9;
 
 struct Args {
     serve: bool,
@@ -82,6 +88,10 @@ struct Args {
     slow_log: Option<String>,
     slo_latency_ms: Option<f64>,
     slo_window: Option<usize>,
+    wal: Option<String>,
+    snapshot_every: u32,
+    crash_at: Option<CrashSpec>,
+    rebuild_policy: Option<RebuildPolicy>,
 }
 
 /// Fleet-level counters the single-engine [`RunStats`] cannot carry; shown
@@ -117,6 +127,9 @@ fn usage_text() -> &'static str {
          \x20      [--inject ...] [--inject-bitflips ...] [--integrity ...]\n\
          \x20      [--script <path>] [--trace-out <path>] [--metrics-out <path>]\n\
          \x20      [--slow-log <path>] [--slo-latency-ms <ms>] [--slo-window <N>]\n\
+         \x20      [--wal <path>] [--snapshot-every <N>]\n\
+         \x20      [--rebuild-policy <shed|serve-previous>]\n\
+         \x20      [--crash-at <mid-record|pre-commit|pre-apply>@<n>]\n\
          \n\
          serve keeps the graph and prepared engine state resident (shard\n\
          layouts, or the frontier topology under --engine frontier) and answers a\n\
@@ -130,6 +143,28 @@ fn usage_text() -> &'static str {
          sets the default per-query modeled-time deadline; --retries the\n\
          fault-retry budget per launch; --cache-capacity the LRU result\n\
          cache (0 disables).\n\
+         \n\
+         Live mutation under serve: `insert <src> <dst> [weight]`,\n\
+         `delete <src> <dst>`, or JSON like\n\
+         \x20 {\"id\":2,\"op\":\"mutate\",\"insert\":[[9,1,5]],\"delete\":[[0,3]]}\n\
+         Each batch is all-or-nothing: it commits, bumps the mutation\n\
+         epoch and the graph revision (so cached answers for superseded\n\
+         revisions are invalidated, and only those), and opens a rebuild\n\
+         window until the next flush. --rebuild-policy picks what\n\
+         in-window queries see: `shed` rejects them with status\n\
+         \"rebuilding\" (strict freshness, the default); `serve-previous`\n\
+         answers them from the previous epoch's still-valid prepared\n\
+         state (bounded staleness, no availability dip). --wal makes\n\
+         mutations durable: each batch is written to a checksummed\n\
+         write-ahead log with fsync-modeled commit points before it is\n\
+         applied, and on restart the service replays exactly the\n\
+         committed prefix (torn tails truncated, uncommitted batches\n\
+         discarded, checksum corruption refused). --snapshot-every N\n\
+         compacts the log into a <wal>.snap binary snapshot every N\n\
+         batches. --crash-at kills the service (exit code 9) at a\n\
+         deterministic point while committing batch <n> — mid-record,\n\
+         pre-commit, or post-commit/pre-apply — for crash-recovery\n\
+         testing.\n\
          \n\
          --timeout-ms (any one-shot engine) cancels the run with a typed\n\
          deadline error (exit code 4) at the first iteration boundary past\n\
@@ -381,6 +416,10 @@ fn parse_args() -> Args {
         slow_log: None,
         slo_latency_ms: None,
         slo_window: None,
+        wal: None,
+        snapshot_every: 0,
+        crash_at: None,
+        rebuild_policy: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -545,6 +584,26 @@ fn parse_args() -> Args {
                 args.deadline_ms = Some(ms);
             }
             "--script" => args.script = Some(take(&argv, &mut i, "--script")),
+            "--wal" => args.wal = Some(take(&argv, &mut i, "--wal")),
+            "--snapshot-every" => {
+                args.snapshot_every =
+                    parsed("--snapshot-every", &take(&argv, &mut i, "--snapshot-every"));
+            }
+            "--crash-at" => {
+                let spec = take(&argv, &mut i, "--crash-at");
+                args.crash_at = Some(CrashSpec::parse(&spec).unwrap_or_else(|e| {
+                    usage_error(&format!("bad value {spec:?} for --crash-at: {e}"))
+                }));
+            }
+            "--rebuild-policy" => {
+                let name = take(&argv, &mut i, "--rebuild-policy");
+                args.rebuild_policy = Some(RebuildPolicy::parse(&name).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "bad value {name:?} for --rebuild-policy (expected shed or \
+                         serve-previous)"
+                    ))
+                }));
+            }
             "serve" if !args.serve => args.serve = true,
             "--help" | "-h" => {
                 println!("{}", usage_text());
@@ -580,6 +639,20 @@ fn parse_args() -> Args {
         && (args.slow_log.is_some() || args.slo_latency_ms.is_some() || args.slo_window.is_some())
     {
         usage_error("--slow-log / --slo-latency-ms / --slo-window apply to cusha serve only");
+    }
+    if !args.serve
+        && (args.wal.is_some()
+            || args.snapshot_every != 0
+            || args.crash_at.is_some()
+            || args.rebuild_policy.is_some())
+    {
+        usage_error(
+            "--wal / --snapshot-every / --crash-at / --rebuild-policy apply to \
+             cusha serve only (live mutation needs the resident service)",
+        );
+    }
+    if args.wal.is_none() && (args.snapshot_every != 0 || args.crash_at.is_some()) {
+        usage_error("--snapshot-every / --crash-at need --wal (they act on the mutation log)");
     }
     // The frontier-native workloads only exist on the frontier engine;
     // typing `--algo kcore` alone should just work.
@@ -858,10 +931,29 @@ fn serve_main(args: Args) -> ! {
     if let Some(w) = args.slo_window {
         cfg.slo.window = w;
     }
+    if let Some(policy) = args.rebuild_policy {
+        cfg.rebuild_policy = policy;
+    }
+    cfg.wal = args.wal.as_ref().map(|path| WalConfig {
+        path: path.into(),
+        snapshot_every: args.snapshot_every,
+        crash: args.crash_at,
+    });
     let mut svc = Service::new(g, cfg).unwrap_or_else(|e| {
         eprintln!("cusha: cannot start service: {e}");
-        exit(EXIT_USAGE)
+        exit(EXIT_IO)
     });
+    if let Some(rec) = svc.recovery() {
+        info(&format!(
+            "WAL recovery from {}: epoch {}, {} batches replayed, {} torn bytes truncated, \
+             {} uncommitted discarded",
+            rec.source.label(),
+            rec.epoch,
+            rec.replayed_batches,
+            rec.truncated_bytes,
+            rec.discarded_uncommitted,
+        ));
+    }
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -883,6 +975,13 @@ fn serve_main(args: Args) -> ! {
         eprintln!("cusha: session IO error: {e}");
         exit(EXIT_IO)
     });
+    if let Some(point) = svc.injected_crash() {
+        // A real crash writes no artifacts: stop exactly where the kill
+        // landed so the recovery harness sees the same on-disk state a
+        // power cut would leave.
+        eprintln!("cusha: injected crash at {} commit point", point.label());
+        exit(EXIT_CRASH);
+    }
 
     if let Some(path) = &args.trace_out {
         let doc = chrome_trace_json(&tracer);

@@ -7,7 +7,9 @@ use cusha::core::integrity::checksum;
 use cusha::core::{try_run, CuShaConfig, IntegrityConfig, IntegrityMode, Value, VertexProgram};
 use cusha::graph::generators::rmat::{rmat, RmatConfig};
 use cusha::graph::Graph;
-use cusha::serve::{parse_json, run_session, Json, ServeConfig, ServeEngine, Service};
+use cusha::serve::{
+    parse_json, run_session, Json, RebuildPolicy, ServeConfig, ServeEngine, Service,
+};
 use cusha::simt::{FaultPlan, FlipTarget};
 use proptest::prelude::*;
 
@@ -57,12 +59,16 @@ fn crc(r: &Json) -> String {
         .to_string()
 }
 
-/// The checksum a cold, one-shot engine run produces for `prog`, in the
-/// protocol's hex rendering.
-fn cold_crc<P: VertexProgram>(prog: &P) -> String {
-    let out = try_run(prog, &graph(), &CuShaConfig::cw()).expect("cold run");
+/// The checksum a cold, one-shot engine run produces for `prog` on `g`,
+/// in the protocol's hex rendering.
+fn cold_crc_on<P: VertexProgram>(prog: &P, g: &Graph) -> String {
+    let out = try_run(prog, g, &CuShaConfig::cw()).expect("cold run");
     let bits: Vec<u64> = out.values.iter().map(|v| v.to_bits()).collect();
     format!("{:016x}", checksum(&bits))
+}
+
+fn cold_crc<P: VertexProgram>(prog: &P) -> String {
+    cold_crc_on(prog, &graph())
 }
 
 #[test]
@@ -370,6 +376,103 @@ fn frontier_engine_serves_warm_queries() {
         }
         assert_eq!(crc(f), crc(s), "frontier answer diverged from shard");
     }
+}
+
+#[test]
+fn mutation_invalidates_only_the_superseded_revision() {
+    // A cached answer survives unrelated queries but not a committed
+    // mutation: the mutation bumps graph_rev, the old revision's cache
+    // entries are dropped, and the re-asked query misses then re-caches
+    // under the new key.
+    let script = "bfs 0\nflush\ninsert 0 200 5\nflush\nbfs 0\nflush\nbfs 0\nflush\n";
+    let (lines, svc) = run_script(ServeConfig::default(), script);
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 4);
+    assert_eq!(status(rs[0]), "ok");
+    assert_eq!(rs[0].get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(status(rs[1]), "ok"); // the mutate ack
+    assert_eq!(rs[1].get("op").and_then(Json::as_str), Some("mutate"));
+    assert_eq!(
+        rs[2].get("cached").and_then(Json::as_bool),
+        Some(false),
+        "the pre-mutation cache entry must not answer for the new epoch"
+    );
+    assert_eq!(rs[3].get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        svc.metrics().counter("serve_cache_invalidated_total", &[]),
+        Some(1),
+        "exactly the one superseded entry is invalidated"
+    );
+    assert_eq!(
+        svc.metrics()
+            .counter("serve_mutations_total", &[("status", "ok")]),
+        Some(1)
+    );
+}
+
+#[test]
+fn shed_policy_rejects_queries_inside_the_rebuild_window() {
+    // Default rebuild policy: a query arriving between a committed
+    // mutation and the next flush is shed with a typed "rebuilding"
+    // rejection; after the window closes the same query succeeds.
+    let script = "insert 0 5 9\nbfs 0\nflush\nbfs 0\nflush\n";
+    let (lines, svc) = run_script(no_cache(), script);
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 3);
+    assert_eq!(rs[0].get("op").and_then(Json::as_str), Some("mutate"));
+    assert_eq!(status(rs[1]), "rejected");
+    assert_eq!(
+        rs[1].get("reason").and_then(Json::as_str),
+        Some("rebuilding")
+    );
+    assert_eq!(status(rs[2]), "ok");
+    assert_eq!(
+        svc.metrics()
+            .counter("serve_shed_total", &[("reason", "rebuilding")]),
+        Some(1)
+    );
+}
+
+#[test]
+fn serve_previous_policy_answers_from_the_prior_epoch() {
+    // serve-previous: a query inside the rebuild window is answered from
+    // the previous epoch's still-valid warm state (bit-identical to the
+    // pre-mutation answer); after the window closes the same query sees
+    // the mutated graph.
+    let cfg = ServeConfig {
+        rebuild_policy: RebuildPolicy::ServePrevious,
+        ..no_cache()
+    };
+    // The insert grows the vertex set (300 >= 256), so the pre- and
+    // post-mutation BFS answers necessarily differ.
+    let script = "bfs 0\nflush\ninsert 0 300 5\nbfs 0\nflush\nbfs 0\nflush\n";
+    let (lines, _) = run_script(cfg, script);
+    let rs = query_responses(&lines);
+    assert_eq!(rs.len(), 4);
+    let before = crc(rs[0]);
+    assert_eq!(before, cold_crc(&Bfs::new(0)));
+    assert_eq!(rs[1].get("op").and_then(Json::as_str), Some("mutate"));
+    assert_eq!(
+        status(rs[2]),
+        "ok",
+        "serve-previous must not shed: {:?}",
+        rs[2]
+    );
+    assert_eq!(
+        crc(rs[2]),
+        before,
+        "the in-window answer must come from the previous epoch"
+    );
+    let mut mutated = graph();
+    cusha::graph::MutationBatch::new()
+        .insert(0, 300, 5)
+        .apply(&mut mutated)
+        .expect("oracle apply");
+    assert_eq!(
+        crc(rs[3]),
+        cold_crc_on(&Bfs::new(0), &mutated),
+        "the post-window answer must see the mutated graph"
+    );
 }
 
 #[test]
