@@ -90,11 +90,11 @@ pub fn run_mtcpu<P: VertexProgram>(
 /// every worker at the next barrier and surfaces as
 /// [`EngineError::Deadline`]. This engine runs on host memory, outside the
 /// device fault domain, so there is no fault plan to thread.
-pub fn try_run_mtcpu<P: VertexProgram>(
+pub fn try_run_mtcpu<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     cfg: &MtcpuConfig,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<MtcpuOutput<P::V>, EngineError<P::V>> {
     if cfg.threads == 0 {
         return Err(EngineError::InvalidConfig(

@@ -23,6 +23,19 @@ use cusha_graph::{Csr, Graph};
 use cusha_obs::trace::{lanes, ArgVal, Tracer};
 use cusha_simt::{DevVec, DeviceConfig, FaultPlan, Gpu, KernelDesc, Mask, VirtualWarps, WARP};
 
+// Warp-trace replay site tags (see `cusha_simt::replay`). Every access
+// pattern in this kernel is a pure function of the warp's vertex base (the
+// CSR topology and buffer bases are fixed for the whole run), so whole
+// phases replay from the second iteration on. Values still move — replay
+// skips only the accounting.
+const SITE_VWC_SISD: u64 = 0x7677_5349_5344;
+const SITE_VWC_SWEEP: u64 = 0x7677_53574550;
+const SITE_VWC_REDUCE: u64 = 0x7677_524544;
+const SITE_VWC_DEF: u64 = 0x7677_444546;
+/// Fused whole-warp scope (SISD + sweep + reduce) used when phase marks
+/// are not being traced: one table probe per warp instead of three.
+const SITE_VWC_WARP: u64 = 0x7677_57415250;
+
 /// VWC-CSR configuration.
 #[derive(Clone, Debug)]
 pub struct VwcConfig {
@@ -105,12 +118,12 @@ pub fn run_vwc<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &VwcConfig) -> Vw
 /// aborts with [`EngineError::Deadline`]). Silent bit flips due at a kernel
 /// boundary land in the vertex-value buffer — the only resident value state
 /// this engine keeps — whatever their nominal target.
-pub fn try_run_vwc<P: VertexProgram>(
+pub fn try_run_vwc<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     cfg: &VwcConfig,
     fault_plan: Option<&mut FaultPlan>,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<VwcOutput<P::V>, EngineError<P::V>> {
     let mut gpu = Gpu::new(cfg.device.clone());
     gpu.set_profiling(cfg.profile);
@@ -125,12 +138,12 @@ pub fn try_run_vwc<P: VertexProgram>(
     result
 }
 
-fn vwc_attempt<P: VertexProgram>(
+fn vwc_attempt<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     cfg: &VwcConfig,
     gpu: &mut Gpu,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<VwcOutput<P::V>, EngineError<P::V>> {
     let vws = VirtualWarps::new(cfg.virtual_warp);
     let csr = Csr::from_graph(graph);
@@ -205,23 +218,55 @@ fn vwc_attempt<P: VertexProgram>(
             let warps_per_block = (cfg.threads_per_block as usize) / WARP;
             // (vertex, csr start, degree, old value) of deferred outliers.
             let mut deferred: Vec<(usize, u32, u32, P::V)> = Vec::new();
+            let vw = cfg.virtual_warp;
+            let zcol = [0u32; WARP]; // trace keys are site+mask-determined
             for w in 0..warps_per_block {
                 let warp_vertex_base = block_vertex_base + w * wpg;
                 if warp_vertex_base >= n {
                     break;
                 }
-                // Lane -> vertex mapping for this physical warp.
+                // Lane -> vertex mapping for this physical warp. Valid
+                // groups are a prefix, so the valid-lane set is a run.
                 let vertex_of = |lane: usize| warp_vertex_base + vws.group_of(lane);
-                let group_valid = |lane: usize| vertex_of(lane) < n;
-                let leaders = vws.leaders().and(Mask::from_fn(group_valid));
+                let nvalid = (n - warp_vertex_base).min(wpg);
+                let valid = Mask(((1u64 << (nvalid * vw)) - 1) as u32);
+                let leaders = vws.leaders().and(valid);
+
+                // Scope granularity: per-phase scopes keep per-phase REPLAY
+                // events in traces; an untraced run fuses the warp's three
+                // pure phases into one scope (one probe per warp). The
+                // accounting is identical — `phase()` is a no-op when marks
+                // are off, so nothing observable sits between the phases.
+                let split = b.phases_traced();
+                if !split {
+                    b.warp_scope(
+                        &[SITE_VWC_WARP, warp_vertex_base as u64, nvalid as u64, 0],
+                        leaders,
+                        &zcol,
+                    );
+                }
 
                 // --- SISD phase (leader lanes): CSR offsets + old value.
                 b.phase("sisd");
+                // Keyed on the vertex base's coalescing alignment class
+                // (all device buffers are 256-byte aligned, so `base mod
+                // segment-lanes` fixes every segment/sector count), not the
+                // base itself: thousands of warps share a handful of keys.
+                if split {
+                    b.warp_scope(
+                        &[SITE_VWC_SISD, (warp_vertex_base % 32) as u64, nvalid as u64, 0],
+                        leaders,
+                        &zcol,
+                    );
+                }
                 let starts = b.gload(&in_edge_idxs, leaders, vertex_of);
                 let ends = b.gload(&in_edge_idxs, leaders, |l| vertex_of(l) + 1);
                 let olds = b.gload(&vertex_values, leaders, vertex_of);
                 b.exec(leaders, 1); // InitCompute
-                                    // Host-side group bookkeeping.
+                if split {
+                    b.warp_scope_end();
+                }
+                // Host-side group bookkeeping.
                 let mut group_start = [0u32; WARP];
                 let mut group_deg = [0u32; WARP];
                 let mut group_old = [P::V::default(); WARP];
@@ -255,22 +300,39 @@ fn vwc_attempt<P: VertexProgram>(
 
                 // --- Neighbour sweep, `vw` edges of each vertex per step.
                 b.phase("sweep");
+                if split {
+                    b.warp_scope(&[SITE_VWC_SWEEP, warp_vertex_base as u64, 0, 0], leaders, &zcol);
+                }
+                let warp_thread_base = w * WARP;
                 let max_deg = (0..wpg).map(|g| group_deg[g]).max().unwrap_or(0);
                 let steps = (max_deg as usize).div_ceil(cfg.virtual_warp);
                 for step in 0..steps {
                     let slot_of =
                         |lane: usize| (step * cfg.virtual_warp + vws.lane_in_group(lane)) as u32;
-                    let mask = Mask::from_fn(|l| {
-                        group_valid(l) && slot_of(l) < group_deg[vws.group_of(l)]
-                    });
+                    // Per group: lanes whose edge slot is still in range —
+                    // a low-bit run of the group's lane field.
+                    let done = (step * vw) as u32;
+                    let mut bits = 0u32;
+                    for g in 0..nvalid {
+                        let cnt = (group_deg[g].saturating_sub(done) as usize).min(vw);
+                        bits |= (((1u64 << cnt) - 1) as u32) << (g * vw);
+                    }
+                    let mask = Mask(bits);
                     if mask.is_empty() {
                         continue;
                     }
                     let edge_index =
                         |lane: usize| (group_start[vws.group_of(lane)] + slot_of(lane)) as usize;
                     // Edge-array reads: partially coalesced (consecutive
-                    // within a virtual warp, disjoint ranges across).
-                    let nbrs = b.gload(&src_indxs, mask, edge_index);
+                    // within a virtual warp, disjoint ranges across). With a
+                    // single group per warp the slice is stride-1, so the
+                    // closed-form run ops replace the per-lane address sort.
+                    let ebase = (group_start[0] + done) as isize;
+                    let nbrs = if wpg == 1 {
+                        b.gload_run(&src_indxs, mask, ebase)
+                    } else {
+                        b.gload(&src_indxs, mask, edge_index)
+                    };
                     // THE non-coalesced gather: neighbour values.
                     let nbr_vals = b.gload(&vertex_values, mask, |l| nbrs[l] as usize);
                     let nbr_static = match &static_buf {
@@ -278,7 +340,13 @@ fn vwc_attempt<P: VertexProgram>(
                         None => [P::SV::default(); WARP],
                     };
                     let evals = match &edge_buf {
-                        Some(buf) => b.gload(buf, mask, edge_index),
+                        Some(buf) => {
+                            if wpg == 1 {
+                                b.gload_run(buf, mask, ebase)
+                            } else {
+                                b.gload(buf, mask, edge_index)
+                            }
+                        }
                         None => [P::E::default(); WARP],
                     };
                     b.exec(mask, P::COMPUTE_COST);
@@ -293,31 +361,50 @@ fn vwc_attempt<P: VertexProgram>(
                             &mut acc[vws.group_of(l)],
                         );
                     }
-                    let warp_thread_base = w * WARP;
-                    b.sstore(
-                        &mut outcome,
-                        mask,
-                        |l| warp_thread_base + l,
-                        |l| acc[vws.group_of(l)],
-                    );
+                    let mut vals = [P::V::default(); WARP];
+                    for l in mask.iter() {
+                        vals[l] = acc[vws.group_of(l)];
+                    }
+                    b.sstore_run(&mut outcome, mask, warp_thread_base as isize, &vals);
+                }
+                if split {
+                    b.warp_scope_end();
                 }
 
                 // --- Parallel reduction ladder: log2(vw) halving steps with
                 // shrinking active masks (the intra-warp divergence source).
                 b.phase("reduce");
+                // The ladder's shared-memory pattern depends only on the
+                // warp's thread base and its valid-group count.
+                if split {
+                    b.warp_scope(
+                        &[SITE_VWC_REDUCE, w as u64, nvalid as u64, 0],
+                        leaders,
+                        &zcol,
+                    );
+                }
                 let mut off = cfg.virtual_warp / 2;
                 while off >= 1 {
-                    let mask = Mask::from_fn(|l| group_valid(l) && vws.lane_in_group(l) < off);
-                    let warp_thread_base = w * WARP;
-                    let partial = b.sload(&outcome, mask, |l| warp_thread_base + l + off);
-                    b.sstore(&mut outcome, mask, |l| warp_thread_base + l, |l| partial[l]);
+                    // Low `off` lanes of each valid group. The ladder reads
+                    // and writes at a fixed lane offset, so both halves are
+                    // stride-1 run ops.
+                    let sub = ((1u64 << off) - 1) as u32;
+                    let mut bits = 0u32;
+                    for g in 0..nvalid {
+                        bits |= sub << (g * vw);
+                    }
+                    let mask = Mask(bits);
+                    let partial =
+                        b.sload_run(&outcome, mask, (warp_thread_base + off) as isize);
+                    b.sstore_run(&mut outcome, mask, warp_thread_base as isize, &partial);
                     b.exec(mask, 1);
                     off /= 2;
                 }
+                b.warp_scope_end();
 
                 // --- Leader publishes if changed (Appendix A lines 22-25).
                 b.phase("publish");
-                let mut changed = [false; WARP];
+                let mut store_bits = 0u32;
                 let mut news = [P::V::default(); WARP];
                 for g in 0..wpg {
                     let leader = g * cfg.virtual_warp;
@@ -325,11 +412,16 @@ fn vwc_attempt<P: VertexProgram>(
                         continue;
                     }
                     let mut local = acc[g];
-                    changed[leader] = prog.update_condition(&mut local, &group_old[g]);
+                    if prog.update_condition(&mut local, &group_old[g]) {
+                        store_bits |= 1 << leader;
+                    }
                     news[leader] = local;
                 }
+                // Not scoped: the store mask is value-dependent, so its
+                // trace key would churn every iteration and evict stable
+                // entries. The store is at most one lane per group.
+                let store_mask = Mask(store_bits);
                 b.exec(leaders, 1);
-                let store_mask = Mask::from_fn(|l| changed[l]);
                 if !store_mask.is_empty() {
                     b.gstore(&mut vertex_values, store_mask, vertex_of, |l| news[l]);
                     block_updated = true;
@@ -344,37 +436,46 @@ fn vwc_attempt<P: VertexProgram>(
             for &(v, start, deg, old) in &deferred {
                 let mut local = P::V::default();
                 prog.init_compute(&mut local, &old);
+                // The sweep and the full-warp ladder touch memory in a
+                // pattern fixed by the vertex's CSR slice; the
+                // value-dependent publish below stays outside the scope.
+                b.warp_scope(
+                    &[SITE_VWC_DEF, v as u64, start as u64, deg as u64],
+                    Mask::first(WARP),
+                    &zcol,
+                );
                 let mut k = 0u32;
                 while k < deg {
                     let lanes = ((deg - k) as usize).min(WARP);
                     let mask = Mask::first(lanes);
-                    let eidx = |l: usize| (start + k) as usize + l;
-                    let nbrs = b.gload(&src_indxs, mask, eidx);
+                    let ebase = (start + k) as isize;
+                    let nbrs = b.gload_run(&src_indxs, mask, ebase);
                     let nbr_vals = b.gload(&vertex_values, mask, |l| nbrs[l] as usize);
                     let nbr_static = match &static_buf {
                         Some(buf) => b.gload(buf, mask, |l| nbrs[l] as usize),
                         None => [P::SV::default(); WARP],
                     };
                     let evals = match &edge_buf {
-                        Some(buf) => b.gload(buf, mask, eidx),
+                        Some(buf) => b.gload_run(buf, mask, ebase),
                         None => [P::E::default(); WARP],
                     };
                     b.exec(mask, P::COMPUTE_COST);
                     for l in mask.iter() {
                         prog.compute(&nbr_vals[l], &nbr_static[l], &evals[l], &mut local);
                     }
-                    b.sstore(&mut outcome, mask, |l| l, |_| local);
+                    b.sstore_run(&mut outcome, mask, 0, &[local; WARP]);
                     k += lanes as u32;
                 }
                 // Full-warp reduction ladder.
                 let mut off = WARP / 2;
                 while off >= 1 {
                     let mask = Mask::first(off);
-                    let partial = b.sload(&outcome, mask, |l| l + off);
-                    b.sstore(&mut outcome, mask, |l| l, |l| partial[l]);
+                    let partial = b.sload_run(&outcome, mask, off as isize);
+                    b.sstore_run(&mut outcome, mask, 0, &partial);
                     b.exec(mask, 1);
                     off /= 2;
                 }
+                b.warp_scope_end();
                 let cond = prog.update_condition(&mut local, &old);
                 b.exec(Mask::first(1), 1);
                 if cond {
@@ -449,6 +550,7 @@ fn vwc_attempt<P: VertexProgram>(
     total.compute_seconds =
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
+    total.memo.add(&cusha_core::MemoStats::from_gpu(gpu));
     total.profile = gpu.profile.take();
     if !converged {
         return Err(EngineError::NonConverged {

@@ -1,0 +1,83 @@
+//! `warp_hot_loop` — the per-iteration cost of the simulator's warp hot
+//! loop, isolated: the same CuSha-shaped kernel launched in steady state
+//! with the warp-trace replay memo off (every scope re-interpreted — keys
+//! hashed, segments sorted, banks scanned) versus on (recorded deltas
+//! applied, data still moved). The gap between the two is exactly what the
+//! replay memo buys each convergence iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cusha_simt::{warp_chunks, Block, DeviceConfig, Gpu, KernelDesc};
+use std::hint::black_box;
+
+const N: usize = 1 << 14;
+const BLOCKS: u32 = 16;
+const TPB: u32 = 256;
+
+/// A CuSha-shaped body: scoped shared staging plus strided gathers — the
+/// access mix of the shard kernels' apply stage.
+fn body(blk: &mut Block<'_>, src: &cusha_simt::DevVec<u32>, dst: &mut cusha_simt::DevVec<u32>) {
+    let base = blk.id() as usize * TPB as usize;
+    let mut local = blk.shared_alloc::<u32>(TPB as usize);
+    for (start, mask) in warp_chunks(TPB as usize) {
+        blk.warp_scope(
+            &[0x7768_4c4f4f50, blk.id() as u64, start as u64, 0],
+            mask,
+            &[0u32; 32],
+        );
+        let stage = blk.gload_run(src, mask, (base + start) as isize);
+        blk.sstore_run(&mut local, mask, start as isize, &stage);
+        // A strided (partially-coalesced) gather: the pattern the analytic
+        // model actually has to work for.
+        let gathered = blk.gload(src, mask, |l| (base + start + l * 7) % N);
+        blk.exec(mask, 2);
+        blk.sstore(&mut local, mask, |l| start + l, |l| stage[l] ^ gathered[l]);
+        blk.warp_scope_end();
+    }
+    blk.sync();
+    for (start, mask) in warp_chunks(TPB as usize) {
+        let vals = blk.sload_run(&local, mask, start as isize);
+        blk.gstore_run(dst, mask, (base + start) as isize, &vals);
+    }
+}
+
+fn warm_device(replay: bool) -> (Gpu, cusha_simt::DevVec<u32>, cusha_simt::DevVec<u32>) {
+    let mut cfg = DeviceConfig::gtx780();
+    cfg.replay_memo = replay;
+    let mut gpu = Gpu::new(cfg);
+    let src = gpu.upload(&(0..N as u32).collect::<Vec<_>>());
+    let mut dst = gpu.alloc::<u32>(N);
+    let desc = KernelDesc::new("warp-hot-loop", BLOCKS, TPB);
+    // Warm-up fills the scratch pools and (when enabled) the replay table,
+    // so the timed region is pure steady state.
+    for _ in 0..3 {
+        gpu.launch(&desc, |blk| body(blk, &src, &mut dst));
+    }
+    (gpu, src, dst)
+}
+
+fn bench(c: &mut Criterion) {
+    let desc = KernelDesc::new("warp-hot-loop", BLOCKS, TPB);
+
+    let (mut gpu, src, mut dst) = warm_device(false);
+    c.bench_function("warp_hot_loop/interpret", |b| {
+        b.iter(|| {
+            let stats = gpu.launch(&desc, |blk| body(blk, &src, &mut dst));
+            black_box(stats.counters.gld_transactions)
+        })
+    });
+    let (_, m, f) = gpu.replay_stats();
+    assert!(m == 0 && f > 0, "interpret arm unexpectedly used the table");
+
+    let (mut gpu, src, mut dst) = warm_device(true);
+    c.bench_function("warp_hot_loop/replay", |b| {
+        b.iter(|| {
+            let stats = gpu.launch(&desc, |blk| body(blk, &src, &mut dst));
+            black_box(stats.counters.gld_transactions)
+        })
+    });
+    let (h, _, _) = gpu.replay_stats();
+    assert!(h > 0, "replay arm never hit the table");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Prints per-cell memo hit/miss telemetry for the simwall subset —
+//! a quick way to confirm the replay fast path engages on real workloads.
+
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_graph::surrogates::Dataset;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let max_iterations: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    for ds in [Dataset::Amazon0312, Dataset::WebGoogle] {
+        let g = ds.generate(scale);
+        for b in [Benchmark::Bfs, Benchmark::Sssp] {
+            for e in [Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(32)] {
+                let t = std::time::Instant::now();
+                let stats = b.run(&g, e, max_iterations);
+                let m = stats.memo;
+                println!(
+                    "{ds:<12} {b:<5} {:<10} {:>7.3}s iters {:>3} | coalesce {}/{} | replay {}/{}/{}",
+                    e.label(),
+                    t.elapsed().as_secs_f64(),
+                    stats.iterations,
+                    m.coalesce_hits,
+                    m.coalesce_misses,
+                    m.replay_hits,
+                    m.replay_misses,
+                    m.replay_fallbacks,
+                );
+            }
+        }
+    }
+}

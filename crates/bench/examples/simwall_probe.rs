@@ -1,0 +1,26 @@
+//! Loops the simwall cell set for profiling; not part of any artifact.
+use cusha_bench::bench_defs::{Benchmark, Engine};
+use cusha_bench::matrix::run_cell;
+use cusha_graph::surrogates::Dataset;
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let graphs: Vec<_> = [Dataset::Amazon0312, Dataset::WebGoogle]
+        .iter()
+        .map(|&ds| (ds, ds.generate(256)))
+        .collect();
+    let t = std::time::Instant::now();
+    for _ in 0..reps {
+        for (ds, g) in &graphs {
+            for b in [Benchmark::Bfs, Benchmark::Sssp] {
+                for e in [Engine::CuShaGs, Engine::CuShaCw, Engine::Vwc(32)] {
+                    std::hint::black_box(run_cell(g, *ds, b, e, 300));
+                }
+            }
+        }
+    }
+    println!("{:.4}s / rep", t.elapsed().as_secs_f64() / reps as f64);
+}

@@ -12,7 +12,10 @@
 //!   exactly.
 //! * `cusha-simwall/v1` carries *host* wall-clock seconds, which depend
 //!   on the machine — the default band is loose (75%) and the gate is a
-//!   sanity check against order-of-magnitude slowdowns, not a timer.
+//!   sanity check against order-of-magnitude slowdowns, not a timer. The
+//!   committed `BENCH_simwall.json` is a `cusha-simwall-history/v1`
+//!   document (every recorded run, oldest first); the gate checks the
+//!   latest entry, including its total sequential seconds.
 //!
 //! The report lists one line per compared metric; any line outside its
 //! band is a regression and the caller exits non-zero (the CI perf-gate
@@ -111,6 +114,20 @@ pub fn check_baseline(
             ctx,
         ));
     }
+    if doc.get("schema").and_then(Json::as_str) == Some("cusha-simwall-history/v1") {
+        // The committed artifact keeps every recorded run; the gate compares
+        // against the latest entry (the one the current tree should match).
+        let last = doc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .and_then(<[Json]>::last)
+            .ok_or_else(|| "cusha-simwall-history/v1 baseline has no runs".to_string())?;
+        return Ok(check_simwall(
+            last,
+            tolerance.unwrap_or(WALL_TOLERANCE),
+            ctx,
+        ));
+    }
     if doc.get("experiment").and_then(Json::as_str) == Some("frontier_matrix") {
         return Ok(check_frontier_matrix(
             &doc,
@@ -118,7 +135,9 @@ pub fn check_baseline(
             ctx,
         ));
     }
-    Err("unrecognized baseline: expected a cusha-simwall/v1 or frontier_matrix artifact".into())
+    Err("unrecognized baseline: expected a cusha-simwall/v1, cusha-simwall-history/v1 \
+         or frontier_matrix artifact"
+        .into())
 }
 
 fn u64_field(doc: &Json, key: &str) -> Result<u64, String> {
@@ -235,6 +254,16 @@ fn check_simwall(doc: &Json, tol: f64, host: &Ctx) -> CheckReport {
     };
     let cur = simwall::run(scale, max_iterations as u32, host.jobs);
     rep.compare_exact("outputs_identical", true, cur.outputs_identical);
+    // The headline number the simulator-perf work is graded on: total
+    // sequential host seconds over the fixed cell subset, banded like the
+    // per-cell times.
+    if let Some(base_seq) = doc
+        .get("sequential")
+        .and_then(|s| s.get("total_seconds"))
+        .and_then(Json::as_f64)
+    {
+        rep.compare_f64("sequential total_seconds", base_seq, cur.sequential_seconds, tol);
+    }
     let cells = doc
         .get("cells")
         .and_then(Json::as_arr)
@@ -308,6 +337,41 @@ mod tests {
             let rep = check_baseline(&flipped, None, &ctx).unwrap();
             assert!(!rep.passed());
         }
+    }
+
+    /// The committed `BENCH_simwall.json` is a history document; the gate
+    /// must pick its latest run and band the sequential total alongside the
+    /// per-cell times.
+    #[test]
+    fn simwall_history_baseline_checks_latest_run() {
+        let ctx = tiny_ctx();
+        // Discarded warm-up: the process's first run pays one-time costs
+        // (lazy page faults, thread-pool spin-up) that at this tiny scale
+        // dwarf the cells themselves and would blow the tolerance band.
+        let _ = simwall::run(4096, 50, 2);
+        let run_json = simwall::run(4096, 50, 2).to_json();
+        // A bogus older run that would fail hard if the gate compared
+        // against it (zero cells would all be "missing from current run").
+        let stale = "{\"schema\": \"cusha-simwall/v1\", \"scale\": 1, \
+                     \"max_iterations\": 1, \"cells\": [], \
+                     \"sequential\": {\"jobs\": 1, \"total_seconds\": 9999.0}}";
+        let history = format!(
+            "{{\"schema\": \"cusha-simwall-history/v1\", \"runs\": [{stale}, {run_json}]}}"
+        );
+        let rep = check_baseline(&history, None, &ctx).unwrap();
+        assert!(rep.passed(), "{}", rep.render());
+        assert!(
+            rep.render().contains("sequential total_seconds"),
+            "sequential band missing:\n{}",
+            rep.render()
+        );
+        // An empty history is a configuration error, not a pass.
+        assert!(check_baseline(
+            "{\"schema\": \"cusha-simwall-history/v1\", \"runs\": []}",
+            None,
+            &ctx
+        )
+        .is_err());
     }
 
     #[test]

@@ -65,6 +65,13 @@ impl SimwallResult {
         }
     }
 
+    /// Whether the parallel pass asked for more workers than the host has
+    /// CPUs. The numbers are still byte-correct, but the measured speedup
+    /// reflects timeslicing, not parallel hardware.
+    pub fn oversubscribed(&self) -> bool {
+        self.host_cpus < self.jobs
+    }
+
     /// The `cusha-simwall/v1` JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
@@ -95,6 +102,10 @@ impl SimwallResult {
             self.jobs, self.parallel_seconds
         ));
         s.push_str(&format!("  \"speedup\": {:.4},\n", self.speedup()));
+        s.push_str(&format!(
+            "  \"oversubscribed\": {},\n",
+            self.oversubscribed()
+        ));
         s.push_str(&format!(
             "  \"outputs_identical\": {}\n",
             self.outputs_identical
@@ -129,6 +140,16 @@ impl SimwallResult {
             self.speedup(),
             self.outputs_identical
         ));
+        if self.oversubscribed() {
+            s.push_str(&format!(
+                "WARNING: {} workers on {} host CPU{} — the parallel pass is \
+                 oversubscribed and its speedup reflects timeslicing, not \
+                 parallel hardware\n",
+                self.jobs,
+                self.host_cpus,
+                if self.host_cpus == 1 { "" } else { "s" }
+            ));
+        }
         s
     }
 }
@@ -229,5 +250,9 @@ mod tests {
         assert!(json.contains("\"schema\": \"cusha-simwall/v1\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(r.report().contains("speedup"));
+        // The oversubscription flag must agree between JSON and report.
+        assert_eq!(r.oversubscribed(), r.host_cpus < r.jobs);
+        assert!(json.contains(&format!("\"oversubscribed\": {}", r.oversubscribed())));
+        assert_eq!(r.report().contains("WARNING"), r.oversubscribed());
     }
 }

@@ -337,6 +337,12 @@ pub fn run<P: VertexProgram>(prog: &P, graph: &Graph, cfg: &CuShaConfig) -> CuSh
     }
 }
 
+/// Site tags naming the replay-scoped regions of the 4-stage kernel (first
+/// word of every `warp_scope` key; see `cusha_simt::replay`).
+const SITE_APPLY: u64 = 0x6373_4150504c59; // "APPLY"
+const SITE_GS_WB: u64 = 0x6373_47535742; // "GSWB"
+const SITE_CW_WB: u64 = 0x6373_43575742; // "CWWB"
+
 /// FNV-1a over the bit patterns of a value vector — the watchdog's cheap
 /// state fingerprint (the same digest the SDC scrubber uses as a
 /// per-buffer checksum).
@@ -460,13 +466,13 @@ pub fn try_run<P: VertexProgram>(
 ///   next run sharing the plan,
 /// * calls `observer` at every iteration boundary; an observer returning
 ///   `false` cancels the run with [`EngineError::Deadline`].
-pub fn try_run_warm<P: VertexProgram>(
+pub fn try_run_warm<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     layout: &PreparedLayout,
     cfg: &CuShaConfig,
     mut fault_plan: Option<&mut FaultPlan>,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;
@@ -508,13 +514,13 @@ pub fn try_run_warm<P: VertexProgram>(
 /// The convergence loop proper, over a prepared layout and caller-owned
 /// device. Split from [`try_run_warm`] so the fault-plan writeback wraps
 /// every early return (`?`, host fallback, cancellation) in one place.
-fn run_core<P: VertexProgram>(
+fn run_core<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     layout: &PreparedLayout,
     cfg: &CuShaConfig,
     gpu: &mut Gpu,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
     let gs = &layout.gs;
     let cw = layout.cw.as_ref();
@@ -699,9 +705,11 @@ fn run_core<P: VertexProgram>(
                 let mut local = b.shared_alloc::<P::V>(nv);
 
                 // Stage 1: coalesced fetch of VertexValues into shared memory.
+                // Pure stride-1 traffic: SoA run operations copy whole lane
+                // columns and account in closed form.
                 b.phase("gather");
                 for (base, mask) in aligned_chunks(offset..offset + nv) {
-                    let vals = b.gload(&vertex_values, mask, |l| base + l);
+                    let vals = b.gload_run(&vertex_values, mask, base as isize);
                     let mut inited = [P::V::default(); WARP];
                     for l in mask.iter() {
                         let mut lv = P::V::default();
@@ -709,25 +717,30 @@ fn run_core<P: VertexProgram>(
                         inited[l] = lv;
                     }
                     b.exec(mask, 1);
-                    b.sstore(&mut local, mask, |l| base + l - offset, |l| inited[l]);
+                    b.sstore_run(&mut local, mask, base as isize - offset as isize, &inited);
                 }
                 b.sync();
 
                 // Stage 2: process shard entries; atomic shared update of the
-                // destination's local value.
+                // destination's local value. The destination column is the
+                // chunk's access fingerprint: once it is loaded, every
+                // counter the rest of the chunk produces is a pure function
+                // of (chunk, mask, dst) — a warp-trace scope replays the
+                // atomic collision scan and load accounting wholesale.
                 b.phase("apply");
                 let er = gs.shard_entries(s);
                 for (base, mask) in aligned_chunks(er.clone()) {
-                    let srcv = b.gload(&src_value, mask, |l| base + l);
+                    let dst = b.gload_run(&dest_index, mask, base as isize);
+                    b.warp_scope(&[SITE_APPLY, base as u64, offset as u64, 0], mask, &dst);
+                    let srcv = b.gload_run(&src_value, mask, base as isize);
                     let statv = match &src_static_buf {
-                        Some(buf) => b.gload(buf, mask, |l| base + l),
+                        Some(buf) => b.gload_run(buf, mask, base as isize),
                         None => [P::SV::default(); WARP],
                     };
                     let ev = match &edge_value_buf {
-                        Some(buf) => b.gload(buf, mask, |l| base + l),
+                        Some(buf) => b.gload_run(buf, mask, base as isize),
                         None => [P::E::default(); WARP],
                     };
-                    let dst = b.gload(&dest_index, mask, |l| base + l);
                     b.exec(mask, P::COMPUTE_COST);
                     b.supdate(
                         &mut local,
@@ -735,6 +748,7 @@ fn run_core<P: VertexProgram>(
                         |l| dst[l] as usize - offset,
                         |l, slot| prog.compute(&srcv[l], &statv[l], &ev[l], slot),
                     );
+                    b.warp_scope_end();
                 }
                 b.sync();
 
@@ -742,20 +756,22 @@ fn run_core<P: VertexProgram>(
                 b.phase("scatter");
                 let mut block_updated = false;
                 for (base, mask) in aligned_chunks(offset..offset + nv) {
-                    let old = b.gload(&vertex_values, mask, |l| base + l);
-                    let loc = b.sload(&local, mask, |l| base + l - offset);
+                    let old = b.gload_run(&vertex_values, mask, base as isize);
+                    let loc = b.sload_run(&local, mask, base as isize - offset as isize);
                     let mut newv = loc;
-                    let mut cond = [false; WARP];
+                    let mut cond_bits = 0u32;
                     for l in mask.iter() {
-                        cond[l] = prog.update_condition(&mut newv[l], &old[l]);
+                        if prog.update_condition(&mut newv[l], &old[l]) {
+                            cond_bits |= 1 << l;
+                        }
                     }
                     b.exec(mask, 1);
                     // update_condition may have refined local (e.g. PageRank's
                     // damping); keep the shared copy current for stage 4.
-                    b.sstore(&mut local, mask, |l| base + l - offset, |l| newv[l]);
-                    let smask = mask.and(Mask::from_fn(|l| cond[l]));
+                    b.sstore_run(&mut local, mask, base as isize - offset as isize, &newv);
+                    let smask = Mask(cond_bits);
                     if !smask.is_empty() {
-                        b.gstore(&mut vertex_values, smask, |l| base + l, |l| newv[l]);
+                        b.gstore_run(&mut vertex_values, smask, base as isize, &newv);
                         block_updated = true;
                         updated_this_iter += smask.count() as u64;
                     }
@@ -772,12 +788,20 @@ fn run_core<P: VertexProgram>(
                             for j in 0..p {
                                 if let Some(wo) = &window_offsets_buf {
                                     let lanes = if s + 1 < p { 2 } else { 1 };
-                                    b.gload(wo, Mask::first(lanes), |l| (j * p + s) as usize + l);
+                                    b.gload_run(wo, Mask::first(lanes), (j * p + s) as isize);
                                 }
                                 for (base, mask) in aligned_chunks(gs.window(s, j)) {
-                                    let sidx = b.gload(&src_index, mask, |l| base + l);
-                                    let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
-                                    b.gstore(&mut src_value, mask, |l| base + l, |l| loc[l]);
+                                    // The source-index column fingerprints the
+                                    // shared gather; the store is stride-1.
+                                    let sidx = b.gload_run(&src_index, mask, base as isize);
+                                    b.warp_scope(
+                                        &[SITE_GS_WB, base as u64, offset as u64, 0],
+                                        mask,
+                                        &sidx,
+                                    );
+                                    let full = b.sload(&local, mask, |l| sidx[l] as usize - offset);
+                                    b.gstore_run(&mut src_value, mask, base as isize, &full);
+                                    b.warp_scope_end();
                                 }
                             }
                         }
@@ -786,13 +810,27 @@ fn run_core<P: VertexProgram>(
                             // the Mapper.
                             let r = cw.cw_entries(s);
                             for (base, mask) in aligned_chunks(r) {
-                                let sidx = b.gload(&src_index, mask, |l| base + l);
+                                let sidx = b.gload_run(&src_index, mask, base as isize);
                                 let map = match &mapper_buf {
-                                    Some(mbuf) => b.gload(mbuf, mask, |l| base + l),
+                                    Some(mbuf) => b.gload_run(mbuf, mask, base as isize),
                                     None => unreachable!("CW mode always has a mapper"),
                                 };
+                                // Both index columns drive the accounting:
+                                // fold them into one fingerprint (the mix is
+                                // site-static within a run; verify-on-sample
+                                // backstops any fold collision).
+                                let mut fp = [0u32; WARP];
+                                for l in mask.iter() {
+                                    fp[l] = sidx[l] ^ map[l].rotate_left(16);
+                                }
+                                b.warp_scope(
+                                    &[SITE_CW_WB, base as u64, offset as u64, 0],
+                                    mask,
+                                    &fp,
+                                );
                                 let loc = b.sload(&local, mask, |l| sidx[l] as usize - offset);
                                 b.gstore(&mut src_value, mask, |l| map[l] as usize, |l| loc[l]);
+                                b.warp_scope_end();
                             }
                         }
                     }
@@ -969,6 +1007,7 @@ fn run_core<P: VertexProgram>(
     total.compute_seconds =
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
+    total.memo.add(&crate::stats::MemoStats::from_gpu(gpu));
     total.profile = gpu.profile.take();
     sdc.flips_injected = gpu
         .fault_plan()

@@ -56,5 +56,5 @@ pub use multi::{
 };
 pub use program::{Value, VertexProgram};
 pub use shards::GShards;
-pub use stats::{Direction, FaultStats, FrontierStats, IterationStat, RunStats, SdcStats};
+pub use stats::{Direction, FaultStats, FrontierStats, IterationStat, MemoStats, RunStats, SdcStats};
 pub use streaming::{run_streamed, try_run_streamed, try_run_streamed_observed, StreamingConfig};

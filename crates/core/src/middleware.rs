@@ -86,19 +86,19 @@ pub trait Engine<P: VertexProgram> {
 /// engine that honors the observer contract: it cancels (returns `false`)
 /// at the first iteration boundary whose elapsed clock meets the deadline,
 /// and otherwise defers to the inner observer.
-pub struct DeadlineObserver<'a> {
+pub struct DeadlineObserver<'a, O: RunObserver + ?Sized = dyn RunObserver> {
     deadline: Option<f64>,
-    inner: &'a mut dyn RunObserver,
+    inner: &'a mut O,
 }
 
-impl<'a> DeadlineObserver<'a> {
+impl<'a, O: RunObserver + ?Sized> DeadlineObserver<'a, O> {
     /// Wraps `inner`, cancelling once `elapsed >= deadline`.
-    pub fn new(deadline: Option<f64>, inner: &'a mut dyn RunObserver) -> Self {
+    pub fn new(deadline: Option<f64>, inner: &'a mut O) -> Self {
         DeadlineObserver { deadline, inner }
     }
 }
 
-impl RunObserver for DeadlineObserver<'_> {
+impl<O: RunObserver + ?Sized> RunObserver for DeadlineObserver<'_, O> {
     fn on_iteration(&mut self, iteration: u32, updated: u64, elapsed_seconds: f64) -> bool {
         if let Some(d) = self.deadline {
             if elapsed_seconds >= d {
@@ -124,13 +124,13 @@ const BACKOFF_BASE_SECONDS: f64 = 1e-3;
 /// current state, so faults consumed by a failed attempt are not re-fired
 /// by its retry. The observer is wrapped in a [`DeadlineObserver`], making
 /// `cfg.deadline_seconds` effective on every engine.
-pub fn run_engine<P: VertexProgram>(
+pub fn run_engine<P: VertexProgram, O: RunObserver + ?Sized>(
     engine: &mut dyn Engine<P>,
     prog: &P,
     graph: &Graph,
     cfg: &CuShaConfig,
     fault_plan: Option<FaultPlan>,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;

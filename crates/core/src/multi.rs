@@ -258,6 +258,9 @@ impl MultiRunStats {
             fault: self.fault,
             sdc: self.sdc,
             frontier: None,
+            // Per-device memo telemetry is not aggregated fleet-wide; the
+            // flattened shape reports none rather than a partial sum.
+            memo: Default::default(),
         }
     }
 
@@ -354,11 +357,11 @@ pub fn try_run_multi<P: VertexProgram>(
 /// iteration (elapsed is the modeled fleet clock: per-iteration critical
 /// path plus halo exchange). The observer returning `false` aborts with
 /// [`EngineError::Deadline`].
-pub fn try_run_multi_observed<P: VertexProgram>(
+pub fn try_run_multi_observed<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     cfg: &MultiConfig,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<MultiOutput<P::V>, EngineError<P::V>> {
     let out = run_multi_inner(prog, graph, cfg, observer)?;
     if out.stats.converged {
@@ -1565,11 +1568,11 @@ fn resident_iteration<P: VertexProgram>(
 
 /// Runs the fleet to completion. Returns the output whether or not it
 /// converged (the `converged` flag tells); hard failures are errors.
-fn run_multi_inner<P: VertexProgram>(
+fn run_multi_inner<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     cfg: &MultiConfig,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<MultiOutput<P::V>, EngineError<P::V>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;

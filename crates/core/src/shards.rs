@@ -46,32 +46,43 @@ impl GShards {
         let m = g.num_edges() as usize;
         let p = n.div_ceil(n_per).max(1);
 
-        // Order edge ids by (owning shard, src, dst, id): a single sort
-        // produces both the shard partition and the Ordered property.
-        let mut ids: Vec<u32> = (0..m as u32).collect();
-        ids.sort_unstable_by_key(|&id| {
-            let e = g.edge(id);
-            (e.dst / n_per, e.src, e.dst, id)
-        });
-
-        let mut src_index = Vec::with_capacity(m);
-        let mut dest_index = Vec::with_capacity(m);
-        for &id in &ids {
-            let e = g.edge(id);
-            src_index.push(e.src);
-            dest_index.push(e.dst);
-        }
-
-        // Shard boundaries.
+        // Order edges by (owning shard, src, dst, id). A comparison sort
+        // over edge ids would chase `g.edge(id)` on every compare; instead
+        // bucket edges by owning shard in one linear pass (ids stay
+        // ascending within a bucket), then sort each shard's packed
+        // `(src << 32 | dst, id)` pairs — the same total order, with flat
+        // integer compares and no indirection.
         let mut shard_starts = vec![0u32; p as usize + 1];
         {
             let mut counts = vec![0u32; p as usize];
-            for &d in &dest_index {
-                counts[(d / n_per) as usize] += 1;
+            for id in 0..m as u32 {
+                counts[(g.edge(id).dst / n_per) as usize] += 1;
             }
             for s in 0..p as usize {
                 shard_starts[s + 1] = shard_starts[s] + counts[s];
             }
+        }
+        let mut pairs: Vec<(u64, u32)> = vec![(0, 0); m];
+        {
+            let mut cursor: Vec<u32> = shard_starts[..p as usize].to_vec();
+            for id in 0..m as u32 {
+                let e = g.edge(id);
+                let s = (e.dst / n_per) as usize;
+                pairs[cursor[s] as usize] = (((e.src as u64) << 32) | e.dst as u64, id);
+                cursor[s] += 1;
+            }
+        }
+        for s in 0..p as usize {
+            pairs[shard_starts[s] as usize..shard_starts[s + 1] as usize].sort_unstable();
+        }
+
+        let mut src_index = Vec::with_capacity(m);
+        let mut dest_index = Vec::with_capacity(m);
+        let mut ids = Vec::with_capacity(m);
+        for &(key, id) in &pairs {
+            src_index.push((key >> 32) as VertexId);
+            dest_index.push(key as u32 as VertexId);
+            ids.push(id);
         }
 
         // Window offsets: within shard j (sorted by src), window W_ij starts

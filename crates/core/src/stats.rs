@@ -3,7 +3,7 @@
 use cusha_simt::KernelStats;
 
 /// One iteration of the convergence loop.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct IterationStat {
     /// Modeled (GPU engines) or measured (CPU engine) seconds this
     /// iteration took, excluding transfers.
@@ -229,6 +229,69 @@ pub struct RunStats {
     /// Frontier telemetry (sizes, directions, switches); `None` on the
     /// topology-driven engines.
     pub frontier: Option<FrontierStats>,
+    /// Simulator-acceleration memo activity (coalesce memo and warp-trace
+    /// replay memo). Observational only: both memos are
+    /// exactness-preserving, so these counters never influence modeled
+    /// results — they exist to prove the fast paths are actually taken.
+    pub memo: MemoStats,
+}
+
+/// Hit/miss activity of the simulator's accounting memos, accumulated
+/// across every device the run used.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Per-op coalesce/bank memo hits.
+    pub coalesce_hits: u64,
+    /// Per-op coalesce/bank memo misses (computed then cached).
+    pub coalesce_misses: u64,
+    /// Warp-trace replay hits (whole scopes replayed from recorded deltas).
+    pub replay_hits: u64,
+    /// Warp-trace replay misses (scopes interpreted and recorded).
+    pub replay_misses: u64,
+    /// Scopes interpreted without recording because replay was gated off
+    /// (disabled by config, or a fault plan could still disrupt the run).
+    pub replay_fallbacks: u64,
+}
+
+impl MemoStats {
+    /// Snapshot of a device's memo counters.
+    pub fn from_gpu(gpu: &cusha_simt::Gpu) -> Self {
+        let (coalesce_hits, coalesce_misses) = gpu.memo_stats();
+        let (replay_hits, replay_misses, replay_fallbacks) = gpu.replay_stats();
+        MemoStats {
+            coalesce_hits,
+            coalesce_misses,
+            replay_hits,
+            replay_misses,
+            replay_fallbacks,
+        }
+    }
+
+    /// Accumulates another device's counters.
+    pub fn add(&mut self, other: &MemoStats) {
+        self.coalesce_hits += other.coalesce_hits;
+        self.coalesce_misses += other.coalesce_misses;
+        self.replay_hits += other.replay_hits;
+        self.replay_misses += other.replay_misses;
+        self.replay_fallbacks += other.replay_fallbacks;
+    }
+
+    /// Records the memo counters under the unified metrics schema.
+    pub fn record_metrics(&self, reg: &mut cusha_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.add("simt_coalesce_memo_hits_total", labels, self.coalesce_hits);
+        reg.add(
+            "simt_coalesce_memo_misses_total",
+            labels,
+            self.coalesce_misses,
+        );
+        reg.add("simt_replay_memo_hits_total", labels, self.replay_hits);
+        reg.add("simt_replay_memo_misses_total", labels, self.replay_misses);
+        reg.add(
+            "simt_replay_memo_fallbacks_total",
+            labels,
+            self.replay_fallbacks,
+        );
+    }
 }
 
 impl RunStats {
@@ -282,6 +345,7 @@ impl RunStats {
         if let Some(f) = &self.frontier {
             f.record_metrics(reg, labels);
         }
+        self.memo.record_metrics(reg, labels);
         // With profiling on, break the run out per kernel as well: one
         // series group per kernel name, uniform across all six engines.
         if let Some(p) = &self.profile {

@@ -60,6 +60,11 @@ use cusha_simt::{
 };
 use std::collections::HashSet;
 
+/// Warp-trace replay site tag for the streamed stage-2 apply region
+/// (`"st" "APLY"`-flavored constant; distinct from the in-core engine's
+/// tags so traces never alias across engines sharing a key layout).
+const SITE_ST_APPLY: u64 = 0x7374_4150504c59;
+
 /// Configuration of the streamed engine.
 #[derive(Clone, Debug)]
 pub struct StreamingConfig {
@@ -244,12 +249,12 @@ pub fn try_run_streamed<P: VertexProgram>(
 /// elapsed clock accumulates across the engine's internal restarts
 /// (rebatches, degradations), so deadlines measure the whole recovery
 /// trajectory, not just the final attempt.
-pub fn try_run_streamed_observed<P: VertexProgram>(
+pub fn try_run_streamed_observed<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     cfg: &StreamingConfig,
     mut fault_plan: Option<&mut FaultPlan>,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<CuShaOutput<P::V>, EngineError<P::V>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;
@@ -295,6 +300,7 @@ pub fn try_run_streamed_observed<P: VertexProgram>(
         sdc.flips_injected = plan.as_ref().map(|p| p.injected().bit_flips).unwrap_or(0);
         let attempt_end = gpu.total_seconds();
         elapsed_base += attempt_end;
+        let attempt_memo = crate::stats::MemoStats::from_gpu(&gpu);
         if let Some(p) = gpu.profile.take() {
             run_profile
                 .get_or_insert_with(cusha_simt::Profile::default)
@@ -306,6 +312,7 @@ pub fn try_run_streamed_observed<P: VertexProgram>(
             Ok(mut out) => {
                 out.stats.fault = fault;
                 out.stats.sdc = sdc;
+                out.stats.memo.add(&attempt_memo);
                 out.stats.profile = run_profile.take();
                 return if out.stats.converged {
                     Ok(out)
@@ -432,7 +439,7 @@ pub fn try_run_streamed_observed<P: VertexProgram>(
 /// OOM, persistent kernel faults and exhausted SDC-recovery budgets bubble
 /// up for the caller's coarser-grained recovery.
 #[allow(clippy::too_many_arguments)]
-fn stream_attempt<P: VertexProgram>(
+fn stream_attempt<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     cfg: &StreamingConfig,
@@ -441,7 +448,7 @@ fn stream_attempt<P: VertexProgram>(
     gpu: &mut Gpu,
     fault: &mut FaultStats,
     sdc: &mut SdcStats,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
     elapsed_base: f64,
 ) -> Result<CuShaOutput<P::V>, AttemptError> {
     let base = &cfg.base;
@@ -666,7 +673,7 @@ fn stream_attempt<P: VertexProgram>(
 
                 // Stage 1.
                 for (abase, mask) in aligned_chunks(offset..offset + nv) {
-                    let vals = b.gload(&vertex_values, mask, |l| abase + l);
+                    let vals = b.gload_run(&vertex_values, mask, abase as isize);
                     let mut inited = [P::V::default(); WARP];
                     for l in mask.iter() {
                         let mut lv = P::V::default();
@@ -674,7 +681,7 @@ fn stream_attempt<P: VertexProgram>(
                         inited[l] = lv;
                     }
                     b.exec(mask, 1);
-                    b.sstore(&mut local, mask, |l| abase + l - offset, |l| inited[l]);
+                    b.sstore_run(&mut local, mask, abase as isize - offset as isize, &inited);
                 }
                 b.sync();
 
@@ -682,16 +689,25 @@ fn stream_attempt<P: VertexProgram>(
                 let er = gs.shard_entries(s);
                 let lo = entry_lo;
                 for (abase, mask) in aligned_chunks(er.clone()) {
-                    let srcv = b.gload(&src_value, mask, |l| abase + l - lo);
+                    let shift = abase as isize - lo as isize;
+                    let dst = b.gload_run(&dest_index, mask, shift);
+                    // `lo` participates in the site key: the batch shift
+                    // changes buffer alignment, so the same `abase` in a
+                    // later batch is a different trace.
+                    b.warp_scope(
+                        &[SITE_ST_APPLY, abase as u64, offset as u64, lo as u64],
+                        mask,
+                        &dst,
+                    );
+                    let srcv = b.gload_run(&src_value, mask, shift);
                     let statv = match &static_buf {
-                        Some(buf) => b.gload(buf, mask, |l| abase + l - lo),
+                        Some(buf) => b.gload_run(buf, mask, shift),
                         None => [P::SV::default(); WARP],
                     };
                     let ev = match &edge_buf {
-                        Some(buf) => b.gload(buf, mask, |l| abase + l - lo),
+                        Some(buf) => b.gload_run(buf, mask, shift),
                         None => [P::E::default(); WARP],
                     };
-                    let dst = b.gload(&dest_index, mask, |l| abase + l - lo);
                     b.exec(mask, P::COMPUTE_COST);
                     b.supdate(
                         &mut local,
@@ -699,24 +715,27 @@ fn stream_attempt<P: VertexProgram>(
                         |l| dst[l] as usize - offset,
                         |l, slot| prog.compute(&srcv[l], &statv[l], &ev[l], slot),
                     );
+                    b.warp_scope_end();
                 }
                 b.sync();
 
                 // Stage 3.
                 let mut block_updated = false;
                 for (abase, mask) in aligned_chunks(offset..offset + nv) {
-                    let old = b.gload(&vertex_values, mask, |l| abase + l);
-                    let loc = b.sload(&local, mask, |l| abase + l - offset);
+                    let old = b.gload_run(&vertex_values, mask, abase as isize);
+                    let loc = b.sload_run(&local, mask, abase as isize - offset as isize);
                     let mut newv = loc;
-                    let mut cond = [false; WARP];
+                    let mut cond_bits = 0u32;
                     for l in mask.iter() {
-                        cond[l] = prog.update_condition(&mut newv[l], &old[l]);
+                        if prog.update_condition(&mut newv[l], &old[l]) {
+                            cond_bits |= 1 << l;
+                        }
                     }
                     b.exec(mask, 1);
-                    b.sstore(&mut local, mask, |l| abase + l - offset, |l| newv[l]);
-                    let smask = mask.and(Mask::from_fn(|l| cond[l]));
+                    b.sstore_run(&mut local, mask, abase as isize - offset as isize, &newv);
+                    let smask = Mask(cond_bits);
                     if !smask.is_empty() {
-                        b.gstore(&mut vertex_values, smask, |l| abase + l, |l| newv[l]);
+                        b.gstore_run(&mut vertex_values, smask, abase as isize, &newv);
                         block_updated = true;
                         updated_this_iter += smask.count() as u64;
                     }
@@ -757,7 +776,7 @@ fn stream_attempt<P: VertexProgram>(
                                     let res_mask =
                                         mask.and(Mask::from_fn(|l| er_all.contains(&(abase + l))));
                                     let loaded = if !res_mask.is_empty() {
-                                        b.gload(&src_index, res_mask, |l| abase + l - lo)
+                                        b.gload_run(&src_index, res_mask, abase as isize - lo as isize)
                                     } else {
                                         [0u32; WARP]
                                     };
@@ -777,10 +796,10 @@ fn stream_attempt<P: VertexProgram>(
                             let r = cw.cw_entries(s);
                             let cw_lo = mapper_buf.as_ref().unwrap().1;
                             for (abase, mask) in aligned_chunks(r) {
-                                let sidx = b.gload(&src_index, mask, |l| abase + l - cw_lo);
-                                let map = b.gload(&mapper_buf.as_ref().unwrap().0, mask, |l| {
-                                    abase + l - cw_lo
-                                });
+                                let shift = abase as isize - cw_lo as isize;
+                                let sidx = b.gload_run(&src_index, mask, shift);
+                                let map =
+                                    b.gload_run(&mapper_buf.as_ref().unwrap().0, mask, shift);
                                 let mut abs = [0usize; WARP];
                                 for l in mask.iter() {
                                     abs[l] = map[l] as usize;

@@ -97,13 +97,13 @@ pub fn try_run_frontier<P: VertexProgram>(
 /// (installed before the run, advanced state written back on every exit)
 /// and consulting `observer` after every non-converged iteration (`false`
 /// aborts with [`EngineError::Deadline`]).
-pub fn try_run_frontier_warm<P: VertexProgram>(
+pub fn try_run_frontier_warm<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     pf: &PreparedFrontier,
     cfg: &FrontierConfig,
     fault_plan: Option<&mut FaultPlan>,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<FrontierOutput<P::V>, EngineError<P::V>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;
@@ -150,13 +150,13 @@ struct Snapshot<V> {
 }
 
 #[allow(clippy::too_many_lines)]
-fn frontier_attempt<P: VertexProgram>(
+fn frontier_attempt<P: VertexProgram, O: RunObserver + ?Sized>(
     prog: &P,
     graph: &Graph,
     pf: &PreparedFrontier,
     cfg: &FrontierConfig,
     gpu: &mut Gpu,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<FrontierOutput<P::V>, EngineError<P::V>> {
     let n = pf.num_vertices() as usize;
     let tpb = cfg.threads_per_block as usize;
@@ -731,6 +731,7 @@ fn frontier_attempt<P: VertexProgram>(
     total.compute_seconds =
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
+    total.memo.add(&cusha_core::MemoStats::from_gpu(gpu));
     total.profile = gpu.profile.take();
     total.frontier = Some(fstats);
     if !converged {

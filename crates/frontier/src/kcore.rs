@@ -76,11 +76,11 @@ pub fn run_kcore(graph: &Graph, cfg: &KcoreConfig) -> KcoreOutput {
 /// [`EngineError::Deadline`]); the fault plan, if given, is installed on
 /// the device and its advanced state written back on exit.
 #[allow(clippy::too_many_lines)]
-pub fn try_run_kcore(
+pub fn try_run_kcore<O: RunObserver + ?Sized>(
     graph: &Graph,
     cfg: &KcoreConfig,
     fault_plan: Option<&mut FaultPlan>,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
 ) -> Result<KcoreOutput, EngineError<u32>> {
     cfg.validate().map_err(EngineError::InvalidConfig)?;
     graph.validate()?;
@@ -104,11 +104,11 @@ pub fn try_run_kcore(
 }
 
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
-fn kcore_attempt(
+fn kcore_attempt<O: RunObserver + ?Sized>(
     graph: &Graph,
     cfg: &KcoreConfig,
     gpu: &mut Gpu,
-    observer: &mut dyn RunObserver,
+    observer: &mut O,
     idxs_host: &[u32],
     nbrs_host: &[u32],
     deg_host: &[u32],
@@ -324,6 +324,7 @@ fn kcore_attempt(
     total.compute_seconds =
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     total.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
+    total.memo.add(&cusha_core::MemoStats::from_gpu(gpu));
     total.profile = gpu.profile.take();
     total.frontier = Some(fstats);
     if !total.converged {

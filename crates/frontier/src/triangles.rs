@@ -170,6 +170,7 @@ pub fn try_run_triangles(
     stats.compute_seconds =
         gpu.kernel_seconds + (gpu.h2d_seconds - h2d_initial) + d2h_before_results;
     stats.d2h_seconds = gpu.d2h_seconds - d2h_before_results;
+    stats.memo.add(&cusha_core::MemoStats::from_gpu(&gpu));
     stats.profile = gpu.profile.take();
     Ok(TriangleOutput { triangles, stats })
 }

@@ -7,7 +7,7 @@
 //! 128-byte transaction; a random gather needs up to 32. This module is the
 //! arithmetic core behind the simulator's `gld`/`gst` efficiency counters.
 
-use crate::counters::WARP;
+use crate::counters::{Mask, WARP};
 
 /// Result of coalescing one warp-wide memory operation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,6 +80,40 @@ fn count_distinct(sorted: &[u64]) -> u32 {
 /// Number of slots in each memo table (power of two, direct-mapped).
 const MEMO_SLOTS: usize = 8192;
 
+/// Allocates a slot table as untouched zero pages instead of writing an
+/// empty-slot pattern through every byte. The tables total tens of
+/// megabytes per device and most benchmark runs touch a fraction of them,
+/// so eager initialization would dominate device construction. Callers
+/// must treat the all-zero bit pattern as an unfilled slot (every table
+/// here gates probes on a `filled` flag, so zeroed keys are never trusted).
+///
+/// # Safety contract (checked by the `Zeroable` bound below)
+///
+/// `T` is restricted to the slot types in this crate, all of which are
+/// plain integer/bool aggregates for which all-zeroes is a valid value.
+pub(crate) fn zeroed_table<T: Zeroable>(len: usize) -> Vec<T> {
+    let layout = std::alloc::Layout::array::<T>(len).expect("table layout");
+    if layout.size() == 0 {
+        return Vec::new();
+    }
+    // SAFETY: `T: Zeroable` guarantees the all-zero bit pattern is a valid
+    // `T`; the layout matches `Vec`'s allocation contract for `T`.
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout) as *mut T;
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(ptr, len, len)
+    }
+}
+
+/// Marker for slot types whose all-zero bit pattern is a valid, unfilled
+/// slot. Implemented only for the memo slot types in this crate.
+pub(crate) unsafe trait Zeroable: Copy {}
+
+unsafe impl Zeroable for CoSlot {}
+unsafe impl Zeroable for BankSlot {}
+
 /// Packed form of one warp access pattern: one word per lane. `u64::MAX`
 /// marks an inactive lane; active lanes pack `(addr << 4) | len` (coalesce)
 /// or the raw byte address (bank conflicts).
@@ -133,23 +167,13 @@ impl CoalesceMemo {
     /// Builds an empty memo for a device with the given coalescing segment
     /// and sector sizes and shared-memory bank geometry.
     pub fn new(segment_bytes: u32, sector_bytes: u32, banks: u32, bank_width: u32) -> Self {
-        let empty_co = CoSlot {
-            key: [EMPTY_LANE; WARP],
-            val: Coalesced::default(),
-            filled: false,
-        };
-        let empty_bank = BankSlot {
-            key: [EMPTY_LANE; WARP],
-            val: 0,
-            filled: false,
-        };
         CoalesceMemo {
             segment_bytes,
             sector_bytes,
             banks,
             bank_width,
-            co: vec![empty_co; MEMO_SLOTS],
-            bank: vec![empty_bank; MEMO_SLOTS],
+            co: zeroed_table(MEMO_SLOTS),
+            bank: zeroed_table(MEMO_SLOTS),
             hits: 0,
             misses: 0,
         }
@@ -241,13 +265,34 @@ fn pack_bank_key(addrs: &[Option<u64>; WARP]) -> Option<MemoKey> {
 }
 
 fn slot_index(key: &MemoKey) -> usize {
-    // FNV-1a over the packed lanes.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &w in key {
-        h ^= w;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    // Four independent FNV-1a lanes over the packed words, folded with a
+    // murmur-style finalizer. Plain FNV is a single multiply chain —
+    // latency-bound at ~4 cycles per word over 32 words — and this probe
+    // runs on every scattered warp access; four-way ILP hides the chain.
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = [
+        BASIS,
+        BASIS ^ 0x9e37_79b9_7f4a_7c15,
+        BASIS ^ 0xc2b2_ae3d_27d4_eb4f,
+        BASIS ^ 0x1656_67b1_9e37_79f9,
+    ];
+    let mut i = 0;
+    while i < WARP {
+        h[0] = (h[0] ^ key[i]).wrapping_mul(PRIME);
+        h[1] = (h[1] ^ key[i + 1]).wrapping_mul(PRIME);
+        h[2] = (h[2] ^ key[i + 2]).wrapping_mul(PRIME);
+        h[3] = (h[3] ^ key[i + 3]).wrapping_mul(PRIME);
+        i += 4;
     }
-    (h as usize) & (MEMO_SLOTS - 1)
+    let mut x = h[0];
+    x = x.wrapping_mul(PRIME) ^ h[1];
+    x = x.wrapping_mul(PRIME) ^ h[2];
+    x = x.wrapping_mul(PRIME) ^ h[3];
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    (x as usize) & (MEMO_SLOTS - 1)
 }
 
 /// Computes the shared-memory conflict degree of a warp access: the maximum
@@ -281,6 +326,101 @@ pub fn bank_conflicts(addrs: &[Option<u64>; WARP], banks: u32, bank_width: u32) 
         .max()
         .unwrap_or(0)
         .saturating_sub(1)
+}
+
+/// Closed-form [`coalesce`] for the *sequential* lane pattern of the SoA
+/// run operations: active lane `l` accesses `base_addr + l * elem` for
+/// `elem` bytes. Bit-identical to building the per-lane address array and
+/// calling [`coalesce`] (the property tests below pin this), but O(active
+/// lanes) worst case and O(1) for contiguous-run masks — no address array,
+/// no sort, no hash.
+///
+/// `base_addr` is the lane-0 address, which may be a *wrapped*
+/// two's-complement value when lane 0 is inactive and its virtual index is
+/// negative (a run op whose base precedes the buffer); every active lane's
+/// `base_addr + l * elem` must be a genuine in-buffer address.
+pub fn coalesce_seq(
+    base_addr: u64,
+    elem: u32,
+    mask: Mask,
+    segment_bytes: u32,
+    sector_bytes: u32,
+) -> Coalesced {
+    debug_assert!(segment_bytes.is_power_of_two() && sector_bytes.is_power_of_two());
+    if mask.is_empty() {
+        return Coalesced::default();
+    }
+    let ks = segment_bytes.trailing_zeros();
+    let kc = sector_bytes.trailing_zeros();
+    let requested = mask.count() * elem;
+    if let Some((lo, len)) = mask.as_run() {
+        // One contiguous byte interval: the distinct aligned blocks it
+        // touches are exactly `last_block - first_block + 1`.
+        let a0 = base_addr.wrapping_add(lo as u64 * elem as u64);
+        let a1 = a0 + len as u64 * elem as u64 - 1;
+        return Coalesced {
+            segments: ((a1 >> ks) - (a0 >> ks) + 1) as u32,
+            sectors: ((a1 >> kc) - (a0 >> kc) + 1) as u32,
+            requested_bytes: requested,
+        };
+    }
+    // Gapped mask: lane addresses are still ascending, so distinct blocks
+    // can be counted in one pass without sorting.
+    let mut segments = 0u32;
+    let mut sectors = 0u32;
+    let mut prev_seg = u64::MAX;
+    let mut prev_sec = u64::MAX;
+    for l in mask.iter() {
+        let a0 = base_addr.wrapping_add(l as u64 * elem as u64);
+        let a1 = a0 + elem as u64 - 1;
+        let (s0, s1) = (a0 >> ks, a1 >> ks);
+        let new_from = if prev_seg == u64::MAX { s0 } else { (prev_seg + 1).max(s0) };
+        if s1 >= new_from {
+            segments += (s1 - new_from + 1) as u32;
+        }
+        prev_seg = s1;
+        let (c0, c1) = (a0 >> kc, a1 >> kc);
+        let new_from = if prev_sec == u64::MAX { c0 } else { (prev_sec + 1).max(c0) };
+        if c1 >= new_from {
+            sectors += (c1 - new_from + 1) as u32;
+        }
+        prev_sec = c1;
+    }
+    Coalesced {
+        segments,
+        sectors,
+        requested_bytes: requested,
+    }
+}
+
+/// Closed-form [`bank_conflicts`] for the sequential shared pattern of the
+/// SoA run operations (active lane `l` at byte address `base_addr + l *
+/// elem`) on the standard 32-bank / 4-byte-wide geometry. Returns `None`
+/// when the geometry or element size is outside the closed form — callers
+/// fall back to the generic path.
+///
+/// The conflict model keys each lane by the *first* 4-byte word of its
+/// access (`addr / bank_width`), matching [`bank_conflicts`]:
+/// * 4-byte elements: lane words are consecutive and distinct, so at most
+///   one distinct word lands in each of 32 consecutive banks — 0 replays.
+/// * 8-byte elements: lane words are spaced by two, so lanes `l` and
+///   `l + 16` share a bank at distinct words — 1 replay iff such a pair is
+///   active.
+pub fn bank_conflicts_seq(
+    base_addr: u64,
+    elem: u32,
+    mask: Mask,
+    banks: u32,
+    bank_width: u32,
+) -> Option<u32> {
+    if banks != 32 || bank_width != 4 || base_addr % 4 != 0 {
+        return None;
+    }
+    match elem {
+        4 => Some(0),
+        8 => Some(u32::from(mask.0 & (mask.0 >> 16) != 0)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -437,6 +577,76 @@ mod tests {
         assert_eq!(ca, coalesce(&a, 128, 32));
         assert_eq!(cb, coalesce(&b, 128, 32));
         assert_ne!(ca.segments, cb.segments);
+    }
+
+    /// Deterministic xorshift so the property sweeps need no external crate.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    #[test]
+    fn coalesce_seq_is_bit_identical_to_generic() {
+        let mut rng = 0x5eed_cafe_u64;
+        let mut masks: Vec<Mask> = vec![Mask::FULL, Mask::first(1), Mask::first(31)];
+        for lo in [0usize, 3, 16, 29] {
+            for len in [1usize, 2, 3] {
+                masks.push(Mask::run(lo, (len).min(WARP - lo)));
+            }
+        }
+        for _ in 0..64 {
+            masks.push(Mask((xorshift(&mut rng) as u32) | 1));
+        }
+        for &elem in &[1u32, 2, 4, 8] {
+            for &base in &[0u64, 4, 60, 124, 128, 256, 1000, 4093, 1 << 20] {
+                for &m in &masks {
+                    let mut addrs = [None; WARP];
+                    for l in m.iter() {
+                        addrs[l] = Some((base + l as u64 * elem as u64, elem));
+                    }
+                    let want = coalesce(&addrs, 128, 32);
+                    let got = coalesce_seq(base, elem, m, 128, 32);
+                    assert_eq!(got, want, "elem {elem} base {base} mask {:#x}", m.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coalesce_seq_empty_mask() {
+        assert_eq!(coalesce_seq(128, 4, Mask::NONE, 128, 32), Coalesced::default());
+    }
+
+    #[test]
+    fn bank_conflicts_seq_is_bit_identical_to_generic() {
+        let mut rng = 0xfeed_f00d_u64;
+        let mut masks: Vec<Mask> = vec![Mask::FULL, Mask::NONE, Mask::first(5), Mask::run(9, 20)];
+        for _ in 0..64 {
+            masks.push(Mask(xorshift(&mut rng) as u32));
+        }
+        for &elem in &[4u32, 8] {
+            for &base in &[0u64, 4, 8, 12, 100, 256, 1028] {
+                for &m in &masks {
+                    let mut addrs = [None; WARP];
+                    for l in m.iter() {
+                        addrs[l] = Some(base + l as u64 * elem as u64);
+                    }
+                    let want = bank_conflicts(&addrs, 32, 4);
+                    let got = bank_conflicts_seq(base, elem, m, 32, 4)
+                        .expect("standard geometry must take the closed form");
+                    assert_eq!(got, want, "elem {elem} base {base} mask {:#x}", m.0);
+                }
+            }
+        }
+        // Off-geometry inputs stay on the generic path.
+        assert_eq!(bank_conflicts_seq(0, 4, Mask::FULL, 16, 4), None);
+        assert_eq!(bank_conflicts_seq(0, 4, Mask::FULL, 32, 8), None);
+        assert_eq!(bank_conflicts_seq(2, 4, Mask::FULL, 32, 4), None);
+        assert_eq!(bank_conflicts_seq(0, 2, Mask::FULL, 32, 4), None);
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct DeviceConfig {
     /// Device memory capacity in bytes (allocations beyond this panic, like
     /// a `cudaMalloc` failure would abort the paper's runs).
     pub global_mem_bytes: u64,
+    /// Enables the warp-trace replay memo (see `crate::replay`). Replay is
+    /// an exactness-preserving simulator acceleration, not a device
+    /// property; the flag exists so A/B tests can prove outputs and
+    /// counters are bit-identical with it off.
+    pub replay_memo: bool,
 }
 
 impl DeviceConfig {
@@ -66,6 +71,7 @@ impl DeviceConfig {
             pcie_latency_us: 10.0,
             kernel_launch_us: 5.0,
             global_mem_bytes: 3 * 1024 * 1024 * 1024,
+            replay_memo: true,
         }
     }
 
@@ -115,6 +121,7 @@ impl DeviceConfig {
             pcie_latency_us: 1.0,
             kernel_launch_us: 1.0,
             global_mem_bytes: 1 << 20,
+            replay_memo: true,
         }
     }
 

@@ -36,6 +36,42 @@ impl Mask {
         Mask(m)
     }
 
+    /// Mask activating the contiguous lane run `lo .. lo + len`
+    /// (`lo + len <= 32`). The bit-arithmetic twin of
+    /// `from_fn(|l| l >= lo && l < lo + len)`.
+    #[inline]
+    pub fn run(lo: usize, len: usize) -> Mask {
+        debug_assert!(lo + len <= WARP);
+        if len == 0 {
+            return Mask::NONE;
+        }
+        let bits = if len >= WARP {
+            u32::MAX
+        } else {
+            (1u32 << len) - 1
+        };
+        Mask(bits << lo)
+    }
+
+    /// If the active lanes form one contiguous run, returns `(lo, len)`.
+    /// This is what lets the SoA lane-state operations turn a masked sweep
+    /// into a plain slice copy plus closed-form coalescing math.
+    #[inline]
+    pub fn as_run(self) -> Option<(usize, usize)> {
+        if self.0 == 0 {
+            return None;
+        }
+        let lo = self.0.trailing_zeros();
+        // A run shifted down to bit 0 is `2^len - 1`; widen to u64 so the
+        // full mask (`u32::MAX`) does not overflow the check.
+        let shifted = (self.0 >> lo) as u64;
+        if (shifted + 1).is_power_of_two() {
+            Some((lo as usize, shifted.count_ones() as usize))
+        } else {
+            None
+        }
+    }
+
     /// Is lane `i` active?
     #[inline]
     pub fn lane(self, i: usize) -> bool {
@@ -60,9 +96,20 @@ impl Mask {
         Mask(self.0 & other.0)
     }
 
-    /// Iterator over active lane indices.
+    /// Iterator over active lane indices (ascending), by bit scan — the
+    /// cost is proportional to the number of *active* lanes, not the warp
+    /// width.
     pub fn iter(self) -> impl Iterator<Item = usize> {
-        (0..WARP).filter(move |&i| self.lane(i))
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(l)
+            }
+        })
     }
 }
 
@@ -128,7 +175,7 @@ impl Bound {
 }
 
 /// Statistics of one simulated kernel launch, in `nvprof` terms.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct KernelStats {
     /// Kernel name (for reports). Shared so the hot launch path clones a
     /// refcount, not a heap string.
@@ -294,6 +341,42 @@ mod tests {
         assert_eq!(Mask::first(3).count(), 3);
         assert!(Mask::first(3).lane(2));
         assert!(!Mask::first(3).lane(3));
+    }
+
+    #[test]
+    fn mask_run_matches_from_fn() {
+        for lo in 0..WARP {
+            for len in 0..=(WARP - lo) {
+                let expect = Mask::from_fn(|l| l >= lo && l < lo + len);
+                assert_eq!(Mask::run(lo, len), expect, "run({lo}, {len})");
+            }
+        }
+    }
+
+    #[test]
+    fn as_run_detects_exactly_the_contiguous_masks() {
+        assert_eq!(Mask::NONE.as_run(), None);
+        assert_eq!(Mask::FULL.as_run(), Some((0, 32)));
+        assert_eq!(Mask::first(7).as_run(), Some((0, 7)));
+        assert_eq!(Mask::run(5, 11).as_run(), Some((5, 11)));
+        assert_eq!(Mask::run(31, 1).as_run(), Some((31, 1)));
+        assert_eq!(Mask(0b101).as_run(), None);
+        assert_eq!(Mask::from_fn(|l| l % 2 == 0).as_run(), None);
+        // Exhaustive cross-check against a reference implementation.
+        for bits in (0u32..=u16::MAX as u32).step_by(7) {
+            let m = Mask(bits);
+            let lanes: Vec<usize> = m.iter().collect();
+            let contiguous = !lanes.is_empty()
+                && lanes.windows(2).all(|w| w[1] == w[0] + 1);
+            match m.as_run() {
+                Some((lo, len)) => {
+                    assert!(contiguous);
+                    assert_eq!(lo, lanes[0]);
+                    assert_eq!(len, lanes.len());
+                }
+                None => assert!(!contiguous),
+            }
+        }
     }
 
     #[test]

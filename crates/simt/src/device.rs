@@ -7,6 +7,7 @@ use crate::counters::KernelStats;
 use crate::fault::{DeviceFault, FaultKind, FaultPlan};
 use crate::mem::{DevVec, ALLOC_ALIGN};
 use crate::pod::Pod;
+use crate::replay::ReplayMemo;
 use cusha_obs::trace::{lanes, ArgVal, Tracer};
 use std::sync::Arc;
 
@@ -62,6 +63,9 @@ pub struct Gpu {
     /// Memo for per-warp coalescing/bank-conflict analysis. Self-validating
     /// (full-key comparison), so replays are bit-identical to recomputes.
     memo: CoalesceMemo,
+    /// Warp-trace replay table (see [`crate::replay`]); gated per launch on
+    /// `cfg.replay_memo` and on the fault plan being unable to disrupt.
+    replay: ReplayMemo,
     /// Reusable per-SM cycle scratch for [`Gpu::launch_unchecked`] (one slot
     /// per SM each), so steady-state launches allocate nothing.
     launch_scratch: Vec<u64>,
@@ -90,6 +94,7 @@ impl Gpu {
             tracer: Tracer::default(),
             trace_pid: 0,
             memo,
+            replay: ReplayMemo::new(),
             launch_scratch,
         }
     }
@@ -97,6 +102,11 @@ impl Gpu {
     /// `(hits, misses)` of the device's coalescing-analysis memo.
     pub fn memo_stats(&self) -> (u64, u64) {
         self.memo.hit_stats()
+    }
+
+    /// `(hits, misses, fallbacks)` of the device's warp-trace replay memo.
+    pub fn replay_stats(&self) -> (u64, u64, u64) {
+        self.replay.stats()
     }
 
     /// Installs a tracer and assigns this device's process lane (`pid`,
@@ -390,6 +400,15 @@ impl Gpu {
             ..Default::default()
         };
         let tracing = self.tracer.is_enabled();
+        // Per-launch replay gate: never replay accounting across a launch
+        // during which the installed fault plan could still fire — a gated
+        // scope interprets and counts a fallback instead.
+        let replay_on = self.cfg.replay_memo
+            && self
+                .fault_plan
+                .as_ref()
+                .map_or(true, |p| !p.could_disrupt());
+        let replay_hits_before = self.replay.stats().0;
         // Reuse the per-SM cycle scratch across launches: the steady-state
         // launch path must not allocate (see tests/zero_alloc_launch.rs).
         let num_sms = self.cfg.num_sms as usize;
@@ -399,7 +418,14 @@ impl Gpu {
         // Per-phase cycles aggregated across blocks, in first-marked order.
         let mut phase_cycles: Vec<(&'static str, u64)> = Vec::new();
         for block_id in 0..desc.grid_blocks {
-            let mut block = Block::new(block_id, desc.threads_per_block, &self.cfg, &mut self.memo);
+            let mut block = Block::new(
+                block_id,
+                desc.threads_per_block,
+                &self.cfg,
+                &mut self.memo,
+                &mut self.replay,
+            );
+            block.replay_on = replay_on;
             block.trace_phases = tracing;
             body(&mut block);
             stats.counters.add(&block.counters);
@@ -448,6 +474,18 @@ impl Gpu {
             profile.record(&stats);
         }
         if tracing {
+            // REPLAY instant: how many warp-trace scopes this launch served
+            // from the replay memo (omitted when none did).
+            let replayed = self.replay.stats().0 - replay_hits_before;
+            if replayed > 0 {
+                self.tracer.instant(
+                    self.trace_pid,
+                    lanes::KERNEL,
+                    "replay",
+                    &format!("REPLAY x{replayed}"),
+                    ts,
+                );
+            }
             self.tracer.complete_with(
                 self.trace_pid,
                 lanes::KERNEL,
@@ -512,7 +550,7 @@ impl Gpu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::counters::Mask;
+    use crate::counters::{Mask, WARP};
     use crate::warp::warp_chunks;
 
     #[test]
@@ -751,5 +789,58 @@ mod tests {
         });
         // 2 blocks per SM * 100 cycles = 200 cycles at 1 GHz = 200 ns.
         assert!((stats.issue_seconds - 200e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn replay_memo_is_invisible_to_outputs_counters_and_timing() {
+        let run = |replay: bool| {
+            let mut cfg = DeviceConfig::tiny_test();
+            cfg.replay_memo = replay;
+            let mut gpu = Gpu::new(cfg);
+            let buf = gpu.upload(&(0..256u32).collect::<Vec<_>>());
+            let mut dst = gpu.alloc::<u32>(256);
+            let desc = KernelDesc::new("probe", 2, 128);
+            let mut last = None;
+            for _ in 0..4 {
+                let stats = gpu.launch(&desc, |b| {
+                    let base = b.id() as usize * 128;
+                    for (start, mask) in warp_chunks(128) {
+                        let col: [u32; WARP] =
+                            std::array::from_fn(|l| ((start + l * 7) % 256) as u32);
+                        b.warp_scope(&[1, start as u64, 0, 0], mask, &col);
+                        let vals = b.gload(&buf, mask, |l| col[l] as usize);
+                        b.gstore(&mut dst, mask, |l| base + start + l, |l| vals[l] + 1);
+                        b.warp_scope_end();
+                    }
+                });
+                last = Some(stats.counters);
+            }
+            (gpu.download(&dst), last.unwrap(), gpu.total_seconds())
+        };
+        assert_eq!(run(true), run(false), "replay must be bit-invisible");
+    }
+
+    #[test]
+    fn fault_plan_gates_replay_to_fallbacks() {
+        let mut gpu = Gpu::new(DeviceConfig::tiny_test());
+        gpu.set_fault_plan(FaultPlan::new().fail_kernel_at(&[100]));
+        let desc = KernelDesc::new("probe", 1, 32);
+        let col = [0u32; WARP];
+        let body = |b: &mut Block<'_>| {
+            b.warp_scope(&[9, 9, 9, 9], Mask::FULL, &col);
+            b.exec(Mask::FULL, 1);
+            b.warp_scope_end();
+        };
+        for _ in 0..3 {
+            gpu.try_launch(&desc, body).unwrap();
+        }
+        // The outstanding scheduled fault keeps replay gated off.
+        assert_eq!(gpu.replay_stats(), (0, 0, 3));
+        // Plan removed: the same scope records once, then replays.
+        gpu.take_fault_plan();
+        for _ in 0..2 {
+            gpu.launch(&desc, body);
+        }
+        assert_eq!(gpu.replay_stats(), (1, 1, 3));
     }
 }

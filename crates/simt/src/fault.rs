@@ -344,6 +344,29 @@ impl FaultPlan {
         self.injected
     }
 
+    /// True while this plan could still disrupt execution: one-shot faults
+    /// or flips not yet consumed, named-kernel budgets outstanding, or any
+    /// seeded random rate armed. The device uses this to gate the
+    /// warp-trace replay memo off for a launch — accounting is never
+    /// replayed across a fault that might still fire. Conservative by
+    /// design: a seeded rate keeps the plan "disruptive" forever, and
+    /// exhausted one-shot schedules (all consumed) report false.
+    pub fn could_disrupt(&self) -> bool {
+        let scheduled = !self.h2d.scheduled.is_empty()
+            || !self.d2h.scheduled.is_empty()
+            || !self.alloc.scheduled.is_empty()
+            || !self.kernel.scheduled.is_empty()
+            || !self.scheduled_flips.is_empty();
+        let named = self.kernel_named.iter().any(|(_, remaining)| *remaining > 0);
+        let seeded_rate = self.seed.is_some()
+            && (self.h2d_rate > 0.0
+                || self.d2h_rate > 0.0
+                || self.alloc_rate > 0.0
+                || self.kernel_rate > 0.0
+                || self.bitflip_rate > 0.0);
+        scheduled || named || seeded_rate
+    }
+
     /// Operation counters consumed so far `(h2d, d2h, alloc, kernel)` —
     /// useful for aiming `fail_*_at` at coordinates observed in a fault-free
     /// run.
@@ -585,6 +608,34 @@ mod tests {
         let mut plan = FaultPlan::new().with_bitflip_rate(1.0);
         assert!(!plan.has_bitflips());
         assert!(plan.check_bitflips().is_empty());
+    }
+
+    #[test]
+    fn could_disrupt_tracks_outstanding_faults() {
+        assert!(!FaultPlan::new().could_disrupt());
+
+        // One-shot schedules disarm once consumed.
+        let mut plan = FaultPlan::new().fail_kernel_at(&[1]);
+        assert!(plan.could_disrupt());
+        plan.check(FaultKind::Kernel, Some("k"));
+        plan.check(FaultKind::Kernel, Some("k")); // fires, consumes index 1
+        assert!(!plan.could_disrupt());
+
+        let mut flips = FaultPlan::new().flip_at(0, FlipTarget::VertexValues, 1, 1);
+        assert!(flips.could_disrupt());
+        flips.check_bitflips();
+        assert!(!flips.could_disrupt());
+
+        // Named-kernel budgets disarm at zero.
+        let mut named = FaultPlan::new().fail_kernels_named("CW", 1);
+        assert!(named.could_disrupt());
+        named.check(FaultKind::Kernel, Some("CuSha-CW::bfs"));
+        assert!(!named.could_disrupt());
+
+        // A seeded rate stays armed forever; an unseeded rate never fires.
+        assert!(FaultPlan::seeded(1).with_h2d_rate(0.1).could_disrupt());
+        assert!(FaultPlan::seeded(1).with_bitflip_rate(0.1).could_disrupt());
+        assert!(!FaultPlan::new().with_h2d_rate(1.0).could_disrupt());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod fault;
 pub mod mem;
 pub mod pod;
 pub mod profile;
+pub mod replay;
 pub mod shared;
 pub mod warp;
 
@@ -55,5 +56,6 @@ pub use fault::{BitFlip, DeviceFault, FaultKind, FaultPlan, FlipTarget, Injectio
 pub use mem::DevVec;
 pub use pod::Pod;
 pub use profile::{KernelAggregate, Profile, PROFILE_SCHEMA};
+pub use replay::ReplayMemo;
 pub use shared::SharedVec;
 pub use warp::{aligned_chunks, warp_chunks, VirtualWarps};

@@ -91,6 +91,18 @@ impl<T: Pod> DevVec<T> {
     pub(crate) fn set(&mut self, idx: usize, v: T) {
         self.data[idx] = v;
     }
+
+    /// Contiguous element view used by the SoA run operations.
+    #[inline]
+    pub(crate) fn slice(&self, start: usize, len: usize) -> &[T] {
+        &self.data[start..start + len]
+    }
+
+    /// Contiguous mutable element view used by the SoA run operations.
+    #[inline]
+    pub(crate) fn slice_mut(&mut self, start: usize, len: usize) -> &mut [T] {
+        &mut self.data[start..start + len]
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,12 @@ impl<T: Pod> SharedVec<T> {
         self.base + (idx as u64) * T::SIZE as u64
     }
 
+    /// Shared-space base address of the array (element 0, even when empty).
+    #[inline]
+    pub(crate) fn base(&self) -> u64 {
+        self.base
+    }
+
     /// Direct (un-accounted) view; for assertions inside kernels and tests.
     #[inline]
     pub fn host(&self) -> &[T] {
@@ -74,6 +80,18 @@ impl<T: Pod> SharedVec<T> {
     #[inline]
     pub(crate) fn get_mut(&mut self, idx: usize) -> &mut T {
         &mut self.data[idx]
+    }
+
+    /// Contiguous element view used by the SoA run operations.
+    #[inline]
+    pub(crate) fn slice(&self, start: usize, len: usize) -> &[T] {
+        &self.data[start..start + len]
+    }
+
+    /// Contiguous mutable element view used by the SoA run operations.
+    #[inline]
+    pub(crate) fn slice_mut(&mut self, start: usize, len: usize) -> &mut [T] {
+        &mut self.data[start..start + len]
     }
 }
 

@@ -32,18 +32,18 @@ pub fn warp_chunks(n: usize) -> impl Iterator<Item = (usize, Mask)> {
 /// thread index.
 pub fn aligned_chunks(range: std::ops::Range<usize>) -> impl Iterator<Item = (usize, Mask)> {
     let start = range.start;
-    let end = range.end;
+    let end = range.end.max(range.start);
     let first_base = start - (start % WARP);
-    (first_base..end)
-        .step_by(WARP)
-        .map(move |base| {
-            let mask = Mask::from_fn(|l| {
-                let i = base + l;
-                i >= start && i < end
-            });
-            (base, mask)
-        })
-        .filter(|(_, mask)| !mask.is_empty())
+    let bases = if start < end { first_base..end } else { 0..0 };
+    bases.step_by(WARP).map(move |base| {
+        // Lanes `l` with `base + l` inside the range form one contiguous
+        // run: from `start - base` (clamped to 0) up to `end - base`
+        // (clamped to the warp width). Never empty: `base < end` by the
+        // iterator bound and `base + WARP > start` by alignment.
+        let lo = start.saturating_sub(base);
+        let hi = (end - base).min(WARP);
+        (base, Mask::run(lo, hi - lo))
+    })
 }
 
 /// Describes how a physical warp is divided into virtual warps of width
@@ -52,6 +52,9 @@ pub fn aligned_chunks(range: std::ops::Range<usize>) -> impl Iterator<Item = (us
 pub struct VirtualWarps {
     /// Virtual warp width in lanes.
     pub vw: usize,
+    /// `log2(vw)` — every divisor of the warp width is a power of two, so
+    /// the group/lane projections reduce to shifts and masks.
+    shift: u32,
 }
 
 impl VirtualWarps {
@@ -61,7 +64,10 @@ impl VirtualWarps {
             vw > 0 && WARP.is_multiple_of(vw),
             "virtual warp size {vw} must divide {WARP}"
         );
-        VirtualWarps { vw }
+        VirtualWarps {
+            vw,
+            shift: vw.trailing_zeros(),
+        }
     }
 
     /// Virtual warps per physical warp.
@@ -73,18 +79,24 @@ impl VirtualWarps {
     /// The virtual-warp index (within the physical warp) that lane belongs to.
     #[inline]
     pub fn group_of(&self, lane: usize) -> usize {
-        lane / self.vw
+        lane >> self.shift
     }
 
     /// The lane's index within its virtual warp (`virtual_lane_ID`).
     #[inline]
     pub fn lane_in_group(&self, lane: usize) -> usize {
-        lane % self.vw
+        lane & (self.vw - 1)
     }
 
     /// Mask activating `virtual_lane_ID == 0` of every virtual warp.
     pub fn leaders(&self) -> Mask {
-        Mask::from_fn(|l| self.lane_in_group(l) == 0)
+        let mut bits = 0u32;
+        let mut l = 0;
+        while l < WARP {
+            bits |= 1 << l;
+            l += self.vw;
+        }
+        Mask(bits)
     }
 }
 

@@ -118,6 +118,62 @@ fn steady_state_launch_path_allocates_nothing() {
 }
 
 #[test]
+fn soa_run_op_and_replay_scope_path_allocates_nothing() {
+    // The data-oriented hot path: run-mask SoA transfers (`*_run` ops) and
+    // caller-delimited warp-trace scopes. Steady state must be just as
+    // allocation-free as the closure-indexed path — the replay table and
+    // the scope bookkeeping are preallocated at device construction.
+    let n = 1 << 12;
+    let mut gpu = Gpu::new(DeviceConfig::gtx780());
+    let desc = KernelDesc::new("soa-zero-alloc-probe", 16, 256);
+    let src = gpu.upload(&(0..n as u32).collect::<Vec<_>>());
+    let mut dst = gpu.alloc::<u32>(n);
+
+    let mut body = |blk: &mut cusha::simt::Block<'_>| {
+        let base = blk.id() as usize * 256;
+        let mut local = blk.shared_alloc::<u32>(256);
+        for (start, mask) in warp_chunks(256) {
+            // Scope key: site tag + block/warp coordinates; run ops inside.
+            blk.warp_scope(
+                &[0x7a61_50524f4245, blk.id() as u64, start as u64, 0],
+                mask,
+                &[0u32; 32],
+            );
+            let vals = blk.gload_run(&src, mask, (base + start) as isize);
+            blk.sstore_run(&mut local, mask, start as isize, &vals);
+            blk.warp_scope_end();
+        }
+        blk.sync();
+        for (start, mask) in warp_chunks(256) {
+            let vals = blk.sload_run(&local, mask, start as isize);
+            blk.exec(mask, 2);
+            blk.gstore_run(&mut dst, mask, (base + start) as isize, &vals);
+        }
+    };
+
+    for _ in 0..3 {
+        gpu.launch(&desc, &mut body);
+    }
+
+    let launches = 50;
+    let n_allocs = allocations_in(|| {
+        for _ in 0..launches {
+            gpu.launch(&desc, &mut body);
+        }
+    });
+    assert_eq!(
+        n_allocs, 0,
+        "SoA launch path performed {n_allocs} allocations over {launches} launches"
+    );
+    // The scopes above replayed from the warp-trace table in steady state.
+    let (hits, misses, fallbacks) = gpu.replay_stats();
+    assert!(
+        hits > 0,
+        "replay memo never hit (misses: {misses}, fallbacks: {fallbacks})"
+    );
+}
+
+#[test]
 fn launch_results_are_identical_with_and_without_memo_reuse() {
     // Two fresh devices run the same kernel sequence; the second device's
     // later launches replay from its memo. Counters must be bit-identical
